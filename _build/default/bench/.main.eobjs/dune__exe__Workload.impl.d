@@ -1,0 +1,1 @@
+bench/workload.ml: Array Buffer Builtin Database Datalog Fashion Gom Ids List Model Preds Printf Schema_base Sorts Subschema Theory Versioning

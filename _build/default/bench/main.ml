@@ -1,0 +1,451 @@
+(* The reproduction harness: regenerates every evaluation artifact of the
+   paper (figures, tables, worked examples) and then runs the quantitative
+   benches backing its performance claims — one Bechamel test per measured
+   series.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Datalog
+open Gom
+module Manager = Core.Manager
+module Value = Runtime.Value
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ns_per_run results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> est
+      | Some _ | None -> nan)
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+(* Run a group of tests and return a lookup: test name -> ns/run. *)
+let run_group ~name tests : string -> float =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  fun test_name -> ns_per_run results (name ^ "/" ^ test_name)
+
+let banner id title =
+  Printf.printf "\n%s\n[%s] %s\n%s\n%!" (String.make 72 '=') id title
+    (String.make 72 '=')
+
+let table header rows =
+  print_endline (Pretty.Table.render (Pretty.Table.make ~header rows))
+
+(* ------------------------------------------------------------------ *)
+(* B1: consistency checking — full vs affected-cone vs maintained DRed *)
+(* ------------------------------------------------------------------ *)
+
+let bench_incremental () =
+  banner "B1"
+    "Efficient consistency checking (refs [18, 20]): full re-check vs \
+     affected-constraint cone vs maintained DRed state";
+  let sizes = [ 40; 80; 160 ] in
+  let rows = ref [] in
+  List.iter
+    (fun size ->
+      let theory = Workload.full_theory () in
+      let db, ids, tids = Workload.database theory ~types:size in
+      let target = List.hd tids in
+      let fact =
+        Preds.attr_fact ~tid:target ~name:"bench_attr" ~domain:"tid_string"
+      in
+      let add = Delta.of_lists ~additions:[ fact ] ~deletions:[] in
+      let del = Delta.of_lists ~additions:[] ~deletions:[ fact ] in
+      ignore ids;
+      (* the delta is pre-applied for the two stateless strategies *)
+      let _ = Delta.apply db add in
+      let state = Incremental.init theory db in
+      let lookup =
+        run_group
+          ~name:(Printf.sprintf "check-%d" size)
+          [
+            Test.make ~name:"full"
+              (Staged.stage (fun () -> Checker.check theory db));
+            Test.make ~name:"affected"
+              (Staged.stage (fun () ->
+                   Incremental.check_affected theory db ~delta:add));
+            Test.make ~name:"dred"
+              (Staged.stage (fun () ->
+                   (* one deletion + one re-insertion on the maintained
+                      state: two incremental updates *)
+                   ignore (Incremental.apply state del);
+                   ignore (Incremental.apply state add)));
+          ]
+      in
+      let full = lookup "full"
+      and affected = lookup "affected"
+      and dred = lookup "dred" /. 2.0 in
+      rows :=
+        [
+          string_of_int size;
+          pretty_ns full;
+          pretty_ns affected;
+          pretty_ns dred;
+          Printf.sprintf "%.0fx" (full /. dred);
+        ]
+        :: !rows)
+    sizes;
+  table
+    [ "types"; "full check"; "affected cone"; "DRed update"; "full/DRed" ]
+    (List.rev !rows);
+  print_endline
+    "expected shape: the maintained DRed update stays roughly flat while the\n\
+     full check grows with schema size — the paper's case for efficient\n\
+     consistency checking [18, 20]."
+
+(* B1b: the evaluation-strategy ablations. *)
+let bench_seminaive () =
+  banner "B1b"
+    "Ablations: naive vs semi-naive fixpoint; column indexes vs scans";
+  let rows = ref [] in
+  List.iter
+    (fun size ->
+      let theory = Workload.full_theory () in
+      let db, _, _ = Workload.database theory ~types:size in
+      let lookup =
+        run_group
+          ~name:(Printf.sprintf "eval-%d" size)
+          [
+            Test.make ~name:"seminaive"
+              (Staged.stage (fun () -> Checker.check theory db));
+            Test.make ~name:"naive"
+              (Staged.stage (fun () -> Checker.check ~naive:true theory db));
+            Test.make ~name:"noindex"
+              (Staged.stage (fun () ->
+                   Relation.use_indexes := false;
+                   Fun.protect
+                     ~finally:(fun () -> Relation.use_indexes := true)
+                     (fun () -> Checker.check theory db)));
+          ]
+      in
+      let s = lookup "seminaive"
+      and n = lookup "naive"
+      and u = lookup "noindex" in
+      rows :=
+        [
+          string_of_int size; pretty_ns s; pretty_ns n;
+          Printf.sprintf "%.1fx" (n /. s); pretty_ns u;
+          Printf.sprintf "%.1fx" (u /. s);
+        ]
+        :: !rows)
+    [ 40; 80 ];
+  table
+    [
+      "types"; "semi-naive+idx"; "naive"; "naive/s"; "unindexed";
+      "unindexed/s";
+    ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* B2: conversion (O2) vs masking (ENCORE)                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_cures () =
+  banner "B2"
+    "Inconsistency cures: eager conversion (O2 [25]) vs lazy masking \
+     (ENCORE [22])";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let encore = Baselines.Encore.create ~attrs:[ "age" ] in
+      let o2 = Baselines.O2_conversion.create ~attrs:[ "age" ] in
+      for _ = 1 to n do
+        let e = Baselines.Encore.new_object encore in
+        Baselines.Encore.write encore e ~attr:"age" (Value.Int 30);
+        let o = Baselines.O2_conversion.new_object o2 in
+        Baselines.O2_conversion.write o2 o ~attr:"age" (Value.Int 30)
+      done;
+      let handler o =
+        match Baselines.Encore.read encore o ~attr:"age" with
+        | Value.Int age -> Value.Int (1993 - age)
+        | _ -> Value.Null
+      in
+      let fill o =
+        match Baselines.O2_conversion.read o2 o ~attr:"age" with
+        | Value.Int age -> Value.Int (1993 - age)
+        | _ -> Value.Null
+      in
+      (* set the stage once so reads have a target attribute *)
+      Baselines.Encore.add_attribute encore ~attr:"birthday" ~handler;
+      Baselines.O2_conversion.add_attribute o2 ~attr:"birthday" ~fill;
+      let old_obj = List.nth (Baselines.Encore.objects encore) (n - 1) in
+      let o2_obj = List.nth (Baselines.O2_conversion.objects o2) (n - 1) in
+      let lookup =
+        run_group
+          ~name:(Printf.sprintf "cures-%d" n)
+          [
+            Test.make ~name:"encore-change"
+              (Staged.stage (fun () ->
+                   (* change + undo so the version set stays bounded *)
+                   Baselines.Encore.add_attribute encore ~attr:"birthday2"
+                     ~handler;
+                   Baselines.Encore.pop_version encore));
+            Test.make ~name:"o2-change"
+              (Staged.stage (fun () ->
+                   Baselines.O2_conversion.add_attribute o2 ~attr:"birthday"
+                     ~fill));
+            Test.make ~name:"encore-read"
+              (Staged.stage (fun () ->
+                   Baselines.Encore.read encore old_obj ~attr:"birthday"));
+            Test.make ~name:"o2-read"
+              (Staged.stage (fun () ->
+                   Baselines.O2_conversion.read o2 o2_obj ~attr:"birthday"));
+          ]
+      in
+      let ec = lookup "encore-change"
+      and oc = lookup "o2-change"
+      and er = lookup "encore-read"
+      and orr = lookup "o2-read" in
+      let crossover =
+        if er > orr then (oc -. ec) /. (er -. orr) else infinity
+      in
+      rows :=
+        [
+          string_of_int n; pretty_ns ec; pretty_ns oc; pretty_ns er;
+          pretty_ns orr;
+          (if Float.is_finite crossover then Printf.sprintf "%.0f" crossover
+           else "-");
+        ]
+        :: !rows)
+    [ 100; 1000; 10000 ];
+  table
+    [
+      "objects"; "masking change"; "conversion change"; "masked read";
+      "direct read"; "reads to amortize";
+    ]
+    (List.rev !rows);
+  print_endline
+    "expected shape: the masking change is O(1) while conversion is\n\
+     O(objects); masked reads pay an indirection, so conversion amortizes\n\
+     after roughly (conversion cost) / (read penalty) accesses — both of the\n\
+     positions the paper quotes (ENCORE vs O2) are right in their regime,\n\
+     which is why both cures are built in."
+
+(* ------------------------------------------------------------------ *)
+(* B3: repair generation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_repairs () =
+  banner "B3" "Automatic repair generation (ref [19])";
+  let rows = ref [] in
+  List.iter
+    (fun size ->
+      let theory = Workload.full_theory () in
+      let db, ids, tids = Workload.database theory ~types:size in
+      Workload.seed_violations db ids tids ~k:3;
+      let materialized = Checker.materialize theory db in
+      let violations = Checker.violations_of theory materialized in
+      let star =
+        List.filter
+          (fun v -> v.Checker.constraint_name = "star$SlotForEveryAttr")
+          violations
+      in
+      let v = List.hd star in
+      let lookup =
+        run_group
+          ~name:(Printf.sprintf "repair-%d" size)
+          [
+            Test.make ~name:"generate-one"
+              (Staged.stage (fun () -> Repair.generate theory materialized v));
+            Test.make ~name:"materialize"
+              (Staged.stage (fun () -> Checker.materialize theory db));
+          ]
+      in
+      rows :=
+        [
+          string_of_int size;
+          string_of_int (List.length violations);
+          string_of_int (List.length (Repair.generate theory materialized v));
+          pretty_ns (lookup "generate-one");
+          pretty_ns (lookup "materialize");
+        ]
+        :: !rows)
+    [ 40; 80 ];
+  table
+    [
+      "types"; "violations"; "repairs for first"; "generate (one violation)";
+      "materialize (shared)";
+    ]
+    (List.rev !rows);
+  print_endline
+    "expected shape: repair generation per violation is small next to the\n\
+     shared materialization — acceptable interactive cost, as the protocol\n\
+     assumes."
+
+(* ------------------------------------------------------------------ *)
+(* B4: deferred session checking vs eager per-operation checking       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_sessions () =
+  banner "B4"
+    "Deferred (session) checking vs eager per-operation checking (ORION \
+     style)";
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> failwith "unexpected");
+  let car =
+    Option.get
+      (Schema_base.find_type_at (Manager.database m) ~type_name:"Car"
+         ~schema_name:"CarSchema")
+  in
+  let facts k =
+    List.init k (fun i ->
+        Preds.attr_fact ~tid:car
+          ~name:(Printf.sprintf "extra%d" i)
+          ~domain:"tid_float")
+  in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      let fs = facts k in
+      let deferred () =
+        Manager.begin_session m;
+        List.iter
+          (fun f ->
+            Manager.propose m (Delta.of_lists ~additions:[ f ] ~deletions:[]))
+          fs;
+        (match Manager.end_session m with
+        | Manager.Consistent -> ()
+        | Manager.Inconsistent _ -> failwith "unexpected");
+        (* undo, also as one session *)
+        Manager.begin_session m;
+        List.iter
+          (fun f ->
+            Manager.propose m (Delta.of_lists ~additions:[] ~deletions:[ f ]))
+          fs;
+        match Manager.end_session m with
+        | Manager.Consistent -> ()
+        | Manager.Inconsistent _ -> failwith "unexpected"
+      in
+      let eager () =
+        List.iter
+          (fun f ->
+            Manager.begin_session m;
+            Manager.propose m (Delta.of_lists ~additions:[ f ] ~deletions:[]);
+            match Manager.end_session m with
+            | Manager.Consistent -> ()
+            | Manager.Inconsistent _ -> failwith "unexpected")
+          fs;
+        List.iter
+          (fun f ->
+            Manager.begin_session m;
+            Manager.propose m (Delta.of_lists ~additions:[] ~deletions:[ f ]);
+            match Manager.end_session m with
+            | Manager.Consistent -> ()
+            | Manager.Inconsistent _ -> failwith "unexpected")
+          fs
+      in
+      let lookup =
+        run_group
+          ~name:(Printf.sprintf "session-%d" k)
+          [
+            Test.make ~name:"deferred" (Staged.stage deferred);
+            Test.make ~name:"eager" (Staged.stage eager);
+          ]
+      in
+      let d = lookup "deferred" and e = lookup "eager" in
+      rows :=
+        [
+          string_of_int k; pretty_ns d; pretty_ns e;
+          Printf.sprintf "%.1fx" (e /. d);
+        ]
+        :: !rows)
+    [ 2; 8; 32 ];
+  table
+    [
+      "ops per batch"; "one session (2 checks)"; "eager (2k checks)";
+      "eager/deferred";
+    ]
+    (List.rev !rows);
+  print_endline
+    "expected shape: deferred sessions amortize the consistency check over\n\
+     the batch; eager per-operation checking pays it k times.  (And some\n\
+     compositions — add-argument-to-used-operation — are ONLY expressible\n\
+     with deferral, see the evolution test suite.)"
+
+(* ------------------------------------------------------------------ *)
+(* B5: analyzer throughput                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_analyzer () =
+  banner "B5" "Analyzer (front end) throughput";
+  let rows = ref [] in
+  List.iter
+    (fun types ->
+      let text = Workload.schema_text ~types in
+      let theory = Workload.full_theory () in
+      let db = Database.create () in
+      List.iter
+        (fun (d : Theory.pred_decl) ->
+          Database.declare db ~name:d.Theory.name ~columns:d.Theory.columns)
+        (Theory.predicates theory);
+      Builtin.seed db;
+      let lookup =
+        run_group
+          ~name:(Printf.sprintf "analyzer-%d" types)
+          [
+            Test.make ~name:"parse"
+              (Staged.stage (fun () -> Analyzer.parse_unit text));
+            Test.make ~name:"parse+translate"
+              (Staged.stage (fun () ->
+                   Analyzer.analyze_definitions db (Ids.create ()) text));
+          ]
+      in
+      let p = lookup "parse" and t = lookup "parse+translate" in
+      rows :=
+        [
+          string_of_int types;
+          string_of_int (String.length text);
+          pretty_ns p;
+          pretty_ns t;
+          Printf.sprintf "%.0f" (float_of_int types /. (t /. 1e9));
+        ]
+        :: !rows)
+    [ 20; 80 ];
+  table
+    [ "types"; "bytes"; "parse"; "parse+translate"; "types/second" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let skip_benches =
+    Array.length Sys.argv > 1 && Sys.argv.(1) = "--artifacts-only"
+  in
+  print_endline
+    "Reproduction harness for \"Towards More Flexible Schema Management in\n\
+     Object Bases\" (Moerkotte/Zachmann, ICDE 1993).";
+  Artifacts.run_all ();
+  if not skip_benches then begin
+    bench_incremental ();
+    bench_seminaive ();
+    bench_cures ();
+    bench_repairs ();
+    bench_sessions ();
+    bench_analyzer ()
+  end;
+  Printf.printf "\n%s\nAll artifacts regenerated.\n" (String.make 72 '=')

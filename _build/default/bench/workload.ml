@@ -1,0 +1,119 @@
+(* Workload generation for the benches: synthetic GOM schemas of a given
+   size, either as base facts (for checker/incremental benches) or as DDL
+   text (for the analyzer-throughput bench). *)
+
+open Datalog
+open Gom
+
+let builtin_domains = [| "tid_int"; "tid_float"; "tid_string"; "tid_bool" |]
+
+(* Seed [db] with a consistent synthetic schema: [types] types in chains of
+   [chain] (transitive closure depth), each with [attrs] attributes and one
+   implemented operation.  Returns the list of type ids. *)
+let seed_schema ?(chain = 10) ?(attrs = 4) (db : Database.t) (ids : Ids.gen)
+    ~(types : int) : string list =
+  let sid = Ids.fresh ids Ids.Schema in
+  ignore (Database.add db (Preds.schema_fact ~sid ~name:("Synth_" ^ sid)));
+  let tids = Array.make types "" in
+  for i = 0 to types - 1 do
+    let tid = Ids.fresh ids Ids.Type in
+    tids.(i) <- tid;
+    ignore
+      (Database.add db (Preds.type_fact ~tid ~name:(Printf.sprintf "T%d" i) ~sid));
+    let super = if i mod chain = 0 then Builtin.any_tid else tids.(i - 1) in
+    ignore (Database.add db (Preds.subtyprel_fact ~sub:tid ~super));
+    for a = 0 to attrs - 1 do
+      ignore
+        (Database.add db
+           (Preds.attr_fact ~tid
+              ~name:(Printf.sprintf "a%d_%d" i a)
+              ~domain:builtin_domains.(a mod Array.length builtin_domains)))
+    done;
+    let did = Ids.fresh ids Ids.Decl in
+    ignore
+      (Database.add db
+         (Preds.decl_fact ~did ~receiver:tid
+            ~name:(Printf.sprintf "op%d" i)
+            ~result:"tid_float"));
+    ignore
+      (Database.add db
+         (Preds.argdecl_fact ~did ~pos:1 ~tid:"tid_float"));
+    let cid = Ids.fresh ids Ids.Code in
+    ignore
+      (Database.add db (Preds.code_fact ~cid ~text:"begin return 0.0; end" ~did))
+  done;
+  Array.to_list tids
+
+(* A fresh consistent database of the given size, with the full theory's
+   predicate declarations. *)
+let database (theory : Theory.t) ~types : Database.t * Ids.gen * string list =
+  let db = Database.create () in
+  List.iter
+    (fun (d : Theory.pred_decl) ->
+      Database.declare db ~name:d.Theory.name ~columns:d.Theory.columns)
+    (Theory.predicates theory);
+  Builtin.seed db;
+  let ids = Ids.create () in
+  let tids = seed_schema db ids ~types in
+  db, ids, tids
+
+let full_theory () =
+  let t = Theory.create () in
+  Model.install_core t;
+  Versioning.install t;
+  Fashion.install t;
+  Subschema.install t;
+  Sorts.install t;
+  t
+
+(* DDL text for the analyzer bench: [types] type frames with attributes,
+   an operation and an implementation each. *)
+let schema_text ~types : string =
+  let buf = Buffer.create (types * 200) in
+  Buffer.add_string buf "schema Generated is\n";
+  for i = 0 to types - 1 do
+    Buffer.add_string buf (Printf.sprintf "  type T%d is\n    [ " i);
+    for a = 0 to 3 do
+      Buffer.add_string buf
+        (Printf.sprintf "f%d : %s; "
+           a
+           [| "int"; "float"; "string"; "bool" |].(a))
+    done;
+    Buffer.add_string buf "]\n  operations\n";
+    Buffer.add_string buf (Printf.sprintf "    declare op%d : (float) -> float;\n" i);
+    Buffer.add_string buf "  implementation\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    define op%d(x) is begin return self.f1 + x; end op%d;\n" i i);
+    Buffer.add_string buf (Printf.sprintf "  end type T%d;\n" i)
+  done;
+  Buffer.add_string buf "end schema Generated;\n";
+  Buffer.contents buf
+
+(* Seed [k] star-constraint violations: attributes without slots on types
+   that have instances. *)
+let seed_violations (db : Database.t) (ids : Ids.gen) (tids : string list)
+    ~(k : int) : unit =
+  List.iteri
+    (fun i tid ->
+      if i < k then begin
+        let clid = Ids.fresh ids Ids.Phrep in
+        ignore (Database.add db (Preds.phrep_fact ~clid ~tid));
+        (* slots for the type's own attributes so only the new one is
+           missing; inherited attributes are covered by adding slots for
+           the whole chain *)
+        List.iter
+          (fun (attr_name, domain) ->
+            let value_clid =
+              match Builtin.clid_of_tid domain with
+              | Some c -> c
+              | None -> "clid_int"
+            in
+            ignore
+              (Database.add db (Preds.slot_fact ~clid ~attr_name ~value_clid)))
+          (Schema_base.all_attrs db ~tid);
+        ignore
+          (Database.add db
+             (Preds.attr_fact ~tid ~name:"missing_attr" ~domain:"tid_string"))
+      end)
+    tids

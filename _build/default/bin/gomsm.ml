@@ -1,0 +1,414 @@
+(* gomsm — command-line front end for the GOM schema manager.
+
+   - [gomsm check FILE]   load definition frames, report consistency
+   - [gomsm script FILE]  run an evolution command script (bes/ees markers)
+   - [gomsm repl]         interactive schema evolution sessions
+   - [gomsm paper]        regenerate the paper's running example *)
+
+open Core
+open Cmdliner
+module Value = Runtime.Value
+
+let print_reports reports =
+  List.iter
+    (fun r -> Printf.printf "violation: %s\n" r.Manager.description)
+    reports
+
+let print_diags m =
+  if Manager.in_session m then
+    List.iter
+      (fun d -> Printf.printf "analyzer: %s\n" d)
+      (Manager.session_diagnostics m)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let m = Manager.create () in
+    Manager.begin_session m;
+    (try Manager.load_definitions m (read_file file) with
+    | Analyzer.Syntax_error msg ->
+        Printf.eprintf "syntax error: %s\n" msg;
+        exit 2);
+    print_diags m;
+    match Manager.end_session m with
+    | Manager.Consistent ->
+        print_endline "consistent.";
+        0
+    | Manager.Inconsistent reports ->
+        print_reports reports;
+        1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Load GOM definition frames and check consistency")
+    Term.(const (fun f -> Stdlib.exit (run f)) $ file)
+
+let script_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let m = Manager.create () in
+    (try
+       match Manager.run_script m (read_file file) with
+       | Manager.Consistent ->
+           print_endline "script ended consistently.";
+           0
+       | Manager.Inconsistent reports ->
+           print_reports reports;
+           (match reports with
+           | r :: _ ->
+               print_endline "repairs for the first violation:";
+               List.iteri
+                 (fun i (rep, explanations) ->
+                   Printf.printf "  %d: %s\n" (i + 1)
+                     (Fmt.str "%a" Datalog.Repair.pp rep);
+                   List.iter (fun e -> Printf.printf "     -> %s\n" e) explanations)
+                 (Manager.repairs_for m r.Manager.violation)
+           | [] -> ());
+           1
+     with Analyzer.Syntax_error msg ->
+       Printf.eprintf "syntax error: %s\n" msg;
+       2)
+  in
+  Cmd.v
+    (Cmd.info "script" ~doc:"Run an evolution command script (bes/ees)")
+    Term.(const (fun f -> Stdlib.exit (run f)) $ file)
+
+let dump_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let as_script =
+    Arg.(value & flag
+         & info [ "script" ]
+             ~doc:"Emit a complete evolution script (bes/ees, version edges, \
+                   fashion clauses) instead of bare definition frames.")
+  in
+  let run as_script file =
+    let m = Manager.create () in
+    Manager.begin_session m;
+    (try Manager.load_definitions m (read_file file) with
+    | Analyzer.Syntax_error msg ->
+        Printf.eprintf "syntax error: %s\n" msg;
+        exit 2);
+    (match Manager.end_session m with
+    | Manager.Consistent -> ()
+    | Manager.Inconsistent reports ->
+        prerr_endline "warning: input is inconsistent; dumping anyway";
+        List.iter
+          (fun r -> Printf.eprintf "  %s\n" r.Manager.description)
+          reports);
+    let ctx =
+      Analyzer.Unparse.make ~db:(Manager.database m)
+        ~lookup_code:(Manager.lookup_code m)
+    in
+    print_string
+      (if as_script then Analyzer.Unparse.unparse_script ctx
+       else Analyzer.Unparse.unparse_all ctx);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Load definition frames and print them back from the schema base")
+    Term.(const (fun s f -> Stdlib.exit (run s f)) $ as_script $ file)
+
+(* ------------------------------------------------------------------ *)
+
+let repl_help =
+  {|commands:
+  bes;                       begin an evolution session
+  ees;                       end the session (consistency check)
+  <evolution command>;       e.g. add attribute a : int to T@S;
+  schema ... end schema X;   load a definition frame
+  .load FILE                 load definition frames from a file
+  .dump                      print the whole state as an evolution script
+  .save FILE                 persist the whole database (facts, code, objects)
+  .query Q                   deductive query, e.g. .query Attr_i(T, A, D)
+  .constraint NAME: F        add a consistency constraint (first-order text)
+  .unconstraint NAME         remove a constraint
+  .open FILE                 replace the database with a saved one
+  .show                      list schemas and types
+  .repairs                   show repairs for the current violations
+  .choose N                  execute repair N and re-check
+  .rollback                  undo the session
+  .help                      this message
+  .quit                      leave
+|}
+
+let repl () =
+  let m = ref (Manager.create ()) in
+  let pending = ref [] in
+  print_endline "gomsm repl — .help for help";
+  let show () =
+    let db = Manager.database !m in
+    List.iter
+      (fun (sid, name) ->
+        if name <> Gom.Builtin.builtin_schema_name then begin
+          Printf.printf "schema %s\n" name;
+          List.iter
+            (fun (_, tname) -> Printf.printf "  type %s\n" tname)
+            (Gom.Schema_base.types_of_schema db ~sid)
+        end)
+      (Gom.Schema_base.schemas db)
+  in
+  let show_repairs () =
+    match !pending with
+    | [] -> print_endline "no pending violations."
+    | r :: _ ->
+        Printf.printf "for: %s\n" r.Manager.description;
+        List.iteri
+          (fun i (rep, explanations) ->
+            Printf.printf "  %d: %s\n" (i + 1)
+              (Fmt.str "%a" Datalog.Repair.pp rep);
+            List.iter (fun e -> Printf.printf "     -> %s\n" e) explanations)
+          (Manager.repairs_for !m r.Manager.violation)
+  in
+  let choose n =
+    match !pending with
+    | [] -> print_endline "no pending violations."
+    | r :: _ -> (
+        let repairs = Manager.repairs_for !m r.Manager.violation in
+        match List.nth_opt repairs (n - 1) with
+        | None -> print_endline "no such repair."
+        | Some (rep, _) -> (
+            Manager.execute_repair !m rep;
+            match Manager.end_session !m with
+            | Manager.Consistent ->
+                pending := [];
+                print_endline "consistent; session ended."
+            | Manager.Inconsistent reports ->
+                pending := reports;
+                print_reports reports))
+  in
+  let buffer = Buffer.create 256 in
+  let feed chunk =
+    Buffer.add_string buffer chunk;
+    Buffer.add_char buffer '\n';
+    let text = Buffer.contents buffer in
+    let trimmed = String.trim text in
+    (* input is executed once it ends with ';' and parses; a parse error at
+       end of input means "keep reading" (e.g. inside a definition frame) *)
+    let parsed =
+      if String.length trimmed = 0 || trimmed.[String.length trimmed - 1] <> ';'
+      then None
+      else
+        match Analyzer.parse_commands text with
+        | cmds -> Some (Ok cmds)
+        | exception Analyzer.Syntax_error msg ->
+            let incomplete =
+              let needle = "end of input" in
+              let hl = String.length msg and nl = String.length needle in
+              let rec go i =
+                i + nl <= hl && (String.sub msg i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            if incomplete then None else Some (Error msg)
+    in
+    match parsed with
+    | None -> ()
+    | Some (Error msg) ->
+        Buffer.clear buffer;
+        Printf.printf "syntax error: %s\n" msg
+    | Some (Ok cmds) -> begin
+      Buffer.clear buffer;
+      try
+        List.iter
+          (fun (cmd : Analyzer.Ast.command) ->
+            match cmd with
+            | Analyzer.Ast.Begin_session ->
+                Manager.begin_session !m;
+                print_endline "session open."
+            | Analyzer.Ast.End_session -> (
+                match Manager.end_session !m with
+                | Manager.Consistent ->
+                    pending := [];
+                    print_endline "consistent; session ended."
+                | Manager.Inconsistent reports ->
+                    pending := reports;
+                    print_reports reports;
+                    print_endline
+                      "(session stays open: .repairs / .choose N / .rollback)")
+            | cmd ->
+                if not (Manager.in_session !m) then
+                  print_endline "no session open; start with bes;"
+                else begin
+                  let r =
+                    Analyzer.analyze_parsed
+                      ~lookup_code:(Manager.lookup_code !m)
+                      (Manager.database !m) (Manager.ids !m) [ cmd ]
+                  in
+                  Manager.absorb !m r;
+                  List.iter
+                    (fun d -> Printf.printf "analyzer: %s\n" d)
+                    r.Analyzer.diagnostics
+                end)
+          cmds
+      with
+      | Manager.Session_open -> print_endline "session already open."
+      | Manager.No_session -> print_endline "no session open."
+    end
+  in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "gomsm> " else "   ...> ");
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+        match String.trim line with
+        | ".quit" -> ()
+        | ".help" ->
+            print_string repl_help;
+            loop ()
+        | ".show" ->
+            show ();
+            loop ()
+        | ".repairs" ->
+            show_repairs ();
+            loop ()
+        | ".rollback" ->
+            (try
+               Manager.rollback !m;
+               pending := [];
+               print_endline "rolled back."
+             with Manager.No_session -> print_endline "no session open.");
+            loop ()
+        | s when String.length s > 6 && String.sub s 0 6 = ".load " ->
+            let path = String.trim (String.sub s 6 (String.length s - 6)) in
+            (try
+               if not (Manager.in_session !m) then Manager.begin_session !m;
+               Manager.load_definitions !m (read_file path);
+               print_diags !m;
+               print_endline "loaded (session open; ees; to check)."
+             with
+            | Sys_error e -> Printf.printf "error: %s\n" e
+            | Analyzer.Syntax_error e -> Printf.printf "syntax error: %s\n" e);
+            loop ()
+        | ".dump" ->
+            print_string
+              (Analyzer.Unparse.unparse_script
+                 (Analyzer.Unparse.make ~db:(Manager.database !m)
+                    ~lookup_code:(Manager.lookup_code !m)));
+            loop ()
+        | s when String.length s > 6 && String.sub s 0 6 = ".save " ->
+            let path = String.trim (String.sub s 6 (String.length s - 6)) in
+            (try
+               Persist.save !m ~path;
+               Printf.printf "saved to %s\n" path
+             with
+            | Invalid_argument e -> Printf.printf "error: %s\n" e
+            | Sys_error e -> Printf.printf "error: %s\n" e);
+            loop ()
+        | s when String.length s > 6 && String.sub s 0 6 = ".open " ->
+            let path = String.trim (String.sub s 6 (String.length s - 6)) in
+            (try
+               m := Persist.load ~path ();
+               pending := [];
+               Printf.printf "opened %s\n" path
+             with
+            | Persist.Corrupt e -> Printf.printf "corrupt database: %s\n" e
+            | Sys_error e -> Printf.printf "error: %s\n" e);
+            loop ()
+        | s when String.length s > 7 && String.sub s 0 7 = ".query " ->
+            let text = String.sub s 7 (String.length s - 7) in
+            (try
+               let answers = Manager.query_text !m text in
+               List.iteri
+                 (fun i bindings ->
+                   if i < 20 then
+                     Printf.printf "  %s\n"
+                       (String.concat ", "
+                          (List.map
+                             (fun (v, c) ->
+                               Printf.sprintf "%s = %s" v
+                                 (Datalog.Term.const_to_string c))
+                             bindings)))
+                 answers;
+               Printf.printf "%d answer(s).\n" (List.length answers)
+             with
+            | Datalog.Parse.Error e -> Printf.printf "syntax error: %s\n" e
+            | Datalog.Rule.Unsafe e -> Printf.printf "unsafe query: %s\n" e);
+            loop ()
+        | s when String.length s > 12 && String.sub s 0 12 = ".constraint " -> (
+            let rest = String.sub s 12 (String.length s - 12) in
+            (match String.index_opt rest ':' with
+            | None -> print_endline "usage: .constraint NAME: FORMULA"
+            | Some i ->
+                let name = String.trim (String.sub rest 0 i) in
+                let ftext =
+                  String.sub rest (i + 1) (String.length rest - i - 1)
+                in
+                (try
+                   Datalog.Theory.add_constraint (Manager.theory !m) ~name
+                     (Datalog.Parse.formula ftext);
+                   Printf.printf
+                     "constraint %s installed; it takes effect at the next \
+                      check.\n"
+                     name
+                 with
+                | Datalog.Parse.Error e -> Printf.printf "syntax error: %s\n" e
+                | Datalog.Constraint_compile.Error e ->
+                    Printf.printf "rejected: %s\n" e
+                | Datalog.Theory.Duplicate e ->
+                    Printf.printf "duplicate: %s\n" e));
+            loop ())
+        | s when String.length s > 14 && String.sub s 0 14 = ".unconstraint " ->
+            let name = String.trim (String.sub s 14 (String.length s - 14)) in
+            if Datalog.Theory.remove_constraint (Manager.theory !m) name then
+              print_endline "removed."
+            else print_endline "no such constraint.";
+            loop ()
+        | s when String.length s > 8 && String.sub s 0 8 = ".choose " ->
+            (match int_of_string_opt (String.trim (String.sub s 8 (String.length s - 8))) with
+            | Some n -> choose n
+            | None -> print_endline "usage: .choose N");
+            loop ()
+        | _ ->
+            feed line;
+            loop ())
+  in
+  loop ();
+  0
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive schema evolution sessions")
+    Term.(const (fun () -> Stdlib.exit (repl ())) $ const ())
+
+let paper_cmd =
+  let run () =
+    let m = Manager.create () in
+    Manager.begin_session m;
+    Manager.load_definitions m Analyzer.Sources.car_schema;
+    (match Manager.end_session m with
+    | Manager.Consistent -> print_endline "CarSchema loaded."
+    | Manager.Inconsistent rs -> print_reports rs);
+    (match Manager.run_script m Analyzer.Sources.new_car_schema_commands with
+    | Manager.Consistent -> print_endline "section 4.2 evolution applied."
+    | Manager.Inconsistent rs -> print_reports rs);
+    let db = Manager.database m in
+    List.iter
+      (fun (sid, name) ->
+        if name <> Gom.Builtin.builtin_schema_name then
+          Printf.printf "schema %s: %s\n" name
+            (String.concat ", "
+               (List.map snd (Gom.Schema_base.types_of_schema db ~sid))))
+      (Gom.Schema_base.schemas db);
+    0
+  in
+  Cmd.v
+    (Cmd.info "paper" ~doc:"Replay the paper's running example")
+    Term.(const (fun () -> Stdlib.exit (run ())) $ const ())
+
+let () =
+  let doc = "flexible schema management in object bases (ICDE 1993)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "gomsm" ~version:"1.0.0" ~doc)
+          [ check_cmd; script_cmd; dump_cmd; repl_cmd; paper_cmd ]))

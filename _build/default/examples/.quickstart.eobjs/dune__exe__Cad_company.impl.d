@@ -1,0 +1,1 @@
+examples/cad_company.ml: Analyzer Core Gom List Manager Option Printf Runtime String

@@ -1,0 +1,1 @@
+examples/car_evolution.ml: Analyzer Core Gom List Manager Option Printf Runtime

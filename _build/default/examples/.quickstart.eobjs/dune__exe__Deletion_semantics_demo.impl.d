@@ -1,0 +1,1 @@
+examples/deletion_semantics_demo.ml: Analyzer Core Datalog Evolution Fmt Gom List Manager Option Printf Runtime String

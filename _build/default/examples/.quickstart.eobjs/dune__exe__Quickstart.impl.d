@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analyzer Core Datalog Fmt Gom List Manager Option Printf Runtime

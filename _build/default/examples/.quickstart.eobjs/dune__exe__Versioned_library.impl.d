@@ -1,0 +1,1 @@
+examples/versioned_library.ml: Core Evolution Filename Gom List Manager Option Persist Printf Runtime String Sys

@@ -1,0 +1,133 @@
+(* The appendix-A company: a hierarchy of schemas structuring thousands of
+   engineering types, name spaces with two different Cuboid types, renaming,
+   information hiding via public clauses, and explicit imports.
+
+   Run with:  dune exec examples/cad_company.exe *)
+
+open Core
+module Value = Runtime.Value
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  section "Load the company schema hierarchy (Figure 3)";
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.company_schemas;
+  (match Manager.end_session m with
+  | Manager.Consistent -> print_endline "hierarchy loaded and consistent."
+  | Manager.Inconsistent reports ->
+      List.iter (fun r -> Printf.printf "violation: %s\n" r.Manager.description)
+        reports;
+      failwith "unexpected");
+  let db = Manager.database m in
+
+  section "The schema tree";
+  let rec show indent sid =
+    let name =
+      Option.value ~default:sid (Gom.Schema_base.schema_name db ~sid)
+    in
+    let types = Gom.Schema_base.types_of_schema db ~sid in
+    Printf.printf "%s%s%s\n" indent name
+      (if types = [] then ""
+       else
+         Printf.sprintf "  [%s]"
+           (String.concat ", " (List.map snd types)));
+    List.iter (show (indent ^ "  "))
+      (List.sort compare (Gom.Schema_base.child_schemas db ~sid))
+  in
+  let roots =
+    Gom.Schema_base.schemas db
+    |> List.filter (fun (sid, name) ->
+           name <> Gom.Builtin.builtin_schema_name
+           && Gom.Schema_base.parent_schema db ~sid = None)
+  in
+  List.iter (fun (sid, _) -> show "" sid) roots;
+
+  section "Two Cuboid types coexist in different name spaces";
+  let csg = Option.get (Gom.Schema_base.find_schema db ~name:"CSG") in
+  let brep = Option.get (Gom.Schema_base.find_schema db ~name:"BoundaryRep") in
+  let csg_cuboid = Option.get (Gom.Schema_base.find_type db ~sid:csg ~name:"Cuboid") in
+  let brep_cuboid = Option.get (Gom.Schema_base.find_type db ~sid:brep ~name:"Cuboid") in
+  Printf.printf "Cuboid@CSG = %s with attributes %s\n" csg_cuboid
+    (String.concat ", "
+       (List.map fst (Gom.Schema_base.direct_attrs db ~tid:csg_cuboid)));
+  Printf.printf "Cuboid@BoundaryRep = %s with attributes %s\n" brep_cuboid
+    (String.concat ", "
+       (List.map fst (Gom.Schema_base.direct_attrs db ~tid:brep_cuboid)));
+
+  section "Information hiding: Surface/Edge/Vertex are implementation-only";
+  List.iter
+    (fun (kind, name) -> Printf.printf "public in BoundaryRep: %s %s\n" kind name)
+    (Gom.Schema_base.public_comps db ~sid:brep);
+
+  section "The CSG2BoundRep tool imports both Cuboids under new names";
+  let conv = Option.get (Gom.Schema_base.find_schema db ~name:"CSG2BoundRep") in
+  List.iter
+    (fun (kind, new_name, src, old) ->
+      Printf.printf "in CSG2BoundRep: %s %s renames %s of %s\n" kind new_name
+        old
+        (Option.value ~default:src (Gom.Schema_base.schema_name db ~sid:src)))
+    (Gom.Schema_base.renames_in db ~sid:conv);
+
+  section "Run the converter on a CSG cuboid";
+  let rt = Manager.runtime m in
+  let converter_tid =
+    Option.get (Gom.Schema_base.find_type db ~sid:conv ~name:"Converter")
+  in
+  let converter = Runtime.new_object rt ~tid:converter_tid in
+  let c = Runtime.new_object rt ~tid:csg_cuboid in
+  Runtime.set rt c ~attr:"width" ~value:(Value.Float 2.0);
+  Runtime.set rt c ~attr:"height" ~value:(Value.Float 3.0);
+  Runtime.set rt c ~attr:"depth" ~value:(Value.Float 4.0);
+  let converted = Runtime.send rt converter ~op:"convert" ~args:[ c ] in
+  Printf.printf "converted cuboid volume = %s\n"
+    (Value.to_string (Runtime.get rt converted ~attr:"volume"));
+
+  section "A name conflict, detected and then resolved by renaming";
+  Manager.begin_session m;
+  Manager.load_definitions m
+    {|
+schema CSG2 is
+  public Cuboid;
+interface
+  type Cuboid is [ w : float; ] end type Cuboid;
+end schema CSG2;
+schema BoundaryRep2 is
+  public Cuboid;
+interface
+  type Cuboid is [ v : float; ] end type Cuboid;
+end schema BoundaryRep2;
+schema Tooling is
+  subschema CSG2;
+  subschema BoundaryRep2;
+  type Workbench is [ main : Cuboid; ] end type Workbench;
+end schema Tooling;
+|};
+  List.iter
+    (fun d -> Printf.printf "analyzer: %s\n" d)
+    (Manager.session_diagnostics m);
+  Manager.rollback m;
+  Manager.begin_session m;
+  Manager.load_definitions m
+    {|
+schema CSG2 is
+  public Cuboid;
+interface
+  type Cuboid is [ w : float; ] end type Cuboid;
+end schema CSG2;
+schema BoundaryRep2 is
+  public Cuboid;
+interface
+  type Cuboid is [ v : float; ] end type Cuboid;
+end schema BoundaryRep2;
+schema Tooling is
+  subschema CSG2 with type Cuboid as CSGCuboid; end subschema CSG2;
+  subschema BoundaryRep2 with type Cuboid as BRepCuboid; end subschema BoundaryRep2;
+  type Workbench is [ main : CSGCuboid; spare : BRepCuboid; ] end type Workbench;
+end schema Tooling;
+|};
+  (match Manager.end_session m with
+  | Manager.Consistent -> print_endline "renamed version accepted."
+  | Manager.Inconsistent _ -> print_endline "unexpected inconsistency");
+  print_endline "\nDone."

@@ -1,0 +1,77 @@
+(* The five semantics of type deletion (Bocionek [5] via the paper's
+   introduction): the same "delete type Person" request, five different
+   meanings — all built from the same primitives, none requiring any change
+   to the Consistency Control.
+
+   Run with:  dune exec examples/deletion_semantics_demo.exe *)
+
+open Core
+module Value = Runtime.Value
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+(* a fresh manager with the CarSchema and one Person instance *)
+let setup () =
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> failwith "unexpected");
+  let rt = Manager.runtime m in
+  let db = Manager.database m in
+  let tid name =
+    Option.get
+      (Gom.Schema_base.find_type_at db ~type_name:name ~schema_name:"CarSchema")
+  in
+  let person = Runtime.new_object rt ~tid:(tid "Person") in
+  Runtime.set rt person ~attr:"age" ~value:(Value.Int 30);
+  m, tid "Person"
+
+let () =
+  List.iter
+    (fun semantics ->
+      section
+        (Printf.sprintf "delete type Person with '%s' semantics"
+           (Evolution.Deletion.name semantics));
+      let m, person = setup () in
+      Manager.begin_session m;
+      match Evolution.Deletion.delete_type m ~tid:person semantics with
+      | Error msg ->
+          Printf.printf "refused: %s\n" msg;
+          Manager.rollback m
+      | Ok () -> (
+          match Manager.end_session m with
+          | Manager.Consistent ->
+              Printf.printf "deleted; schema remains consistent.\n";
+              let db = Manager.database m in
+              Printf.printf "  schemas now: %s\n"
+                (String.concat ", "
+                   (List.map snd (Gom.Schema_base.schemas db)))
+          | Manager.Inconsistent reports ->
+              Printf.printf
+                "deleted, but the Consistency Control reports %d dangling \
+                 reference(s):\n"
+                (List.length reports);
+              List.iteri
+                (fun i r ->
+                  if i < 4 then Printf.printf "  %s\n" r.Manager.description)
+                reports;
+              (* show the generated repairs for the first violation *)
+              (match reports with
+              | r :: _ ->
+                  let repairs = Manager.repairs_for m r.Manager.violation in
+                  Printf.printf "  repairs offered for the first one:\n";
+                  List.iter
+                    (fun (rep, explanations) ->
+                      Printf.printf "    %s\n"
+                        (Fmt.str "%a" Datalog.Repair.pp rep);
+                      List.iter
+                        (fun e -> Printf.printf "      -> %s\n" e)
+                        explanations)
+                    repairs
+              | [] -> ());
+              Manager.rollback m;
+              Printf.printf "  (rolled back)\n"))
+    Evolution.Deletion.all;
+  print_endline "\nDone."

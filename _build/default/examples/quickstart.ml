@@ -1,0 +1,93 @@
+(* Quickstart: define a schema, run an evolution session, let the
+   Consistency Control catch a mistake, pick a repair, and work with objects.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Core
+module Value = Runtime.Value
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  section "1. Create a schema manager and load the paper's CarSchema";
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> print_endline "CarSchema loaded and consistent."
+  | Manager.Inconsistent _ -> failwith "unexpected");
+
+  section "2. Create objects and run interpreted operations";
+  let rt = Manager.runtime m in
+  let db = Manager.database m in
+  let tid name =
+    Option.get
+      (Gom.Schema_base.find_type_at db ~type_name:name ~schema_name:"CarSchema")
+  in
+  let car = Runtime.new_object rt ~tid:(tid "Car") in
+  let driver = Runtime.new_object rt ~tid:(tid "Person") in
+  let karlsruhe = Runtime.new_object rt ~tid:(tid "City") in
+  let vienna = Runtime.new_object rt ~tid:(tid "City") in
+  Runtime.set rt karlsruhe ~attr:"name" ~value:(Value.Str "Karlsruhe");
+  Runtime.set rt vienna ~attr:"name" ~value:(Value.Str "Vienna");
+  Runtime.set rt vienna ~attr:"longi" ~value:(Value.Float 8.0);
+  Runtime.set rt vienna ~attr:"lati" ~value:(Value.Float 6.0);
+  Runtime.set rt car ~attr:"owner" ~value:driver;
+  Runtime.set rt car ~attr:"location" ~value:karlsruhe;
+  let milage = Runtime.send rt car ~op:"changeLocation" ~args:[ driver; vienna ] in
+  Printf.printf "after changeLocation, milage = %s\n" (Value.to_string milage);
+
+  section "3. Propose a schema change that breaks schema/object consistency";
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> print_endline "consistent (unexpected)"
+  | Manager.Inconsistent reports ->
+      List.iter (fun r -> Printf.printf "detected: %s\n" r.Manager.description)
+        reports;
+
+      section "4. Ask the Consistency Control for repairs";
+      let report = List.hd reports in
+      let repairs = Manager.repairs_for m report.Manager.violation in
+      List.iteri
+        (fun i (repair, explanations) ->
+          Printf.printf "repair %d: %s\n" (i + 1)
+            (Fmt.str "%a" Datalog.Repair.pp repair);
+          List.iter (fun e -> Printf.printf "  -> %s\n" e) explanations)
+        repairs;
+
+      section "5. Choose the conversion repair and finish the session";
+      let conversion =
+        List.find
+          (fun (rep, _) ->
+            match rep with
+            | [ Datalog.Repair.Add f ] -> f.Datalog.Fact.pred = "Slot"
+            | _ -> false)
+          repairs
+      in
+      Manager.execute_repair m
+        ~fill:(fun _ -> Value.Str "leaded")
+        (fst conversion);
+      (match Manager.end_session m with
+      | Manager.Consistent -> print_endline "session ended consistently."
+      | Manager.Inconsistent _ -> print_endline "still inconsistent?"));
+
+  Printf.printf "the existing car was converted: fuelType = %s\n"
+    (Value.to_string (Runtime.get rt car ~attr:"fuelType"));
+
+  section "6. The user can change the notion of consistency itself";
+  Datalog.Theory.add_constraint (Manager.theory m) ~name:"user$NoFastCars"
+    Datalog.Formula.(
+      forall [ "T"; "A"; "D" ]
+        (atom "Attr" [ Datalog.Term.var "T"; Datalog.Term.var "A"; Datalog.Term.var "D" ]
+        ==> ne (Datalog.Term.var "A") (Datalog.Term.sym "topSpeed")));
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute topSpeed : float to Car@CarSchema;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> print_endline "accepted (unexpected)"
+  | Manager.Inconsistent reports ->
+      List.iter
+        (fun r -> Printf.printf "user-defined constraint fired: %s\n" r.Manager.description)
+        reports;
+      Manager.rollback m);
+  print_endline "\nDone."

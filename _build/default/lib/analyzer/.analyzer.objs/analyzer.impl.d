@@ -1,0 +1,1 @@
+lib/analyzer/analyzer.ml: Ast Code_analysis Datalog Gom Lexer List Parser Printf Sources Token Translate Unparse

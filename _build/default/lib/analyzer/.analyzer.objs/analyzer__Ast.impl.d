@@ -1,0 +1,1 @@
+lib/analyzer/ast.ml: Buffer Fmt Format List Option

@@ -1,0 +1,1 @@
+lib/analyzer/code_analysis.ml: Array Ast Datalog Fmt Gom List Option Preds Printf Schema_base Sorts

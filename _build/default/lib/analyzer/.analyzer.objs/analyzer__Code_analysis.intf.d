@@ -1,0 +1,1 @@
+lib/analyzer/code_analysis.mli: Ast Datalog

@@ -1,0 +1,1 @@
+lib/analyzer/lexer.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/analyzer/lexer.mli: Token

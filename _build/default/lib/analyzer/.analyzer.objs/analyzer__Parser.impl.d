@@ -1,0 +1,1 @@
+lib/analyzer/parser.ml: Array Ast Lexer List Printf Token

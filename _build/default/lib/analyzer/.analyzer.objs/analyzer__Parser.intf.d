@@ -1,0 +1,1 @@
+lib/analyzer/parser.mli: Ast

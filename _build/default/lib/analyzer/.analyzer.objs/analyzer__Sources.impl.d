@@ -1,0 +1,1 @@
+lib/analyzer/sources.ml:

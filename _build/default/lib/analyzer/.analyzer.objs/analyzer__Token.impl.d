@@ -1,0 +1,1 @@
+lib/analyzer/token.ml: Printf

@@ -1,0 +1,1 @@
+lib/analyzer/translate.ml: Array Ast Builtin Code_analysis Database Datalog Delta Fact Fmt Gom Hashtbl Ids List Option Preds Printf Schema_base Sorts String Term

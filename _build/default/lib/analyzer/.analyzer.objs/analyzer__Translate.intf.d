@@ -1,0 +1,1 @@
+lib/analyzer/translate.mli: Ast Datalog Gom

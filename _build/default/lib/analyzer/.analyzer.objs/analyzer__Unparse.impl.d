@@ -1,0 +1,1 @@
+lib/analyzer/unparse.ml: Array Ast Buffer Builtin Datalog Gom Hashtbl List Option Preds Printf Schema_base Sorts String

@@ -1,0 +1,1 @@
+lib/analyzer/unparse.mli: Ast Datalog

@@ -1,0 +1,252 @@
+(* Abstract syntax of the GOM data definition language: schema definition
+   frames (appendix A), type definition frames with attributes and operations
+   (section 3.1), method bodies, sorts, fashion clauses (section 4.1), and the
+   schema evolution command language used inside evolution sessions. *)
+
+(* A reference to a type: by local name, or by the @-notation pinning the
+   schema version ("Person@CarSchema"). *)
+type type_ref = { ref_name : string; ref_schema : string option }
+
+let local name = { ref_name = name; ref_schema = None }
+let at name schema = { ref_name = name; ref_schema = Some schema }
+
+let pp_type_ref ppf r =
+  match r.ref_schema with
+  | None -> Fmt.string ppf r.ref_name
+  | Some s -> Fmt.pf ppf "%s@%s" r.ref_name s
+
+(* --- Method-body expressions and statements --- *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Bool_lit of bool
+  | Self
+  | Var of string  (* parameter, local, enum value or schema variable *)
+  | Attr_access of expr * string  (* e.attr *)
+  | Call of expr * string * expr list  (* e.op(args) *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | New of type_ref
+
+type lvalue =
+  | Lvar of string
+  | Lattr of expr * string  (* e.attr := ... *)
+
+type stmt =
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Return of expr option
+  | Local of string * type_ref * expr option  (* var x : T [:= e] *)
+  | Assign of lvalue * expr
+  | Expr of expr
+
+(* --- Declarations --- *)
+
+type op_sig = {
+  op_name : string;
+  op_args : type_ref list;
+  op_result : type_ref;
+}
+
+type op_impl = {
+  impl_name : string;
+  impl_params : string list;
+  impl_body : stmt;
+}
+
+type type_def = {
+  td_name : string;
+  td_supertypes : type_ref list;
+  td_attrs : (string * type_ref) list;
+  td_operations : op_sig list;  (* the operations section *)
+  td_refines : op_sig list;  (* the refine section *)
+  td_implementation : op_impl list;
+}
+
+type sort_def = { sd_name : string; sd_values : string list }
+
+(* --- Schema definition frames (appendix A) --- *)
+
+type rename = { rn_kind : comp_kind; rn_old : string; rn_new : string }
+and comp_kind = Ktype | Kvar | Kop | Kschema
+
+type subschema_clause = { ss_name : string; ss_renames : rename list }
+
+(* An import path: absolute (/Company/CAD/...), parent-relative (../CSG) or
+   child-relative (Geometry/CSG). *)
+type schema_path = {
+  sp_absolute : bool;
+  sp_updots : int;  (* leading ".." count *)
+  sp_segments : string list;
+}
+
+type import_clause = { im_path : schema_path; im_renames : rename list }
+
+type component =
+  | Ctype of type_def
+  | Csort of sort_def
+  | Cvar of string * type_ref
+  | Csubschema of subschema_clause
+  | Cimport of import_clause
+
+type schema_def = {
+  sch_name : string;
+  sch_public : string list;
+  sch_interface : component list;
+  sch_implementation : component list;
+}
+
+(* --- Fashion clauses (section 4.1) --- *)
+
+type fashion_entry =
+  | Fread of string * type_ref * stmt  (* attr : -> T is ... *)
+  | Fwrite of string * type_ref * stmt  (* attr : <- T is ... (param "value") *)
+  | Fredirect of string * type_ref * expr  (* attr : T is lvalue-expr *)
+  | Fop of string * string list * stmt  (* op(params) is ... *)
+
+type fashion_def = {
+  fd_masked : type_ref;  (* instances of this type ... *)
+  fd_target : type_ref;  (* ... become substitutable for this one *)
+  fd_entries : fashion_entry list;
+}
+
+(* --- Bottom-up mapping over code (used by rewriting evolution operators
+   and by the translator to canonicalize type references) --- *)
+
+let rec map_expr f (e : expr) : expr =
+  let e =
+    match e with
+    | Int_lit _ | Float_lit _ | String_lit _ | Bool_lit _ | Self | Var _
+    | New _ ->
+        e
+    | Attr_access (obj, a) -> Attr_access (map_expr f obj, a)
+    | Call (obj, op, args) -> Call (map_expr f obj, op, List.map (map_expr f) args)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Neg a -> Neg (map_expr f a)
+    | Not a -> Not (map_expr f a)
+  in
+  f e
+
+let rec map_stmt f (s : stmt) : stmt =
+  match s with
+  | Block ss -> Block (List.map (map_stmt f) ss)
+  | If (c, a, b) -> If (map_expr f c, map_stmt f a, Option.map (map_stmt f) b)
+  | While (c, a) -> While (map_expr f c, map_stmt f a)
+  | Return e -> Return (Option.map (map_expr f) e)
+  | Local (x, ty, init) -> Local (x, ty, Option.map (map_expr f) init)
+  | Assign (Lvar x, e) -> Assign (Lvar x, map_expr f e)
+  | Assign (Lattr (obj, a), e) -> Assign (Lattr (map_expr f obj, a), map_expr f e)
+  | Expr e -> Expr (map_expr f e)
+
+(* --- Printers (used for the Code fact's text column and diagnostics) --- *)
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Eq -> "=="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | And -> "and"
+    | Or -> "or")
+
+let rec pp_expr ppf = function
+  | Int_lit i -> Fmt.int ppf i
+  | Float_lit f -> Fmt.pf ppf "%g" f
+  | String_lit s -> Fmt.pf ppf "%S" s
+  | Bool_lit b -> Fmt.bool ppf b
+  | Self -> Fmt.string ppf "self"
+  | Var x -> Fmt.string ppf x
+  | Attr_access (e, a) -> Fmt.pf ppf "%a.%s" pp_receiver e a
+  | Call (e, op, args) ->
+      Fmt.pf ppf "%a.%s(%a)" pp_receiver e op
+        Fmt.(list ~sep:(any ", ") pp_expr)
+        args
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp_expr a pp_binop op pp_expr b
+  | Neg e -> Fmt.pf ppf "-%a" pp_expr e
+  | Not e -> Fmt.pf ppf "not %a" pp_expr e
+  | New r -> Fmt.pf ppf "new %a" pp_type_ref r
+
+(* receivers of '.' bind tighter than unary operators *)
+and pp_receiver ppf e =
+  match e with
+  | Not _ | Neg _ | New _ -> Fmt.pf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+let pp_lvalue ppf = function
+  | Lvar x -> Fmt.string ppf x
+  | Lattr (e, a) -> Fmt.pf ppf "%a.%s" pp_expr e a
+
+let rec pp_stmt ppf = function
+  | Block ss -> Fmt.pf ppf "begin %a end" Fmt.(list ~sep:(any " ") pp_stmt) ss
+  | If (c, a, None) -> Fmt.pf ppf "if (%a) %a" pp_expr c pp_stmt a
+  | If (c, a, Some b) ->
+      (* brace the then-branch so a nested if cannot capture the else *)
+      let a = match a with Block _ -> a | _ -> Block [ a ] in
+      Fmt.pf ppf "if (%a) %a else %a" pp_expr c pp_stmt a pp_stmt b
+  | While (c, a) -> Fmt.pf ppf "while (%a) %a" pp_expr c pp_stmt a
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Local (x, ty, None) -> Fmt.pf ppf "var %s : %a;" x pp_type_ref ty
+  | Local (x, ty, Some e) ->
+      Fmt.pf ppf "var %s : %a := %a;" x pp_type_ref ty pp_expr e
+  | Assign (lv, e) -> Fmt.pf ppf "%a := %a;" pp_lvalue lv pp_expr e
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+
+(* Single-line rendering (no margin breaks): the result is embedded in
+   line-oriented formats (Code fact text, persistence records). *)
+let stmt_to_string s =
+  let buf = Buffer.create 128 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1_000_000_000;
+  pp_stmt ppf s;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* --- Top-level compilation units --- *)
+
+type unit_item =
+  | Uschema of schema_def
+  | Ufashion of fashion_def
+
+(* --- Schema evolution commands (session language) --- *)
+
+type command =
+  | Begin_session
+  | End_session
+  | Add_schema of string
+  | Add_type of string * string * type_ref list  (* name, schema, supertypes *)
+  | Add_sort of string * string * string list  (* name, schema, enum values *)
+  | Add_attribute of type_ref * string * type_ref
+  | Delete_attribute of type_ref * string
+  | Add_operation of type_ref * op_sig
+  | Delete_operation of type_ref * string
+  | Refine_operation of type_ref * op_sig * type_ref
+    (* receiver, signature, type whose declaration is refined *)
+  | Set_code of type_ref * string * string list * stmt
+    (* receiver, op name, params, body *)
+  | Add_supertype of type_ref * type_ref
+  | Delete_supertype of type_ref * type_ref
+  | Rename_type of type_ref * string
+  | Delete_type of type_ref
+  | Delete_schema of string
+  | Copy_type of type_ref * string  (* reuse a type's definition in a schema *)
+  | Evolve_schema of string * string
+  | Evolve_type of type_ref * type_ref
+  | Fashion_cmd of fashion_def
+  | Load of unit_item list  (* whole definition frames inside a session *)

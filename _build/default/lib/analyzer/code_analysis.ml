@@ -1,0 +1,181 @@
+(* Static analysis of method bodies: a best-effort type inference that
+   extracts the dependencies the Consistency Control needs to know about —
+   the attributes accessed (CodeReqAttr, recorded against the attribute's
+   declaring type, as in the paper's Figure) and the operations called
+   (CodeReqDecl).  Anything that cannot be resolved becomes a diagnostic;
+   the Consistency Control still judges the recorded facts declaratively. *)
+
+open Gom
+
+type ctx = {
+  db : Datalog.Database.t;  (* working schema base, including pending facts *)
+  self_tid : string;
+  params : (string * string) list;  (* parameter name -> type id *)
+  resolve : Ast.type_ref -> string option;
+      (* name resolution in the defining schema's scope (visibility,
+         renamed imports); supplied by the translator *)
+}
+
+type result = {
+  attrs_used : (string * string) list;  (* declaring type id, attr name *)
+  decls_used : string list;  (* decl ids *)
+  diags : string list;
+}
+
+type state = {
+  mutable attrs : (string * string) list;
+  mutable decls : string list;
+  mutable msgs : string list;
+  mutable locals : (string * string) list;
+}
+
+let add_attr st pair = if not (List.mem pair st.attrs) then st.attrs <- pair :: st.attrs
+let add_decl st did = if not (List.mem did st.decls) then st.decls <- did :: st.decls
+let diag st msg = if not (List.mem msg st.msgs) then st.msgs <- msg :: st.msgs
+
+(* The type that directly declares attribute [name], searching from [tid]
+   upwards (the paper records accesses against the declaring type). *)
+let declaring_type ctx ~tid ~name =
+  List.find_map
+    (fun t ->
+      List.find_map
+        (fun (a, dom) -> if a = name then Some (t, dom) else None)
+        (Schema_base.direct_attrs ctx.db ~tid:t))
+    (tid :: Schema_base.supertypes ctx.db ~tid)
+
+let tid_of_ref ctx (r : Ast.type_ref) : string option = ctx.resolve r
+
+let type_name ctx tid =
+  match Schema_base.type_name ctx.db ~tid with Some n -> n | None -> tid
+
+(* Infer the type of an expression, recording dependencies on the way.
+   [None] means unknown (a diagnostic has been recorded). *)
+let rec infer ctx st (e : Ast.expr) : string option =
+  match e with
+  | Ast.Int_lit _ -> Some "tid_int"
+  | Ast.Float_lit _ -> Some "tid_float"
+  | Ast.String_lit _ -> Some "tid_string"
+  | Ast.Bool_lit _ -> Some "tid_bool"
+  | Ast.Self -> Some ctx.self_tid
+  | Ast.Var x -> (
+      match List.assoc_opt x st.locals with
+      | Some t -> Some t
+      | None -> (
+          match List.assoc_opt x ctx.params with
+          | Some t -> Some t
+          | None -> (
+              match Sorts.sort_of_value ctx.db ~value:x with
+              | Some tid -> Some tid
+              | None -> (
+                  (* schema variable of self's schema *)
+                  match Schema_base.schema_of_type ctx.db ~tid:ctx.self_tid with
+                  | Some sid -> (
+                      match
+                        List.assoc_opt x
+                          (Schema_base.collect ctx.db Preds.schemavar (fun t ->
+                               if
+                                 Datalog.Term.equal_const t.(0)
+                                   (Datalog.Term.Sym sid)
+                               then
+                                 Some
+                                   ( Schema_base.sym_of t.(1),
+                                     Schema_base.sym_of t.(2) )
+                               else None))
+                      with
+                      | Some tid -> Some tid
+                      | None ->
+                          diag st (Printf.sprintf "unknown variable %s" x);
+                          None)
+                  | None ->
+                      diag st (Printf.sprintf "unknown variable %s" x);
+                      None))))
+  | Ast.New r -> (
+      match tid_of_ref ctx r with
+      | Some tid -> Some tid
+      | None ->
+          diag st
+            (Printf.sprintf "unknown type %s in new"
+               (Fmt.str "%a" Ast.pp_type_ref r));
+          None)
+  | Ast.Attr_access (obj, name) -> (
+      match infer ctx st obj with
+      | None -> None
+      | Some tid -> (
+          match declaring_type ctx ~tid ~name with
+          | Some (decl_tid, dom) ->
+              add_attr st (decl_tid, name);
+              Some dom
+          | None ->
+              (* record against the static type: the ri$CodeReqAttr_Attr
+                 constraint will flag it if the attribute never appears *)
+              add_attr st (tid, name);
+              diag st
+                (Printf.sprintf
+                   "type %s has no attribute %s (recorded for the consistency \
+                    check)"
+                   (type_name ctx tid) name);
+              None))
+  | Ast.Call (obj, name, args) -> (
+      List.iter (fun a -> ignore (infer ctx st a)) args;
+      match infer ctx st obj with
+      | None -> None
+      | Some tid -> (
+          match Schema_base.resolve_decl ctx.db ~tid ~name with
+          | Some d ->
+              add_decl st d.Schema_base.did;
+              Some d.Schema_base.result
+          | None ->
+              diag st
+                (Printf.sprintf "type %s has no operation %s" (type_name ctx tid)
+                   name);
+              None))
+  | Ast.Binop (op, a, b) -> (
+      let ta = infer ctx st a and tb = infer ctx st b in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> (
+          match ta, tb with
+          | Some "tid_float", _ | _, Some "tid_float" -> Some "tid_float"
+          | Some t, _ -> Some t
+          | None, t -> t)
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or
+        ->
+          Some "tid_bool")
+  | Ast.Neg a -> infer ctx st a
+  | Ast.Not _ -> Some "tid_bool"
+
+let rec walk_stmt ctx st (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Block ss -> List.iter (walk_stmt ctx st) ss
+  | Ast.If (c, a, b) ->
+      ignore (infer ctx st c);
+      walk_stmt ctx st a;
+      Option.iter (walk_stmt ctx st) b
+  | Ast.While (c, a) ->
+      ignore (infer ctx st c);
+      walk_stmt ctx st a
+  | Ast.Return e -> Option.iter (fun e -> ignore (infer ctx st e)) e
+  | Ast.Local (x, ty, init) ->
+      Option.iter (fun e -> ignore (infer ctx st e)) init;
+      (match tid_of_ref ctx ty with
+      | Some tid -> st.locals <- (x, tid) :: st.locals
+      | None ->
+          diag st
+            (Printf.sprintf "unknown type %s of local %s"
+               (Fmt.str "%a" Ast.pp_type_ref ty)
+               x))
+  | Ast.Assign (lv, e) -> (
+      ignore (infer ctx st e);
+      match lv with
+      | Ast.Lvar _ -> ()
+      | Ast.Lattr (obj, name) ->
+          ignore (infer ctx st (Ast.Attr_access (obj, name))))
+  | Ast.Expr e -> ignore (infer ctx st e)
+
+let analyze (ctx : ctx) (body : Ast.stmt) : result =
+  let st = { attrs = []; decls = []; msgs = []; locals = [] } in
+  walk_stmt ctx st body;
+  {
+    attrs_used = List.rev st.attrs;
+    decls_used = List.rev st.decls;
+    diags = List.rev st.msgs;
+  }

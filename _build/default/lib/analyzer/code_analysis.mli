@@ -1,0 +1,26 @@
+(** Static analysis of method bodies: best-effort type inference extracting
+    the dependencies the Consistency Control models — attributes accessed
+    (recorded against the declaring type, as in the paper's tables) and
+    operations called.  Unresolvable accesses become diagnostics; the
+    recorded facts are judged declaratively by the constraints. *)
+
+type ctx = {
+  db : Datalog.Database.t;  (** working schema base, including pending facts *)
+  self_tid : string;
+  params : (string * string) list;  (** parameter name -> type id *)
+  resolve : Ast.type_ref -> string option;
+      (** name resolution in the defining schema's scope *)
+}
+
+type result = {
+  attrs_used : (string * string) list;  (** declaring type id, attribute name *)
+  decls_used : string list;  (** declaration ids of called operations *)
+  diags : string list;
+}
+
+val declaring_type :
+  ctx -> tid:string -> name:string -> (string * string) option
+(** The type that directly declares an attribute, searching upwards;
+    (declaring tid, domain). *)
+
+val analyze : ctx -> Ast.stmt -> result

@@ -1,0 +1,8 @@
+(** Hand-written lexer for the GOM definition and evolution languages.
+    Comments: "!! ..." to end of line and "/* ... */". *)
+
+exception Error of string * int * int
+(** (message, line, column). *)
+
+val tokenize : string -> Token.located list
+(** The token stream, terminated by EOF.  @raise Error on lexical errors. *)

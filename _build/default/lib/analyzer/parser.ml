@@ -1,0 +1,818 @@
+(* Recursive-descent parser for the GOM definition language (schema and type
+   definition frames, fashion clauses) and the schema evolution command
+   language.  The concrete syntax follows the paper's examples; see the
+   README for the full grammar. *)
+
+exception Error of string * int * int  (* message, line, column *)
+
+type state = { toks : Token.located array; mutable pos : int }
+
+let make toks = { toks = Array.of_list toks; pos = 0 }
+
+let cur st = st.toks.(st.pos)
+let tok st = (cur st).Token.tok
+
+let fail st msg =
+  let t = cur st in
+  raise (Error (Printf.sprintf "%s, found %s" msg (Token.describe t.Token.tok),
+                t.Token.line, t.Token.col))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let eat st t =
+  if tok st = t then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.describe t))
+
+let eat_kw st k = eat st (Token.KW k)
+
+let accept st t =
+  if tok st = t then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st k = accept st (Token.KW k)
+
+let ident st =
+  match tok st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | Token.KW ("value" as s) ->
+      (* "value" is a keyword only inside fashion write accessors; allow it
+         as an ordinary identifier elsewhere. *)
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+(* A type reference: Name or Name@Schema. *)
+let type_ref st =
+  let name = ident st in
+  if accept st Token.AT then
+    let schema = ident st in
+    Ast.at name schema
+  else Ast.local name
+
+let ident_list st =
+  let rec go acc =
+    let x = ident st in
+    if accept st Token.COMMA then go (x :: acc) else List.rev (x :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr st = expr_or st
+
+and expr_or st =
+  let lhs = expr_and st in
+  if accept_kw st "or" then Ast.Binop (Ast.Or, lhs, expr_or st) else lhs
+
+and expr_and st =
+  let lhs = expr_cmp st in
+  if accept_kw st "and" then Ast.Binop (Ast.And, lhs, expr_and st) else lhs
+
+and expr_cmp st =
+  let lhs = expr_add st in
+  let op =
+    match tok st with
+    | Token.EQEQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, expr_add st)
+
+and expr_add st =
+  let rec go lhs =
+    match tok st with
+    | Token.PLUS ->
+        advance st;
+        go (Ast.Binop (Ast.Add, lhs, expr_mul st))
+    | Token.MINUS ->
+        advance st;
+        go (Ast.Binop (Ast.Sub, lhs, expr_mul st))
+    | _ -> lhs
+  in
+  go (expr_mul st)
+
+and expr_mul st =
+  let rec go lhs =
+    match tok st with
+    | Token.STAR ->
+        advance st;
+        go (Ast.Binop (Ast.Mul, lhs, expr_unary st))
+    | Token.SLASH ->
+        advance st;
+        go (Ast.Binop (Ast.Div, lhs, expr_unary st))
+    | _ -> lhs
+  in
+  go (expr_unary st)
+
+and expr_unary st =
+  match tok st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Neg (expr_unary st)
+  | Token.KW "not" ->
+      advance st;
+      Ast.Not (expr_unary st)
+  | _ -> expr_postfix st
+
+and expr_postfix st =
+  let rec go e =
+    if accept st Token.DOT then begin
+      let name = ident st in
+      if accept st Token.LPAREN then begin
+        let args = call_args st in
+        go (Ast.Call (e, name, args))
+      end
+      else go (Ast.Attr_access (e, name))
+    end
+    else e
+  in
+  go (expr_primary st)
+
+and call_args st =
+  if accept st Token.RPAREN then []
+  else
+    let rec go acc =
+      let e = expr st in
+      if accept st Token.COMMA then go (e :: acc)
+      else begin
+        eat st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+and expr_primary st =
+  match tok st with
+  | Token.INT i ->
+      advance st;
+      Ast.Int_lit i
+  | Token.FLOAT f ->
+      advance st;
+      Ast.Float_lit f
+  | Token.STRING s ->
+      advance st;
+      Ast.String_lit s
+  | Token.KW "true" ->
+      advance st;
+      Ast.Bool_lit true
+  | Token.KW "false" ->
+      advance st;
+      Ast.Bool_lit false
+  | Token.KW "self" ->
+      advance st;
+      Ast.Self
+  | Token.KW "value" ->
+      advance st;
+      Ast.Var "value"
+  | Token.KW "new" ->
+      advance st;
+      Ast.New (type_ref st)
+  | Token.LPAREN ->
+      advance st;
+      let e = expr st in
+      eat st Token.RPAREN;
+      e
+  | Token.IDENT x ->
+      advance st;
+      Ast.Var x
+  | _ -> fail st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt st =
+  match tok st with
+  | Token.KW "begin" ->
+      advance st;
+      let rec go acc =
+        if tok st = Token.KW "end" then begin
+          advance st;
+          Ast.Block (List.rev acc)
+        end
+        else go (stmt st :: acc)
+      in
+      go []
+  | Token.KW "if" ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = expr st in
+      eat st Token.RPAREN;
+      let then_ = stmt st in
+      if accept_kw st "else" then Ast.If (c, then_, Some (stmt st))
+      else Ast.If (c, then_, None)
+  | Token.KW "while" ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = expr st in
+      eat st Token.RPAREN;
+      Ast.While (c, stmt st)
+  | Token.KW "return" ->
+      advance st;
+      if accept st Token.SEMI then Ast.Return None
+      else begin
+        let e = expr st in
+        eat st Token.SEMI;
+        Ast.Return (Some e)
+      end
+  | Token.KW "var" ->
+      advance st;
+      let name = ident st in
+      eat st Token.COLON;
+      let ty = type_ref st in
+      let init = if accept st Token.ASSIGN then Some (expr st) else None in
+      eat st Token.SEMI;
+      Ast.Local (name, ty, init)
+  | _ ->
+      let e = expr st in
+      if accept st Token.ASSIGN then begin
+        let rhs = expr st in
+        eat st Token.SEMI;
+        match e with
+        | Ast.Var x -> Ast.Assign (Ast.Lvar x, rhs)
+        | Ast.Attr_access (obj, a) -> Ast.Assign (Ast.Lattr (obj, a), rhs)
+        | _ -> fail st "left-hand side of := must be a variable or attribute"
+      end
+      else begin
+        eat st Token.SEMI;
+        Ast.Expr e
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Type definition frames                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [declare] name : (T1, T2) -> T ;   — the "(...)" may be omitted for a
+   single argument, and "name : -> T" declares a nullary operation. *)
+let op_sig st =
+  ignore (accept_kw st "declare");
+  let name = ident st in
+  eat st Token.COLON;
+  let args =
+    if tok st = Token.ARROW then []
+    else if accept st Token.LPAREN then begin
+      if accept st Token.RPAREN then []
+      else
+        let rec go acc =
+          let t = type_ref st in
+          if accept st Token.COMMA then go (t :: acc)
+          else begin
+            eat st Token.RPAREN;
+            List.rev (t :: acc)
+          end
+        in
+        go []
+    end
+    else
+      let rec go acc =
+        let t = type_ref st in
+        if accept st Token.COMMA then go (t :: acc) else List.rev (t :: acc)
+      in
+      go []
+  in
+  eat st Token.ARROW;
+  let result = type_ref st in
+  ignore (accept st Token.SEMI);
+  { Ast.op_name = name; op_args = args; op_result = result }
+
+(* [define] name [(params)] is <stmt> [name-echo] [;] *)
+let op_impl st =
+  ignore (accept_kw st "define");
+  let name = ident st in
+  let params =
+    if accept st Token.LPAREN then begin
+      if accept st Token.RPAREN then []
+      else
+        let rec go acc =
+          let p = ident st in
+          if accept st Token.COMMA then go (p :: acc)
+          else begin
+            eat st Token.RPAREN;
+            List.rev (p :: acc)
+          end
+        in
+        go []
+    end
+    else []
+  in
+  eat_kw st "is";
+  let body = stmt st in
+  (* accept the paper's trailing "end <name>;" echo and variants *)
+  ignore (accept_kw st "define");
+  (match tok st with
+  | Token.IDENT n when n = name -> advance st
+  | _ -> ());
+  ignore (accept st Token.SEMI);
+  { Ast.impl_name = name; impl_params = params; impl_body = body }
+
+let attr_block st =
+  eat st Token.LBRACKET;
+  let rec go acc =
+    if accept st Token.RBRACKET then List.rev acc
+    else begin
+      let name = ident st in
+      eat st Token.COLON;
+      let ty = type_ref st in
+      ignore (accept st Token.SEMI);
+      go ((name, ty) :: acc)
+    end
+  in
+  go []
+
+let type_def st =
+  eat_kw st "type";
+  let name = ident st in
+  let supers =
+    if accept_kw st "supertype" then
+      let rec go acc =
+        let t = type_ref st in
+        if accept st Token.COMMA then go (t :: acc) else List.rev (t :: acc)
+      in
+      go []
+    else []
+  in
+  eat_kw st "is";
+  let attrs = if tok st = Token.LBRACKET then attr_block st else [] in
+  let operations =
+    if accept_kw st "operations" then
+      let rec go acc =
+        match tok st with
+        | Token.IDENT _ | Token.KW "declare" -> go (op_sig st :: acc)
+        | _ -> List.rev acc
+      in
+      go []
+    else []
+  in
+  let refines =
+    if accept_kw st "refine" then
+      let rec go acc =
+        match tok st with
+        | Token.IDENT _ | Token.KW "declare" -> go (op_sig st :: acc)
+        | _ -> List.rev acc
+      in
+      go []
+    else []
+  in
+  let impls =
+    if accept_kw st "implementation" then
+      let rec go acc =
+        match tok st with
+        | Token.IDENT _ | Token.KW "define" -> go (op_impl st :: acc)
+        | _ -> List.rev acc
+      in
+      go []
+    else []
+  in
+  eat_kw st "end";
+  eat_kw st "type";
+  let _ = ident st in
+  eat st Token.SEMI;
+  {
+    Ast.td_name = name;
+    td_supertypes = supers;
+    td_attrs = attrs;
+    td_operations = operations;
+    td_refines = refines;
+    td_implementation = impls;
+  }
+
+let sort_def st =
+  eat_kw st "sort";
+  let name = ident st in
+  eat_kw st "is";
+  eat_kw st "enum";
+  eat st Token.LPAREN;
+  let values = ident_list st in
+  eat st Token.RPAREN;
+  eat st Token.SEMI;
+  { Ast.sd_name = name; sd_values = values }
+
+(* ------------------------------------------------------------------ *)
+(* Schema definition frames (appendix A)                                *)
+(* ------------------------------------------------------------------ *)
+
+let rename_kind st =
+  if accept_kw st "type" then Ast.Ktype
+  else if accept_kw st "var" then Ast.Kvar
+  else if accept_kw st "operation" then Ast.Kop
+  else if accept_kw st "schema" then Ast.Kschema
+  else fail st "expected component kind (type, var, operation, schema)"
+
+let renames st =
+  (* with <kind> <old> as <new>; ... end (subschema <name> | import | schema <name>) *)
+  let rec go acc =
+    if accept_kw st "end" then begin
+      (if accept_kw st "subschema" || accept_kw st "import" || accept_kw st "schema"
+       then
+         match tok st with
+         | Token.IDENT _ -> ignore (ident st)
+         | _ -> ());
+      List.rev acc
+    end
+    else begin
+      let kind = rename_kind st in
+      let old_name = ident st in
+      eat_kw st "as";
+      let new_name = ident st in
+      ignore (accept st Token.SEMI);
+      go ({ Ast.rn_kind = kind; rn_old = old_name; rn_new = new_name } :: acc)
+    end
+  in
+  go []
+
+let subschema_clause st =
+  eat_kw st "subschema";
+  let name = ident st in
+  let rns = if accept_kw st "with" then renames st else [] in
+  ignore (accept st Token.SEMI);
+  { Ast.ss_name = name; ss_renames = rns }
+
+let schema_path st =
+  if accept st Token.SLASH then begin
+    let rec go acc =
+      let seg = ident st in
+      if accept st Token.SLASH then go (seg :: acc) else List.rev (seg :: acc)
+    in
+    { Ast.sp_absolute = true; sp_updots = 0; sp_segments = go [] }
+  end
+  else if tok st = Token.DOTDOT then begin
+    let rec updots n =
+      if accept st Token.DOTDOT then
+        if accept st Token.SLASH then
+          if tok st = Token.DOTDOT then updots (n + 1) else n + 1, true
+        else n + 1, false
+      else n, true
+    in
+    let n, more = updots 0 in
+    let segs =
+      if more && (match tok st with Token.IDENT _ -> true | _ -> false) then
+        let rec go acc =
+          let seg = ident st in
+          if accept st Token.SLASH then go (seg :: acc) else List.rev (seg :: acc)
+        in
+        go []
+      else []
+    in
+    { Ast.sp_absolute = false; sp_updots = n; sp_segments = segs }
+  end
+  else
+    let rec go acc =
+      let seg = ident st in
+      if accept st Token.SLASH then go (seg :: acc) else List.rev (seg :: acc)
+    in
+    { Ast.sp_absolute = false; sp_updots = 0; sp_segments = go [] }
+
+let import_clause st =
+  eat_kw st "import";
+  let path = schema_path st in
+  let rns = if accept_kw st "with" then renames st else [] in
+  ignore (accept st Token.SEMI);
+  { Ast.im_path = path; im_renames = rns }
+
+let component st : Ast.component option =
+  match tok st with
+  | Token.KW "type" -> Some (Ast.Ctype (type_def st))
+  | Token.KW "sort" -> Some (Ast.Csort (sort_def st))
+  | Token.KW "var" ->
+      advance st;
+      let name = ident st in
+      eat st Token.COLON;
+      let ty = type_ref st in
+      eat st Token.SEMI;
+      Some (Ast.Cvar (name, ty))
+  | Token.KW "subschema" -> Some (Ast.Csubschema (subschema_clause st))
+  | Token.KW "import" -> Some (Ast.Cimport (import_clause st))
+  | _ -> None
+
+let components st =
+  let rec go acc =
+    match component st with None -> List.rev acc | Some c -> go (c :: acc)
+  in
+  go []
+
+let schema_def st =
+  eat_kw st "schema";
+  let name = ident st in
+  eat_kw st "is";
+  let public = if accept_kw st "public" then ident_list st else [] in
+  if public <> [] then ignore (accept st Token.SEMI);
+  let interface, implementation =
+    if accept_kw st "interface" then begin
+      let iface = components st in
+      let impl = if accept_kw st "implementation" then components st else [] in
+      iface, impl
+    end
+    else if accept_kw st "implementation" then [], components st
+    else components st, []
+  in
+  eat_kw st "end";
+  eat_kw st "schema";
+  let _ = ident st in
+  eat st Token.SEMI;
+  {
+    Ast.sch_name = name;
+    sch_public = public;
+    sch_interface = interface;
+    sch_implementation = implementation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fashion clauses                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fashion_entry st : Ast.fashion_entry =
+  let name = ident st in
+  if accept st Token.COLON then begin
+    if accept st Token.ARROW then begin
+      (* read accessor: name : -> T is <stmt> *)
+      let ty = type_ref st in
+      eat_kw st "is";
+      let body = stmt st in
+      ignore (accept st Token.SEMI);
+      Ast.Fread (name, ty, body)
+    end
+    else if accept st Token.LARROW then begin
+      let ty = type_ref st in
+      eat_kw st "is";
+      let body = stmt st in
+      ignore (accept st Token.SEMI);
+      Ast.Fwrite (name, ty, body)
+    end
+    else begin
+      (* redirect: name : T is <expr> ; *)
+      let ty = type_ref st in
+      eat_kw st "is";
+      let e = expr st in
+      eat st Token.SEMI;
+      Ast.Fredirect (name, ty, e)
+    end
+  end
+  else begin
+    (* operation imitation: name [(params)] is <stmt> *)
+    let params =
+      if accept st Token.LPAREN then begin
+        if accept st Token.RPAREN then []
+        else
+          let rec go acc =
+            let p = ident st in
+            if accept st Token.COMMA then go (p :: acc)
+            else begin
+              eat st Token.RPAREN;
+              List.rev (p :: acc)
+            end
+          in
+          go []
+      end
+      else []
+    in
+    eat_kw st "is";
+    let body = stmt st in
+    ignore (accept st Token.SEMI);
+    Ast.Fop (name, params, body)
+  end
+
+let fashion_def st =
+  eat_kw st "fashion";
+  let masked = type_ref st in
+  eat_kw st "as";
+  let target = type_ref st in
+  eat_kw st "where";
+  let rec go acc =
+    if accept_kw st "end" then begin
+      eat_kw st "fashion";
+      eat st Token.SEMI;
+      List.rev acc
+    end
+    else go (fashion_entry st :: acc)
+  in
+  let entries = go [] in
+  { Ast.fd_masked = masked; fd_target = target; fd_entries = entries }
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let unit_items st =
+  let rec go acc =
+    match tok st with
+    | Token.EOF -> List.rev acc
+    | Token.KW "schema" -> go (Ast.Uschema (schema_def st) :: acc)
+    | Token.KW "fashion" -> go (Ast.Ufashion (fashion_def st) :: acc)
+    | _ -> fail st "expected a schema or fashion definition"
+  in
+  go []
+
+let parse_unit (src : string) : Ast.unit_item list =
+  let st = make (Lexer.tokenize src) in
+  unit_items st
+
+(* ------------------------------------------------------------------ *)
+(* Evolution commands                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let command st : Ast.command =
+  match tok st with
+  | Token.KW "bes" ->
+      advance st;
+      eat st Token.SEMI;
+      Ast.Begin_session
+  | Token.KW "ees" ->
+      advance st;
+      eat st Token.SEMI;
+      Ast.End_session
+  | Token.KW "schema" | Token.KW "fashion" -> (
+      (* whole definition frames are commands too *)
+      match tok st with
+      | Token.KW "schema" -> Ast.Load [ Ast.Uschema (schema_def st) ]
+      | _ -> Ast.Fashion_cmd (fashion_def st))
+  | Token.KW "add" -> (
+      advance st;
+      match tok st with
+      | Token.KW "schema" ->
+          advance st;
+          let name = ident st in
+          eat st Token.SEMI;
+          Ast.Add_schema name
+      | Token.KW "type" ->
+          advance st;
+          let name = ident st in
+          eat_kw st "to";
+          let schema = ident st in
+          let supers =
+            if accept_kw st "supertype" then
+              let rec go acc =
+                let t = type_ref st in
+                if accept st Token.COMMA then go (t :: acc)
+                else List.rev (t :: acc)
+              in
+              go []
+            else []
+          in
+          eat st Token.SEMI;
+          Ast.Add_type (name, schema, supers)
+      | Token.KW "sort" ->
+          advance st;
+          let name = ident st in
+          eat_kw st "is";
+          eat_kw st "enum";
+          eat st Token.LPAREN;
+          let values = ident_list st in
+          eat st Token.RPAREN;
+          eat_kw st "to";
+          let schema = ident st in
+          eat st Token.SEMI;
+          Ast.Add_sort (name, schema, values)
+      | Token.KW "attribute" ->
+          advance st;
+          let name = ident st in
+          eat st Token.COLON;
+          let dom = type_ref st in
+          eat_kw st "to";
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Add_attribute (ty, name, dom)
+      | Token.KW "operation" ->
+          advance st;
+          let s = op_sig st in
+          (* op_sig consumed the ';' — re-parse tail: "to <type>;" *)
+          eat_kw st "to";
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Add_operation (ty, s)
+      | Token.KW "supertype" ->
+          advance st;
+          let sup = type_ref st in
+          eat_kw st "to";
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Add_supertype (ty, sup)
+      | _ -> fail st "expected schema, type, sort, attribute, operation or supertype")
+  | Token.KW "delete" -> (
+      advance st;
+      match tok st with
+      | Token.KW "schema" ->
+          advance st;
+          let name = ident st in
+          eat st Token.SEMI;
+          Ast.Delete_schema name
+      | Token.KW "type" ->
+          advance st;
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Delete_type ty
+      | Token.KW "attribute" ->
+          advance st;
+          let name = ident st in
+          eat_kw st "from";
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Delete_attribute (ty, name)
+      | Token.KW "operation" ->
+          advance st;
+          let name = ident st in
+          eat_kw st "from";
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Delete_operation (ty, name)
+      | Token.KW "supertype" ->
+          advance st;
+          let sup = type_ref st in
+          eat_kw st "from";
+          let ty = type_ref st in
+          eat st Token.SEMI;
+          Ast.Delete_supertype (ty, sup)
+      | _ -> fail st "expected schema, type, attribute, operation or supertype")
+  | Token.KW "rename" ->
+      advance st;
+      eat_kw st "type";
+      let ty = type_ref st in
+      eat_kw st "to";
+      let name = ident st in
+      eat st Token.SEMI;
+      Ast.Rename_type (ty, name)
+  | Token.KW "refine" ->
+      advance st;
+      eat_kw st "operation";
+      let s = op_sig st in
+      eat_kw st "to";
+      let receiver = type_ref st in
+      eat_kw st "from";
+      let refined = type_ref st in
+      eat st Token.SEMI;
+      Ast.Refine_operation (receiver, s, refined)
+  | Token.KW "set" ->
+      advance st;
+      eat_kw st "code";
+      eat_kw st "of";
+      let op = ident st in
+      let params =
+        if accept st Token.LPAREN then begin
+          if accept st Token.RPAREN then []
+          else
+            let rec go acc =
+              let p = ident st in
+              if accept st Token.COMMA then go (p :: acc)
+              else begin
+                eat st Token.RPAREN;
+                List.rev (p :: acc)
+              end
+            in
+            go []
+        end
+        else []
+      in
+      eat_kw st "of";
+      let ty = type_ref st in
+      eat_kw st "is";
+      let body = stmt st in
+      ignore (accept st Token.SEMI);
+      Ast.Set_code (ty, op, params, body)
+  | Token.KW "copy" ->
+      advance st;
+      eat_kw st "type";
+      let ty = type_ref st in
+      eat_kw st "to";
+      let schema = ident st in
+      eat st Token.SEMI;
+      Ast.Copy_type (ty, schema)
+  | Token.KW "evolve" -> (
+      advance st;
+      match tok st with
+      | Token.KW "schema" ->
+          advance st;
+          let a = ident st in
+          eat_kw st "to";
+          let b = ident st in
+          eat st Token.SEMI;
+          Ast.Evolve_schema (a, b)
+      | Token.KW "type" ->
+          advance st;
+          let a = type_ref st in
+          eat_kw st "to";
+          let b = type_ref st in
+          eat st Token.SEMI;
+          Ast.Evolve_type (a, b)
+      | _ -> fail st "expected schema or type after evolve")
+  | _ -> fail st "expected an evolution command"
+
+let parse_commands (src : string) : Ast.command list =
+  let st = make (Lexer.tokenize src) in
+  let rec go acc =
+    if tok st = Token.EOF then List.rev acc else go (command st :: acc)
+  in
+  go []

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the GOM definition language (schema and
+    type definition frames, fashion clauses) and the schema evolution
+    command language. *)
+
+exception Error of string * int * int
+(** (message, line, column). *)
+
+val parse_unit : string -> Ast.unit_item list
+(** Parse definition frames.  @raise Error on syntax errors. *)
+
+val parse_commands : string -> Ast.command list
+(** Parse evolution commands (bes/ees markers included).
+    @raise Error on syntax errors. *)

@@ -1,0 +1,179 @@
+(* Bundled example sources: the paper's running example (section 3.1) and the
+   appendix-A company schema hierarchy, in the concrete GOM syntax accepted by
+   the parser.  Used by tests, examples and the reproduction benches. *)
+
+let car_schema =
+  {|
+schema CarSchema is
+
+  type Person is
+    [ name : string;
+      age  : int; ]
+  end type Person;
+
+  type Location is
+    [ longi : float;
+      lati  : float; ]
+  operations
+    declare distance : (Location) -> float;
+  implementation
+    define distance(other) is
+    begin
+      !! uses longi and lati
+      return (self.longi - other.longi) * (self.longi - other.longi)
+           + (self.lati - other.lati) * (self.lati - other.lati);
+    end distance;
+  end type Location;
+
+  type City supertype Location is
+    [ name            : string;
+      noOfInhabitants : int; ]
+  refine
+    declare distance : (Location) -> float;
+  implementation
+    define distance(other) is
+    begin
+      !! uses longi and lati as well as city name
+      if (self.name == "nowhere") return 0.0;
+      var dx : float := self.longi - other.longi;
+      var dy : float := self.lati - other.lati;
+      if (dx < 0.0) return other.distance(self);
+      return dx * dx + dy * dy;
+    end distance;
+  end type City;
+
+  type Car is
+    [ owner    : Person;
+      maxspeed : float;
+      milage   : float;
+      location : City; ]
+  operations
+    declare changeLocation : (Person, City) -> float;
+  implementation
+    define changeLocation(driver, newLocation) is
+    begin
+      if (self.owner == driver)
+      begin
+        self.milage := self.milage + self.location.distance(newLocation);
+        self.location := newLocation;
+        return self.milage;
+      end
+      else return -1.0;
+    end changeLocation;
+  end type Car;
+
+end schema CarSchema;
+|}
+
+(* Appendix A: the company schema hierarchy of Figure 3, with the public
+   clauses, the Cuboid name spaces, renaming, and the CSG2BoundRep importer. *)
+let company_schemas =
+  {|
+schema BoundaryRep is
+  public Cuboid;
+interface
+  type Cuboid is [ volume : float; ] end type Cuboid;
+implementation
+  type Surface is [ area : float; ] end type Surface;
+  type Edge is [ length : float; ] end type Edge;
+  type Vertex is [ x : float; y : float; z : float; ] end type Vertex;
+end schema BoundaryRep;
+
+schema CSG is
+  public Cuboid;
+interface
+  type Cuboid is [ width : float; height : float; depth : float; ]
+  end type Cuboid;
+implementation
+end schema CSG;
+
+schema Geometry is
+  public CSGCuboid, BRepCuboid;
+interface
+  subschema CSG with
+    type Cuboid as CSGCuboid;
+  end subschema CSG;
+  subschema BoundaryRep with
+    type Cuboid as BRepCuboid;
+  end subschema BoundaryRep;
+  subschema CSG2BoundRep;
+end schema Geometry;
+
+schema FEM is
+end schema FEM;
+
+schema Function is
+end schema Function;
+
+schema Technology is
+end schema Technology;
+
+schema CAD is
+  subschema Geometry;
+  subschema FEM;
+  subschema Function;
+  subschema Technology;
+end schema CAD;
+
+schema CAPP is
+  public Schedule;
+interface
+  type Schedule is [ steps : int; ] end type Schedule;
+end schema CAPP;
+
+schema CAM is
+end schema CAM;
+
+schema Marketing is
+end schema Marketing;
+
+schema Company is
+  subschema CAD;
+  subschema CAPP;
+  subschema CAM;
+  subschema Marketing;
+end schema Company;
+
+schema CSG2BoundRep is
+  public convert;
+interface
+  import /Company/CAD/Geometry/CSG with
+    type Cuboid as CSGCuboid;
+  end import;
+  import /Company/CAD/Geometry/BoundaryRep with
+    type Cuboid as BRepCuboid;
+  end import;
+  type Converter is
+  operations
+    declare convert : (CSGCuboid) -> BRepCuboid;
+  implementation
+    define convert(c) is
+    begin
+      var result : BRepCuboid := new BRepCuboid;
+      result.volume := c.width * c.height * c.depth;
+      return result;
+    end convert;
+  end type Converter;
+end schema CSG2BoundRep;
+|}
+
+(* The section 4.2 evolution: NewCarSchema with PolluterCar / CatalystCar. *)
+let new_car_schema_commands =
+  {|
+bes;
+add schema NewCarSchema;
+evolve schema CarSchema to NewCarSchema;
+copy type Person@CarSchema to NewCarSchema;
+copy type Location@CarSchema to NewCarSchema;
+copy type City@CarSchema to NewCarSchema;
+add sort Fuel is enum (leaded, unleaded) to NewCarSchema;
+copy type Car@CarSchema to NewCarSchema;
+add type PolluterCar to NewCarSchema supertype Car@NewCarSchema;
+add type CatalystCar to NewCarSchema supertype Car@NewCarSchema;
+evolve type Car@CarSchema to PolluterCar@NewCarSchema;
+add operation fuel : -> Fuel@NewCarSchema to PolluterCar@NewCarSchema;
+set code of fuel of PolluterCar@NewCarSchema is begin return leaded; end;
+add operation fuel : -> Fuel@NewCarSchema to CatalystCar@NewCarSchema;
+set code of fuel of CatalystCar@NewCarSchema is begin return unleaded; end;
+ees;
+|}

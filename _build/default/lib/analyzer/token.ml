@@ -1,0 +1,63 @@
+(* Tokens of the GOM definition and evolution languages. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | KW of string  (* lower-case keyword, e.g. "schema", "type", "is" *)
+  (* punctuation *)
+  | LBRACKET | RBRACKET
+  | LPAREN | RPAREN
+  | SEMI | COLON | COMMA | DOT | DOTDOT | AT | SLASH
+  | ARROW  (* -> *)
+  | LARROW  (* <- *)
+  | ASSIGN  (* := *)
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR
+  | EOF
+
+let keywords =
+  [
+    "schema"; "type"; "sort"; "is"; "end"; "supertype"; "operations";
+    "refine"; "implementation"; "interface"; "public"; "subschema"; "import";
+    "with"; "as"; "var"; "operation"; "declare"; "define"; "enum"; "begin";
+    "if"; "else"; "while"; "return"; "self"; "new"; "not"; "and"; "or";
+    "true"; "false"; "fashion"; "where"; "bes"; "ees"; "add"; "delete";
+    "rename"; "set"; "code"; "of"; "to"; "from"; "attribute"; "evolve";
+    "copy"; "value";
+  ]
+
+type located = { tok : t; line : int; col : int }
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW k -> Printf.sprintf "keyword %S" k
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | DOTDOT -> "'..'"
+  | AT -> "'@'"
+  | SLASH -> "'/'"
+  | ARROW -> "'->'"
+  | LARROW -> "'<-'"
+  | ASSIGN -> "':='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"

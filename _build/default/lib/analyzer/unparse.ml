@@ -1,0 +1,389 @@
+(* Unparsing: reconstruct GOM definition frames from the Schema Base.  The
+   inverse of Translate (up to layout): used by the CLI's dump command and by
+   the round-trip tests. *)
+
+open Gom
+module Db = Datalog.Database
+
+type ctx = {
+  db : Db.t;
+  lookup_code : string -> (string list * Ast.stmt) option;
+}
+
+(* Type reference as seen from schema [sid]: bare name for builtins and
+   same-schema types, @-notation otherwise. *)
+let type_ref_text ctx ~sid tid =
+  if tid = Builtin.any_tid then Builtin.any_name
+  else
+    match
+      List.find_map
+        (fun (t, name, _) -> if t = tid then Some name else None)
+        Builtin.sorts
+    with
+    | Some name -> name
+    | None -> (
+        match Schema_base.type_info ctx.db ~tid with
+        | None -> tid
+        | Some (name, tsid) ->
+            if tsid = sid then name
+            else
+              let sname =
+                Option.value ~default:tsid
+                  (Schema_base.schema_name ctx.db ~sid:tsid)
+              in
+              name ^ "@" ^ sname)
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let unparse_code ctx buf ~indent ~name ~did =
+  match Schema_base.code_of_decl ctx.db ~did with
+  | None -> ()
+  | Some (cid, text) ->
+      (* the body must be a begin..end block so the trailing name echo
+         ("end distance;") re-parses *)
+      let body_text =
+        match ctx.lookup_code cid with
+        | Some (_, (Ast.Block _ as body)) -> Ast.stmt_to_string body
+        | Some (_, body) -> "begin " ^ Ast.stmt_to_string body ^ " end"
+        | None -> text  (* fall back to the stored text column *)
+      in
+      let params =
+        match ctx.lookup_code cid with Some (ps, _) -> ps | None -> []
+      in
+      buf_addf buf "%sdefine %s(%s) is\n%s  %s %s;\n" indent name
+        (String.concat ", " params)
+        indent body_text name
+
+let unparse_sig ctx buf ~sid ~keyword (d : Schema_base.decl_info) =
+  let args =
+    Schema_base.args_of_decl ctx.db ~did:d.Schema_base.did
+    |> List.map (fun (_, tid) -> type_ref_text ctx ~sid tid)
+  in
+  buf_addf buf "  %s %s : (%s) -> %s;\n" keyword d.Schema_base.op_name
+    (String.concat ", " args)
+    (type_ref_text ctx ~sid d.Schema_base.result)
+
+let unparse_type ctx buf ~sid tid name =
+  let supers =
+    Schema_base.direct_supertypes ctx.db ~tid
+    |> List.filter (fun s -> s <> Builtin.any_tid)
+  in
+  buf_addf buf "  type %s%s is\n" name
+    (match supers with
+    | [] -> ""
+    | _ ->
+        " supertype "
+        ^ String.concat ", " (List.map (type_ref_text ctx ~sid) supers));
+  (match Schema_base.direct_attrs ctx.db ~tid with
+  | [] -> ()
+  | attrs ->
+      buf_addf buf "    [ %s]\n"
+        (String.concat ""
+           (List.map
+              (fun (a, dom) ->
+                Printf.sprintf "%s : %s; " a (type_ref_text ctx ~sid dom))
+              (List.sort compare attrs))));
+  let decls =
+    Schema_base.direct_decls ctx.db ~tid
+    |> List.sort (fun a b -> compare a.Schema_base.did b.Schema_base.did)
+  in
+  (* a declaration refines iff it is registered as a refinement *)
+  let is_refinement d =
+    Datalog.Database.facts ctx.db Preds.declrefinement
+    |> List.exists (fun (f : Datalog.Fact.t) ->
+           Datalog.Term.equal_const f.args.(0)
+             (Datalog.Term.Sym d.Schema_base.did))
+  in
+  let refines, operations = List.partition is_refinement decls in
+  if operations <> [] then begin
+    buf_addf buf "  operations\n";
+    List.iter (unparse_sig ctx buf ~sid ~keyword:"declare") operations
+  end;
+  if refines <> [] then begin
+    buf_addf buf "  refine\n";
+    List.iter (unparse_sig ctx buf ~sid ~keyword:"declare") refines
+  end;
+  if decls <> [] then begin
+    buf_addf buf "  implementation\n";
+    List.iter
+      (fun (d : Schema_base.decl_info) ->
+        unparse_code ctx buf ~indent:"    " ~name:d.Schema_base.op_name
+          ~did:d.Schema_base.did)
+      decls
+  end;
+  buf_addf buf "  end type %s;\n" name
+
+let unparse_sort ctx buf tid name =
+  buf_addf buf "  sort %s is enum (%s);\n" name
+    (String.concat ", " (List.sort compare (Sorts.values ctx.db ~tid)))
+
+let unparse_schema ctx ~sid : string =
+  let buf = Buffer.create 1024 in
+  let name = Option.value ~default:sid (Schema_base.schema_name ctx.db ~sid) in
+  buf_addf buf "schema %s is\n" name;
+  (match Schema_base.public_comps ctx.db ~sid with
+  | [] -> ()
+  | comps ->
+      buf_addf buf "  public %s;\n"
+        (String.concat ", " (List.sort compare (List.map snd comps))));
+  (* subschema clauses with their renamings *)
+  let renames = Schema_base.renames_in ctx.db ~sid in
+  let rename_clause src =
+    match
+      List.filter (fun (_, _, rsrc, _) -> rsrc = src) renames
+    with
+    | [] -> ";\n"
+    | rs ->
+        " with\n"
+        ^ String.concat ""
+            (List.map
+               (fun (kind, new_name, _, old) ->
+                 Printf.sprintf "    %s %s as %s;\n" kind old new_name)
+               rs)
+        ^ "  end subschema;\n"
+  in
+  List.iter
+    (fun child ->
+      let cname =
+        Option.value ~default:child (Schema_base.schema_name ctx.db ~sid:child)
+      in
+      buf_addf buf "  subschema %s%s" cname (rename_clause child))
+    (List.sort compare (Schema_base.child_schemas ctx.db ~sid));
+  (* imports, reconstructed as absolute paths *)
+  let rec path_of s =
+    match Schema_base.parent_schema ctx.db ~sid:s with
+    | None -> [ Option.value ~default:s (Schema_base.schema_name ctx.db ~sid:s) ]
+    | Some p ->
+        path_of p
+        @ [ Option.value ~default:s (Schema_base.schema_name ctx.db ~sid:s) ]
+  in
+  List.iter
+    (fun imported ->
+      let clause =
+        match
+          List.filter (fun (_, _, rsrc, _) -> rsrc = imported) renames
+        with
+        | [] -> ";\n"
+        | rs ->
+            " with\n"
+            ^ String.concat ""
+                (List.map
+                   (fun (kind, new_name, _, old) ->
+                     Printf.sprintf "    %s %s as %s;\n" kind old new_name)
+                   rs)
+            ^ "  end import;\n"
+      in
+      buf_addf buf "  import /%s%s" (String.concat "/" (path_of imported)) clause)
+    (Schema_base.imports_of ctx.db ~sid);
+  (* variables *)
+  Schema_base.collect ctx.db Preds.schemavar (fun t ->
+      if Datalog.Term.equal_const t.(0) (Datalog.Term.Sym sid) then
+        Some (Schema_base.sym_of t.(1), Schema_base.sym_of t.(2))
+      else None)
+  |> List.iter (fun (v, tid) ->
+         buf_addf buf "  var %s : %s;\n" v (type_ref_text ctx ~sid tid));
+  (* sorts, then types, in id order for stability *)
+  let types = List.sort compare (Schema_base.types_of_schema ctx.db ~sid) in
+  List.iter
+    (fun (tid, tname) ->
+      if Sorts.values ctx.db ~tid <> [] then unparse_sort ctx buf tid tname)
+    types;
+  List.iter
+    (fun (tid, tname) ->
+      if Sorts.values ctx.db ~tid = [] then unparse_type ctx buf ~sid tid tname)
+    types;
+  buf_addf buf "end schema %s;\n" name;
+  Buffer.contents buf
+
+(* Reconstruct the fashion clauses from FashionType/FashionAttr/FashionDecl
+   and the registered code. *)
+let unparse_fashions ctx : string =
+  let buf = Buffer.create 256 in
+  let at tid =
+    match Schema_base.type_info ctx.db ~tid with
+    | Some (n, sid) ->
+        Printf.sprintf "%s@%s" n
+          (Option.value ~default:sid (Schema_base.schema_name ctx.db ~sid))
+    | None -> tid
+  in
+  let body_text cid ~fallback_params =
+    match ctx.lookup_code cid with
+    | Some (params, (Ast.Block _ as body)) -> params, Ast.stmt_to_string body
+    | Some (params, body) ->
+        params, "begin " ^ Ast.stmt_to_string body ^ " end"
+    | None -> fallback_params, "begin end"
+  in
+  Datalog.Database.facts ctx.db Preds.fashiontype
+  |> List.sort Datalog.Fact.compare
+  |> List.iter (fun (f : Datalog.Fact.t) ->
+         let masked = Schema_base.sym_of f.args.(0) in
+         let target = Schema_base.sym_of f.args.(1) in
+         buf_addf buf "fashion %s as %s where\n" (at masked) (at target);
+         (* attributes of the target, masked for this source *)
+         List.iter
+           (fun (attr, domain) ->
+             match
+               Schema_base.fashion_attr ctx.db ~owner_tid:target
+                 ~attr_name:attr ~masked_tid:masked
+             with
+             | None -> ()
+             | Some (read_cid, write_cid) ->
+                 let _, rbody = body_text read_cid ~fallback_params:[] in
+                 let _, wbody =
+                   body_text write_cid ~fallback_params:[ "value" ]
+                 in
+                 let dom = type_ref_text ctx ~sid:"" domain in
+                 buf_addf buf "  %s : -> %s is %s;\n" attr dom rbody;
+                 buf_addf buf "  %s : <- %s is %s;\n" attr dom wbody)
+           (Schema_base.all_attrs ctx.db ~tid:target);
+         (* operations of the target, imitated for this source *)
+         (target :: Schema_base.supertypes ctx.db ~tid:target)
+         |> List.concat_map (fun t -> Schema_base.direct_decls ctx.db ~tid:t)
+         |> List.iter (fun (d : Schema_base.decl_info) ->
+                match
+                  Schema_base.fashion_decl ctx.db ~did:d.Schema_base.did
+                    ~masked_tid:masked
+                with
+                | None -> ()
+                | Some cid ->
+                    let params, body = body_text cid ~fallback_params:[] in
+                    buf_addf buf "  %s(%s) is %s;\n" d.Schema_base.op_name
+                      (String.concat ", " params)
+                      body);
+         buf_addf buf "end fashion;\n");
+  Buffer.contents buf
+
+(* Every user schema, in an order in which re-parsing resolves:
+
+   - a schema whose renames or type references point into another schema
+     needs that schema's frame first;
+   - an importer needs the imported schema and every frame that builds the
+     schema path to it (the imported schema's ancestors) first.
+
+   Kahn's algorithm over those edges; any residual cycle falls back to
+   identifier order (re-parsing then reports the genuinely circular part). *)
+let unparse_all ctx : string =
+  let schemas =
+    Schema_base.schemas ctx.db
+    |> List.filter (fun (sid, _) -> sid <> Builtin.builtin_schema_sid)
+    |> List.map fst |> List.sort compare
+  in
+  let edges = Hashtbl.create 16 in
+  (* before -> after *)
+  let add_edge before after =
+    if before <> after && List.mem before schemas then
+      Hashtbl.replace edges (before, after) ()
+  in
+  let schema_of_tid tid =
+    if Builtin.is_builtin_tid tid then None
+    else Schema_base.schema_of_type ctx.db ~tid
+  in
+  List.iter
+    (fun sid ->
+      (* renames pull from their source frames *)
+      List.iter
+        (fun (_, _, src, _) -> add_edge src sid)
+        (Schema_base.renames_in ctx.db ~sid);
+      (* imports need the imported schema and its ancestors *)
+      List.iter
+        (fun imported ->
+          let rec up s =
+            add_edge s sid;
+            match Schema_base.parent_schema ctx.db ~sid:s with
+            | Some p -> up p
+            | None -> ()
+          in
+          up imported)
+        (Schema_base.imports_of ctx.db ~sid);
+      (* cross-schema type references (attribute domains, signatures) *)
+      List.iter
+        (fun (tid, _) ->
+          List.iter
+            (fun (_, dom) ->
+              match schema_of_tid dom with
+              | Some other -> add_edge other sid
+              | None -> ())
+            (Schema_base.direct_attrs ctx.db ~tid);
+          List.iter
+            (fun (d : Schema_base.decl_info) ->
+              (match schema_of_tid d.Schema_base.result with
+              | Some other -> add_edge other sid
+              | None -> ());
+              List.iter
+                (fun (_, at) ->
+                  match schema_of_tid at with
+                  | Some other -> add_edge other sid
+                  | None -> ())
+                (Schema_base.args_of_decl ctx.db ~did:d.Schema_base.did))
+            (Schema_base.direct_decls ctx.db ~tid);
+          List.iter
+            (fun super ->
+              match schema_of_tid super with
+              | Some other -> add_edge other sid
+              | None -> ())
+            (Schema_base.direct_supertypes ctx.db ~tid))
+        (Schema_base.types_of_schema ctx.db ~sid))
+    schemas;
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace indegree s 0) schemas;
+  Hashtbl.iter
+    (fun (_, after) () ->
+      Hashtbl.replace indegree after (Hashtbl.find indegree after + 1))
+    edges;
+  let rec kahn acc remaining =
+    if remaining = [] then List.rev acc
+    else
+      let ready, blocked =
+        List.partition (fun s -> Hashtbl.find indegree s = 0) remaining
+      in
+      match ready with
+      | [] -> List.rev_append acc remaining  (* cycle: fall back to id order *)
+      | _ ->
+          List.iter
+            (fun r ->
+              Hashtbl.iter
+                (fun (before, after) () ->
+                  if before = r then
+                    Hashtbl.replace indegree after
+                      (Hashtbl.find indegree after - 1))
+                edges)
+            ready;
+          kahn (List.rev_append ready acc) blocked
+  in
+  let ordered = kahn [] schemas in
+  String.concat "\n" (List.map (fun sid -> unparse_schema ctx ~sid) ordered)
+
+(* The version edges, as evolution commands. *)
+let unparse_evolutions ctx : string =
+  let buf = Buffer.create 128 in
+  let sname sid = Option.value ~default:sid (Schema_base.schema_name ctx.db ~sid) in
+  let at tid =
+    match Schema_base.type_info ctx.db ~tid with
+    | Some (n, sid) -> Printf.sprintf "%s@%s" n (sname sid)
+    | None -> tid
+  in
+  Datalog.Database.facts ctx.db Preds.evolves_to_s
+  |> List.sort Datalog.Fact.compare
+  |> List.iter (fun (f : Datalog.Fact.t) ->
+         buf_addf buf "evolve schema %s to %s;\n"
+           (sname (Schema_base.sym_of f.args.(0)))
+           (sname (Schema_base.sym_of f.args.(1))));
+  Datalog.Database.facts ctx.db Preds.evolves_to_t
+  |> List.sort Datalog.Fact.compare
+  |> List.iter (fun (f : Datalog.Fact.t) ->
+         buf_addf buf "evolve type %s to %s;\n"
+           (at (Schema_base.sym_of f.args.(0)))
+           (at (Schema_base.sym_of f.args.(1))));
+  Buffer.contents buf
+
+(* The complete state as one evolution script (bes; frames; version edges;
+   fashion clauses; ees;) — re-loadable with Manager.run_script or
+   [gomsm script]. *)
+let unparse_script ctx : string =
+  String.concat "\n"
+    (List.filter
+       (fun s -> s <> "")
+       [ "bes;"; unparse_all ctx; unparse_evolutions ctx; unparse_fashions ctx;
+         "ees;" ])
+
+let make ~db ~lookup_code = { db; lookup_code }

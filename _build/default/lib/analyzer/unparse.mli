@@ -1,0 +1,29 @@
+(** Unparsing: reconstruct GOM definition frames from the Schema Base — the
+    inverse of Translate up to layout.  Used by the CLI dump command and the
+    round-trip tests. *)
+
+type ctx
+
+val make :
+  db:Datalog.Database.t ->
+  lookup_code:(string -> (string list * Ast.stmt) option) ->
+  ctx
+
+val unparse_schema : ctx -> sid:string -> string
+
+val unparse_all : ctx -> string
+(** Every user schema as definition frames, ordered so that re-parsing
+    resolves (renames and cross-schema references after their sources,
+    importers after the frames that build their import paths).  Version
+    edges and fashion clauses are NOT included — see {!unparse_script}. *)
+
+val unparse_evolutions : ctx -> string
+(** The version edges as evolution commands. *)
+
+val unparse_fashions : ctx -> string
+(** The fashion clauses, reconstructed from the Fashion* facts and the
+    registered code. *)
+
+val unparse_script : ctx -> string
+(** The complete state as one evolution script ([bes; ... ees;]),
+    re-loadable with [Manager.run_script] or [gomsm script]. *)

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Encore O2_conversion Orion

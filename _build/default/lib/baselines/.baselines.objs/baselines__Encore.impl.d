@@ -1,0 +1,1 @@
+lib/baselines/encore.ml: Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/baselines/encore.mli: Runtime

@@ -1,0 +1,1 @@
+lib/baselines/o2_conversion.ml: Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/baselines/orion.ml: Core Datalog List Printf String

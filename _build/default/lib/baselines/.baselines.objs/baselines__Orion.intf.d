@@ -1,0 +1,1 @@
+lib/baselines/orion.mli: Core

@@ -1,0 +1,7 @@
+(* Baseline schema evolution systems the paper positions itself against:
+   ORION's fixed eagerly-checked operation set, ENCORE's version sets with
+   masking handlers, and O2's immediate conversion. *)
+
+module Orion = Orion
+module Encore = Encore
+module O2_conversion = O2_conversion

@@ -1,0 +1,116 @@
+(* ENCORE-style type evolution (Skarra/Zdonik) as a cost baseline: a type is
+   a version SET; schema changes create a new version in O(1) and never touch
+   existing objects; instead, accesses to objects of older versions are
+   mediated by pre/post exception HANDLERS that mask the difference (e.g. a
+   reader of a missing attribute receives a handler-computed value).
+
+   This is the "conversion is too expensive, mask instead" position the paper
+   quotes; the bench compares it against O2-style eager conversion. *)
+
+type value = Runtime.Value.t
+
+type origin = Initial | Added of string | Dropped of string
+
+type version = {
+  version_no : int;
+  origin : origin;  (* the schema change this version came from *)
+  attrs : string list;  (* attribute names present in this version *)
+  (* handlers for attributes missing in this version but present in newer
+     ones: attribute -> compute from the object's own slots.  Mutable so
+     that existing objects (which hold their version by reference) see
+     handlers added later. *)
+  mutable handlers : (string * (obj -> value)) list;
+}
+
+and obj = {
+  oid : int;
+  mutable version : version;
+  slots : (string, value) Hashtbl.t;
+}
+
+type t = {
+  mutable versions : version list;  (* newest first *)
+  mutable objects : obj list;
+  mutable next_oid : int;
+}
+
+let create ~attrs =
+  {
+    versions = [ { version_no = 1; origin = Initial; attrs; handlers = [] } ];
+    objects = [];
+    next_oid = 0;
+  }
+
+let current t = List.hd t.versions
+
+let new_object t =
+  t.next_oid <- t.next_oid + 1;
+  let v = current t in
+  let o = { oid = t.next_oid; version = v; slots = Hashtbl.create 8 } in
+  List.iter (fun a -> Hashtbl.replace o.slots a Runtime.Value.Null) v.attrs;
+  t.objects <- o :: t.objects;
+  o
+
+(* Schema change: derive a new version; O(1) in the number of objects.
+   [handler] masks the added attribute for objects of every older version. *)
+let add_attribute t ~attr ~(handler : obj -> value) =
+  let v = current t in
+  let nv =
+    {
+      version_no = v.version_no + 1;
+      origin = Added attr;
+      attrs = attr :: v.attrs;
+      handlers = [];
+    }
+  in
+  (* older versions get a handler for the new attribute, in place: objects
+     hold their version record by reference *)
+  List.iter (fun old -> old.handlers <- (attr, handler) :: old.handlers)
+    t.versions;
+  t.versions <- nv :: t.versions
+
+let drop_attribute t ~attr =
+  let v = current t in
+  let nv =
+    {
+      version_no = v.version_no + 1;
+      origin = Dropped attr;
+      attrs = List.filter (fun a -> a <> attr) v.attrs;
+      handlers = [];
+    }
+  in
+  t.versions <- nv :: t.versions
+
+(* Undo the most recent schema change (benchmark/test helper): removes the
+   newest version and the handlers it installed on older versions. *)
+let pop_version t =
+  match t.versions with
+  | { origin = Added attr; _ } :: rest ->
+      List.iter
+        (fun old -> old.handlers <- List.remove_assoc attr old.handlers)
+        rest;
+      t.versions <- rest
+  | { origin = Dropped _; _ } :: rest -> t.versions <- rest
+  | { origin = Initial; _ } :: _ | [] -> ()
+
+(* Access through the version set: a slot if the object's version has the
+   attribute, otherwise the masking handler. *)
+let read t o ~attr =
+  ignore t;
+  if List.mem attr o.version.attrs then
+    match Hashtbl.find_opt o.slots attr with
+    | Some v -> v
+    | None -> Runtime.Value.Null
+  else
+    match List.assoc_opt attr o.version.handlers with
+    | Some handler -> handler o
+    | None -> raise Not_found
+
+let write t o ~attr v =
+  ignore t;
+  if List.mem attr o.version.attrs then Hashtbl.replace o.slots attr v
+  else raise Not_found
+
+let object_count t = List.length t.objects
+let version_count t = List.length t.versions
+let objects t = t.objects

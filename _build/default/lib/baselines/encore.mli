@@ -1,0 +1,35 @@
+(** ENCORE-style type evolution (Skarra/Zdonik) as a cost baseline: a type
+    is a version set; schema changes create a new version in O(1) and never
+    touch objects; accesses to objects of older versions are mediated by
+    masking handlers. *)
+
+type value = Runtime.Value.t
+type version
+type obj
+type t
+
+val create : attrs:string list -> t
+val current : t -> version
+
+val new_object : t -> obj
+(** An object of the current version, slots initialized to [Null]. *)
+
+val add_attribute : t -> attr:string -> handler:(obj -> value) -> unit
+(** Derive a new version; every older version gets [handler] as the mask
+    for the new attribute.  O(versions), independent of the object count. *)
+
+val drop_attribute : t -> attr:string -> unit
+
+val pop_version : t -> unit
+(** Undo the most recent schema change (benchmark/test helper). *)
+
+val read : t -> obj -> attr:string -> value
+(** Direct slot read, or the masking handler for objects of versions that
+    lack the attribute.  @raise Not_found if no version provides it. *)
+
+val write : t -> obj -> attr:string -> value -> unit
+(** @raise Not_found if the object's version lacks the attribute. *)
+
+val object_count : t -> int
+val version_count : t -> int
+val objects : t -> obj list

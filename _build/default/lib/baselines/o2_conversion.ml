@@ -1,0 +1,49 @@
+(* O2-style schema update semantics (Zicari) as a cost baseline: every schema
+   change is cured by IMMEDIATE CONVERSION of all existing instances, so the
+   change costs O(objects) but every later access is a direct slot read with
+   no masking indirection.
+
+   The bench sweeps the object count and access count to locate the
+   crossover against ENCORE-style masking. *)
+
+type value = Runtime.Value.t
+
+type obj = { oid : int; slots : (string, value) Hashtbl.t }
+
+type t = {
+  mutable attrs : string list;
+  mutable objects : obj list;
+  mutable next_oid : int;
+}
+
+let create ~attrs = { attrs; objects = []; next_oid = 0 }
+
+let new_object t =
+  t.next_oid <- t.next_oid + 1;
+  let o = { oid = t.next_oid; slots = Hashtbl.create 8 } in
+  List.iter (fun a -> Hashtbl.replace o.slots a Runtime.Value.Null) t.attrs;
+  t.objects <- o :: t.objects;
+  o
+
+(* Schema change with immediate conversion: O(objects). *)
+let add_attribute t ~attr ~(fill : obj -> value) =
+  if not (List.mem attr t.attrs) then t.attrs <- attr :: t.attrs;
+  List.iter (fun o -> Hashtbl.replace o.slots attr (fill o)) t.objects
+
+let drop_attribute t ~attr =
+  t.attrs <- List.filter (fun a -> a <> attr) t.attrs;
+  List.iter (fun o -> Hashtbl.remove o.slots attr) t.objects
+
+(* Every access is a direct slot read. *)
+let read t o ~attr =
+  ignore t;
+  match Hashtbl.find_opt o.slots attr with
+  | Some v -> v
+  | None -> raise Not_found
+
+let write t o ~attr v =
+  ignore t;
+  Hashtbl.replace o.slots attr v
+
+let object_count t = List.length t.objects
+let objects t = t.objects

@@ -1,0 +1,22 @@
+(** O2-style schema update semantics (Zicari) as a cost baseline: every
+    schema change immediately converts all instances — O(objects) per
+    change, direct slot access afterwards. *)
+
+type value = Runtime.Value.t
+type obj
+type t
+
+val create : attrs:string list -> t
+val new_object : t -> obj
+
+val add_attribute : t -> attr:string -> fill:(obj -> value) -> unit
+(** Immediate conversion of every object. *)
+
+val drop_attribute : t -> attr:string -> unit
+
+val read : t -> obj -> attr:string -> value
+(** @raise Not_found for unknown attributes. *)
+
+val write : t -> obj -> attr:string -> value -> unit
+val object_count : t -> int
+val objects : t -> obj list

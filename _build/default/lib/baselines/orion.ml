@@ -1,0 +1,121 @@
+(* ORION-style schema evolution (Banerjee/Kim/Kim/Korth, SIGMOD 1987) as a
+   baseline: a FIXED set of evolution operations, each of which checks the
+   schema invariants IMMEDIATELY and is rejected as a whole if it cannot
+   preserve them.
+
+   Built on the same substrate (the GOM schema manager), each ORION operation
+   opens a micro-session, applies its fixed fact changes, checks at once, and
+   rolls back on any violation.  The contrast the paper draws is expressible
+   directly: an operation outside the fixed set — like adding an argument to
+   a used operation — simply does not exist here, and compositions that are
+   only consistent as a whole are impossible because every step must commit
+   on its own. *)
+
+module Manager = Core.Manager
+
+type t = { m : Manager.t }
+
+type result = Accepted | Rejected of string list
+
+let create () = { m = Manager.create () }
+let of_manager m = { m }
+let manager t = t.m
+
+(* Run one fixed operation as an eagerly-checked unit. *)
+let atomic t (script : string) : result =
+  Manager.begin_session t.m;
+  match
+    (try
+       Manager.run_commands t.m script;
+       Manager.end_session t.m
+     with e ->
+       Manager.rollback t.m;
+       raise e)
+  with
+  | Manager.Consistent -> Accepted
+  | Manager.Inconsistent reports ->
+      Manager.rollback t.m;
+      Rejected (List.map (fun r -> r.Manager.description) reports)
+
+(* --- The fixed operation set --- *)
+
+let add_class t ~name ~schema ~supers =
+  let sup_clause =
+    match supers with
+    | [] -> ""
+    | _ -> " supertype " ^ String.concat ", " supers
+  in
+  atomic t (Printf.sprintf "add type %s to %s%s;" name schema sup_clause)
+
+let drop_class t ~type_at =
+  atomic t (Printf.sprintf "delete type %s;" type_at)
+
+let add_attribute t ~type_at ~name ~domain =
+  (* ORION converts instances implicitly: the default-value conversion runs
+     if the schema part is accepted but instances lack the slot. *)
+  Manager.begin_session t.m;
+  Manager.run_commands t.m
+    (Printf.sprintf "add attribute %s : %s to %s;" name domain type_at);
+  let outcome =
+    Manager.end_session_with t.m ~choose:(fun _report repairs ->
+        match
+          List.find_opt
+            (fun (rep, _) ->
+              match rep with
+              | [ Datalog.Repair.Add f ] -> f.Datalog.Fact.pred = "Slot"
+              | _ -> false)
+            repairs
+        with
+        | Some (rep, _) -> Manager.Choose_repair rep
+        | None -> Manager.Choose_rollback)
+  in
+  (match outcome with
+  | Manager.Consistent -> Accepted
+  | Manager.Inconsistent reports ->
+      Manager.rollback t.m;
+      Rejected (List.map (fun r -> r.Manager.description) reports))
+
+let drop_attribute t ~type_at ~name =
+  Manager.begin_session t.m;
+  Manager.run_commands t.m
+    (Printf.sprintf "delete attribute %s from %s;" name type_at);
+  let outcome =
+    Manager.end_session_with t.m ~choose:(fun _report repairs ->
+        (* drop the dangling slot if instances exist *)
+        match
+          List.find_opt
+            (fun (rep, _) ->
+              List.for_all
+                (fun a ->
+                  match a with
+                  | Datalog.Repair.Del f -> f.Datalog.Fact.pred = "Slot"
+                  | Datalog.Repair.Add _ -> false)
+                rep)
+            repairs
+        with
+        | Some (rep, _) -> Manager.Choose_repair rep
+        | None -> Manager.Choose_rollback)
+  in
+  match outcome with
+  | Manager.Consistent -> Accepted
+  | Manager.Inconsistent reports ->
+      Manager.rollback t.m;
+      Rejected (List.map (fun r -> r.Manager.description) reports)
+
+let rename_class t ~type_at ~new_name =
+  atomic t (Printf.sprintf "rename type %s to %s;" type_at new_name)
+
+let add_superclass t ~type_at ~super_at =
+  atomic t (Printf.sprintf "add supertype %s to %s;" super_at type_at)
+
+let drop_superclass t ~type_at ~super_at =
+  atomic t (Printf.sprintf "delete supertype %s from %s;" super_at type_at)
+
+(* Operations outside ORION's fixed set are not definable by the user:
+   the flexibility gap the paper's section 1 describes. *)
+let add_operation_argument (_ : t) =
+  Rejected
+    [
+      "not in the fixed operation set: ORION provides no operation for \
+       adding an argument to an existing operation";
+    ]

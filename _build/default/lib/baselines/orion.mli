@@ -1,0 +1,31 @@
+(** ORION-style schema evolution (Banerjee et al., SIGMOD 1987) as a
+    baseline: a FIXED set of operations, each eagerly checked and rejected
+    as a whole on any violation.  Compositions that are only consistent as a
+    whole (the paper's add-argument example) are inexpressible. *)
+
+module Manager = Core.Manager
+
+type t
+
+type result = Accepted | Rejected of string list
+
+val create : unit -> t
+val of_manager : Manager.t -> t
+val manager : t -> Manager.t
+
+val add_class :
+  t -> name:string -> schema:string -> supers:string list -> result
+
+val drop_class : t -> type_at:string -> result
+
+val add_attribute : t -> type_at:string -> name:string -> domain:string -> result
+(** Instances are converted implicitly with the domain's default value, as
+    in ORION. *)
+
+val drop_attribute : t -> type_at:string -> name:string -> result
+val rename_class : t -> type_at:string -> new_name:string -> result
+val add_superclass : t -> type_at:string -> super_at:string -> result
+val drop_superclass : t -> type_at:string -> super_at:string -> result
+
+val add_operation_argument : t -> result
+(** Always [Rejected]: not in the fixed operation set. *)

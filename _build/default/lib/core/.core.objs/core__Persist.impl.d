@@ -1,0 +1,1 @@
+lib/core/persist.ml: Analyzer Array Buffer Database Datalog Delta Fact Gom Hashtbl List Manager Printf Runtime String Term

@@ -1,0 +1,14 @@
+(* The schema manager for the core of GOM (and its extensions): the paper's
+   Consistency Control wired to the Analyzer and the Runtime System.
+
+   {[
+     let m = Core.Manager.create () in
+     Core.Manager.begin_session m;
+     Core.Manager.load_definitions m my_schema_text;
+     match Core.Manager.end_session m with
+     | Core.Manager.Consistent -> ...
+     | Core.Manager.Inconsistent reports -> ...
+   ]} *)
+
+module Manager = Manager
+module Persist = Persist

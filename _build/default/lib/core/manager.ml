@@ -1,0 +1,450 @@
+(* The schema manager: the paper's Consistency Control wired to the
+   Analyzer and the Runtime System (Figure 1).
+
+   All changes to the Database Model go through [modify], enclosed between
+   BES (begin of evolution session) and EES (end of evolution session); at
+   EES time consistency is checked, and on a detected inconsistency the
+   manager generates repairs (decorated with Analyzer/Runtime explanations)
+   the user can choose from — undoing the session is always among them. *)
+
+open Datalog
+open Gom
+
+module Ast = Analyzer.Ast
+module Object_store = Runtime.Object_store
+module Value = Runtime.Value
+
+type check_mode =
+  | Full  (** re-materialize and evaluate every constraint at EES *)
+  | Affected  (** evaluate only the rule cone of affected constraints *)
+  | Maintained
+      (** keep a DRed-maintained materialization in step with every modify;
+          EES reads the violation relations directly *)
+
+type report = {
+  violation : Checker.violation;
+  description : string;
+}
+
+type outcome = Consistent | Inconsistent of report list
+
+exception No_session
+exception Session_open
+
+type session = {
+  mutable log : Delta.t list;  (* effective deltas, newest first *)
+  mutable diags : string list;  (* analyzer diagnostics, newest first *)
+  code_snapshot : (string, string list * Ast.stmt) Hashtbl.t;
+  store_snapshot : Object_store.t;
+  globals_snapshot : (string * Value.t) list;
+  ids_snapshot : Ids.gen;
+}
+
+type t = {
+  theory : Theory.t;
+  edb : Database.t;
+  ids : Ids.gen;
+  code : (string, string list * Ast.stmt) Hashtbl.t;
+  mutable runtime : Runtime.t option;  (* backpatched at creation *)
+  mutable session : session option;
+  mutable check_mode : check_mode;
+  mutable maintained : (int * Incremental.state) option;
+      (* DRed state + the theory revision it was built against *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let install_extensions t ~versioning ~fashion ~subschemas ~sorts =
+  if versioning then Versioning.install t.theory;
+  if fashion then begin
+    if not versioning then Versioning.install t.theory;
+    Fashion.install t.theory
+  end;
+  if subschemas then Subschema.install t.theory;
+  if sorts then Sorts.install t.theory
+
+let runtime t =
+  match t.runtime with
+  | Some rt -> rt
+  | None -> invalid_arg "Manager: runtime not initialized"
+
+(* The DRed-maintained materialization over [t.edb]; (re)built when the
+   theory changed since it was last constructed. *)
+let maintained_state t : Incremental.state =
+  let rev = Theory.revision t.theory in
+  match t.maintained with
+  | Some (r, state) when r = rev -> state
+  | Some _ | None ->
+      let state = Incremental.init ~copy:false t.theory t.edb in
+      t.maintained <- Some (rev, state);
+      state
+
+(* Apply a base-fact delta, keeping the maintained materialization (if the
+   mode uses one) in step. *)
+let apply_delta t (delta : Delta.t) : Delta.t =
+  match t.check_mode with
+  | Maintained -> Incremental.apply (maintained_state t) delta
+  | Full | Affected ->
+      t.maintained <- None;
+      Delta.apply t.edb delta
+
+let modify t (delta : Delta.t) : Delta.t =
+  match t.session with
+  | Some session ->
+      let effective = apply_delta t delta in
+      if not (Delta.is_empty effective) then
+        session.log <- effective :: session.log;
+      effective
+  | None -> raise No_session
+
+(* Runtime-reported changes outside a session are applied directly: the
+   Runtime System is trusted to keep the physical model in step (creating or
+   retiring representations), and every schema-changing path runs inside a
+   session. *)
+let runtime_modify t (delta : Delta.t) : unit =
+  match t.session with
+  | Some _ -> ignore (modify t delta)
+  | None -> ignore (apply_delta t delta)
+
+let create ?(versioning = true) ?(fashion = true) ?(subschemas = true)
+    ?(sorts = true) ?(check_mode = Affected) () : t =
+  let theory = Theory.create () in
+  Model.install_core theory;
+  let t =
+    {
+      theory;
+      edb = Database.create ();
+      ids = Ids.create ();
+      code = Hashtbl.create 64;
+      runtime = None;
+      session = None;
+      check_mode;
+      maintained = None;
+    }
+  in
+  install_extensions t ~versioning ~fashion ~subschemas ~sorts;
+  (* predicate declarations for arity checking *)
+  List.iter
+    (fun (d : Theory.pred_decl) ->
+      Database.declare t.edb ~name:d.Theory.name ~columns:d.Theory.columns)
+    (Theory.predicates theory);
+  Builtin.seed t.edb;
+  let rt =
+    Runtime.create
+      ~schema:(fun () -> t.edb)
+      ~lookup_code:(fun cid -> Hashtbl.find_opt t.code cid)
+      ~modify:(runtime_modify t)
+      ~ids:t.ids
+  in
+  t.runtime <- Some rt;
+  t
+
+let database t = t.edb
+let theory t = t.theory
+let ids t = t.ids
+let lookup_code t cid = Hashtbl.find_opt t.code cid
+let set_check_mode t mode =
+  t.check_mode <- mode;
+  match mode with Maintained -> () | Full | Affected -> t.maintained <- None
+let in_session t = t.session <> None
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let copy_ids (g : Ids.gen) : Ids.gen =
+  {
+    Ids.schemas = g.Ids.schemas;
+    types = g.Ids.types;
+    decls = g.Ids.decls;
+    codes = g.Ids.codes;
+    phreps = g.Ids.phreps;
+    objects = g.Ids.objects;
+  }
+
+let begin_session t =
+  if t.session <> None then raise Session_open;
+  let rt = runtime t in
+  t.session <-
+    Some
+      {
+        log = [];
+        diags = [];
+        code_snapshot = Hashtbl.copy t.code;
+        store_snapshot = Object_store.snapshot (Runtime.store rt);
+        globals_snapshot =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) rt.Runtime.globals [];
+        ids_snapshot = copy_ids t.ids;
+      }
+
+let current_session t =
+  match t.session with Some s -> s | None -> raise No_session
+
+let session_delta t =
+  let s = current_session t in
+  List.fold_left (fun acc d -> Delta.union d acc) Delta.empty s.log
+
+let session_diagnostics t = List.rev (current_session t).diags
+
+(* Register analyzer results into the open session. *)
+let absorb t (r : Analyzer.result) =
+  let s = current_session t in
+  List.iter (fun (cid, code) -> Hashtbl.replace t.code cid code)
+    r.Analyzer.code_asts;
+  s.diags <- List.rev_append r.Analyzer.diagnostics s.diags;
+  ignore (modify t r.Analyzer.delta)
+
+(* The Analyzer front end: definition frames and evolution commands. *)
+let load_definitions t (src : string) =
+  ignore (current_session t);
+  let r =
+    Analyzer.analyze_definitions ~lookup_code:(lookup_code t) t.edb t.ids src
+  in
+  absorb t r
+
+let run_commands t (src : string) =
+  ignore (current_session t);
+  let commands = Analyzer.parse_commands src in
+  List.iter
+    (fun (cmd : Ast.command) ->
+      match cmd with
+      | Ast.Begin_session | Ast.End_session ->
+          invalid_arg
+            "Manager.run_commands: bes/ees inside an open session; use \
+             run_script"
+      | cmd ->
+          let r =
+            Analyzer.analyze_parsed ~lookup_code:(lookup_code t) t.edb t.ids
+              [ cmd ]
+          in
+          absorb t r)
+    commands
+
+let propose t (delta : Delta.t) = ignore (modify t delta)
+
+(* Register (or replace) interpretable code under a cid; used by complex
+   evolution operators that rewrite method bodies. *)
+let register_code t cid params body =
+  ignore (current_session t);
+  Hashtbl.replace t.code cid (params, body)
+
+(* ------------------------------------------------------------------ *)
+(* Checking and repairs                                                *)
+(* ------------------------------------------------------------------ *)
+
+let describe_violation (v : Checker.violation) : string =
+  let witness =
+    Checker.witness_bindings v
+    |> List.map (fun (var, c) ->
+           Printf.sprintf "%s = %s" var (Term.const_to_string c))
+    |> String.concat ", "
+  in
+  Printf.sprintf "constraint %s violated [%s]" v.Checker.constraint_name witness
+
+let check_now t : report list =
+  let violations =
+    match t.check_mode, t.session with
+    | Maintained, _ -> Incremental.violations (maintained_state t)
+    | Affected, Some _ ->
+        Incremental.check_affected t.theory t.edb ~delta:(session_delta t)
+    | Affected, None | Full, _ -> Checker.check t.theory t.edb
+  in
+  List.map
+    (fun v -> { violation = v; description = describe_violation v })
+    violations
+
+(* Repairs for one violation, each decorated with the Analyzer/Runtime
+   explanations of its actions (protocol step 7). *)
+let repairs_for t (v : Checker.violation) : (Repair.t * string list) list =
+  let materialized =
+    match t.check_mode with
+    | Maintained -> Incremental.materialized (maintained_state t)
+    | Full | Affected -> Checker.materialize t.theory t.edb
+  in
+  Repair.generate t.theory materialized v
+  |> List.map (fun r -> r, Explain.explain_repair t.edb r)
+
+(* Instantiate Fresh placeholders with newly allocated identifiers. *)
+let instantiate_fresh t (repair : Repair.t) : Repair.t =
+  let assigned = Hashtbl.create 4 in
+  let conv (c : Term.const) =
+    match c with
+    | Term.Fresh name -> (
+        match Hashtbl.find_opt assigned name with
+        | Some c -> c
+        | None ->
+            let fresh =
+              (* guess the identifier sort from the variable's use; physical
+                 representations are the common case in repairs *)
+              if String.length name > 0 && name.[0] = 'C' then
+                Ids.fresh t.ids Ids.Phrep
+              else Ids.fresh t.ids Ids.Type
+            in
+            let c = Term.Sym fresh in
+            Hashtbl.replace assigned name c;
+            c)
+    | Term.Sym _ | Term.Int _ -> c
+  in
+  List.map
+    (fun (a : Repair.action) ->
+      match a with
+      | Repair.Add f -> Repair.Add { f with Fact.args = Array.map conv f.Fact.args }
+      | Repair.Del f -> Repair.Del { f with Fact.args = Array.map conv f.Fact.args })
+    repair
+
+(* Execute a chosen repair (protocol step 9).  Physical-model actions are
+   carried out by the Runtime System: adding a slot runs a conversion over
+   the affected objects, deleting a representation deletes all instances. *)
+let execute_repair t ?fill (repair : Repair.t) : unit =
+  ignore (current_session t);
+  let rt = runtime t in
+  let repair = instantiate_fresh t repair in
+  List.iter
+    (fun (action : Repair.action) ->
+      match action with
+      | Repair.Add ({ Fact.pred = "Slot"; args } as f) ->
+          (* conversion: add the slot to every object with this
+             representation *)
+          let clid = Term.const_to_string args.(0) in
+          let attr = Term.const_to_string args.(1) in
+          (match Schema_base.type_of_phrep t.edb ~clid with
+          | Some tid ->
+              let domain =
+                match Schema_base.type_of_phrep t.edb
+                        ~clid:(Term.const_to_string args.(2))
+                with
+                | Some d -> d
+                | None -> "tid_void"
+              in
+              let fill =
+                match fill with
+                | Some f -> f
+                | None ->
+                    fun (_ : Object_store.obj) ->
+                      Value.default_for ~domain_tid:domain
+              in
+              ignore
+                (Runtime.Conversion.add_attribute_slots rt ~tid ~attr ~domain
+                   ~fill)
+          | None -> ignore (modify t (Delta.of_lists ~additions:[ f ] ~deletions:[])))
+      | Repair.Del { Fact.pred = "Slot"; args } ->
+          let clid = Term.const_to_string args.(0) in
+          let attr = Term.const_to_string args.(1) in
+          (match Schema_base.type_of_phrep t.edb ~clid with
+          | Some tid ->
+              ignore (Runtime.Conversion.drop_attribute_slots rt ~tid ~attr)
+          | None ->
+              ignore
+                (modify t
+                   (Delta.of_lists ~additions:[]
+                      ~deletions:
+                        [ Preds.slot_fact ~clid ~attr_name:attr
+                            ~value_clid:(Term.const_to_string args.(2)) ])))
+      | Repair.Del { Fact.pred = "PhRep"; args } ->
+          (* delete all instances of the type *)
+          let tid = Term.const_to_string args.(1) in
+          ignore (Runtime.delete_all_of_type rt ~tid)
+      | Repair.Add f ->
+          ignore (modify t (Delta.of_lists ~additions:[ f ] ~deletions:[]))
+      | Repair.Del f ->
+          ignore (modify t (Delta.of_lists ~additions:[] ~deletions:[ f ])))
+    repair
+
+(* Undo the evolution session: invert every logged delta, unregister the
+   session's code, and restore the object base. *)
+let rollback t =
+  let s = current_session t in
+  List.iter (fun d -> ignore (apply_delta t (Delta.invert d))) s.log;
+  Hashtbl.reset t.code;
+  Hashtbl.iter (Hashtbl.replace t.code) s.code_snapshot;
+  let rt = runtime t in
+  Object_store.restore (Runtime.store rt) ~from:s.store_snapshot;
+  Hashtbl.reset rt.Runtime.globals;
+  List.iter (fun (k, v) -> Hashtbl.replace rt.Runtime.globals k v)
+    s.globals_snapshot;
+  let g = s.ids_snapshot in
+  t.ids.Ids.schemas <- g.Ids.schemas;
+  t.ids.Ids.types <- g.Ids.types;
+  t.ids.Ids.decls <- g.Ids.decls;
+  t.ids.Ids.codes <- g.Ids.codes;
+  t.ids.Ids.phreps <- g.Ids.phreps;
+  t.ids.Ids.objects <- g.Ids.objects;
+  t.session <- None
+
+(* EES: check; on success the session ends, otherwise it stays open and the
+   reports are returned (protocol steps 4-6). *)
+let end_session t : outcome =
+  ignore (current_session t);
+  match check_now t with
+  | [] ->
+      t.session <- None;
+      Consistent
+  | reports -> Inconsistent reports
+
+(* ------------------------------------------------------------------ *)
+(* The full session protocol (section 3.5, steps 1-9)                  *)
+(* ------------------------------------------------------------------ *)
+
+type choice =
+  | Choose_repair of Repair.t
+  | Choose_rollback
+  | Give_up  (* leave the session open for further manual changes *)
+
+(* Drive a session to completion: after EES, as long as inconsistencies are
+   detected, [choose] picks a repair (or rollback) for the first violation;
+   chosen repairs are executed and checking resumes. *)
+let end_session_with t
+    ~(choose : report -> (Repair.t * string list) list -> choice) : outcome =
+  let rec loop guard =
+    if guard <= 0 then
+      match check_now t with [] -> Consistent | rs -> Inconsistent rs
+    else
+      match end_session t with
+      | Consistent -> Consistent
+      | Inconsistent (report :: _ as reports) -> (
+          let repairs = repairs_for t report.violation in
+          match choose report repairs with
+          | Choose_rollback ->
+              rollback t;
+              Consistent
+          | Give_up -> Inconsistent reports
+          | Choose_repair r ->
+              execute_repair t r;
+              loop (guard - 1))
+      | Inconsistent [] -> assert false
+  in
+  loop 64
+
+(* Answer a deductive query (textual or pre-parsed literals) against the
+   current materialized state; each answer is the witness bindings. *)
+let query t (lits : Rule.literal list) : (string * Term.const) list list =
+  let materialized =
+    match t.check_mode with
+    | Maintained -> Incremental.materialized (maintained_state t)
+    | Full | Affected -> Checker.materialize t.theory t.edb
+  in
+  let out = ref [] in
+  Eval.query materialized lits (fun s -> out := Subst.bindings s :: !out);
+  List.rev !out
+
+let query_text t (src : string) = query t (Parse.query src)
+
+(* Run a command script containing bes/ees markers (step 1-5 driver). *)
+let run_script t (src : string) : outcome =
+  let commands = Analyzer.parse_commands src in
+  let outcome = ref Consistent in
+  List.iter
+    (fun (cmd : Ast.command) ->
+      match cmd with
+      | Ast.Begin_session -> begin_session t
+      | Ast.End_session -> outcome := end_session t
+      | cmd ->
+          let r =
+            Analyzer.analyze_parsed ~lookup_code:(lookup_code t) t.edb t.ids
+              [ cmd ]
+          in
+          absorb t r)
+    commands;
+  !outcome

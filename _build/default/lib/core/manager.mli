@@ -1,0 +1,150 @@
+(** The schema manager: the paper's Consistency Control wired to the
+    Analyzer and the Runtime System (Figure 1).
+
+    All changes to the Database Model go through sessions enclosed between
+    {!begin_session} (BES) and {!end_session} (EES); consistency checking is
+    deferred to EES, so arbitrary compositions of primitive updates — and
+    user-defined complex evolution operations — are allowed in between.  On a
+    detected inconsistency the manager generates repairs, decorated with
+    Analyzer/Runtime explanations, that the user can execute; undoing the
+    session ({!rollback}) is always among the options. *)
+
+module Ast = Analyzer.Ast
+module Object_store = Runtime.Object_store
+module Value = Runtime.Value
+
+(** How EES (and {!check_now}) evaluates consistency. *)
+type check_mode =
+  | Full  (** re-materialize and evaluate every constraint *)
+  | Affected  (** evaluate only the rule cone of affected constraints *)
+  | Maintained
+      (** keep a DRed-maintained materialization in step with every modify;
+          checking reads the violation relations directly *)
+
+type report = {
+  violation : Datalog.Checker.violation;
+  description : string;  (** human-readable, with witness bindings *)
+}
+
+type outcome = Consistent | Inconsistent of report list
+
+exception No_session
+(** A session-only operation was called outside BES/EES. *)
+
+exception Session_open
+(** BES while a session is already open. *)
+
+
+type t
+
+(** {2 Construction and access} *)
+
+val create :
+  ?versioning:bool ->
+  ?fashion:bool ->
+  ?subschemas:bool ->
+  ?sorts:bool ->
+  ?check_mode:check_mode ->
+  unit ->
+  t
+(** A schema manager over a fresh schema base (built-in sorts seeded).  The
+    optional flags select which section 4.1 / appendix A extensions are
+    installed; all default to [true].  [check_mode] defaults to [Affected]. *)
+
+val database : t -> Datalog.Database.t
+(** The live extensional database (Schema Base + Object Base Model).  Treat
+    as read-only: changes must go through sessions. *)
+
+val theory : t -> Datalog.Theory.t
+(** The Consistency Control's definitions.  Extending it (new predicates,
+    rules, constraints) at run time is the paper's flexibility mechanism. *)
+
+val runtime : t -> Runtime.t
+(** The Runtime System bound to this manager. *)
+
+val ids : t -> Gom.Ids.gen
+val lookup_code : t -> string -> (string list * Ast.stmt) option
+val set_check_mode : t -> check_mode -> unit
+val in_session : t -> bool
+
+(** {2 Evolution sessions} *)
+
+val begin_session : t -> unit
+(** BES. @raise Session_open if one is already open. *)
+
+val load_definitions : t -> string -> unit
+(** Parse and absorb GOM definition frames (schemas, fashion clauses).
+    @raise No_session outside a session.
+    @raise Analyzer.Syntax_error on unparsable input. *)
+
+val run_commands : t -> string -> unit
+(** Parse and absorb evolution commands (without bes/ees markers; use
+    {!run_script} for full scripts). *)
+
+val propose : t -> Datalog.Delta.t -> unit
+(** Raw base-fact changes (the modify interface). *)
+
+val register_code : t -> string -> string list -> Ast.stmt -> unit
+(** Register (or replace) interpretable code under a code id; used by
+    complex evolution operators that rewrite method bodies. *)
+
+val absorb : t -> Analyzer.result -> unit
+(** Absorb a pre-computed analyzer result into the open session. *)
+
+val session_delta : t -> Datalog.Delta.t
+(** The session's cumulative effective delta so far. *)
+
+val session_diagnostics : t -> string list
+(** Analyzer diagnostics collected during the session, oldest first. *)
+
+val end_session : t -> outcome
+(** EES: check consistency.  On [Consistent] the session is committed and
+    closed; on [Inconsistent] it stays open for repairs or rollback. *)
+
+val rollback : t -> unit
+(** Undo the whole session: inverse deltas, code registrations, and the
+    object base snapshot are restored; the session closes. *)
+
+(** {2 Checking and repairs} *)
+
+val check_now : t -> report list
+(** Check without ending the session. *)
+
+val repairs_for : t -> Datalog.Checker.violation -> (Datalog.Repair.t * string list) list
+(** Generated repairs for a violation, each with its Analyzer/Runtime
+    explanations (protocol step 7). *)
+
+val execute_repair :
+  t -> ?fill:(Object_store.obj -> Value.t) -> Datalog.Repair.t -> unit
+(** Execute a chosen repair (protocol step 9): physical-model actions run
+    through the Runtime System (adding a slot converts the affected objects
+    using [fill], default the domain's default value; deleting a
+    representation deletes all instances); other actions are plain base-fact
+    changes.  Fresh placeholders are instantiated with new identifiers. *)
+
+val query : t -> Datalog.Rule.literal list -> (string * Datalog.Term.const) list list
+(** Answer a deductive query against the current (materialized) state; each
+    answer is its witness bindings.
+    @raise Datalog.Rule.Unsafe if the query cannot be ordered. *)
+
+val query_text : t -> string -> (string * Datalog.Term.const) list list
+(** Same, from text (see {!Datalog.Parse}): e.g.
+    [query_text m "Attr_i(T, A, D), not Slot(C, A, V)"].
+    @raise Datalog.Parse.Error on syntax errors. *)
+
+(** {2 Protocol drivers} *)
+
+type choice =
+  | Choose_repair of Datalog.Repair.t
+  | Choose_rollback
+  | Give_up  (** leave the session open for further manual changes *)
+
+val end_session_with :
+  t -> choose:(report -> (Datalog.Repair.t * string list) list -> choice) -> outcome
+(** Drive EES to completion: while inconsistencies are detected, [choose]
+    picks a repair (or rollback) for the first violation; chosen repairs are
+    executed and checking resumes. *)
+
+val run_script : t -> string -> outcome
+(** Run a command script containing bes/ees markers; returns the outcome of
+    the last EES. *)

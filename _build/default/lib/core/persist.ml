@@ -1,0 +1,356 @@
+(* Persistence of the Database Model: the paper's appendix states that "a
+   schema is always persistent, and with it, all its schema components".
+   The manager's whole state — base facts, identifier counters, registered
+   code, objects and their slots, schema variables — is serialized to a
+   line-oriented textual format and restored into a fresh manager.
+
+   Format (one record per line):
+     fact <pred>(<arg>, ...)         constants quoted as needed
+     ids <schemas> <types> <decls> <codes> <phreps> <objects>
+     code <cid> <params,>|<body text>
+     object <oid> <tid>
+     slot <oid> <attr> <value>
+     global <name> <value>
+   Lines starting with '#' are comments. *)
+
+open Datalog
+module Value = Runtime.Value
+module Object_store = Runtime.Object_store
+
+exception Corrupt of string
+
+(* ------------------------------------------------------------------ *)
+(* Scalar encodings                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let quote s = Printf.sprintf "%S" s
+
+let encode_const (c : Term.const) =
+  match c with
+  | Term.Sym s -> quote s
+  | Term.Int i -> string_of_int i
+  | Term.Fresh s -> "?" ^ quote s
+
+let encode_value (v : Value.t) =
+  match v with
+  | Value.Null -> "null"
+  | Value.Int i -> Printf.sprintf "int %d" i
+  | Value.Float f -> Printf.sprintf "float %h" f
+  | Value.Str s -> Printf.sprintf "str %s" (quote s)
+  | Value.Bool b -> Printf.sprintf "bool %b" b
+  | Value.Enum (tid, name) -> Printf.sprintf "enum %s %s" (quote tid) (quote name)
+  | Value.Obj oid -> Printf.sprintf "obj %s" (quote oid)
+
+(* A tiny reader over a line. *)
+type cursor = { line : string; mutable pos : int }
+
+let skip_ws c =
+  while c.pos < String.length c.line && c.line.[c.pos] = ' ' do
+    c.pos <- c.pos + 1
+  done
+
+let fail_at c msg = raise (Corrupt (Printf.sprintf "%s in %S" msg c.line))
+
+let read_quoted c =
+  skip_ws c;
+  if c.pos >= String.length c.line || c.line.[c.pos] <> '"' then
+    fail_at c "expected quoted string";
+  let buf = Buffer.create 16 in
+  let i = ref (c.pos + 1) in
+  let n = String.length c.line in
+  let rec go () =
+    if !i >= n then fail_at c "unterminated string"
+    else
+      match c.line.[!i] with
+      | '"' -> incr i
+      | '\\' ->
+          if !i + 1 >= n then fail_at c "bad escape";
+          (match c.line.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | ch -> Buffer.add_char buf ch);
+          i := !i + 2;
+          go ()
+      | ch ->
+          Buffer.add_char buf ch;
+          incr i;
+          go ()
+  in
+  go ();
+  c.pos <- !i;
+  Buffer.contents buf
+
+let read_word c =
+  skip_ws c;
+  let start = c.pos in
+  while
+    c.pos < String.length c.line
+    && not (List.mem c.line.[c.pos] [ ' '; '('; ')'; ',' ])
+  do
+    c.pos <- c.pos + 1
+  done;
+  String.sub c.line start (c.pos - start)
+
+let read_const c : Term.const =
+  skip_ws c;
+  if c.pos >= String.length c.line then fail_at c "expected constant";
+  match c.line.[c.pos] with
+  | '"' -> Term.Sym (read_quoted c)
+  | '?' ->
+      c.pos <- c.pos + 1;
+      Term.Fresh (read_quoted c)
+  | _ -> (
+      let w = read_word c in
+      match int_of_string_opt w with
+      | Some i -> Term.Int i
+      | None -> fail_at c ("bad constant " ^ w))
+
+let expect c ch =
+  skip_ws c;
+  if c.pos < String.length c.line && c.line.[c.pos] = ch then c.pos <- c.pos + 1
+  else fail_at c (Printf.sprintf "expected %c" ch)
+
+let peek_is c ch =
+  skip_ws c;
+  c.pos < String.length c.line && c.line.[c.pos] = ch
+
+let decode_fact (c : cursor) : Fact.t =
+  let pred = read_word c in
+  expect c '(';
+  let args = ref [] in
+  if not (peek_is c ')') then begin
+    args := [ read_const c ];
+    while peek_is c ',' do
+      expect c ',';
+      args := read_const c :: !args
+    done
+  end;
+  expect c ')';
+  Fact.make_arr pred (Array.of_list (List.rev !args))
+
+let decode_value (c : cursor) : Value.t =
+  match read_word c with
+  | "null" -> Value.Null
+  | "int" -> Value.Int (int_of_string (read_word c))
+  | "float" -> Value.Float (float_of_string (read_word c))
+  | "str" -> Value.Str (read_quoted c)
+  | "bool" -> Value.Bool (bool_of_string (read_word c))
+  | "enum" ->
+      let tid = read_quoted c in
+      Value.Enum (tid, read_quoted c)
+  | "obj" -> Value.Obj (read_quoted c)
+  | w -> fail_at c ("bad value kind " ^ w)
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let save_to_buffer (m : Manager.t) : Buffer.t =
+  if Manager.in_session m then
+    invalid_arg "Persist.save: close the evolution session first";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# gomsm database dump v1\n";
+  let g = Manager.ids m in
+  Printf.bprintf buf "ids %d %d %d %d %d %d\n" g.Gom.Ids.schemas g.Gom.Ids.types
+    g.Gom.Ids.decls g.Gom.Ids.codes g.Gom.Ids.phreps g.Gom.Ids.objects;
+  let db = Manager.database m in
+  let facts = List.sort Fact.compare (Database.all_facts db) in
+  List.iter
+    (fun (f : Fact.t) ->
+      (* built-ins are reseeded on load *)
+      if not (List.mem f (Gom.Builtin.facts ())) then begin
+        Printf.bprintf buf "fact %s(" f.Fact.pred;
+        Array.iteri
+          (fun i a ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (encode_const a))
+          f.Fact.args;
+        Buffer.add_string buf ")\n"
+      end)
+    facts;
+  (* registered code: cids are recoverable from the Code/Fashion facts *)
+  let cids =
+    List.filter_map
+      (fun (f : Fact.t) ->
+        match f.Fact.pred, f.Fact.args with
+        | "Code", [| Term.Sym cid; _; _ |] -> Some cid
+        | "FashionDecl", [| _; _; Term.Sym cid |] -> Some cid
+        | "FashionAttr", [| _; _; _; Term.Sym r; Term.Sym w |] ->
+            ignore r;
+            ignore w;
+            None
+        | _ -> None)
+      facts
+    @ List.concat_map
+        (fun (f : Fact.t) ->
+          match f.Fact.pred, f.Fact.args with
+          | "FashionAttr", [| _; _; _; Term.Sym r; Term.Sym w |] -> [ r; w ]
+          | _ -> [])
+        facts
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun cid ->
+      match Manager.lookup_code m cid with
+      | None -> ()
+      | Some (params, body) ->
+          Printf.bprintf buf "code %s %s|%s\n" (quote cid)
+            (String.concat "," params)
+            (Analyzer.Ast.stmt_to_string
+               (match body with
+               | Analyzer.Ast.Block _ -> body
+               | other -> Analyzer.Ast.Block [ other ])))
+    cids;
+  (* the object base *)
+  let rt = Manager.runtime m in
+  Printf.bprintf buf "store_next %d\n"
+    (Object_store.counter (Runtime.store rt));
+  let objs = ref [] in
+  Object_store.iter (Runtime.store rt) (fun o -> objs := o :: !objs);
+  List.iter
+    (fun (o : Object_store.obj) ->
+      Printf.bprintf buf "object %s %s\n" (quote o.Object_store.oid)
+        (quote o.Object_store.tid);
+      List.iter
+        (fun a ->
+          match Object_store.get_slot o a with
+          | Some v ->
+              Printf.bprintf buf "slot %s %s %s\n" (quote o.Object_store.oid)
+                (quote a) (encode_value v)
+          | None -> ())
+        (List.sort compare (Object_store.slot_names o)))
+    (List.sort (fun a b -> compare a.Object_store.oid b.Object_store.oid) !objs);
+  Hashtbl.iter
+    (fun name v ->
+      Printf.bprintf buf "global %s %s\n" (quote name) (encode_value v))
+    rt.Runtime.globals;
+  buf
+
+let save (m : Manager.t) ~(path : string) : unit =
+  let buf = save_to_buffer m in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let load_from_string ?versioning ?fashion ?subschemas ?sorts ?check_mode
+    (text : string) : Manager.t =
+  let m = Manager.create ?versioning ?fashion ?subschemas ?sorts ?check_mode () in
+  let rt = Manager.runtime m in
+  let facts = ref [] in
+  let codes = ref [] in
+  let objects = ref [] in
+  let slots = ref [] in
+  let globals = ref [] in
+  let ids = ref None in
+  let store_next = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then ()
+         else begin
+           let c = { line; pos = 0 } in
+           match read_word c with
+           | "fact" -> facts := decode_fact c :: !facts
+           | "ids" ->
+               let n () = int_of_string (read_word c) in
+               let schemas = n () in
+               let types = n () in
+               let decls = n () in
+               let ccodes = n () in
+               let phreps = n () in
+               let objects = n () in
+               ids := Some (schemas, types, decls, ccodes, phreps, objects)
+           | "code" ->
+               let cid = read_quoted c in
+               skip_ws c;
+               let rest = String.sub line c.pos (String.length line - c.pos) in
+               (match String.index_opt rest '|' with
+               | None -> raise (Corrupt ("code line without body: " ^ line))
+               | Some i ->
+                   let params =
+                     String.sub rest 0 i |> String.split_on_char ','
+                     |> List.filter (fun s -> s <> "")
+                   in
+                   let body_text =
+                     String.sub rest (i + 1) (String.length rest - i - 1)
+                   in
+                   codes := (cid, params, body_text) :: !codes)
+           | "object" ->
+               let oid = read_quoted c in
+               let tid = read_quoted c in
+               objects := (oid, tid) :: !objects
+           | "slot" ->
+               let oid = read_quoted c in
+               let attr = read_quoted c in
+               let v = decode_value c in
+               slots := (oid, attr, v) :: !slots
+           | "store_next" -> store_next := int_of_string (read_word c)
+           | "global" ->
+               let name = read_quoted c in
+               globals := (name, decode_value c) :: !globals
+           | w -> raise (Corrupt ("unknown record kind " ^ w))
+         end);
+  (* restore identifier counters first so nothing clashes *)
+  (match !ids with
+  | Some (schemas, types, decls, codes, phreps, objs) ->
+      let g = Manager.ids m in
+      g.Gom.Ids.schemas <- schemas;
+      g.Gom.Ids.types <- types;
+      g.Gom.Ids.decls <- decls;
+      g.Gom.Ids.codes <- codes;
+      g.Gom.Ids.phreps <- phreps;
+      g.Gom.Ids.objects <- objs
+  | None -> ());
+  (* the facts go through a session so the Consistency Control sees them *)
+  Manager.begin_session m;
+  Manager.propose m
+    (Delta.of_lists ~additions:(List.rev !facts) ~deletions:[]);
+  List.iter
+    (fun (cid, params, body_text) ->
+      match
+        Analyzer.parse_commands
+          (Printf.sprintf "set code of f of T is %s;" body_text)
+      with
+      | [ Analyzer.Ast.Set_code (_, _, _, body) ] ->
+          Manager.register_code m cid params body
+      | _ -> raise (Corrupt ("unparsable code body for " ^ cid)))
+    !codes;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent reports ->
+      raise
+        (Corrupt
+           (Printf.sprintf "loaded database is inconsistent: %s"
+              (String.concat "; "
+                 (List.map (fun r -> r.Manager.description) reports)))));
+  (* objects are re-inserted under their saved identities *)
+  let store = Runtime.store rt in
+  let by_oid = Hashtbl.create 16 in
+  List.iter
+    (fun (oid, tid) ->
+      let o = Object_store.insert_keyed store ~oid ~tid in
+      Hashtbl.replace by_oid oid o)
+    (List.rev !objects);
+  Object_store.bump_counter store !store_next;
+  List.iter
+    (fun (oid, attr, v) ->
+      match Hashtbl.find_opt by_oid oid with
+      | Some o -> Object_store.set_slot o attr v
+      | None -> raise (Corrupt ("slot for unknown object " ^ oid)))
+    !slots;
+  List.iter (fun (name, v) -> Runtime.set_global rt name v) !globals;
+  m
+
+let load ?versioning ?fashion ?subschemas ?sorts ?check_mode ~(path : string)
+    () : Manager.t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  load_from_string ?versioning ?fashion ?subschemas ?sorts ?check_mode text

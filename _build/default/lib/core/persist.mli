@@ -1,0 +1,34 @@
+(** Persistence of the Database Model ("a schema is always persistent, and
+    with it, all its schema components"): the manager's whole state — base
+    facts, identifier counters, registered code, objects with their slots,
+    schema variables — serialized to a line-oriented textual format. *)
+
+exception Corrupt of string
+
+val save : Manager.t -> path:string -> unit
+(** @raise Invalid_argument if an evolution session is open. *)
+
+val save_to_buffer : Manager.t -> Buffer.t
+
+val load :
+  ?versioning:bool ->
+  ?fashion:bool ->
+  ?subschemas:bool ->
+  ?sorts:bool ->
+  ?check_mode:Manager.check_mode ->
+  path:string ->
+  unit ->
+  Manager.t
+(** Restore into a fresh manager.  The facts are replayed through a session,
+    so the load fails on a dump that is inconsistent under the (possibly
+    different) installed theory.
+    @raise Corrupt on malformed input or an inconsistent dump. *)
+
+val load_from_string :
+  ?versioning:bool ->
+  ?fashion:bool ->
+  ?subschemas:bool ->
+  ?sorts:bool ->
+  ?check_mode:Manager.check_mode ->
+  string ->
+  Manager.t

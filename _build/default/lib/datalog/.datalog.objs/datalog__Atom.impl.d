@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Array Fact Fmt List String Term

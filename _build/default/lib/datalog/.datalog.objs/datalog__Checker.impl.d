@@ -1,0 +1,1 @@
+lib/datalog/checker.ml: Array Constraint_compile Database Eval Fact Fmt List Term Theory

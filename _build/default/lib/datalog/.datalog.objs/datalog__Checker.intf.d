@@ -1,0 +1,1 @@
+lib/datalog/checker.mli: Constraint_compile Database Fmt Term Theory

@@ -1,0 +1,1 @@
+lib/datalog/constraint_compile.ml: Atom Fmt Formula List Rule String Term

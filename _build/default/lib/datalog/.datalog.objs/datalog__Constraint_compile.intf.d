@@ -1,0 +1,1 @@
+lib/datalog/constraint_compile.mli: Fmt Formula Rule

@@ -1,0 +1,1 @@
+lib/datalog/database.ml: Fact Hashtbl List Relation

@@ -1,0 +1,1 @@
+lib/datalog/delta.ml: Database Fact Fmt List String

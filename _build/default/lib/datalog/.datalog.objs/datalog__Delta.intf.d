@@ -1,0 +1,1 @@
+lib/datalog/delta.mli: Database Fact Fmt

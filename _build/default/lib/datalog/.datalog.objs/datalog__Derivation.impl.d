@@ -1,0 +1,1 @@
+lib/datalog/derivation.ml: Atom Database Eval Fact Fmt List Rule Subst Term

@@ -1,0 +1,1 @@
+lib/datalog/derivation.mli: Database Fact Fmt Rule Term

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Array Atom Database Fact Fmt List Relation Rule Stratify Subst Term

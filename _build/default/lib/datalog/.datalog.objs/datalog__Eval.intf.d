@@ -1,0 +1,1 @@
+lib/datalog/eval.mli: Database Fact Relation Rule Stratify Subst

@@ -1,0 +1,1 @@
+lib/datalog/fact.ml: Array Fmt Int String Term

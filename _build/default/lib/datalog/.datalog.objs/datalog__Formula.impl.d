@@ -1,0 +1,1 @@
+lib/datalog/formula.ml: Array Atom Fmt List Rule String Term

@@ -1,0 +1,1 @@
+lib/datalog/formula.mli: Atom Fmt Rule Term

@@ -1,0 +1,1 @@
+lib/datalog/incremental.ml: Array Atom Checker Constraint_compile Database Delta Eval Fact Hashtbl List Relation Rule Stratify String Subst Theory

@@ -1,0 +1,1 @@
+lib/datalog/incremental.mli: Checker Constraint_compile Database Delta Theory

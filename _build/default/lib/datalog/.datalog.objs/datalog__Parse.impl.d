@@ -1,0 +1,1 @@
+lib/datalog/parse.ml: Atom Buffer Formula List Printf Rule String Term

@@ -1,0 +1,1 @@
+lib/datalog/pretty.ml: Array Database Fact Fmt List Rule String Term

@@ -1,0 +1,1 @@
+lib/datalog/repair.ml: Array Atom Checker Database Derivation Eval Fact Fmt Int List Relation Rule Subst Term Theory

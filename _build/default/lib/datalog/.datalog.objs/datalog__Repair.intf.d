@@ -1,0 +1,1 @@
+lib/datalog/repair.mli: Checker Database Fact Fmt Theory

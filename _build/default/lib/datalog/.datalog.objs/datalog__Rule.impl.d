@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Atom Fmt List String Term

@@ -1,0 +1,1 @@
+lib/datalog/stratify.ml: Array Atom Fmt Hashtbl List Rule

@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Array Atom Fact Fmt Map String Term

@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Fmt Int String

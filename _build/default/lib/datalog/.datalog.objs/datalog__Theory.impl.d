@@ -1,0 +1,1 @@
+lib/datalog/theory.ml: Atom Constraint_compile Database Eval Hashtbl List Rule String

@@ -1,0 +1,1 @@
+lib/datalog/theory.mli: Constraint_compile Database Eval Formula Rule

@@ -1,0 +1,34 @@
+(* Atoms: a predicate applied to terms (variables or constants). *)
+
+type t = { pred : string; args : Term.t array }
+
+let make pred args = { pred; args = Array.of_list args }
+let make_arr pred args = { pred; args }
+
+let arity a = Array.length a.args
+
+let vars a =
+  Array.to_list a.args
+  |> List.filter_map (function Term.Var v -> Some v | Const _ -> None)
+
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+let to_fact a =
+  let conv = function
+    | Term.Const c -> c
+    | Term.Var v -> invalid_arg ("Atom.to_fact: unbound variable " ^ v)
+  in
+  { Fact.pred = a.pred; args = Array.map conv a.args }
+
+let of_fact (f : Fact.t) =
+  { pred = f.pred; args = Array.map (fun c -> Term.Const c) f.args }
+
+let equal a b =
+  String.equal a.pred b.pred
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 Term.equal a.args b.args
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" a.pred Fmt.(array ~sep:(any ", ") Term.pp) a.args
+
+let to_string a = Fmt.str "%a" pp a

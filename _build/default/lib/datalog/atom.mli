@@ -1,0 +1,20 @@
+(** Atoms: a predicate applied to terms (variables or constants). *)
+
+type t = { pred : string; args : Term.t array }
+
+val make : string -> Term.t list -> t
+val make_arr : string -> Term.t array -> t
+val arity : t -> int
+
+val vars : t -> string list
+(** Variables occurring in the atom, in argument order, with duplicates. *)
+
+val is_ground : t -> bool
+
+val to_fact : t -> Fact.t
+(** @raise Invalid_argument if the atom contains a variable. *)
+
+val of_fact : Fact.t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,46 @@
+(* Consistency checking: materialize the intensional predicates (including
+   the compiled violation predicates) and read off the violation relations. *)
+
+type violation = {
+  constraint_name : string;
+  viol_vars : string list;
+  witness : Term.const array;
+}
+
+let witness_bindings v = List.combine v.viol_vars (Array.to_list v.witness)
+
+let pp_violation ppf v =
+  let pp_binding ppf (var, c) = Fmt.pf ppf "%s = %a" var Term.pp_const c in
+  Fmt.pf ppf "violated %s [%a]" v.constraint_name
+    Fmt.(list ~sep:(any ", ") pp_binding)
+    (witness_bindings v)
+
+(* Copy the EDB and materialize all intensional predicates into the copy. *)
+let materialize ?(naive = false) (theory : Theory.t) (edb : Database.t) :
+    Database.t =
+  let db = Database.copy edb in
+  let prepared = Theory.prepared theory in
+  if naive then Eval.run_naive prepared db else Eval.run prepared db;
+  db
+
+(* Read violations off a materialized database. *)
+let violations_of ?only (theory : Theory.t) (db : Database.t) :
+    violation list =
+  let selected =
+    match only with None -> Theory.constraints theory | Some cs -> cs
+  in
+  List.concat_map
+    (fun (c : Constraint_compile.compiled) ->
+      Database.facts db c.viol_pred
+      |> List.map (fun (f : Fact.t) ->
+             {
+               constraint_name = c.name;
+               viol_vars = c.viol_vars;
+               witness = f.args;
+             }))
+    selected
+
+let check ?naive (theory : Theory.t) (edb : Database.t) : violation list =
+  violations_of theory (materialize ?naive theory edb)
+
+let is_consistent theory edb = check theory edb = []

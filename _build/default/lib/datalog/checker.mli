@@ -1,0 +1,26 @@
+(** Consistency checking: materialize the intensional predicates (including
+    compiled violation predicates) and read off the violation relations. *)
+
+type violation = {
+  constraint_name : string;
+  viol_vars : string list;
+  witness : Term.const array;
+}
+
+val witness_bindings : violation -> (string * Term.const) list
+val pp_violation : violation Fmt.t
+
+val materialize : ?naive:bool -> Theory.t -> Database.t -> Database.t
+(** Copy the extensional database and compute all intensional predicates into
+    the copy (semi-naive by default). *)
+
+val violations_of :
+  ?only:Constraint_compile.compiled list ->
+  Theory.t ->
+  Database.t ->
+  violation list
+(** Read violations off a materialized database, optionally restricted to a
+    subset of constraints. *)
+
+val check : ?naive:bool -> Theory.t -> Database.t -> violation list
+val is_consistent : Theory.t -> Database.t -> bool

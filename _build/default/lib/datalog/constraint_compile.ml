@@ -1,0 +1,180 @@
+(* Compilation of first-order consistency constraints into violation queries
+   (the approach of Moerkotte/Rösch, "On the compilation of consistency
+   constraints", here realized as a Lloyd-Topor transformation).
+
+   A constraint C must be a closed formula.  Its negation is brought to
+   negation normal form; the top-level existential prefix becomes the witness
+   of the violation; conjunction/disjunction structure becomes rule bodies;
+   an inner universal quantifier becomes a negated auxiliary predicate whose
+   rules are compiled recursively.  The result is a set of Datalog rules
+   defining [viol$name(witness)]: the constraint holds iff that relation is
+   empty, and each tuple in it is a witness of a violation. *)
+
+exception Error of string
+
+type compiled = {
+  name : string;
+  formula : Formula.t;
+  viol_pred : string;
+  viol_vars : string list;
+  rules : Rule.t list;
+}
+
+let viol_prefix = "viol$"
+let viol_pred_of_name name = viol_prefix ^ name
+let is_viol_pred p = String.length p > 5 && String.sub p 0 5 = viol_prefix
+
+(* Variables bound by a body: positive-atom variables, closed under
+   equality assignments. *)
+let bound_vars_of_body (body : Rule.literal list) : string list =
+  let bound = ref [] in
+  let add v = if not (List.mem v !bound) then bound := v :: !bound in
+  List.iter
+    (function
+      | Rule.Pos a -> List.iter add (Atom.vars a)
+      | Rule.Neg _ | Rule.Cmp _ -> ())
+    body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | Rule.Cmp (Rule.Eq, Term.Var v, t) | Rule.Cmp (Rule.Eq, t, Term.Var v)
+          ->
+            let t_bound =
+              match t with
+              | Term.Const _ -> true
+              | Term.Var u -> List.mem u !bound
+            in
+            if t_bound && not (List.mem v !bound) then begin
+              add v;
+              changed := true
+            end
+        | Rule.Pos _ | Rule.Neg _ | Rule.Cmp _ -> ())
+      body
+  done;
+  !bound
+
+let compile ~name (formula : Formula.t) : compiled =
+  if not (Formula.is_closed formula) then
+    raise
+      (Error
+         (Fmt.str "constraint %s is not closed (free: %a)" name
+            Fmt.(list ~sep:comma string)
+            (Formula.free_vars formula)));
+  let aux_count = ref 0 in
+  let aux_rules = ref [] in
+  let g =
+    Formula.miniscope
+      (Formula.nnf (Formula.Not (Formula.standardize_apart formula)))
+  in
+  (* Positive literals a formula contributes unconditionally (used as guards
+     for sibling universals, keeping auxiliary rules range-restricted). *)
+  let rec simple_guards (f : Formula.t) : Rule.literal list =
+    match f with
+    | Formula.Atom a -> [ Rule.Pos a ]
+    | Formula.And gs -> List.concat_map simple_guards gs
+    | Formula.Exists (_, g) -> simple_guards g
+    | Formula.True | Formula.False | Formula.Not _ | Formula.Cmp _
+    | Formula.Or _ | Formula.Implies _ | Formula.Iff _ | Formula.Forall _ ->
+        []
+  in
+  (* Compile an NNF formula into a disjunction of rule bodies; inner
+     universals become negated auxiliary predicates.  [ctx] carries the
+     positive guard literals of the enclosing conjunction: an auxiliary rule
+     whose own body does not bind every head variable is completed with the
+     guards, which is sound because the auxiliary predicate is only consulted
+     under those guards. *)
+  let rec bodies ctx (f : Formula.t) : Rule.literal list list =
+    match f with
+    | Formula.True -> [ [] ]
+    | Formula.False -> []
+    | Formula.Atom a -> [ [ Rule.Pos a ] ]
+    | Formula.Not (Formula.Atom a) -> [ [ Rule.Neg a ] ]
+    | Formula.Cmp (op, x, y) -> [ [ Rule.Cmp (op, x, y) ] ]
+    | Formula.And gs ->
+        let guards = List.map simple_guards gs in
+        let compiled =
+          List.mapi
+            (fun i g ->
+              let sibling_guards =
+                List.concat (List.filteri (fun j _ -> j <> i) guards)
+              in
+              bodies (ctx @ sibling_guards) g)
+            gs
+        in
+        List.fold_left
+          (fun acc gbodies ->
+            List.concat_map (fun b -> List.map (fun b' -> b @ b') gbodies) acc)
+          [ [] ] compiled
+    | Formula.Or gs -> List.concat_map (bodies ctx) gs
+    | Formula.Exists (_, g) -> bodies ctx g
+    | Formula.Forall (vs, g) ->
+        incr aux_count;
+        let aux_pred = Fmt.str "aux$%s$%d" name !aux_count in
+        let free = Formula.free_vars (Formula.Forall (vs, g)) in
+        let head = Atom.make aux_pred (List.map Term.var free) in
+        let sub_bodies = bodies ctx (Formula.nnf (Formula.Not g)) in
+        List.iter
+          (fun b ->
+            let bound = bound_vars_of_body b in
+            let body =
+              if List.for_all (fun v -> List.mem v bound) free then b
+              else
+                (* Complete with enclosing guards to bind the head. *)
+                List.filter (fun l -> not (List.mem l b)) ctx @ b
+            in
+            aux_rules := Rule.make head body :: !aux_rules)
+          sub_bodies;
+        [ [ Rule.Neg head ] ]
+    | Formula.Not _ | Formula.Implies _ | Formula.Iff _ ->
+        raise (Error (Fmt.str "constraint %s: internal NNF failure" name))
+  in
+  (* The top-level existential prefix is the witness of a violation. *)
+  let rec strip_exists acc = function
+    | Formula.Exists (vs, g) -> strip_exists (acc @ vs) g
+    | g -> acc, g
+  in
+  let witness, matrix = strip_exists [] g in
+  let disjuncts = bodies [] matrix in
+  if disjuncts = [] then
+    (* Negation is unsatisfiable: the constraint is a tautology. *)
+    {
+      name;
+      formula;
+      viol_pred = viol_pred_of_name name;
+      viol_vars = [];
+      rules = [];
+    }
+  else begin
+    let viol_vars =
+      List.filter
+        (fun v ->
+          List.for_all (fun b -> List.mem v (bound_vars_of_body b)) disjuncts)
+        witness
+    in
+    let viol_pred = viol_pred_of_name name in
+    let head = Atom.make viol_pred (List.map Term.var viol_vars) in
+    let viol_rules = List.map (fun b -> Rule.make head b) disjuncts in
+    let rules = List.rev !aux_rules @ viol_rules in
+    (* Validate range restriction now, with a constraint-level error. *)
+    (try List.iter (fun r -> ignore (Rule.normalize r)) rules
+     with Rule.Unsafe msg ->
+       raise
+         (Error (Fmt.str "constraint %s is not range-restricted: %s" name msg)));
+    { name; formula; viol_pred; viol_vars; rules }
+  end
+
+(* Predicates a compiled constraint reads, excluding its own generated
+   predicates. *)
+let direct_deps (c : compiled) : string list =
+  let own p = is_viol_pred p || String.length p > 4 && String.sub p 0 4 = "aux$" in
+  List.concat_map Rule.body_preds c.rules
+  |> List.filter (fun p -> not (own p))
+  |> List.sort_uniq String.compare
+
+let pp ppf c =
+  Fmt.pf ppf "@[<v>constraint %s:@,  %a@,compiled to:@,  %a@]" c.name
+    Formula.pp c.formula
+    Fmt.(list ~sep:(any "@,  ") Rule.pp)
+    c.rules

@@ -1,0 +1,27 @@
+(** Compilation of first-order consistency constraints into violation
+    queries (Lloyd–Topor transformation).
+
+    A closed constraint [C] compiles to Datalog rules defining a violation
+    predicate: [C] holds iff the violation relation is empty, and every tuple
+    in it is a witness binding for the constraint's outer quantifier. *)
+
+exception Error of string
+
+type compiled = {
+  name : string;
+  formula : Formula.t;
+  viol_pred : string;  (** ["viol$" ^ name] *)
+  viol_vars : string list;  (** witness variable names, arity of [viol_pred] *)
+  rules : Rule.t list;  (** auxiliary rules followed by violation rules *)
+}
+
+val viol_pred_of_name : string -> string
+val is_viol_pred : string -> bool
+
+val compile : name:string -> Formula.t -> compiled
+(** @raise Error if the formula is open or not range-restricted. *)
+
+val direct_deps : compiled -> string list
+(** Predicates the compiled rules read, excluding generated ones. *)
+
+val pp : compiled Fmt.t

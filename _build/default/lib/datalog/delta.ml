@@ -1,0 +1,50 @@
+(* Change sets on the extensional database: the paper's [+]/[-] interface of
+   the Consistency Control ("the interface to the Database Model then
+   consists of the operations add (+) and delete (-)"). *)
+
+type t = { additions : Fact.t list; deletions : Fact.t list }
+
+let empty = { additions = []; deletions = [] }
+
+let add f d = { d with additions = f :: d.additions }
+let del f d = { d with deletions = f :: d.deletions }
+let of_lists ~additions ~deletions = { additions; deletions }
+
+let is_empty d = d.additions = [] && d.deletions = []
+
+let union a b =
+  {
+    additions = a.additions @ b.additions;
+    deletions = a.deletions @ b.deletions;
+  }
+
+let size d = List.length d.additions + List.length d.deletions
+
+let changed_preds d =
+  List.map (fun f -> f.Fact.pred) (d.additions @ d.deletions)
+  |> List.sort_uniq String.compare
+
+(* Apply to a database, returning the effective delta: only facts actually
+   inserted or removed.  Deletions are applied first so that a fact both
+   deleted and re-added nets out as present.  All additions are
+   arity-checked up front, so a signature mismatch raises before anything
+   is mutated. *)
+let apply db d =
+  List.iter (Database.check_arity db) d.additions;
+  let deletions = List.filter (fun f -> Database.remove db f) d.deletions in
+  let additions = List.filter (fun f -> Database.add db f) d.additions in
+  { additions; deletions }
+
+(* Invert: undoing [apply db d] given the effective delta it returned. *)
+let invert d = { additions = d.deletions; deletions = d.additions }
+
+let pp ppf d =
+  let plus ppf f = Fmt.pf ppf "+%a" Fact.pp f in
+  let minus ppf f = Fmt.pf ppf "-%a" Fact.pp f in
+  Fmt.pf ppf "@[<v>%a%a%a@]"
+    Fmt.(list ~sep:cut minus)
+    d.deletions
+    Fmt.(if d.deletions <> [] && d.additions <> [] then cut else nop)
+    ()
+    Fmt.(list ~sep:cut plus)
+    d.additions

@@ -1,0 +1,23 @@
+(** Change sets on the extensional database: the [+]/[-] modify interface of
+    the Consistency Control. *)
+
+type t = { additions : Fact.t list; deletions : Fact.t list }
+
+val empty : t
+val add : Fact.t -> t -> t
+val del : Fact.t -> t -> t
+val of_lists : additions:Fact.t list -> deletions:Fact.t list -> t
+val is_empty : t -> bool
+val union : t -> t -> t
+val size : t -> int
+val changed_preds : t -> string list
+
+val apply : Database.t -> t -> t
+(** Apply to a database; returns the {e effective} delta (only facts actually
+    inserted or removed), suitable for incremental maintenance and rollback.
+    Deletions are applied before additions. *)
+
+val invert : t -> t
+(** The delta that undoes an effective delta. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,24 @@
+(** Derivation trees: proofs of derived facts over the materialized database,
+    whose leaf flips generate repairs. *)
+
+type tree =
+  | Edb of Fact.t  (** a base fact, present *)
+  | Absent of Fact.t  (** a satisfied negation: this fact is absent *)
+  | Builtin of Rule.cmp * Term.const * Term.const
+  | Derived of Fact.t * Rule.t * tree list
+
+exception Cyclic
+
+val fact_of : tree -> Fact.t option
+
+val derive :
+  is_idb:(string -> bool) ->
+  rules:Rule.t list ->
+  Database.t ->
+  Fact.t ->
+  tree option
+(** One derivation tree for a fact against a materialized database, or [None]
+    if the fact does not hold. *)
+
+val leaves : tree -> tree list
+val pp : tree Fmt.t

@@ -1,0 +1,201 @@
+(* Bottom-up evaluation of stratified Datalog programs.
+
+   [eval_lits] enumerates the substitutions satisfying a body against a
+   database; positive literals scan relations (optionally overridden, which is
+   how semi-naive deltas are injected), negated literals and comparisons are
+   tested once their variables are bound (guaranteed by [Rule.normalize]).
+
+   [run] materializes the intensional predicates into the database with a
+   semi-naive fixpoint per stratum; [run_naive] is the naive fixpoint kept for
+   the ablation bench. *)
+
+type prepared = { rules : Rule.t list; strat : Stratify.t }
+
+let prepare rules =
+  let rules = List.map Rule.normalize rules in
+  { rules; strat = Stratify.compute rules }
+
+let rules t = t.rules
+let stratification t = t.strat
+let is_idb t pred = Stratify.is_idb t.strat pred
+
+(* Enumerate substitutions satisfying [lits] against [db], extending [s].
+   [scan i] may override the relation scanned by the [i]-th literal (used to
+   restrict one literal to a delta). *)
+let eval_lits db ?(scan = fun _ -> None) lits s k =
+  let rec go i lits s =
+    match lits with
+    | [] -> k s
+    | Rule.Pos a :: rest ->
+        let rel =
+          match scan i with
+          | Some r -> Some r
+          | None -> Database.relation_opt db a.Atom.pred
+        in
+        (match rel with
+        | None -> ()
+        | Some rel ->
+            let consider tuple =
+              match Subst.unify_args a.Atom.args tuple s with
+              | None -> ()
+              | Some s -> go (i + 1) rest s
+            in
+            (* an argument bound under the current substitution selects the
+               column index instead of a full scan *)
+            let rec first_bound j =
+              if j >= Array.length a.Atom.args then None
+              else
+                match Subst.apply_term s a.Atom.args.(j) with
+                | Term.Const c -> Some (j, c)
+                | Term.Var _ -> first_bound (j + 1)
+            in
+            (match first_bound 0 with
+            | Some (col, key) -> (
+                match Relation.lookup rel ~col ~key with
+                | Some tuples -> List.iter consider tuples
+                | None -> Relation.iter consider rel)
+            | None -> Relation.iter consider rel))
+    | Rule.Neg a :: rest ->
+        let f = Subst.ground_atom s a in
+        if not (Fact.is_ground f) then
+          invalid_arg
+            (Fmt.str "eval: negated literal not ground: %a" Fact.pp f);
+        if not (Database.mem db f) then go (i + 1) rest s
+    | Rule.Cmp (op, x, y) :: rest -> (
+        match Subst.apply_term s x, Subst.apply_term s y with
+        | Term.Const a, Term.Const b ->
+            if Rule.eval_cmp op a b then go (i + 1) rest s
+        | Term.Var v, Term.Const c when op = Rule.Eq ->
+            go (i + 1) rest (Subst.bind v c s)
+        | Term.Const c, Term.Var v when op = Rule.Eq ->
+            go (i + 1) rest (Subst.bind v c s)
+        | _ ->
+            invalid_arg
+              (Fmt.str "eval: comparison with unbound variable: %a"
+                 Rule.pp_literal (Rule.Cmp (op, x, y))))
+  in
+  go 0 lits s
+
+(* Evaluate one rule, collecting head facts not yet in [db] into [acc]. *)
+let derive_rule db ?scan (r : Rule.t) acc =
+  eval_lits db ?scan r.body Subst.empty (fun s ->
+      let f = Subst.ground_atom s r.head in
+      if not (Database.mem db f) then acc := f :: !acc)
+
+(* One stratum, semi-naive.  [recursive p] holds for predicates defined in
+   this stratum; rules mentioning them positively participate in delta
+   rounds. *)
+let run_stratum db rules =
+  let heads = List.map (fun r -> r.Rule.head.Atom.pred) rules in
+  let recursive p = List.mem p heads in
+  (* Round 0: every rule against the full database. *)
+  let fresh = ref [] in
+  List.iter (fun r -> derive_rule db r fresh) rules;
+  let delta = Database.create () in
+  List.iter
+    (fun f -> if Database.add db f then ignore (Database.add delta f))
+    !fresh;
+  (* Delta rounds: rule variants with one recursive literal over the delta. *)
+  let variants =
+    List.concat_map
+      (fun r ->
+        List.mapi (fun i lit -> i, lit) r.Rule.body
+        |> List.filter_map (fun (i, lit) ->
+               match lit with
+               | Rule.Pos a when recursive a.Atom.pred ->
+                   Some (r, i, a.Atom.pred)
+               | Rule.Pos _ | Rule.Neg _ | Rule.Cmp _ -> None))
+      rules
+  in
+  let rec loop delta =
+    if Database.total delta > 0 then begin
+      let fresh = ref [] in
+      List.iter
+        (fun (r, i, pred) ->
+          match Database.relation_opt delta pred with
+          | None -> ()
+          | Some drel ->
+              if not (Relation.is_empty drel) then
+                derive_rule db
+                  ~scan:(fun j -> if j = i then Some drel else None)
+                  r fresh)
+        variants;
+      let next = Database.create () in
+      List.iter
+        (fun f -> if Database.add db f then ignore (Database.add next f))
+        !fresh;
+      loop next
+    end
+  in
+  loop delta
+
+let run t db = Array.iter (fun rules -> run_stratum db rules) (Stratify.strata t.strat)
+
+(* Naive fixpoint per stratum: re-evaluate every rule until nothing new. *)
+let run_naive t db =
+  Array.iter
+    (fun rules ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let fresh = ref [] in
+        List.iter (fun r -> derive_rule db r fresh) rules;
+        List.iter (fun f -> if Database.add db f then changed := true) !fresh
+      done)
+    (Stratify.strata t.strat)
+
+(* Continue a materialized database after EDB additions: [added] must already
+   be inserted into [db].  Sound for programs where the added predicates do
+   not feed any negated literal (checked by the caller; see Incremental for
+   the general case). *)
+let continue_with_additions t db (added : Fact.t list) =
+  let d = Database.create () in
+  List.iter (fun f -> ignore (Database.add d f)) added;
+  Array.iter
+    (fun rules ->
+      (* Variants: any rule literal whose predicate has delta facts; the
+         accumulated delta is rescanned each round (already-present heads are
+         filtered out), which is simple and correct. *)
+      let rec loop () =
+        let fresh = ref [] in
+        List.iter
+          (fun (r : Rule.t) ->
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Rule.Pos a -> (
+                    match Database.relation_opt d a.Atom.pred with
+                    | None -> ()
+                    | Some drel ->
+                        if not (Relation.is_empty drel) then
+                          derive_rule db
+                            ~scan:(fun j -> if j = i then Some drel else None)
+                            r fresh)
+                | Rule.Neg _ | Rule.Cmp _ -> ())
+              r.body)
+          rules;
+        let new_facts = List.filter (fun f -> Database.add db f) !fresh in
+        if new_facts <> [] then begin
+          List.iter (fun f -> ignore (Database.add d f)) new_facts;
+          loop ()
+        end
+      in
+      loop ())
+    (Stratify.strata t.strat)
+
+(* Answer a query (a body) against a materialized database. *)
+let query db lits k =
+  let lits = List.map (fun l -> l) lits in
+  (* Order literals for evaluability via a throwaway rule. *)
+  let dummy_head = Atom.make "$query" [] in
+  let r = Rule.normalize (Rule.make dummy_head lits) in
+  eval_lits db r.body Subst.empty k
+
+let query_once db lits =
+  let result = ref None in
+  (try
+     query db lits (fun s ->
+         result := Some s;
+         raise Exit)
+   with Exit -> ());
+  !result

@@ -1,0 +1,43 @@
+(** Bottom-up evaluation of stratified Datalog programs. *)
+
+type prepared
+
+val prepare : Rule.t list -> prepared
+(** Normalize rules (safety check, literal ordering) and stratify.
+    @raise Rule.Unsafe on a rule that is not range restricted.
+    @raise Stratify.Not_stratifiable on a negative dependency cycle. *)
+
+val rules : prepared -> Rule.t list
+val stratification : prepared -> Stratify.t
+val is_idb : prepared -> string -> bool
+
+val eval_lits :
+  Database.t ->
+  ?scan:(int -> Relation.t option) ->
+  Rule.literal list ->
+  Subst.t ->
+  (Subst.t -> unit) ->
+  unit
+(** Enumerate substitutions satisfying a literal list (assumed already in an
+    evaluable order).  [scan i] overrides the relation scanned by the [i]-th
+    literal, which is how semi-naive deltas are injected. *)
+
+val run : prepared -> Database.t -> unit
+(** Materialize all intensional predicates into the database, semi-naive
+    fixpoint per stratum. *)
+
+val run_naive : prepared -> Database.t -> unit
+(** Naive fixpoint (re-evaluate everything until no change); kept for the
+    evaluation-strategy ablation bench. *)
+
+val continue_with_additions : prepared -> Database.t -> Fact.t list -> unit
+(** Continue a materialized database after EDB additions ([added] must
+    already be inserted).  Only sound when additions cannot reach a negated
+    literal; {!Incremental} handles the general case. *)
+
+val query : Database.t -> Rule.literal list -> (Subst.t -> unit) -> unit
+(** Answer a query body against a materialized database.  The body is
+    reordered for evaluability first.
+    @raise Rule.Unsafe if the body cannot be ordered. *)
+
+val query_once : Database.t -> Rule.literal list -> Subst.t option

@@ -1,0 +1,36 @@
+(* Ground facts: a predicate name applied to a tuple of constants. *)
+
+type t = { pred : string; args : Term.const array }
+
+let make pred args = { pred; args = Array.of_list args }
+let make_arr pred args = { pred; args }
+
+let arity f = Array.length f.args
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Term.compare_const a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+
+let is_ground f =
+  Array.for_all (function Term.Fresh _ -> false | Sym _ | Int _ -> true) f.args
+
+let pp ppf f =
+  Fmt.pf ppf "%s(%a)" f.pred
+    Fmt.(array ~sep:(any ", ") Term.pp_const)
+    f.args
+
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,16 @@
+(** Ground facts: a predicate name applied to a tuple of constants. *)
+
+type t = { pred : string; args : Term.const array }
+
+val make : string -> Term.const list -> t
+val make_arr : string -> Term.const array -> t
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_ground : t -> bool
+(** [is_ground f] is [false] when [f] contains a {!Term.Fresh} placeholder
+    (such a fact may appear in a repair but never in a database). *)
+
+val pp : t Fmt.t
+val to_string : t -> string

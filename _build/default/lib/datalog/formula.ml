@@ -1,0 +1,185 @@
+(* First-order constraint formulas, as used in the paper to state schema
+   consistency declaratively.  Constraints must be closed, range-restricted
+   formulas; [Constraint_compile] rejects the rest. *)
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Cmp of Rule.cmp * Term.t * Term.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Forall of string list * t
+  | Exists of string list * t
+
+(* Smart constructors for readable constraint definitions. *)
+let atom pred args = Atom (Atom.make pred args)
+let ( ==> ) a b = Implies (a, b)
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let conj fs = And fs
+let disj fs = Or fs
+let neg f = Not f
+let forall vars f = Forall (vars, f)
+let exists vars f = Exists (vars, f)
+let eq x y = Cmp (Rule.Eq, x, y)
+let ne x y = Cmp (Rule.Ne, x, y)
+
+let rec free_vars (f : t) : string list =
+  let union a b = a @ List.filter (fun v -> not (List.mem v a)) b in
+  let remove vs l = List.filter (fun v -> not (List.mem v vs)) l in
+  match f with
+  | True | False -> []
+  | Atom a -> List.sort_uniq String.compare (Atom.vars a)
+  | Cmp (_, x, y) ->
+      List.filter_map (function Term.Var v -> Some v | Const _ -> None) [ x; y ]
+      |> List.sort_uniq String.compare
+  | Not g -> free_vars g
+  | And gs | Or gs -> List.fold_left (fun acc g -> union acc (free_vars g)) [] gs
+  | Implies (a, b) | Iff (a, b) -> union (free_vars a) (free_vars b)
+  | Forall (vs, g) | Exists (vs, g) -> remove vs (free_vars g)
+
+let is_closed f = free_vars f = []
+
+(* Negation normal form: negations pushed to atoms/comparisons,
+   Implies/Iff expanded. *)
+let rec nnf (f : t) : t =
+  match f with
+  | True | False | Atom _ | Cmp _ -> f
+  | And gs -> And (List.map nnf gs)
+  | Or gs -> Or (List.map nnf gs)
+  | Implies (a, b) -> Or [ nnf (Not a); nnf b ]
+  | Iff (a, b) -> And [ nnf (Implies (a, b)); nnf (Implies (b, a)) ]
+  | Forall (vs, g) -> Forall (vs, nnf g)
+  | Exists (vs, g) -> Exists (vs, nnf g)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom _ -> Not (nnf g)
+      | Cmp (op, x, y) -> Cmp (Rule.negate_cmp op, x, y)
+      | Not h -> nnf h
+      | And hs -> Or (List.map (fun h -> nnf (Not h)) hs)
+      | Or hs -> And (List.map (fun h -> nnf (Not h)) hs)
+      | Implies (a, b) -> And [ nnf a; nnf (Not b) ]
+      | Iff (a, b) -> nnf (Or [ And [ a; Not b ]; And [ b; Not a ] ])
+      | Forall (vs, h) -> Exists (vs, nnf (Not h))
+      | Exists (vs, h) -> Forall (vs, nnf (Not h)))
+
+(* Miniscoping: push quantifiers inward (input must be in NNF, with bound
+   variables standardized apart).  This is what lets paper-style constraints
+   with a mixed forall/exists prefix compile to range-restricted rules: in
+   [forall D exists C (Decl(D) => Code(C, D))], the existential ends up
+   scoped over the conclusion only. *)
+let rec miniscope (f : t) : t =
+  let mentions vs g = List.exists (fun v -> List.mem v (free_vars g)) vs in
+  match f with
+  | True | False | Atom _ | Cmp _ | Not _ -> f
+  | And gs -> And (List.map miniscope gs)
+  | Or gs -> Or (List.map miniscope gs)
+  | Implies (a, b) -> Implies (miniscope a, miniscope b)
+  | Iff (a, b) -> Iff (miniscope a, miniscope b)
+  | Forall (vs, g) -> (
+      let g = miniscope g in
+      let vs = List.filter (fun v -> List.mem v (free_vars g)) vs in
+      if vs = [] then g
+      else
+        match g with
+        | And gs ->
+            (* forall distributes over conjunction *)
+            And (List.map (fun h -> miniscope (Forall (vs, h))) gs)
+        | Or gs ->
+            let dep, indep = List.partition (mentions vs) gs in
+            if indep = [] then Forall (vs, g)
+            else
+              Or
+                (indep
+                @ [
+                    (match dep with
+                    | [] -> True
+                    | [ h ] -> miniscope (Forall (vs, h))
+                    | _ :: _ :: _ -> Forall (vs, Or dep));
+                  ])
+        | True | False | Atom _ | Cmp _ | Not _ | Implies _ | Iff _
+        | Forall _ | Exists _ ->
+            Forall (vs, g))
+  | Exists (vs, g) -> (
+      let g = miniscope g in
+      let vs = List.filter (fun v -> List.mem v (free_vars g)) vs in
+      if vs = [] then g
+      else
+        match g with
+        | Or gs ->
+            (* exists distributes over disjunction *)
+            Or (List.map (fun h -> miniscope (Exists (vs, h))) gs)
+        | And gs ->
+            let dep, indep = List.partition (mentions vs) gs in
+            if indep = [] then Exists (vs, g)
+            else
+              And
+                (indep
+                @ [
+                    (match dep with
+                    | [] -> True
+                    | [ h ] -> miniscope (Exists (vs, h))
+                    | _ :: _ :: _ -> Exists (vs, And dep));
+                  ])
+        | True | False | Atom _ | Cmp _ | Not _ | Implies _ | Iff _
+        | Forall _ | Exists _ ->
+            Exists (vs, g))
+
+(* Rename bound variables apart so that compilation never captures. *)
+let standardize_apart (f : t) : t =
+  let counter = ref 0 in
+  let fresh v =
+    incr counter;
+    Fmt.str "%s'%d" v !counter
+  in
+  let ren_term env = function
+    | Term.Var v as t -> (
+        match List.assoc_opt v env with
+        | Some v' -> Term.Var v'
+        | None -> t)
+    | Term.Const _ as t -> t
+  in
+  let ren_atom env (a : Atom.t) =
+    { a with args = Array.map (ren_term env) a.args }
+  in
+  let rec go env = function
+    | True -> True
+    | False -> False
+    | Atom a -> Atom (ren_atom env a)
+    | Cmp (op, x, y) -> Cmp (op, ren_term env x, ren_term env y)
+    | Not g -> Not (go env g)
+    | And gs -> And (List.map (go env) gs)
+    | Or gs -> Or (List.map (go env) gs)
+    | Implies (a, b) -> Implies (go env a, go env b)
+    | Iff (a, b) -> Iff (go env a, go env b)
+    | Forall (vs, g) ->
+        let vs' = List.map fresh vs in
+        Forall (vs', go (List.combine vs vs' @ env) g)
+    | Exists (vs, g) ->
+        let vs' = List.map fresh vs in
+        Exists (vs', go (List.combine vs vs' @ env) g)
+  in
+  go [] f
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom a -> Atom.pp ppf a
+  | Cmp (op, x, y) -> Fmt.pf ppf "%a %a %a" Term.pp x Rule.pp_cmp op Term.pp y
+  | Not g -> Fmt.pf ppf "~(%a)" pp g
+  | And gs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " /\\ ") pp) gs
+  | Or gs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " \\/ ") pp) gs
+  | Implies (a, b) -> Fmt.pf ppf "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Fmt.pf ppf "(%a <=> %a)" pp a pp b
+  | Forall (vs, g) ->
+      Fmt.pf ppf "forall %a. %a" Fmt.(list ~sep:(any ", ") string) vs pp g
+  | Exists (vs, g) ->
+      Fmt.pf ppf "exists %a. %a" Fmt.(list ~sep:(any ", ") string) vs pp g
+
+let to_string f = Fmt.str "%a" pp f

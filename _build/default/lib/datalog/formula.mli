@@ -1,0 +1,48 @@
+(** First-order constraint formulas for declarative schema consistency. *)
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Cmp of Rule.cmp * Term.t * Term.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Forall of string list * t
+  | Exists of string list * t
+
+(** {2 Smart constructors} *)
+
+val atom : string -> Term.t list -> t
+val ( ==> ) : t -> t -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val conj : t list -> t
+val disj : t list -> t
+val neg : t -> t
+val forall : string list -> t -> t
+val exists : string list -> t -> t
+val eq : Term.t -> Term.t -> t
+val ne : Term.t -> Term.t -> t
+
+(** {2 Analysis and transformation} *)
+
+val free_vars : t -> string list
+val is_closed : t -> bool
+
+val nnf : t -> t
+(** Negation normal form; [Implies]/[Iff] expanded, negations pushed to
+    atoms and comparisons. *)
+
+val miniscope : t -> t
+(** Push quantifiers inward (input in NNF with bound variables standardized
+    apart).  Makes paper-style mixed forall/exists prefixes compile to
+    range-restricted rules. *)
+
+val standardize_apart : t -> t
+(** Rename bound variables apart so compilation never captures. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

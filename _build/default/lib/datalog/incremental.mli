@@ -1,0 +1,30 @@
+(** Incremental consistency checking: affected-constraint cone evaluation and
+    a maintained materialization updated by a stratified delete-and-rederive
+    (DRed) algorithm. *)
+
+type state
+
+val check_affected :
+  Theory.t -> Database.t -> delta:Delta.t -> Checker.violation list
+(** Re-materialize from scratch, but only the rule cone of the constraints
+    that transitively depend on a predicate changed by [delta], and report
+    only their violations.  [delta] is assumed already applied to the
+    database. *)
+
+val init : ?copy:bool -> Theory.t -> Database.t -> state
+(** Snapshot the extensional database and materialize it.  With [~copy:false]
+    the caller's database is maintained in place (every change must then go
+    through {!apply}).
+    @raise Invalid_argument if a declared base predicate is also derived. *)
+
+val apply : state -> Delta.t -> Delta.t
+(** Apply a base-fact delta and maintain the materialization (DRed).
+    Returns the effective delta (facts actually inserted/removed), suitable
+    for {!Delta.invert}-based rollback. *)
+
+val violations :
+  ?only:Constraint_compile.compiled list -> state -> Checker.violation list
+(** Current violations, read directly off the maintained materialization. *)
+
+val edb : state -> Database.t
+val materialized : state -> Database.t

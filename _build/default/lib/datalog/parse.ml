@@ -1,0 +1,395 @@
+(* A small concrete syntax for the deductive layer, so constraints, rules
+   and queries can be stated as text (the user-facing side of "schema
+   consistency can be stated declaratively"):
+
+     formula  ::=  'forall' vars '.' formula
+                |  'exists' vars '.' formula
+                |  implies
+     implies  ::=  or ( ('->' | '=>') implies )?      right associative
+     or       ::=  and ( ('\/' | 'or') and )*
+     and      ::=  unary ( ('/\' | 'and') unary )*
+     unary    ::=  ('not' | '~') unary | 'true' | 'false' | '(' formula ')'
+                |  atom | term cmp term
+     atom     ::=  IDENT '(' term, ... ')'
+     term     ::=  VARIABLE (capitalized) | 'symbol' | "symbol" | INT
+                |  lowercase-ident (a symbol constant)
+     cmp      ::=  '=' | '!=' | '<' | '<=' | '>' | '>='
+
+     rule     ::=  atom ':-' literal, ... '.'   |   atom '.'
+     literal  ::=  atom | 'not' atom | term cmp term
+     query    ::=  literal, ... ('.' | '?')?
+
+   Variables start with an upper-case letter or '_'; everything else is a
+   symbol constant.  Quoted symbols allow arbitrary contents. *)
+
+exception Error of string
+
+type token =
+  | TIdent of string  (* lower-case: predicate or symbol *)
+  | TVar of string  (* upper-case *)
+  | TQuoted of string
+  | TInt of int
+  | TLparen
+  | TRparen
+  | TComma
+  | TDot
+  | TTurnstile  (* :- *)
+  | TArrow  (* -> or => *)
+  | TIff  (* <-> or <=> *)
+  | TAnd
+  | TOr
+  | TNot
+  | TForall
+  | TExists
+  | TTrue
+  | TFalse
+  | TCmp of Rule.cmp
+  | TQuestion
+  | TEOF
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_alpha c || is_digit c || c = '$' || c = '\''
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (TInt (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match String.lowercase_ascii word with
+      | "forall" -> push TForall
+      | "exists" -> push TExists
+      | "and" when word = "and" -> push TAnd
+      | "or" when word = "or" -> push TOr
+      | "not" when word = "not" -> push TNot
+      | "true" when word = "true" -> push TTrue
+      | "false" when word = "false" -> push TFalse
+      | _ ->
+          if c >= 'A' && c <= 'Z' || c = '_' then push (TVar word)
+          else push (TIdent word)
+    end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      incr i;
+      let buf = Buffer.create 8 in
+      while !i < n && src.[!i] <> quote do
+        Buffer.add_char buf src.[!i];
+        incr i
+      done;
+      if !i >= n then raise (Error "unterminated quoted symbol");
+      incr i;
+      push (TQuoted (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      if three = "<->" || three = "<=>" then begin
+        push TIff;
+        i := !i + 3
+      end
+      else if two = ":-" then begin
+        push TTurnstile;
+        i := !i + 2
+      end
+      else if two = "->" || two = "=>" then begin
+        push TArrow;
+        i := !i + 2
+      end
+      else if two = "/\\" then begin
+        push TAnd;
+        i := !i + 2
+      end
+      else if two = "\\/" then begin
+        push TOr;
+        i := !i + 2
+      end
+      else if two = "!=" || two = "<>" then begin
+        push (TCmp Rule.Ne);
+        i := !i + 2
+      end
+      else if two = "<=" then begin
+        push (TCmp Rule.Le);
+        i := !i + 2
+      end
+      else if two = ">=" then begin
+        push (TCmp Rule.Ge);
+        i := !i + 2
+      end
+      else
+        match c with
+        | '(' ->
+            push TLparen;
+            incr i
+        | ')' ->
+            push TRparen;
+            incr i
+        | ',' ->
+            push TComma;
+            incr i
+        | '.' ->
+            push TDot;
+            incr i
+        | '?' ->
+            push TQuestion;
+            incr i
+        | '~' ->
+            push TNot;
+            incr i
+        | '=' ->
+            push (TCmp Rule.Eq);
+            incr i
+        | '<' ->
+            push (TCmp Rule.Lt);
+            incr i
+        | '>' ->
+            push (TCmp Rule.Gt);
+            incr i
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  List.rev (TEOF :: !toks)
+
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> TEOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t what =
+  if peek st = t then advance st
+  else raise (Error ("expected " ^ what))
+
+let parse_term st : Term.t =
+  match peek st with
+  | TVar v ->
+      advance st;
+      Term.var v
+  | TIdent s ->
+      advance st;
+      Term.sym s
+  | TQuoted s ->
+      advance st;
+      Term.sym s
+  | TInt i ->
+      advance st;
+      Term.int i
+  | _ -> raise (Error "expected a term")
+
+let parse_terms st =
+  expect st TLparen "'('";
+  if peek st = TRparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let t = parse_term st in
+      if peek st = TComma then begin
+        advance st;
+        go (t :: acc)
+      end
+      else begin
+        expect st TRparen "')'";
+        List.rev (t :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_vars st =
+  let rec go acc =
+    match peek st with
+    | TVar v ->
+        advance st;
+        if peek st = TComma then begin
+          advance st;
+          go (v :: acc)
+        end
+        else List.rev (v :: acc)
+    | _ -> raise (Error "expected a variable")
+  in
+  go []
+
+(* An identifier directly followed by '(' is a predicate regardless of its
+   case (the GOM predicate names are capitalized); otherwise capitalized
+   identifiers are variables.  Capitalized symbol constants must be quoted. *)
+let starts_atom st =
+  match st.toks with
+  | (TIdent _ | TVar _) :: TLparen :: _ -> true
+  | _ -> false
+
+(* atom or comparison *)
+let parse_atomic st : Formula.t =
+  if starts_atom st then begin
+    let p =
+      match peek st with
+      | TIdent p | TVar p ->
+          advance st;
+          p
+      | _ -> assert false
+    in
+    Formula.Atom (Atom.make p (parse_terms st))
+  end
+  else
+    match peek st with
+    | TIdent _ | TVar _ | TInt _ | TQuoted _ -> (
+        let x = parse_term st in
+        match peek st with
+        | TCmp op ->
+            advance st;
+            Formula.Cmp (op, x, parse_term st)
+        | _ -> raise (Error "expected a comparison operator"))
+    | _ -> raise (Error "expected an atom or comparison")
+
+let rec parse_formula st : Formula.t =
+  match peek st with
+  | TForall ->
+      advance st;
+      let vs = parse_vars st in
+      if peek st = TDot then advance st;
+      Formula.Forall (vs, parse_formula st)
+  | TExists ->
+      advance st;
+      let vs = parse_vars st in
+      if peek st = TDot then advance st;
+      Formula.Exists (vs, parse_formula st)
+  | _ -> parse_implies st
+
+and parse_implies st : Formula.t =
+  let lhs = parse_or st in
+  match peek st with
+  | TArrow ->
+      advance st;
+      Formula.Implies (lhs, parse_implies st)
+  | TIff ->
+      advance st;
+      Formula.Iff (lhs, parse_implies st)
+  | _ -> lhs
+
+and parse_or st : Formula.t =
+  let lhs = parse_and st in
+  let rec go acc =
+    if peek st = TOr then begin
+      advance st;
+      go (parse_and st :: acc)
+    end
+    else
+      match acc with [ f ] -> f | fs -> Formula.Or (List.rev fs)
+  in
+  go [ lhs ]
+
+and parse_and st : Formula.t =
+  let lhs = parse_unary st in
+  let rec go acc =
+    if peek st = TAnd then begin
+      advance st;
+      go (parse_unary st :: acc)
+    end
+    else
+      match acc with [ f ] -> f | fs -> Formula.And (List.rev fs)
+  in
+  go [ lhs ]
+
+and parse_unary st : Formula.t =
+  match peek st with
+  | TNot ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | TTrue ->
+      advance st;
+      Formula.True
+  | TFalse ->
+      advance st;
+      Formula.False
+  | TLparen ->
+      advance st;
+      let f = parse_formula st in
+      expect st TRparen "')'";
+      f
+  | TForall | TExists -> parse_formula st
+  | _ -> parse_atomic st
+
+let formula (src : string) : Formula.t =
+  let st = { toks = tokenize src } in
+  let f = parse_formula st in
+  if peek st = TDot then advance st;
+  if peek st <> TEOF then raise (Error "trailing input after formula");
+  f
+
+(* ------------------------------------------------------------------ *)
+
+let parse_literal st : Rule.literal =
+  match peek st with
+  | TNot ->
+      advance st;
+      (match parse_atomic st with
+      | Formula.Atom a -> Rule.Neg a
+      | _ -> raise (Error "'not' applies to an atom"))
+  | _ -> (
+      match parse_atomic st with
+      | Formula.Atom a -> Rule.Pos a
+      | Formula.Cmp (op, x, y) -> Rule.Cmp (op, x, y)
+      | _ -> raise (Error "expected a literal"))
+
+let parse_body st =
+  let rec go acc =
+    let l = parse_literal st in
+    if peek st = TComma then begin
+      advance st;
+      go (l :: acc)
+    end
+    else List.rev (l :: acc)
+  in
+  go []
+
+let rule (src : string) : Rule.t =
+  let st = { toks = tokenize src } in
+  let head =
+    match parse_atomic st with
+    | Formula.Atom a -> a
+    | _ -> raise (Error "a rule head must be an atom")
+  in
+  let body =
+    if peek st = TTurnstile then begin
+      advance st;
+      parse_body st
+    end
+    else []
+  in
+  if peek st = TDot then advance st;
+  if peek st <> TEOF then raise (Error "trailing input after rule");
+  Rule.make head body
+
+let query (src : string) : Rule.literal list =
+  let st = { toks = tokenize src } in
+  let body = parse_body st in
+  (match peek st with
+  | TDot | TQuestion -> advance st
+  | _ -> ());
+  if peek st <> TEOF then raise (Error "trailing input after query");
+  body

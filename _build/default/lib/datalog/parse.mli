@@ -1,0 +1,19 @@
+(** Concrete syntax for the deductive layer: constraints (first-order
+    formulas), rules, and queries as text.
+
+    Variables are capitalized (or start with '_'); lower-case and quoted
+    identifiers are symbol constants; integers are integer constants.  An
+    identifier directly followed by '(' is a predicate regardless of case
+    (GOM predicate names are capitalized), so a capitalized symbol constant
+    must be quoted ('CarSchema').
+    Formulas: [forall X, Y. p(X) /\ q(X, Y) -> exists Z. r(Y, Z)] with
+    [and]/[or]/[not] as word alternatives and [%] line comments.
+    Rules: [t(X, Z) :- e(X, Y), t(Y, Z).]  Queries: [t(a, X), not q(X)?] *)
+
+exception Error of string
+
+val formula : string -> Formula.t
+(** @raise Error on syntax errors. *)
+
+val rule : string -> Rule.t
+val query : string -> Rule.literal list

@@ -1,0 +1,72 @@
+(* Plain-text table rendering, used to regenerate the paper's extension
+   tables (Figure 2 and friends) and by the benchmark harness. *)
+
+module Table = struct
+  type t = { header : string list option; rows : string list list }
+
+  let make ?header rows = { header; rows }
+
+  let width t =
+    List.fold_left
+      (fun acc row -> max acc (List.length row))
+      (match t.header with Some h -> List.length h | None -> 0)
+      t.rows
+
+  let render t =
+    let n = width t in
+    let pad row = row @ List.init (n - List.length row) (fun _ -> "") in
+    let all =
+      (match t.header with Some h -> [ pad h ] | None -> [])
+      @ List.map pad t.rows
+    in
+    let widths = Array.make n 0 in
+    List.iter
+      (List.iteri (fun i cell ->
+           widths.(i) <- max widths.(i) (String.length cell)))
+      all;
+    let rec rstrip s =
+      let l = String.length s in
+      if l > 0 && s.[l - 1] = ' ' then rstrip (String.sub s 0 (l - 1)) else s
+    in
+    let line row =
+      rstrip
+        (String.concat "  "
+           (List.mapi
+              (fun i cell ->
+                cell ^ String.make (widths.(i) - String.length cell) ' ')
+              row))
+    in
+    let body = List.map line (List.map pad t.rows) in
+    let all_lines =
+      match t.header with
+      | None -> body
+      | Some h ->
+          let hl = line (pad h) in
+          let sep = String.make (String.length hl) '-' in
+          hl :: sep :: body
+    in
+    String.concat "\n" all_lines
+end
+
+(* Group facts of several predicates into a Figure-2-style table: the
+   predicate name appears on the first row of its group only. *)
+let extension_table (db : Database.t) (preds : string list) : string =
+  let rows =
+    List.concat_map
+      (fun pred ->
+        let facts =
+          Database.facts db pred
+          |> List.sort Fact.compare
+          |> List.map (fun (f : Fact.t) ->
+                 Array.to_list f.args |> List.map Term.const_to_string)
+        in
+        match facts with
+        | [] -> []
+        | first :: rest ->
+            (pred :: first) :: List.map (fun r -> "" :: r) rest)
+      preds
+  in
+  Table.render (Table.make rows)
+
+let pp_rules ppf rules =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Rule.pp) rules

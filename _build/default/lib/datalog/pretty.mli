@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the paper's extension tables. *)
+
+module Table : sig
+  type t
+
+  val make : ?header:string list -> string list list -> t
+  val render : t -> string
+end
+
+val extension_table : Database.t -> string list -> string
+(** Figure-2-style rendering: facts of each predicate grouped, the predicate
+    name shown on the first row of its group only. *)
+
+val pp_rules : Rule.t list Fmt.t

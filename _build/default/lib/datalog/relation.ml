@@ -1,0 +1,104 @@
+(* A relation: the extension of one predicate, a mutable set of tuples.
+
+   Per-column hash indexes are built lazily on first use and maintained
+   incrementally afterwards, so joins can look up matching tuples by a bound
+   column instead of scanning the extension.  [use_indexes] switches the
+   feature off globally for the evaluation-strategy ablation bench. *)
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Term.const array
+
+  let equal (a : t) (b : t) =
+    Array.length a = Array.length b && Array.for_all2 Term.equal_const a b
+
+  let hash (a : t) = Hashtbl.hash a
+end)
+
+module Const_tbl = Hashtbl.Make (struct
+  type t = Term.const
+
+  let equal = Term.equal_const
+  let hash (c : t) = Hashtbl.hash c
+end)
+
+let use_indexes = ref true
+
+type index = Term.const array list ref Const_tbl.t
+
+type t = {
+  tuples : unit Tuple_tbl.t;
+  mutable indexes : (int * index) list;  (* column -> index, built lazily *)
+}
+
+let create ?(size = 16) () = { tuples = Tuple_tbl.create size; indexes = [] }
+
+let mem r tuple = Tuple_tbl.mem r.tuples tuple
+
+let index_add (idx : index) col tuple =
+  if col < Array.length tuple then begin
+    let key = tuple.(col) in
+    match Const_tbl.find_opt idx key with
+    | Some bucket -> bucket := tuple :: !bucket
+    | None -> Const_tbl.replace idx key (ref [ tuple ])
+  end
+
+let index_remove (idx : index) col tuple =
+  if col < Array.length tuple then
+    match Const_tbl.find_opt idx tuple.(col) with
+    | Some bucket ->
+        bucket :=
+          List.filter
+            (fun t ->
+              not
+                (Array.length t = Array.length tuple
+                && Array.for_all2 Term.equal_const t tuple))
+            !bucket
+    | None -> ()
+
+let add r tuple =
+  if Tuple_tbl.mem r.tuples tuple then false
+  else begin
+    Tuple_tbl.replace r.tuples tuple ();
+    List.iter (fun (col, idx) -> index_add idx col tuple) r.indexes;
+    true
+  end
+
+let remove r tuple =
+  if Tuple_tbl.mem r.tuples tuple then begin
+    Tuple_tbl.remove r.tuples tuple;
+    List.iter (fun (col, idx) -> index_remove idx col tuple) r.indexes;
+    true
+  end
+  else false
+
+let cardinal r = Tuple_tbl.length r.tuples
+let iter f r = Tuple_tbl.iter (fun tuple () -> f tuple) r.tuples
+let fold f r init = Tuple_tbl.fold (fun tuple () acc -> f tuple acc) r.tuples init
+let to_list r = fold (fun tuple acc -> tuple :: acc) r []
+let is_empty r = cardinal r = 0
+
+let clear r =
+  Tuple_tbl.clear r.tuples;
+  r.indexes <- []
+
+let copy r = { tuples = Tuple_tbl.copy r.tuples; indexes = [] }
+
+(* Tuples whose [col]-th component equals [key]; builds the column index on
+   first use.  Falls back to [None] (meaning: caller should scan) when
+   indexing is disabled. *)
+let lookup r ~col ~key : Term.const array list option =
+  if not !use_indexes then None
+  else begin
+    let idx =
+      match List.assoc_opt col r.indexes with
+      | Some idx -> idx
+      | None ->
+          let idx : index = Const_tbl.create (max 16 (cardinal r)) in
+          iter (fun tuple -> index_add idx col tuple) r;
+          r.indexes <- (col, idx) :: r.indexes;
+          idx
+    in
+    match Const_tbl.find_opt idx key with
+    | Some bucket -> Some !bucket
+    | None -> Some []
+  end

@@ -1,0 +1,29 @@
+(** A relation: the extension of one predicate, a mutable set of tuples,
+    with lazily-built per-column hash indexes for join lookups. *)
+
+type t
+
+val use_indexes : bool ref
+(** Global switch for column indexing (on by default); the off position
+    exists for the evaluation-strategy ablation bench. *)
+
+val lookup : t -> col:int -> key:Term.const -> Term.const array list option
+(** Tuples whose [col]-th component equals [key], via the (lazily built)
+    column index.  [None] when indexing is disabled — the caller scans. *)
+
+val create : ?size:int -> unit -> t
+val mem : t -> Term.const array -> bool
+
+val add : t -> Term.const array -> bool
+(** [add r tuple] inserts [tuple]; returns [true] iff it was not present. *)
+
+val remove : t -> Term.const array -> bool
+(** [remove r tuple] deletes [tuple]; returns [true] iff it was present. *)
+
+val cardinal : t -> int
+val iter : (Term.const array -> unit) -> t -> unit
+val fold : (Term.const array -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Term.const array list
+val is_empty : t -> bool
+val clear : t -> unit
+val copy : t -> t

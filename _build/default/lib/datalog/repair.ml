@@ -1,0 +1,290 @@
+(* Automatic generation of repairs for constraint violations.
+
+   Following Moerkotte/Lockemann [19], a repair is obtained by building a
+   derivation of the violation and flipping leaves: the violation query body
+   is a conjunction of literals, and an implication can be made true by
+   invalidating its premise (deleting a base fact supporting a positive
+   literal) or by validating its conclusion (adding base facts that satisfy a
+   negated — possibly derived — literal).  Satisfying a derived literal
+   recursively solves one of its rules' bodies against the database, adding
+   only the missing facts; values the repair must invent appear as
+   [Term.Fresh] placeholders. *)
+
+type action = Add of Fact.t | Del of Fact.t
+type t = action list
+
+let action_fact = function Add f | Del f -> f
+
+let compare_action a b =
+  match a, b with
+  | Add x, Add y | Del x, Del y -> Fact.compare x y
+  | Add _, Del _ -> -1
+  | Del _, Add _ -> 1
+
+let compare (a : t) (b : t) = List.compare compare_action a b
+let equal a b = compare a b = 0
+
+let pp_action ppf = function
+  | Add f -> Fmt.pf ppf "+%a" Fact.pp f
+  | Del f -> Fmt.pf ppf "-%a" Fact.pp f
+
+let pp ppf (r : t) = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") pp_action) r
+
+(* Search budget: alternatives explored per literal and overall node cap. *)
+let max_matches_per_literal = 8
+let node_budget = 2000
+
+type ctx = {
+  theory : Theory.t;
+  db : Database.t;  (* materialized *)
+  rules : Rule.t list;  (* all rules, normalized *)
+  is_idb : string -> bool;
+  mutable budget : int;
+}
+
+let is_base ctx pred = Theory.predicate_declared ctx.theory pred
+
+let spend ctx = ctx.budget <- ctx.budget - 1
+
+(* Flip one leaf of a derivation of a present (derived) fact. *)
+let refute_by_derivation ctx (f : Fact.t) : t list =
+  match Derivation.derive ~is_idb:ctx.is_idb ~rules:ctx.rules ctx.db f with
+  | None -> []
+  | Some tree ->
+      Derivation.leaves tree
+      |> List.filter_map (function
+           | Derivation.Edb g -> Some [ Del g ]
+           | Derivation.Absent g when is_base ctx g.Fact.pred ->
+               Some [ Add g ]
+           | Derivation.Absent _ | Derivation.Builtin _ | Derivation.Derived _
+             ->
+               None)
+
+(* Fresh-placeholder-aware comparison semantics: a placeholder stands for a
+   brand-new value, distinct from every existing constant and from other
+   placeholders with different names. *)
+let cmp_holds op (a : Term.const) (b : Term.const) = Rule.eval_cmp op a b
+
+let has_fresh (f : Fact.t) =
+  Array.exists (function Term.Fresh _ -> true | Sym _ | Int _ -> false) f.args
+
+(* All ways to make fact [g] true by adding base facts (and possibly deleting
+   blockers of negated subgoals), depth-bounded. *)
+let rec satisfy ctx depth (g : Fact.t) : t list =
+  if is_base ctx g.Fact.pred then [ [ Add g ] ]
+  else if depth <= 0 || ctx.budget <= 0 then []
+  else begin
+    spend ctx;
+    List.concat_map
+      (fun (r : Rule.t) ->
+        if r.Rule.head.Atom.pred <> g.pred then []
+        else
+          match Subst.unify_args r.head.Atom.args g.args Subst.empty with
+          | None -> []
+          | Some s0 ->
+              let results = ref [] in
+              solve_body ctx depth s0 [] r.body (fun actions ->
+                  results := actions :: !results);
+              !results)
+      ctx.rules
+  end
+
+(* Enumerate (bounded) ways to solve a body: positive literals either match
+   existing facts or are added (recursively for derived predicates); negated
+   literals must be absent, present blockers are deleted or refuted.
+
+   Literal selection matters for repair quality: a positive literal that
+   matches existing facts is solved first so that its bindings flow into the
+   literals that must be added — this is what turns the paper's star-marked
+   schema/object violation
+   into [+Slot(clid4, fuelType, clid_string)] rather than inventing a new
+   physical representation for the built-in string type. *)
+and solve_body ctx depth s actions lits k =
+  if ctx.budget <= 0 then ()
+  else
+    match lits with
+    | [] -> k (List.rev actions)
+    | _ :: _ ->
+        let lit, rest = pick_literal ctx s lits in
+        solve_literal ctx depth s actions lit rest k
+
+(* Pick the next literal: ground negations/comparisons first (cheap pruning),
+   then positive literals with at least one match, then remaining positive
+   literals, then whatever is left. *)
+and pick_literal ctx s lits =
+  let bound v = Subst.mem v s in
+  let ready = function
+    | Rule.Neg a -> List.for_all bound (Atom.vars a)
+    | Rule.Cmp (_, x, y) -> (
+        match Subst.apply_term s x, Subst.apply_term s y with
+        | Term.Const _, Term.Const _ -> true
+        | (Term.Var _ | Term.Const _), _ -> false)
+    | Rule.Pos _ -> false
+  in
+  let has_match = function
+    | Rule.Pos a -> (
+        match Database.relation_opt ctx.db a.Atom.pred with
+        | None -> false
+        | Some rel -> (
+            try
+              Relation.iter
+                (fun tuple ->
+                  match Subst.unify_args a.Atom.args tuple s with
+                  | Some _ -> raise Exit
+                  | None -> ())
+                rel;
+              false
+            with Exit -> true))
+    | Rule.Neg _ | Rule.Cmp _ -> false
+  in
+  let rec extract p acc = function
+    | [] -> None
+    | l :: rest when p l -> Some (l, List.rev_append acc rest)
+    | l :: rest -> extract p (l :: acc) rest
+  in
+  let is_pos = function Rule.Pos _ -> true | Rule.Neg _ | Rule.Cmp _ -> false in
+  match extract ready [] lits with
+  | Some x -> x
+  | None -> (
+      match extract has_match [] lits with
+      | Some x -> x
+      | None -> (
+          match extract is_pos [] lits with
+          | Some x -> x
+          | None -> (
+              match lits with
+              | l :: rest -> l, rest
+              | [] -> assert false)))
+
+and solve_literal ctx depth s actions lit rest k =
+  match lit with
+  | Rule.Pos a ->
+        (* Alternative 1: match existing facts. *)
+        let matches = ref 0 in
+        (match Database.relation_opt ctx.db a.Atom.pred with
+        | None -> ()
+        | Some rel ->
+            (try
+               Relation.iter
+                 (fun tuple ->
+                   if !matches >= max_matches_per_literal then raise Exit;
+                   match Subst.unify_args a.Atom.args tuple s with
+                   | None -> ()
+                   | Some s' ->
+                       incr matches;
+                       solve_body ctx depth s' actions rest k)
+                 rel
+             with Exit -> ()));
+        (* Alternative 2: add the fact (missing parts only). *)
+        spend ctx;
+        let f = Subst.ground_atom s a in
+        let s' =
+          List.fold_left
+            (fun s v ->
+              if Subst.mem v s then s else Subst.bind v (Term.Fresh v) s)
+            s (Atom.vars a)
+        in
+        if is_base ctx f.pred then
+          (if not (Database.mem ctx.db f) then
+             solve_body ctx depth s' (Add f :: actions) rest k)
+        else
+          List.iter
+            (fun sub ->
+              solve_body ctx depth s' (List.rev_append sub actions) rest k)
+            (satisfy ctx (depth - 1) f)
+  | Rule.Neg a ->
+        let f = Subst.ground_atom s a in
+        if has_fresh f || not (Database.mem ctx.db f) then
+          solve_body ctx depth s actions rest k
+        else if is_base ctx f.pred then
+          solve_body ctx depth s (Del f :: actions) rest k
+        else
+          List.iter
+            (fun sub -> solve_body ctx depth s (List.rev_append sub actions) rest k)
+            (refute_by_derivation ctx f)
+  | Rule.Cmp (op, x, y) -> (
+        match Subst.apply_term s x, Subst.apply_term s y with
+        | Term.Const a, Term.Const b ->
+            if cmp_holds op a b then solve_body ctx depth s actions rest k
+        | Term.Var v, Term.Const c when op = Rule.Eq ->
+            solve_body ctx depth (Subst.bind v c s) actions rest k
+        | Term.Const c, Term.Var v when op = Rule.Eq ->
+            solve_body ctx depth (Subst.bind v c s) actions rest k
+        | _, _ -> ())
+
+let normalize_repair (r : t) : t = List.sort_uniq compare_action r
+
+(* Generate repairs for one violation.  Each repair flips one literal of the
+   violated query's ground body instance. *)
+let generate ?(max_repairs = 32) ?(max_depth = 4) (theory : Theory.t)
+    (materialized : Database.t) (violation : Checker.violation) : t list =
+  match Theory.find_constraint theory violation.constraint_name with
+  | None -> []
+  | Some compiled ->
+      let prepared = Theory.prepared theory in
+      let ctx =
+        {
+          theory;
+          db = materialized;
+          rules = Eval.rules prepared;
+          is_idb = Eval.is_idb prepared;
+          budget = node_budget;
+        }
+      in
+      let viol_rules =
+        List.filter
+          (fun (r : Rule.t) ->
+            r.Rule.head.Atom.pred = compiled.viol_pred)
+          ctx.rules
+      in
+      let repairs = ref [] in
+      let push r =
+        let r = normalize_repair r in
+        if r <> [] && not (List.exists (equal r) !repairs) then
+          repairs := r :: !repairs
+      in
+      List.iter
+        (fun (r : Rule.t) ->
+          match Subst.unify_args r.head.Atom.args violation.witness Subst.empty with
+          | None -> ()
+          | Some s0 ->
+              (* One ground instance of the violated body suffices: the
+                 protocol re-checks after a repair is applied. *)
+              let instance = ref None in
+              (try
+                 Eval.eval_lits ctx.db r.body s0 (fun s ->
+                     instance := Some s;
+                     raise Exit)
+               with Exit -> ());
+              (match !instance with
+              | None -> ()
+              | Some s ->
+                  List.iter
+                    (fun lit ->
+                      match lit with
+                      | Rule.Pos a ->
+                          let f = Subst.ground_atom s a in
+                          if is_base ctx f.pred then push [ Del f ]
+                          else
+                            List.iter push (refute_by_derivation ctx f)
+                      | Rule.Neg a ->
+                          let f = Subst.ground_atom s a in
+                          if is_base ctx f.pred then push [ Add f ]
+                          else List.iter push (satisfy ctx max_depth f)
+                      | Rule.Cmp _ -> ())
+                    r.body))
+        viol_rules;
+      let ranked =
+        List.sort
+          (fun a b ->
+            let adds r =
+              List.length (List.filter (function Add _ -> true | Del _ -> false) r)
+            in
+            let c = Int.compare (List.length a) (List.length b) in
+            if c <> 0 then c
+            else
+              let c = Int.compare (adds a) (adds b) in
+              if c <> 0 then c else compare a b)
+          (List.rev !repairs)
+      in
+      List.filteri (fun i _ -> i < max_repairs) ranked

@@ -1,0 +1,28 @@
+(** Automatic generation of repairs for constraint violations, by derivation
+    trees whose leaves are flipped (Moerkotte/Lockemann). *)
+
+type action =
+  | Add of Fact.t  (** add a base fact; may carry {!Term.Fresh} placeholders *)
+  | Del of Fact.t
+
+type t = action list
+(** One repair: a set of base-fact changes whose execution removes (this
+    instance of) the violation. *)
+
+val action_fact : action -> Fact.t
+val compare_action : action -> action -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp_action : action Fmt.t
+val pp : t Fmt.t
+
+val generate :
+  ?max_repairs:int ->
+  ?max_depth:int ->
+  Theory.t ->
+  Database.t ->
+  Checker.violation ->
+  t list
+(** [generate theory materialized violation] proposes repairs, ranked by size
+    (then by number of additions).  [materialized] must contain the computed
+    intensional predicates for the current database state. *)

@@ -1,0 +1,137 @@
+(* Rules (Horn clauses with stratified negation and comparison builtins).
+
+   A rule [head :- l1, ..., ln] derives [head] whenever all body literals are
+   satisfied.  Literals are positive atoms, negated atoms (negation as
+   failure, stratified), or comparisons between terms. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type literal =
+  | Pos of Atom.t
+  | Neg of Atom.t
+  | Cmp of cmp * Term.t * Term.t
+
+type t = { head : Atom.t; body : literal list }
+
+exception Unsafe of string
+
+let make head body = { head; body }
+
+let literal_vars = function
+  | Pos a | Neg a -> Atom.vars a
+  | Cmp (_, x, y) ->
+      List.filter_map
+        (function Term.Var v -> Some v | Const _ -> None)
+        [ x; y ]
+
+let eval_cmp (op : cmp) (a : Term.const) (b : Term.const) =
+  let c = Term.compare_const a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let negate_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(* A literal is evaluable given a set of bound variables:
+   - a positive atom always is (it binds its own variables);
+   - a negated atom or a comparison requires all its variables bound, except
+     that [Cmp (Eq, Var v, t)] with [t] bound acts as a binding assignment. *)
+let evaluable bound = function
+  | Pos _ -> true
+  | Neg a -> List.for_all (fun v -> List.mem v bound) (Atom.vars a)
+  | Cmp (Eq, Term.Var v, t) when not (List.mem v bound) ->
+      List.for_all (fun u -> List.mem u bound) (literal_vars (Cmp (Eq, t, t)))
+  | Cmp (Eq, t, Term.Var v) when not (List.mem v bound) ->
+      List.for_all (fun u -> List.mem u bound) (literal_vars (Cmp (Eq, t, t)))
+  | Cmp (_, x, y) ->
+      List.for_all
+        (fun v -> List.mem v bound)
+        (literal_vars (Cmp (Eq, x, y)))
+
+let binds bound lit =
+  match lit with
+  | Pos a -> Atom.vars a @ bound
+  | Neg _ -> bound
+  | Cmp (Eq, Term.Var v, _) | Cmp (Eq, _, Term.Var v) -> v :: bound
+  | Cmp (_, _, _) -> bound
+
+(* Reorder the body so that every literal is evaluable at its position
+   (positive atoms bind variables; negations and comparisons wait until their
+   variables are bound).  Raises [Unsafe] when no such order exists or when a
+   head variable is never bound — this doubles as the safety / range
+   restriction check on rules. *)
+let normalize (r : t) : t =
+  let rec pick bound acc = function
+    | [] -> List.rev acc, bound
+    | pending ->
+        let rec split seen = function
+          | [] -> None
+          | l :: rest ->
+              if evaluable bound l then Some (l, List.rev_append seen rest)
+              else split (l :: seen) rest
+        in
+        (match split [] pending with
+        | None ->
+            raise
+              (Unsafe
+                 (Fmt.str "rule for %s: cannot order body literals %a"
+                    r.head.Atom.pred
+                    Fmt.(list ~sep:comma (fun ppf l ->
+                             Fmt.string ppf (String.concat "," (literal_vars l))))
+                    pending))
+        | Some (l, rest) -> pick (binds bound l) (l :: acc) rest)
+  in
+  let body, bound = pick [] [] r.body in
+  let head_vars = Atom.vars r.head in
+  List.iter
+    (fun v ->
+      if not (List.mem v bound) then
+        raise
+          (Unsafe
+             (Fmt.str "rule for %s: head variable %s not bound by body"
+                r.head.Atom.pred v)))
+    head_vars;
+  { r with body }
+
+let body_preds r =
+  List.filter_map
+    (function Pos a | Neg a -> Some a.Atom.pred | Cmp _ -> None)
+    r.body
+
+let pos_preds r =
+  List.filter_map (function Pos a -> Some a.Atom.pred | Neg _ | Cmp _ -> None) r.body
+
+let neg_preds r =
+  List.filter_map (function Neg a -> Some a.Atom.pred | Pos _ | Cmp _ -> None) r.body
+
+let pp_cmp ppf op =
+  Fmt.string ppf
+    (match op with
+    | Eq -> "="
+    | Ne -> "<>"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp_literal ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Fmt.pf ppf "not %a" Atom.pp a
+  | Cmp (op, x, y) -> Fmt.pf ppf "%a %a %a" Term.pp x pp_cmp op Term.pp y
+
+let pp ppf r =
+  Fmt.pf ppf "%a :- %a." Atom.pp r.head
+    Fmt.(list ~sep:(any ", ") pp_literal)
+    r.body
+
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,36 @@
+(** Rules: Horn clauses with stratified negation and comparison builtins. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type literal =
+  | Pos of Atom.t
+  | Neg of Atom.t  (** negation as failure (stratified) *)
+  | Cmp of cmp * Term.t * Term.t
+
+type t = { head : Atom.t; body : literal list }
+
+exception Unsafe of string
+(** Raised by {!normalize} on rules that are not range restricted. *)
+
+val make : Atom.t -> literal list -> t
+
+val literal_vars : literal -> string list
+val eval_cmp : cmp -> Term.const -> Term.const -> bool
+val negate_cmp : cmp -> cmp
+
+val normalize : t -> t
+(** Reorder the body so that every literal is evaluable at its position.
+    Positive atoms bind variables; negated atoms and comparisons wait until
+    all their variables are bound ([X = t] with [t] bound counts as a binding
+    assignment).  This doubles as the safety / range-restriction check.
+    @raise Unsafe when no evaluable order exists or a head variable is never
+    bound. *)
+
+val body_preds : t -> string list
+val pos_preds : t -> string list
+val neg_preds : t -> string list
+
+val pp_cmp : cmp Fmt.t
+val pp_literal : literal Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

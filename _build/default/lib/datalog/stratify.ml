@@ -1,0 +1,67 @@
+(* Stratification of a rule program.
+
+   Assigns each intensional predicate a stratum such that a predicate depends
+   positively only on predicates of the same or lower strata and negatively
+   only on strictly lower strata.  Programs with a negative dependency cycle
+   are rejected. *)
+
+exception Not_stratifiable of string
+
+type t = {
+  strata : Rule.t list array;  (* rules grouped by stratum, ascending *)
+  stratum_of : (string, int) Hashtbl.t;  (* intensional predicates only *)
+}
+
+let idb_preds rules =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace tbl r.Rule.head.Atom.pred ()) rules;
+  tbl
+
+(* Iterative relaxation: raise strata until a fixpoint.  If a predicate's
+   stratum exceeds the number of intensional predicates, there is a cycle
+   through negation. *)
+let compute (rules : Rule.t list) : t =
+  let idb = idb_preds rules in
+  let n_preds = Hashtbl.length idb in
+  let stratum_of = Hashtbl.create 16 in
+  Hashtbl.iter (fun p () -> Hashtbl.replace stratum_of p 0) idb;
+  let get p = match Hashtbl.find_opt stratum_of p with Some s -> s | None -> 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        let hp = r.Rule.head.Atom.pred in
+        let raise_to s =
+          if s > get hp then begin
+            if s > n_preds then
+              raise
+                (Not_stratifiable
+                   (Fmt.str "negative cycle through predicate %s" hp));
+            Hashtbl.replace stratum_of hp s;
+            changed := true
+          end
+        in
+        List.iter
+          (fun p -> if Hashtbl.mem idb p then raise_to (get p))
+          (Rule.pos_preds r);
+        List.iter
+          (fun p -> if Hashtbl.mem idb p then raise_to (get p + 1))
+          (Rule.neg_preds r))
+      rules
+  done;
+  let max_stratum =
+    Hashtbl.fold (fun _ s acc -> max s acc) stratum_of 0
+  in
+  let strata = Array.make (max_stratum + 1) [] in
+  List.iter
+    (fun r ->
+      let s = get r.Rule.head.Atom.pred in
+      strata.(s) <- r :: strata.(s))
+    rules;
+  Array.iteri (fun i rs -> strata.(i) <- List.rev rs) strata;
+  { strata; stratum_of }
+
+let stratum t pred = Hashtbl.find_opt t.stratum_of pred
+let strata t = t.strata
+let is_idb t pred = Hashtbl.mem t.stratum_of pred

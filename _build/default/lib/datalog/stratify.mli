@@ -1,0 +1,18 @@
+(** Stratification of a rule program (for stratified negation). *)
+
+exception Not_stratifiable of string
+
+type t
+
+val compute : Rule.t list -> t
+(** Group rules into strata such that negation only reaches strictly lower
+    strata.  @raise Not_stratifiable on a negative dependency cycle. *)
+
+val stratum : t -> string -> int option
+(** Stratum of an intensional predicate, [None] for extensional ones. *)
+
+val strata : t -> Rule.t list array
+(** Rules grouped by stratum, ascending. *)
+
+val is_idb : t -> string -> bool
+(** Whether a predicate is defined by some rule of the program. *)

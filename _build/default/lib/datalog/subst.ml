@@ -1,0 +1,55 @@
+(* Substitutions binding variables to constants during evaluation. *)
+
+module M = Map.Make (String)
+
+type t = Term.const M.t
+
+let empty = M.empty
+let find v (s : t) = M.find_opt v s
+let bind v c (s : t) = M.add v c s
+let mem v (s : t) = M.mem v s
+let bindings (s : t) = M.bindings s
+
+(* Unify a single term against a constant. *)
+let unify_term (t : Term.t) (c : Term.const) (s : t) =
+  match t with
+  | Const c' -> if Term.equal_const c' c then Some s else None
+  | Var v -> (
+      match M.find_opt v s with
+      | None -> Some (M.add v c s)
+      | Some c' -> if Term.equal_const c' c then Some s else None)
+
+(* Unify an atom's argument vector against a ground tuple. *)
+let unify_args (args : Term.t array) (tuple : Term.const array) (s : t) =
+  let n = Array.length args in
+  if n <> Array.length tuple then None
+  else
+    let rec go i s =
+      if i >= n then Some s
+      else
+        match unify_term args.(i) tuple.(i) s with
+        | None -> None
+        | Some s -> go (i + 1) s
+    in
+    go 0 s
+
+let apply_term (s : t) (t : Term.t) : Term.t =
+  match t with
+  | Const _ -> t
+  | Var v -> ( match M.find_opt v s with None -> t | Some c -> Const c)
+
+let apply_atom (s : t) (a : Atom.t) : Atom.t =
+  { a with args = Array.map (apply_term s) a.args }
+
+(* Ground an atom into a fact; unbound variables become Fresh placeholders. *)
+let ground_atom (s : t) (a : Atom.t) : Fact.t =
+  let conv = function
+    | Term.Const c -> c
+    | Term.Var v -> (
+        match M.find_opt v s with None -> Term.Fresh v | Some c -> c)
+  in
+  { Fact.pred = a.pred; args = Array.map conv a.args }
+
+let pp ppf (s : t) =
+  let pp_binding ppf (v, c) = Fmt.pf ppf "%s=%a" v Term.pp_const c in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_binding) (M.bindings s)

@@ -1,0 +1,55 @@
+(* Terms of the deductive database: variables and constants.
+
+   Constants cover interned symbols (identifiers such as [tid_1], user names
+   such as ["Car"]), machine integers (argument positions), and [Fresh]
+   placeholders.  A [Fresh] constant never lives in a database extension: it
+   only appears inside generated repairs, standing for a value the repair
+   executor must invent (a Skolem constant such as a new slot identifier). *)
+
+type const =
+  | Sym of string
+  | Int of int
+  | Fresh of string
+
+type t =
+  | Var of string
+  | Const of const
+
+let sym s = Const (Sym s)
+let int i = Const (Int i)
+let var v = Var v
+
+let compare_const (a : const) (b : const) =
+  match a, b with
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, (Int _ | Fresh _) -> -1
+  | Int _, Sym _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, Fresh _ -> -1
+  | Fresh x, Fresh y -> String.compare x y
+  | Fresh _, (Sym _ | Int _) -> 1
+
+let equal_const a b = compare_const a b = 0
+
+let compare (a : t) (b : t) =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+  | Const x, Const y -> compare_const x y
+
+let equal a b = compare a b = 0
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let pp_const ppf = function
+  | Sym s -> Fmt.string ppf s
+  | Int i -> Fmt.int ppf i
+  | Fresh s -> Fmt.pf ppf "?%s" s
+
+let pp ppf = function
+  | Var v -> Fmt.pf ppf "%s" v
+  | Const c -> pp_const ppf c
+
+let const_to_string c = Fmt.str "%a" pp_const c
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,33 @@
+(** Terms of the deductive database: variables and constants. *)
+
+type const =
+  | Sym of string  (** interned symbol: identifiers, user names *)
+  | Int of int  (** machine integer: argument positions, counters *)
+  | Fresh of string
+      (** Skolem placeholder; appears only in generated repairs, standing for
+          a value the repair executor must invent. *)
+
+type t =
+  | Var of string
+  | Const of const
+
+val sym : string -> t
+(** [sym s] is the constant term [Const (Sym s)]. *)
+
+val int : int -> t
+(** [int i] is the constant term [Const (Int i)]. *)
+
+val var : string -> t
+(** [var v] is the variable term [Var v]. *)
+
+val compare_const : const -> const -> int
+val equal_const : const -> const -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_var : t -> bool
+
+val pp_const : const Fmt.t
+val pp : t Fmt.t
+val const_to_string : const -> string
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/evolution/evolution.ml: Complex Deletion Rewrite Versions

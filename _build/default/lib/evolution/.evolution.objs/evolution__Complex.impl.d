@@ -1,0 +1,1 @@
+lib/evolution/complex.ml: Analyzer Array Core Database Datalog Delta Fact Gom List Preds Printf Rewrite Schema_base String Term

@@ -1,0 +1,1 @@
+lib/evolution/complex.mli: Analyzer Core

@@ -1,0 +1,1 @@
+lib/evolution/deletion.ml: Array Builtin Core Database Datalog Delta Fact Gom List Option Preds Printf Runtime Schema_base String Term

@@ -1,0 +1,1 @@
+lib/evolution/deletion.mli: Core Datalog

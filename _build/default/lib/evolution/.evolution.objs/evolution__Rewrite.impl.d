@@ -1,0 +1,1 @@
+lib/evolution/rewrite.ml: Analyzer List

@@ -1,0 +1,1 @@
+lib/evolution/rewrite.mli: Analyzer

@@ -1,0 +1,1 @@
+lib/evolution/versions.ml: Analyzer Core Either Gom List Option Printf Schema_base String

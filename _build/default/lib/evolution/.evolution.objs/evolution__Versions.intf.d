@@ -1,0 +1,1 @@
+lib/evolution/versions.mli: Core Datalog

@@ -1,0 +1,208 @@
+(* Complex schema evolution operators, composed from primitives (section 4.2:
+   "the user also has the possibility to abstract from this concrete case and
+   to program a new parameterized complex schema evolution operator").
+
+   Every operator must be called inside an open evolution session; none of
+   them guarantees consistency by itself — that is the Consistency Control's
+   job at EES, which is exactly the paper's decoupling argument. *)
+
+open Datalog
+open Gom
+module Manager = Core.Manager
+module Ast = Analyzer.Ast
+
+let scan_facts db pred f =
+  Database.facts db pred |> List.filter_map f
+
+let sym s = Term.Sym s
+
+(* ------------------------------------------------------------------ *)
+(* Adding an argument to an existing, used operation (section 2.1)     *)
+(* ------------------------------------------------------------------ *)
+
+type call_site = {
+  cs_cid : string;  (* the piece of code containing the call *)
+  cs_calls : int;  (* number of rewritten calls in it *)
+}
+
+(* The paper's flagship example of an operation that cannot preserve
+   consistency step by step: adding an argument to an operation requires
+   changing the declaration, all its refinements (contravariance fixes the
+   argument count), and every call site.  [default] is the expression
+   appended to existing calls.  Returns the rewritten call sites. *)
+let add_operation_argument (m : Manager.t) ~(tid : string) ~(op : string)
+    ~(arg_tid : string) ~(default : Ast.expr) : call_site list =
+  let db = Manager.database m in
+  match
+    List.find_opt
+      (fun d -> d.Schema_base.op_name = op)
+      (Schema_base.direct_decls db ~tid)
+  with
+  | None -> invalid_arg (Printf.sprintf "type has no own operation %s" op)
+  | Some d ->
+      (* the declaration and all its (transitive) refinements get the new
+         argument *)
+      let rec refinement_closure acc frontier =
+        match frontier with
+        | [] -> acc
+        | did :: rest ->
+            let refs =
+              Schema_base.refinements_of db ~did
+              |> List.filter (fun r -> not (List.mem r acc))
+            in
+            refinement_closure (acc @ refs) (rest @ refs)
+      in
+      let dids = d.Schema_base.did :: refinement_closure [] [ d.Schema_base.did ] in
+      let old_arity =
+        List.length (Schema_base.args_of_decl db ~did:d.Schema_base.did)
+      in
+      let additions =
+        List.map
+          (fun did -> Preds.argdecl_fact ~did ~pos:(old_arity + 1) ~tid:arg_tid)
+          dids
+      in
+      Manager.propose m (Delta.of_lists ~additions ~deletions:[]);
+      (* the implementations of the changed declarations gain a parameter
+         (unused by the existing bodies) so that calls with the new argument
+         keep running *)
+      List.iter
+        (fun did ->
+          match Schema_base.code_of_decl db ~did with
+          | None -> ()
+          | Some (cid, _) -> (
+              match Manager.lookup_code m cid with
+              | Some (params, body) ->
+                  Manager.register_code m cid
+                    (params @ [ Printf.sprintf "extra%d" (old_arity + 1) ])
+                    body
+              | None -> ()))
+        dids;
+      (* find and rewrite all call sites *)
+      let calling_cids =
+        scan_facts db Preds.codereqdecl (fun (f : Fact.t) ->
+            if List.exists (fun did -> Term.equal_const f.args.(1) (sym did)) dids
+            then Some (Schema_base.sym_of f.args.(0))
+            else None)
+        |> List.sort_uniq String.compare
+      in
+      List.filter_map
+        (fun cid ->
+          match Manager.lookup_code m cid with
+          | None -> None
+          | Some (params, body) ->
+              let body', touched =
+                Rewrite.add_call_argument ~op ~old_arity ~extra:default body
+              in
+              if touched = 0 then None
+              else begin
+                (* re-register the rewritten code under the same cid and
+                   update its text in the Code fact *)
+                let did, old_text =
+                  match
+                    scan_facts db Preds.code (fun (f : Fact.t) ->
+                        if Term.equal_const f.args.(0) (sym cid) then
+                          Some
+                            ( Schema_base.sym_of f.args.(2),
+                              Schema_base.sym_of f.args.(1) )
+                        else None)
+                  with
+                  | [ x ] -> x
+                  | _ -> cid, ""
+                in
+                Manager.propose m
+                  (Delta.of_lists
+                     ~additions:
+                       [ Preds.code_fact ~cid ~text:(Ast.stmt_to_string body')
+                           ~did ]
+                     ~deletions:
+                       [ Preds.code_fact ~cid ~text:old_text ~did ]);
+                Manager.register_code m cid params body';
+                Some { cs_cid = cid; cs_calls = touched }
+              end)
+        calling_cids
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy restructuring                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Delete a node of the type hierarchy, reattaching its subtypes to its
+   supertypes ("deleting nodes within the type hierarchy" from the paper's
+   operator library). *)
+let delete_hierarchy_node (m : Manager.t) ~(tid : string) : unit =
+  let db = Manager.database m in
+  let supers = Schema_base.direct_supertypes db ~tid in
+  let subs = Schema_base.direct_subtypes db ~tid in
+  let additions =
+    List.concat_map
+      (fun sub -> List.map (fun super -> Preds.subtyprel_fact ~sub ~super) supers)
+      subs
+  in
+  let deletions =
+    List.filter
+      (fun (f : Fact.t) ->
+        Term.equal_const f.args.(0) (sym tid)
+        || Term.equal_const f.args.(1) (sym tid))
+      (Database.facts db Preds.subtyprel)
+  in
+  Manager.propose m (Delta.of_lists ~additions ~deletions);
+  (* the node's own definition goes the primitive way; the Consistency
+     Control reports whatever is left dangling *)
+  Manager.run_commands m
+    (Printf.sprintf "delete type %s;"
+       (match Schema_base.type_info db ~tid with
+       | Some (name, sid) -> (
+           match Schema_base.schema_name db ~sid with
+           | Some sname -> name ^ "@" ^ sname
+           | None -> name)
+       | None -> tid))
+
+(* Move an attribute from a type up to one of its supertypes. *)
+let pull_up_attribute (m : Manager.t) ~(tid : string) ~(attr : string)
+    ~(to_tid : string) : unit =
+  let db = Manager.database m in
+  match List.assoc_opt attr (Schema_base.direct_attrs db ~tid) with
+  | None -> invalid_arg (Printf.sprintf "no direct attribute %s" attr)
+  | Some domain ->
+      Manager.propose m
+        (Delta.of_lists
+           ~additions:[ Preds.attr_fact ~tid:to_tid ~name:attr ~domain ]
+           ~deletions:[ Preds.attr_fact ~tid ~name:attr ~domain ])
+
+(* Move an attribute from a type down to all of its direct subtypes. *)
+let push_down_attribute (m : Manager.t) ~(tid : string) ~(attr : string) : unit
+    =
+  let db = Manager.database m in
+  match List.assoc_opt attr (Schema_base.direct_attrs db ~tid) with
+  | None -> invalid_arg (Printf.sprintf "no direct attribute %s" attr)
+  | Some domain ->
+      let subs = Schema_base.direct_subtypes db ~tid in
+      Manager.propose m
+        (Delta.of_lists
+           ~additions:
+             (List.map (fun t -> Preds.attr_fact ~tid:t ~name:attr ~domain) subs)
+           ~deletions:[ Preds.attr_fact ~tid ~name:attr ~domain ])
+
+(* The section 4.2 operator, parameterized: split a type into specialized
+   subtypes within a new schema version, with the old type evolving to the
+   designated subtype.  Returns (new schema sid, subtype tids). *)
+let split_type_into_versions (m : Manager.t) ~(type_name : string)
+    ~(old_schema : string) ~(new_schema : string)
+    ~(subtypes : string list) ~(evolves_to : string) : unit =
+  let script =
+    String.concat "\n"
+      ([
+         Printf.sprintf "add schema %s;" new_schema;
+         Printf.sprintf "evolve schema %s to %s;" old_schema new_schema;
+         Printf.sprintf "copy type %s@%s to %s;" type_name old_schema new_schema;
+       ]
+      @ List.map
+          (fun sub ->
+            Printf.sprintf "add type %s to %s supertype %s@%s;" sub new_schema
+              type_name new_schema)
+          subtypes
+      @ [
+          Printf.sprintf "evolve type %s@%s to %s@%s;" type_name old_schema
+            evolves_to new_schema;
+        ])
+  in
+  Manager.run_commands m script

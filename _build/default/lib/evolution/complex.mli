@@ -1,0 +1,46 @@
+(** Complex schema evolution operators, composed from primitives.  Every
+    operator must run inside an open evolution session; none guarantees
+    consistency by itself — that is the Consistency Control's job at EES,
+    which is the paper's decoupling argument. *)
+
+module Manager = Core.Manager
+module Ast = Analyzer.Ast
+
+type call_site = {
+  cs_cid : string;  (** the piece of code containing rewritten calls *)
+  cs_calls : int;  (** number of rewritten calls in it *)
+}
+
+val add_operation_argument :
+  Manager.t ->
+  tid:string ->
+  op:string ->
+  arg_tid:string ->
+  default:Ast.expr ->
+  call_site list
+(** The paper's flagship non-decomposable evolution: extend the declaration
+    and all its refinements with a new argument, extend their
+    implementations' parameter lists, and rewrite every call site appending
+    [default].  Returns the rewritten call sites.
+    @raise Invalid_argument if the type has no such own operation. *)
+
+val delete_hierarchy_node : Manager.t -> tid:string -> unit
+(** Delete a node of the type hierarchy, reattaching its subtypes to its
+    supertypes; the node's definition goes the primitive way, leaving any
+    dangling references to the Consistency Control. *)
+
+val pull_up_attribute :
+  Manager.t -> tid:string -> attr:string -> to_tid:string -> unit
+
+val push_down_attribute : Manager.t -> tid:string -> attr:string -> unit
+
+val split_type_into_versions :
+  Manager.t ->
+  type_name:string ->
+  old_schema:string ->
+  new_schema:string ->
+  subtypes:string list ->
+  evolves_to:string ->
+  unit
+(** The parameterized section 4.2 operator: copy the type into a new schema
+    version, add specialized subtypes, and record the evolution edges. *)

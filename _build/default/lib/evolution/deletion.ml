@@ -1,0 +1,271 @@
+(* Five semantics for type deletion.
+
+   The paper motivates user-definable evolution operations with Bocionek's
+   observation that "there exist five different semantics for a simple schema
+   evolution operation like type deletion" [5].  This module makes the five
+   semantics concrete, each composed from the same primitives — choosing (or
+   adding) one requires no change to the Consistency Control:
+
+   - [Restrict]: refuse if the type is referenced or instantiated.
+   - [Cascade]:  delete everything that references the type, transitively.
+   - [Retarget]: references move to the type's supertype; subtypes are
+     reattached; instances migrate to the supertype.
+   - [Defer]:    remove just the Type fact; dangling references are left for
+     the Consistency Control to report and repair (the paper's philosophy).
+   - [Version]:  nothing is deleted; a new schema version without the type is
+     derived and the old version stays accessible. *)
+
+open Datalog
+open Gom
+module Manager = Core.Manager
+
+type semantics = Restrict | Cascade | Retarget | Defer | Version
+
+let all = [ Restrict; Cascade; Retarget; Defer; Version ]
+
+let name = function
+  | Restrict -> "restrict"
+  | Cascade -> "cascade"
+  | Retarget -> "retarget"
+  | Defer -> "defer"
+  | Version -> "version"
+
+let sym s = Term.Sym s
+
+(* Facts referencing a type id from outside its own definition. *)
+let references db ~tid : Fact.t list =
+  let uses (f : Fact.t) cols = List.exists (fun i -> Term.equal_const f.Fact.args.(i) (sym tid)) cols in
+  List.concat
+    [
+      List.filter (fun f -> uses f [ 2 ]) (Database.facts db Preds.attr);
+      List.filter (fun f -> uses f [ 1; 3 ]) (Database.facts db Preds.decl)
+      |> List.filter (fun (f : Fact.t) ->
+             not (Term.equal_const f.args.(1) (sym tid)));
+      List.filter (fun f -> uses f [ 2 ]) (Database.facts db Preds.argdecl);
+      List.filter (fun f -> uses f [ 1 ]) (Database.facts db Preds.subtyprel);
+      List.filter (fun f -> uses f [ 1 ]) (Database.facts db Preds.codereqattr);
+    ]
+
+(* The type's own definition facts (type, attrs, decls, argdecls, code,
+   subtype edges, code requirements of its code). *)
+let own_facts db ~tid : Fact.t list =
+  let type_facts =
+    List.filter
+      (fun (f : Fact.t) -> Term.equal_const f.args.(0) (sym tid))
+      (Database.facts db Preds.type_)
+  in
+  let attr_facts =
+    List.filter
+      (fun (f : Fact.t) -> Term.equal_const f.args.(0) (sym tid))
+      (Database.facts db Preds.attr)
+  in
+  let decls = Schema_base.direct_decls db ~tid in
+  let dids = List.map (fun d -> d.Schema_base.did) decls in
+  let has_did (f : Fact.t) i =
+    List.exists (fun did -> Term.equal_const f.args.(i) (sym did)) dids
+  in
+  let decl_facts =
+    List.filter (fun f -> has_did f 0) (Database.facts db Preds.decl)
+  in
+  let argdecl_facts =
+    List.filter (fun f -> has_did f 0) (Database.facts db Preds.argdecl)
+  in
+  let code_facts =
+    List.filter (fun f -> has_did f 2) (Database.facts db Preds.code)
+  in
+  let cids =
+    List.map (fun (f : Fact.t) -> Schema_base.sym_of f.args.(0)) code_facts
+  in
+  let has_cid (f : Fact.t) =
+    List.exists (fun cid -> Term.equal_const f.args.(0) (sym cid)) cids
+  in
+  let codereq =
+    List.filter has_cid (Database.facts db Preds.codereqdecl)
+    @ List.filter has_cid (Database.facts db Preds.codereqattr)
+  in
+  let refinement_facts =
+    List.filter
+      (fun (f : Fact.t) -> has_did f 0 || has_did f 1)
+      (Database.facts db Preds.declrefinement)
+  in
+  let subtype_facts =
+    List.filter
+      (fun (f : Fact.t) -> Term.equal_const f.args.(0) (sym tid))
+      (Database.facts db Preds.subtyprel)
+  in
+  type_facts @ attr_facts @ decl_facts @ argdecl_facts @ code_facts @ codereq
+  @ refinement_facts @ subtype_facts
+
+let delete_own m ~tid =
+  let db = Manager.database m in
+  Manager.propose m
+    (Delta.of_lists ~additions:[] ~deletions:(own_facts db ~tid))
+
+(* ------------------------------------------------------------------ *)
+(* The five semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let delete_restrict m ~tid : (unit, string) result =
+  let db = Manager.database m in
+  let rt = Manager.runtime m in
+  let refs = references db ~tid in
+  let instances =
+    Runtime.Object_store.count_of_type (Runtime.store rt) ~tid
+  in
+  if refs <> [] then
+    Error
+      (Printf.sprintf "type is referenced by %d fact(s), e.g. %s"
+         (List.length refs)
+         (Fact.to_string (List.hd refs)))
+  else if instances > 0 then
+    Error (Printf.sprintf "type has %d instance(s)" instances)
+  else begin
+    delete_own m ~tid;
+    Ok ()
+  end
+
+let rec delete_cascade m ~tid : (unit, string) result =
+  let db = Manager.database m in
+  let rt = Manager.runtime m in
+  ignore (Runtime.delete_all_of_type rt ~tid);
+  (* subtypes die with their supertype under cascade *)
+  let subs = Schema_base.direct_subtypes db ~tid in
+  List.iter (fun sub -> ignore (delete_cascade m ~tid:sub)) subs;
+  let db = Manager.database m in
+  (* attributes elsewhere whose domain is the type, and operations using it *)
+  let refs = references db ~tid in
+  Manager.propose m (Delta.of_lists ~additions:[] ~deletions:refs);
+  (* code of decls whose signature used the type is deleted too *)
+  List.iter
+    (fun (f : Fact.t) ->
+      if f.Fact.pred = Preds.decl then begin
+        let did = Schema_base.sym_of f.args.(0) in
+        match Schema_base.code_of_decl (Manager.database m) ~did with
+        | Some (cid, text) ->
+            Manager.propose m
+              (Delta.of_lists ~additions:[]
+                 ~deletions:[ Preds.code_fact ~cid ~text ~did ])
+        | None -> ()
+      end)
+    refs;
+  delete_own m ~tid;
+  Ok ()
+
+let delete_retarget m ~tid : (unit, string) result =
+  let db = Manager.database m in
+  let rt = Manager.runtime m in
+  let super =
+    match Schema_base.direct_supertypes db ~tid with
+    | s :: _ -> s
+    | [] -> Builtin.any_tid
+  in
+  (* instances migrate to the supertype *)
+  let objs = Runtime.Object_store.objects_of_type (Runtime.store rt) ~tid in
+  List.iter
+    (fun (o : Runtime.Object_store.obj) ->
+      ignore
+        (Runtime.Conversion.migrate_object rt ~oid:o.Runtime.Object_store.oid
+           ~to_tid:super
+           ~init:(Runtime.Conversion.keep_or_default db ~to_tid:super)))
+    objs;
+  (* references are redirected to the supertype *)
+  let refs = references db ~tid in
+  let redirect (f : Fact.t) =
+    {
+      f with
+      Fact.args =
+        Array.map
+          (fun c -> if Term.equal_const c (sym tid) then sym super else c)
+          f.Fact.args;
+    }
+  in
+  Manager.propose m
+    (Delta.of_lists ~additions:(List.map redirect refs) ~deletions:refs);
+  (* calls of the dying type's operations are redirected to the same-named
+     declaration up the chain, or dropped with the declaration *)
+  let own_decls = Schema_base.direct_decls db ~tid in
+  let own_cids =
+    List.filter_map
+      (fun d -> Option.map fst (Schema_base.code_of_decl db ~did:d.Schema_base.did))
+      own_decls
+  in
+  List.iter
+    (fun (d : Schema_base.decl_info) ->
+      let replacement =
+        Schema_base.resolve_decl db ~tid:super ~name:d.Schema_base.op_name
+      in
+      let call_refs =
+        List.filter
+          (fun (f : Fact.t) ->
+            Term.equal_const f.args.(1) (sym d.Schema_base.did)
+            && not
+                 (List.exists
+                    (fun cid -> Term.equal_const f.args.(0) (sym cid))
+                    own_cids))
+          (Database.facts db Preds.codereqdecl)
+      in
+      let additions =
+        match replacement with
+        | Some r ->
+            List.map
+              (fun (f : Fact.t) ->
+                Preds.codereqdecl_fact
+                  ~cid:(Schema_base.sym_of f.args.(0))
+                  ~did:r.Schema_base.did)
+              call_refs
+        | None -> []
+      in
+      Manager.propose m (Delta.of_lists ~additions ~deletions:call_refs))
+    own_decls;
+  delete_own m ~tid;
+  Ok ()
+
+let delete_defer m ~tid : (unit, string) result =
+  let db = Manager.database m in
+  (match Schema_base.type_info db ~tid with
+  | Some (tname, sid) ->
+      let deletions =
+        [ Preds.type_fact ~tid ~name:tname ~sid ]
+        @ List.map
+            (fun super -> Preds.subtyprel_fact ~sub:tid ~super)
+            (Schema_base.direct_supertypes db ~tid)
+      in
+      Manager.propose m (Delta.of_lists ~additions:[] ~deletions)
+  | None -> ());
+  Ok ()
+
+let delete_version m ~tid : (unit, string) result =
+  let db = Manager.database m in
+  match Schema_base.type_info db ~tid with
+  | None -> Error "unknown type"
+  | Some (_, sid) -> (
+      match Schema_base.schema_name db ~sid with
+      | None -> Error "type belongs to no named schema"
+      | Some old_name ->
+          let new_name = old_name ^ "_v" in
+          let keep =
+            Schema_base.types_of_schema db ~sid
+            |> List.filter (fun (t, _) -> t <> tid)
+          in
+          let script =
+            String.concat "\n"
+              ([
+                 Printf.sprintf "add schema %s;" new_name;
+                 Printf.sprintf "evolve schema %s to %s;" old_name new_name;
+               ]
+              @ List.map
+                  (fun (_, tname) ->
+                    Printf.sprintf "copy type %s@%s to %s;" tname old_name
+                      new_name)
+                  keep)
+          in
+          Manager.run_commands m script;
+          Ok ())
+
+let delete_type m ~tid (s : semantics) : (unit, string) result =
+  match s with
+  | Restrict -> delete_restrict m ~tid
+  | Cascade -> delete_cascade m ~tid
+  | Retarget -> delete_retarget m ~tid
+  | Defer -> delete_defer m ~tid
+  | Version -> delete_version m ~tid

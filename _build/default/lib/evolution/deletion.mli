@@ -1,0 +1,30 @@
+(** Five semantics for type deletion (after Bocionek [5] via the paper's
+    introduction) — all composed from the same primitives, none requiring
+    any change to the Consistency Control. *)
+
+module Manager = Core.Manager
+
+type semantics =
+  | Restrict  (** refuse if the type is referenced or instantiated *)
+  | Cascade  (** delete everything referencing the type, transitively *)
+  | Retarget
+      (** references move to the supertype; subtypes reattach; instances
+          migrate *)
+  | Defer
+      (** remove just the Type fact; dangling references are left for the
+          Consistency Control to report and repair *)
+  | Version
+      (** delete nothing: derive a new schema version without the type *)
+
+val all : semantics list
+val name : semantics -> string
+
+val references : Datalog.Database.t -> tid:string -> Datalog.Fact.t list
+(** Facts referencing a type from outside its own definition. *)
+
+val own_facts : Datalog.Database.t -> tid:string -> Datalog.Fact.t list
+(** The type's own definition facts. *)
+
+val delete_type :
+  Manager.t -> tid:string -> semantics -> (unit, string) result
+(** Must run inside an open session. *)

@@ -1,0 +1,8 @@
+(* The evolution toolkit: complex schema evolution operators composed from
+   primitives, the five type-deletion semantics, schema-version derivation,
+   and AST rewriting for operators that must touch method bodies. *)
+
+module Rewrite = Rewrite
+module Complex = Complex
+module Deletion = Deletion
+module Versions = Versions

@@ -1,0 +1,33 @@
+(* AST rewriting utilities for complex evolution operators that must touch
+   method bodies (e.g. adding an argument to an operation rewrites its call
+   sites).  The generic traversal lives in [Analyzer.Ast]. *)
+
+module Ast = Analyzer.Ast
+
+let map_expr = Ast.map_expr
+let map_stmt = Ast.map_stmt
+
+(* Append [extra] to every call of [op] with [old_arity] arguments. *)
+let add_call_argument ~op ~old_arity ~extra (body : Ast.stmt) : Ast.stmt * int =
+  let touched = ref 0 in
+  let rewrite = function
+    | Ast.Call (obj, name, args)
+      when name = op && List.length args = old_arity ->
+        incr touched;
+        Ast.Call (obj, name, args @ [ extra ])
+    | e -> e
+  in
+  let body = map_stmt rewrite body in
+  body, !touched
+
+(* Count calls of [op] in a body. *)
+let count_calls ~op (body : Ast.stmt) : int =
+  let n = ref 0 in
+  let visit = function
+    | Ast.Call (_, name, _) as e ->
+        if name = op then incr n;
+        e
+    | e -> e
+  in
+  ignore (map_stmt visit body);
+  !n

@@ -1,0 +1,14 @@
+(** AST rewriting utilities for evolution operators that must touch method
+    bodies. *)
+
+module Ast = Analyzer.Ast
+
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+val map_stmt : (Ast.expr -> Ast.expr) -> Ast.stmt -> Ast.stmt
+
+val add_call_argument :
+  op:string -> old_arity:int -> extra:Ast.expr -> Ast.stmt -> Ast.stmt * int
+(** Append [extra] to every call of [op] with [old_arity] arguments; returns
+    the rewritten body and the number of rewritten calls. *)
+
+val count_calls : op:string -> Ast.stmt -> int

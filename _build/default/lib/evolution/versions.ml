@@ -1,0 +1,138 @@
+(* Schema versioning support on top of the section 4.1 extension: deriving a
+   whole schema version (after Kim/Chou), and generating the identity part of
+   a fashion clause automatically so that old instances stay usable under the
+   new version. *)
+
+open Gom
+module Manager = Core.Manager
+module Ast = Analyzer.Ast
+
+(* Derive a new version of a whole schema: a new schema, an evolves_to_S
+   edge, a copy of every type, and evolves_to_T edges.  Returns the mapping
+   from old to new type ids. *)
+let derive_schema_version (m : Manager.t) ~(from_name : string)
+    ~(new_name : string) : (string * string) list =
+  let db = Manager.database m in
+  let from_sid =
+    match Schema_base.find_schema db ~name:from_name with
+    | Some sid -> sid
+    | None -> invalid_arg ("unknown schema " ^ from_name)
+  in
+  let old_types = Schema_base.types_of_schema db ~sid:from_sid in
+  let script =
+    String.concat "\n"
+      ([
+         Printf.sprintf "add schema %s;" new_name;
+         Printf.sprintf "evolve schema %s to %s;" from_name new_name;
+       ]
+      @ List.map
+          (fun (_, tname) ->
+            Printf.sprintf "copy type %s@%s to %s;" tname from_name new_name)
+          old_types
+      @ List.map
+          (fun (_, tname) ->
+            Printf.sprintf "evolve type %s@%s to %s@%s;" tname from_name tname
+              new_name)
+          old_types)
+  in
+  Manager.run_commands m script;
+  let db = Manager.database m in
+  let new_sid = Option.get (Schema_base.find_schema db ~name:new_name) in
+  List.map
+    (fun (old_tid, tname) ->
+      old_tid, Option.get (Schema_base.find_type db ~sid:new_sid ~name:tname))
+    old_types
+
+(* Generate the identity fashion entries making instances of [old_tid]
+   substitutable for [new_tid]: attributes present under the same name are
+   redirected, operations present under the same name are delegated.
+   Returns the attribute and operation names that could NOT be generated
+   automatically and need hand-written accessors (e.g. the paper's
+   age/birthday pair). *)
+let auto_fashion (m : Manager.t) ~(old_tid : string) ~(new_tid : string) :
+    string list * string list =
+  let db = Manager.database m in
+  let old_attrs = Schema_base.all_attrs db ~tid:old_tid in
+  let target_attrs = Schema_base.all_attrs db ~tid:new_tid in
+  let attr_entries, missing_attrs =
+    List.partition_map
+      (fun (a, _) ->
+        if List.mem_assoc a old_attrs then
+          Either.Left
+            (Printf.sprintf "  %s : ANY is self.%s;" a a)
+        else Either.Right a)
+      target_attrs
+  in
+  let ops_of tid =
+    (tid :: Schema_base.supertypes db ~tid)
+    |> List.concat_map (fun t -> Schema_base.direct_decls db ~tid:t)
+    |> List.map (fun d -> d.Schema_base.op_name, d)
+  in
+  let old_ops = ops_of old_tid and target_ops = ops_of new_tid in
+  (* keep the nearest declaration per operation name *)
+  let dedupe ops =
+    List.fold_left
+      (fun acc (o, d) -> if List.mem_assoc o acc then acc else (o, d) :: acc)
+      [] ops
+    |> List.rev
+  in
+  let op_entries, missing_ops =
+    List.partition_map
+      (fun (o, d) ->
+        if List.mem_assoc o old_ops then begin
+          let params =
+            Schema_base.args_of_decl db ~did:d.Schema_base.did
+            |> List.map (fun (i, _) -> Printf.sprintf "p%d" i)
+          in
+          Either.Left
+            (Printf.sprintf "  %s(%s) is begin return self.%s(%s); end;" o
+               (String.concat ", " params)
+               o
+               (String.concat ", " params))
+        end
+        else Either.Right o)
+      (dedupe target_ops)
+  in
+  let at tid =
+    match Schema_base.type_info db ~tid with
+    | Some (n, sid) ->
+        Printf.sprintf "%s@%s" n
+          (Option.value ~default:sid (Schema_base.schema_name db ~sid))
+    | None -> tid
+  in
+  if attr_entries <> [] || op_entries <> [] then begin
+    let clause =
+      Printf.sprintf "fashion %s as %s where\n%s\nend fashion;" (at old_tid)
+        (at new_tid)
+        (String.concat "\n" (attr_entries @ op_entries))
+    in
+    Manager.load_definitions m clause
+  end;
+  missing_attrs, missing_ops
+
+(* All versions reachable from a type by following evolves_to_T forward. *)
+let version_successors db ~tid =
+  let rec go acc frontier =
+    match frontier with
+    | [] -> List.rev acc
+    | t :: rest ->
+        let next =
+          Schema_base.evolutions_of_type db ~tid:t
+          |> List.filter (fun s -> not (List.mem s acc) && not (List.mem s rest))
+        in
+        go (t :: acc) (rest @ next)
+  in
+  match go [] [ tid ] with [] -> [] | _ :: rest -> rest
+
+let version_predecessors db ~tid =
+  let rec go acc frontier =
+    match frontier with
+    | [] -> List.rev acc
+    | t :: rest ->
+        let prev =
+          Schema_base.predecessors_of_type db ~tid:t
+          |> List.filter (fun s -> not (List.mem s acc) && not (List.mem s rest))
+        in
+        go (t :: acc) (rest @ prev)
+  in
+  match go [] [ tid ] with [] -> [] | _ :: rest -> rest

@@ -1,0 +1,21 @@
+(** Schema versioning on top of the section 4.1 extension: deriving a whole
+    schema version (after Kim/Chou) and generating the identity part of a
+    fashion clause automatically. *)
+
+module Manager = Core.Manager
+
+val derive_schema_version :
+  Manager.t -> from_name:string -> new_name:string -> (string * string) list
+(** New schema + evolves_to_S edge + a copy of every type + evolves_to_T
+    edges; returns old-to-new type id mapping.  Must run inside a session.
+    @raise Invalid_argument on an unknown schema. *)
+
+val auto_fashion :
+  Manager.t -> old_tid:string -> new_tid:string -> string list * string list
+(** Generate identity fashion entries (attribute redirects, operation
+    delegations) for the behaviours both versions share; returns the
+    attribute and operation names that still need hand-written accessors
+    (e.g. the paper's age/birthday pair). *)
+
+val version_successors : Datalog.Database.t -> tid:string -> string list
+val version_predecessors : Datalog.Database.t -> tid:string -> string list

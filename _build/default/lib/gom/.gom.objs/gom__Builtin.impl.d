@@ -1,0 +1,1 @@
+lib/gom/builtin.ml: Datalog List Preds

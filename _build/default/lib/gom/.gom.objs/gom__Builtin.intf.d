@@ -1,0 +1,1 @@
+lib/gom/builtin.mli: Datalog

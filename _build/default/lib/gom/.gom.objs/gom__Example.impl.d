@@ -1,0 +1,1 @@
+lib/gom/example.ml: Builtin Datalog Ids List Preds

@@ -1,0 +1,1 @@
+lib/gom/example.mli: Datalog Ids

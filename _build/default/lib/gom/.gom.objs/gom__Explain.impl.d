@@ -1,0 +1,1 @@
+lib/gom/explain.ml: Array Datalog Fact List Printf Repair Schema_base Term

@@ -1,0 +1,1 @@
+lib/gom/explain.mli: Datalog

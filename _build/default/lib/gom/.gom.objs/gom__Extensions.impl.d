@@ -1,0 +1,1 @@
+lib/gom/extensions.ml: Builtin Datalog Formula List Preds Term Theory

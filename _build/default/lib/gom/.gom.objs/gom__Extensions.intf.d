@@ -1,0 +1,1 @@
+lib/gom/extensions.mli: Datalog

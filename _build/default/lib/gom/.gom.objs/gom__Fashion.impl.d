@@ -1,0 +1,1 @@
+lib/gom/fashion.ml: Datalog Formula List Model Preds Term Theory

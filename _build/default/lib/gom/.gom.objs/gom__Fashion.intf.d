@@ -1,0 +1,1 @@
+lib/gom/fashion.mli: Datalog

@@ -1,0 +1,1 @@
+lib/gom/model.ml: Atom Builtin Datalog Formula List Preds Printf Rule Term Theory

@@ -1,0 +1,1 @@
+lib/gom/model.mli: Datalog Formula Rule Theory

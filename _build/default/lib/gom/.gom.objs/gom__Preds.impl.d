@@ -1,0 +1,1 @@
+lib/gom/preds.ml: Datalog List

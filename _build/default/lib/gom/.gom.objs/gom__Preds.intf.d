@@ -1,0 +1,1 @@
+lib/gom/preds.mli: Datalog

@@ -1,0 +1,1 @@
+lib/gom/schema_base.ml: Array Database Datalog Hashtbl List Option Preds Relation Stdlib Term

@@ -1,0 +1,1 @@
+lib/gom/schema_base.mli: Database Datalog Term

@@ -1,0 +1,1 @@
+lib/gom/sorts.ml: Array Datalog Fact List Model Preds Schema_base Term Theory

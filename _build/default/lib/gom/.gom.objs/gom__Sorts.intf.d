@@ -1,0 +1,1 @@
+lib/gom/sorts.mli: Datalog

@@ -1,0 +1,1 @@
+lib/gom/subschema.ml: Atom Datalog Formula List Model Preds Rule Term Theory

@@ -1,0 +1,1 @@
+lib/gom/versioning.ml: Atom Datalog Formula List Model Preds Rule Term Theory

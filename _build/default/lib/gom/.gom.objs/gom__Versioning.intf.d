@@ -1,0 +1,1 @@
+lib/gom/versioning.mli: Datalog

@@ -1,0 +1,51 @@
+(* Built-in sorts.  The paper assumes "the existence of types for the
+   built-in sorts — like integer, float, string and so on" and "the implicit
+   existence of physical representations of built-in sorts".  They live in a
+   reserved schema and are subtypes of the unique root ANY. *)
+
+let builtin_schema_sid = "sid_builtins"
+let builtin_schema_name = "$Builtins"
+
+let any_tid = "tid_ANY"
+let any_name = "ANY"
+
+(* (type id, user-visible sort name, physical representation id) *)
+let sorts =
+  [
+    "tid_int", "int", "clid_int";
+    "tid_float", "float", "clid_float";
+    "tid_string", "string", "clid_string";
+    "tid_bool", "bool", "clid_bool";
+    "tid_char", "char", "clid_char";
+    "tid_date", "date", "clid_date";
+    "tid_void", "void", "clid_void";
+  ]
+
+let tid_of_sort name =
+  List.find_map (fun (tid, n, _) -> if n = name then Some tid else None) sorts
+
+let is_builtin_tid tid =
+  tid = any_tid || List.exists (fun (t, _, _) -> t = tid) sorts
+
+let clid_of_tid tid =
+  List.find_map (fun (t, _, clid) -> if t = tid then Some clid else None) sorts
+
+(* The facts every database starts from: the builtin schema, ANY, the sorts
+   as subtypes of ANY, and their physical representations. *)
+let facts () : Datalog.Fact.t list =
+  let open Preds in
+  [
+    schema_fact ~sid:builtin_schema_sid ~name:builtin_schema_name;
+    type_fact ~tid:any_tid ~name:any_name ~sid:builtin_schema_sid;
+  ]
+  @ List.concat_map
+      (fun (tid, name, clid) ->
+        [
+          type_fact ~tid ~name ~sid:builtin_schema_sid;
+          subtyprel_fact ~sub:tid ~super:any_tid;
+          phrep_fact ~clid ~tid;
+        ])
+      sorts
+
+let seed (db : Datalog.Database.t) =
+  List.iter (fun f -> ignore (Datalog.Database.add db f)) (facts ())

@@ -1,0 +1,27 @@
+(** Built-in sorts.  The paper assumes the implicit existence of types and
+    physical representations for the built-in sorts; they live in a reserved
+    schema and are subtypes of the unique root ANY. *)
+
+val builtin_schema_sid : string
+val builtin_schema_name : string
+val any_tid : string
+val any_name : string
+
+val sorts : (string * string * string) list
+(** [(type id, user-visible sort name, physical representation id)] for
+    int, float, string, bool, char, date and void. *)
+
+val tid_of_sort : string -> string option
+(** Type id of a built-in sort name ("int" -> "tid_int"). *)
+
+val is_builtin_tid : string -> bool
+(** Whether a type id denotes ANY or a built-in sort. *)
+
+val clid_of_tid : string -> string option
+(** Physical representation id of a built-in sort's type id. *)
+
+val facts : unit -> Datalog.Fact.t list
+(** The facts every database starts from. *)
+
+val seed : Datalog.Database.t -> unit
+(** Insert {!facts} into a database. *)

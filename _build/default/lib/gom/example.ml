@@ -1,0 +1,135 @@
+(* The paper's running example (section 3.1): the CarSchema with types
+   Person, Location, City and Car, hand-coded with the identifiers of
+   Figure 2 (sid_1, tid_1..tid_4, did_1..did_3, cid_1..cid_3) so the
+   regenerated extension tables can be compared against the paper line by
+   line.  The object part (clid_1..clid_4) matches the section 3.4 table. *)
+
+open Preds
+
+let sid_car = "sid_1"
+let tid_person = "tid_1"
+let tid_location = "tid_2"
+let tid_city = "tid_3"
+let tid_car = "tid_4"
+let did_distance_location = "did_1"
+let did_distance_city = "did_2"
+let did_changelocation = "did_3"
+let cid_distance_location = "cid_1"
+let cid_distance_city = "cid_2"
+let cid_changelocation = "cid_3"
+let clid_person = "clid_1"
+let clid_location = "clid_2"
+let clid_city = "clid_3"
+let clid_car = "clid_4"
+
+let tid_string = "tid_string"
+let tid_int = "tid_int"
+let tid_float = "tid_float"
+
+let distance_code = "!! uses longi and lati."
+let distance_city_code = "!! uses longi and lati as well as city name."
+
+let changelocation_code =
+  "begin if (self.owner == driver) begin self.milage := self.milage + \
+   self.location.distance(newLocation); self.location := newLocation; return \
+   self.milage; end else return -1.0; end"
+
+(* The extensions of Figure 2. *)
+let schema_facts =
+  [
+    schema_fact ~sid:sid_car ~name:"CarSchema";
+    type_fact ~tid:tid_person ~name:"Person" ~sid:sid_car;
+    type_fact ~tid:tid_location ~name:"Location" ~sid:sid_car;
+    type_fact ~tid:tid_city ~name:"City" ~sid:sid_car;
+    type_fact ~tid:tid_car ~name:"Car" ~sid:sid_car;
+    attr_fact ~tid:tid_person ~name:"name" ~domain:tid_string;
+    attr_fact ~tid:tid_person ~name:"age" ~domain:tid_int;
+    attr_fact ~tid:tid_location ~name:"longi" ~domain:tid_float;
+    attr_fact ~tid:tid_location ~name:"lati" ~domain:tid_float;
+    attr_fact ~tid:tid_city ~name:"name" ~domain:tid_string;
+    attr_fact ~tid:tid_city ~name:"noOfInhabitants" ~domain:tid_int;
+    attr_fact ~tid:tid_car ~name:"owner" ~domain:tid_person;
+    attr_fact ~tid:tid_car ~name:"maxspeed" ~domain:tid_float;
+    attr_fact ~tid:tid_car ~name:"milage" ~domain:tid_float;
+    attr_fact ~tid:tid_car ~name:"location" ~domain:tid_city;
+    decl_fact ~did:did_distance_location ~receiver:tid_location ~name:"distance"
+      ~result:tid_float;
+    decl_fact ~did:did_distance_city ~receiver:tid_city ~name:"distance"
+      ~result:tid_float;
+    decl_fact ~did:did_changelocation ~receiver:tid_car ~name:"changeLocation"
+      ~result:tid_float;
+    argdecl_fact ~did:did_distance_location ~pos:1 ~tid:tid_location;
+    argdecl_fact ~did:did_distance_city ~pos:1 ~tid:tid_location;
+    argdecl_fact ~did:did_changelocation ~pos:1 ~tid:tid_person;
+    argdecl_fact ~did:did_changelocation ~pos:2 ~tid:tid_city;
+    code_fact ~cid:cid_distance_location ~text:distance_code
+      ~did:did_distance_location;
+    code_fact ~cid:cid_distance_city ~text:distance_city_code
+      ~did:did_distance_city;
+    code_fact ~cid:cid_changelocation ~text:changelocation_code
+      ~did:did_changelocation;
+  ]
+
+(* The relationship extensions of section 3.2 (second table): the ANY edges
+   are required by the root constraint and left implicit in the paper. *)
+let relationship_facts =
+  [
+    subtyprel_fact ~sub:tid_city ~super:tid_location;
+    subtyprel_fact ~sub:tid_person ~super:Builtin.any_tid;
+    subtyprel_fact ~sub:tid_location ~super:Builtin.any_tid;
+    subtyprel_fact ~sub:tid_car ~super:Builtin.any_tid;
+    declrefinement_fact ~refining:did_distance_city
+      ~refined:did_distance_location;
+    codereqdecl_fact ~cid:cid_distance_city ~did:did_distance_location;
+    codereqattr_fact ~cid:cid_distance_location ~tid:tid_location
+      ~attr_name:"longi";
+    codereqattr_fact ~cid:cid_distance_location ~tid:tid_location
+      ~attr_name:"lati";
+    codereqattr_fact ~cid:cid_distance_city ~tid:tid_location ~attr_name:"longi";
+    codereqattr_fact ~cid:cid_distance_city ~tid:tid_location ~attr_name:"lati";
+    codereqattr_fact ~cid:cid_distance_city ~tid:tid_city ~attr_name:"name";
+    codereqattr_fact ~cid:cid_changelocation ~tid:tid_car ~attr_name:"owner";
+    codereqattr_fact ~cid:cid_changelocation ~tid:tid_car ~attr_name:"milage";
+    codereqattr_fact ~cid:cid_changelocation ~tid:tid_car ~attr_name:"location";
+  ]
+
+(* The object-part extensions of section 3.4. *)
+let object_facts =
+  [
+    phrep_fact ~clid:clid_person ~tid:tid_person;
+    phrep_fact ~clid:clid_location ~tid:tid_location;
+    phrep_fact ~clid:clid_city ~tid:tid_city;
+    phrep_fact ~clid:clid_car ~tid:tid_car;
+    slot_fact ~clid:clid_person ~attr_name:"name" ~value_clid:"clid_string";
+    slot_fact ~clid:clid_person ~attr_name:"age" ~value_clid:"clid_int";
+    slot_fact ~clid:clid_location ~attr_name:"longi" ~value_clid:"clid_float";
+    slot_fact ~clid:clid_location ~attr_name:"lati" ~value_clid:"clid_float";
+    slot_fact ~clid:clid_city ~attr_name:"name" ~value_clid:"clid_string";
+    slot_fact ~clid:clid_city ~attr_name:"noOfInhabitants" ~value_clid:"clid_int";
+    slot_fact ~clid:clid_city ~attr_name:"longi" ~value_clid:"clid_float";
+    slot_fact ~clid:clid_city ~attr_name:"lati" ~value_clid:"clid_float";
+    slot_fact ~clid:clid_car ~attr_name:"owner" ~value_clid:clid_person;
+    slot_fact ~clid:clid_car ~attr_name:"maxspeed" ~value_clid:"clid_float";
+    slot_fact ~clid:clid_car ~attr_name:"milage" ~value_clid:"clid_float";
+    slot_fact ~clid:clid_car ~attr_name:"location" ~value_clid:clid_city;
+  ]
+
+let all_facts () = schema_facts @ relationship_facts @ object_facts
+
+(* A database holding the complete consistent example (built-ins seeded). *)
+let database () =
+  let db = Datalog.Database.create () in
+  Builtin.seed db;
+  List.iter (fun f -> ignore (Datalog.Database.add db f)) (all_facts ());
+  db
+
+(* The example's generator state, positioned after the highest used ids, for
+   continuing the example with evolutions. *)
+let ids () =
+  let gen = Ids.create () in
+  gen.Ids.schemas <- 1;
+  gen.Ids.types <- 4;
+  gen.Ids.decls <- 3;
+  gen.Ids.codes <- 3;
+  gen.Ids.phreps <- 4;
+  gen

@@ -1,0 +1,45 @@
+(** The paper's running example (section 3.1): the CarSchema hand-coded with
+    the identifiers of Figure 2, so regenerated extension tables can be
+    compared against the paper line by line. *)
+
+val sid_car : string
+val tid_person : string
+val tid_location : string
+val tid_city : string
+val tid_car : string
+val did_distance_location : string
+val did_distance_city : string
+val did_changelocation : string
+val cid_distance_location : string
+val cid_distance_city : string
+val cid_changelocation : string
+val clid_person : string
+val clid_location : string
+val clid_city : string
+val clid_car : string
+val tid_string : string
+val tid_int : string
+val tid_float : string
+
+val distance_code : string
+val distance_city_code : string
+val changelocation_code : string
+
+val schema_facts : Datalog.Fact.t list
+(** The Figure 2 extensions. *)
+
+val relationship_facts : Datalog.Fact.t list
+(** The section 3.2 relationship extensions (with the explicit ANY edges
+    the root constraint requires). *)
+
+val object_facts : Datalog.Fact.t list
+(** The section 3.4 PhRep/Slot extensions (with the inherited City slots
+    the star constraint requires). *)
+
+val all_facts : unit -> Datalog.Fact.t list
+
+val database : unit -> Datalog.Database.t
+(** The complete consistent example, built-ins seeded. *)
+
+val ids : unit -> Ids.gen
+(** A generator positioned after the example's highest used identifiers. *)

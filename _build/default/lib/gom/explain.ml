@@ -1,0 +1,117 @@
+(* Explanations of base-predicate changes in user terms (protocol step 7:
+   the Consistency Control asks Analyzer and Runtime System what a proposed
+   change to a base predicate extension means, and decorates the generated
+   repairs with it). *)
+
+open Datalog
+
+let sym_of = function
+  | Term.Sym s -> s
+  | Term.Int i -> string_of_int i
+  | Term.Fresh s -> "a new " ^ s
+
+let tname db tid =
+  match Schema_base.type_name db ~tid with
+  | Some n -> n
+  | None -> tid
+
+let sname db sid =
+  match Schema_base.schema_name db ~sid with
+  | Some n -> n
+  | None -> sid
+
+let phrep_type db clid =
+  match Schema_base.type_of_phrep db ~clid with
+  | Some tid -> tname db tid
+  | None -> clid
+
+let op_name db did =
+  match Schema_base.decl_by_id db ~did with
+  | Some d -> Printf.sprintf "%s on %s" d.Schema_base.op_name (tname db d.receiver)
+  | None -> did
+
+(* Explain one fact in the vocabulary of the schema designer. *)
+let describe db (f : Fact.t) : string =
+  let a i = sym_of f.args.(i) in
+  let at i =
+    match f.args.(i) with Term.Sym tid -> tname db tid | c -> sym_of c
+  in
+  match f.pred with
+  | "Schema" -> Printf.sprintf "schema %s" (a 1)
+  | "Type" -> Printf.sprintf "type %s in schema %s" (a 1) (sname db (a 2))
+  | "Attr" -> Printf.sprintf "attribute %s : %s of type %s" (a 1) (at 2) (at 0)
+  | "Decl" ->
+      Printf.sprintf "operation %s : ... -> %s declared on type %s" (a 2)
+        (at 3) (at 1)
+  | "ArgDecl" ->
+      Printf.sprintf "argument %s of %s with type %s" (a 1) (op_name db (a 0))
+        (at 2)
+  | "Code" -> Printf.sprintf "the implementation of %s" (op_name db (a 2))
+  | "SubTypRel" -> Printf.sprintf "%s being a subtype of %s" (at 0) (at 1)
+  | "DeclRefinement" ->
+      Printf.sprintf "%s refining %s" (op_name db (a 0)) (op_name db (a 1))
+  | "CodeReqDecl" ->
+      Printf.sprintf "a call of %s inside some implementation" (op_name db (a 1))
+  | "CodeReqAttr" ->
+      Printf.sprintf "an access to attribute %s of %s inside some implementation"
+        (a 2) (at 1)
+  | "PhRep" ->
+      Printf.sprintf "the physical representation of type %s" (at 1)
+  | "Slot" ->
+      Printf.sprintf "the slot %s of the %s representation" (a 1)
+        (phrep_type db (a 0))
+  | "evolves_to_S" ->
+      Printf.sprintf "schema %s evolving to %s" (sname db (a 0)) (sname db (a 1))
+  | "evolves_to_T" ->
+      Printf.sprintf "type %s evolving to %s" (at 0) (at 1)
+  | "FashionType" ->
+      Printf.sprintf "instances of %s being substitutable for %s" (at 0) (at 1)
+  | "FashionDecl" ->
+      Printf.sprintf "the imitation of %s within type %s" (op_name db (a 0))
+        (at 1)
+  | "FashionAttr" ->
+      Printf.sprintf "the imitation of attribute %s of %s within type %s" (a 1)
+        (at 0) (at 2)
+  | "SubSchemaRel" ->
+      Printf.sprintf "%s being a subschema of %s" (sname db (a 0)) (sname db (a 1))
+  | "Imports" ->
+      Printf.sprintf "schema %s importing %s" (sname db (a 0)) (sname db (a 1))
+  | "PublicComp" ->
+      Printf.sprintf "%s %s being public in schema %s" (a 1) (a 2) (sname db (a 0))
+  | "SchemaVar" ->
+      Printf.sprintf "variable %s : %s of schema %s" (a 1) (at 2) (sname db (a 0))
+  | other -> Printf.sprintf "%s fact %s" other (Fact.to_string f)
+
+(* The consequence of executing a change, including the runtime actions it
+   stands for (deleting a PhRep deletes all instances; adding a Slot runs a
+   conversion). *)
+let explain_action db (action : Repair.action) : string =
+  match action with
+  | Repair.Del f -> (
+      match f.pred with
+      | "PhRep" ->
+          Printf.sprintf "delete ALL instances of type %s"
+            (match f.args.(1) with Term.Sym tid -> tname db tid | c -> sym_of c)
+      | "Slot" ->
+          Printf.sprintf
+            "run a conversion removing slot %s from every object with the %s \
+             representation"
+            (sym_of f.args.(1))
+            (phrep_type db (sym_of f.args.(0)))
+      | _ -> "delete " ^ describe db f)
+  | Repair.Add f -> (
+      match f.pred with
+      | "Slot" ->
+          Printf.sprintf
+            "run a conversion adding slot %s (of %s representation) to every \
+             object with the %s representation"
+            (sym_of f.args.(1))
+            (phrep_type db (sym_of f.args.(2)))
+            (phrep_type db (sym_of f.args.(0)))
+      | "PhRep" ->
+          Printf.sprintf "introduce a physical representation for type %s"
+            (match f.args.(1) with Term.Sym tid -> tname db tid | c -> sym_of c)
+      | _ -> "add " ^ describe db f)
+
+let explain_repair db (repair : Repair.t) : string list =
+  List.map (explain_action db) repair

@@ -1,0 +1,8 @@
+(** Explanations of base-predicate changes in user terms (protocol step 7):
+    what a proposed repair action means, including the runtime actions it
+    stands for — deleting a PhRep deletes all instances, adding a Slot runs
+    a conversion. *)
+
+val describe : Datalog.Database.t -> Datalog.Fact.t -> string
+val explain_action : Datalog.Database.t -> Datalog.Repair.action -> string
+val explain_repair : Datalog.Database.t -> Datalog.Repair.t -> string list

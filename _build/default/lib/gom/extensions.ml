@@ -1,0 +1,98 @@
+(* Optional constraint bundles: ready-made tightenings of the notion of
+   consistency a project can feed into the Consistency Control (section 2.1:
+   "some project leader might want to restrain inheritance to single
+   inheritance. This modification should be possible and easy to perform").
+
+   Each bundle is a named set of constraints over the existing predicates —
+   installing or removing one touches no other module. *)
+
+open Datalog
+
+let v = Term.var
+
+open Formula
+
+type bundle = { name : string; constraints : (string * Formula.t) list }
+
+(* Restrain inheritance to single inheritance. *)
+let single_inheritance =
+  {
+    name = "single_inheritance";
+    constraints =
+      [
+        ( "x$SingleInheritance",
+          forall [ "T"; "S1"; "S2" ]
+            (atom Preds.subtyprel [ v "T"; v "S1" ]
+            &&& atom Preds.subtyprel [ v "T"; v "S2" ]
+            ==> eq (v "S1") (v "S2")) );
+      ];
+  }
+
+(* Every slot must correspond to an attribute of the represented type: the
+   converse of the paper's star constraint, ruling out stale slots after
+   attribute deletions without conversion. *)
+let strict_slots =
+  {
+    name = "strict_slots";
+    constraints =
+      [
+        ( "x$SlotHasAttr",
+          forall [ "C"; "A"; "V"; "T" ]
+            (exists [ "TA" ]
+               (atom Preds.slot [ v "C"; v "A"; v "V" ]
+               &&& atom Preds.phrep [ v "C"; v "T" ]
+               ==> atom Preds.attr_i [ v "T"; v "A"; v "TA" ])) );
+      ];
+  }
+
+(* Every non-built-in type must live in a named schema and carry at least
+   one attribute or operation — a "no empty shells" policy. *)
+let no_empty_types =
+  {
+    name = "no_empty_types";
+    constraints =
+      [
+        ( "x$TypeHasMember",
+          forall [ "T"; "N"; "S" ]
+            (exists [ "A"; "TA"; "D"; "O"; "TR" ]
+               (atom Preds.type_ [ v "T"; v "N"; v "S" ]
+               &&& ne (v "S") (Term.sym Builtin.builtin_schema_sid)
+               ==> (atom Preds.attr_i [ v "T"; v "A"; v "TA" ]
+                   ||| atom Preds.decl_i [ v "D"; v "T"; v "O"; v "TR" ]))) );
+      ];
+  }
+
+(* Operations may only be called by code of the same schema or a schema
+   that imports (or is an ancestor of) the callee's schema — a call-site
+   visibility policy on top of the name-space machinery. *)
+let layered_calls =
+  {
+    name = "layered_calls";
+    constraints =
+      [
+        (* the callee's schema must be reachable from the caller's: equal,
+           imported, or a (transitive) subschema *)
+        ( "x$LayeredCalls",
+          forall [ "C"; "D"; "TC"; "O"; "TR"; "SC"; "DC"; "TCC"; "OC"; "TRC";
+                   "S1"; "N1"; "S2"; "N2" ]
+            (atom Preds.codereqdecl [ v "C"; v "D" ]
+            &&& atom Preds.code [ v "C"; v "SC"; v "DC" ]
+            &&& atom Preds.decl [ v "DC"; v "TCC"; v "OC"; v "TRC" ]
+            &&& atom Preds.type_ [ v "TCC"; v "N1"; v "S1" ]
+            &&& atom Preds.decl [ v "D"; v "TC"; v "O"; v "TR" ]
+            &&& atom Preds.type_ [ v "TC"; v "N2"; v "S2" ]
+            ==> (eq (v "S1") (v "S2")
+                ||| atom Preds.imports [ v "S1"; v "S2" ]
+                ||| atom Preds.subschemarel_t [ v "S2"; v "S1" ])) );
+      ];
+  }
+
+let bundles = [ single_inheritance; strict_slots; no_empty_types; layered_calls ]
+
+let find name = List.find_opt (fun b -> b.name = name) bundles
+
+let install (t : Theory.t) (b : bundle) =
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) b.constraints
+
+let remove (t : Theory.t) (b : bundle) =
+  List.iter (fun (name, _) -> ignore (Theory.remove_constraint t name)) b.constraints

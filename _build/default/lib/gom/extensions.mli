@@ -1,0 +1,24 @@
+(** Optional constraint bundles: ready-made tightenings of the notion of
+    consistency a project can feed into (and take back out of) the
+    Consistency Control without touching any other module. *)
+
+type bundle = { name : string; constraints : (string * Datalog.Formula.t) list }
+
+val single_inheritance : bundle
+(** Restrain inheritance to single inheritance (the section 2.1 example). *)
+
+val strict_slots : bundle
+(** Every slot must correspond to an attribute of the represented type —
+    the converse of the star constraint, ruling out stale slots. *)
+
+val no_empty_types : bundle
+(** Every user type must carry at least one attribute or operation. *)
+
+val layered_calls : bundle
+(** Operations may only be called from the same schema, an importer, or an
+    ancestor schema. *)
+
+val bundles : bundle list
+val find : string -> bundle option
+val install : Datalog.Theory.t -> bundle -> unit
+val remove : Datalog.Theory.t -> bundle -> unit

@@ -1,0 +1,84 @@
+(* The fashion/masking extension of section 4.1 (after Moerkotte/Zachmann,
+   "Multiple substitutability without affecting the taxonomy").
+
+   FashionType(X, Y) makes instances of type version X substitutable for
+   instances of type version Y; FashionDecl and FashionAttr carry the code
+   that imitates Y's behaviour on X's instances.  Use of fashion is
+   restricted to schema evolution: the two types must be versions of each
+   other.  Completeness constraints require the whole behaviour of Y to be
+   provided. *)
+
+open Datalog
+
+let v = Term.var
+
+open Formula
+
+let predicates =
+  [
+    Preds.fashiontype, [ "MaskedTypeId"; "TargetTypeId" ];
+    Preds.fashiondecl, [ "DeclId"; "MaskedTypeId"; "CodeId" ];
+    ( Preds.fashionattr,
+      [ "OwnerTypeId"; "AttrName"; "MaskedTypeId"; "ReadCodeId"; "WriteCodeId" ]
+    );
+  ]
+
+let constraints =
+  [
+    ( "ri$FashionType_Masked",
+      Model.ri_constraint Preds.fashiontype ~arity:2 ~col:0
+        ~target:Preds.type_ ~target_arity:3 ~target_col:0 );
+    ( "ri$FashionType_Target",
+      Model.ri_constraint Preds.fashiontype ~arity:2 ~col:1
+        ~target:Preds.type_ ~target_arity:3 ~target_col:0 );
+    ( "ri$FashionDecl_Decl",
+      Model.ri_constraint Preds.fashiondecl ~arity:3 ~col:0
+        ~target:Preds.decl ~target_arity:4 ~target_col:0 );
+    ( "ri$FashionDecl_Type",
+      Model.ri_constraint Preds.fashiondecl ~arity:3 ~col:1
+        ~target:Preds.type_ ~target_arity:3 ~target_col:0 );
+    (* Keys: one imitation per (declaration, masked type); one read/write
+       pair per (owner attribute, masked type) *)
+    ( "key$FashionDecl",
+      forall [ "D"; "T"; "C1"; "C2" ]
+        (atom Preds.fashiondecl [ v "D"; v "T"; v "C1" ]
+        &&& atom Preds.fashiondecl [ v "D"; v "T"; v "C2" ]
+        ==> eq (v "C1") (v "C2")) );
+    ( "key$FashionAttr",
+      forall [ "T"; "A"; "M"; "R1"; "W1"; "R2"; "W2" ]
+        (atom Preds.fashionattr [ v "T"; v "A"; v "M"; v "R1"; v "W1" ]
+        &&& atom Preds.fashionattr [ v "T"; v "A"; v "M"; v "R2"; v "W2" ]
+        ==> (eq (v "R1") (v "R2") &&& eq (v "W1") (v "W2"))) );
+    (* Fashion is restricted to schema evolution purposes *)
+    ( "fashion$OnlyBetweenVersions",
+      forall [ "X"; "Y" ]
+        (atom Preds.fashiontype [ v "X"; v "Y" ]
+        ==> (atom Preds.evolves_to_t [ v "X"; v "Y" ]
+            ||| atom Preds.evolves_to_t [ v "Y"; v "X" ])) );
+    (* The complete behaviour of the target must be provided *)
+    ( "fashion$DeclComplete",
+      forall [ "X"; "Y"; "Z"; "U"; "V" ]
+        (exists [ "W" ]
+           (atom Preds.fashiontype [ v "X"; v "Y" ]
+           &&& atom Preds.decl_i [ v "Z"; v "Y"; v "U"; v "V" ]
+           ==> atom Preds.fashiondecl [ v "Z"; v "X"; v "W" ])) );
+    ( "fashion$AttrComplete",
+      forall [ "X"; "Y"; "Z"; "U" ]
+        (exists [ "V1"; "V2" ]
+           (atom Preds.fashiontype [ v "X"; v "Y" ]
+           &&& atom Preds.attr_i [ v "Y"; v "Z"; v "U" ]
+           ==> atom Preds.fashionattr [ v "Y"; v "Z"; v "X"; v "V1"; v "V2" ]))
+    );
+  ]
+
+(* Requires [Versioning.install] to have run (the only-between-versions
+   constraint references evolves_to_T). *)
+let install (t : Theory.t) =
+  if not (Theory.predicate_declared t Preds.evolves_to_t) then
+    invalid_arg "Fashion.install: requires the versioning extension";
+  List.iter (fun (name, columns) -> Theory.declare_predicate t ~name ~columns)
+    predicates;
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) constraints
+
+let constraint_names = List.map fst constraints
+let definition_counts () = List.length predicates, 0, List.length constraints

@@ -1,0 +1,14 @@
+(** The fashion/masking extension of section 4.1: FashionType makes
+    instances of one type version substitutable for another; FashionDecl and
+    FashionAttr carry the imitation code; completeness constraints require
+    the whole target behaviour to be provided, and fashion is restricted to
+    schema evolution (the two types must be versions of each other). *)
+
+val predicates : (string * string list) list
+val constraints : (string * Datalog.Formula.t) list
+
+val install : Datalog.Theory.t -> unit
+(** @raise Invalid_argument if the versioning extension is not installed. *)
+
+val constraint_names : string list
+val definition_counts : unit -> int * int * int

@@ -1,0 +1,358 @@
+(* The GOM schema model of the paper's section 3, as definitions fed into the
+   Consistency Control: predicate declarations, the rules for the derived
+   predicates (transitive subtyping, inherited attributes/operations,
+   refinement closure), and the constraint database.
+
+   [install_schema_part] is section 3.2/3.3 (schema consistency),
+   [install_object_part] is section 3.4 (schema/object consistency),
+   and [install_core] is both — the "simple schema manager for the core of
+   GOM". *)
+
+open Datalog
+
+let v = Term.var
+let f_atom = Formula.atom
+
+open Formula
+
+(* ------------------------------------------------------------------ *)
+(* Predicate declarations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema_predicates =
+  [
+    Preds.schema_, [ "SchemaId"; "UserName" ];
+    Preds.type_, [ "TypeId"; "TypeName"; "SchemaId" ];
+    Preds.attr, [ "TypeId"; "AttrName"; "DomainTypeId" ];
+    Preds.decl, [ "DeclId"; "ReceiverTypeId"; "OpName"; "ResultTypeId" ];
+    Preds.argdecl, [ "DeclId"; "ArgNo"; "TypeId" ];
+    Preds.code, [ "CodeId"; "CodeText"; "DeclId" ];
+    Preds.subtyprel, [ "SubTypeId"; "SuperTypeId" ];
+    Preds.declrefinement, [ "RefiningDeclId"; "RefinedDeclId" ];
+    Preds.codereqdecl, [ "CodeId"; "DeclId" ];
+    Preds.codereqattr, [ "CodeId"; "TypeId"; "AttrName" ];
+  ]
+
+let object_predicates =
+  [
+    Preds.phrep, [ "PhRepId"; "TypeId" ];
+    Preds.slot, [ "PhRepId"; "AttrName"; "ValuePhRepId" ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Derived predicates (section 3.3)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rule head body = Rule.make head body
+let rpos p args = Rule.Pos (Atom.make p args)
+let rneg p args = Rule.Neg (Atom.make p args)
+
+let schema_rules =
+  [
+    (* SubTypRel_t: transitive closure of SubTypRel *)
+    rule
+      (Atom.make Preds.subtyprel_t [ v "X"; v "Y" ])
+      [ rpos Preds.subtyprel [ v "X"; v "Y" ] ];
+    rule
+      (Atom.make Preds.subtyprel_t [ v "X"; v "Z" ])
+      [ rpos Preds.subtyprel [ v "X"; v "Y" ];
+        rpos Preds.subtyprel_t [ v "Y"; v "Z" ] ];
+    (* DeclRefinement_t: transitive closure of DeclRefinement *)
+    rule
+      (Atom.make Preds.declrefinement_t [ v "X"; v "Y" ])
+      [ rpos Preds.declrefinement [ v "X"; v "Y" ] ];
+    rule
+      (Atom.make Preds.declrefinement_t [ v "X"; v "Z" ])
+      [ rpos Preds.declrefinement [ v "X"; v "Y" ];
+        rpos Preds.declrefinement_t [ v "Y"; v "Z" ] ];
+    (* Attr_i: attributes including inherited ones *)
+    rule
+      (Atom.make Preds.attr_i [ v "T"; v "A"; v "D" ])
+      [ rpos Preds.attr [ v "T"; v "A"; v "D" ] ];
+    rule
+      (Atom.make Preds.attr_i [ v "T1"; v "A"; v "D" ])
+      [ rpos Preds.subtyprel_t [ v "T1"; v "T2" ];
+        rpos Preds.attr [ v "T2"; v "A"; v "D" ] ];
+    (* Refined(X1, Y): declaration X1 has a refinement associated to type Y
+       or one of Y's supertypes *)
+    rule
+      (Atom.make Preds.refined [ v "X1"; v "Y21" ])
+      [ rpos Preds.decl [ v "X1"; v "Y11"; v "Z1"; v "Y12" ];
+        rpos Preds.declrefinement_t [ v "X2"; v "X1" ];
+        rpos Preds.decl [ v "X2"; v "Y21"; v "Z2"; v "Y22" ] ];
+    rule
+      (Atom.make Preds.refined [ v "X1"; v "Y" ])
+      [ rpos Preds.decl [ v "X1"; v "Y11"; v "Z1"; v "Y12" ];
+        rpos Preds.declrefinement_t [ v "X2"; v "X1" ];
+        rpos Preds.decl [ v "X2"; v "Y21"; v "Z2"; v "Y22" ];
+        rpos Preds.subtyprel_t [ v "Y"; v "Y21" ] ];
+    (* Decl_i: operations including inherited, unless refined on the way *)
+    rule
+      (Atom.make Preds.decl_i [ v "X"; v "Y11"; v "Z"; v "Y12" ])
+      [ rpos Preds.decl [ v "X"; v "Y11"; v "Z"; v "Y12" ] ];
+    rule
+      (Atom.make Preds.decl_i [ v "X"; v "Y11"; v "Z"; v "Y12" ])
+      [ rpos Preds.subtyprel_t [ v "Y11"; v "Y21" ];
+        rpos Preds.decl [ v "X"; v "Y21"; v "Z"; v "Y12" ];
+        rneg Preds.refined [ v "X"; v "Y11" ] ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Constraint helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Key constraint: the first [key] columns of [pred] determine the rest. *)
+let key_constraint pred ~arity ~key =
+  let vars prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let kvs = vars "K" key in
+  let avs = vars "A" (arity - key) and bvs = vars "B" (arity - key) in
+  let atom_with rest = f_atom pred (List.map v (kvs @ rest)) in
+  forall (kvs @ avs @ bvs)
+    (atom_with avs &&& atom_with bvs
+    ==> conj (List.map2 (fun a b -> eq (v a) (v b)) avs bvs))
+
+(* Referential integrity: column [col] (0-based) of [pred] (arity [arity])
+   must appear as column [target_col] of [target] (arity [target_arity]). *)
+let ri_constraint pred ~arity ~col ~target ~target_arity ~target_col =
+  let xs = List.init arity (fun i -> Printf.sprintf "X%d" i) in
+  let ys =
+    List.init target_arity (fun i ->
+        if i = target_col then List.nth xs col else Printf.sprintf "Y%d" i)
+  in
+  let ex_vars = List.filter (fun y -> not (List.mem y xs)) ys in
+  forall xs
+    (f_atom pred (List.map v xs) ==> exists ex_vars (f_atom target (List.map v ys)))
+
+(* ------------------------------------------------------------------ *)
+(* Schema consistency (section 3.3)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let schema_constraints : (string * Formula.t) list =
+  [
+    (* Keys *)
+    "key$Schema", key_constraint Preds.schema_ ~arity:2 ~key:1;
+    "key$Type", key_constraint Preds.type_ ~arity:3 ~key:1;
+    "key$Attr", key_constraint Preds.attr ~arity:3 ~key:2;
+    "key$Decl", key_constraint Preds.decl ~arity:4 ~key:1;
+    "key$ArgDecl", key_constraint Preds.argdecl ~arity:3 ~key:2;
+    "key$Code", key_constraint Preds.code ~arity:3 ~key:1;
+    (* The 1:1 "implements" relationship: one piece of code per declaration *)
+    ( "uniq$CodePerDecl",
+      forall [ "C1"; "C2"; "X1"; "X2"; "D" ]
+        (f_atom Preds.code [ v "C1"; v "X1"; v "D" ]
+        &&& f_atom Preds.code [ v "C2"; v "X2"; v "D" ]
+        ==> eq (v "C1") (v "C2")) );
+    (* Schema user names are globally unique (used by the @-notation) *)
+    ( "uniq$SchemaName",
+      forall [ "X1"; "X2"; "Y" ]
+        (f_atom Preds.schema_ [ v "X1"; v "Y" ]
+        &&& f_atom Preds.schema_ [ v "X2"; v "Y" ]
+        ==> eq (v "X1") (v "X2")) );
+    (* The paper's uniqueness constraint: every type name is used at most
+       once within one schema *)
+    ( "uniq$TypeNameInSchema",
+      forall [ "X1"; "X2"; "Y1"; "Y2"; "Z" ]
+        (f_atom Preds.type_ [ v "X1"; v "Y1"; v "Z" ]
+        &&& f_atom Preds.type_ [ v "X2"; v "Y2"; v "Z" ]
+        ==> (eq (v "Y1") (v "Y2") ==> eq (v "X1") (v "X2"))) );
+    (* No overloading in the GOM core: an operation name is declared at most
+       once per receiver type *)
+    ( "uniq$DeclNameInType",
+      forall [ "D1"; "D2"; "T"; "O"; "R1"; "R2" ]
+        (f_atom Preds.decl [ v "D1"; v "T"; v "O"; v "R1" ]
+        &&& f_atom Preds.decl [ v "D2"; v "T"; v "O"; v "R2" ]
+        ==> eq (v "D1") (v "D2")) );
+    (* Referential integrity *)
+    ( "ri$Type_Schema",
+      ri_constraint Preds.type_ ~arity:3 ~col:2 ~target:Preds.schema_
+        ~target_arity:2 ~target_col:0 );
+    ( "ri$Attr_Type",
+      ri_constraint Preds.attr ~arity:3 ~col:0 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$Attr_Domain",
+      ri_constraint Preds.attr ~arity:3 ~col:2 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$Decl_Receiver",
+      ri_constraint Preds.decl ~arity:4 ~col:1 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$Decl_Result",
+      ri_constraint Preds.decl ~arity:4 ~col:3 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$ArgDecl_Decl",
+      ri_constraint Preds.argdecl ~arity:3 ~col:0 ~target:Preds.decl
+        ~target_arity:4 ~target_col:0 );
+    ( "ri$ArgDecl_Type",
+      ri_constraint Preds.argdecl ~arity:3 ~col:2 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$Code_Decl",
+      ri_constraint Preds.code ~arity:3 ~col:2 ~target:Preds.decl
+        ~target_arity:4 ~target_col:0 );
+    ( "ri$SubTypRel_Sub",
+      ri_constraint Preds.subtyprel ~arity:2 ~col:0 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$SubTypRel_Super",
+      ri_constraint Preds.subtyprel ~arity:2 ~col:1 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$DeclRefinement_Refining",
+      ri_constraint Preds.declrefinement ~arity:2 ~col:0 ~target:Preds.decl
+        ~target_arity:4 ~target_col:0 );
+    ( "ri$DeclRefinement_Refined",
+      ri_constraint Preds.declrefinement ~arity:2 ~col:1 ~target:Preds.decl
+        ~target_arity:4 ~target_col:0 );
+    ( "ri$CodeReqDecl_Code",
+      ri_constraint Preds.codereqdecl ~arity:2 ~col:0 ~target:Preds.code
+        ~target_arity:3 ~target_col:0 );
+    (* "All invoked operations must be present" *)
+    ( "ri$CodeReqDecl_Decl",
+      ri_constraint Preds.codereqdecl ~arity:2 ~col:1 ~target:Preds.decl
+        ~target_arity:4 ~target_col:0 );
+    ( "ri$CodeReqAttr_Code",
+      ri_constraint Preds.codereqattr ~arity:3 ~col:0 ~target:Preds.code
+        ~target_arity:3 ~target_col:0 );
+    (* "All accessed attributes must be present" (inherited ones count) *)
+    ( "ri$CodeReqAttr_Attr",
+      forall [ "C"; "T"; "A" ]
+        (f_atom Preds.codereqattr [ v "C"; v "T"; v "A" ]
+        ==> exists [ "D" ] (f_atom Preds.attr_i [ v "T"; v "A"; v "D" ])) );
+    (* "The domain of all attributes must be defined and all invoked
+       operations must be present": for any declaration a piece of code
+       implementing it has to be present *)
+    ( "exist$DeclHasCode",
+      forall [ "D"; "Tc"; "O"; "Tt" ]
+        (exists [ "C1"; "C2" ]
+           (f_atom Preds.decl [ v "D"; v "Tc"; v "O"; v "Tt" ]
+           ==> f_atom Preds.code [ v "C1"; v "C2"; v "D" ])) );
+    (* The subtype relationship is acyclic *)
+    ( "acyclic$SubTypRel",
+      forall [ "X" ] (neg (f_atom Preds.subtyprel_t [ v "X"; v "X" ])) );
+    (* There is a unique root called ANY *)
+    ( "root$ANY",
+      forall [ "X"; "Y"; "Z" ]
+        (f_atom Preds.type_ [ v "X"; v "Y"; v "Z" ]
+        ==> (eq (v "X") (Term.sym Builtin.any_tid)
+            ||| f_atom Preds.subtyprel_t [ v "X"; Term.sym Builtin.any_tid ]))
+    );
+    (* The refinement relationship is acyclic *)
+    ( "acyclic$DeclRefinement",
+      forall [ "X" ] (neg (f_atom Preds.declrefinement_t [ v "X"; v "X" ])) );
+    (* Multiple inheritance: two inherited attributes with the same name must
+       have the same codomain *)
+    ( "mi$AttrCodomain",
+      forall [ "T"; "A"; "D1"; "D2" ]
+        (f_atom Preds.attr_i [ v "T"; v "A"; v "D1" ]
+        &&& f_atom Preds.attr_i [ v "T"; v "A"; v "D2" ]
+        ==> eq (v "D1") (v "D2")) );
+    (* Multiple inheritance: two distinct inherited operations with the same
+       name require a common refinement *)
+    ( "mi$DeclConflict",
+      forall [ "T"; "T1"; "T2"; "O"; "Tt1"; "Tt2"; "D1"; "D2" ]
+        (exists [ "D" ]
+           (f_atom Preds.subtyprel [ v "T"; v "T1" ]
+           &&& f_atom Preds.subtyprel [ v "T"; v "T2" ]
+           &&& f_atom Preds.decl_i [ v "D1"; v "T1"; v "O"; v "Tt1" ]
+           &&& f_atom Preds.decl_i [ v "D2"; v "T2"; v "O"; v "Tt2" ]
+           &&& ne (v "D1") (v "D2")
+           ==> (f_atom Preds.declrefinement [ v "D"; v "D1" ]
+               &&& f_atom Preds.declrefinement [ v "D"; v "D2" ]))) );
+    (* Refinement obeys contravariance (strong typing) *)
+    ( "refine$Contravariance",
+      forall [ "D1"; "D2"; "Tc1"; "Tc2"; "O1"; "O2"; "Tt1"; "Tt2" ]
+        (f_atom Preds.declrefinement [ v "D2"; v "D1" ]
+        &&& f_atom Preds.decl [ v "D1"; v "Tc1"; v "O1"; v "Tt1" ]
+        &&& f_atom Preds.decl [ v "D2"; v "Tc2"; v "O2"; v "Tt2" ]
+        ==> conj
+              [
+                eq (v "O1") (v "O2");
+                eq (v "Tc1") (v "Tc2")
+                ||| f_atom Preds.subtyprel_t [ v "Tc2"; v "Tc1" ];
+                eq (v "Tt1") (v "Tt2")
+                ||| f_atom Preds.subtyprel_t [ v "Tt2"; v "Tt1" ];
+                forall [ "N"; "TA1"; "TA2" ]
+                  (f_atom Preds.argdecl [ v "D1"; v "N"; v "TA1" ]
+                  &&& f_atom Preds.argdecl [ v "D2"; v "N"; v "TA2" ]
+                  ==> (eq (v "TA1") (v "TA2")
+                      ||| f_atom Preds.subtyprel_t [ v "TA1"; v "TA2" ]));
+                forall [ "N"; "TA1" ]
+                  (exists [ "TA2" ]
+                     (f_atom Preds.argdecl [ v "D1"; v "N"; v "TA1" ]
+                     ==> f_atom Preds.argdecl [ v "D2"; v "N"; v "TA2" ]));
+                forall [ "N"; "TA2" ]
+                  (exists [ "TA1" ]
+                     (f_atom Preds.argdecl [ v "D2"; v "N"; v "TA2" ]
+                     ==> f_atom Preds.argdecl [ v "D1"; v "N"; v "TA1" ]));
+              ]) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema/object consistency (section 3.4)                             *)
+(* ------------------------------------------------------------------ *)
+
+let object_constraints : (string * Formula.t) list =
+  [
+    ( "ri$PhRep_Type",
+      ri_constraint Preds.phrep ~arity:2 ~col:1 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    ( "ri$Slot_PhRep",
+      ri_constraint Preds.slot ~arity:3 ~col:0 ~target:Preds.phrep
+        ~target_arity:2 ~target_col:0 );
+    ( "ri$Slot_Value",
+      ri_constraint Preds.slot ~arity:3 ~col:2 ~target:Preds.phrep
+        ~target_arity:2 ~target_col:0 );
+    (* There is only one physical representation for each type *)
+    ( "uniq$PhRepPerType",
+      forall [ "C1"; "T"; "C2" ]
+        (f_atom Preds.phrep [ v "C1"; v "T" ]
+        &&& f_atom Preds.phrep [ v "C2"; v "T" ]
+        ==> eq (v "C1") (v "C2")) );
+    "key$PhRep", key_constraint Preds.phrep ~arity:2 ~key:1;
+    (* The slot for each attribute of a given representation is unique.
+       Note: the paper's literal formula omits the representation binding and
+       would be violated by its own running example (the attribute "name"
+       appears in both clid_1 and clid_3); we state the evident key reading. *)
+    "key$Slot", key_constraint Preds.slot ~arity:3 ~key:2;
+    (* The star-marked constraint: for every type there must exist a
+       corresponding slot for every associated attribute, including the
+       inherited ones *)
+    ( "star$SlotForEveryAttr",
+      forall [ "T"; "A"; "TA"; "C" ]
+        (exists [ "CA" ]
+           (f_atom Preds.attr_i [ v "T"; v "A"; v "TA" ]
+           &&& f_atom Preds.phrep [ v "C"; v "T" ]
+           ==> (f_atom Preds.slot [ v "C"; v "A"; v "CA" ]
+               &&& f_atom Preds.phrep [ v "CA"; v "TA" ]))) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Installation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let install_schema_part (t : Theory.t) =
+  List.iter
+    (fun (name, columns) -> Theory.declare_predicate t ~name ~columns)
+    schema_predicates;
+  Theory.add_rules t schema_rules;
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) schema_constraints
+
+let install_object_part (t : Theory.t) =
+  List.iter
+    (fun (name, columns) -> Theory.declare_predicate t ~name ~columns)
+    object_predicates;
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) object_constraints
+
+let install_core t =
+  install_schema_part t;
+  install_object_part t
+
+let core_theory () =
+  let t = Theory.create () in
+  install_core t;
+  t
+
+let schema_constraint_names = List.map fst schema_constraints
+let object_constraint_names = List.map fst object_constraints
+
+(* Definition counts, used by the developer-effort experiment. *)
+let definition_counts () =
+  ( List.length schema_predicates + List.length object_predicates,
+    List.length schema_rules,
+    List.length schema_constraints + List.length object_constraints )

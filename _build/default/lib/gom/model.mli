@@ -1,0 +1,52 @@
+(** The GOM schema model of the paper's section 3, as definitions fed into
+    the Consistency Control: predicate declarations, the rules for the
+    derived predicates, and the constraint database. *)
+
+open Datalog
+
+val schema_predicates : (string * string list) list
+val object_predicates : (string * string list) list
+val schema_rules : Rule.t list
+
+val schema_constraints : (string * Formula.t) list
+(** Section 3.3: keys, uniqueness, referential integrity, decl-has-code,
+    acyclic subtyping with unique root ANY, acyclic refinement, multiple
+    inheritance, contravariant refinement. *)
+
+val object_constraints : (string * Formula.t) list
+(** Section 3.4: PhRep/Slot keys and referential integrity, one
+    representation per type, and the star-marked slot-for-every-attribute
+    constraint. *)
+
+val key_constraint : string -> arity:int -> key:int -> Formula.t
+(** [key_constraint pred ~arity ~key]: the first [key] columns determine
+    the remaining ones. *)
+
+val ri_constraint :
+  string ->
+  arity:int ->
+  col:int ->
+  target:string ->
+  target_arity:int ->
+  target_col:int ->
+  Formula.t
+(** Referential integrity: column [col] of [pred] must appear as column
+    [target_col] of [target]. *)
+
+val install_schema_part : Theory.t -> unit
+(** Sections 3.2/3.3: schema consistency. *)
+
+val install_object_part : Theory.t -> unit
+(** Section 3.4: schema/object consistency. *)
+
+val install_core : Theory.t -> unit
+(** Both parts: the simple schema manager for the core of GOM. *)
+
+val core_theory : unit -> Theory.t
+(** A fresh theory with {!install_core} applied. *)
+
+val schema_constraint_names : string list
+val object_constraint_names : string list
+
+val definition_counts : unit -> int * int * int
+(** (predicates, rules, constraints) — for the developer-effort artifact. *)

@@ -1,0 +1,90 @@
+(* Base and derived predicate names of the GOM schema model, with typed fact
+   constructors.  Names follow the paper exactly so that the regenerated
+   extension tables read like Figure 2. *)
+
+let sym s = Datalog.Term.Sym s
+
+(* --- Base predicates: schema part (section 3.2) --- *)
+
+let schema_ = "Schema"
+let type_ = "Type"
+let attr = "Attr"
+let decl = "Decl"
+let argdecl = "ArgDecl"
+let code = "Code"
+let subtyprel = "SubTypRel"
+let declrefinement = "DeclRefinement"
+let codereqdecl = "CodeReqDecl"
+let codereqattr = "CodeReqAttr"
+
+(* --- Base predicates: object part (section 3.4) --- *)
+
+let phrep = "PhRep"
+let slot = "Slot"
+
+(* --- Base predicates: versioning extension (section 4.1) --- *)
+
+let evolves_to_s = "evolves_to_S"
+let evolves_to_t = "evolves_to_T"
+
+(* --- Base predicates: fashion/masking extension (section 4.1) --- *)
+
+let fashiontype = "FashionType"
+let fashiondecl = "FashionDecl"
+let fashionattr = "FashionAttr"
+
+(* --- Base predicates: schema hierarchy (appendix A) --- *)
+
+let subschemarel = "SubSchemaRel"
+let imports = "Imports"
+let public_comp = "PublicComp"
+let schemavar = "SchemaVar"
+let renamed = "Renamed"
+
+(* --- Derived predicates (section 3.3) --- *)
+
+let subtyprel_t = "SubTypRel_t"
+let declrefinement_t = "DeclRefinement_t"
+let attr_i = "Attr_i"
+let decl_i = "Decl_i"
+let refined = "Refined"
+let evolves_to_s_t = "evolves_to_S_t"
+let evolves_to_t_t = "evolves_to_T_t"
+let subschemarel_t = "SubSchemaRel_t"
+
+(* --- Fact constructors --- *)
+
+let fact p args = Datalog.Fact.make p (List.map sym args)
+
+let schema_fact ~sid ~name = fact schema_ [ sid; name ]
+let type_fact ~tid ~name ~sid = fact type_ [ tid; name; sid ]
+let attr_fact ~tid ~name ~domain = fact attr [ tid; name; domain ]
+
+let decl_fact ~did ~receiver ~name ~result = fact decl [ did; receiver; name; result ]
+
+let argdecl_fact ~did ~pos ~tid =
+  Datalog.Fact.make argdecl [ sym did; Datalog.Term.Int pos; sym tid ]
+
+let code_fact ~cid ~text ~did = fact code [ cid; text; did ]
+let subtyprel_fact ~sub ~super = fact subtyprel [ sub; super ]
+let declrefinement_fact ~refining ~refined = fact declrefinement [ refining; refined ]
+let codereqdecl_fact ~cid ~did = fact codereqdecl [ cid; did ]
+let codereqattr_fact ~cid ~tid ~attr_name = fact codereqattr [ cid; tid; attr_name ]
+let phrep_fact ~clid ~tid = fact phrep [ clid; tid ]
+let slot_fact ~clid ~attr_name ~value_clid = fact slot [ clid; attr_name; value_clid ]
+let evolves_to_s_fact ~from_sid ~to_sid = fact evolves_to_s [ from_sid; to_sid ]
+let evolves_to_t_fact ~from_tid ~to_tid = fact evolves_to_t [ from_tid; to_tid ]
+let fashiontype_fact ~masked ~target = fact fashiontype [ masked; target ]
+
+let fashiondecl_fact ~did ~tid ~cid = fact fashiondecl [ did; tid; cid ]
+
+let fashionattr_fact ~owner_tid ~attr_name ~masked_tid ~read_cid ~write_cid =
+  fact fashionattr [ owner_tid; attr_name; masked_tid; read_cid; write_cid ]
+
+let subschemarel_fact ~child ~parent = fact subschemarel [ child; parent ]
+
+let renamed_fact ~sid ~kind ~new_name ~source_sid ~old_name =
+  fact renamed [ sid; kind; new_name; source_sid; old_name ]
+let imports_fact ~importer ~imported = fact imports [ importer; imported ]
+let public_comp_fact ~sid ~kind ~name = fact public_comp [ sid; kind; name ]
+let schemavar_fact ~sid ~name ~tid = fact schemavar [ sid; name; tid ]

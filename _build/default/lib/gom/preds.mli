@@ -1,0 +1,108 @@
+(** Base and derived predicate names of the GOM schema model, with typed
+    fact constructors.  Names follow the paper exactly so that regenerated
+    extension tables read like Figure 2. *)
+
+val sym : string -> Datalog.Term.const
+
+(** {2 Base predicates: schema part (section 3.2)} *)
+
+val schema_ : string
+val type_ : string
+val attr : string
+val decl : string
+val argdecl : string
+val code : string
+val subtyprel : string
+val declrefinement : string
+val codereqdecl : string
+val codereqattr : string
+
+(** {2 Base predicates: object part (section 3.4)} *)
+
+val phrep : string
+val slot : string
+
+(** {2 Base predicates: versioning extension (section 4.1)} *)
+
+val evolves_to_s : string
+val evolves_to_t : string
+
+(** {2 Base predicates: fashion/masking extension (section 4.1)} *)
+
+val fashiontype : string
+val fashiondecl : string
+val fashionattr : string
+
+(** {2 Base predicates: schema hierarchy (appendix A)} *)
+
+val subschemarel : string
+val imports : string
+val public_comp : string
+val schemavar : string
+val renamed : string
+
+(** {2 Derived predicates (section 3.3)} *)
+
+val subtyprel_t : string
+val declrefinement_t : string
+val attr_i : string
+val decl_i : string
+val refined : string
+val evolves_to_s_t : string
+val evolves_to_t_t : string
+val subschemarel_t : string
+
+(** {2 Fact constructors} *)
+
+val fact : string -> string list -> Datalog.Fact.t
+val schema_fact : sid:string -> name:string -> Datalog.Fact.t
+val type_fact : tid:string -> name:string -> sid:string -> Datalog.Fact.t
+val attr_fact : tid:string -> name:string -> domain:string -> Datalog.Fact.t
+
+val decl_fact :
+  did:string -> receiver:string -> name:string -> result:string -> Datalog.Fact.t
+
+val argdecl_fact : did:string -> pos:int -> tid:string -> Datalog.Fact.t
+val code_fact : cid:string -> text:string -> did:string -> Datalog.Fact.t
+val subtyprel_fact : sub:string -> super:string -> Datalog.Fact.t
+
+val declrefinement_fact :
+  refining:string -> refined:string -> Datalog.Fact.t
+
+val codereqdecl_fact : cid:string -> did:string -> Datalog.Fact.t
+
+val codereqattr_fact :
+  cid:string -> tid:string -> attr_name:string -> Datalog.Fact.t
+
+val phrep_fact : clid:string -> tid:string -> Datalog.Fact.t
+
+val slot_fact :
+  clid:string -> attr_name:string -> value_clid:string -> Datalog.Fact.t
+
+val evolves_to_s_fact : from_sid:string -> to_sid:string -> Datalog.Fact.t
+val evolves_to_t_fact : from_tid:string -> to_tid:string -> Datalog.Fact.t
+val fashiontype_fact : masked:string -> target:string -> Datalog.Fact.t
+
+val fashiondecl_fact : did:string -> tid:string -> cid:string -> Datalog.Fact.t
+
+val fashionattr_fact :
+  owner_tid:string ->
+  attr_name:string ->
+  masked_tid:string ->
+  read_cid:string ->
+  write_cid:string ->
+  Datalog.Fact.t
+
+val subschemarel_fact : child:string -> parent:string -> Datalog.Fact.t
+
+val renamed_fact :
+  sid:string ->
+  kind:string ->
+  new_name:string ->
+  source_sid:string ->
+  old_name:string ->
+  Datalog.Fact.t
+
+val imports_fact : importer:string -> imported:string -> Datalog.Fact.t
+val public_comp_fact : sid:string -> kind:string -> name:string -> Datalog.Fact.t
+val schemavar_fact : sid:string -> name:string -> tid:string -> Datalog.Fact.t

@@ -1,0 +1,42 @@
+(* Enumeration sorts ("sort Fuel is enum (leaded, unleaded);" in the paper's
+   section 4.2 scenario).  An enum sort is an ordinary type whose values are
+   recorded in the EnumVal base predicate. *)
+
+open Datalog
+
+
+
+let enumval = "EnumVal"
+
+let enumval_fact ~tid ~value =
+  Fact.make enumval [ Term.Sym tid; Term.Sym value ]
+
+let predicates = [ enumval, [ "TypeId"; "ValueName" ] ]
+
+let constraints =
+  [
+    ( "ri$EnumVal_Type",
+      Model.ri_constraint enumval ~arity:2 ~col:0 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+  ]
+
+let install (t : Theory.t) =
+  List.iter (fun (name, columns) -> Theory.declare_predicate t ~name ~columns)
+    predicates;
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) constraints
+
+let values db ~tid =
+  Schema_base.collect db enumval (fun tu ->
+      if Term.equal_const tu.(0) (Sym tid) then Some (Schema_base.sym_of tu.(1))
+      else None)
+
+(* Resolve an enum literal to its sort; [None] if unknown or ambiguous. *)
+let sort_of_value db ~value =
+  let hits = ref [] in
+  Schema_base.scan db enumval (fun tu ->
+      if Term.equal_const tu.(1) (Sym value) then
+        hits := Schema_base.sym_of tu.(0) :: !hits);
+  match !hits with [ tid ] -> Some tid | [] | _ :: _ :: _ -> None
+
+let constraint_names = List.map fst constraints
+let definition_counts () = List.length predicates, 0, List.length constraints

@@ -1,0 +1,16 @@
+(** Enumeration sorts ("sort Fuel is enum (leaded, unleaded);"): ordinary
+    types whose values are recorded in the EnumVal base predicate. *)
+
+val enumval : string
+val enumval_fact : tid:string -> value:string -> Datalog.Fact.t
+val predicates : (string * string list) list
+val constraints : (string * Datalog.Formula.t) list
+val install : Datalog.Theory.t -> unit
+
+val values : Datalog.Database.t -> tid:string -> string list
+
+val sort_of_value : Datalog.Database.t -> value:string -> string option
+(** Resolve an enum literal to its sort; [None] if unknown or ambiguous. *)
+
+val constraint_names : string list
+val definition_counts : unit -> int * int * int

@@ -1,0 +1,98 @@
+(* The schema-hierarchy extension of appendix A: schemas form a tree via
+   SubSchemaRel, schemas can import other schemas, components can be made
+   public, and schemas can contain variables.  Name spaces, schema paths and
+   renaming are resolved by the Analyzer; the model carries the structural
+   facts and their consistency. *)
+
+open Datalog
+
+let v = Term.var
+
+open Formula
+
+let predicates =
+  [
+    Preds.subschemarel, [ "ChildSchemaId"; "ParentSchemaId" ];
+    Preds.imports, [ "ImporterSchemaId"; "ImportedSchemaId" ];
+    Preds.public_comp, [ "SchemaId"; "CompKind"; "CompName" ];
+    Preds.schemavar, [ "SchemaId"; "VarName"; "TypeId" ];
+    ( Preds.renamed,
+      [ "SchemaId"; "CompKind"; "NewName"; "SourceSchemaId"; "OldName" ] );
+  ]
+
+let rules =
+  let pos p args = Rule.Pos (Atom.make p args) in
+  [
+    Rule.make
+      (Atom.make Preds.subschemarel_t [ v "X"; v "Y" ])
+      [ pos Preds.subschemarel [ v "X"; v "Y" ] ];
+    Rule.make
+      (Atom.make Preds.subschemarel_t [ v "X"; v "Z" ])
+      [ pos Preds.subschemarel [ v "X"; v "Y" ];
+        pos Preds.subschemarel_t [ v "Y"; v "Z" ] ];
+  ]
+
+let constraints =
+  [
+    ( "ri$SubSchemaRel_Child",
+      Model.ri_constraint Preds.subschemarel ~arity:2 ~col:0
+        ~target:Preds.schema_ ~target_arity:2 ~target_col:0 );
+    ( "ri$SubSchemaRel_Parent",
+      Model.ri_constraint Preds.subschemarel ~arity:2 ~col:1
+        ~target:Preds.schema_ ~target_arity:2 ~target_col:0 );
+    ( "ri$Imports_Importer",
+      Model.ri_constraint Preds.imports ~arity:2 ~col:0 ~target:Preds.schema_
+        ~target_arity:2 ~target_col:0 );
+    ( "ri$Imports_Imported",
+      Model.ri_constraint Preds.imports ~arity:2 ~col:1 ~target:Preds.schema_
+        ~target_arity:2 ~target_col:0 );
+    ( "ri$PublicComp_Schema",
+      Model.ri_constraint Preds.public_comp ~arity:3 ~col:0
+        ~target:Preds.schema_ ~target_arity:2 ~target_col:0 );
+    ( "ri$SchemaVar_Schema",
+      Model.ri_constraint Preds.schemavar ~arity:3 ~col:0
+        ~target:Preds.schema_ ~target_arity:2 ~target_col:0 );
+    ( "ri$SchemaVar_Type",
+      Model.ri_constraint Preds.schemavar ~arity:3 ~col:2 ~target:Preds.type_
+        ~target_arity:3 ~target_col:0 );
+    (* The schema hierarchy is a forest: acyclic, at most one parent *)
+    ( "acyclic$SubSchemaRel",
+      forall [ "X" ] (neg (atom Preds.subschemarel_t [ v "X"; v "X" ])) );
+    ( "tree$SingleParent",
+      forall [ "X"; "P1"; "P2" ]
+        (atom Preds.subschemarel [ v "X"; v "P1" ]
+        &&& atom Preds.subschemarel [ v "X"; v "P2" ]
+        ==> eq (v "P1") (v "P2")) );
+    (* No schema imports itself *)
+    ( "irrefl$Imports",
+      forall [ "X" ] (neg (atom Preds.imports [ v "X"; v "X" ])) );
+    ( "ri$Renamed_Schema",
+      Model.ri_constraint Preds.renamed ~arity:5 ~col:0 ~target:Preds.schema_
+        ~target_arity:2 ~target_col:0 );
+    ( "ri$Renamed_Source",
+      Model.ri_constraint Preds.renamed ~arity:5 ~col:3 ~target:Preds.schema_
+        ~target_arity:2 ~target_col:0 );
+    (* A new name maps to a single source component *)
+    ( "key$Renamed",
+      forall [ "S"; "K"; "N"; "SS1"; "O1"; "SS2"; "O2" ]
+        (atom Preds.renamed [ v "S"; v "K"; v "N"; v "SS1"; v "O1" ]
+        &&& atom Preds.renamed [ v "S"; v "K"; v "N"; v "SS2"; v "O2" ]
+        ==> (eq (v "SS1") (v "SS2") &&& eq (v "O1") (v "O2"))) );
+    (* Variable names are unique within a schema *)
+    ( "key$SchemaVar",
+      forall [ "S"; "N"; "T1"; "T2" ]
+        (atom Preds.schemavar [ v "S"; v "N"; v "T1" ]
+        &&& atom Preds.schemavar [ v "S"; v "N"; v "T2" ]
+        ==> eq (v "T1") (v "T2")) );
+  ]
+
+let install (t : Theory.t) =
+  List.iter (fun (name, columns) -> Theory.declare_predicate t ~name ~columns)
+    predicates;
+  Theory.add_rules t rules;
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) constraints
+
+let constraint_names = List.map fst constraints
+
+let definition_counts () =
+  List.length predicates, List.length rules, List.length constraints

@@ -1,0 +1,10 @@
+(** The schema-hierarchy extension of appendix A: schemas form a forest via
+    SubSchemaRel, can import other schemas, make components public, rename
+    imported components, and contain variables. *)
+
+val predicates : (string * string list) list
+val rules : Datalog.Rule.t list
+val constraints : (string * Datalog.Formula.t) list
+val install : Datalog.Theory.t -> unit
+val constraint_names : string list
+val definition_counts : unit -> int * int * int

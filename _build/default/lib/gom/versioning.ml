@@ -1,0 +1,79 @@
+(* The schema/type versioning extension of section 4.1 (after Cellary/Jomier):
+   two new base predicates capturing the evolution of schemas and types, their
+   transitive closures, the DAG restriction, and the "digestibility"
+   constraint — types may evolve from each other only if their schemas do.
+
+   Installing this module is the paper's "simple keyboard exercise ...
+   performed within an hour": it only feeds definitions into the Consistency
+   Control. *)
+
+open Datalog
+
+let v = Term.var
+
+open Formula
+
+let predicates =
+  [
+    Preds.evolves_to_s, [ "FromSchemaId"; "ToSchemaId" ];
+    Preds.evolves_to_t, [ "FromTypeId"; "ToTypeId" ];
+  ]
+
+let rules =
+  let pos p args = Rule.Pos (Atom.make p args) in
+  [
+    Rule.make
+      (Atom.make Preds.evolves_to_s_t [ v "X"; v "Y" ])
+      [ pos Preds.evolves_to_s [ v "X"; v "Y" ] ];
+    Rule.make
+      (Atom.make Preds.evolves_to_s_t [ v "X"; v "Z" ])
+      [ pos Preds.evolves_to_s [ v "X"; v "Y" ];
+        pos Preds.evolves_to_s_t [ v "Y"; v "Z" ] ];
+    Rule.make
+      (Atom.make Preds.evolves_to_t_t [ v "X"; v "Y" ])
+      [ pos Preds.evolves_to_t [ v "X"; v "Y" ] ];
+    Rule.make
+      (Atom.make Preds.evolves_to_t_t [ v "X"; v "Z" ])
+      [ pos Preds.evolves_to_t [ v "X"; v "Y" ];
+        pos Preds.evolves_to_t_t [ v "Y"; v "Z" ] ];
+  ]
+
+let constraints =
+  [
+    ( "ri$evolves_to_S_From",
+      Model.ri_constraint Preds.evolves_to_s ~arity:2 ~col:0
+        ~target:Preds.schema_ ~target_arity:2 ~target_col:0 );
+    ( "ri$evolves_to_S_To",
+      Model.ri_constraint Preds.evolves_to_s ~arity:2 ~col:1
+        ~target:Preds.schema_ ~target_arity:2 ~target_col:0 );
+    ( "ri$evolves_to_T_From",
+      Model.ri_constraint Preds.evolves_to_t ~arity:2 ~col:0
+        ~target:Preds.type_ ~target_arity:3 ~target_col:0 );
+    ( "ri$evolves_to_T_To",
+      Model.ri_constraint Preds.evolves_to_t ~arity:2 ~col:1
+        ~target:Preds.type_ ~target_arity:3 ~target_col:0 );
+    (* The version graphs must be acyclic (a DAG) *)
+    ( "acyclic$evolves_to_S",
+      forall [ "X" ] (neg (atom Preds.evolves_to_s_t [ v "X"; v "X" ])) );
+    ( "acyclic$evolves_to_T",
+      forall [ "X" ] (neg (atom Preds.evolves_to_t_t [ v "X"; v "X" ])) );
+    (* Digestibility: types may evolve from each other only if the
+       corresponding schemas also evolve from each other *)
+    ( "digest$TypeEvolution",
+      forall [ "X1"; "X2"; "Y1"; "Y2"; "Z1"; "Z2" ]
+        (atom Preds.type_ [ v "X1"; v "Y1"; v "Z1" ]
+        &&& atom Preds.type_ [ v "X2"; v "Y2"; v "Z2" ]
+        &&& atom Preds.evolves_to_t_t [ v "X1"; v "X2" ]
+        ==> atom Preds.evolves_to_s_t [ v "Z1"; v "Z2" ]) );
+  ]
+
+let install (t : Theory.t) =
+  List.iter (fun (name, columns) -> Theory.declare_predicate t ~name ~columns)
+    predicates;
+  Theory.add_rules t rules;
+  List.iter (fun (name, f) -> Theory.add_constraint t ~name f) constraints
+
+let constraint_names = List.map fst constraints
+
+let definition_counts () =
+  List.length predicates, List.length rules, List.length constraints

@@ -1,0 +1,14 @@
+(** The schema/type versioning extension of section 4.1: the evolves_to
+    predicates, their transitive closures, the DAG restriction, and the
+    digestibility constraint.  Installing this module only feeds definitions
+    into the Consistency Control — the paper's "keyboard exercise". *)
+
+val predicates : (string * string list) list
+val rules : Datalog.Rule.t list
+val constraints : (string * Datalog.Formula.t) list
+
+val install : Datalog.Theory.t -> unit
+val constraint_names : string list
+
+val definition_counts : unit -> int * int * int
+(** (predicates, rules, constraints). *)

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Analyzer Datalog Fmt Gom Hashtbl Ids Interp List Masking Object_store Option Preds Schema_base Sorts Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Analyzer Fmt List Option String Value

@@ -1,0 +1,1 @@
+lib/runtime/masking.ml: Gom List Schema_base String

@@ -1,0 +1,1 @@
+lib/runtime/masking.mli: Datalog

@@ -1,0 +1,1 @@
+lib/runtime/object_store.ml: Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/runtime/object_store.mli: Hashtbl Value

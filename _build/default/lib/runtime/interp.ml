@@ -1,0 +1,156 @@
+(* Interpreter for the GOM method-body language.  The schema (and with it the
+   source code of operations) is interpreted, as assumed by the paper.
+   Object access, dispatch and creation are delegated to hooks supplied by
+   the Runtime facade, which is where dynamic binding and fashion masking
+   live. *)
+
+module Ast = Analyzer.Ast
+
+exception Runtime_error of string
+
+exception Return_value of Value.t
+
+type hooks = {
+  read_attr : Value.t -> string -> Value.t;
+  write_attr : Value.t -> string -> Value.t -> unit;
+  call : Value.t -> string -> Value.t list -> Value.t;
+  new_object : Ast.type_ref -> Value.t;
+  lookup_global : string -> Value.t option;
+      (* enum values and schema variables *)
+}
+
+type env = {
+  hooks : hooks;
+  self : Value.t;
+  mutable bindings : (string * Value.t ref) list;
+}
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let lookup env x =
+  match List.assoc_opt x env.bindings with
+  | Some r -> Some !r
+  | None -> env.hooks.lookup_global x
+
+let num_binop op a b =
+  match a, b with
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Ast.Add -> Value.Int (x + y)
+      | Ast.Sub -> Value.Int (x - y)
+      | Ast.Mul -> Value.Int (x * y)
+      | Ast.Div ->
+          if y = 0 then error "division by zero" else Value.Int (x / y)
+      | _ -> assert false)
+  | _ -> (
+      match Value.as_float a, Value.as_float b with
+      | Some x, Some y -> (
+          match op with
+          | Ast.Add -> Value.Float (x +. y)
+          | Ast.Sub -> Value.Float (x -. y)
+          | Ast.Mul -> Value.Float (x *. y)
+          | Ast.Div ->
+              if y = 0.0 then error "division by zero" else Value.Float (x /. y)
+          | _ -> assert false)
+      | _, _ -> (
+          match op, a, b with
+          | Ast.Add, Value.Str x, Value.Str y -> Value.Str (x ^ y)
+          | _ ->
+              error "arithmetic on non-numeric values %s and %s"
+                (Value.to_string a) (Value.to_string b)))
+
+let cmp_binop op a b =
+  let num_cmp f =
+    match Value.as_float a, Value.as_float b with
+    | Some x, Some y -> Value.Bool (f (compare x y) 0)
+    | _ -> (
+        match a, b with
+        | Value.Str x, Value.Str y -> Value.Bool (f (String.compare x y) 0)
+        | _ ->
+            error "ordering on non-ordered values %s and %s"
+              (Value.to_string a) (Value.to_string b))
+  in
+  match op with
+  | Ast.Eq -> Value.Bool (Value.equal a b)
+  | Ast.Ne -> Value.Bool (not (Value.equal a b))
+  | Ast.Lt -> num_cmp ( < )
+  | Ast.Le -> num_cmp ( <= )
+  | Ast.Gt -> num_cmp ( > )
+  | Ast.Ge -> num_cmp ( >= )
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.And | Ast.Or -> assert false
+
+let rec eval env (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Int_lit i -> Value.Int i
+  | Ast.Float_lit f -> Value.Float f
+  | Ast.String_lit s -> Value.Str s
+  | Ast.Bool_lit b -> Value.Bool b
+  | Ast.Self -> env.self
+  | Ast.Var x -> (
+      match lookup env x with
+      | Some v -> v
+      | None -> error "unbound variable %s" x)
+  | Ast.Attr_access (obj, a) -> env.hooks.read_attr (eval env obj) a
+  | Ast.Call (obj, op, args) ->
+      let receiver = eval env obj in
+      let args = List.map (eval env) args in
+      env.hooks.call receiver op args
+  | Ast.Binop (Ast.And, a, b) ->
+      if Value.truthy (eval env a) then Value.Bool (Value.truthy (eval env b))
+      else Value.Bool false
+  | Ast.Binop (Ast.Or, a, b) ->
+      if Value.truthy (eval env a) then Value.Bool true
+      else Value.Bool (Value.truthy (eval env b))
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op, a, b) ->
+      num_binop op (eval env a) (eval env b)
+  | Ast.Binop (op, a, b) -> cmp_binop op (eval env a) (eval env b)
+  | Ast.Neg a -> (
+      match eval env a with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> error "negation of non-numeric value %s" (Value.to_string v))
+  | Ast.Not a -> Value.Bool (not (Value.truthy (eval env a)))
+  | Ast.New r -> env.hooks.new_object r
+
+let rec exec_stmt env (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Block ss ->
+      let saved = env.bindings in
+      List.iter (exec_stmt env) ss;
+      env.bindings <- saved
+  | Ast.If (c, a, b) ->
+      if Value.truthy (eval env c) then exec_stmt env a
+      else Option.iter (exec_stmt env) b
+  | Ast.While (c, body) ->
+      let fuel = ref 1_000_000 in
+      while Value.truthy (eval env c) do
+        decr fuel;
+        if !fuel <= 0 then error "while loop exceeded the execution budget";
+        exec_stmt env body
+      done
+  | Ast.Return None -> raise (Return_value Value.Null)
+  | Ast.Return (Some e) -> raise (Return_value (eval env e))
+  | Ast.Local (x, _ty, init) ->
+      let v = match init with Some e -> eval env e | None -> Value.Null in
+      env.bindings <- (x, ref v) :: env.bindings
+  | Ast.Assign (Ast.Lvar x, e) -> (
+      let v = eval env e in
+      match List.assoc_opt x env.bindings with
+      | Some r -> r := v
+      | None -> error "assignment to unbound variable %s" x)
+  | Ast.Assign (Ast.Lattr (obj, a), e) ->
+      let receiver = eval env obj in
+      let v = eval env e in
+      env.hooks.write_attr receiver a v
+  | Ast.Expr e -> ignore (eval env e)
+
+(* Execute a body with the given self and parameters; the value of the first
+   executed return statement is the result (Null if none). *)
+let exec hooks ~self ~params (body : Ast.stmt) : Value.t =
+  let env =
+    { hooks; self; bindings = List.map (fun (x, v) -> x, ref v) params }
+  in
+  try
+    exec_stmt env body;
+    Value.Null
+  with Return_value v -> v

@@ -1,0 +1,25 @@
+(** Interpreter for the GOM method-body language (the schema's source code
+    is interpreted, as the paper assumes).  Object access, dispatch and
+    creation are delegated to hooks supplied by the Runtime facade. *)
+
+module Ast = Analyzer.Ast
+
+exception Runtime_error of string
+
+exception Return_value of Value.t
+(** Internal control flow; escapes only on a [return] outside any body. *)
+
+type hooks = {
+  read_attr : Value.t -> string -> Value.t;
+  write_attr : Value.t -> string -> Value.t -> unit;
+  call : Value.t -> string -> Value.t list -> Value.t;
+  new_object : Ast.type_ref -> Value.t;
+  lookup_global : string -> Value.t option;
+      (** enum values and schema variables *)
+}
+
+val exec :
+  hooks -> self:Value.t -> params:(string * Value.t) list -> Ast.stmt -> Value.t
+(** Execute a body; the value of the first executed [return] is the result
+    ([Null] if none).  While loops carry an execution budget against runaway
+    recursion. *)

@@ -1,0 +1,57 @@
+(* Masking: substitutability checks combining subtyping with the fashion
+   construct (section 4.1).  FashionType(X, Y) makes instances of X
+   substitutable for Y without touching the taxonomy. *)
+
+open Gom
+
+(* Is a value of dynamic type [actual] acceptable where [expected] is
+   required?  True for subtypes and for fashion-masked type versions. *)
+let substitutable db ~actual ~expected =
+  Schema_base.is_subtype db ~sub:actual ~super:expected
+  || List.mem expected (Schema_base.fashion_targets db ~tid:actual)
+
+(* The behaviours a masked type must imitate for a target: the target's
+   attributes (including inherited ones) and its operations. *)
+let required_behaviour db ~target =
+  let attrs = Schema_base.all_attrs db ~tid:target |> List.map fst in
+  let ops =
+    (target :: Schema_base.supertypes db ~tid:target)
+    |> List.concat_map (fun t -> Schema_base.direct_decls db ~tid:t)
+    |> List.map (fun d -> d.Schema_base.op_name)
+    |> List.sort_uniq String.compare
+  in
+  attrs, ops
+
+(* The behaviours actually imitated. *)
+let provided_behaviour db ~masked ~target =
+  let attrs =
+    Schema_base.all_attrs db ~tid:target
+    |> List.filter_map (fun (a, _) ->
+           match
+             Schema_base.fashion_attr db ~owner_tid:target ~attr_name:a
+               ~masked_tid:masked
+           with
+           | Some _ -> Some a
+           | None -> None)
+  in
+  let ops =
+    (target :: Schema_base.supertypes db ~tid:target)
+    |> List.concat_map (fun t -> Schema_base.direct_decls db ~tid:t)
+    |> List.filter_map (fun d ->
+           match
+             Schema_base.fashion_decl db ~did:d.Schema_base.did
+               ~masked_tid:masked
+           with
+           | Some _ -> Some d.Schema_base.op_name
+           | None -> None)
+    |> List.sort_uniq String.compare
+  in
+  attrs, ops
+
+(* What is still missing for complete masking (mirrors the
+   fashion$AttrComplete / fashion$DeclComplete constraints). *)
+let missing_behaviour db ~masked ~target =
+  let req_attrs, req_ops = required_behaviour db ~target in
+  let have_attrs, have_ops = provided_behaviour db ~masked ~target in
+  ( List.filter (fun a -> not (List.mem a have_attrs)) req_attrs,
+    List.filter (fun o -> not (List.mem o have_ops)) req_ops )

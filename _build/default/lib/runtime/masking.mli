@@ -1,0 +1,25 @@
+(** Masking: substitutability checks combining subtyping with the fashion
+    construct — FashionType(X, Y) makes instances of X substitutable for Y
+    without touching the taxonomy. *)
+
+val substitutable :
+  Datalog.Database.t -> actual:string -> expected:string -> bool
+(** Subtype of, or fashion-masked as. *)
+
+val required_behaviour :
+  Datalog.Database.t -> target:string -> string list * string list
+(** (attribute names, operation names) a masked type must imitate. *)
+
+val provided_behaviour :
+  Datalog.Database.t ->
+  masked:string ->
+  target:string ->
+  string list * string list
+
+val missing_behaviour :
+  Datalog.Database.t ->
+  masked:string ->
+  target:string ->
+  string list * string list
+(** What is still missing for complete masking (mirrors the fashion
+    completeness constraints). *)

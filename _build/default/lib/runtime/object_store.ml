@@ -1,0 +1,73 @@
+(* The object base: the physical representation of all instantiated objects.
+   Each object carries its identity, the type (version) it was instantiated
+   from, and its slots. *)
+
+type obj = {
+  oid : string;
+  mutable tid : string;
+  slots : (string, Value.t) Hashtbl.t;
+}
+
+type t = { objects : (string, obj) Hashtbl.t; mutable next : int }
+
+let create () = { objects = Hashtbl.create 64; next = 0 }
+
+let fresh_oid store =
+  store.next <- store.next + 1;
+  Printf.sprintf "oid_%d" store.next
+
+let insert store ~tid ~slots =
+  let oid = fresh_oid store in
+  let obj = { oid; tid; slots = Hashtbl.create 8 } in
+  List.iter (fun (a, v) -> Hashtbl.replace obj.slots a v) slots;
+  Hashtbl.replace store.objects oid obj;
+  obj
+
+(* Insert under a caller-supplied identity (persistence restore). *)
+let insert_keyed store ~oid ~tid =
+  let obj = { oid; tid; slots = Hashtbl.create 8 } in
+  Hashtbl.replace store.objects oid obj;
+  obj
+
+let counter store = store.next
+let bump_counter store n = if n > store.next then store.next <- n
+
+let find store oid = Hashtbl.find_opt store.objects oid
+
+let delete store oid =
+  let existed = Hashtbl.mem store.objects oid in
+  Hashtbl.remove store.objects oid;
+  existed
+
+let iter store f = Hashtbl.iter (fun _ o -> f o) store.objects
+
+let objects_of_type store ~tid =
+  Hashtbl.fold (fun _ o acc -> if o.tid = tid then o :: acc else acc)
+    store.objects []
+
+let count_of_type store ~tid = List.length (objects_of_type store ~tid)
+let cardinal store = Hashtbl.length store.objects
+
+(* Deep snapshot / restore, used for session rollback. *)
+let snapshot store =
+  let copy = { objects = Hashtbl.create (Hashtbl.length store.objects); next = store.next } in
+  Hashtbl.iter
+    (fun oid o ->
+      Hashtbl.replace copy.objects oid
+        { oid = o.oid; tid = o.tid; slots = Hashtbl.copy o.slots })
+    store.objects;
+  copy
+
+let restore store ~from =
+  Hashtbl.reset store.objects;
+  Hashtbl.iter
+    (fun oid o ->
+      Hashtbl.replace store.objects oid
+        { oid = o.oid; tid = o.tid; slots = Hashtbl.copy o.slots })
+    from.objects;
+  store.next <- from.next
+
+let get_slot obj name = Hashtbl.find_opt obj.slots name
+let set_slot obj name v = Hashtbl.replace obj.slots name v
+let remove_slot obj name = Hashtbl.remove obj.slots name
+let slot_names obj = Hashtbl.fold (fun a _ acc -> a :: acc) obj.slots []

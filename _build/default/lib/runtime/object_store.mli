@@ -1,0 +1,38 @@
+(** The object base: the physical representation of all instantiated
+    objects — identity, type (version), and slots. *)
+
+type obj = {
+  oid : string;
+  mutable tid : string;
+  slots : (string, Value.t) Hashtbl.t;
+}
+
+type t
+
+val create : unit -> t
+val insert : t -> tid:string -> slots:(string * Value.t) list -> obj
+
+val insert_keyed : t -> oid:string -> tid:string -> obj
+(** Insert under a caller-supplied identity (persistence restore). *)
+
+val counter : t -> int
+
+val bump_counter : t -> int -> unit
+(** Raise the oid counter to at least [n]. *)
+
+val find : t -> string -> obj option
+val delete : t -> string -> bool
+val iter : t -> (obj -> unit) -> unit
+val objects_of_type : t -> tid:string -> obj list
+val count_of_type : t -> tid:string -> int
+val cardinal : t -> int
+
+val snapshot : t -> t
+(** Deep copy, for session rollback. *)
+
+val restore : t -> from:t -> unit
+
+val get_slot : obj -> string -> Value.t option
+val set_slot : obj -> string -> Value.t -> unit
+val remove_slot : obj -> string -> unit
+val slot_names : obj -> string list

@@ -1,0 +1,397 @@
+(* The Runtime System: object management and the physical representation.
+
+   It owns the object store, interprets operation code (via Interp), performs
+   dynamic binding with refinement, redirects accesses on masked objects via
+   the fashion construct, and reports every change of the physical model
+   (PhRep and Slot facts) through the [modify] callback — the paper's
+   requirement that "the Runtime System has to correctly report changes in
+   the object's representation via the modify operation". *)
+
+module Ast = Analyzer.Ast
+module Value = Value
+module Object_store = Object_store
+module Interp = Interp
+module Masking = Masking
+
+open Gom
+
+type t = {
+  store : Object_store.t;
+  schema : unit -> Datalog.Database.t;  (* the current schema base *)
+  lookup_code : string -> (string list * Ast.stmt) option;
+  modify : Datalog.Delta.t -> unit;  (* report base-fact changes *)
+  ids : Ids.gen;
+  globals : (string, Value.t) Hashtbl.t;  (* schema variable contents *)
+}
+
+exception Error = Interp.Runtime_error
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let create ~schema ~lookup_code ~modify ~ids =
+  {
+    store = Object_store.create ();
+    schema;
+    lookup_code;
+    modify;
+    ids;
+    globals = Hashtbl.create 16;
+  }
+
+let store t = t.store
+
+let report_add t facts =
+  t.modify (Datalog.Delta.of_lists ~additions:facts ~deletions:[])
+
+let report_del t facts =
+  t.modify (Datalog.Delta.of_lists ~additions:[] ~deletions:facts)
+
+(* ------------------------------------------------------------------ *)
+(* Physical representations                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The physical representation of a type, created (and reported) on first
+   use: one PhRep fact plus one Slot fact per attribute, including inherited
+   ones; slot value representations are ensured recursively.  The PhRep fact
+   is reported before recursing so that recursive types terminate. *)
+let rec ensure_phrep t ~tid : string =
+  let db = t.schema () in
+  match Schema_base.phrep_of_type db ~tid with
+  | Some clid -> clid
+  | None ->
+      let clid = Ids.fresh t.ids Ids.Phrep in
+      report_add t [ Preds.phrep_fact ~clid ~tid ];
+      List.iter
+        (fun (attr_name, domain) ->
+          let value_clid = ensure_phrep t ~tid:domain in
+          report_add t
+            [ Preds.slot_fact ~clid ~attr_name ~value_clid ])
+        (Schema_base.all_attrs db ~tid);
+      clid
+
+(* Withdraw a type's physical representation (its last instance is gone). *)
+let retire_phrep t ~tid =
+  let db = t.schema () in
+  match Schema_base.phrep_of_type db ~tid with
+  | None -> ()
+  | Some clid ->
+      let slots = Schema_base.slots_of_phrep db ~clid in
+      report_del t
+        (List.map
+           (fun (attr_name, value_clid) ->
+             Preds.slot_fact ~clid ~attr_name ~value_clid)
+           slots
+        @ [ Preds.phrep_fact ~clid ~tid ])
+
+(* ------------------------------------------------------------------ *)
+(* Objects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let new_object t ~tid : Value.t =
+  let db = t.schema () in
+  (match Schema_base.type_name db ~tid with
+  | Some _ -> ()
+  | None -> error "cannot instantiate unknown type %s" tid);
+  ignore (ensure_phrep t ~tid);
+  let slots =
+    List.map
+      (fun (attr_name, domain) ->
+        attr_name, Value.default_for ~domain_tid:domain)
+      (Schema_base.all_attrs db ~tid)
+  in
+  let obj = Object_store.insert t.store ~tid ~slots in
+  Value.Obj obj.Object_store.oid
+
+let delete_object t ~oid =
+  match Object_store.find t.store oid with
+  | None -> false
+  | Some obj ->
+      let tid = obj.Object_store.tid in
+      let deleted = Object_store.delete t.store oid in
+      if deleted && Object_store.count_of_type t.store ~tid = 0 then
+        retire_phrep t ~tid;
+      deleted
+
+(* Delete every instance of a type (the drastic repair of section 3.5:
+   "-PhRep(clid_4, tid_4) ... results in deleting all cars"). *)
+let delete_all_of_type t ~tid =
+  let objs = Object_store.objects_of_type t.store ~tid in
+  List.iter
+    (fun (o : Object_store.obj) ->
+      ignore (Object_store.delete t.store o.Object_store.oid))
+    objs;
+  if objs <> [] then retire_phrep t ~tid;
+  List.length objs
+
+let find_object t oid = Object_store.find t.store oid
+
+(* ------------------------------------------------------------------ *)
+(* Attribute access with fashion masking                               *)
+(* ------------------------------------------------------------------ *)
+
+let require_obj t v =
+  match v with
+  | Value.Obj oid -> (
+      match Object_store.find t.store oid with
+      | Some obj -> obj
+      | None -> error "dangling object reference %s" oid)
+  | v -> error "expected an object, got %s" (Value.to_string v)
+
+let has_attr db ~tid ~name =
+  List.mem_assoc name (Schema_base.all_attrs db ~tid)
+
+(* The fashion accessor pair for attribute [name] on a masked object of type
+   [masked]: search the fashion targets of [masked]. *)
+let fashion_accessors db ~masked ~name =
+  List.find_map
+    (fun target ->
+      Schema_base.fashion_attr db ~owner_tid:target ~attr_name:name
+        ~masked_tid:masked)
+    (Schema_base.fashion_targets db ~tid:masked)
+
+let rec run_code t ~cid ~self ~args =
+  match t.lookup_code cid with
+  | None -> error "no interpretable code registered for %s" cid
+  | Some (params, body) ->
+      let n_params = List.length params and n_args = List.length args in
+      if n_params <> n_args then
+        error "code %s expects %d argument(s), got %d" cid n_params n_args;
+      Interp.exec (hooks t) ~self ~params:(List.combine params args) body
+
+and read_attr t receiver name : Value.t =
+  let obj = require_obj t receiver in
+  let db = t.schema () in
+  let tid = obj.Object_store.tid in
+  if has_attr db ~tid ~name then
+    match Object_store.get_slot obj name with
+    | Some v -> v
+    | None ->
+        error "object %s has no slot %s (schema/object inconsistency)"
+          obj.Object_store.oid name
+  else
+    match fashion_accessors db ~masked:tid ~name with
+    | Some (read_cid, _) -> run_code t ~cid:read_cid ~self:receiver ~args:[]
+    | None ->
+        error "type %s has no attribute %s"
+          (Option.value ~default:tid (Schema_base.type_name db ~tid))
+          name
+
+and write_attr t receiver name v : unit =
+  let obj = require_obj t receiver in
+  let db = t.schema () in
+  let tid = obj.Object_store.tid in
+  if has_attr db ~tid ~name then Object_store.set_slot obj name v
+  else
+    match fashion_accessors db ~masked:tid ~name with
+    | Some (_, write_cid) ->
+        ignore (run_code t ~cid:write_cid ~self:receiver ~args:[ v ])
+    | None ->
+        error "type %s has no attribute %s"
+          (Option.value ~default:tid (Schema_base.type_name db ~tid))
+          name
+
+(* ------------------------------------------------------------------ *)
+(* Operation dispatch: dynamic binding + fashion imitation             *)
+(* ------------------------------------------------------------------ *)
+
+and call t receiver op args : Value.t =
+  let obj = require_obj t receiver in
+  let db = t.schema () in
+  let tid = obj.Object_store.tid in
+  match Schema_base.resolve_decl db ~tid ~name:op with
+  | Some d -> (
+      match Schema_base.code_of_decl db ~did:d.Schema_base.did with
+      | Some (cid, _) -> run_code t ~cid ~self:receiver ~args
+      | None -> error "operation %s has no implementation" op)
+  | None -> (
+      (* fashion: imitate the operation of a target type version *)
+      let imitation =
+        List.find_map
+          (fun target ->
+            match Schema_base.resolve_decl db ~tid:target ~name:op with
+            | Some d ->
+                Schema_base.fashion_decl db ~did:d.Schema_base.did
+                  ~masked_tid:tid
+            | None -> None)
+          (Schema_base.fashion_targets db ~tid)
+      in
+      match imitation with
+      | Some cid -> run_code t ~cid ~self:receiver ~args
+      | None ->
+          error "type %s has no operation %s"
+            (Option.value ~default:tid (Schema_base.type_name db ~tid))
+            op)
+
+and lookup_global t name : Value.t option =
+  match Hashtbl.find_opt t.globals name with
+  | Some v -> Some v
+  | None -> (
+      let db = t.schema () in
+      match Sorts.sort_of_value db ~value:name with
+      | Some tid -> Some (Value.Enum (tid, name))
+      | None -> None)
+
+and new_object_ref t (r : Ast.type_ref) : Value.t =
+  let db = t.schema () in
+  let tid =
+    match r.Ast.ref_schema with
+    | Some schema ->
+        Schema_base.find_type_at db ~type_name:r.Ast.ref_name
+          ~schema_name:schema
+    | None -> (
+        match Gom.Builtin.tid_of_sort r.Ast.ref_name with
+        | Some tid -> Some tid
+        | None ->
+            Schema_base.schemas db
+            |> List.find_map (fun (sid, _) ->
+                   Schema_base.find_type db ~sid ~name:r.Ast.ref_name))
+  in
+  match tid with
+  | Some tid -> new_object t ~tid
+  | None -> error "new: unknown type %s" r.Ast.ref_name
+
+and hooks t : Interp.hooks =
+  {
+    Interp.read_attr = read_attr t;
+    write_attr = write_attr t;
+    call = call t;
+    new_object = new_object_ref t;
+    lookup_global = lookup_global t;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Convenience API                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let set_global t name v = Hashtbl.replace t.globals name v
+let get_global t name = Hashtbl.find_opt t.globals name
+
+(* Call an operation by name on an object value. *)
+let send t receiver ~op ~args = call t receiver op args
+
+let get t receiver ~attr = read_attr t receiver attr
+let set t receiver ~attr ~value = write_attr t receiver attr value
+
+(* ------------------------------------------------------------------ *)
+(* Conversion routines (section 3.5)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Conversion eagerly reorganizes the object base — adding or deleting slots
+   on every affected object, or migrating objects to another type version —
+   and reports the corresponding PhRep/Slot changes through modify. *)
+module Conversion = struct
+
+
+  (* Types whose physical representation contains the attributes of [tid]:
+     [tid] itself and all (transitive) subtypes. *)
+  let affected_types db ~tid =
+    let rec go acc frontier =
+      match frontier with
+      | [] -> List.rev acc
+      | t :: rest ->
+          let subs =
+            Schema_base.direct_subtypes db ~tid:t
+            |> List.filter (fun s -> not (List.mem s acc) && not (List.mem s rest))
+          in
+          go (t :: acc) (rest @ subs)
+    in
+    go [] [ tid ]
+
+  (* Add the slot for a new attribute [attr : domain] of [tid] to every
+     affected representation and object.  [fill] computes the value to write
+     into the new slot of each object (the paper: "by providing a default
+     value, by asking the user for every instance, or by providing an
+     operation that ... provides a value").  Returns the number of objects
+     converted. *)
+  let add_attribute_slots (rt : t) ~tid ~attr ~domain
+      ~(fill : Object_store.obj -> Value.t) : int =
+    let db = rt.schema () in
+    let converted = ref 0 in
+    List.iter
+      (fun t ->
+        match Schema_base.phrep_of_type db ~tid:t with
+        | None -> ()  (* no instances: nothing to convert *)
+        | Some clid ->
+            let value_clid = ensure_phrep rt ~tid:domain in
+            report_add rt
+              [ Preds.slot_fact ~clid ~attr_name:attr ~value_clid ];
+            List.iter
+              (fun (o : Object_store.obj) ->
+                Object_store.set_slot o attr (fill o);
+                incr converted)
+              (Object_store.objects_of_type rt.store ~tid:t))
+      (affected_types db ~tid);
+    !converted
+
+  (* Drop the slot of a deleted attribute from every affected representation
+     and object. *)
+  let drop_attribute_slots (rt : t) ~tid ~attr : int =
+    let db = rt.schema () in
+    let converted = ref 0 in
+    List.iter
+      (fun t ->
+        match Schema_base.phrep_of_type db ~tid:t with
+        | None -> ()
+        | Some clid -> (
+            match
+              List.assoc_opt attr (Schema_base.slots_of_phrep db ~clid)
+            with
+            | None -> ()
+            | Some value_clid ->
+                report_del rt
+                  [ Preds.slot_fact ~clid ~attr_name:attr ~value_clid ];
+                List.iter
+                  (fun (o : Object_store.obj) ->
+                    Object_store.remove_slot o attr;
+                    incr converted)
+                  (Object_store.objects_of_type rt.store ~tid:t)))
+      (affected_types db ~tid);
+    !converted
+
+  (* Migrate one object to another type version: its slots are rebuilt for the
+     new type; [init attr obj] supplies the value of each new slot (and may
+     read the old slots of [obj]).  The physical representation bookkeeping
+     (old type may lose its last instance, new type may gain its first) is
+     reported. *)
+  let migrate_object (rt : t) ~oid ~to_tid
+      ~(init : string -> Object_store.obj -> Value.t) : bool =
+    match Object_store.find rt.store oid with
+    | None -> false
+    | Some obj ->
+        let db = rt.schema () in
+        let from_tid = obj.Object_store.tid in
+        ignore (ensure_phrep rt ~tid:to_tid);
+        let new_attrs = Schema_base.all_attrs db ~tid:to_tid in
+        let new_slots = List.map (fun (a, _) -> a, init a obj) new_attrs in
+        List.iter (Object_store.remove_slot obj) (Object_store.slot_names obj);
+        List.iter (fun (a, v) -> Object_store.set_slot obj a v) new_slots;
+        obj.Object_store.tid <- to_tid;
+        if Object_store.count_of_type rt.store ~tid:from_tid = 0 then
+          retire_phrep rt ~tid:from_tid;
+        true
+
+  (* Migrate every instance of a type version (O2-style eager conversion). *)
+  let migrate_all (rt : t) ~from_tid ~to_tid
+      ~(init : string -> Object_store.obj -> Value.t) : int =
+    let objs = Object_store.objects_of_type rt.store ~tid:from_tid in
+    List.iter
+      (fun (o : Object_store.obj) ->
+        ignore (migrate_object rt ~oid:o.Object_store.oid ~to_tid ~init))
+      objs;
+    List.length objs
+
+  (* Keep the old slot value when the attribute survives, otherwise use the
+     type's default: the common migration initializer. *)
+  let keep_or_default db ~to_tid : string -> Object_store.obj -> Value.t =
+   fun attr obj ->
+    match Object_store.get_slot obj attr with
+    | Some v -> v
+    | None ->
+        let domain =
+          match List.assoc_opt attr (Schema_base.all_attrs db ~tid:to_tid) with
+          | Some d -> d
+          | None -> "tid_void"
+        in
+        Value.default_for ~domain_tid:domain
+
+end

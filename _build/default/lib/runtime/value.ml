@@ -1,0 +1,58 @@
+(* Runtime values: the contents of object slots and the results of
+   interpreted operations. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Enum of string * string  (* sort type id, value name *)
+  | Obj of string  (* object identifier *)
+
+let equal (a : t) (b : t) =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Enum (t1, v1), Enum (t2, v2) -> t1 = t2 && v1 = v2
+  | Obj x, Obj y -> String.equal x y
+  | (Null | Int _ | Float _ | Str _ | Bool _ | Enum _ | Obj _), _ -> false
+
+let truthy = function
+  | Bool b -> b
+  | Null -> false
+  | Int i -> i <> 0
+  | Float f -> f <> 0.0
+  | Str s -> s <> ""
+  | Enum _ | Obj _ -> true
+
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Str _ | Bool _ | Enum _ | Obj _ -> None
+
+(* The default slot content for a freshly created object, by domain type. *)
+let default_for ~domain_tid =
+  match domain_tid with
+  | "tid_int" -> Int 0
+  | "tid_float" -> Float 0.0
+  | "tid_string" -> Str ""
+  | "tid_bool" -> Bool false
+  | "tid_char" -> Str ""
+  | "tid_date" -> Int 0
+  | _ -> Null
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Enum (_, v) -> Fmt.string ppf v
+  | Obj oid -> Fmt.pf ppf "<%s>" oid
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,24 @@
+(** Runtime values: the contents of object slots and the results of
+    interpreted operations. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Enum of string * string  (** sort type id, value name *)
+  | Obj of string  (** object identifier *)
+
+val equal : t -> t -> bool
+(** Structural; [Int]/[Float] compare numerically. *)
+
+val truthy : t -> bool
+
+val as_float : t -> float option
+
+val default_for : domain_tid:string -> t
+(** The default slot content for a freshly created object. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

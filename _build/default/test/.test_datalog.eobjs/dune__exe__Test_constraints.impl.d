@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Builtin Checker Constraint_compile Database Datalog Example Fact Fashion Gom List Model Preds Repair Sorts String Subschema Theory Versioning

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analyzer Buffer Core Datalog Filename Gen Gom List Manager Option Persist QCheck QCheck_alcotest Runtime String Sys

@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Analyzer Baselines Core Datalog Evolution Gom List Manager Option Runtime String

@@ -1,0 +1,1 @@
+test/test_gom.ml: Alcotest Builtin Checker Database Datalog Example Explain Extensions Fashion Fmt Gom Ids List Model Option Preds Repair Schema_base String Subschema Theory Versioning

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Analyzer Core Datalog Gom List Manager Option Runtime String

@@ -1,0 +1,7 @@
+  $ ../../bin/gomsm.exe check zoo.gom
+  $ ../../bin/gomsm.exe check bad.gom
+  $ ../../bin/gomsm.exe dump zoo.gom
+  $ ../../bin/gomsm.exe dump zoo.gom > redump.gom
+  $ ../../bin/gomsm.exe check redump.gom
+  $ ../../bin/gomsm.exe script evolve.gs
+  $ ../../bin/gomsm.exe paper

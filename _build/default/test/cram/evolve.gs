@@ -1,0 +1,7 @@
+bes;
+add schema Zoo;
+add type Animal to Zoo;
+add attribute legs : int to Animal@Zoo;
+add type Bird to Zoo supertype Animal@Zoo;
+evolve schema Zoo to Zoo;
+ees;

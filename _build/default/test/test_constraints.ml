@@ -1,0 +1,434 @@
+(* Constraint coverage: for EVERY constraint of the full theory, one seeded
+   inconsistency that makes exactly that constraint fire, plus a meta-test
+   that this table covers the complete constraint database — so adding a
+   constraint without a firing test fails the suite. *)
+
+open Datalog
+open Gom
+
+let full_theory () =
+  let t = Theory.create () in
+  Model.install_core t;
+  Versioning.install t;
+  Fashion.install t;
+  Subschema.install t;
+  Sorts.install t;
+  t
+
+let missing_tid = "tid_404"
+let missing_sid = "sid_404"
+let missing_did = "did_404"
+let missing_cid = "cid_404"
+let missing_clid = "clid_404"
+
+(* A second schema with one (empty-ish) type and proper version edges,
+   used by the versioning/fashion seeds. *)
+let second_schema =
+  [
+    Preds.schema_fact ~sid:"sid_2" ~name:"SecondSchema";
+    Preds.type_fact ~tid:"tid_10" ~name:"Person" ~sid:"sid_2";
+    Preds.subtyprel_fact ~sub:"tid_10" ~super:Builtin.any_tid;
+  ]
+
+(* (constraint name, facts to add, facts to remove) *)
+let coverage : (string * Fact.t list * Fact.t list) list =
+  [
+    (* --- keys and uniqueness (section 3.3) --- *)
+    "key$Schema", [ Preds.schema_fact ~sid:Example.sid_car ~name:"Other" ], [];
+    ( "key$Type",
+      [ Preds.type_fact ~tid:Example.tid_person ~name:"P2" ~sid:Example.sid_car ],
+      [] );
+    ( "key$Attr",
+      [ Preds.attr_fact ~tid:Example.tid_person ~name:"age" ~domain:"tid_float" ],
+      [] );
+    ( "key$Decl",
+      [
+        Preds.decl_fact ~did:Example.did_distance_location
+          ~receiver:Example.tid_location ~name:"other" ~result:"tid_float";
+      ],
+      [] );
+    ( "key$ArgDecl",
+      [ Preds.argdecl_fact ~did:Example.did_distance_location ~pos:1
+          ~tid:Example.tid_city ],
+      [] );
+    ( "key$Code",
+      [ Preds.code_fact ~cid:Example.cid_distance_location ~text:"other"
+          ~did:Example.did_distance_location ],
+      [] );
+    ( "uniq$CodePerDecl",
+      [ Preds.code_fact ~cid:"cid_99" ~text:"x"
+          ~did:Example.did_distance_location ],
+      [] );
+    "uniq$SchemaName", [ Preds.schema_fact ~sid:"sid_99" ~name:"CarSchema" ], [];
+    ( "uniq$TypeNameInSchema",
+      [
+        Preds.type_fact ~tid:"tid_99" ~name:"Person" ~sid:Example.sid_car;
+        Preds.subtyprel_fact ~sub:"tid_99" ~super:Builtin.any_tid;
+      ],
+      [] );
+    ( "uniq$DeclNameInType",
+      [
+        Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_location
+          ~name:"distance" ~result:"tid_float";
+      ],
+      [] );
+    (* --- referential integrity (section 3.3) --- *)
+    ( "ri$Type_Schema",
+      [
+        Preds.type_fact ~tid:"tid_99" ~name:"Orphan" ~sid:missing_sid;
+        Preds.subtyprel_fact ~sub:"tid_99" ~super:Builtin.any_tid;
+      ],
+      [] );
+    "ri$Attr_Type", [ Preds.attr_fact ~tid:missing_tid ~name:"a" ~domain:"tid_int" ], [];
+    ( "ri$Attr_Domain",
+      [ Preds.attr_fact ~tid:Example.tid_car ~name:"ghost" ~domain:missing_tid ],
+      [] );
+    ( "ri$Decl_Receiver",
+      [ Preds.decl_fact ~did:"did_99" ~receiver:missing_tid ~name:"f"
+          ~result:"tid_int" ],
+      [] );
+    ( "ri$Decl_Result",
+      [ Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_person ~name:"f"
+          ~result:missing_tid ],
+      [] );
+    "ri$ArgDecl_Decl", [ Preds.argdecl_fact ~did:missing_did ~pos:1 ~tid:"tid_int" ], [];
+    ( "ri$ArgDecl_Type",
+      [ Preds.argdecl_fact ~did:Example.did_distance_location ~pos:2
+          ~tid:missing_tid ],
+      [] );
+    "ri$Code_Decl", [ Preds.code_fact ~cid:"cid_99" ~text:"t" ~did:missing_did ], [];
+    ( "ri$SubTypRel_Sub",
+      [ Preds.subtyprel_fact ~sub:missing_tid ~super:Example.tid_person ],
+      [] );
+    ( "ri$SubTypRel_Super",
+      [ Preds.subtyprel_fact ~sub:Example.tid_person ~super:missing_tid ],
+      [] );
+    ( "ri$DeclRefinement_Refining",
+      [ Preds.declrefinement_fact ~refining:missing_did
+          ~refined:Example.did_distance_location ],
+      [] );
+    ( "ri$DeclRefinement_Refined",
+      [ Preds.declrefinement_fact ~refining:Example.did_distance_city
+          ~refined:missing_did ],
+      [] );
+    ( "ri$CodeReqDecl_Code",
+      [ Preds.codereqdecl_fact ~cid:missing_cid
+          ~did:Example.did_distance_location ],
+      [] );
+    ( "ri$CodeReqDecl_Decl",
+      [ Preds.codereqdecl_fact ~cid:Example.cid_changelocation ~did:missing_did ],
+      [] );
+    ( "ri$CodeReqAttr_Code",
+      [ Preds.codereqattr_fact ~cid:missing_cid ~tid:Example.tid_person
+          ~attr_name:"name" ],
+      [] );
+    ( "ri$CodeReqAttr_Attr",
+      [ Preds.codereqattr_fact ~cid:Example.cid_changelocation
+          ~tid:Example.tid_car ~attr_name:"fuelType" ],
+      [] );
+    (* --- existence, acyclicity, inheritance (section 3.3) --- *)
+    ( "exist$DeclHasCode",
+      [ Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_car ~name:"honk"
+          ~result:"tid_void" ],
+      [] );
+    ( "acyclic$SubTypRel",
+      [ Preds.subtyprel_fact ~sub:Example.tid_location ~super:Example.tid_city ],
+      [] );
+    ( "root$ANY",
+      [ Preds.type_fact ~tid:"tid_99" ~name:"Orphan" ~sid:Example.sid_car ],
+      [] );
+    ( "acyclic$DeclRefinement",
+      [ Preds.declrefinement_fact ~refining:Example.did_distance_location
+          ~refined:Example.did_distance_city ],
+      [] );
+    ( "mi$AttrCodomain",
+      [ Preds.attr_fact ~tid:Example.tid_location ~name:"name" ~domain:"tid_int" ],
+      [] );
+    ( "mi$DeclConflict",
+      [
+        Preds.type_fact ~tid:"tid_99" ~name:"Amphibian" ~sid:Example.sid_car;
+        Preds.subtyprel_fact ~sub:"tid_99" ~super:Example.tid_location;
+        Preds.subtyprel_fact ~sub:"tid_99" ~super:Example.tid_car;
+        Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_car ~name:"distance"
+          ~result:"tid_float";
+        Preds.code_fact ~cid:"cid_99" ~text:"!!" ~did:"did_99";
+      ],
+      [] );
+    ( "refine$Contravariance",
+      [ Preds.argdecl_fact ~did:Example.did_distance_city ~pos:2 ~tid:"tid_int" ],
+      [] );
+    (* --- the object part (section 3.4) --- *)
+    "ri$PhRep_Type", [ Preds.phrep_fact ~clid:"clid_99" ~tid:missing_tid ], [];
+    ( "ri$Slot_PhRep",
+      [ Preds.slot_fact ~clid:missing_clid ~attr_name:"x" ~value_clid:Example.clid_person ],
+      [] );
+    ( "ri$Slot_Value",
+      [ Preds.slot_fact ~clid:Example.clid_person ~attr_name:"x"
+          ~value_clid:missing_clid ],
+      [] );
+    ( "uniq$PhRepPerType",
+      [ Preds.phrep_fact ~clid:"clid_99" ~tid:Example.tid_car ],
+      [] );
+    ( "key$PhRep",
+      [ Preds.phrep_fact ~clid:Example.clid_person ~tid:Example.tid_location ],
+      [] );
+    ( "key$Slot",
+      [ Preds.slot_fact ~clid:Example.clid_person ~attr_name:"name"
+          ~value_clid:"clid_int" ],
+      [] );
+    ( "star$SlotForEveryAttr",
+      [ Preds.attr_fact ~tid:Example.tid_car ~name:"fuelType"
+          ~domain:"tid_string" ],
+      [] );
+    (* --- versioning (section 4.1) --- *)
+    ( "ri$evolves_to_S_From",
+      [ Preds.evolves_to_s_fact ~from_sid:missing_sid ~to_sid:Example.sid_car ],
+      [] );
+    ( "ri$evolves_to_S_To",
+      [ Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:missing_sid ],
+      [] );
+    ( "ri$evolves_to_T_From",
+      [ Preds.evolves_to_t_fact ~from_tid:missing_tid ~to_tid:Example.tid_person ],
+      [] );
+    ( "ri$evolves_to_T_To",
+      [ Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:missing_tid ],
+      [] );
+    ( "acyclic$evolves_to_S",
+      second_schema
+      @ [
+          Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2";
+          Preds.evolves_to_s_fact ~from_sid:"sid_2" ~to_sid:Example.sid_car;
+        ],
+      [] );
+    ( "acyclic$evolves_to_T",
+      second_schema
+      @ [
+          Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2";
+          Preds.evolves_to_s_fact ~from_sid:"sid_2" ~to_sid:Example.sid_car;
+          Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:"tid_10";
+          Preds.evolves_to_t_fact ~from_tid:"tid_10" ~to_tid:Example.tid_person;
+        ],
+      [] );
+    ( "digest$TypeEvolution",
+      second_schema
+      @ [ Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:"tid_10" ],
+      [] );
+    (* --- fashion (section 4.1) --- *)
+    ( "ri$FashionType_Masked",
+      [ Preds.fashiontype_fact ~masked:missing_tid ~target:Example.tid_person ],
+      [] );
+    ( "ri$FashionType_Target",
+      [ Preds.fashiontype_fact ~masked:Example.tid_person ~target:missing_tid ],
+      [] );
+    ( "ri$FashionDecl_Decl",
+      [ Preds.fashiondecl_fact ~did:missing_did ~tid:Example.tid_person
+          ~cid:"cid_90" ],
+      [] );
+    ( "ri$FashionDecl_Type",
+      [ Preds.fashiondecl_fact ~did:Example.did_distance_location
+          ~tid:missing_tid ~cid:"cid_90" ],
+      [] );
+    ( "key$FashionDecl",
+      [
+        Preds.fashiondecl_fact ~did:Example.did_distance_location
+          ~tid:Example.tid_person ~cid:"cid_90";
+        Preds.fashiondecl_fact ~did:Example.did_distance_location
+          ~tid:Example.tid_person ~cid:"cid_91";
+      ],
+      [] );
+    ( "key$FashionAttr",
+      [
+        Preds.fashionattr_fact ~owner_tid:Example.tid_person ~attr_name:"age"
+          ~masked_tid:"tid_10" ~read_cid:"cid_90" ~write_cid:"cid_91";
+        Preds.fashionattr_fact ~owner_tid:Example.tid_person ~attr_name:"age"
+          ~masked_tid:"tid_10" ~read_cid:"cid_92" ~write_cid:"cid_93";
+      ],
+      [] );
+    ( "fashion$OnlyBetweenVersions",
+      second_schema
+      @ [ Preds.fashiontype_fact ~masked:Example.tid_person ~target:"tid_10" ],
+      [] );
+    ( "fashion$DeclComplete",
+      second_schema
+      @ [
+          Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2";
+          Preds.evolves_to_t_fact ~from_tid:Example.tid_location ~to_tid:"tid_10";
+          Preds.fashiontype_fact ~masked:"tid_10" ~target:Example.tid_location;
+        ],
+      [] );
+    ( "fashion$AttrComplete",
+      second_schema
+      @ [
+          Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2";
+          Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:"tid_10";
+          Preds.fashiontype_fact ~masked:"tid_10" ~target:Example.tid_person;
+        ],
+      [] );
+    (* --- subschemas (appendix A) --- *)
+    ( "ri$SubSchemaRel_Child",
+      [ Preds.subschemarel_fact ~child:missing_sid ~parent:Example.sid_car ],
+      [] );
+    ( "ri$SubSchemaRel_Parent",
+      [ Preds.subschemarel_fact ~child:Example.sid_car ~parent:missing_sid ],
+      [] );
+    ( "ri$Imports_Importer",
+      [ Preds.imports_fact ~importer:missing_sid ~imported:Example.sid_car ],
+      [] );
+    ( "ri$Imports_Imported",
+      [ Preds.imports_fact ~importer:Example.sid_car ~imported:missing_sid ],
+      [] );
+    ( "ri$PublicComp_Schema",
+      [ Preds.public_comp_fact ~sid:missing_sid ~kind:"type" ~name:"X" ],
+      [] );
+    ( "ri$SchemaVar_Schema",
+      [ Preds.schemavar_fact ~sid:missing_sid ~name:"v" ~tid:Example.tid_person ],
+      [] );
+    ( "ri$SchemaVar_Type",
+      [ Preds.schemavar_fact ~sid:Example.sid_car ~name:"v" ~tid:missing_tid ],
+      [] );
+    ( "ri$Renamed_Schema",
+      [
+        Preds.renamed_fact ~sid:missing_sid ~kind:"type" ~new_name:"N"
+          ~source_sid:Example.sid_car ~old_name:"O";
+      ],
+      [] );
+    ( "ri$Renamed_Source",
+      [
+        Preds.renamed_fact ~sid:Example.sid_car ~kind:"type" ~new_name:"N"
+          ~source_sid:missing_sid ~old_name:"O";
+      ],
+      [] );
+    ( "key$Renamed",
+      second_schema
+      @ [
+          Preds.renamed_fact ~sid:Example.sid_car ~kind:"type" ~new_name:"N"
+            ~source_sid:"sid_2" ~old_name:"O1";
+          Preds.renamed_fact ~sid:Example.sid_car ~kind:"type" ~new_name:"N"
+            ~source_sid:"sid_2" ~old_name:"O2";
+        ],
+      [] );
+    ( "acyclic$SubSchemaRel",
+      second_schema
+      @ [
+          Preds.subschemarel_fact ~child:"sid_2" ~parent:Example.sid_car;
+          Preds.subschemarel_fact ~child:Example.sid_car ~parent:"sid_2";
+        ],
+      [] );
+    ( "tree$SingleParent",
+      second_schema
+      @ [
+          Preds.schema_fact ~sid:"sid_3" ~name:"ThirdSchema";
+          Preds.subschemarel_fact ~child:"sid_2" ~parent:Example.sid_car;
+          Preds.subschemarel_fact ~child:"sid_2" ~parent:"sid_3";
+        ],
+      [] );
+    "irrefl$Imports", [ Preds.imports_fact ~importer:Example.sid_car ~imported:Example.sid_car ], [];
+    ( "key$SchemaVar",
+      [
+        Preds.schemavar_fact ~sid:Example.sid_car ~name:"v" ~tid:Example.tid_person;
+        Preds.schemavar_fact ~sid:Example.sid_car ~name:"v" ~tid:Example.tid_city;
+      ],
+      [] );
+    (* --- sorts --- *)
+    "ri$EnumVal_Type", [ Sorts.enumval_fact ~tid:missing_tid ~value:"x" ], [];
+  ]
+
+let violated_names t db =
+  Checker.check t db
+  |> List.map (fun v -> v.Checker.constraint_name)
+  |> List.sort_uniq String.compare
+
+let test_constraint_fires (name, additions, deletions) () =
+  let t = full_theory () in
+  let db = Example.database () in
+  List.iter (fun f -> ignore (Database.remove db f)) deletions;
+  List.iter (fun f -> ignore (Database.add db f)) additions;
+  let names = violated_names t db in
+  if not (List.mem name names) then
+    Alcotest.failf "expected %s among violations: %s" name
+      (String.concat ", " names)
+
+(* Every constraint of the full theory must appear in the coverage table. *)
+let test_coverage_is_complete () =
+  let t = full_theory () in
+  let all =
+    Theory.constraints t
+    |> List.map (fun c -> c.Constraint_compile.name)
+    |> List.sort_uniq String.compare
+  in
+  let covered = List.map (fun (n, _, _) -> n) coverage |> List.sort_uniq compare in
+  let missing = List.filter (fun n -> not (List.mem n covered)) all in
+  if missing <> [] then
+    Alcotest.failf "constraints without a firing test: %s"
+      (String.concat ", " missing);
+  let stale = List.filter (fun n -> not (List.mem n all)) covered in
+  if stale <> [] then
+    Alcotest.failf "coverage entries for unknown constraints: %s"
+      (String.concat ", " stale)
+
+(* Repairs generated for each seeded violation must, when applied (ground
+   deletions and additions only), remove at least that violation instance. *)
+let test_repairs_resolve_each_seed () =
+  List.iter
+    (fun (name, additions, deletions) ->
+      let t = full_theory () in
+      let db = Example.database () in
+      List.iter (fun f -> ignore (Database.remove db f)) deletions;
+      List.iter (fun f -> ignore (Database.add db f)) additions;
+      let materialized = Checker.materialize t db in
+      match
+        Checker.violations_of t materialized
+        |> List.find_opt (fun v -> v.Checker.constraint_name = name)
+      with
+      | None -> Alcotest.failf "seed for %s did not fire" name
+      | Some v -> (
+          match Repair.generate t materialized v with
+          | [] -> Alcotest.failf "no repairs generated for %s" name
+          | repair :: _ ->
+              let db' = Database.copy db in
+              List.iter
+                (fun (a : Repair.action) ->
+                  match a with
+                  | Repair.Del f -> ignore (Database.remove db' f)
+                  | Repair.Add f ->
+                      if Fact.is_ground f then ignore (Database.add db' f))
+                repair;
+              (* the specific witness instance must be gone (other instances
+                 or other constraints may legitimately remain) *)
+              let still =
+                Checker.check t db'
+                |> List.exists (fun v' ->
+                       v'.Checker.constraint_name = name
+                       && v'.Checker.witness = v.Checker.witness)
+              in
+              (* repairs with non-ground additions cannot be applied here *)
+              let has_fresh =
+                List.exists
+                  (fun (a : Repair.action) ->
+                    match a with
+                    | Repair.Add f -> not (Fact.is_ground f)
+                    | Repair.Del _ -> false)
+                  repair
+              in
+              if still && not has_fresh then
+                Alcotest.failf "first repair for %s did not remove the witness"
+                  name))
+    coverage
+
+let suite =
+  [
+    ( "constraints.coverage",
+      List.map
+        (fun ((name, _, _) as entry) ->
+          Alcotest.test_case name `Quick (test_constraint_fires entry))
+        coverage );
+    ( "constraints.meta",
+      [
+        Alcotest.test_case "table covers every constraint" `Quick
+          test_coverage_is_complete;
+        Alcotest.test_case "first repair removes each witness" `Quick
+          test_repairs_resolve_each_seed;
+      ] );
+  ]
+
+let () = Alcotest.run "constraints" suite

@@ -1,0 +1,807 @@
+(* Integration tests for the schema manager: evolution sessions (BES/EES),
+   deferred checking, repair generation and execution via the Runtime System
+   (conversion), rollback, interpretation of operation code, and fashion
+   masking across schema versions — the section 3.5 protocol and the
+   section 4.1/4.2 scenarios end to end. *)
+
+open Core
+module Value = Runtime.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* A manager with the CarSchema loaded and committed. *)
+let manager_with_cars () =
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "car schema inconsistent: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs)));
+  m
+
+let tid_of m name =
+  Option.get
+    (Gom.Schema_base.find_type_at (Manager.database m) ~type_name:name
+       ~schema_name:"CarSchema")
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_car_schema () =
+  let m = manager_with_cars () in
+  check_bool "session closed" false (Manager.in_session m)
+
+let test_modify_outside_session_rejected () =
+  let m = Manager.create () in
+  check_bool "raises" true
+    (try
+       Manager.propose m Datalog.Delta.empty;
+       false
+     with Manager.No_session -> true)
+
+let test_double_begin_rejected () =
+  let m = Manager.create () in
+  Manager.begin_session m;
+  check_bool "raises" true
+    (try
+       Manager.begin_session m;
+       false
+     with Manager.Session_open -> true)
+
+let test_deferred_checking_allows_intermediate_inconsistency () =
+  (* Inside a session the schema may pass through inconsistent states: add
+     an attribute with a dangling domain, then fix it, then EES. *)
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  Manager.run_commands m "add type Fuel2 to CarSchema;";
+  Manager.run_commands m "add attribute kind : Fuel2 to Car@CarSchema;";
+  (* still open: no check has happened; now EES *)
+  match Manager.end_session m with
+  | Manager.Inconsistent _ ->
+      (* Car has instances?  No objects yet, so only schema constraints
+         apply; the schema is actually consistent here. *)
+      Alcotest.fail "expected consistent"
+  | Manager.Consistent -> ()
+
+let test_session_rollback () =
+  let m = manager_with_cars () in
+  let before = Datalog.Database.total (Manager.database m) in
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  Manager.run_commands m "delete attribute age from Person@CarSchema;";
+  Manager.rollback m;
+  check_int "database restored" before
+    (Datalog.Database.total (Manager.database m));
+  check_bool "session closed" false (Manager.in_session m)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: objects and interpreted operations                         *)
+(* ------------------------------------------------------------------ *)
+
+let make_car m =
+  let rt = Manager.runtime m in
+  let car = Runtime.new_object rt ~tid:(tid_of m "Car") in
+  let person = Runtime.new_object rt ~tid:(tid_of m "Person") in
+  let city1 = Runtime.new_object rt ~tid:(tid_of m "City") in
+  let city2 = Runtime.new_object rt ~tid:(tid_of m "City") in
+  Runtime.set rt city1 ~attr:"longi" ~value:(Value.Float 0.0);
+  Runtime.set rt city1 ~attr:"lati" ~value:(Value.Float 0.0);
+  Runtime.set rt city2 ~attr:"longi" ~value:(Value.Float 3.0);
+  Runtime.set rt city2 ~attr:"lati" ~value:(Value.Float 4.0);
+  Runtime.set rt car ~attr:"owner" ~value:person;
+  Runtime.set rt car ~attr:"location" ~value:city1;
+  Runtime.set rt car ~attr:"milage" ~value:(Value.Float 100.0);
+  rt, car, person, city1, city2
+
+let test_object_creation_reports_phrep () =
+  let m = manager_with_cars () in
+  let db = Manager.database m in
+  check_bool "no car phrep yet" true
+    (Gom.Schema_base.phrep_of_type db ~tid:(tid_of m "Car") = None);
+  let _ = make_car m in
+  check_bool "car phrep reported" true
+    (Gom.Schema_base.phrep_of_type db ~tid:(tid_of m "Car") <> None);
+  (* object creation must leave the full model consistent *)
+  check_bool "still consistent" true
+    (Datalog.Checker.is_consistent (Manager.theory m) db)
+
+let test_change_location_executes () =
+  let m = manager_with_cars () in
+  let rt, car, person, _city1, city2 = make_car m in
+  (* distance (0,0) -> (3,4) in the squared-distance implementation is 25 *)
+  let result =
+    Runtime.send rt car ~op:"changeLocation" ~args:[ person; city2 ]
+  in
+  check_bool "milage updated" true (Value.equal result (Value.Float 125.0));
+  check_bool "location updated" true
+    (Value.equal (Runtime.get rt car ~attr:"location") city2)
+
+let test_change_location_wrong_driver () =
+  let m = manager_with_cars () in
+  let rt, car, _person, _c1, city2 = make_car m in
+  let stranger = Runtime.new_object rt ~tid:(tid_of m "Person") in
+  let result =
+    Runtime.send rt car ~op:"changeLocation" ~args:[ stranger; city2 ]
+  in
+  check_bool "refused" true (Value.equal result (Value.Float (-1.0)))
+
+let test_dynamic_binding_refinement () =
+  (* distance called on a City value dispatches to the City refinement, even
+     through the changeLocation code of Car. *)
+  let m = manager_with_cars () in
+  let rt, _, _, city1, city2 = make_car m in
+  Runtime.set rt city1 ~attr:"name" ~value:(Value.Str "nowhere");
+  (* City's refinement returns 0.0 when the receiver is named "nowhere" *)
+  let d = Runtime.send rt city1 ~op:"distance" ~args:[ city2 ] in
+  check_bool "refined implementation ran" true (Value.equal d (Value.Float 0.0))
+
+let test_delete_last_object_retires_phrep () =
+  let m = manager_with_cars () in
+  let rt = Manager.runtime m in
+  let p = Runtime.new_object rt ~tid:(tid_of m "Person") in
+  let db = Manager.database m in
+  check_bool "phrep present" true
+    (Gom.Schema_base.phrep_of_type db ~tid:(tid_of m "Person") <> None);
+  (match p with
+  | Value.Obj oid -> ignore (Runtime.delete_object rt ~oid)
+  | _ -> Alcotest.fail "expected object");
+  check_bool "phrep retired" true
+    (Gom.Schema_base.phrep_of_type db ~tid:(tid_of m "Person") = None)
+
+let test_runtime_error_on_unknown_attr () =
+  let m = manager_with_cars () in
+  let rt, car, _, _, _ = make_car m in
+  check_bool "raises" true
+    (try
+       ignore (Runtime.get rt car ~attr:"wings");
+       false
+     with Runtime.Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* The section 3.5 repair protocol                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fueltype_protocol_with_conversion () =
+  let m = manager_with_cars () in
+  let rt, car, _, _, _ = make_car m in
+  (* the user proposes the fuelType addition and suggests to end the
+     session (protocol steps 1-3) *)
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  (* step 4-5: the check detects the schema/object inconsistency *)
+  (match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected inconsistency"
+  | Manager.Inconsistent (r :: _) ->
+      check_string "star constraint" "star$SlotForEveryAttr"
+        r.Manager.violation.Datalog.Checker.constraint_name;
+      (* step 6-7: repairs with explanations *)
+      let repairs = Manager.repairs_for m r.Manager.violation in
+      check_bool "three repairs" true (List.length repairs >= 3);
+      let conversion =
+        List.find
+          (fun (rep, _) ->
+            match rep with
+            | [ Datalog.Repair.Add f ] -> f.Datalog.Fact.pred = "Slot"
+            | _ -> false)
+          repairs
+      in
+      let _, explanations = conversion in
+      check_bool "explained as conversion" true
+        (List.exists (fun e -> contains e "conversion") explanations);
+      (* steps 8-9: the user chooses the conversion *)
+      Manager.execute_repair m
+        ~fill:(fun _ -> Value.Str "leaded")
+        (fst conversion);
+      (match Manager.end_session m with
+      | Manager.Consistent -> ()
+      | Manager.Inconsistent _ -> Alcotest.fail "conversion did not repair")
+  | Manager.Inconsistent [] -> Alcotest.fail "impossible");
+  (* the conversion actually wrote the slot of the existing car *)
+  check_bool "object converted" true
+    (Value.equal (Runtime.get rt car ~attr:"fuelType") (Value.Str "leaded"))
+
+let test_fueltype_protocol_rollback () =
+  let m = manager_with_cars () in
+  let _ = make_car m in
+  let before = Datalog.Database.total (Manager.database m) in
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected inconsistency"
+  | Manager.Inconsistent _ -> Manager.rollback m);
+  check_int "database restored" before
+    (Datalog.Database.total (Manager.database m))
+
+let test_delete_all_instances_repair () =
+  let m = manager_with_cars () in
+  let rt, _, _, _, _ = make_car m in
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected inconsistency"
+  | Manager.Inconsistent (r :: _) ->
+      let repairs = Manager.repairs_for m r.Manager.violation in
+      let delete_instances =
+        List.find
+          (fun (rep, _) ->
+            match rep with
+            | [ Datalog.Repair.Del f ] -> f.Datalog.Fact.pred = "PhRep"
+            | _ -> false)
+          repairs
+      in
+      Manager.execute_repair m (fst delete_instances);
+      (match Manager.end_session m with
+      | Manager.Consistent -> ()
+      | Manager.Inconsistent _ -> Alcotest.fail "repair did not work");
+      check_int "all cars deleted" 0
+        (Runtime.Object_store.count_of_type (Runtime.store rt)
+           ~tid:(tid_of m "Car"))
+  | Manager.Inconsistent [] -> Alcotest.fail "impossible"
+
+let test_end_session_with_driver () =
+  let m = manager_with_cars () in
+  let _ = make_car m in
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  let outcome =
+    Manager.end_session_with m ~choose:(fun _report repairs ->
+        match
+          List.find_opt
+            (fun (rep, _) ->
+              match rep with
+              | [ Datalog.Repair.Add f ] -> f.Datalog.Fact.pred = "Slot"
+              | _ -> false)
+            repairs
+        with
+        | Some (rep, _) -> Manager.Choose_repair rep
+        | None -> Manager.Choose_rollback)
+  in
+  check_bool "driver converged" true (outcome = Manager.Consistent)
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.2: the NewCarSchema scenario with fashion masking         *)
+(* ------------------------------------------------------------------ *)
+
+let new_car_fashion =
+  {|
+bes;
+fashion Car@CarSchema as PolluterCar@NewCarSchema where
+  owner : Person@NewCarSchema is self.owner;
+  maxspeed : float is self.maxspeed;
+  milage : float is self.milage;
+  location : City@NewCarSchema is self.location;
+  fuel is begin return leaded; end;
+  changeLocation(driver, newLocation) is
+    begin return self.changeLocation(driver, newLocation); end;
+end fashion;
+ees;
+|}
+
+let manager_with_evolved_schema () =
+  let m = manager_with_cars () in
+  let rt, car, person, city1, city2 = make_car m in
+  (match Manager.run_script m Analyzer.Sources.new_car_schema_commands with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "4.2 scenario inconsistent: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs)));
+  m, rt, car, person, city1, city2
+
+let test_scenario_42_runs () = ignore (manager_with_evolved_schema ())
+
+let test_fashion_masks_old_cars () =
+  let m, rt, car, person, _city1, city2 = manager_with_evolved_schema () in
+  (match Manager.run_script m new_car_fashion with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "fashion inconsistent: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs)));
+  (* the old car answers the NEW interface: fuel is imitated *)
+  let fuel = Runtime.send rt car ~op:"fuel" ~args:[] in
+  (match fuel with
+  | Value.Enum (_, "leaded") -> ()
+  | v -> Alcotest.failf "expected leaded, got %s" (Value.to_string v));
+  (* and its own behaviour still works through the imitation *)
+  let result =
+    Runtime.send rt car ~op:"changeLocation" ~args:[ person; city2 ]
+  in
+  check_bool "milage updated through imitation" true
+    (Value.equal result (Value.Float 125.0));
+  (* substitutability is recorded *)
+  let db = Manager.database m in
+  let polluter =
+    Option.get
+      (Gom.Schema_base.find_type_at db ~type_name:"PolluterCar"
+         ~schema_name:"NewCarSchema")
+  in
+  check_bool "substitutable" true
+    (Runtime.Masking.substitutable db
+       ~actual:(tid_of m "Car")
+       ~expected:polluter)
+
+let test_incomplete_fashion_rejected () =
+  let m, _, _, _, _, _ = manager_with_evolved_schema () in
+  let incomplete =
+    {|
+bes;
+fashion Car@CarSchema as PolluterCar@NewCarSchema where
+  fuel is begin return leaded; end;
+end fashion;
+ees;
+|}
+  in
+  match Manager.run_script m incomplete with
+  | Manager.Consistent -> Alcotest.fail "expected completeness violation"
+  | Manager.Inconsistent rs ->
+      check_bool "attr completeness" true
+        (List.exists
+           (fun r ->
+             r.Manager.violation.Datalog.Checker.constraint_name
+             = "fashion$AttrComplete")
+           rs);
+      Manager.rollback m
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.1: the Person birthday masking                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_person_birthday_masking () =
+  let m = manager_with_cars () in
+  let rt = Manager.runtime m in
+  let person = Runtime.new_object rt ~tid:(tid_of m "Person") in
+  Runtime.set rt person ~attr:"age" ~value:(Value.Int 30);
+  let script =
+    {|
+bes;
+add schema NewCarSchema;
+evolve schema CarSchema to NewCarSchema;
+add type Person to NewCarSchema;
+add attribute name : string to Person@NewCarSchema;
+add attribute birthday : date to Person@NewCarSchema;
+evolve type Person@CarSchema to Person@NewCarSchema;
+fashion Person@CarSchema as Person@NewCarSchema where
+  birthday : -> date is begin return 1993 - self.age; end;
+  birthday : <- date is begin self.age := 1993 - value; end;
+  name : string is self.name;
+end fashion;
+ees;
+|}
+  in
+  (match Manager.run_script m script with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "birthday fashion inconsistent: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs)));
+  (* reading the non-existing birthday attribute is redirected *)
+  check_bool "birthday derived from age" true
+    (Value.equal (Runtime.get rt person ~attr:"birthday") (Value.Int 1963));
+  (* writing it updates age *)
+  Runtime.set rt person ~attr:"birthday" ~value:(Value.Int 1953);
+  check_bool "age derived from birthday" true
+    (Value.equal (Runtime.get rt person ~attr:"age") (Value.Int 40))
+
+(* ------------------------------------------------------------------ *)
+(* Changing the definition of consistency (section 2.1 goal)           *)
+(* ------------------------------------------------------------------ *)
+
+let test_restrict_to_single_inheritance () =
+  (* "some project leader might want to restrain inheritance to single
+     inheritance" — add one constraint, no other module changes. *)
+  let m = manager_with_cars () in
+  Datalog.Theory.add_constraint (Manager.theory m) ~name:"user$SingleInheritance"
+    Datalog.Formula.(
+      forall [ "T"; "S1"; "S2" ]
+        (atom "SubTypRel" [ Datalog.Term.var "T"; Datalog.Term.var "S1" ]
+        &&& atom "SubTypRel" [ Datalog.Term.var "T"; Datalog.Term.var "S2" ]
+        ==> eq (Datalog.Term.var "S1") (Datalog.Term.var "S2")));
+  Manager.begin_session m;
+  Manager.run_commands m "add type Amphibian to CarSchema supertype Car@CarSchema, Location@CarSchema;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected single-inheritance violation"
+  | Manager.Inconsistent rs ->
+      check_bool "user constraint fired" true
+        (List.exists
+           (fun r ->
+             r.Manager.violation.Datalog.Checker.constraint_name
+             = "user$SingleInheritance")
+           rs));
+  Manager.rollback m;
+  (* removing the constraint restores the old notion of consistency *)
+  check_bool "removed" true
+    (Datalog.Theory.remove_constraint (Manager.theory m) "user$SingleInheritance")
+
+(* ------------------------------------------------------------------ *)
+(* The Maintained (DRed) check mode must agree with Full               *)
+(* ------------------------------------------------------------------ *)
+
+let manager_with_cars_mode mode =
+  let m = Manager.create ~check_mode:mode () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "car schema inconsistent");
+  m
+
+let test_maintained_protocol () =
+  (* the whole fuelType protocol under the maintained materialization *)
+  let m = manager_with_cars_mode Manager.Maintained in
+  let rt, car, _, _, _ = make_car m in
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute fuelType : string to Car@CarSchema;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected inconsistency"
+  | Manager.Inconsistent (r :: _) ->
+      let repairs = Manager.repairs_for m r.Manager.violation in
+      let conversion =
+        List.find
+          (fun (rep, _) ->
+            match rep with
+            | [ Datalog.Repair.Add f ] -> f.Datalog.Fact.pred = "Slot"
+            | _ -> false)
+          repairs
+      in
+      Manager.execute_repair m
+        ~fill:(fun _ -> Value.Str "leaded")
+        (fst conversion);
+      (match Manager.end_session m with
+      | Manager.Consistent -> ()
+      | Manager.Inconsistent _ -> Alcotest.fail "conversion did not repair")
+  | Manager.Inconsistent [] -> Alcotest.fail "impossible");
+  check_bool "object converted" true
+    (Value.equal (Runtime.get rt car ~attr:"fuelType") (Value.Str "leaded"))
+
+let test_maintained_scenario_42 () =
+  let m = manager_with_cars_mode Manager.Maintained in
+  match Manager.run_script m Analyzer.Sources.new_car_schema_commands with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "inconsistent under Maintained mode: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs))
+
+let test_maintained_survives_theory_change () =
+  (* adding a constraint invalidates and rebuilds the maintained state *)
+  let m = manager_with_cars_mode Manager.Maintained in
+  Datalog.Theory.add_constraint (Manager.theory m) ~name:"user$NoTrucks"
+    Datalog.Formula.(
+      forall [ "T"; "S" ]
+        (atom "Type"
+           [ Datalog.Term.var "T"; Datalog.Term.sym "Truck"; Datalog.Term.var "S" ]
+        ==> Datalog.Formula.False));
+  Manager.begin_session m;
+  Manager.run_commands m "add type Truck to CarSchema;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected user$NoTrucks"
+  | Manager.Inconsistent rs ->
+      check_bool "fires after rebuild" true
+        (List.exists
+           (fun r ->
+             r.Manager.violation.Datalog.Checker.constraint_name
+             = "user$NoTrucks")
+           rs));
+  Manager.rollback m;
+  check_bool "rollback clean" true
+    (match Manager.end_session m with
+    | exception Manager.No_session -> true
+    | _ -> false)
+
+(* Property: random evolution scripts produce the same violation sets under
+   Full and Maintained checking. *)
+let prop_maintained_equals_full =
+  let cmd_gen =
+    QCheck.Gen.(
+      oneofl
+        [
+          "add attribute extra : float to Car@CarSchema;";
+          "add attribute extra2 : Missing to Person@CarSchema;";
+          "delete attribute age from Person@CarSchema;";
+          "delete attribute longi from Location@CarSchema;";
+          "add type Extra to CarSchema;";
+          "add type Extra to CarSchema supertype Car@CarSchema;";
+          "delete type City@CarSchema;";
+          "rename type Car@CarSchema to Auto;";
+          "add supertype Person@CarSchema to Car@CarSchema;";
+          "delete operation distance from Location@CarSchema;";
+        ])
+  in
+  QCheck.Test.make ~count:25 ~name:"Maintained mode = Full mode"
+    QCheck.(make Gen.(list_size (int_range 1 5) cmd_gen))
+    (fun cmds ->
+      let run mode =
+        let m = manager_with_cars_mode mode in
+        Manager.begin_session m;
+        List.iter
+          (fun c -> try Manager.run_commands m c with _ -> ())
+          cmds;
+        match Manager.end_session m with
+        | Manager.Consistent -> []
+        | Manager.Inconsistent rs ->
+            List.map (fun r -> r.Manager.description) rs
+            |> List.sort_uniq compare
+      in
+      run Manager.Full = run Manager.Maintained)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Deductive queries through the manager                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_manager_query_text () =
+  let m = manager_with_cars () in
+  (* inherited attributes of City, via the derived predicate *)
+  let answers =
+    Manager.query_text m "Attr_i('tid_3', A, D)"
+    |> List.map (fun bs ->
+           match List.assoc_opt "A" bs with
+           | Some (Datalog.Term.Sym a) -> a
+           | _ -> "?")
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "city attrs"
+    [ "lati"; "longi"; "name"; "noOfInhabitants" ]
+    answers;
+  (* joins and comparisons *)
+  check_int "implemented decls" 3
+    (List.length (Manager.query_text m "Code(C, X, D), Decl(D, T, O, R)"));
+  check_int "distance declarations" 2
+    (List.length (Manager.query_text m "Decl(D, T, O, R), O = distance"));
+  (* negation with bound variables *)
+  check_int "subtype edges without refinements" 0
+    (List.length
+       (Manager.query_text m
+          "DeclRefinement(D2, D1), not SubTypRel('tid_3', 'tid_2')"))
+
+let test_manager_query_under_maintained () =
+  let m = manager_with_cars_mode Manager.Maintained in
+  check_int "three decls" 3
+    (List.length (Manager.query_text m "Decl(D, T, O, R)"))
+
+(* ------------------------------------------------------------------ *)
+(* Script dumps: the whole state (incl. versions and fashion) as one   *)
+(* evolution script                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_unparse_script_roundtrip () =
+  let m = manager_with_cars () in
+  (match Manager.run_script m Analyzer.Sources.new_car_schema_commands with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "scenario failed");
+  (match Manager.run_script m new_car_fashion with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "fashion failed");
+  let script =
+    Analyzer.Unparse.unparse_script
+      (Analyzer.Unparse.make ~db:(Manager.database m)
+         ~lookup_code:(Manager.lookup_code m))
+  in
+  let m2 = Manager.create () in
+  (match Manager.run_script m2 script with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "re-run inconsistent: %s (script:\n%s)"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs))
+        script);
+  (* versions, fashion and behaviour survive the textual round trip *)
+  let db2 = Manager.database m2 in
+  let old_car =
+    Option.get
+      (Gom.Schema_base.find_type_at db2 ~type_name:"Car"
+         ~schema_name:"CarSchema")
+  in
+  let polluter =
+    Option.get
+      (Gom.Schema_base.find_type_at db2 ~type_name:"PolluterCar"
+         ~schema_name:"NewCarSchema")
+  in
+  check_bool "version edge" true
+    (Gom.Schema_base.evolutions_of_type db2 ~tid:old_car = [ polluter ]);
+  check_bool "substitutable" true
+    (Runtime.Masking.substitutable db2 ~actual:old_car ~expected:polluter);
+  let rt2 = Manager.runtime m2 in
+  let car = Runtime.new_object rt2 ~tid:old_car in
+  match Runtime.send rt2 car ~op:"fuel" ~args:[] with
+  | Value.Enum (_, "leaded") -> ()
+  | v -> Alcotest.failf "masked fuel lost in round trip: %s" (Value.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_persist_roundtrip () =
+  let m = manager_with_cars () in
+  let rt, car, person, _c1, city2 = make_car m in
+  Runtime.set_global rt "fleetName" (Value.Str "motor pool");
+  (* include the full 4.2 state with fashion code *)
+  (match Manager.run_script m Analyzer.Sources.new_car_schema_commands with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "scenario failed");
+  (match Manager.run_script m new_car_fashion with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "fashion failed");
+  let text = Buffer.contents (Persist.save_to_buffer m) in
+  let m2 = Persist.load_from_string text in
+  (* same facts *)
+  check_int "same fact count"
+    (Datalog.Database.total (Manager.database m))
+    (Datalog.Database.total (Manager.database m2));
+  (* objects survive with identity and object-valued slots *)
+  let rt2 = Manager.runtime m2 in
+  (match car with
+  | Value.Obj oid ->
+      let o = Option.get (Runtime.find_object rt2 oid) in
+      check_bool "type kept" true (o.Runtime.Object_store.tid = tid_of m "Car");
+      check_bool "object-valued slot kept" true
+        (Value.equal (Runtime.get rt2 car ~attr:"owner") person)
+  | _ -> Alcotest.fail "expected object");
+  check_bool "global restored" true
+    (Runtime.get_global rt2 "fleetName" = Some (Value.Str "motor pool"));
+  (* interpreted behaviour survives, including fashion imitation *)
+  let result =
+    Runtime.send rt2 car ~op:"changeLocation" ~args:[ person; city2 ]
+  in
+  check_bool "changeLocation still runs" true
+    (Value.equal result (Value.Float 125.0));
+  (match Runtime.send rt2 car ~op:"fuel" ~args:[] with
+  | Value.Enum (_, "leaded") -> ()
+  | v -> Alcotest.failf "fuel masked read failed: %s" (Value.to_string v));
+  (* and the restored manager keeps evolving *)
+  Manager.begin_session m2;
+  Manager.run_commands m2 "add type Truck to CarSchema supertype Car@CarSchema;";
+  match Manager.end_session m2 with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "restored manager cannot evolve"
+
+let test_persist_rejects_corrupt () =
+  check_bool "raises" true
+    (try
+       ignore (Persist.load_from_string "fact Nonsense(\n");
+       false
+     with Persist.Corrupt _ -> true)
+
+let test_persist_rejects_open_session () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  check_bool "raises" true
+    (try
+       ignore (Persist.save_to_buffer m);
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: any consistent state reached by random commands survives the
+   save/load round trip with identical extensions. *)
+let prop_persist_roundtrip =
+  let cmd_gen =
+    QCheck.Gen.(
+      oneofl
+        [
+          "add attribute extra : float to Car@CarSchema;";
+          "add type Extra to CarSchema;";
+          "add type Truck to CarSchema supertype Car@CarSchema;";
+          "rename type Person@CarSchema to Human;";
+          "add schema Second;";
+          "add sort Color is enum (red, green) to CarSchema;";
+          "delete attribute maxspeed from Car@CarSchema;";
+        ])
+  in
+  QCheck.Test.make ~count:20 ~name:"persist round trip on random states"
+    QCheck.(make Gen.(list_size (int_range 0 4) cmd_gen))
+    (fun cmds ->
+      let m = manager_with_cars () in
+      Manager.begin_session m;
+      List.iter (fun c -> try Manager.run_commands m c with _ -> ()) cmds;
+      match Manager.end_session m with
+      | Manager.Inconsistent _ ->
+          Manager.rollback m;
+          QCheck.assume_fail ()
+      | Manager.Consistent ->
+          let text = Buffer.contents (Persist.save_to_buffer m) in
+          let m2 = Persist.load_from_string text in
+          let db1 = Manager.database m and db2 = Manager.database m2 in
+          Datalog.Database.total db1 = Datalog.Database.total db2
+          && List.for_all
+               (fun f -> Datalog.Database.mem db2 f)
+               (Datalog.Database.all_facts db1))
+
+let test_persist_file_roundtrip () =
+  let m = manager_with_cars () in
+  let path = Filename.temp_file "gomsm" ".db" in
+  Persist.save m ~path;
+  let m2 = Persist.load ~path () in
+  Sys.remove path;
+  check_int "same fact count"
+    (Datalog.Database.total (Manager.database m))
+    (Datalog.Database.total (Manager.database m2))
+
+let suite =
+  [
+    ( "core.sessions",
+      [
+        Alcotest.test_case "load car schema" `Quick test_load_car_schema;
+        Alcotest.test_case "modify outside session" `Quick
+          test_modify_outside_session_rejected;
+        Alcotest.test_case "double begin" `Quick test_double_begin_rejected;
+        Alcotest.test_case "deferred checking" `Quick
+          test_deferred_checking_allows_intermediate_inconsistency;
+        Alcotest.test_case "rollback" `Quick test_session_rollback;
+      ] );
+    ( "core.runtime",
+      [
+        Alcotest.test_case "phrep reporting" `Quick
+          test_object_creation_reports_phrep;
+        Alcotest.test_case "changeLocation" `Quick test_change_location_executes;
+        Alcotest.test_case "wrong driver" `Quick test_change_location_wrong_driver;
+        Alcotest.test_case "dynamic binding" `Quick test_dynamic_binding_refinement;
+        Alcotest.test_case "phrep retirement" `Quick
+          test_delete_last_object_retires_phrep;
+        Alcotest.test_case "unknown attribute" `Quick
+          test_runtime_error_on_unknown_attr;
+      ] );
+    ( "core.protocol",
+      [
+        Alcotest.test_case "fuelType conversion" `Quick
+          test_fueltype_protocol_with_conversion;
+        Alcotest.test_case "fuelType rollback" `Quick test_fueltype_protocol_rollback;
+        Alcotest.test_case "delete-instances repair" `Quick
+          test_delete_all_instances_repair;
+        Alcotest.test_case "interactive driver" `Quick test_end_session_with_driver;
+      ] );
+    ( "core.evolution",
+      [
+        Alcotest.test_case "section 4.2 scenario" `Quick test_scenario_42_runs;
+        Alcotest.test_case "fashion masks old cars" `Quick
+          test_fashion_masks_old_cars;
+        Alcotest.test_case "incomplete fashion rejected" `Quick
+          test_incomplete_fashion_rejected;
+        Alcotest.test_case "person birthday masking" `Quick
+          test_person_birthday_masking;
+      ] );
+    ( "core.flexibility",
+      [
+        Alcotest.test_case "single inheritance restriction" `Quick
+          test_restrict_to_single_inheritance;
+      ] );
+    ( "core.query",
+      [
+        Alcotest.test_case "textual queries" `Quick test_manager_query_text;
+        Alcotest.test_case "queries under maintained mode" `Quick
+          test_manager_query_under_maintained;
+      ] );
+    ( "core.script_dump",
+      [
+        Alcotest.test_case "script round trip with fashion" `Quick
+          test_unparse_script_roundtrip;
+      ] );
+    ( "core.persist",
+      [
+        Alcotest.test_case "full round trip" `Quick test_persist_roundtrip;
+        Alcotest.test_case "rejects corrupt input" `Quick
+          test_persist_rejects_corrupt;
+        Alcotest.test_case "rejects open session" `Quick
+          test_persist_rejects_open_session;
+        Alcotest.test_case "file round trip" `Quick test_persist_file_roundtrip;
+        qcheck prop_persist_roundtrip;
+      ] );
+    ( "core.maintained",
+      [
+        Alcotest.test_case "protocol under DRed mode" `Quick
+          test_maintained_protocol;
+        Alcotest.test_case "section 4.2 under DRed mode" `Quick
+          test_maintained_scenario_42;
+        Alcotest.test_case "theory change rebuilds state" `Quick
+          test_maintained_survives_theory_change;
+        qcheck prop_maintained_equals_full;
+      ] );
+  ]
+
+let () = Alcotest.run "core" suite

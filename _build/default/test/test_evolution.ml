@@ -1,0 +1,551 @@
+(* Tests for the evolution toolkit (complex operators, the five deletion
+   semantics, version derivation with automatic masking) and the baseline
+   systems (ORION, ENCORE, O2). *)
+
+open Core
+module Value = Runtime.Value
+module Ast = Analyzer.Ast
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let manager_with_cars () =
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "car schema inconsistent");
+  m
+
+let tid_of m name =
+  Option.get
+    (Gom.Schema_base.find_type_at (Manager.database m) ~type_name:name
+       ~schema_name:"CarSchema")
+
+let expect_consistent m =
+  match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "inconsistent: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs))
+
+(* ------------------------------------------------------------------ *)
+(* Complex operators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_add_operation_argument () =
+  (* The paper's section 2.1 example: adding an argument to distance —
+     impossible as a consistency-preserving single step, fine as a complex
+     operator inside one session.  changeLocation's call site is rewritten
+     and both the declaration and its refinement gain the argument. *)
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  let sites =
+    Evolution.Complex.add_operation_argument m ~tid:(tid_of m "Location")
+      ~op:"distance" ~arg_tid:"tid_bool" ~default:(Ast.Bool_lit false)
+  in
+  expect_consistent m;
+  (* two call sites: changeLocation (self.location.distance(...)) and City's
+     own distance (other.distance(self)) *)
+  check_int "two rewritten call sites" 2 (List.length sites);
+  let db = Manager.database m in
+  let d_loc =
+    Option.get
+      (Gom.Schema_base.resolve_decl db ~tid:(tid_of m "Location")
+         ~name:"distance")
+  in
+  let d_city =
+    Option.get
+      (Gom.Schema_base.resolve_decl db ~tid:(tid_of m "City") ~name:"distance")
+  in
+  check_int "base decl has 2 args" 2
+    (List.length (Gom.Schema_base.args_of_decl db ~did:d_loc.Gom.Schema_base.did));
+  check_int "refinement has 2 args" 2
+    (List.length (Gom.Schema_base.args_of_decl db ~did:d_city.Gom.Schema_base.did))
+
+let test_add_argument_rewritten_code_still_runs () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  ignore
+    (Evolution.Complex.add_operation_argument m ~tid:(tid_of m "Location")
+       ~op:"distance" ~arg_tid:"tid_bool" ~default:(Ast.Bool_lit false));
+  expect_consistent m;
+  let rt = Manager.runtime m in
+  let car = Runtime.new_object rt ~tid:(tid_of m "Car") in
+  let person = Runtime.new_object rt ~tid:(tid_of m "Person") in
+  let city = Runtime.new_object rt ~tid:(tid_of m "City") in
+  Runtime.set rt city ~attr:"longi" ~value:(Value.Float 3.0);
+  Runtime.set rt city ~attr:"lati" ~value:(Value.Float 4.0);
+  Runtime.set rt car ~attr:"owner" ~value:person;
+  Runtime.set rt car ~attr:"location"
+    ~value:(Runtime.new_object rt ~tid:(tid_of m "City"));
+  Runtime.set rt car ~attr:"milage" ~value:(Value.Float 0.0);
+  let result = Runtime.send rt car ~op:"changeLocation" ~args:[ person; city ] in
+  check_bool "still computes" true (Value.equal result (Value.Float 25.0))
+
+let test_half_done_add_argument_is_caught () =
+  (* Doing it by hand and forgetting the refinement: contravariance fires. *)
+  let m = manager_with_cars () in
+  let db = Manager.database m in
+  let d_loc =
+    Option.get
+      (Gom.Schema_base.resolve_decl db ~tid:(tid_of m "Location")
+         ~name:"distance")
+  in
+  Manager.begin_session m;
+  Manager.propose m
+    (Datalog.Delta.of_lists
+       ~additions:
+         [ Gom.Preds.argdecl_fact ~did:d_loc.Gom.Schema_base.did ~pos:2
+             ~tid:"tid_bool" ]
+       ~deletions:[]);
+  (match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected contravariance violation"
+  | Manager.Inconsistent rs ->
+      check_bool "contravariance" true
+        (List.exists
+           (fun r ->
+             r.Manager.violation.Datalog.Checker.constraint_name
+             = "refine$Contravariance")
+           rs));
+  Manager.rollback m
+
+let test_delete_hierarchy_node () =
+  let m = manager_with_cars () in
+  (* insert a node between Location and City, then delete it *)
+  Manager.begin_session m;
+  Manager.run_commands m
+    "add type Settlement to CarSchema supertype Location@CarSchema;";
+  Manager.run_commands m "delete supertype Location@CarSchema from City@CarSchema;";
+  Manager.run_commands m "add supertype Settlement@CarSchema to City@CarSchema;";
+  expect_consistent m;
+  let settlement = tid_of m "Settlement" in
+  Manager.begin_session m;
+  Evolution.Complex.delete_hierarchy_node m ~tid:settlement;
+  expect_consistent m;
+  let db = Manager.database m in
+  check_bool "city directly under location again" true
+    (Gom.Schema_base.direct_supertypes db ~tid:(tid_of m "City")
+    = [ tid_of m "Location" ])
+
+let test_pull_up_attribute () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  Evolution.Complex.pull_up_attribute m ~tid:(tid_of m "City")
+    ~attr:"noOfInhabitants" ~to_tid:(tid_of m "Location");
+  expect_consistent m;
+  let db = Manager.database m in
+  check_bool "moved" true
+    (List.mem_assoc "noOfInhabitants"
+       (Gom.Schema_base.direct_attrs db ~tid:(tid_of m "Location")));
+  check_bool "still visible on City" true
+    (List.mem_assoc "noOfInhabitants"
+       (Gom.Schema_base.all_attrs db ~tid:(tid_of m "City")))
+
+let test_split_type_operator () =
+  (* The parameterized section 4.2 operator. *)
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  Evolution.Complex.split_type_into_versions m ~type_name:"Car"
+    ~old_schema:"CarSchema" ~new_schema:"NewCarSchema"
+    ~subtypes:[ "PolluterCar"; "CatalystCar" ] ~evolves_to:"PolluterCar";
+  expect_consistent m;
+  let db = Manager.database m in
+  let new_sid = Option.get (Gom.Schema_base.find_schema db ~name:"NewCarSchema") in
+  check_int "three types in new schema" 3
+    (List.length (Gom.Schema_base.types_of_schema db ~sid:new_sid))
+
+(* ------------------------------------------------------------------ *)
+(* The five deletion semantics                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_delete_restrict_refuses_referenced () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  (match Evolution.Deletion.delete_type m ~tid:(tid_of m "Person")
+           Evolution.Deletion.Restrict
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "Person is referenced by Car.owner: must refuse");
+  Manager.rollback m
+
+let test_delete_restrict_accepts_unreferenced () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  Manager.run_commands m "add type Loner to CarSchema;";
+  expect_consistent m;
+  Manager.begin_session m;
+  (match Evolution.Deletion.delete_type m ~tid:(tid_of m "Loner")
+           Evolution.Deletion.Restrict
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected refusal: %s" e);
+  expect_consistent m
+
+let test_delete_cascade () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  (match Evolution.Deletion.delete_type m ~tid:(tid_of m "Person")
+           Evolution.Deletion.Cascade
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "cascade failed: %s" e);
+  (* Car.owner and changeLocation's Person argument were deleted; the
+     changeLocation code still references the owner attribute, so the
+     consistency check reports exactly that — delete the code too. *)
+  match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ ->
+      Manager.run_commands m "delete operation changeLocation from Car@CarSchema;";
+      expect_consistent m
+
+let test_delete_retarget () =
+  let m = manager_with_cars () in
+  let rt = Manager.runtime m in
+  let city = Runtime.new_object rt ~tid:(tid_of m "City") in
+  Manager.begin_session m;
+  (match Evolution.Deletion.delete_type m ~tid:(tid_of m "City")
+           Evolution.Deletion.Retarget
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "retarget failed: %s" e);
+  (* Car.location now has domain Location; City's instance became a
+     Location; City's distance refinement died with it *)
+  let db = Manager.database m in
+  check_bool "location retargeted" true
+    (List.assoc_opt "location" (Gom.Schema_base.direct_attrs db ~tid:(tid_of m "Car"))
+    = Some (tid_of m "Location"));
+  (match city with
+  | Value.Obj oid ->
+      let o = Option.get (Runtime.find_object rt oid) in
+      check_bool "instance migrated" true
+        (o.Runtime.Object_store.tid = tid_of m "Location")
+  | _ -> Alcotest.fail "expected object");
+  expect_consistent m
+
+let test_delete_defer_generates_repairs () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  (match Evolution.Deletion.delete_type m ~tid:(tid_of m "Person")
+           Evolution.Deletion.Defer
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "defer failed: %s" e);
+  match Manager.end_session m with
+  | Manager.Consistent -> Alcotest.fail "expected dangling references"
+  | Manager.Inconsistent (r :: _) ->
+      let repairs = Manager.repairs_for m r.Manager.violation in
+      check_bool "repairs offered" true (repairs <> []);
+      Manager.rollback m
+  | Manager.Inconsistent [] -> Alcotest.fail "impossible"
+
+let test_delete_version_keeps_old () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  (match Evolution.Deletion.delete_type m ~tid:(tid_of m "Person")
+           Evolution.Deletion.Version
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "version failed: %s" e);
+  expect_consistent m;
+  let db = Manager.database m in
+  (* old schema intact *)
+  check_bool "old Person still there" true
+    (Gom.Schema_base.find_type_at db ~type_name:"Person"
+       ~schema_name:"CarSchema"
+    <> None);
+  (* new version lacks Person *)
+  let new_sid = Option.get (Gom.Schema_base.find_schema db ~name:"CarSchema_v") in
+  check_bool "no Person in new version" true
+    (Gom.Schema_base.find_type db ~sid:new_sid ~name:"Person" = None);
+  check_int "three types in new version" 3
+    (List.length (Gom.Schema_base.types_of_schema db ~sid:new_sid))
+
+(* ------------------------------------------------------------------ *)
+(* Version derivation and automatic masking                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_derive_schema_version () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  let mapping =
+    Evolution.Versions.derive_schema_version m ~from_name:"CarSchema"
+      ~new_name:"CarSchemaV2"
+  in
+  expect_consistent m;
+  check_int "four types mapped" 4 (List.length mapping);
+  let db = Manager.database m in
+  List.iter
+    (fun (old_tid, new_tid) ->
+      check_bool "evolution edge" true
+        (Gom.Schema_base.evolutions_of_type db ~tid:old_tid = [ new_tid ]))
+    mapping
+
+let test_auto_fashion_identity () =
+  let m = manager_with_cars () in
+  let rt = Manager.runtime m in
+  let person = Runtime.new_object rt ~tid:(tid_of m "Person") in
+  Runtime.set rt person ~attr:"age" ~value:(Value.Int 42);
+  Manager.begin_session m;
+  let mapping =
+    Evolution.Versions.derive_schema_version m ~from_name:"CarSchema"
+      ~new_name:"CarSchemaV2"
+  in
+  let old_person = tid_of m "Person" in
+  let new_person = List.assoc old_person mapping in
+  let missing_attrs, missing_ops =
+    Evolution.Versions.auto_fashion m ~old_tid:old_person ~new_tid:new_person
+  in
+  expect_consistent m;
+  check_bool "nothing missing" true (missing_attrs = [] && missing_ops = []);
+  (* the old object is substitutable for the new version *)
+  let db = Manager.database m in
+  check_bool "substitutable" true
+    (Runtime.Masking.substitutable db ~actual:old_person ~expected:new_person)
+
+let test_auto_fashion_reports_missing () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  Manager.run_commands m
+    {|add schema V2;
+      evolve schema CarSchema to V2;
+      add type Person to V2;
+      add attribute name : string to Person@V2;
+      add attribute birthday : date to Person@V2;
+      evolve type Person@CarSchema to Person@V2;|};
+  let db = Manager.database m in
+  let new_person =
+    Option.get
+      (Gom.Schema_base.find_type_at db ~type_name:"Person" ~schema_name:"V2")
+  in
+  let missing_attrs, _ =
+    Evolution.Versions.auto_fashion m ~old_tid:(tid_of m "Person")
+      ~new_tid:new_person
+  in
+  Alcotest.(check (list string)) "birthday needs manual accessors"
+    [ "birthday" ] missing_attrs;
+  Manager.rollback m
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let orion_with_cars () =
+  let m = manager_with_cars () in
+  Baselines.Orion.of_manager m
+
+let test_orion_accepts_simple_ops () =
+  let o = orion_with_cars () in
+  (match Baselines.Orion.add_class o ~name:"Truck" ~schema:"CarSchema"
+           ~supers:[ "Car@CarSchema" ]
+   with
+  | Baselines.Orion.Accepted -> ()
+  | Baselines.Orion.Rejected msgs ->
+      Alcotest.failf "rejected: %s" (String.concat "; " msgs));
+  match
+    Baselines.Orion.rename_class o ~type_at:"Truck@CarSchema" ~new_name:"Lorry"
+  with
+  | Baselines.Orion.Accepted -> ()
+  | Baselines.Orion.Rejected msgs ->
+      Alcotest.failf "rename rejected: %s" (String.concat "; " msgs)
+
+let test_orion_rejects_inconsistent_op () =
+  let o = orion_with_cars () in
+  (* a second type named Car violates name uniqueness and is rejected as a
+     whole, leaving the schema unchanged *)
+  let m = Baselines.Orion.manager o in
+  let before = Datalog.Database.total (Manager.database m) in
+  (match Baselines.Orion.add_class o ~name:"Car" ~schema:"CarSchema" ~supers:[]
+   with
+  | Baselines.Orion.Rejected _ -> ()
+  | Baselines.Orion.Accepted -> Alcotest.fail "expected rejection");
+  check_int "unchanged" before (Datalog.Database.total (Manager.database m))
+
+let test_orion_cannot_add_argument () =
+  let o = orion_with_cars () in
+  match Baselines.Orion.add_operation_argument o with
+  | Baselines.Orion.Rejected _ -> ()
+  | Baselines.Orion.Accepted -> Alcotest.fail "ORION has no such operation"
+
+let test_orion_add_attribute_converts () =
+  let o = orion_with_cars () in
+  let m = Baselines.Orion.manager o in
+  let rt = Manager.runtime m in
+  let _car = Runtime.new_object rt ~tid:(tid_of m "Car") in
+  match
+    Baselines.Orion.add_attribute o ~type_at:"Car@CarSchema" ~name:"fuelType"
+      ~domain:"string"
+  with
+  | Baselines.Orion.Accepted ->
+      check_bool "consistent afterwards" true
+        (Datalog.Checker.is_consistent (Manager.theory m) (Manager.database m))
+  | Baselines.Orion.Rejected msgs ->
+      Alcotest.failf "rejected: %s" (String.concat "; " msgs)
+
+let test_orion_drop_class () =
+  let o = orion_with_cars () in
+  (* dropping a referenced class leaves dangling references: rejected whole *)
+  (match Baselines.Orion.drop_class o ~type_at:"Person@CarSchema" with
+  | Baselines.Orion.Rejected _ -> ()
+  | Baselines.Orion.Accepted -> Alcotest.fail "Person is referenced");
+  (* an unreferenced class drops fine *)
+  (match
+     Baselines.Orion.add_class o ~name:"Scrap" ~schema:"CarSchema" ~supers:[]
+   with
+  | Baselines.Orion.Accepted -> ()
+  | Baselines.Orion.Rejected _ -> Alcotest.fail "add Scrap");
+  match Baselines.Orion.drop_class o ~type_at:"Scrap@CarSchema" with
+  | Baselines.Orion.Accepted -> ()
+  | Baselines.Orion.Rejected msgs ->
+      Alcotest.failf "drop rejected: %s" (String.concat "; " msgs)
+
+let test_orion_superclass_ops () =
+  let o = orion_with_cars () in
+  (match
+     Baselines.Orion.add_class o ~name:"Van" ~schema:"CarSchema"
+       ~supers:[ "Car@CarSchema" ]
+   with
+  | Baselines.Orion.Accepted -> ()
+  | Baselines.Orion.Rejected _ -> Alcotest.fail "add Van");
+  (* dropping the only superclass reattaches to ANY (stays consistent) *)
+  (match
+     Baselines.Orion.drop_superclass o ~type_at:"Van@CarSchema"
+       ~super_at:"Car@CarSchema"
+   with
+  | Baselines.Orion.Accepted -> ()
+  | Baselines.Orion.Rejected msgs ->
+      Alcotest.failf "drop superclass rejected: %s" (String.concat "; " msgs));
+  (* a cyclic superclass addition is rejected as a whole *)
+  match
+    Baselines.Orion.add_superclass o ~type_at:"Location@CarSchema"
+      ~super_at:"City@CarSchema"
+  with
+  | Baselines.Orion.Rejected _ -> ()
+  | Baselines.Orion.Accepted -> Alcotest.fail "expected cycle rejection"
+
+let test_version_chains () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  ignore
+    (Evolution.Versions.derive_schema_version m ~from_name:"CarSchema"
+       ~new_name:"V2");
+  ignore
+    (Evolution.Versions.derive_schema_version m ~from_name:"V2" ~new_name:"V3");
+  expect_consistent m;
+  let db = Manager.database m in
+  let person = tid_of m "Person" in
+  let successors = Evolution.Versions.version_successors db ~tid:person in
+  check_int "two successors" 2 (List.length successors);
+  let last = List.nth successors 1 in
+  check_int "two predecessors" 2
+    (List.length (Evolution.Versions.version_predecessors db ~tid:last))
+
+let test_give_up_choice () =
+  let m = manager_with_cars () in
+  Manager.begin_session m;
+  Manager.run_commands m "delete type Person@CarSchema;";
+  (match
+     Manager.end_session_with m ~choose:(fun _ _ -> Manager.Give_up)
+   with
+  | Manager.Inconsistent _ -> ()
+  | Manager.Consistent -> Alcotest.fail "expected to give up inconsistent");
+  (* the session is still open for manual fixing *)
+  check_bool "session open" true (Manager.in_session m);
+  Manager.rollback m
+
+let test_encore_masking_lazy () =
+  let e = Baselines.Encore.create ~attrs:[ "age" ] in
+  let o1 = Baselines.Encore.new_object e in
+  Baselines.Encore.write e o1 ~attr:"age" (Value.Int 30);
+  (* schema change touches no object *)
+  Baselines.Encore.add_attribute e ~attr:"birthday" ~handler:(fun o ->
+      match Baselines.Encore.read e o ~attr:"age" with
+      | Value.Int age -> Value.Int (1993 - age)
+      | _ -> Value.Null);
+  let o2 = Baselines.Encore.new_object e in
+  Baselines.Encore.write e o2 ~attr:"birthday" (Value.Int 1970);
+  (* old object masked, new object direct *)
+  check_bool "masked read" true
+    (Value.equal (Baselines.Encore.read e o1 ~attr:"birthday") (Value.Int 1963));
+  check_bool "direct read" true
+    (Value.equal (Baselines.Encore.read e o2 ~attr:"birthday") (Value.Int 1970));
+  check_int "two versions" 2 (Baselines.Encore.version_count e)
+
+let test_o2_conversion_eager () =
+  let o2 = Baselines.O2_conversion.create ~attrs:[ "age" ] in
+  let objs = List.init 10 (fun _ -> Baselines.O2_conversion.new_object o2) in
+  List.iter
+    (fun o -> Baselines.O2_conversion.write o2 o ~attr:"age" (Value.Int 30))
+    objs;
+  Baselines.O2_conversion.add_attribute o2 ~attr:"birthday" ~fill:(fun o ->
+      match Baselines.O2_conversion.read o2 o ~attr:"age" with
+      | Value.Int age -> Value.Int (1993 - age)
+      | _ -> Value.Null);
+  List.iter
+    (fun o ->
+      check_bool "converted" true
+        (Value.equal
+           (Baselines.O2_conversion.read o2 o ~attr:"birthday")
+           (Value.Int 1963)))
+    objs
+
+let suite =
+  [
+    ( "evolution.complex",
+      [
+        Alcotest.test_case "add operation argument" `Quick
+          test_add_operation_argument;
+        Alcotest.test_case "rewritten code runs" `Quick
+          test_add_argument_rewritten_code_still_runs;
+        Alcotest.test_case "half-done change caught" `Quick
+          test_half_done_add_argument_is_caught;
+        Alcotest.test_case "delete hierarchy node" `Quick test_delete_hierarchy_node;
+        Alcotest.test_case "pull up attribute" `Quick test_pull_up_attribute;
+        Alcotest.test_case "split type operator" `Quick test_split_type_operator;
+      ] );
+    ( "evolution.deletion",
+      [
+        Alcotest.test_case "restrict refuses referenced" `Quick
+          test_delete_restrict_refuses_referenced;
+        Alcotest.test_case "restrict accepts unreferenced" `Quick
+          test_delete_restrict_accepts_unreferenced;
+        Alcotest.test_case "cascade" `Quick test_delete_cascade;
+        Alcotest.test_case "retarget" `Quick test_delete_retarget;
+        Alcotest.test_case "defer generates repairs" `Quick
+          test_delete_defer_generates_repairs;
+        Alcotest.test_case "version keeps old" `Quick test_delete_version_keeps_old;
+      ] );
+    ( "evolution.versions",
+      [
+        Alcotest.test_case "derive schema version" `Quick test_derive_schema_version;
+        Alcotest.test_case "auto fashion identity" `Quick test_auto_fashion_identity;
+        Alcotest.test_case "auto fashion reports missing" `Quick
+          test_auto_fashion_reports_missing;
+      ] );
+    ( "baselines.orion",
+      [
+        Alcotest.test_case "accepts simple ops" `Quick test_orion_accepts_simple_ops;
+        Alcotest.test_case "rejects inconsistent op" `Quick
+          test_orion_rejects_inconsistent_op;
+        Alcotest.test_case "cannot add argument" `Quick test_orion_cannot_add_argument;
+        Alcotest.test_case "add attribute converts" `Quick
+          test_orion_add_attribute_converts;
+        Alcotest.test_case "drop class" `Quick test_orion_drop_class;
+        Alcotest.test_case "superclass operations" `Quick
+          test_orion_superclass_ops;
+      ] );
+    ( "evolution.misc",
+      [
+        Alcotest.test_case "version chains" `Quick test_version_chains;
+        Alcotest.test_case "give up keeps session open" `Quick
+          test_give_up_choice;
+      ] );
+    ( "baselines.cures",
+      [
+        Alcotest.test_case "encore lazy masking" `Quick test_encore_masking_lazy;
+        Alcotest.test_case "o2 eager conversion" `Quick test_o2_conversion_eager;
+      ] );
+  ]
+
+let () = Alcotest.run "evolution" suite

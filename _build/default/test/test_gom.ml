@@ -1,0 +1,671 @@
+(* Tests for the GOM schema model: the section 3 constraints on the paper's
+   running example, including the fuelType repair scenario of section 3.5. *)
+
+open Datalog
+open Gom
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let core_theory () =
+  let t = Theory.create () in
+  Model.install_core t;
+  t
+
+let full_theory () =
+  let t = core_theory () in
+  Versioning.install t;
+  Fashion.install t;
+  Subschema.install t;
+  t
+
+let consistent t db = Checker.check t db = []
+
+let violated_names t db =
+  Checker.check t db
+  |> List.map (fun v -> v.Checker.constraint_name)
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Identifier generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ids_fresh () =
+  let gen = Ids.create () in
+  Alcotest.(check string) "first type" "tid_1" (Ids.fresh gen Ids.Type);
+  Alcotest.(check string) "second type" "tid_2" (Ids.fresh gen Ids.Type);
+  Alcotest.(check string) "first schema" "sid_1" (Ids.fresh gen Ids.Schema);
+  Alcotest.(check bool) "kind" true (Ids.kind_of "tid_2" = Some Ids.Type);
+  Alcotest.(check bool) "unknown kind" true (Ids.kind_of "xyz" = None)
+
+(* ------------------------------------------------------------------ *)
+(* The running example is consistent                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_consistent () =
+  let t = core_theory () in
+  let db = Example.database () in
+  let viols = Checker.check t db in
+  if viols <> [] then
+    Alcotest.failf "unexpected violations: %a"
+      Fmt.(list ~sep:comma Checker.pp_violation)
+      viols
+
+let test_example_consistent_full_theory () =
+  let t = full_theory () in
+  check_bool "consistent" true (consistent t (Example.database ()))
+
+(* ------------------------------------------------------------------ *)
+(* Schema constraints fire on seeded inconsistencies                    *)
+(* ------------------------------------------------------------------ *)
+
+let expect_violation seed expected =
+  let t = core_theory () in
+  let db = Example.database () in
+  seed db;
+  let names = violated_names t db in
+  if not (List.mem expected names) then
+    Alcotest.failf "expected %s among violations %a" expected
+      Fmt.(list ~sep:comma string)
+      names
+
+let test_duplicate_type_name () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.type_fact ~tid:"tid_99" ~name:"Person" ~sid:Example.sid_car));
+      ignore
+        (Database.add db
+           (Preds.subtyprel_fact ~sub:"tid_99" ~super:Builtin.any_tid)))
+    "uniq$TypeNameInSchema"
+
+let test_dangling_attr_domain () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.attr_fact ~tid:Example.tid_car ~name:"ghost"
+              ~domain:"tid_nonexistent")))
+    "ri$Attr_Domain"
+
+let test_decl_without_code () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_car
+              ~name:"honk" ~result:"tid_void")))
+    "exist$DeclHasCode"
+
+let test_subtype_cycle () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.subtyprel_fact ~sub:Example.tid_location
+              ~super:Example.tid_city)))
+    "acyclic$SubTypRel"
+
+let test_type_disconnected_from_any () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.type_fact ~tid:"tid_99" ~name:"Orphan" ~sid:Example.sid_car)))
+    "root$ANY"
+
+let test_inherited_attr_codomain_conflict () =
+  (* City inherits name : string via its own declaration and would conflict
+     with a second name attribute of a different domain introduced on
+     Location. *)
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.attr_fact ~tid:Example.tid_location ~name:"name"
+              ~domain:"tid_int")))
+    "mi$AttrCodomain"
+
+let test_multiple_inheritance_conflict () =
+  (* A type inheriting distance from both Location and City without refining
+     it: the two distinct inherited declarations need a common refinement. *)
+  expect_violation
+    (fun db ->
+      let add f = ignore (Database.add db f) in
+      add (Preds.type_fact ~tid:"tid_99" ~name:"Amphibian" ~sid:Example.sid_car);
+      add (Preds.subtyprel_fact ~sub:"tid_99" ~super:Example.tid_location);
+      add (Preds.subtyprel_fact ~sub:"tid_99" ~super:Example.tid_car);
+      (* give Car a distance operation of its own *)
+      add
+        (Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_car
+           ~name:"distance" ~result:"tid_float");
+      add (Preds.code_fact ~cid:"cid_99" ~text:"!!" ~did:"did_99"))
+    "mi$DeclConflict"
+
+let test_refinement_result_not_subtype () =
+  (* distance@City returning string would break contravariance. *)
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.remove db
+           (Preds.decl_fact ~did:Example.did_distance_city
+              ~receiver:Example.tid_city ~name:"distance" ~result:"tid_float"));
+      ignore
+        (Database.add db
+           (Preds.decl_fact ~did:Example.did_distance_city
+              ~receiver:Example.tid_city ~name:"distance" ~result:"tid_string")))
+    "refine$Contravariance"
+
+let test_refinement_missing_argument () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.remove db
+           (Preds.argdecl_fact ~did:Example.did_distance_city ~pos:1
+              ~tid:Example.tid_location)))
+    "refine$Contravariance"
+
+let test_refinement_extra_argument () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.argdecl_fact ~did:Example.did_distance_city ~pos:2
+              ~tid:"tid_int")))
+    "refine$Contravariance"
+
+let test_refinement_name_mismatch () =
+  expect_violation
+    (fun db ->
+      let add f = ignore (Database.add db f) in
+      add
+        (Preds.decl_fact ~did:"did_99" ~receiver:Example.tid_city ~name:"far"
+           ~result:"tid_float");
+      add (Preds.code_fact ~cid:"cid_99" ~text:"!!" ~did:"did_99");
+      add
+        (Preds.declrefinement_fact ~refining:"did_99"
+           ~refined:Example.did_distance_location))
+    "refine$Contravariance"
+
+let test_code_requires_missing_decl () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.codereqdecl_fact ~cid:Example.cid_changelocation
+              ~did:"did_nonexistent")))
+    "ri$CodeReqDecl_Decl"
+
+let test_code_requires_missing_attr () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.codereqattr_fact ~cid:Example.cid_changelocation
+              ~tid:Example.tid_car ~attr_name:"fuelType")))
+    "ri$CodeReqAttr_Attr"
+
+let test_inherited_attr_access_ok () =
+  (* City code accessing longi (inherited from Location) is consistent. *)
+  let t = core_theory () in
+  let db = Example.database () in
+  ignore
+    (Database.add db
+       (Preds.codereqattr_fact ~cid:Example.cid_distance_city
+          ~tid:Example.tid_city ~attr_name:"longi"));
+  check_bool "inherited access fine" true (consistent t db)
+
+(* ------------------------------------------------------------------ *)
+(* Object constraints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_two_phreps_for_type () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db (Preds.phrep_fact ~clid:"clid_99" ~tid:Example.tid_car)))
+    "uniq$PhRepPerType"
+
+let test_missing_slot_for_new_attr () =
+  expect_violation
+    (fun db ->
+      ignore
+        (Database.add db
+           (Preds.attr_fact ~tid:Example.tid_car ~name:"fuelType"
+              ~domain:"tid_string")))
+    "star$SlotForEveryAttr"
+
+let test_missing_slot_for_inherited_attr () =
+  (* A new attribute on Location must also be represented in City objects. *)
+  let t = core_theory () in
+  let db = Example.database () in
+  ignore
+    (Database.add db
+       (Preds.attr_fact ~tid:Example.tid_location ~name:"altitude"
+          ~domain:"tid_float"));
+  let viols =
+    Checker.check t db
+    |> List.filter (fun v -> v.Checker.constraint_name = "star$SlotForEveryAttr")
+  in
+  (* both the Location representation and the City representation lack it *)
+  check_int "two representations affected" 2 (List.length viols)
+
+(* ------------------------------------------------------------------ *)
+(* The section 3.5 repair scenario                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fueltype_repairs_match_paper () =
+  let t = core_theory () in
+  let db = Example.database () in
+  ignore
+    (Database.add db
+       (Preds.attr_fact ~tid:Example.tid_car ~name:"fuelType"
+          ~domain:"tid_string"));
+  let materialized = Checker.materialize t db in
+  let viols =
+    Checker.violations_of t materialized
+    |> List.filter (fun v -> v.Checker.constraint_name = "star$SlotForEveryAttr")
+  in
+  check_int "one violation" 1 (List.length viols);
+  let repairs = Repair.generate t materialized (List.hd viols) in
+  let has r = List.exists (Repair.equal r) repairs in
+  (* Repair 1 of the paper: -Attr_i(tid_4, fuelType, tid_string), which at
+     the base level is deleting the Attr fact. *)
+  check_bool "repair 1: undo the attribute addition" true
+    (has
+       [
+         Repair.Del
+           (Preds.attr_fact ~tid:Example.tid_car ~name:"fuelType"
+              ~domain:"tid_string");
+       ]);
+  (* Repair 2: -PhRep(clid_4, tid_4), i.e. delete all cars. *)
+  check_bool "repair 2: delete all cars" true
+    (has
+       [ Repair.Del (Preds.phrep_fact ~clid:Example.clid_car ~tid:Example.tid_car) ]);
+  (* Repair 3: +Slot(clid_4, fuelType, clid_string) — the conversion. *)
+  check_bool "repair 3: conversion adds the slot" true
+    (has
+       [
+         Repair.Add
+           (Preds.slot_fact ~clid:Example.clid_car ~attr_name:"fuelType"
+              ~value_clid:"clid_string");
+       ])
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_fueltype_repair_explanations () =
+  let db = Example.database () in
+  let s =
+    Explain.explain_action db
+      (Repair.Del (Preds.phrep_fact ~clid:Example.clid_car ~tid:Example.tid_car))
+  in
+  check_bool "mentions deleting instances" true
+    (contains s "delete ALL instances of type Car");
+  let s2 =
+    Explain.explain_action db
+      (Repair.Add
+         (Preds.slot_fact ~clid:Example.clid_car ~attr_name:"fuelType"
+            ~value_clid:"clid_string"))
+  in
+  check_bool "mentions conversion" true (contains s2 "conversion")
+
+(* ------------------------------------------------------------------ *)
+(* Versioning constraints                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_new_schema db =
+  ignore (Database.add db (Preds.schema_fact ~sid:"sid_2" ~name:"NewCarSchema"));
+  ignore
+    (Database.add db
+       (Preds.type_fact ~tid:"tid_10" ~name:"Person" ~sid:"sid_2"));
+  ignore
+    (Database.add db (Preds.subtyprel_fact ~sub:"tid_10" ~super:Builtin.any_tid))
+
+let test_versioning_digestibility () =
+  let t = full_theory () in
+  let db = Example.database () in
+  with_new_schema db;
+  (* type evolution without schema evolution violates digestibility *)
+  ignore
+    (Database.add db
+       (Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:"tid_10"));
+  check_bool "digestibility violated" true
+    (List.mem "digest$TypeEvolution" (violated_names t db));
+  ignore
+    (Database.add db
+       (Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2"));
+  check_bool "consistent with schema evolution" true (consistent t db)
+
+let test_versioning_acyclic () =
+  let t = full_theory () in
+  let db = Example.database () in
+  with_new_schema db;
+  ignore
+    (Database.add db
+       (Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2"));
+  ignore
+    (Database.add db
+       (Preds.evolves_to_s_fact ~from_sid:"sid_2" ~to_sid:Example.sid_car));
+  check_bool "cycle detected" true
+    (List.mem "acyclic$evolves_to_S" (violated_names t db))
+
+(* ------------------------------------------------------------------ *)
+(* Fashion constraints                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fashion_requires_versions () =
+  let t = full_theory () in
+  let db = Example.database () in
+  with_new_schema db;
+  ignore
+    (Database.add db
+       (Preds.fashiontype_fact ~masked:Example.tid_person ~target:"tid_10"));
+  check_bool "fashion without version edge rejected" true
+    (List.mem "fashion$OnlyBetweenVersions" (violated_names t db))
+
+let test_fashion_completeness () =
+  let t = full_theory () in
+  let db = Example.database () in
+  with_new_schema db;
+  ignore
+    (Database.add db
+       (Preds.attr_fact ~tid:"tid_10" ~name:"birthday" ~domain:"tid_date"));
+  ignore
+    (Database.add db
+       (Preds.slot_fact ~clid:"clid_99" ~attr_name:"birthday"
+          ~value_clid:"clid_date"));
+  ignore (Database.add db (Preds.phrep_fact ~clid:"clid_99" ~tid:"tid_10"));
+  ignore
+    (Database.add db
+       (Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2"));
+  ignore
+    (Database.add db
+       (Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:"tid_10"));
+  ignore
+    (Database.add db
+       (Preds.fashiontype_fact ~masked:Example.tid_person ~target:"tid_10"));
+  (* incomplete: birthday not imitated *)
+  check_bool "attr completeness violated" true
+    (List.mem "fashion$AttrComplete" (violated_names t db));
+  ignore
+    (Database.add db
+       (Preds.fashionattr_fact ~owner_tid:"tid_10" ~attr_name:"birthday"
+          ~masked_tid:Example.tid_person ~read_cid:"cid_90" ~write_cid:"cid_91"));
+  check_bool "complete now" true
+    (not (List.mem "fashion$AttrComplete" (violated_names t db)))
+
+let test_fashion_install_requires_versioning () =
+  let t = core_theory () in
+  check_bool "refuses without versioning" true
+    (try
+       Fashion.install t;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Subschema constraints                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_subschema_tree () =
+  let t = full_theory () in
+  let db = Example.database () in
+  with_new_schema db;
+  ignore
+    (Database.add db
+       (Preds.subschemarel_fact ~child:"sid_2" ~parent:Example.sid_car));
+  check_bool "tree ok" true (consistent t db);
+  ignore
+    (Database.add db
+       (Preds.subschemarel_fact ~child:Example.sid_car ~parent:"sid_2"));
+  check_bool "cycle rejected" true
+    (List.mem "acyclic$SubSchemaRel" (violated_names t db))
+
+let test_describe_covers_all_predicates () =
+  (* every base predicate of the full theory gets a meaningful description:
+     none falls back to the raw fact rendering *)
+  let db = Example.database () in
+  ignore (Database.add db (Preds.schema_fact ~sid:"sid_2" ~name:"V2"));
+  let samples =
+    [
+      Preds.schema_fact ~sid:"sid_2" ~name:"V2";
+      Preds.type_fact ~tid:"tid_9" ~name:"X" ~sid:Example.sid_car;
+      Preds.attr_fact ~tid:Example.tid_car ~name:"a" ~domain:"tid_int";
+      Preds.decl_fact ~did:"did_9" ~receiver:Example.tid_car ~name:"f"
+        ~result:"tid_int";
+      Preds.argdecl_fact ~did:Example.did_changelocation ~pos:1
+        ~tid:Example.tid_person;
+      Preds.code_fact ~cid:"cid_9" ~text:"!!" ~did:Example.did_changelocation;
+      Preds.subtyprel_fact ~sub:Example.tid_city ~super:Example.tid_location;
+      Preds.declrefinement_fact ~refining:Example.did_distance_city
+        ~refined:Example.did_distance_location;
+      Preds.codereqdecl_fact ~cid:"cid_9" ~did:Example.did_distance_location;
+      Preds.codereqattr_fact ~cid:"cid_9" ~tid:Example.tid_car ~attr_name:"owner";
+      Preds.phrep_fact ~clid:"clid_9" ~tid:Example.tid_car;
+      Preds.slot_fact ~clid:Example.clid_car ~attr_name:"owner"
+        ~value_clid:Example.clid_person;
+      Preds.evolves_to_s_fact ~from_sid:Example.sid_car ~to_sid:"sid_2";
+      Preds.evolves_to_t_fact ~from_tid:Example.tid_person ~to_tid:Example.tid_city;
+      Preds.fashiontype_fact ~masked:Example.tid_person ~target:Example.tid_city;
+      Preds.fashiondecl_fact ~did:Example.did_distance_city
+        ~tid:Example.tid_person ~cid:"cid_9";
+      Preds.fashionattr_fact ~owner_tid:Example.tid_city ~attr_name:"name"
+        ~masked_tid:Example.tid_person ~read_cid:"cid_9" ~write_cid:"cid_9";
+      Preds.subschemarel_fact ~child:"sid_2" ~parent:Example.sid_car;
+      Preds.imports_fact ~importer:"sid_2" ~imported:Example.sid_car;
+      Preds.public_comp_fact ~sid:Example.sid_car ~kind:"type" ~name:"Car";
+      Preds.schemavar_fact ~sid:Example.sid_car ~name:"v" ~tid:Example.tid_car;
+    ]
+  in
+  List.iter
+    (fun f ->
+      let s = Explain.describe db f in
+      if contains s "fact " then
+        Alcotest.failf "no tailored description for %s"
+          (Datalog.Fact.to_string f))
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Optional constraint bundles                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bundle_single_inheritance () =
+  let t = full_theory () in
+  let db = Example.database () in
+  let seed db =
+    let add f = ignore (Database.add db f) in
+    add (Preds.type_fact ~tid:"tid_99" ~name:"Amphibian" ~sid:Example.sid_car);
+    add (Preds.subtyprel_fact ~sub:"tid_99" ~super:Example.tid_location);
+    add (Preds.subtyprel_fact ~sub:"tid_99" ~super:Example.tid_person)
+  in
+  seed db;
+  (* multiple inheritance is fine in the core model (no conflicts here) *)
+  check_bool "core accepts MI" true (consistent t db);
+  Extensions.install t Extensions.single_inheritance;
+  check_bool "bundle rejects MI" true
+    (List.mem "x$SingleInheritance" (violated_names t db));
+  Extensions.remove t Extensions.single_inheritance;
+  check_bool "removable" true (consistent t db)
+
+let test_bundle_strict_slots () =
+  let t = full_theory () in
+  let db = Example.database () in
+  ignore
+    (Database.add db
+       (Preds.slot_fact ~clid:Example.clid_person ~attr_name:"stale"
+          ~value_clid:"clid_int"));
+  check_bool "core tolerates stale slot" true (consistent t db);
+  Extensions.install t Extensions.strict_slots;
+  check_bool "bundle flags stale slot" true
+    (List.mem "x$SlotHasAttr" (violated_names t db))
+
+let test_bundle_no_empty_types () =
+  let t = full_theory () in
+  let db = Example.database () in
+  Extensions.install t Extensions.no_empty_types;
+  check_bool "example types all have members" true (consistent t db);
+  ignore
+    (Database.add db (Preds.type_fact ~tid:"tid_99" ~name:"Shell" ~sid:Example.sid_car));
+  ignore
+    (Database.add db (Preds.subtyprel_fact ~sub:"tid_99" ~super:Builtin.any_tid));
+  check_bool "empty shell flagged" true
+    (List.mem "x$TypeHasMember" (violated_names t db))
+
+let test_bundle_layered_calls () =
+  let t = full_theory () in
+  let db = Example.database () in
+  Extensions.install t Extensions.layered_calls;
+  (* all CarSchema-internal calls are fine *)
+  check_bool "same-schema calls fine" true (consistent t db);
+  (* a type in another schema whose code calls distance without importing *)
+  let add f = ignore (Database.add db f) in
+  add (Preds.schema_fact ~sid:"sid_2" ~name:"Other");
+  add (Preds.type_fact ~tid:"tid_10" ~name:"Caller" ~sid:"sid_2");
+  add (Preds.subtyprel_fact ~sub:"tid_10" ~super:Builtin.any_tid);
+  add (Preds.decl_fact ~did:"did_99" ~receiver:"tid_10" ~name:"go" ~result:"tid_float");
+  add (Preds.code_fact ~cid:"cid_99" ~text:"!!" ~did:"did_99");
+  add (Preds.codereqdecl_fact ~cid:"cid_99" ~did:Example.did_distance_location);
+  check_bool "cross-schema call flagged" true
+    (List.mem "x$LayeredCalls" (violated_names t db));
+  add (Preds.imports_fact ~importer:"sid_2" ~imported:Example.sid_car);
+  check_bool "import legalizes the call" true (consistent t db)
+
+(* ------------------------------------------------------------------ *)
+(* Schema base queries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_find_type_at () =
+  let db = Example.database () in
+  check_bool "Person@CarSchema" true
+    (Schema_base.find_type_at db ~type_name:"Person" ~schema_name:"CarSchema"
+    = Some Example.tid_person);
+  check_bool "missing type" true
+    (Schema_base.find_type_at db ~type_name:"Robot" ~schema_name:"CarSchema"
+    = None)
+
+let test_inherited_attrs () =
+  let db = Example.database () in
+  let attrs = Schema_base.all_attrs db ~tid:Example.tid_city in
+  check_int "city has four attributes" 4 (List.length attrs);
+  check_bool "longi inherited" true (List.mem_assoc "longi" attrs);
+  check_bool "own name" true (List.mem_assoc "name" attrs)
+
+let test_dynamic_binding_resolution () =
+  let db = Example.database () in
+  (* distance on City resolves to the refinement, on Location to the base *)
+  let d_city =
+    Option.get (Schema_base.resolve_decl db ~tid:Example.tid_city ~name:"distance")
+  in
+  Alcotest.(check string) "city decl" Example.did_distance_city
+    d_city.Schema_base.did;
+  let d_loc =
+    Option.get
+      (Schema_base.resolve_decl db ~tid:Example.tid_location ~name:"distance")
+  in
+  Alcotest.(check string) "location decl" Example.did_distance_location
+    d_loc.Schema_base.did
+
+let test_supertypes_bfs () =
+  let db = Example.database () in
+  Alcotest.(check (list string)) "city supertypes"
+    [ Example.tid_location; Builtin.any_tid ]
+    (Schema_base.supertypes db ~tid:Example.tid_city)
+
+let test_is_subtype () =
+  let db = Example.database () in
+  check_bool "city <= location" true
+    (Schema_base.is_subtype db ~sub:Example.tid_city ~super:Example.tid_location);
+  check_bool "location </= city" false
+    (Schema_base.is_subtype db ~sub:Example.tid_location ~super:Example.tid_city)
+
+let suite =
+  [
+    "gom.ids", [ Alcotest.test_case "fresh ids" `Quick test_ids_fresh ];
+    ( "gom.example",
+      [
+        Alcotest.test_case "example consistent (core)" `Quick
+          test_example_consistent;
+        Alcotest.test_case "example consistent (full)" `Quick
+          test_example_consistent_full_theory;
+      ] );
+    ( "gom.schema_constraints",
+      [
+        Alcotest.test_case "duplicate type name" `Quick test_duplicate_type_name;
+        Alcotest.test_case "dangling attr domain" `Quick test_dangling_attr_domain;
+        Alcotest.test_case "decl without code" `Quick test_decl_without_code;
+        Alcotest.test_case "subtype cycle" `Quick test_subtype_cycle;
+        Alcotest.test_case "type disconnected from ANY" `Quick
+          test_type_disconnected_from_any;
+        Alcotest.test_case "inherited attr codomain conflict" `Quick
+          test_inherited_attr_codomain_conflict;
+        Alcotest.test_case "multiple inheritance conflict" `Quick
+          test_multiple_inheritance_conflict;
+        Alcotest.test_case "refinement result not subtype" `Quick
+          test_refinement_result_not_subtype;
+        Alcotest.test_case "refinement missing argument" `Quick
+          test_refinement_missing_argument;
+        Alcotest.test_case "refinement extra argument" `Quick
+          test_refinement_extra_argument;
+        Alcotest.test_case "refinement name mismatch" `Quick
+          test_refinement_name_mismatch;
+        Alcotest.test_case "code requires missing decl" `Quick
+          test_code_requires_missing_decl;
+        Alcotest.test_case "code requires missing attr" `Quick
+          test_code_requires_missing_attr;
+        Alcotest.test_case "inherited attr access ok" `Quick
+          test_inherited_attr_access_ok;
+      ] );
+    ( "gom.object_constraints",
+      [
+        Alcotest.test_case "two phreps for a type" `Quick test_two_phreps_for_type;
+        Alcotest.test_case "missing slot for new attr" `Quick
+          test_missing_slot_for_new_attr;
+        Alcotest.test_case "missing slot for inherited attr" `Quick
+          test_missing_slot_for_inherited_attr;
+      ] );
+    ( "gom.repairs",
+      [
+        Alcotest.test_case "fuelType repairs match the paper" `Quick
+          test_fueltype_repairs_match_paper;
+        Alcotest.test_case "repair explanations" `Quick
+          test_fueltype_repair_explanations;
+        Alcotest.test_case "describe covers all predicates" `Quick
+          test_describe_covers_all_predicates;
+      ] );
+    ( "gom.versioning",
+      [
+        Alcotest.test_case "digestibility" `Quick test_versioning_digestibility;
+        Alcotest.test_case "acyclic versions" `Quick test_versioning_acyclic;
+      ] );
+    ( "gom.fashion",
+      [
+        Alcotest.test_case "requires version edge" `Quick
+          test_fashion_requires_versions;
+        Alcotest.test_case "completeness" `Quick test_fashion_completeness;
+        Alcotest.test_case "install requires versioning" `Quick
+          test_fashion_install_requires_versioning;
+      ] );
+    "gom.subschema", [ Alcotest.test_case "tree" `Quick test_subschema_tree ];
+    ( "gom.extensions",
+      [
+        Alcotest.test_case "single inheritance bundle" `Quick
+          test_bundle_single_inheritance;
+        Alcotest.test_case "strict slots bundle" `Quick test_bundle_strict_slots;
+        Alcotest.test_case "no empty types bundle" `Quick
+          test_bundle_no_empty_types;
+        Alcotest.test_case "layered calls bundle" `Quick test_bundle_layered_calls;
+      ] );
+    ( "gom.schema_base",
+      [
+        Alcotest.test_case "find type at" `Quick test_find_type_at;
+        Alcotest.test_case "inherited attrs" `Quick test_inherited_attrs;
+        Alcotest.test_case "dynamic binding" `Quick test_dynamic_binding_resolution;
+        Alcotest.test_case "supertypes bfs" `Quick test_supertypes_bfs;
+        Alcotest.test_case "is_subtype" `Quick test_is_subtype;
+      ] );
+  ]
+
+let () = Alcotest.run "gom" suite

@@ -1,0 +1,367 @@
+(* Tests for the Runtime System in isolation: values, the object store, the
+   interpreter (arithmetic, control flow, errors), conversion routines, and
+   the masking helpers. *)
+
+open Core
+module Value = Runtime.Value
+module Store = Runtime.Object_store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let manager_with src =
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m src;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "schema inconsistent: %s"
+        (String.concat "; " (List.map (fun r -> r.Manager.description) rs)));
+  m
+
+let tid_in m ~schema name =
+  Option.get
+    (Gom.Schema_base.find_type_at (Manager.database m) ~type_name:name
+       ~schema_name:schema)
+
+(* A small computational schema exercising the interpreter. *)
+let math_schema =
+  {|
+schema Math is
+  type Calc is
+    [ acc : float; count : int; label : string; flag : bool; ]
+  operations
+    declare gauss : (int) -> int;
+    declare mix : (float, float) -> float;
+    declare note : (string) -> string;
+    declare classify : (int) -> string;
+    declare crash : -> int;
+    declare useglobal : -> int;
+  implementation
+    define gauss(n) is
+    begin
+      var total : int := 0;
+      var i : int := 0;
+      while (i <= n)
+      begin
+        total := total + i;
+        i := i + 1;
+      end
+      return total;
+    end gauss;
+    define mix(a, b) is
+    begin
+      self.acc := a * 2.0 + b / 4.0 - 1.0;
+      return self.acc;
+    end mix;
+    define note(s) is
+    begin
+      self.label := self.label + ", " + s;
+      return self.label;
+    end note;
+    define classify(n) is
+    begin
+      if (n < 0) return "negative";
+      if (n == 0) return "zero";
+      if (n < 10 and not (n == 5)) return "small";
+      if (n == 5 or n >= 100) return "special";
+      return "large";
+    end classify;
+    define crash is
+    begin
+      return 1 / 0;
+    end crash;
+    define useglobal is
+    begin
+      return counter + 1;
+    end useglobal;
+  end type Calc;
+  var counter : int;
+end schema Math;
+|}
+
+let calc () =
+  let m = manager_with math_schema in
+  let rt = Manager.runtime m in
+  let c = Runtime.new_object rt ~tid:(tid_in m ~schema:"Math" "Calc") in
+  m, rt, c
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_equal_numeric () =
+  check_bool "int/float equal" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check_bool "int/float unequal" false
+    (Value.equal (Value.Int 2) (Value.Float 2.5));
+  check_bool "enum equality" true
+    (Value.equal (Value.Enum ("t", "a")) (Value.Enum ("t", "a")));
+  check_bool "enum of other sort" false
+    (Value.equal (Value.Enum ("t", "a")) (Value.Enum ("u", "a")))
+
+let test_value_truthiness () =
+  check_bool "null falsy" false (Value.truthy Value.Null);
+  check_bool "zero falsy" false (Value.truthy (Value.Int 0));
+  check_bool "obj truthy" true (Value.truthy (Value.Obj "oid_1"));
+  check_bool "empty string falsy" false (Value.truthy (Value.Str ""))
+
+let test_value_defaults () =
+  check_bool "int" true (Value.default_for ~domain_tid:"tid_int" = Value.Int 0);
+  check_bool "string" true
+    (Value.default_for ~domain_tid:"tid_string" = Value.Str "");
+  check_bool "object" true (Value.default_for ~domain_tid:"tid_42" = Value.Null)
+
+(* ------------------------------------------------------------------ *)
+(* Object store                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_snapshot_restore () =
+  let s = Store.create () in
+  let o = Store.insert s ~tid:"tid_1" ~slots:[ "a", Value.Int 1 ] in
+  let snap = Store.snapshot s in
+  Store.set_slot o "a" (Value.Int 99);
+  ignore (Store.insert s ~tid:"tid_1" ~slots:[]);
+  Store.restore s ~from:snap;
+  check_int "count restored" 1 (Store.cardinal s);
+  let o' = Option.get (Store.find s o.Store.oid) in
+  check_bool "slot restored" true (Store.get_slot o' "a" = Some (Value.Int 1))
+
+let test_store_type_index () =
+  let s = Store.create () in
+  ignore (Store.insert s ~tid:"tid_1" ~slots:[]);
+  ignore (Store.insert s ~tid:"tid_2" ~slots:[]);
+  ignore (Store.insert s ~tid:"tid_1" ~slots:[]);
+  check_int "by type" 2 (Store.count_of_type s ~tid:"tid_1");
+  check_int "total" 3 (Store.cardinal s)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_while_loop () =
+  let _, rt, c = calc () in
+  let r = Runtime.send rt c ~op:"gauss" ~args:[ Value.Int 100 ] in
+  check_bool "gauss 100" true (Value.equal r (Value.Int 5050))
+
+let test_interp_float_arithmetic () =
+  let _, rt, c = calc () in
+  let r = Runtime.send rt c ~op:"mix" ~args:[ Value.Float 3.0; Value.Float 8.0 ] in
+  check_bool "3*2 + 8/4 - 1 = 7" true (Value.equal r (Value.Float 7.0));
+  check_bool "slot written" true
+    (Value.equal (Runtime.get rt c ~attr:"acc") (Value.Float 7.0))
+
+let test_interp_string_concat () =
+  let _, rt, c = calc () in
+  Runtime.set rt c ~attr:"label" ~value:(Value.Str "start");
+  let r = Runtime.send rt c ~op:"note" ~args:[ Value.Str "more" ] in
+  check_bool "concatenated" true (Value.equal r (Value.Str "start, more"))
+
+let test_interp_boolean_logic () =
+  let _, rt, c = calc () in
+  let classify n = Runtime.send rt c ~op:"classify" ~args:[ Value.Int n ] in
+  check_bool "negative" true (Value.equal (classify (-3)) (Value.Str "negative"));
+  check_bool "zero" true (Value.equal (classify 0) (Value.Str "zero"));
+  check_bool "small" true (Value.equal (classify 3) (Value.Str "small"));
+  check_bool "five is special" true (Value.equal (classify 5) (Value.Str "special"));
+  check_bool "hundred special" true (Value.equal (classify 150) (Value.Str "special"));
+  check_bool "large" true (Value.equal (classify 42) (Value.Str "large"))
+
+let test_interp_division_by_zero () =
+  let _, rt, c = calc () in
+  check_bool "raises" true
+    (try
+       ignore (Runtime.send rt c ~op:"crash" ~args:[]);
+       false
+     with Runtime.Error _ -> true)
+
+let test_interp_wrong_arity () =
+  let _, rt, c = calc () in
+  check_bool "raises" true
+    (try
+       ignore (Runtime.send rt c ~op:"gauss" ~args:[]);
+       false
+     with Runtime.Error _ -> true)
+
+let test_interp_unknown_operation () =
+  let _, rt, c = calc () in
+  check_bool "raises" true
+    (try
+       ignore (Runtime.send rt c ~op:"fly" ~args:[]);
+       false
+     with Runtime.Error _ -> true)
+
+let test_interp_global_variable () =
+  let _, rt, c = calc () in
+  Runtime.set_global rt "counter" (Value.Int 41);
+  let r = Runtime.send rt c ~op:"useglobal" ~args:[] in
+  check_bool "reads the schema variable" true (Value.equal r (Value.Int 42))
+
+let test_interp_loop_budget () =
+  let m = manager_with
+    {|
+schema Loop is
+  type Spinner is [ x : int; ]
+  operations
+    declare spin : -> int;
+  implementation
+    define spin is
+    begin
+      while (true) begin self.x := self.x + 1; end
+      return 0;
+    end spin;
+  end type Spinner;
+end schema Loop;
+|} in
+  let rt = Manager.runtime m in
+  let o = Runtime.new_object rt ~tid:(tid_in m ~schema:"Loop" "Spinner") in
+  check_bool "budget exceeded" true
+    (try
+       ignore (Runtime.send rt o ~op:"spin" ~args:[]);
+       false
+     with Runtime.Error msg ->
+       let contains s sub =
+         let sl = String.length s and bl = String.length sub in
+         let rec go i = i + bl <= sl && (String.sub s i bl = sub || go (i + 1)) in
+         go 0
+       in
+       contains msg "budget")
+
+(* ------------------------------------------------------------------ *)
+(* Conversion routines                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let car_manager () =
+  let m = manager_with Analyzer.Sources.car_schema in
+  let rt = Manager.runtime m in
+  m, rt
+
+let test_conversion_add_covers_subtypes () =
+  let m, rt = car_manager () in
+  let location = tid_in m ~schema:"CarSchema" "Location" in
+  let city = tid_in m ~schema:"CarSchema" "City" in
+  let l = Runtime.new_object rt ~tid:location in
+  let c = Runtime.new_object rt ~tid:city in
+  Manager.begin_session m;
+  Manager.run_commands m "add attribute altitude : float to Location@CarSchema;";
+  let n =
+    Runtime.Conversion.add_attribute_slots rt ~tid:location ~attr:"altitude"
+      ~domain:"tid_float"
+      ~fill:(fun _ -> Value.Float 112.0)
+  in
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "conversion incomplete");
+  check_int "both objects converted" 2 n;
+  check_bool "location converted" true
+    (Value.equal (Runtime.get rt l ~attr:"altitude") (Value.Float 112.0));
+  check_bool "city converted too" true
+    (Value.equal (Runtime.get rt c ~attr:"altitude") (Value.Float 112.0))
+
+let test_conversion_drop () =
+  let m, rt = car_manager () in
+  let person = tid_in m ~schema:"CarSchema" "Person" in
+  let p = Runtime.new_object rt ~tid:person in
+  Manager.begin_session m;
+  Manager.run_commands m "delete attribute age from Person@CarSchema;";
+  let n = Runtime.Conversion.drop_attribute_slots rt ~tid:person ~attr:"age" in
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "drop incomplete");
+  check_int "one object converted" 1 n;
+  check_bool "slot gone" true
+    (try
+       ignore (Runtime.get rt p ~attr:"age");
+       false
+     with Runtime.Error _ -> true)
+
+let test_migrate_object () =
+  let m, rt = car_manager () in
+  let location = tid_in m ~schema:"CarSchema" "Location" in
+  let city = tid_in m ~schema:"CarSchema" "City" in
+  let l = Runtime.new_object rt ~tid:location in
+  Runtime.set rt l ~attr:"longi" ~value:(Value.Float 8.4);
+  (match l with
+  | Value.Obj oid ->
+      let db = Manager.database m in
+      check_bool "migrated" true
+        (Runtime.Conversion.migrate_object rt ~oid ~to_tid:city
+           ~init:(Runtime.Conversion.keep_or_default db ~to_tid:city));
+      let o = Option.get (Runtime.find_object rt oid) in
+      check_bool "type changed" true (o.Runtime.Object_store.tid = city);
+      check_bool "kept slot" true
+        (Value.equal (Runtime.get rt l ~attr:"longi") (Value.Float 8.4));
+      check_bool "new slot defaulted" true
+        (Value.equal (Runtime.get rt l ~attr:"noOfInhabitants") (Value.Int 0))
+  | _ -> Alcotest.fail "expected object");
+  (* the physical model followed the migration *)
+  let db = Manager.database m in
+  check_bool "old rep retired" true
+    (Gom.Schema_base.phrep_of_type db ~tid:location = None);
+  check_bool "new rep present" true
+    (Gom.Schema_base.phrep_of_type db ~tid:city <> None);
+  check_bool "model consistent" true
+    (Datalog.Checker.is_consistent (Manager.theory m) db)
+
+(* ------------------------------------------------------------------ *)
+(* Masking helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_missing_behaviour () =
+  let m, _ = car_manager () in
+  Manager.begin_session m;
+  Manager.run_commands m
+    {|add schema V2;
+      evolve schema CarSchema to V2;
+      add type Person to V2;
+      add attribute name : string to Person@V2;
+      add attribute birthday : date to Person@V2;
+      add operation greet : -> string to Person@V2;
+      set code of greet of Person@V2 is begin return self.name; end;
+      evolve type Person@CarSchema to Person@V2;|};
+  let db = Manager.database m in
+  let old_p = tid_in m ~schema:"CarSchema" "Person" in
+  let new_p = tid_in m ~schema:"V2" "Person" in
+  let attrs, ops = Runtime.Masking.missing_behaviour db ~masked:old_p ~target:new_p in
+  Alcotest.(check (list string)) "missing attrs" [ "birthday"; "name" ]
+    (List.sort compare attrs);
+  Alcotest.(check (list string)) "missing ops" [ "greet" ] ops;
+  Manager.rollback m
+
+let suite =
+  [
+    ( "runtime.values",
+      [
+        Alcotest.test_case "numeric equality" `Quick test_value_equal_numeric;
+        Alcotest.test_case "truthiness" `Quick test_value_truthiness;
+        Alcotest.test_case "defaults" `Quick test_value_defaults;
+      ] );
+    ( "runtime.store",
+      [
+        Alcotest.test_case "snapshot/restore" `Quick test_store_snapshot_restore;
+        Alcotest.test_case "type index" `Quick test_store_type_index;
+      ] );
+    ( "runtime.interp",
+      [
+        Alcotest.test_case "while loop" `Quick test_interp_while_loop;
+        Alcotest.test_case "float arithmetic" `Quick test_interp_float_arithmetic;
+        Alcotest.test_case "string concat" `Quick test_interp_string_concat;
+        Alcotest.test_case "boolean logic" `Quick test_interp_boolean_logic;
+        Alcotest.test_case "division by zero" `Quick test_interp_division_by_zero;
+        Alcotest.test_case "wrong arity" `Quick test_interp_wrong_arity;
+        Alcotest.test_case "unknown operation" `Quick test_interp_unknown_operation;
+        Alcotest.test_case "schema variable" `Quick test_interp_global_variable;
+        Alcotest.test_case "loop budget" `Quick test_interp_loop_budget;
+      ] );
+    ( "runtime.conversion",
+      [
+        Alcotest.test_case "add covers subtypes" `Quick
+          test_conversion_add_covers_subtypes;
+        Alcotest.test_case "drop" `Quick test_conversion_drop;
+        Alcotest.test_case "migrate object" `Quick test_migrate_object;
+      ] );
+    ( "runtime.masking",
+      [ Alcotest.test_case "missing behaviour" `Quick test_missing_behaviour ] );
+  ]
+
+let () = Alcotest.run "runtime" suite
