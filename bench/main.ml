@@ -23,6 +23,27 @@ let ns_per_run results name =
       | Some [ est ] -> est
       | Some _ | None -> nan)
 
+(* Every measured series (test name -> ns/run) is also collected here and
+   emitted as machine-readable BENCH_results.json, so the perf trajectory
+   accumulates across PRs. *)
+let recorded : (string * float) list ref = ref []
+let record name ns = recorded := (name, ns) :: !recorded
+
+let emit_json path =
+  let entries = List.sort compare !recorded in
+  let oc = open_out path in
+  output_string oc "{\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        (if i = n - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d series, ns/run)\n" path n
+
 let pretty_ns ns =
   if Float.is_nan ns then "n/a"
   else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -43,6 +64,7 @@ let run_group ~name tests : string -> float =
   let grouped = Test.make_grouped ~name tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter (fun full_name _ -> record full_name (ns_per_run results full_name)) results;
   fun test_name -> ns_per_run results (name ^ "/" ^ test_name)
 
 let banner id title =
@@ -431,6 +453,94 @@ let bench_analyzer () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* B6: schema-service throughput over a local socket                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Requests/sec against an in-process gomsm daemon (no journal), measured
+   by wall clock over concurrent client connections — the server-side
+   counterpart of B5's front-end throughput. *)
+let bench_server () =
+  banner "B6"
+    "Schema service (gomsm serve) throughput over a local socket: \
+     requests/sec, 1 and 8 concurrent clients";
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> failwith "car schema inconsistent");
+  let broker =
+    Server.Broker.create ~metrics:(Server.Metrics.create ()) m
+  in
+  let port = ref 0 in
+  let mu = Mutex.create () and cond = Condition.create () in
+  ignore
+    (Thread.create
+       (fun () ->
+         Server.Daemon.serve
+           ~on_listen:(fun p ->
+             Mutex.lock mu;
+             port := p;
+             Condition.signal cond;
+             Mutex.unlock mu)
+           ~broker
+           { Server.Daemon.default_config with Server.Daemon.port = 0 })
+       ());
+  Mutex.lock mu;
+  while !port = 0 do Condition.wait cond mu done;
+  Mutex.unlock mu;
+  let port = !port in
+  let throughput ~clients ~request ~duration =
+    let stop = Atomic.make false in
+    let counts = Array.make clients 0 in
+    let worker i () =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      while not (Atomic.get stop) do
+        output_string oc request;
+        output_char oc '\n';
+        flush oc;
+        ignore (Server.Protocol.read_response ic);
+        counts.(i) <- counts.(i) + 1
+      done;
+      (try Unix.close sock with Unix.Unix_error _ -> ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+    Thread.delay duration;
+    Atomic.set stop true;
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (Array.fold_left ( + ) 0 counts) /. dt
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (label, request) ->
+      let cells =
+        List.map
+          (fun clients ->
+            let rps = throughput ~clients ~request ~duration:0.4 in
+            record
+              (Printf.sprintf "server/%s-%dclients" label clients)
+              (1e9 /. rps);
+            Printf.sprintf "%.0f req/s" rps)
+          [ 1; 8 ]
+      in
+      rows := (label :: cells) :: !rows)
+    [
+      ("stats", "stats");  (* protocol + dispatch floor *)
+      ("query", "query Attr_i(T, A, D)");  (* deductive read *)
+      ("check", "check");  (* full consistency check *)
+    ];
+  table [ "request"; "1 client"; "8 clients" ] (List.rev !rows);
+  print_endline
+    "expected shape: stats bounds the wire protocol overhead; query and\n\
+     check pay for materialization under the broker's serialization, so\n\
+     concurrency adds connection fairness, not extra schema throughput."
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let skip_benches =
@@ -446,6 +556,8 @@ let () =
     bench_cures ();
     bench_repairs ();
     bench_sessions ();
-    bench_analyzer ()
+    bench_analyzer ();
+    bench_server ();
+    emit_json "BENCH_results.json"
   end;
   Printf.printf "\n%s\nAll artifacts regenerated.\n" (String.make 72 '=')

@@ -22,10 +22,9 @@ let print_diags m =
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------ *)
 
@@ -405,10 +404,120 @@ let paper_cmd =
     (Cmd.info "paper" ~doc:"Replay the paper's running example")
     Term.(const (fun () -> Stdlib.exit (run ())) $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* The schema service: gomsm serve / gomsm client                      *)
+(* ------------------------------------------------------------------ *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let port_file_arg doc =
+  Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int Server.Daemon.default_config.Server.Daemon.port
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port; 0 picks an ephemeral one.")
+  in
+  let data =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Data directory for the write-ahead journal and snapshot \
+             checkpoints.  On boot the snapshot is loaded and the journal \
+             replayed (a torn tail is truncated).  Without it the server is \
+             in-memory only.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Snapshot and reset the journal every N committed sessions.")
+  in
+  let acquire_timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "acquire-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "How long a bes waits for the single writer slot before failing.")
+  in
+  let port_file =
+    port_file_arg
+      "Write the bound port here (atomically) once listening; handy with \
+       --port 0."
+  in
+  let run host port data checkpoint_every acquire_timeout port_file =
+    Server.Daemon.serve
+      {
+        Server.Daemon.host;
+        port;
+        data_dir = data;
+        checkpoint_every;
+        acquire_timeout;
+        port_file;
+      };
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the schema manager as a durable multi-client daemon (line \
+          protocol over TCP)")
+    Term.(
+      const (fun h p d c a pf -> Stdlib.exit (run h p d c a pf))
+      $ host_arg $ port $ data $ checkpoint_every $ acquire_timeout $ port_file)
+
+let client_cmd =
+  let port =
+    Arg.(
+      value & opt int Server.Daemon.default_config.Server.Daemon.port
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let port_file =
+    port_file_arg "Read the server port from this file (as written by serve)."
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Requests to send, one per argument (e.g. bes, ees, check, dump, \
+             stats, quit, 'query ...', 'script-line ...').  With none, \
+             request lines are read from stdin.")
+  in
+  let run host port port_file requests =
+    let port =
+      match port_file with
+      | None -> port
+      | Some path -> (
+          match int_of_string_opt (String.trim (read_file path)) with
+          | Some p -> p
+          | None ->
+              Printf.eprintf "bad port file %s\n" path;
+              exit 2)
+    in
+    match Server.Client.run ~host ~port ~requests () with
+    | code -> code
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect to %s:%d: %s\n" host port
+          (Unix.error_message e);
+        2
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send requests to a running gomsm serve")
+    Term.(
+      const (fun h p pf rs -> Stdlib.exit (run h p pf rs))
+      $ host_arg $ port $ port_file $ requests)
+
 let () =
   let doc = "flexible schema management in object bases (ICDE 1993)" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "gomsm" ~version:"1.0.0" ~doc)
-          [ check_cmd; script_cmd; dump_cmd; repl_cmd; paper_cmd ]))
+          [ check_cmd; script_cmd; dump_cmd; repl_cmd; paper_cmd; serve_cmd;
+            client_cmd ]))

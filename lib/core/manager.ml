@@ -182,11 +182,49 @@ let begin_session t =
 let current_session t =
   match t.session with Some s -> s | None -> raise No_session
 
+(* The session's net effective delta: per fact, only its overall movement
+   relative to the BES state survives (an add later undone by a delete — or
+   vice versa — cancels out).  Effective ops on one fact alternate, so the
+   first and last op agreeing means the fact moved; disagreeing means it
+   ended where it started.  Netting makes the delta order-free: applying it
+   to the BES state (deletions first, as {!Delta.apply} does) reproduces the
+   EES state exactly, which journal replay relies on. *)
 let session_delta t =
   let s = current_session t in
-  List.fold_left (fun acc d -> Delta.union d acc) Delta.empty s.log
+  let first = Hashtbl.create 32 and last = Hashtbl.create 32 in
+  let record is_add (f : Fact.t) =
+    if not (Hashtbl.mem first f) then Hashtbl.replace first f is_add;
+    Hashtbl.replace last f is_add
+  in
+  List.iter
+    (fun (d : Delta.t) ->
+      (* within one effective delta, deletions happened first *)
+      List.iter (record false) d.Delta.deletions;
+      List.iter (record true) d.Delta.additions)
+    (List.rev s.log);
+  let moved = ref [] in
+  Hashtbl.iter
+    (fun f first_add ->
+      if first_add = Hashtbl.find last f then moved := (f, first_add) :: !moved)
+    first;
+  List.fold_left
+    (fun acc (f, is_add) -> if is_add then Delta.add f acc else Delta.del f acc)
+    Delta.empty
+    (List.sort (fun (a, _) (b, _) -> Fact.compare a b) !moved)
 
 let session_diagnostics t = List.rev (current_session t).diags
+
+(* Code registrations made since BES: the table diffed against the session
+   snapshot.  (The AST is pure data, so structural comparison is exact.) *)
+let session_code_changes t =
+  let s = current_session t in
+  Hashtbl.fold
+    (fun cid code acc ->
+      match Hashtbl.find_opt s.code_snapshot cid with
+      | Some old when old = code -> acc
+      | Some _ | None -> (cid, code) :: acc)
+    t.code []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Register analyzer results into the open session. *)
 let absorb t (r : Analyzer.result) =

@@ -92,10 +92,18 @@ val absorb : t -> Analyzer.result -> unit
 (** Absorb a pre-computed analyzer result into the open session. *)
 
 val session_delta : t -> Datalog.Delta.t
-(** The session's cumulative effective delta so far. *)
+(** The session's net effective delta so far: per fact, only its overall
+    movement relative to the BES state (changes undone within the session
+    cancel out), so applying it to the BES state reproduces the current
+    state exactly. *)
 
 val session_diagnostics : t -> string list
 (** Analyzer diagnostics collected during the session, oldest first. *)
+
+val session_code_changes : t -> (string * (string list * Ast.stmt)) list
+(** Code registrations made (or replaced) since BES, sorted by code id;
+    together with {!session_delta} this is everything a committed session
+    changed in the Database Model.  Capture it {e before} {!end_session}. *)
 
 val end_session : t -> outcome
 (** EES: check consistency.  On [Consistent] the session is committed and

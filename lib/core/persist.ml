@@ -116,7 +116,7 @@ let peek_is c ch =
   skip_ws c;
   c.pos < String.length c.line && c.line.[c.pos] = ch
 
-let decode_fact (c : cursor) : Fact.t =
+let decode_fact_at (c : cursor) : Fact.t =
   let pred = read_word c in
   expect c '(';
   let args = ref [] in
@@ -144,6 +144,55 @@ let decode_value (c : cursor) : Value.t =
   | w -> fail_at c ("bad value kind " ^ w)
 
 (* ------------------------------------------------------------------ *)
+(* Record-level encode/decode (shared with the server's journal)       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_fact (f : Fact.t) : string =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf f.Fact.pred;
+  Buffer.add_char buf '(';
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (encode_const a))
+    f.Fact.args;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let decode_fact (s : string) : Fact.t = decode_fact_at { line = s; pos = 0 }
+
+let encode_code ~(cid : string) ~(params : string list)
+    ~(body : Analyzer.Ast.stmt) : string =
+  Printf.sprintf "%s %s|%s" (quote cid)
+    (String.concat "," params)
+    (Analyzer.Ast.stmt_to_string
+       (match body with
+       | Analyzer.Ast.Block _ -> body
+       | other -> Analyzer.Ast.Block [ other ]))
+
+let decode_code (s : string) : string * string list * Analyzer.Ast.stmt =
+  let c = { line = s; pos = 0 } in
+  let cid = read_quoted c in
+  skip_ws c;
+  let rest = String.sub s c.pos (String.length s - c.pos) in
+  match String.index_opt rest '|' with
+  | None -> raise (Corrupt ("code record without body: " ^ s))
+  | Some i ->
+      let params =
+        String.sub rest 0 i |> String.split_on_char ','
+        |> List.filter (fun p -> p <> "")
+      in
+      let body_text = String.sub rest (i + 1) (String.length rest - i - 1) in
+      (* the body re-enters through the evolution-command grammar *)
+      (match
+         Analyzer.parse_commands
+           (Printf.sprintf "set code of f of T is %s;" body_text)
+       with
+      | [ Analyzer.Ast.Set_code (_, _, _, body) ] -> (cid, params, body)
+      | _ | (exception Analyzer.Syntax_error _) ->
+          raise (Corrupt ("unparsable code body for " ^ cid)))
+
+(* ------------------------------------------------------------------ *)
 (* Save                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -160,15 +209,8 @@ let save_to_buffer (m : Manager.t) : Buffer.t =
   List.iter
     (fun (f : Fact.t) ->
       (* built-ins are reseeded on load *)
-      if not (List.mem f (Gom.Builtin.facts ())) then begin
-        Printf.bprintf buf "fact %s(" f.Fact.pred;
-        Array.iteri
-          (fun i a ->
-            if i > 0 then Buffer.add_string buf ", ";
-            Buffer.add_string buf (encode_const a))
-          f.Fact.args;
-        Buffer.add_string buf ")\n"
-      end)
+      if not (List.mem f (Gom.Builtin.facts ())) then
+        Printf.bprintf buf "fact %s\n" (encode_fact f))
     facts;
   (* registered code: cids are recoverable from the Code/Fashion facts *)
   let cids =
@@ -196,12 +238,7 @@ let save_to_buffer (m : Manager.t) : Buffer.t =
       match Manager.lookup_code m cid with
       | None -> ()
       | Some (params, body) ->
-          Printf.bprintf buf "code %s %s|%s\n" (quote cid)
-            (String.concat "," params)
-            (Analyzer.Ast.stmt_to_string
-               (match body with
-               | Analyzer.Ast.Block _ -> body
-               | other -> Analyzer.Ast.Block [ other ])))
+          Printf.bprintf buf "code %s\n" (encode_code ~cid ~params ~body))
     cids;
   (* the object base *)
   let rt = Manager.runtime m in
@@ -256,7 +293,7 @@ let load_from_string ?versioning ?fashion ?subschemas ?sorts ?check_mode
          else begin
            let c = { line; pos = 0 } in
            match read_word c with
-           | "fact" -> facts := decode_fact c :: !facts
+           | "fact" -> facts := decode_fact_at c :: !facts
            | "ids" ->
                let n () = int_of_string (read_word c) in
                let schemas = n () in
@@ -267,20 +304,10 @@ let load_from_string ?versioning ?fashion ?subschemas ?sorts ?check_mode
                let objects = n () in
                ids := Some (schemas, types, decls, ccodes, phreps, objects)
            | "code" ->
-               let cid = read_quoted c in
                skip_ws c;
-               let rest = String.sub line c.pos (String.length line - c.pos) in
-               (match String.index_opt rest '|' with
-               | None -> raise (Corrupt ("code line without body: " ^ line))
-               | Some i ->
-                   let params =
-                     String.sub rest 0 i |> String.split_on_char ','
-                     |> List.filter (fun s -> s <> "")
-                   in
-                   let body_text =
-                     String.sub rest (i + 1) (String.length rest - i - 1)
-                   in
-                   codes := (cid, params, body_text) :: !codes)
+               codes :=
+                 decode_code (String.sub line c.pos (String.length line - c.pos))
+                 :: !codes
            | "object" ->
                let oid = read_quoted c in
                let tid = read_quoted c in
@@ -312,14 +339,7 @@ let load_from_string ?versioning ?fashion ?subschemas ?sorts ?check_mode
   Manager.propose m
     (Delta.of_lists ~additions:(List.rev !facts) ~deletions:[]);
   List.iter
-    (fun (cid, params, body_text) ->
-      match
-        Analyzer.parse_commands
-          (Printf.sprintf "set code of f of T is %s;" body_text)
-      with
-      | [ Analyzer.Ast.Set_code (_, _, _, body) ] ->
-          Manager.register_code m cid params body
-      | _ -> raise (Corrupt ("unparsable code body for " ^ cid)))
+    (fun (cid, params, body) -> Manager.register_code m cid params body)
     !codes;
   (match Manager.end_session m with
   | Manager.Consistent -> ()

@@ -5,6 +5,25 @@
 
 exception Corrupt of string
 
+(** {2 Record-level encode/decode}
+
+    The textual fact/code format of the dump, exposed so other durable
+    formats (notably the server's write-ahead journal) can reuse it
+    delta-by-delta rather than going through a whole-database dump. *)
+
+val encode_fact : Datalog.Fact.t -> string
+(** e.g. [Attr(tid_1, "x", tid_2)] — one fact, no trailing newline. *)
+
+val decode_fact : string -> Datalog.Fact.t
+(** Inverse of {!encode_fact}. @raise Corrupt on malformed input. *)
+
+val encode_code :
+  cid:string -> params:string list -> body:Analyzer.Ast.stmt -> string
+(** A registered code piece as one line: [<cid> <params,>|<body text>]. *)
+
+val decode_code : string -> string * string list * Analyzer.Ast.stmt
+(** Inverse of {!encode_code}. @raise Corrupt on malformed input. *)
+
 val save : Manager.t -> path:string -> unit
 (** @raise Invalid_argument if an evolution session is open. *)
 

@@ -1,0 +1,236 @@
+(* Session broker: single-writer BES/EES across clients, serialized reads,
+   journaling on commit, rollback on disconnect. *)
+
+module Manager = Core.Manager
+
+type t = {
+  manager : Manager.t;
+  journal : Journal.t option;
+  metrics : Metrics.t;
+  mu : Mutex.t;
+  mutable writer : int option;  (* client holding the BES..EES section *)
+  checkpoint_every : int;
+  acquire_timeout : float;
+}
+
+let create ?journal ?(checkpoint_every = 64) ?(acquire_timeout = 5.0) ~metrics
+    manager =
+  {
+    manager;
+    journal;
+    metrics;
+    mu = Mutex.create ();
+    writer = None;
+    checkpoint_every;
+    acquire_timeout;
+  }
+
+let manager t = t.manager
+let metrics t = t.metrics
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let writer t = with_lock t (fun () -> t.writer)
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ok = Protocol.ok
+let err = Protocol.err
+
+(* bes: take the writer slot, waiting (politely polling: the stdlib
+   Condition has no timed wait) up to the acquire timeout. *)
+let do_bes t ~client =
+  let deadline = Unix.gettimeofday () +. t.acquire_timeout in
+  let rec attempt () =
+    let r =
+      with_lock t (fun () ->
+          match t.writer with
+          | None ->
+              t.writer <- Some client;
+              Manager.begin_session t.manager;
+              `Acquired
+          | Some c when c = client -> `Own
+          | Some c -> `Busy c)
+    in
+    match r with
+    | `Acquired ->
+        Metrics.incr t.metrics "sessions_opened";
+        ok [ "session open." ]
+    | `Own -> err "session already open"
+    | `Busy c ->
+        if Unix.gettimeofday () >= deadline then begin
+          Metrics.incr t.metrics "sessions_timed_out";
+          err (Printf.sprintf "timeout: evolution session held by client %d" c)
+        end
+        else begin
+          Thread.delay 0.02;
+          attempt ()
+        end
+  in
+  attempt ()
+
+let violation_lines reports =
+  List.map (fun r -> "violation: " ^ r.Manager.description) reports
+
+let do_ees t ~client =
+  with_lock t (fun () ->
+      if t.writer <> Some client then err "no session open; send bes first"
+      else begin
+        (* capture what the session changed before EES closes it *)
+        let delta = Manager.session_delta t.manager in
+        let code = Manager.session_code_changes t.manager in
+        match Manager.end_session t.manager with
+        | Manager.Consistent -> (
+            t.writer <- None;
+            Metrics.incr t.metrics "sessions_committed";
+            match t.journal with
+            | None -> ok [ "consistent; session ended." ]
+            | Some j -> (
+                (* fsync the record before acknowledging the commit *)
+                match
+                  ignore
+                    (Journal.append j ~ids:(Manager.ids t.manager) ~code delta);
+                  Metrics.incr t.metrics "journal_records";
+                  if Journal.since_checkpoint j >= t.checkpoint_every then begin
+                    Journal.checkpoint j t.manager;
+                    Metrics.incr t.metrics "checkpoints"
+                  end
+                with
+                | () -> ok [ "consistent; session ended." ]
+                | exception e ->
+                    Metrics.incr t.metrics "journal_errors";
+                    err
+                      ("committed in memory but the journal write failed: "
+                      ^ Printexc.to_string e)))
+        | Manager.Inconsistent reports ->
+            (* the session stays open: fix it, or rollback *)
+            Metrics.incr ~by:(List.length reports) t.metrics "violations_found";
+            err "inconsistent; session stays open (rollback to undo)"
+              ~body:(violation_lines reports)
+      end)
+
+let do_rollback t ~client =
+  with_lock t (fun () ->
+      if t.writer <> Some client then err "no session open"
+      else begin
+        Manager.rollback t.manager;
+        t.writer <- None;
+        Metrics.incr t.metrics "sessions_rolled_back";
+        ok [ "rolled back." ]
+      end)
+
+let do_check t =
+  with_lock t (fun () ->
+      match Manager.check_now t.manager with
+      | [] -> ok [ "consistent." ]
+      | reports ->
+          Metrics.incr ~by:(List.length reports) t.metrics "violations_found";
+          ok (violation_lines reports))
+
+let do_query t text =
+  with_lock t (fun () ->
+      match Manager.query_text t.manager text with
+      | answers ->
+          let lines =
+            List.map
+              (fun bindings ->
+                "  "
+                ^ String.concat ", "
+                    (List.map
+                       (fun (v, c) ->
+                         Printf.sprintf "%s = %s" v
+                           (Datalog.Term.const_to_string c))
+                       bindings))
+              answers
+          in
+          ok (lines @ [ Printf.sprintf "%d answer(s)." (List.length answers) ])
+      | exception Datalog.Parse.Error e -> err ("syntax error: " ^ e)
+      | exception Datalog.Rule.Unsafe e -> err ("unsafe query: " ^ e))
+
+let do_script_line t ~client text =
+  with_lock t (fun () ->
+      if t.writer <> Some client then err "no session open; send bes first"
+      else
+        match Analyzer.parse_commands text with
+        | exception Analyzer.Syntax_error e -> err ("syntax error: " ^ e)
+        | commands ->
+            if
+              List.exists
+                (function
+                  | Analyzer.Ast.Begin_session | Analyzer.Ast.End_session ->
+                      true
+                  | _ -> false)
+                commands
+            then err "use the bes/ees requests to manage sessions"
+            else begin
+              let diags = ref [] in
+              List.iter
+                (fun cmd ->
+                  let r =
+                    Analyzer.analyze_parsed
+                      ~lookup_code:(Manager.lookup_code t.manager)
+                      (Manager.database t.manager)
+                      (Manager.ids t.manager) [ cmd ]
+                  in
+                  Manager.absorb t.manager r;
+                  diags := List.rev_append r.Analyzer.diagnostics !diags)
+                commands;
+              ok (List.rev_map (fun d -> "analyzer: " ^ d) !diags)
+            end)
+
+let do_dump t =
+  with_lock t (fun () ->
+      let text =
+        Analyzer.Unparse.unparse_script
+          (Analyzer.Unparse.make
+             ~db:(Manager.database t.manager)
+             ~lookup_code:(Manager.lookup_code t.manager))
+      in
+      let lines = String.split_on_char '\n' text in
+      (* drop the trailing empty line the final newline produces *)
+      let lines =
+        match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+      in
+      ok lines)
+
+let do_stats t =
+  let journal_lines =
+    match t.journal with
+    | None -> []
+    | Some j ->
+        [
+          Printf.sprintf "counter journal_bytes %d" (Journal.bytes j);
+          Printf.sprintf "counter journal_seq %d" (Journal.seq j);
+        ]
+  in
+  ok (Metrics.render t.metrics @ journal_lines)
+
+let handle t ~client (req : Protocol.request) : Protocol.response =
+  Metrics.incr t.metrics "requests_total";
+  try
+    match req with
+    | Protocol.Bes -> do_bes t ~client
+    | Protocol.Ees -> do_ees t ~client
+    | Protocol.Rollback -> do_rollback t ~client
+    | Protocol.Check -> do_check t
+    | Protocol.Query q -> do_query t q
+    | Protocol.Script_line c -> do_script_line t ~client c
+    | Protocol.Dump -> do_dump t
+    | Protocol.Stats -> do_stats t
+    | Protocol.Quit -> ok [ "bye." ]
+  with e ->
+    Metrics.incr t.metrics "internal_errors";
+    err ("internal error: " ^ Printexc.to_string e)
+
+let disconnect t ~client =
+  with_lock t (fun () ->
+      match t.writer with
+      | Some c when c = client ->
+          if Manager.in_session t.manager then Manager.rollback t.manager;
+          t.writer <- None;
+          Metrics.incr t.metrics "sessions_rolled_back"
+      | Some _ | None -> ())

@@ -1,0 +1,38 @@
+(** The session broker: the paper's BES/EES discipline enforced across many
+    clients sharing one {!Core.Manager.t}.
+
+    At most one client — the {e writer} — holds the BES…EES critical
+    section; a competing [bes] waits up to the acquire timeout and then
+    fails.  Readers ([check]/[query]/[dump]) are serialized against the
+    writer request-by-request, so each sees an internally consistent state
+    (including, as in the paper's single shared schema, the open session's
+    intermediate state).  A client that disconnects mid-session is rolled
+    back automatically — the paper's "undo session" repair.
+
+    Committed sessions are appended to the write-ahead journal (fsync
+    before the acknowledgment) and periodically checkpointed. *)
+
+type t
+
+val create :
+  ?journal:Journal.t ->
+  ?checkpoint_every:int ->
+  ?acquire_timeout:float ->
+  metrics:Metrics.t ->
+  Core.Manager.t ->
+  t
+(** [checkpoint_every] commits between snapshots (default 64);
+    [acquire_timeout] seconds a [bes] waits for the writer slot
+    (default 5.0). *)
+
+val handle : t -> client:int -> Protocol.request -> Protocol.response
+(** Serve one request on behalf of client [client].  Never raises: internal
+    errors become [err] responses.  [Quit] is answered with a goodbye; the
+    connection itself is the caller's to close. *)
+
+val disconnect : t -> client:int -> unit
+(** The client went away: roll back its open session, if any. *)
+
+val manager : t -> Core.Manager.t
+val metrics : t -> Metrics.t
+val writer : t -> int option

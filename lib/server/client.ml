@@ -1,0 +1,53 @@
+(* The [gomsm client] front end: connect to a running daemon, send request
+   lines (from argv or stdin), print response bodies. *)
+
+let connect ~host ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock, sock)
+
+(* Send one raw request line; print the response body, then an error line
+   for err responses.  Returns whether the request succeeded. *)
+let round_trip ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let resp = Protocol.read_response ic in
+  List.iter print_endline resp.Protocol.body;
+  match resp.Protocol.status with
+  | Protocol.Ok -> true
+  | Protocol.Err reason ->
+      Printf.printf "error: %s\n" reason;
+      false
+
+(* Run requests (argv mode) or pump stdin line by line (interactive/pipe
+   mode).  Exit code 0 iff every request succeeded. *)
+let run ~host ~port ~(requests : string list) () : int =
+  let ic, oc, sock = connect ~host ~port in
+  let failed = ref false in
+  let send line =
+    if String.trim line <> "" then
+      if not (round_trip ic oc line) then failed := true
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        if requests <> [] then List.iter send requests
+        else
+          let rec pump () =
+            match input_line stdin with
+            | exception End_of_file -> ()
+            | line ->
+                send line;
+                pump ()
+          in
+          pump ()
+      with
+      | End_of_file ->
+          Printf.eprintf "connection closed by server\n";
+          failed := true
+      | Sys_error e ->
+          Printf.eprintf "connection error: %s\n" e;
+          failed := true);
+  if !failed then 1 else 0

@@ -1,0 +1,136 @@
+(* The [gomsm serve] daemon: a TCP listener (stdlib unix + threads) hosting
+   one Core.Manager.t behind a Broker, one thread per client connection. *)
+
+type config = {
+  host : string;  (* address to bind, e.g. "127.0.0.1" *)
+  port : int;  (* 0 picks an ephemeral port *)
+  data_dir : string option;  (* journal + snapshots; None = in-memory only *)
+  checkpoint_every : int;
+  acquire_timeout : float;  (* seconds a bes waits for the writer slot *)
+  port_file : string option;  (* written (atomically) with the bound port *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7643;
+    data_dir = None;
+    checkpoint_every = 64;
+    acquire_timeout = 5.0;
+    port_file = None;
+  }
+
+let logf fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "gomsm-server: %s\n%!" s)
+    fmt
+
+let request_kind : Protocol.request -> string = function
+  | Protocol.Bes -> "bes"
+  | Protocol.Ees -> "ees"
+  | Protocol.Rollback -> "rollback"
+  | Protocol.Check -> "check"
+  | Protocol.Query _ -> "query"
+  | Protocol.Script_line _ -> "script-line"
+  | Protocol.Dump -> "dump"
+  | Protocol.Stats -> "stats"
+  | Protocol.Quit -> "quit"
+
+(* Serve one connection until quit/EOF; the broker rolls back any session
+   the client still holds when it goes away. *)
+let client_loop (broker : Broker.t) (metrics : Metrics.t) ~client fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          let stop =
+            match Protocol.parse_request line with
+            | Error reason ->
+                Metrics.incr metrics "bad_requests";
+                Protocol.write_response oc (Protocol.err reason);
+                false
+            | Ok req ->
+                let t0 = Unix.gettimeofday () in
+                let resp = Broker.handle broker ~client req in
+                Metrics.observe metrics
+                  ("latency." ^ request_kind req)
+                  (Unix.gettimeofday () -. t0);
+                Protocol.write_response oc resp;
+                req = Protocol.Quit
+          in
+          if not stop then loop ()
+        end
+  in
+  (try loop () with Sys_error _ -> ());
+  Broker.disconnect broker ~client;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write_port_file path port =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "%d\n" port;
+  close_out oc;
+  Sys.rename tmp path
+
+(* Build the broker from the config: recover from the data directory when
+   one is given, else serve a fresh in-memory manager. *)
+let prepare config metrics =
+  match config.data_dir with
+  | None -> Broker.create ~acquire_timeout:config.acquire_timeout ~metrics
+              (Core.Manager.create ())
+  | Some dir ->
+      let r = Journal.recover ~dir () in
+      logf "data dir %s: %s, replayed %d record(s)%s" dir
+        (if r.Journal.from_snapshot then "loaded snapshot" else "no snapshot")
+        r.Journal.replayed
+        (if r.Journal.truncated_bytes > 0 then
+           Printf.sprintf ", truncated %d torn byte(s)" r.Journal.truncated_bytes
+         else "");
+      Broker.create ~journal:r.Journal.journal
+        ~checkpoint_every:config.checkpoint_every
+        ~acquire_timeout:config.acquire_timeout ~metrics r.Journal.manager
+
+let serve ?on_listen ?broker (config : config) : unit =
+  (* a client closing mid-response must not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let broker =
+    match broker with
+    | Some b -> b
+    | None -> prepare config (Metrics.create ())
+  in
+  let metrics = Broker.metrics broker in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock
+    (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  logf "listening on %s:%d" config.host port;
+  (match config.port_file with
+  | Some path -> write_port_file path port
+  | None -> ());
+  (match on_listen with Some f -> f port | None -> ());
+  let next_client = ref 0 in
+  while true do
+    let fd, _addr = Unix.accept sock in
+    Metrics.incr metrics "connections";
+    next_client := !next_client + 1;
+    let client = !next_client in
+    ignore
+      (Thread.create
+         (fun () ->
+           try client_loop broker metrics ~client fd
+           with e -> logf "client %d: %s" client (Printexc.to_string e))
+         ())
+  done

@@ -1,0 +1,303 @@
+(* Write-ahead journal: fsynced per-commit records in Core.Persist's textual
+   fact format, snapshot checkpoints, and replay-on-boot recovery with
+   torn-tail truncation. *)
+
+module Manager = Core.Manager
+module Persist = Core.Persist
+open Datalog
+
+exception Corrupt of string
+
+let header = "# gomsm journal v1\n"
+
+let journal_path ~dir = Filename.concat dir "journal.log"
+let snapshot_path ~dir = Filename.concat dir "snapshot.gomdb"
+
+type t = {
+  dir : string;
+  fd : Unix.file_descr;
+  mutable seq : int;  (* last committed record in the current file *)
+  mutable since : int;  (* records appended since the last checkpoint *)
+  mutable bytes : int;
+}
+
+let seq t = t.seq
+let since_checkpoint t = t.since
+let bytes t = t.bytes
+let close t = Unix.close t.fd
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Append                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
+  if Delta.is_empty delta && code = [] then t.seq
+  else begin
+    let n = t.seq + 1 in
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "begin %d\n" n;
+    Printf.bprintf buf "ids %d %d %d %d %d %d\n" ids.Gom.Ids.schemas
+      ids.Gom.Ids.types ids.Gom.Ids.decls ids.Gom.Ids.codes ids.Gom.Ids.phreps
+      ids.Gom.Ids.objects;
+    List.iter
+      (fun f -> Printf.bprintf buf "del %s\n" (Persist.encode_fact f))
+      delta.Delta.deletions;
+    List.iter
+      (fun f -> Printf.bprintf buf "add %s\n" (Persist.encode_fact f))
+      delta.Delta.additions;
+    List.iter
+      (fun (cid, (params, body)) ->
+        Printf.bprintf buf "code %s\n" (Persist.encode_code ~cid ~params ~body))
+      code;
+    Printf.bprintf buf "commit %d\n" n;
+    let s = Buffer.contents buf in
+    write_all t.fd s;
+    Unix.fsync t.fd;
+    t.seq <- n;
+    t.since <- t.since + 1;
+    t.bytes <- t.bytes + String.length s;
+    n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fsync_dir dir =
+  (* best effort: not all filesystems allow fsync on a directory fd *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      Unix.close dfd
+
+let checkpoint t (m : Manager.t) : unit =
+  let buf = Persist.save_to_buffer m in
+  let tmp = Filename.concat t.dir "snapshot.tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd (Buffer.contents buf);
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp (snapshot_path ~dir:t.dir);
+  fsync_dir t.dir;
+  (* the snapshot now covers everything: reset the journal *)
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  write_all t.fd header;
+  Unix.fsync t.fd;
+  t.seq <- 0;
+  t.since <- 0;
+  t.bytes <- String.length header
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  manager : Manager.t;
+  journal : t;
+  from_snapshot : bool;
+  replayed : int;
+  truncated_bytes : int;
+}
+
+(* Newline-terminated lines with the byte offset just past each line's
+   '\n'; a trailing fragment without a newline is torn by construction
+   (fsynced records always end in one) and is not returned. *)
+let complete_lines text =
+  let out = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        out := (String.sub text !start (i - !start), i + 1) :: !out;
+        start := i + 1
+      end)
+    text;
+  List.rev !out
+
+type line =
+  | L_comment
+  | L_begin of int
+  | L_ids of int array
+  | L_add of Fact.t
+  | L_del of Fact.t
+  | L_code of string * (string list * Analyzer.Ast.stmt)
+  | L_commit of int
+
+let parse_line (s : string) : line =
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then L_comment
+  else
+    let verb, rest =
+      match String.index_opt s ' ' with
+      | None -> (s, "")
+      | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    in
+    let int_of r = match int_of_string_opt (String.trim r) with
+      | Some n -> n
+      | None -> raise (Corrupt ("bad number in journal line: " ^ s))
+    in
+    match verb with
+    | "begin" -> L_begin (int_of rest)
+    | "commit" -> L_commit (int_of rest)
+    | "ids" ->
+        let parts =
+          String.split_on_char ' ' rest |> List.filter (fun p -> p <> "")
+        in
+        if List.length parts <> 6 then raise (Corrupt ("bad ids line: " ^ s));
+        L_ids (Array.of_list (List.map int_of parts))
+    | "add" -> (
+        try L_add (Persist.decode_fact rest)
+        with Persist.Corrupt e -> raise (Corrupt e))
+    | "del" -> (
+        try L_del (Persist.decode_fact rest)
+        with Persist.Corrupt e -> raise (Corrupt e))
+    | "code" -> (
+        try
+          let cid, params, body = Persist.decode_code rest in
+          L_code (cid, (params, body))
+        with Persist.Corrupt e -> raise (Corrupt e))
+    | _ -> raise (Corrupt ("unknown journal line: " ^ s))
+
+(* One parsed record, in file order. *)
+type record = {
+  r_seq : int;
+  r_ids : int array option;
+  r_delta : Delta.t;
+  r_code : (string * (string list * Analyzer.Ast.stmt)) list;
+}
+
+(* Replay one record through a session.  Any failure — exception or an
+   inconsistent result — rolls the session back and reports the record as
+   bad, which recovery treats as the start of the torn tail. *)
+let replay_record (m : Manager.t) (r : record) : bool =
+  Manager.begin_session m;
+  match
+    Manager.propose m r.r_delta;
+    List.iter
+      (fun (cid, (params, body)) -> Manager.register_code m cid params body)
+      r.r_code;
+    Manager.end_session m
+  with
+  | Manager.Consistent ->
+      (match r.r_ids with
+      | Some a ->
+          let g = Manager.ids m in
+          g.Gom.Ids.schemas <- max g.Gom.Ids.schemas a.(0);
+          g.Gom.Ids.types <- max g.Gom.Ids.types a.(1);
+          g.Gom.Ids.decls <- max g.Gom.Ids.decls a.(2);
+          g.Gom.Ids.codes <- max g.Gom.Ids.codes a.(3);
+          g.Gom.Ids.phreps <- max g.Gom.Ids.phreps a.(4);
+          g.Gom.Ids.objects <- max g.Gom.Ids.objects a.(5)
+      | None -> ());
+      true
+  | Manager.Inconsistent _ ->
+      Manager.rollback m;
+      false
+  | exception _ ->
+      if Manager.in_session m then Manager.rollback m;
+      false
+
+(* Scan the journal text: replay every complete, in-sequence record and
+   return (last good offset, #replayed, last seq). *)
+let scan_and_replay (m : Manager.t) (text : string) : int * int * int =
+  let lines = ref (complete_lines text) in
+  let good = ref 0 in
+  let replayed = ref 0 in
+  let last_seq = ref 0 in
+  let next () =
+    match !lines with
+    | [] -> None
+    | l :: rest ->
+        lines := rest;
+        Some l
+  in
+  let rec between () =
+    (* between records: blanks and comments advance the good offset *)
+    match next () with
+    | None -> ()
+    | Some (line, off) -> (
+        match parse_line line with
+        | L_comment ->
+            good := off;
+            between ()
+        | L_begin n when n = !last_seq + 1 -> in_record n None Delta.empty []
+        | _ -> (* out-of-sequence or stray line: torn tail *) ())
+  and in_record n ids delta code =
+    match next () with
+    | None -> () (* EOF mid-record: torn *)
+    | Some (line, off) -> (
+        match parse_line line with
+        | L_ids a -> in_record n (Some a) delta code
+        | L_add f -> in_record n ids (Delta.add f delta) code
+        | L_del f -> in_record n ids (Delta.del f delta) code
+        | L_code (cid, c) -> in_record n ids delta ((cid, c) :: code)
+        | L_commit n' when n' = n ->
+            let r =
+              { r_seq = n; r_ids = ids; r_delta = delta; r_code = List.rev code }
+            in
+            if replay_record m r then begin
+              good := off;
+              replayed := !replayed + 1;
+              last_seq := n;
+              between ()
+            end
+        | L_comment -> in_record n ids delta code
+        | L_begin _ | L_commit _ -> () (* malformed: torn *))
+  in
+  (try between () with Corrupt _ -> ());
+  (!good, !replayed, !last_seq)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ~dir () :
+    recovery =
+  mkdir_p dir;
+  let snap = snapshot_path ~dir in
+  let from_snapshot = Sys.file_exists snap in
+  let manager =
+    if from_snapshot then
+      try Persist.load ?versioning ?fashion ?subschemas ?sorts ?check_mode ~path:snap ()
+      with Persist.Corrupt e -> raise (Corrupt ("snapshot: " ^ e))
+    else Manager.create ?versioning ?fashion ?subschemas ?sorts ?check_mode ()
+  in
+  let jpath = journal_path ~dir in
+  let existed = Sys.file_exists jpath in
+  let fd = Unix.openfile jpath [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let replayed, last_seq, truncated, size =
+    if existed then begin
+      let text = read_file jpath in
+      let good, replayed, last_seq = scan_and_replay manager text in
+      let len = String.length text in
+      if good < len then Unix.ftruncate fd good;
+      (replayed, last_seq, len - good, good)
+    end
+    else begin
+      write_all fd header;
+      Unix.fsync fd;
+      (0, 0, 0, String.length header)
+    end
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let journal =
+    { dir; fd; seq = last_seq; since = replayed; bytes = size }
+  in
+  { manager; journal; from_snapshot; replayed; truncated_bytes = truncated }

@@ -1,0 +1,81 @@
+(** The write-ahead journal of [gomsm serve].
+
+    Every committed EES appends one record — the session's effective
+    base-fact delta plus its code registrations and the identifier
+    counters, in {!Core.Persist}'s textual format — and the record is
+    fsynced before the client is acknowledged.  Periodically the whole
+    manager state is checkpointed to a snapshot ({!Core.Persist.save}
+    format) and the journal is reset.
+
+    On boot, {!recover} loads the snapshot (if any), replays the journal
+    record by record, and truncates a torn tail — a record without its
+    matching [commit] line, with a sequence gap, or whose replay fails —
+    so a [kill -9] between EES-ack and checkpoint loses nothing that was
+    acknowledged and nothing half-written survives.
+
+    Record format (one record per committed session):
+    {v
+    begin <seq>
+    ids <schemas> <types> <decls> <codes> <phreps> <objects>
+    add <fact>
+    del <fact>
+    code <cid> <params,>|<body>
+    commit <seq>
+    v} *)
+
+exception Corrupt of string
+
+type t
+
+type recovery = {
+  manager : Core.Manager.t;
+  journal : t;
+  from_snapshot : bool;  (** a checkpoint snapshot was loaded first *)
+  replayed : int;  (** journal records replayed on top of it *)
+  truncated_bytes : int;  (** torn/corrupt tail bytes dropped *)
+}
+
+val recover :
+  ?versioning:bool ->
+  ?fashion:bool ->
+  ?subschemas:bool ->
+  ?sorts:bool ->
+  ?check_mode:Core.Manager.check_mode ->
+  dir:string ->
+  unit ->
+  recovery
+(** Open (creating if needed) the data directory and rebuild the manager:
+    snapshot, then journal replay, then tail truncation.  The returned
+    journal is positioned for appending.
+    @raise Corrupt only if the {e snapshot} is unreadable (journal damage
+    is repaired by truncation, never fatal). *)
+
+val append :
+  t ->
+  ids:Gom.Ids.gen ->
+  code:(string * (string list * Analyzer.Ast.stmt)) list ->
+  Datalog.Delta.t ->
+  int
+(** Append one committed-session record and fsync; returns the record's
+    sequence number.  Empty records (no facts, no code) are skipped and
+    return the current sequence number. *)
+
+val checkpoint : t -> Core.Manager.t -> unit
+(** Snapshot the manager ([snapshot.gomdb], written atomically via a
+    temporary file and rename, fsynced) and reset the journal.
+    @raise Invalid_argument if an evolution session is open. *)
+
+val seq : t -> int
+(** Sequence number of the last appended record in the current journal
+    file (0 after a checkpoint or on a fresh journal). *)
+
+val since_checkpoint : t -> int
+(** Records appended since the last checkpoint (or boot). *)
+
+val bytes : t -> int
+(** Current size of the journal file in bytes. *)
+
+val close : t -> unit
+
+val journal_path : dir:string -> string
+val snapshot_path : dir:string -> string

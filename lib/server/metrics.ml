@@ -1,0 +1,87 @@
+(* Counter/histogram registry.  One global mutex is plenty: every record is
+   a few loads and stores, and the registry is consulted far less often than
+   the broker's own lock. *)
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;  (* seconds *)
+  mutable max : float;
+  buckets : int array;  (* cumulative-style counts per upper bound *)
+}
+
+(* Upper bounds in seconds; the last bucket is +inf. *)
+let bounds = [| 1e-4; 1e-3; 1e-2; 1e-1; 1.0 |]
+
+let bound_label = [| "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s"; "inf" |]
+
+type t = {
+  mu : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  { mu = Mutex.create (); counters = Hashtbl.create 16; hists = Hashtbl.create 16 }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let incr ?(by = 1) t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.counters name (ref by))
+
+let counter t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let observe t name seconds =
+  with_lock t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists name with
+        | Some h -> h
+        | None ->
+            let h =
+              { count = 0; sum = 0.; max = 0.;
+                buckets = Array.make (Array.length bounds + 1) 0 }
+            in
+            Hashtbl.replace t.hists name h;
+            h
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. seconds;
+      if seconds > h.max then h.max <- seconds;
+      let i = ref 0 in
+      while !i < Array.length bounds && seconds > bounds.(!i) do i := !i + 1 done;
+      h.buckets.(!i) <- h.buckets.(!i) + 1)
+
+let render t =
+  with_lock t (fun () ->
+      let counters =
+        Hashtbl.fold
+          (fun name r acc -> Printf.sprintf "counter %s %d" name !r :: acc)
+          t.counters []
+        |> List.sort compare
+      in
+      let hists =
+        Hashtbl.fold
+          (fun name h acc ->
+            let mean_us =
+              if h.count = 0 then 0. else h.sum /. float_of_int h.count *. 1e6
+            in
+            let buckets =
+              Array.to_list
+                (Array.mapi
+                   (fun i c -> Printf.sprintf "%s %d" bound_label.(i) c)
+                   h.buckets)
+            in
+            Printf.sprintf "hist %s count %d mean_us %.1f max_us %.1f %s" name
+              h.count mean_us (h.max *. 1e6)
+              (String.concat " " buckets)
+            :: acc)
+          t.hists []
+        |> List.sort compare
+      in
+      counters @ hists)

@@ -1,0 +1,22 @@
+(** A small thread-safe counter/histogram registry for the schema service:
+    sessions opened/committed/rolled back, violations found, request
+    latencies, journal bytes — surfaced by the [stats] request and the
+    server log. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at zero on first use). *)
+
+val counter : t -> string -> int
+(** Current value (0 if never bumped). *)
+
+val observe : t -> string -> float -> unit
+(** Record one observation, in seconds, into a latency histogram. *)
+
+val render : t -> string list
+(** The whole registry, one record per line, counters first, all sorted:
+    [counter <name> <value>] and
+    [hist <name> count <n> mean_us <m> max_us <x> le_1ms <k> ...]. *)

@@ -1,0 +1,113 @@
+(* The line-oriented wire protocol of [gomsm serve]: one line per request,
+   [ok]/[err] + dot-stuffed body + lone-dot terminator per response. *)
+
+type request =
+  | Bes
+  | Ees
+  | Rollback
+  | Check
+  | Query of string
+  | Script_line of string
+  | Dump
+  | Stats
+  | Quit
+
+(* Drop a trailing CR (telnet-style clients); body lines keep their
+   leading blanks, request/status lines are trimmed. *)
+let chomp_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let strip line = String.trim (chomp_cr line)
+
+(* Split "verb rest" at the first run of blanks. *)
+let split_verb s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_request line =
+  let line = strip line in
+  let verb, rest = split_verb line in
+  match verb, rest with
+  | "bes", "" -> Result.Ok Bes
+  | "ees", "" -> Result.Ok Ees
+  | "rollback", "" -> Result.Ok Rollback
+  | "check", "" -> Result.Ok Check
+  | "dump", "" -> Result.Ok Dump
+  | "stats", "" -> Result.Ok Stats
+  | "quit", "" -> Result.Ok Quit
+  | "query", "" -> Result.Error "query needs a literal list, e.g. query Attr_i(T, A, D)"
+  | "query", q -> Result.Ok (Query q)
+  | "script-line", "" -> Result.Error "script-line needs an evolution command"
+  | "script-line", cmd -> Result.Ok (Script_line cmd)
+  | ("bes" | "ees" | "rollback" | "check" | "dump" | "stats" | "quit"), _ ->
+      Result.Error (Printf.sprintf "%s takes no argument" verb)
+  | "", _ -> Result.Error "empty request"
+  | v, _ -> Result.Error (Printf.sprintf "unknown request %S" v)
+
+let request_line = function
+  | Bes -> "bes"
+  | Ees -> "ees"
+  | Rollback -> "rollback"
+  | Check -> "check"
+  | Query q -> "query " ^ q
+  | Script_line c -> "script-line " ^ c
+  | Dump -> "dump"
+  | Stats -> "stats"
+  | Quit -> "quit"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok | Err of string
+
+type response = { status : status; body : string list }
+
+let one_line s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let ok body = { status = Ok; body }
+let err ?(body = []) reason = { status = Err (one_line reason); body }
+
+exception Protocol_error of string
+
+let write_response oc { status; body } =
+  (match status with
+  | Ok -> output_string oc "ok\n"
+  | Err reason -> Printf.fprintf oc "err %s\n" (one_line reason));
+  List.iter
+    (fun line ->
+      let line = one_line line in
+      if String.length line > 0 && line.[0] = '.' then output_char oc '.';
+      output_string oc line;
+      output_char oc '\n')
+    body;
+  output_string oc ".\n";
+  flush oc
+
+let read_response ic =
+  let status =
+    match split_verb (strip (input_line ic)) with
+    | "ok", "" -> Ok
+    | "err", reason -> Err reason
+    | v, _ -> raise (Protocol_error (Printf.sprintf "bad status line %S" v))
+  in
+  let body = ref [] in
+  let rec go () =
+    let line = chomp_cr (input_line ic) in
+    if line = "." then ()
+    else begin
+      let line =
+        if String.length line > 0 && line.[0] = '.' then
+          String.sub line 1 (String.length line - 1)
+        else line
+      in
+      body := line :: !body;
+      go ()
+    end
+  in
+  go ();
+  { status; body = List.rev !body }

@@ -1,0 +1,42 @@
+(** The line-oriented wire protocol of [gomsm serve].
+
+    A request is one line; command payloads ([query], [script-line]) reuse
+    the Analyzer's textual grammars verbatim.  A response is a status line
+    ([ok] or [err <reason>]), then zero or more body lines, then a lone [.]
+    terminator; body lines beginning with a dot are dot-stuffed (SMTP
+    style), so arbitrary dump/script text travels unharmed. *)
+
+type request =
+  | Bes  (** begin an evolution session (acquire the single writer slot) *)
+  | Ees  (** end the session: consistency check, journal, commit *)
+  | Rollback  (** undo the open session *)
+  | Check  (** consistency check without ending a session *)
+  | Query of string  (** deductive query, Analyzer literal syntax *)
+  | Script_line of string  (** one evolution command (script grammar) *)
+  | Dump  (** the whole state as an evolution script *)
+  | Stats  (** the server's metrics registry *)
+  | Quit  (** close the connection *)
+
+val parse_request : string -> (request, string) result
+(** Parse one request line (leading/trailing blanks and a trailing [\r]
+    are tolerated). *)
+
+val request_line : request -> string
+(** The line a client sends for this request (no newline). *)
+
+type status = Ok | Err of string
+
+type response = { status : status; body : string list }
+
+val ok : string list -> response
+val err : ?body:string list -> string -> response
+
+val write_response : out_channel -> response -> unit
+(** Serialize and flush. *)
+
+exception Protocol_error of string
+
+val read_response : in_channel -> response
+(** Read one framed response.
+    @raise Protocol_error on a malformed frame.
+    @raise End_of_file if the peer closed mid-frame. *)

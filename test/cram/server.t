@@ -1,0 +1,64 @@
+The schema service: gomsm serve hosts one schema manager behind a TCP
+socket with a write-ahead journal; gomsm client drives it with the line
+protocol.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data data --port-file port --acquire-timeout 0.3 2>server1.log &
+  $ SERVER1=$!
+  $ i=0; while [ ! -s port ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+
+A BES/EES evolution session travels over the socket:
+
+  $ ../../bin/gomsm.exe client --port-file port \
+  >   bes \
+  >   'script-line schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema Zoo;' \
+  >   ees \
+  >   quit
+  session open.
+  consistent; session ended.
+  bye.
+
+A second committed session, then keep the dump for later comparison:
+
+  $ ../../bin/gomsm.exe client --port-file port bes 'script-line add attribute name : string to Animal@Zoo;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file port dump quit > before.dump
+  $ grep -c 'schema Zoo is' before.dump
+  1
+
+Two concurrent clients cannot both hold an evolution session: while one
+client sits inside bes..ees, a competitor's bes times out.
+
+  $ { { printf 'bes\n'; sleep 2; } | ../../bin/gomsm.exe client --port-file port > holder.out; } &
+  $ HOLDER=$!
+  $ sleep 0.5
+  $ ../../bin/gomsm.exe client --port-file port bes quit
+  error: timeout: evolution session held by client 4
+  bye.
+  [1]
+  $ wait $HOLDER || true
+  $ cat holder.out
+  session open.
+
+The holder disconnected without ees, so its session was rolled back;
+only the two acknowledged commits are in the journal:
+
+  $ grep -c '^commit' data/journal.log
+  2
+
+kill -9 between EES-ack and checkpoint loses nothing: on restart the
+journal is replayed and the dump is byte-identical.
+
+  $ kill -9 $SERVER1
+  $ wait $SERVER1 || true
+  $ rm -f port
+  $ ../../bin/gomsm.exe serve --port 0 --data data --port-file port 2>server2.log &
+  $ SERVER2=$!
+  $ i=0; while [ ! -s port ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ grep -o 'replayed [0-9]* record(s)' server2.log
+  replayed 2 record(s)
+  $ ../../bin/gomsm.exe client --port-file port dump quit > after.dump
+  $ diff before.dump after.dump
+  $ kill -9 $SERVER2
+  $ wait $SERVER2 || true

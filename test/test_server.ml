@@ -1,0 +1,474 @@
+(* Tests for the schema-service subsystem: wire protocol framing, the
+   session broker's single-writer discipline, the write-ahead journal's
+   crash recovery (truncate-at-every-byte of the last record), snapshot
+   checkpointing, and a live daemon over a localhost socket. *)
+
+module Manager = Core.Manager
+module Protocol = Server.Protocol
+module Broker = Server.Broker
+module Journal = Server.Journal
+module Metrics = Server.Metrics
+module Daemon = Server.Daemon
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gomsm-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    dir
+
+let dump_of m =
+  Analyzer.Unparse.unparse_script
+    (Analyzer.Unparse.make ~db:(Manager.database m)
+       ~lookup_code:(Manager.lookup_code m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Bes; Protocol.Ees; Protocol.Rollback; Protocol.Check;
+      Protocol.Query "Attr_i(T, A, D)";
+      Protocol.Script_line "add attribute a : int to T@S;";
+      Protocol.Dump; Protocol.Stats; Protocol.Quit;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.parse_request (Protocol.request_line r) with
+      | Ok r' -> check_bool "roundtrip" true (r = r')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    reqs;
+  (match Protocol.parse_request "frobnicate" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown verb accepted");
+  (match Protocol.parse_request "bes now" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bes with argument accepted");
+  match Protocol.parse_request "  check \r" with
+  | Ok Protocol.Check -> ()
+  | _ -> Alcotest.fail "whitespace/CR not tolerated"
+
+let response_via_file resp =
+  let path = Filename.temp_file "gomsm-proto" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Protocol.write_response oc resp;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Protocol.read_response ic))
+
+let test_response_roundtrip () =
+  let resp =
+    Protocol.ok [ "plain"; ""; "  indented line"; ". leading dot"; "..two" ]
+  in
+  let got = response_via_file resp in
+  check_bool "ok status" true (got.Protocol.status = Protocol.Ok);
+  Alcotest.(check (list string))
+    "body with dot-stuffing" resp.Protocol.body got.Protocol.body;
+  let e = Protocol.err ~body:[ "detail" ] "multi\nline reason" in
+  let got = response_via_file e in
+  (match got.Protocol.status with
+  | Protocol.Err reason -> check_string "reason" "multi line reason" reason
+  | Protocol.Ok -> Alcotest.fail "err status lost");
+  Alcotest.(check (list string)) "err body" [ "detail" ] got.Protocol.body
+
+(* ------------------------------------------------------------------ *)
+(* Broker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let zoo_frame =
+  "schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema \
+   Zoo;"
+
+let expect_ok what (resp : Protocol.response) =
+  match resp.Protocol.status with
+  | Protocol.Ok -> ()
+  | Protocol.Err reason -> Alcotest.failf "%s failed: %s" what reason
+
+let expect_err what (resp : Protocol.response) =
+  match resp.Protocol.status with
+  | Protocol.Err reason -> reason
+  | Protocol.Ok -> Alcotest.failf "%s unexpectedly succeeded" what
+
+let mem_broker () =
+  Broker.create ~acquire_timeout:0.05 ~metrics:(Metrics.create ())
+    (Manager.create ())
+
+let test_single_writer () =
+  let b = mem_broker () in
+  expect_ok "bes 1" (Broker.handle b ~client:1 Protocol.Bes);
+  let reason = expect_err "bes 2" (Broker.handle b ~client:2 Protocol.Bes) in
+  check_bool "timeout mentions holder" true (contains reason "client 1");
+  check_int "metric" 1 (Metrics.counter (Broker.metrics b) "sessions_timed_out");
+  (* the writer finishes; now the slot is free *)
+  expect_ok "script" (Broker.handle b ~client:1 (Protocol.Script_line zoo_frame));
+  expect_ok "ees" (Broker.handle b ~client:1 Protocol.Ees);
+  expect_ok "bes 2 retry" (Broker.handle b ~client:2 Protocol.Bes);
+  check_bool "writer is 2" true (Broker.writer b = Some 2)
+
+let test_reader_while_writer () =
+  let b = mem_broker () in
+  expect_ok "bes" (Broker.handle b ~client:1 Protocol.Bes);
+  expect_ok "check from reader" (Broker.handle b ~client:2 Protocol.Check);
+  expect_ok "dump from reader" (Broker.handle b ~client:2 Protocol.Dump);
+  let r = expect_err "script from reader"
+      (Broker.handle b ~client:2 (Protocol.Script_line zoo_frame))
+  in
+  check_bool "told to bes" true (contains r "bes")
+
+let test_disconnect_rolls_back () =
+  let b = mem_broker () in
+  expect_ok "bes" (Broker.handle b ~client:1 Protocol.Bes);
+  expect_ok "script" (Broker.handle b ~client:1 (Protocol.Script_line zoo_frame));
+  Broker.disconnect b ~client:1;
+  check_bool "writer freed" true (Broker.writer b = None);
+  check_bool "session closed" false (Manager.in_session (Broker.manager b));
+  check_bool "zoo rolled back" false (contains (dump_of (Broker.manager b)) "Zoo");
+  check_int "metric" 1
+    (Metrics.counter (Broker.metrics b) "sessions_rolled_back")
+
+let test_inconsistent_ees_stays_open () =
+  let b = mem_broker () in
+  expect_ok "bes" (Broker.handle b ~client:1 Protocol.Bes);
+  (* an attribute on an undefined type violates referential integrity *)
+  expect_ok "script"
+    (Broker.handle b ~client:1
+       (Protocol.Script_line
+          "schema Bad is type T is [ x : Missing; ] end type T; end schema \
+           Bad;"));
+  let resp = Broker.handle b ~client:1 Protocol.Ees in
+  let _reason = expect_err "ees" resp in
+  check_bool "violations reported" true
+    (List.exists (fun l -> contains l "violation:") resp.Protocol.body);
+  check_bool "session still open" true (Manager.in_session (Broker.manager b));
+  expect_ok "rollback" (Broker.handle b ~client:1 Protocol.Rollback);
+  check_bool "writer freed" true (Broker.writer b = None)
+
+let test_script_line_rejects_markers () =
+  let b = mem_broker () in
+  expect_ok "bes" (Broker.handle b ~client:1 Protocol.Bes);
+  let r =
+    expect_err "bes-in-script"
+      (Broker.handle b ~client:1 (Protocol.Script_line "bes;"))
+  in
+  check_bool "explains" true (contains r "bes/ees")
+
+(* ------------------------------------------------------------------ *)
+(* Journal: commit, crash, replay                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the canonical two-session scenario against a journaled broker and
+   return (dump after session 1, dump after session 2, journal dir).
+   The journal is deliberately not closed or checkpointed: from the file's
+   point of view this *is* the kill -9 between EES-ack and checkpoint. *)
+let run_scenario ?(checkpoint_every = 1000) dir =
+  let r = Journal.recover ~dir () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~checkpoint_every
+      ~acquire_timeout:0.05 ~metrics:(Metrics.create ())
+      r.Journal.manager
+  in
+  expect_ok "bes" (Broker.handle b ~client:1 Protocol.Bes);
+  expect_ok "script" (Broker.handle b ~client:1 (Protocol.Script_line zoo_frame));
+  expect_ok "ees" (Broker.handle b ~client:1 Protocol.Ees);
+  let dump1 = dump_of (Broker.manager b) in
+  expect_ok "bes 2" (Broker.handle b ~client:1 Protocol.Bes);
+  expect_ok "script 2"
+    (Broker.handle b ~client:1
+       (Protocol.Script_line "add attribute name : string to Animal@Zoo;"));
+  expect_ok "ees 2" (Broker.handle b ~client:1 Protocol.Ees);
+  let dump2 = dump_of (Broker.manager b) in
+  check_bool "dumps differ" true (dump1 <> dump2);
+  (b, dump1, dump2)
+
+let test_recovery_replays_acknowledged_sessions () =
+  let dir = fresh_dir () in
+  let _, _, dump2 = run_scenario dir in
+  (* "restart": recover from the same directory into a fresh manager *)
+  let r = Journal.recover ~dir () in
+  check_bool "no snapshot involved" false r.Journal.from_snapshot;
+  check_int "both records replayed" 2 r.Journal.replayed;
+  check_int "nothing truncated" 0 r.Journal.truncated_bytes;
+  check_string "exact pre-kill state" dump2 (dump_of r.Journal.manager)
+
+let test_recovery_truncates_torn_tail_every_byte () =
+  let dir = fresh_dir () in
+  let _, dump1, dump2 = run_scenario dir in
+  let text = read_file (Journal.journal_path ~dir) in
+  let len = String.length text in
+  (* the byte just past record 1's "commit 1\n" *)
+  let end1 =
+    let rec find i =
+      if i + 9 > len then Alcotest.fail "commit 1 not found"
+      else if String.sub text i 9 = "commit 1\n" then i + 9
+      else find (i + 1)
+    in
+    find 0
+  in
+  check_bool "record 2 spans bytes" true (end1 < len);
+  (* kill the journal at every byte boundary of the last record: any cut
+     before its commit line's newline must replay exactly record 1 *)
+  for cut = end1 to len do
+    let dir' = fresh_dir () in
+    let r0 = Journal.recover ~dir:dir' () in
+    Journal.close r0.Journal.journal;
+    write_file (Journal.journal_path ~dir:dir') (String.sub text 0 cut);
+    let r = Journal.recover ~dir:dir' () in
+    let expected_replayed = if cut = len then 2 else 1 in
+    let expected_dump = if cut = len then dump2 else dump1 in
+    check_int (Printf.sprintf "replayed at cut %d" cut) expected_replayed
+      r.Journal.replayed;
+    check_string (Printf.sprintf "state at cut %d" cut) expected_dump
+      (dump_of r.Journal.manager);
+    check_int
+      (Printf.sprintf "truncated at cut %d" cut)
+      (cut - if cut = len then len else end1)
+      r.Journal.truncated_bytes;
+    (* recovery repaired the file: a second recovery is clean *)
+    Journal.close r.Journal.journal;
+    let r2 = Journal.recover ~dir:dir' () in
+    check_int (Printf.sprintf "idempotent at cut %d" cut) 0
+      r2.Journal.truncated_bytes;
+    Journal.close r2.Journal.journal
+  done
+
+let test_recovery_survives_garbage_tail () =
+  let dir = fresh_dir () in
+  let _, _, dump2 = run_scenario dir in
+  let path = Journal.journal_path ~dir in
+  write_file path (read_file path ^ "begin 3\nthis is not a journal line\n");
+  let r = Journal.recover ~dir () in
+  check_int "both real records replayed" 2 r.Journal.replayed;
+  check_bool "garbage dropped" true (r.Journal.truncated_bytes > 0);
+  check_string "state intact" dump2 (dump_of r.Journal.manager)
+
+let test_checkpoint_snapshots_and_resets () =
+  let dir = fresh_dir () in
+  (* checkpoint_every = 1: every commit snapshots *)
+  let b, _, dump2 = run_scenario ~checkpoint_every:1 dir in
+  check_bool "snapshot exists" true (Sys.file_exists (Journal.snapshot_path ~dir));
+  let jtext = read_file (Journal.journal_path ~dir) in
+  check_bool "journal reset to header" true (String.length jtext < 32);
+  check_int "checkpoints counted" 2
+    (Metrics.counter (Broker.metrics b) "checkpoints");
+  let r = Journal.recover ~dir () in
+  check_bool "from snapshot" true r.Journal.from_snapshot;
+  check_int "nothing to replay" 0 r.Journal.replayed;
+  check_string "exact state" dump2 (dump_of r.Journal.manager)
+
+let test_recovered_ids_do_not_collide () =
+  let dir = fresh_dir () in
+  let _, _, _ = run_scenario dir in
+  let r = Journal.recover ~dir () in
+  let m = r.Journal.manager in
+  (* a fresh type id after recovery must not collide with journaled ones *)
+  Manager.begin_session m;
+  Manager.run_commands m
+    "add type Keeper to Zoo; add attribute badge : int to Keeper@Zoo;";
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent rs ->
+      Alcotest.failf "evolution after recovery inconsistent: %s"
+        (String.concat "; " (List.map (fun x -> x.Manager.description) rs)));
+  check_bool "both types present" true
+    (contains (dump_of m) "Animal" && contains (dump_of m) "Keeper")
+
+let test_session_delta_nets_out () =
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m zoo_frame;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> Alcotest.fail "zoo inconsistent");
+  let tid =
+    Option.get
+      (Gom.Schema_base.find_type_at (Manager.database m) ~type_name:"Animal"
+         ~schema_name:"Zoo")
+  in
+  let f = Gom.Preds.attr_fact ~tid ~name:"tmp" ~domain:"tid_int" in
+  Manager.begin_session m;
+  Manager.propose m (Datalog.Delta.of_lists ~additions:[ f ] ~deletions:[]);
+  Manager.propose m (Datalog.Delta.of_lists ~additions:[] ~deletions:[ f ]);
+  check_bool "add then delete nets to nothing" true
+    (Datalog.Delta.is_empty (Manager.session_delta m));
+  let g =
+    Gom.Preds.attr_fact ~tid ~name:"legs" ~domain:"tid_int" (* pre-existing *)
+  in
+  Manager.propose m (Datalog.Delta.of_lists ~additions:[] ~deletions:[ g ]);
+  Manager.propose m (Datalog.Delta.of_lists ~additions:[ g ] ~deletions:[]);
+  check_bool "delete then re-add nets to nothing" true
+    (Datalog.Delta.is_empty (Manager.session_delta m));
+  Manager.rollback m
+
+(* ------------------------------------------------------------------ *)
+(* The daemon over a real socket                                       *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_port = ref 0
+
+let ensure_daemon =
+  let started = ref false in
+  fun () ->
+    if not !started then begin
+      started := true;
+      let ready = Mutex.create () and cond = Condition.create () in
+      ignore
+        (Thread.create
+           (fun () ->
+             Daemon.serve
+               ~on_listen:(fun p ->
+                 Mutex.lock ready;
+                 daemon_port := p;
+                 Condition.signal cond;
+                 Mutex.unlock ready)
+               { Daemon.default_config with Daemon.port = 0;
+                 acquire_timeout = 0.5 })
+           ());
+      Mutex.lock ready;
+      while !daemon_port = 0 do Condition.wait cond ready done;
+      Mutex.unlock ready
+    end;
+    !daemon_port
+
+let open_conn port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock, sock)
+
+let send (_, oc, _) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let recv (ic, _, _) = Protocol.read_response ic
+
+let rpc conn line =
+  send conn line;
+  recv conn
+
+let test_daemon_round_trip () =
+  let port = ensure_daemon () in
+  let c = open_conn port in
+  let r = rpc c "check" in
+  expect_ok "check" r;
+  Alcotest.(check (list string)) "empty base is consistent" [ "consistent." ]
+    r.Protocol.body;
+  expect_ok "bes" (rpc c "bes");
+  expect_ok "script" (rpc c ("script-line " ^ zoo_frame));
+  expect_ok "ees" (rpc c "ees");
+  let d = rpc c "dump" in
+  expect_ok "dump" d;
+  check_bool "dump has zoo" true
+    (List.exists (fun l -> contains l "schema Zoo") d.Protocol.body);
+  let s = rpc c "stats" in
+  expect_ok "stats" s;
+  check_bool "stats counts the commit" true
+    (List.exists
+       (fun l -> contains l "counter sessions_committed")
+       s.Protocol.body);
+  expect_ok "quit" (rpc c "quit");
+  Unix.close (let _, _, s = c in s)
+
+let test_daemon_excludes_second_writer () =
+  let port = ensure_daemon () in
+  let a = open_conn port and b = open_conn port in
+  expect_ok "bes a" (rpc a "bes");
+  let reason = expect_err "bes b" (rpc b "bes") in
+  check_bool "timeout" true (contains reason "timeout");
+  (* a vanishes without ees: the broker rolls its session back and b can
+     acquire the slot *)
+  Unix.close (let _, _, s = a in s);
+  expect_ok "bes b retry" (rpc b "bes");
+  expect_ok "rollback b" (rpc b "rollback");
+  expect_ok "quit b" (rpc b "quit");
+  Unix.close (let _, _, s = b in s)
+
+let test_daemon_rejects_garbage () =
+  let port = ensure_daemon () in
+  let c = open_conn port in
+  let r = rpc c "make it so" in
+  ignore (expect_err "garbage verb" r);
+  (* the connection survives a bad request *)
+  expect_ok "still alive" (rpc c "check");
+  expect_ok "quit" (rpc c "quit");
+  Unix.close (let _, _, s = c in s)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "server.protocol",
+      [
+        Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+        Alcotest.test_case "response framing + dot-stuffing" `Quick
+          test_response_roundtrip;
+      ] );
+    ( "server.broker",
+      [
+        Alcotest.test_case "single writer" `Quick test_single_writer;
+        Alcotest.test_case "readers during a session" `Quick
+          test_reader_while_writer;
+        Alcotest.test_case "disconnect rolls back" `Quick
+          test_disconnect_rolls_back;
+        Alcotest.test_case "inconsistent ees stays open" `Quick
+          test_inconsistent_ees_stays_open;
+        Alcotest.test_case "script-line rejects bes/ees" `Quick
+          test_script_line_rejects_markers;
+      ] );
+    ( "server.journal",
+      [
+        Alcotest.test_case "replay restores acknowledged sessions" `Quick
+          test_recovery_replays_acknowledged_sessions;
+        Alcotest.test_case "torn tail truncated at every byte" `Slow
+          test_recovery_truncates_torn_tail_every_byte;
+        Alcotest.test_case "garbage tail dropped" `Quick
+          test_recovery_survives_garbage_tail;
+        Alcotest.test_case "checkpoint snapshots and resets" `Quick
+          test_checkpoint_snapshots_and_resets;
+        Alcotest.test_case "recovered ids do not collide" `Quick
+          test_recovered_ids_do_not_collide;
+        Alcotest.test_case "session delta nets out" `Quick
+          test_session_delta_nets_out;
+      ] );
+    ( "server.daemon",
+      [
+        Alcotest.test_case "socket round trip" `Quick test_daemon_round_trip;
+        Alcotest.test_case "second writer excluded" `Quick
+          test_daemon_excludes_second_writer;
+        Alcotest.test_case "garbage requests tolerated" `Quick
+          test_daemon_rejects_garbage;
+      ] );
+  ]
+
+let () = Alcotest.run "server" suite
