@@ -438,6 +438,14 @@ let serve_cmd =
       & info [ "checkpoint-every" ] ~docv:"N"
           ~doc:"Snapshot and reset the journal every N committed sessions.")
   in
+  let checkpoint_bytes =
+    Arg.(
+      value & opt int Server.Daemon.default_config.Server.Daemon.checkpoint_bytes
+      & info [ "checkpoint-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Also snapshot whenever the journal file exceeds this many \
+             bytes, so bursts of large sessions cannot grow it unboundedly.")
+  in
   let acquire_timeout =
     Arg.(
       value & opt float 5.0
@@ -450,13 +458,15 @@ let serve_cmd =
       "Write the bound port here (atomically) once listening; handy with \
        --port 0."
   in
-  let run host port data checkpoint_every acquire_timeout port_file =
+  let run host port data checkpoint_every checkpoint_bytes acquire_timeout
+      port_file =
     Server.Daemon.serve
       {
         Server.Daemon.host;
         port;
         data_dir = data;
         checkpoint_every;
+        checkpoint_bytes;
         acquire_timeout;
         port_file;
       };
@@ -468,8 +478,89 @@ let serve_cmd =
          "Run the schema manager as a durable multi-client daemon (line \
           protocol over TCP)")
     Term.(
-      const (fun h p d c a pf -> Stdlib.exit (run h p d c a pf))
-      $ host_arg $ port $ data $ checkpoint_every $ acquire_timeout $ port_file)
+      const (fun h p d c cb a pf -> Stdlib.exit (run h p d c cb a pf))
+      $ host_arg $ port $ data $ checkpoint_every $ checkpoint_bytes
+      $ acquire_timeout $ port_file)
+
+let replica_cmd =
+  let primary =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "primary" ] ~docv:"HOST:PORT"
+          ~doc:"The primary gomsm serve to replicate from.")
+  in
+  let port =
+    Arg.(
+      value & opt int Replica.default_config.Replica.port
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port the replica listens on; 0 picks an ephemeral one.")
+  in
+  let data =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Local data directory: the replica journals every record it \
+             applies, so a restart resumes from its own position instead of \
+             re-bootstrapping.  Without it the replica is in-memory and \
+             re-syncs from scratch on every start.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Snapshot the local journal every N applied records.")
+  in
+  let checkpoint_bytes =
+    Arg.(
+      value & opt int Replica.default_config.Replica.checkpoint_bytes
+      & info [ "checkpoint-bytes" ] ~docv:"BYTES"
+          ~doc:"Also snapshot when the local journal exceeds this size.")
+  in
+  let port_file =
+    port_file_arg
+      "Write the bound port here (atomically) once listening; handy with \
+       --port 0."
+  in
+  let run host primary port data checkpoint_every checkpoint_bytes port_file =
+    let primary_host, primary_port =
+      match String.rindex_opt primary ':' with
+      | Some i -> (
+          let h = String.sub primary 0 i in
+          let p = String.sub primary (i + 1) (String.length primary - i - 1) in
+          match int_of_string_opt p with
+          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+          | None ->
+              Printf.eprintf "bad --primary %s (expected HOST:PORT)\n" primary;
+              exit 2)
+      | None ->
+          Printf.eprintf "bad --primary %s (expected HOST:PORT)\n" primary;
+          exit 2
+    in
+    Replica.run
+      {
+        Replica.primary_host;
+        primary_port;
+        host;
+        port;
+        data_dir = data;
+        checkpoint_every;
+        checkpoint_bytes;
+        port_file;
+      };
+    0
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Run a read-only replica of a gomsm serve primary: subscribe to \
+          its journal stream, apply records incrementally, and serve \
+          check/query/dump/stats locally")
+    Term.(
+      const (fun h pr p d c cb pf -> Stdlib.exit (run h pr p d c cb pf))
+      $ host_arg $ primary $ port $ data $ checkpoint_every $ checkpoint_bytes
+      $ port_file)
 
 let client_cmd =
   let port =
@@ -520,4 +611,4 @@ let () =
        (Cmd.group
           (Cmd.info "gomsm" ~version:"1.0.0" ~doc)
           [ check_cmd; script_cmd; dump_cmd; repl_cmd; paper_cmd; serve_cmd;
-            client_cmd ]))
+            replica_cmd; client_cmd ]))

@@ -1,0 +1,131 @@
+(* Apply feed events to the replica's manager and local journal.
+
+   Every record goes through a BES..EES session on a manager running in
+   [Maintained] check mode, so the materialization is kept in step by
+   {!Datalog.Incremental.apply} — maintained, never re-derived — and the
+   raw record bytes are appended to the replica's own journal before the
+   position advances: a replica restart resumes exactly where it stopped.
+   All manager/journal mutation happens inside {!Server.Broker.exclusively},
+   serializing the applier against the read traffic the replica serves. *)
+
+module Manager = Core.Manager
+module Persist = Core.Persist
+module Broker = Server.Broker
+module Journal = Server.Journal
+module Metrics = Server.Metrics
+
+type t = {
+  broker : Broker.t;
+  metrics : Metrics.t;
+  checkpoint_every : int;
+  checkpoint_bytes : int;
+  mutable last_applied : int;  (* position: last record in the local state *)
+  mutable primary_seq : int;  (* primary's position, from frames *)
+}
+
+let fresh_manager () = Manager.create ~check_mode:Manager.Maintained ()
+
+let create ?(checkpoint_every = 64) ?(checkpoint_bytes = 4 * 1024 * 1024)
+    broker : t =
+  let last_applied =
+    match Broker.journal broker with
+    | Some j -> Journal.seq j
+    | None -> 0
+  in
+  {
+    broker;
+    metrics = Broker.metrics broker;
+    checkpoint_every;
+    checkpoint_bytes;
+    last_applied;
+    primary_seq = last_applied;
+  }
+
+let position t = t.last_applied
+let primary_seq t = t.primary_seq
+let lag t = max 0 (t.primary_seq - t.last_applied)
+
+let gauges t =
+  Metrics.set t.metrics "replica_last_applied_seq" t.last_applied;
+  Metrics.set t.metrics "replica_primary_seq" t.primary_seq;
+  Metrics.set t.metrics "replica_lag_records" (lag t)
+
+let note_primary t seq =
+  if seq > t.primary_seq then t.primary_seq <- seq;
+  gauges t
+
+let maybe_checkpoint t j m =
+  if
+    Journal.since_checkpoint j >= t.checkpoint_every
+    || Journal.bytes j >= t.checkpoint_bytes
+  then begin
+    Journal.checkpoint j m;
+    Metrics.incr t.metrics "checkpoints"
+  end
+
+let install_snapshot t ~seq ~text =
+  (* parse outside the lock (the expensive part), swap inside it *)
+  let m =
+    Persist.load_from_string ~check_mode:Manager.Maintained text
+  in
+  Broker.exclusively t.broker (fun () ->
+      Broker.replace_manager t.broker m;
+      (match Broker.journal t.broker with
+      | Some j -> Journal.install_snapshot j ~seq ~text
+      | None -> ());
+      t.last_applied <- seq);
+  Metrics.incr t.metrics "replica_snapshots_installed";
+  note_primary t seq
+
+let apply_record t ~seq ~text =
+  if seq > t.last_applied then begin
+    if seq <> t.last_applied + 1 then
+      failwith
+        (Printf.sprintf "sequence gap: record %d after %d" seq t.last_applied);
+    let r = Journal.parse_record text in
+    if r.Journal.r_seq <> seq then
+      failwith
+        (Printf.sprintf "record header says %d, frame says %d"
+           r.Journal.r_seq seq);
+    let t0 = Unix.gettimeofday () in
+    Broker.exclusively t.broker (fun () ->
+        let m = Broker.manager t.broker in
+        if not (Journal.apply_record m r) then
+          failwith (Printf.sprintf "record %d did not apply cleanly" seq);
+        (match Broker.journal t.broker with
+        | Some j ->
+            Journal.append_raw j ~seq ~text;
+            maybe_checkpoint t j m
+        | None -> ());
+        t.last_applied <- seq);
+    Metrics.observe t.metrics "latency.replica_apply"
+      (Unix.gettimeofday () -. t0);
+    Metrics.incr t.metrics "replica_records_applied"
+  end;
+  (* duplicates after a reconnect are skipped, but still advance lag info *)
+  note_primary t seq
+
+(* The primary says our position is ahead of its journal — it lost data or
+   was replaced.  Drop everything and resubscribe from zero; the next feed
+   will bootstrap us (snapshot or full record history). *)
+let reset t =
+  let m = fresh_manager () in
+  let empty = Buffer.contents (Persist.save_to_buffer m) in
+  Broker.exclusively t.broker (fun () ->
+      Broker.replace_manager t.broker m;
+      (match Broker.journal t.broker with
+      | Some j -> Journal.install_snapshot j ~seq:0 ~text:empty
+      | None -> ());
+      t.last_applied <- 0);
+  t.primary_seq <- 0;
+  Metrics.incr t.metrics "replica_resyncs";
+  gauges t
+
+let handle t (ev : Stream.event) : unit =
+  match ev with
+  | Stream.Snapshot (seq, text) -> install_snapshot t ~seq ~text
+  | Stream.Record (seq, text) -> apply_record t ~seq ~text
+  | Stream.Ping seq -> note_primary t seq
+  | Stream.Feed_error reason ->
+      reset t;
+      failwith ("feed error from primary: " ^ reason)

@@ -1,0 +1,111 @@
+(* The [gomsm replica] daemon: a read-only copy of a primary [gomsm serve],
+   fed by the primary's journal stream.
+
+   Boot order: recover the local data directory (snapshot + journal — the
+   replica journals every record it applies, so a restart resumes from its
+   own position), subscribe to the primary from that position, and serve
+   check/query/dump/stats locally while refusing writer verbs with a
+   redirect.  The feed reconnects with exponential backoff, so a primary
+   kill -9/restart or a network partition only ever delays convergence. *)
+
+module Stream = Stream
+module Applier = Applier
+module Manager = Core.Manager
+module Broker = Server.Broker
+module Daemon = Server.Daemon
+module Journal = Server.Journal
+module Metrics = Server.Metrics
+
+type config = {
+  primary_host : string;
+  primary_port : int;
+  host : string;  (* address the replica itself binds *)
+  port : int;  (* 0 picks an ephemeral port *)
+  data_dir : string option;  (* local journal + snapshots; None = in-memory *)
+  checkpoint_every : int;
+  checkpoint_bytes : int;
+  port_file : string option;
+}
+
+let default_config =
+  {
+    primary_host = "127.0.0.1";
+    primary_port = Daemon.default_config.Daemon.port;
+    host = "127.0.0.1";
+    port = 7644;
+    data_dir = None;
+    checkpoint_every = 64;
+    checkpoint_bytes = 4 * 1024 * 1024;
+    port_file = None;
+  }
+
+type t = { broker : Broker.t; applier : Applier.t }
+
+let broker t = t.broker
+let applier t = t.applier
+
+let logf fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "gomsm-replica: %s\n%!" s) fmt
+
+let primary_address config =
+  Printf.sprintf "%s:%d" config.primary_host config.primary_port
+
+(* Build the read-only broker: recover local state when a data directory is
+   given (resuming from our own journaled position), else start empty and
+   let the feed bootstrap us. *)
+let prepare config metrics : Broker.t =
+  let read_only = primary_address config in
+  match config.data_dir with
+  | None ->
+      Broker.create ~read_only ~metrics
+        (Manager.create ~check_mode:Manager.Maintained ())
+  | Some dir ->
+      let r = Journal.recover ~check_mode:Manager.Maintained ~dir () in
+      logf "data dir %s: %s, replayed %d record(s), resuming from seq %d" dir
+        (if r.Journal.from_snapshot then "loaded snapshot" else "no snapshot")
+        r.Journal.replayed
+        (Journal.seq r.Journal.journal);
+      Broker.create ~journal:r.Journal.journal ~read_only ~metrics
+        r.Journal.manager
+
+let make config : t =
+  let metrics = Metrics.create () in
+  let broker = prepare config metrics in
+  let applier =
+    Applier.create ~checkpoint_every:config.checkpoint_every
+      ~checkpoint_bytes:config.checkpoint_bytes broker
+  in
+  ignore
+    (Thread.create
+       (fun () ->
+         Stream.run ~host:config.primary_host ~port:config.primary_port
+           ~position:(fun () -> Applier.position applier)
+           ~handle:(Applier.handle applier)
+           ~on_status:(fun s -> logf "%s" s)
+           ())
+       ());
+  { broker; applier }
+
+let daemon_config config =
+  {
+    Daemon.default_config with
+    Daemon.host = config.host;
+    port = config.port;
+    port_file = config.port_file;
+  }
+
+(* Non-blocking: spawn the feed and the listener, return the handles (for
+   tests and benches). *)
+let start ?on_listen config : t =
+  let t = make config in
+  ignore
+    (Thread.create
+       (fun () -> Daemon.serve ?on_listen ~broker:t.broker (daemon_config config))
+       ());
+  t
+
+(* Blocking: the CLI entry point. *)
+let run ?on_listen config : unit =
+  let t = make config in
+  logf "replicating from %s" (primary_address config);
+  Daemon.serve ?on_listen ~broker:t.broker (daemon_config config)

@@ -1,0 +1,102 @@
+(* The replica's side of the replication feed: connect to the primary,
+   subscribe from the applier's position, turn frames into events, and
+   reconnect with exponential backoff when the primary goes away. *)
+
+module Protocol = Server.Protocol
+
+type event =
+  | Snapshot of int * string  (* whole-state bootstrap covering seq *)
+  | Record of int * string  (* one raw journal record *)
+  | Ping of int  (* primary's position while idle *)
+  | Feed_error of string  (* the feed cannot continue *)
+
+(* Frame bodies are journal/snapshot text shipped line-by-line; the
+   original text always ends in a newline. *)
+let text_of_body body = String.concat "\n" body ^ "\n"
+
+let parse_frame (header, body) : event option =
+  let verb, rest =
+    match String.index_opt header ' ' with
+    | None -> (header, "")
+    | Some i ->
+        ( String.sub header 0 i,
+          String.trim (String.sub header (i + 1) (String.length header - i - 1))
+        )
+  in
+  match verb with
+  | "record" -> (
+      match int_of_string_opt rest with
+      | Some n -> Some (Record (n, text_of_body body))
+      | None -> None)
+  | "snapshot" -> (
+      match int_of_string_opt rest with
+      | Some n -> Some (Snapshot (n, text_of_body body))
+      | None -> None)
+  | "ping" -> (
+      match int_of_string_opt rest with
+      | Some n -> Some (Ping n)
+      | None -> None)
+  | "error" -> Some (Feed_error rest)
+  | _ -> None (* unknown frame kinds are skipped, for forward compatibility *)
+
+exception Retry of string
+
+(* One connection's lifetime: subscribe, then pump frames until the socket
+   dies or a handler rejects a frame.  Raises [Retry] with the reason. *)
+let pump ~host ~port ~position ~on_connected ~handle =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+       with Unix.Unix_error (e, _, _) ->
+         raise (Retry ("connect: " ^ Unix.error_message e)));
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      let wrap f =
+        try f () with
+        | End_of_file -> raise (Retry "primary closed the feed")
+        | Sys_error e -> raise (Retry ("connection error: " ^ e))
+      in
+      wrap (fun () ->
+          output_string oc
+            (Protocol.request_line (Protocol.Subscribe (position ())));
+          output_char oc '\n';
+          flush oc);
+      (match wrap (fun () -> Protocol.read_response ic) with
+      | { Protocol.status = Protocol.Ok; _ } -> on_connected ()
+      | { Protocol.status = Protocol.Err reason; _ } ->
+          raise (Retry ("subscribe refused: " ^ reason)));
+      let rec loop () =
+        let frame = wrap (fun () -> Protocol.read_frame ic) in
+        (match parse_frame frame with
+        | Some ev -> handle ev
+        | None -> ());
+        loop ()
+      in
+      loop ())
+
+(* Run the feed forever.  [position] is consulted at every (re)connect, so
+   records applied on the previous connection are not re-shipped; [handle]
+   may raise to force a reconnect (e.g. on a sequence gap).  Backoff grows
+   exponentially from [min_backoff] to [max_backoff] and resets after a
+   connection that managed to subscribe. *)
+let run ?(min_backoff = 0.1) ?(max_backoff = 5.0) ?(on_status = fun _ -> ())
+    ~host ~port ~position ~handle () : unit =
+  let backoff = ref min_backoff in
+  while true do
+    (try
+       pump ~host ~port ~position
+         ~on_connected:(fun () -> backoff := min_backoff)
+         ~handle
+     with
+    | Retry reason ->
+        on_status
+          (Printf.sprintf "feed lost (%s); retrying in %.1fs" reason !backoff)
+    | e ->
+        on_status
+          (Printf.sprintf "applier failed (%s); retrying in %.1fs"
+             (Printexc.to_string e) !backoff));
+    Thread.delay !backoff;
+    backoff := Float.min max_backoff (!backoff *. 2.)
+  done

@@ -1,20 +1,24 @@
 (* Session broker: single-writer BES/EES across clients, serialized reads,
-   journaling on commit, rollback on disconnect. *)
+   journaling on commit, rollback on disconnect, replication feeds. *)
 
 module Manager = Core.Manager
 
 type t = {
-  manager : Manager.t;
+  mutable manager : Manager.t;  (* swapped only by a replica's bootstrap *)
   journal : Journal.t option;
   metrics : Metrics.t;
   mu : Mutex.t;
   mutable writer : int option;  (* client holding the BES..EES section *)
   checkpoint_every : int;
+  checkpoint_bytes : int;
   acquire_timeout : float;
+  read_only : string option;  (* primary address to redirect writers to *)
+  subscribers : (int, int ref) Hashtbl.t;  (* feed client -> last sent seq *)
 }
 
-let create ?journal ?(checkpoint_every = 64) ?(acquire_timeout = 5.0) ~metrics
-    manager =
+let create ?journal ?(checkpoint_every = 64)
+    ?(checkpoint_bytes = 4 * 1024 * 1024) ?(acquire_timeout = 5.0) ?read_only
+    ~metrics manager =
   {
     manager;
     journal;
@@ -22,16 +26,22 @@ let create ?journal ?(checkpoint_every = 64) ?(acquire_timeout = 5.0) ~metrics
     mu = Mutex.create ();
     writer = None;
     checkpoint_every;
+    checkpoint_bytes;
     acquire_timeout;
+    read_only;
+    subscribers = Hashtbl.create 4;
   }
 
 let manager t = t.manager
 let metrics t = t.metrics
+let journal t = t.journal
 
 let with_lock t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
+let exclusively = with_lock
+let replace_manager t m = t.manager <- m
 let writer t = with_lock t (fun () -> t.writer)
 
 (* ------------------------------------------------------------------ *)
@@ -95,7 +105,13 @@ let do_ees t ~client =
                   ignore
                     (Journal.append j ~ids:(Manager.ids t.manager) ~code delta);
                   Metrics.incr t.metrics "journal_records";
-                  if Journal.since_checkpoint j >= t.checkpoint_every then begin
+                  (* snapshot on either cap: a count of sessions, or the
+                     journal growing past the byte budget (a burst of large
+                     sessions must not grow the file unboundedly) *)
+                  if
+                    Journal.since_checkpoint j >= t.checkpoint_every
+                    || Journal.bytes j >= t.checkpoint_bytes
+                  then begin
                     Journal.checkpoint j t.manager;
                     Metrics.incr t.metrics "checkpoints"
                   end
@@ -198,30 +214,140 @@ let do_dump t =
       ok lines)
 
 let do_stats t =
+  (* refresh the replication gauges so lag is visible exactly when asked *)
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+      let subs, max_lag =
+        with_lock t (fun () ->
+            Hashtbl.fold
+              (fun _ sent (n, lag) ->
+                (n + 1, max lag (Journal.seq j - !sent)))
+              t.subscribers (0, 0))
+      in
+      Metrics.set t.metrics "feed_subscribers" subs;
+      Metrics.set t.metrics "replication_lag_records" max_lag);
   let journal_lines =
     match t.journal with
     | None -> []
     | Some j ->
         [
+          Printf.sprintf "counter journal_base %d" (Journal.base j);
           Printf.sprintf "counter journal_bytes %d" (Journal.bytes j);
           Printf.sprintf "counter journal_seq %d" (Journal.seq j);
         ]
   in
   ok (Metrics.render t.metrics @ journal_lines)
 
+(* ------------------------------------------------------------------ *)
+(* Replication feed (the primary's side of [subscribe])                *)
+(* ------------------------------------------------------------------ *)
+
+let ping_interval = 2.0
+
+(* Stream the journal to one subscriber forever: snapshot bootstrap when its
+   position predates the last checkpoint, then batches of raw records, then
+   pings while idle.  Journal reads happen under the broker lock (appends
+   and checkpoints do too), but the socket writes never do — a slow replica
+   must not stall the writer.  Returns when the subscriber goes away or the
+   feed cannot continue. *)
+let feed t ~client ~from oc =
+  match t.journal with
+  | None ->
+      Protocol.write_response oc
+        (err "replication requires a journaled server (start with --data)")
+  | Some j ->
+      Protocol.write_response oc
+        (ok [ Printf.sprintf "feed from %d at %d" from (Journal.seq j) ]);
+      Metrics.incr t.metrics "feed_subscriptions";
+      let sent = ref from in
+      with_lock t (fun () -> Hashtbl.replace t.subscribers client sent);
+      Fun.protect
+        ~finally:(fun () ->
+          with_lock t (fun () -> Hashtbl.remove t.subscribers client))
+      @@ fun () ->
+      let last_ping = ref (Unix.gettimeofday ()) in
+      let frame header body =
+        Protocol.write_frame oc ~header ~body;
+        last_ping := Unix.gettimeofday ()
+      in
+      let body_of text =
+        (* the text ends in a newline; drop the empty tail line *)
+        match List.rev (String.split_on_char '\n' text) with
+        | "" :: rest -> List.rev rest
+        | _ -> String.split_on_char '\n' text
+      in
+      let rec loop () =
+        let action =
+          with_lock t (fun () ->
+              let base = Journal.base j and seq = Journal.seq j in
+              if !sent > seq then `Diverged (!sent, seq)
+              else if !sent < base then
+                match Journal.read_snapshot j with
+                | Some text -> `Snapshot (base, text)
+                | None -> `Diverged (!sent, seq)
+              else if !sent < seq then `Records (Journal.records_from j ~from:!sent)
+              else `Idle seq)
+        in
+        match action with
+        | `Snapshot (bseq, text) ->
+            frame (Printf.sprintf "snapshot %d" bseq) (body_of text);
+            Metrics.incr t.metrics "feed_snapshots_sent";
+            sent := bseq;
+            loop ()
+        | `Records rs ->
+            List.iter
+              (fun (s, text) ->
+                frame (Printf.sprintf "record %d" s) (body_of text);
+                Metrics.incr t.metrics "feed_records_sent";
+                sent := s)
+              rs;
+            loop ()
+        | `Diverged (have, seq) ->
+            frame
+              (Printf.sprintf
+                 "error subscriber position %d is ahead of the journal (at \
+                  %d); resubscribe from 0"
+                 have seq)
+              []
+        | `Idle seq ->
+            if Unix.gettimeofday () -. !last_ping >= ping_interval then
+              frame (Printf.sprintf "ping %d" seq) []
+            else Thread.delay 0.02;
+            loop ()
+      in
+      (try loop () with Sys_error _ | Unix.Unix_error _ -> ())
+
+let read_only_verbs = function
+  | Protocol.Bes | Protocol.Ees | Protocol.Rollback | Protocol.Script_line _ ->
+      true
+  | _ -> false
+
 let handle t ~client (req : Protocol.request) : Protocol.response =
   Metrics.incr t.metrics "requests_total";
   try
-    match req with
-    | Protocol.Bes -> do_bes t ~client
-    | Protocol.Ees -> do_ees t ~client
-    | Protocol.Rollback -> do_rollback t ~client
-    | Protocol.Check -> do_check t
-    | Protocol.Query q -> do_query t q
-    | Protocol.Script_line c -> do_script_line t ~client c
-    | Protocol.Dump -> do_dump t
-    | Protocol.Stats -> do_stats t
-    | Protocol.Quit -> ok [ "bye." ]
+    match t.read_only with
+    | Some primary when read_only_verbs req ->
+        Metrics.incr t.metrics "read_only_refusals";
+        err
+          (Printf.sprintf
+             "read-only replica: evolution sessions go to the primary at %s"
+             primary)
+    | _ -> (
+        match req with
+        | Protocol.Bes -> do_bes t ~client
+        | Protocol.Ees -> do_ees t ~client
+        | Protocol.Rollback -> do_rollback t ~client
+        | Protocol.Check -> do_check t
+        | Protocol.Query q -> do_query t q
+        | Protocol.Script_line c -> do_script_line t ~client c
+        | Protocol.Dump -> do_dump t
+        | Protocol.Stats -> do_stats t
+        | Protocol.Subscribe _ ->
+            (* the daemon turns the connection into a feed before it gets
+               here; anything else cannot stream *)
+            err "subscribe is only available on a feed connection"
+        | Protocol.Quit -> ok [ "bye." ])
   with e ->
     Metrics.incr t.metrics "internal_errors";
     err ("internal error: " ^ Printexc.to_string e)
@@ -232,5 +358,8 @@ let disconnect t ~client =
       | Some c when c = client ->
           if Manager.in_session t.manager then Manager.rollback t.manager;
           t.writer <- None;
+          (* distinct from an explicit rollback request: these are the
+             client-vanished undos that replication debugging cares about *)
+          Metrics.incr t.metrics "disconnect_rollbacks";
           Metrics.incr t.metrics "sessions_rolled_back"
       | Some _ | None -> ())

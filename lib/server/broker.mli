@@ -17,22 +17,45 @@ type t
 val create :
   ?journal:Journal.t ->
   ?checkpoint_every:int ->
+  ?checkpoint_bytes:int ->
   ?acquire_timeout:float ->
+  ?read_only:string ->
   metrics:Metrics.t ->
   Core.Manager.t ->
   t
 (** [checkpoint_every] commits between snapshots (default 64);
+    [checkpoint_bytes] caps the journal file size between snapshots
+    (default 4 MiB) so bursts of large sessions cannot grow it unboundedly;
     [acquire_timeout] seconds a [bes] waits for the writer slot
-    (default 5.0). *)
+    (default 5.0).  With [read_only] (the primary's address, for the
+    redirect message) every writer verb — bes/ees/rollback/script-line —
+    is refused: the broker serves a replica. *)
 
 val handle : t -> client:int -> Protocol.request -> Protocol.response
 (** Serve one request on behalf of client [client].  Never raises: internal
     errors become [err] responses.  [Quit] is answered with a goodbye; the
-    connection itself is the caller's to close. *)
+    connection itself is the caller's to close.  [Subscribe] is not served
+    here — the daemon hands the connection to {!feed} instead. *)
+
+val feed : t -> client:int -> from:int -> out_channel -> unit
+(** Turn the connection into a replication feed for a subscriber whose last
+    applied record is [from]: acknowledge, then stream frames forever — a
+    snapshot bootstrap if [from] predates the last checkpoint, raw journal
+    records as they commit, pings while idle.  Returns when the subscriber
+    disconnects (or on a journal-less broker, after refusing). *)
 
 val disconnect : t -> client:int -> unit
 (** The client went away: roll back its open session, if any. *)
 
+val exclusively : t -> (unit -> 'a) -> 'a
+(** Run [f] under the broker's lock, excluding every request handler: the
+    replica applier's way to mutate the shared manager safely. *)
+
+val replace_manager : t -> Core.Manager.t -> unit
+(** Swap the hosted manager (a replica bootstrapping from a snapshot).
+    Call only from within {!exclusively}. *)
+
 val manager : t -> Core.Manager.t
+val journal : t -> Journal.t option
 val metrics : t -> Metrics.t
 val writer : t -> int option

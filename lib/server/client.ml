@@ -7,7 +7,8 @@ let connect ~host ~port =
   (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock, sock)
 
 (* Send one raw request line; print the response body, then an error line
-   for err responses.  Returns whether the request succeeded. *)
+   (on stderr, so piped stdout stays clean data) for err responses.
+   Returns whether the request succeeded. *)
 let round_trip ic oc line =
   output_string oc line;
   output_char oc '\n';
@@ -17,11 +18,16 @@ let round_trip ic oc line =
   match resp.Protocol.status with
   | Protocol.Ok -> true
   | Protocol.Err reason ->
-      Printf.printf "error: %s\n" reason;
+      (* flush accumulated body lines first so the streams interleave in
+         request order even when stdout is a pipe *)
+      flush stdout;
+      Printf.eprintf "error: %s\n%!" reason;
       false
 
 (* Run requests (argv mode) or pump stdin line by line (interactive/pipe
-   mode).  Exit code 0 iff every request succeeded. *)
+   mode).  Exit code 0 iff every request succeeded — an [err] reply, a
+   dropped connection, or a malformed response all make the exit code
+   non-zero so scripts and cram tests can detect failure. *)
 let run ~host ~port ~(requests : string list) () : int =
   let ic, oc, sock = connect ~host ~port in
   let failed = ref false in
@@ -45,9 +51,15 @@ let run ~host ~port ~(requests : string list) () : int =
           pump ()
       with
       | End_of_file ->
+          flush stdout;
           Printf.eprintf "connection closed by server\n";
           failed := true
       | Sys_error e ->
+          flush stdout;
           Printf.eprintf "connection error: %s\n" e;
+          failed := true
+      | Protocol.Protocol_error e ->
+          flush stdout;
+          Printf.eprintf "malformed response: %s\n" e;
           failed := true);
   if !failed then 1 else 0

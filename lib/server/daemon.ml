@@ -6,6 +6,7 @@ type config = {
   port : int;  (* 0 picks an ephemeral port *)
   data_dir : string option;  (* journal + snapshots; None = in-memory only *)
   checkpoint_every : int;
+  checkpoint_bytes : int;  (* journal size cap between checkpoints *)
   acquire_timeout : float;  (* seconds a bes waits for the writer slot *)
   port_file : string option;  (* written (atomically) with the bound port *)
 }
@@ -16,6 +17,7 @@ let default_config =
     port = 7643;
     data_dir = None;
     checkpoint_every = 64;
+    checkpoint_bytes = 4 * 1024 * 1024;
     acquire_timeout = 5.0;
     port_file = None;
   }
@@ -35,6 +37,7 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Script_line _ -> "script-line"
   | Protocol.Dump -> "dump"
   | Protocol.Stats -> "stats"
+  | Protocol.Subscribe _ -> "subscribe"
   | Protocol.Quit -> "quit"
 
 (* Serve one connection until quit/EOF; the broker rolls back any session
@@ -55,6 +58,11 @@ let client_loop (broker : Broker.t) (metrics : Metrics.t) ~client fd =
                 Metrics.incr metrics "bad_requests";
                 Protocol.write_response oc (Protocol.err reason);
                 false
+            | Ok (Protocol.Subscribe from) ->
+                (* the connection becomes a one-way replication feed; when
+                   the feed ends, so does the connection *)
+                Broker.feed broker ~client ~from oc;
+                true
             | Ok req ->
                 let t0 = Unix.gettimeofday () in
                 let resp = Broker.handle broker ~client req in
@@ -94,6 +102,7 @@ let prepare config metrics =
          else "");
       Broker.create ~journal:r.Journal.journal
         ~checkpoint_every:config.checkpoint_every
+        ~checkpoint_bytes:config.checkpoint_bytes
         ~acquire_timeout:config.acquire_timeout ~metrics r.Journal.manager
 
 let serve ?on_listen ?broker (config : config) : unit =

@@ -10,17 +10,35 @@ exception Corrupt of string
 
 let header = "# gomsm journal v1\n"
 
+(* The header records the global sequence number the snapshot covers, so
+   sequence numbers stay monotonic across checkpoints — they double as the
+   replication stream positions. *)
+let header_for base =
+  if base = 0 then header
+  else Printf.sprintf "# gomsm journal v1 base %d\n" base
+
+let base_of_header text =
+  match String.index_opt text '\n' with
+  | None -> 0
+  | Some i -> (
+      match String.split_on_char ' ' (String.trim (String.sub text 0 i)) with
+      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n ] ->
+          Option.value (int_of_string_opt n) ~default:0
+      | _ -> 0)
+
 let journal_path ~dir = Filename.concat dir "journal.log"
 let snapshot_path ~dir = Filename.concat dir "snapshot.gomdb"
 
 type t = {
   dir : string;
   fd : Unix.file_descr;
-  mutable seq : int;  (* last committed record in the current file *)
+  mutable base : int;  (* global seq the snapshot (journal start) covers *)
+  mutable seq : int;  (* global seq of the last committed record *)
   mutable since : int;  (* records appended since the last checkpoint *)
   mutable bytes : int;
 }
 
+let base t = t.base
 let seq t = t.seq
 let since_checkpoint t = t.since
 let bytes t = t.bytes
@@ -38,6 +56,12 @@ let write_all fd s =
     if off < n then go (off + Unix.write_substring fd s off (n - off))
   in
   go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------ *)
 (* Append                                                              *)
@@ -72,6 +96,20 @@ let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
     n
   end
 
+(* Raw record append: the replica's write path.  [text] must be one
+   complete record (begin..commit, newline-terminated) carrying exactly
+   sequence number [seq]; it is written verbatim so the replica's journal
+   stays byte-identical to the primary's record stream. *)
+let append_raw t ~seq ~text =
+  if seq <> t.seq + 1 then
+    invalid_arg
+      (Printf.sprintf "Journal.append_raw: seq %d after %d" seq t.seq);
+  write_all t.fd text;
+  Unix.fsync t.fd;
+  t.seq <- seq;
+  t.since <- t.since + 1;
+  t.bytes <- t.bytes + String.length text
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -84,23 +122,45 @@ let fsync_dir dir =
       (try Unix.fsync dfd with Unix.Unix_error _ -> ());
       Unix.close dfd
 
-let checkpoint t (m : Manager.t) : unit =
-  let buf = Persist.save_to_buffer m in
+let write_snapshot_file t text =
   let tmp = Filename.concat t.dir "snapshot.tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  write_all fd (Buffer.contents buf);
+  write_all fd text;
   Unix.fsync fd;
   Unix.close fd;
   Unix.rename tmp (snapshot_path ~dir:t.dir);
-  fsync_dir t.dir;
-  (* the snapshot now covers everything: reset the journal *)
+  fsync_dir t.dir
+
+(* the snapshot now covers everything up to [base]: reset the journal *)
+let reset_journal t ~new_base =
   Unix.ftruncate t.fd 0;
   ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
-  write_all t.fd header;
+  let h = header_for new_base in
+  write_all t.fd h;
   Unix.fsync t.fd;
-  t.seq <- 0;
+  t.base <- new_base;
+  t.seq <- new_base;
   t.since <- 0;
-  t.bytes <- String.length header
+  t.bytes <- String.length h
+
+let checkpoint t (m : Manager.t) : unit =
+  let buf = Persist.save_to_buffer m in
+  write_snapshot_file t (Buffer.contents buf);
+  reset_journal t ~new_base:t.seq
+
+let install_snapshot t ~seq ~text =
+  write_snapshot_file t text;
+  reset_journal t ~new_base:seq
+
+let read_snapshot t =
+  let path = snapshot_path ~dir:t.dir in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+  else None
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -174,17 +234,44 @@ let parse_line (s : string) : line =
     | _ -> raise (Corrupt ("unknown journal line: " ^ s))
 
 (* One parsed record, in file order. *)
-type record = {
+type parsed_record = {
   r_seq : int;
   r_ids : int array option;
   r_delta : Delta.t;
   r_code : (string * (string list * Analyzer.Ast.stmt)) list;
 }
 
+(* Parse one complete record's raw text (as shipped over a replication
+   feed) back into its delta/code/ids. *)
+let parse_record text : parsed_record =
+  let seq = ref None
+  and ids = ref None
+  and delta = ref Delta.empty
+  and code = ref []
+  and commit = ref None in
+  List.iter
+    (fun l ->
+      match parse_line l with
+      | L_comment -> ()
+      | L_begin n -> (
+          match !seq with
+          | None -> seq := Some n
+          | Some _ -> raise (Corrupt "record: nested begin"))
+      | L_ids a -> ids := Some a
+      | L_add f -> delta := Delta.add f !delta
+      | L_del f -> delta := Delta.del f !delta
+      | L_code (cid, c) -> code := (cid, c) :: !code
+      | L_commit n -> commit := Some n)
+    (String.split_on_char '\n' text);
+  match (!seq, !commit) with
+  | Some n, Some n' when n = n' ->
+      { r_seq = n; r_ids = !ids; r_delta = !delta; r_code = List.rev !code }
+  | _ -> raise (Corrupt "record: missing or mismatched begin/commit")
+
 (* Replay one record through a session.  Any failure — exception or an
    inconsistent result — rolls the session back and reports the record as
    bad, which recovery treats as the start of the torn tail. *)
-let replay_record (m : Manager.t) (r : record) : bool =
+let replay_record (m : Manager.t) (r : parsed_record) : bool =
   Manager.begin_session m;
   match
     Manager.propose m r.r_delta;
@@ -212,13 +299,50 @@ let replay_record (m : Manager.t) (r : record) : bool =
       if Manager.in_session m then Manager.rollback m;
       false
 
+let apply_record = replay_record
+
+(* Raw complete records in journal text, in file order: [(seq, text)] where
+   [text] is the record's exact bytes (begin..commit inclusive).  Only the
+   begin/commit bracket is inspected — interior lines were validated when
+   the record was first replayed or received — so streaming a record to a
+   replica costs no fact decoding. *)
+let verb_int prefix line =
+  let pl = String.length prefix in
+  if String.length line > pl && String.sub line 0 pl = prefix then
+    int_of_string_opt (String.trim (String.sub line pl (String.length line - pl)))
+  else None
+
+let scan_raw text : (int * string) list =
+  let out = ref [] in
+  let line_start = ref 0 in
+  let cur = ref None in
+  List.iter
+    (fun (line, end_off) ->
+      let s = String.trim line in
+      (match (verb_int "begin " s, verb_int "commit " s) with
+      | Some n, _ -> cur := Some (n, !line_start)
+      | _, Some n -> (
+          match !cur with
+          | Some (n', start) when n = n' ->
+              out := (n, String.sub text start (end_off - start)) :: !out;
+              cur := None
+          | _ -> cur := None)
+      | None, None -> ());
+      line_start := end_off)
+    (complete_lines text);
+  List.rev !out
+
+let records_from t ~from : (int * string) list =
+  let text = read_file (journal_path ~dir:t.dir) in
+  List.filter (fun (s, _) -> s > from && s <= t.seq) (scan_raw text)
+
 (* Scan the journal text: replay every complete, in-sequence record and
    return (last good offset, #replayed, last seq). *)
-let scan_and_replay (m : Manager.t) (text : string) : int * int * int =
+let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
   let lines = ref (complete_lines text) in
   let good = ref 0 in
   let replayed = ref 0 in
-  let last_seq = ref 0 in
+  let last_seq = ref base in
   let next () =
     match !lines with
     | [] -> None
@@ -262,12 +386,6 @@ let scan_and_replay (m : Manager.t) (text : string) : int * int * int =
   (try between () with Corrupt _ -> ());
   (!good, !replayed, !last_seq)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ~dir () :
     recovery =
   mkdir_p dir;
@@ -282,22 +400,23 @@ let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ~dir () :
   let jpath = journal_path ~dir in
   let existed = Sys.file_exists jpath in
   let fd = Unix.openfile jpath [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let replayed, last_seq, truncated, size =
+  let base, replayed, last_seq, truncated, size =
     if existed then begin
       let text = read_file jpath in
-      let good, replayed, last_seq = scan_and_replay manager text in
+      let base = base_of_header text in
+      let good, replayed, last_seq = scan_and_replay manager ~base text in
       let len = String.length text in
       if good < len then Unix.ftruncate fd good;
-      (replayed, last_seq, len - good, good)
+      (base, replayed, last_seq, len - good, good)
     end
     else begin
       write_all fd header;
       Unix.fsync fd;
-      (0, 0, 0, String.length header)
+      (0, 0, 0, 0, String.length header)
     end
   in
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   let journal =
-    { dir; fd; seq = last_seq; since = replayed; bytes = size }
+    { dir; fd; base; seq = last_seq; since = replayed; bytes = size }
   in
   { manager; journal; from_snapshot; replayed; truncated_bytes = truncated }

@@ -21,7 +21,15 @@
     del <fact>
     code <cid> <params,>|<body>
     commit <seq>
-    v} *)
+    v}
+
+    Sequence numbers are {e global}: they keep increasing across
+    checkpoints (the journal header records the sequence number the
+    snapshot covers), so a record's number identifies it for the lifetime
+    of the data directory.  The record stream doubles as the replication
+    log — {!records_from} re-reads committed records verbatim for
+    streaming to read replicas, and {!append_raw}/{!install_snapshot} are
+    the replica's side of the same contract. *)
 
 exception Corrupt of string
 
@@ -62,12 +70,19 @@ val append :
 
 val checkpoint : t -> Core.Manager.t -> unit
 (** Snapshot the manager ([snapshot.gomdb], written atomically via a
-    temporary file and rename, fsynced) and reset the journal.
+    temporary file and rename, fsynced) and reset the journal; the new
+    journal header records the covered sequence number, so {!seq} is
+    unchanged and {!base} advances to it.
     @raise Invalid_argument if an evolution session is open. *)
 
 val seq : t -> int
-(** Sequence number of the last appended record in the current journal
-    file (0 after a checkpoint or on a fresh journal). *)
+(** Global sequence number of the last committed record (0 on a fresh
+    data directory; unchanged by checkpoints). *)
+
+val base : t -> int
+(** Global sequence number the current snapshot/journal-start covers:
+    records [base+1 .. seq] are in the journal file, records [<= base]
+    are only reachable through the snapshot. *)
 
 val since_checkpoint : t -> int
 (** Records appended since the last checkpoint (or boot). *)
@@ -76,6 +91,41 @@ val bytes : t -> int
 (** Current size of the journal file in bytes. *)
 
 val close : t -> unit
+
+(** {2 Replication: the journal as a shipping log} *)
+
+type parsed_record = {
+  r_seq : int;
+  r_ids : int array option;
+  r_delta : Datalog.Delta.t;
+  r_code : (string * (string list * Analyzer.Ast.stmt)) list;
+}
+
+val records_from : t -> from:int -> (int * string) list
+(** Committed records with sequence numbers in [(from, seq t]], each as its
+    exact journal bytes (newline-terminated), oldest first.  Empty when the
+    subscriber is caught up; a subscriber whose [from] predates {!base}
+    must bootstrap from the snapshot instead. *)
+
+val parse_record : string -> parsed_record
+(** Parse one record's raw text (as returned by {!records_from} or shipped
+    over a feed). @raise Corrupt on malformed input. *)
+
+val apply_record : Core.Manager.t -> parsed_record -> bool
+(** Apply one record through a BES..EES session (so a [Maintained] manager
+    updates its materialization incrementally); [false] — with the session
+    rolled back — if the record does not commit cleanly. *)
+
+val append_raw : t -> seq:int -> text:string -> unit
+(** Append one record's exact bytes (the replica's write path) and fsync.
+    @raise Invalid_argument unless [seq = seq t + 1]. *)
+
+val install_snapshot : t -> seq:int -> text:string -> unit
+(** Replace the snapshot with [text] (atomically, fsynced) and reset the
+    journal to cover sequence number [seq]: the replica's bootstrap. *)
+
+val read_snapshot : t -> string option
+(** The current snapshot file's contents, if a checkpoint exists. *)
 
 val journal_path : dir:string -> string
 val snapshot_path : dir:string -> string

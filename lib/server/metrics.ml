@@ -17,11 +17,17 @@ let bound_label = [| "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s"; "inf"
 type t = {
   mu : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
 }
 
 let create () =
-  { mu = Mutex.create (); counters = Hashtbl.create 16; hists = Hashtbl.create 16 }
+  {
+    mu = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
 
 let with_lock t f =
   Mutex.lock t.mu;
@@ -36,6 +42,16 @@ let incr ?(by = 1) t name =
 let counter t name =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let set t name v =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+let gauge t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0)
 
 let observe t name seconds =
   with_lock t (fun () ->
@@ -65,6 +81,12 @@ let render t =
           t.counters []
         |> List.sort compare
       in
+      let gauges =
+        Hashtbl.fold
+          (fun name r acc -> Printf.sprintf "gauge %s %d" name !r :: acc)
+          t.gauges []
+        |> List.sort compare
+      in
       let hists =
         Hashtbl.fold
           (fun name h acc ->
@@ -84,4 +106,4 @@ let render t =
           t.hists []
         |> List.sort compare
       in
-      counters @ hists)
+      counters @ gauges @ hists)

@@ -13,10 +13,18 @@ val incr : ?by:int -> t -> string -> unit
 val counter : t -> string -> int
 (** Current value (0 if never bumped). *)
 
+val set : t -> string -> int -> unit
+(** Set a gauge — a value that can move both ways (replication lag, feed
+    subscribers, last applied sequence number). *)
+
+val gauge : t -> string -> int
+(** Current gauge value (0 if never set). *)
+
 val observe : t -> string -> float -> unit
 (** Record one observation, in seconds, into a latency histogram. *)
 
 val render : t -> string list
-(** The whole registry, one record per line, counters first, all sorted:
-    [counter <name> <value>] and
+(** The whole registry, one record per line — counters, then gauges, then
+    histograms, each group sorted:
+    [counter <name> <value>], [gauge <name> <value>] and
     [hist <name> count <n> mean_us <m> max_us <x> le_1ms <k> ...]. *)

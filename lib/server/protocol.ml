@@ -10,6 +10,7 @@ type request =
   | Script_line of string
   | Dump
   | Stats
+  | Subscribe of int
   | Quit
 
 (* Drop a trailing CR (telnet-style clients); body lines keep their
@@ -42,6 +43,13 @@ let parse_request line =
   | "query", q -> Result.Ok (Query q)
   | "script-line", "" -> Result.Error "script-line needs an evolution command"
   | "script-line", cmd -> Result.Ok (Script_line cmd)
+  | "subscribe", seq -> (
+      match int_of_string_opt seq with
+      | Some n when n >= 0 -> Result.Ok (Subscribe n)
+      | Some _ | None ->
+          Result.Error
+            "subscribe needs the last applied sequence number, e.g. \
+             subscribe 0")
   | ("bes" | "ees" | "rollback" | "check" | "dump" | "stats" | "quit"), _ ->
       Result.Error (Printf.sprintf "%s takes no argument" verb)
   | "", _ -> Result.Error "empty request"
@@ -56,6 +64,7 @@ let request_line = function
   | Script_line c -> "script-line " ^ c
   | Dump -> "dump"
   | Stats -> "stats"
+  | Subscribe n -> Printf.sprintf "subscribe %d" n
   | Quit -> "quit"
 
 (* ------------------------------------------------------------------ *)
@@ -87,6 +96,48 @@ let write_response oc { status; body } =
     body;
   output_string oc ".\n";
   flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Feed frames                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* After an acknowledged [subscribe], the connection becomes a one-way
+   replication feed: a stream of frames, each a header line followed by a
+   dot-stuffed body and the lone-dot terminator — the same framing as
+   responses, so dots and blank lines in journal records and snapshots
+   travel unharmed.  Headers: [record <seq>], [snapshot <seq>],
+   [ping <seq>], [error <reason>]. *)
+
+let write_frame oc ~header ~body =
+  output_string oc (one_line header);
+  output_char oc '\n';
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '.' then output_char oc '.';
+      output_string oc line;
+      output_char oc '\n')
+    body;
+  output_string oc ".\n";
+  flush oc
+
+let read_frame ic =
+  let header = strip (input_line ic) in
+  let body = ref [] in
+  let rec go () =
+    let line = chomp_cr (input_line ic) in
+    if line = "." then ()
+    else begin
+      let line =
+        if String.length line > 0 && line.[0] = '.' then
+          String.sub line 1 (String.length line - 1)
+        else line
+      in
+      body := line :: !body;
+      go ()
+    end
+  in
+  go ();
+  (header, List.rev !body)
 
 let read_response ic =
   let status =

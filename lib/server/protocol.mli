@@ -15,6 +15,8 @@ type request =
   | Script_line of string  (** one evolution command (script grammar) *)
   | Dump  (** the whole state as an evolution script *)
   | Stats  (** the server's metrics registry *)
+  | Subscribe of int
+      (** become a replication feed, starting after this sequence number *)
   | Quit  (** close the connection *)
 
 val parse_request : string -> (request, string) result
@@ -39,4 +41,19 @@ exception Protocol_error of string
 val read_response : in_channel -> response
 (** Read one framed response.
     @raise Protocol_error on a malformed frame.
+    @raise End_of_file if the peer closed mid-frame. *)
+
+(** {2 Replication feed frames}
+
+    After an acknowledged [subscribe] the connection is a one-way stream of
+    frames, each a header line plus a dot-stuffed, dot-terminated body (the
+    same framing as responses).  Headers in use: [record <seq>] (one raw
+    journal record), [snapshot <seq>] (whole-state bootstrap),
+    [ping <seq>] (idle keep-alive carrying the primary's position) and
+    [error <reason>] (feed cannot continue). *)
+
+val write_frame : out_channel -> header:string -> body:string list -> unit
+
+val read_frame : in_channel -> string * string list
+(** Read one frame: the header line (trimmed) and the unstuffed body.
     @raise End_of_file if the peer closed mid-frame. *)

@@ -1,0 +1,83 @@
+Replication: a read-only replica subscribes to the primary's journal
+stream, serves reads locally, refuses writer verbs with a redirect, and
+rides out a primary kill -9 by reconnecting and catching up.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data pdata --port-file pport 2>primary1.log &
+  $ PRIMARY=$!
+  $ i=0; while [ ! -s pport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ PPORT=$(cat pport)
+
+One session commits before any replica exists — the replica must catch
+up from the journal, not from a live stream it happened to watch:
+
+  $ ../../bin/gomsm.exe client --port-file pport bes 'script-line schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema Zoo;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+
+  $ ../../bin/gomsm.exe replica --primary 127.0.0.1:$PPORT --port 0 --data rdata --port-file rport 2>replica1.log &
+  $ REPLICA=$!
+  $ i=0; while [ ! -s rport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ waitseq() { i=0; while ! ../../bin/gomsm.exe client --port-file rport stats quit 2>/dev/null | grep -q "gauge replica_last_applied_seq $1$"; do sleep 0.2; i=$((i+1)); [ $i -ge 150 ] && break; done; :; }
+  $ waitseq 1
+
+A live commit streams straight through, and the dumps agree byte for
+byte:
+
+  $ ../../bin/gomsm.exe client --port-file pport bes 'script-line add attribute name : string to Animal@Zoo;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ waitseq 2
+  $ ../../bin/gomsm.exe client --port-file pport dump quit > p.dump
+  $ ../../bin/gomsm.exe client --port-file rport dump quit > r.dump
+  $ diff p.dump r.dump
+
+Writer verbs on the replica are refused with a redirect to the primary
+and a non-zero exit:
+
+  $ ../../bin/gomsm.exe client --port-file rport bes quit 2>bes.err || echo "exit $?"
+  bye.
+  exit 1
+  $ sed 's/127.0.0.1:[0-9]*/PRIMARY/' bes.err
+  error: read-only replica: evolution sessions go to the primary at PRIMARY
+
+kill -9 the primary: the replica reconnects with backoff and converges
+once the primary is back on the same port, with nothing lost.
+
+  $ kill -9 $PRIMARY
+  $ wait $PRIMARY 2>/dev/null || true
+  $ ../../bin/gomsm.exe serve --port $PPORT --data pdata --port-file pport 2>primary2.log &
+  $ PRIMARY=$!
+  $ i=0; while ! ../../bin/gomsm.exe client --port-file pport stats quit >/dev/null 2>&1 && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/gomsm.exe client --port-file pport bes 'script-line add type Keeper to Zoo;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ waitseq 3
+  $ ../../bin/gomsm.exe client --port-file pport dump quit > p2.dump
+  $ ../../bin/gomsm.exe client --port-file rport dump quit > r2.dump
+  $ diff p2.dump r2.dump
+
+Once caught up, the replication lag the replica reports is zero:
+
+  $ ../../bin/gomsm.exe client --port-file rport stats quit | grep -o 'gauge replica_lag_records 0'
+  gauge replica_lag_records 0
+
+A replica restart resumes from its own journal rather than
+re-bootstrapping:
+
+  $ kill -9 $REPLICA
+  $ wait $REPLICA 2>/dev/null || true
+  $ rm -f rport
+  $ ../../bin/gomsm.exe replica --primary 127.0.0.1:$PPORT --port 0 --data rdata --port-file rport 2>replica2.log &
+  $ REPLICA=$!
+  $ i=0; while [ ! -s rport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ grep -o 'resuming from seq 3' replica2.log
+  resuming from seq 3
+  $ waitseq 3
+  $ ../../bin/gomsm.exe client --port-file rport dump quit > r3.dump
+  $ diff p2.dump r3.dump
+  $ kill -9 $REPLICA $PRIMARY
+  $ wait $REPLICA 2>/dev/null || true
+  $ wait $PRIMARY 2>/dev/null || true

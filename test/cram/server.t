@@ -51,7 +51,7 @@ kill -9 between EES-ack and checkpoint loses nothing: on restart the
 journal is replayed and the dump is byte-identical.
 
   $ kill -9 $SERVER1
-  $ wait $SERVER1 || true
+  $ wait $SERVER1 2>/dev/null || true
   $ rm -f port
   $ ../../bin/gomsm.exe serve --port 0 --data data --port-file port 2>server2.log &
   $ SERVER2=$!
@@ -61,4 +61,4 @@ journal is replayed and the dump is byte-identical.
   $ ../../bin/gomsm.exe client --port-file port dump quit > after.dump
   $ diff before.dump after.dump
   $ kill -9 $SERVER2
-  $ wait $SERVER2 || true
+  $ wait $SERVER2 2>/dev/null || true

@@ -1,0 +1,494 @@
+(* Tests for the replication subsystem: the journal as a shipping log
+   (global sequence numbers, raw record round trips, snapshot install),
+   the read-only replica broker, a live primary+replica pair over a
+   localhost socket, and the equivalence of the three evaluation
+   strategies the replica's maintained materialization relies on. *)
+
+module Manager = Core.Manager
+module Persist = Core.Persist
+module Protocol = Server.Protocol
+module Broker = Server.Broker
+module Journal = Server.Journal
+module Metrics = Server.Metrics
+module Daemon = Server.Daemon
+module Applier = Replica.Applier
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gomsm-replica-test-%d-%d" (Unix.getpid ()) !n)
+
+let dump_of m =
+  Analyzer.Unparse.unparse_script
+    (Analyzer.Unparse.make ~db:(Manager.database m)
+       ~lookup_code:(Manager.lookup_code m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let expect_ok what (resp : Protocol.response) =
+  match resp.Protocol.status with
+  | Protocol.Ok -> ()
+  | Protocol.Err reason -> Alcotest.failf "%s failed: %s" what reason
+
+let expect_err what (resp : Protocol.response) =
+  match resp.Protocol.status with
+  | Protocol.Err reason -> reason
+  | Protocol.Ok -> Alcotest.failf "%s unexpectedly succeeded" what
+
+let zoo_frame =
+  "schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema \
+   Zoo;"
+
+let commit b client script =
+  expect_ok "bes" (Broker.handle b ~client Protocol.Bes);
+  expect_ok "script" (Broker.handle b ~client (Protocol.Script_line script));
+  expect_ok "ees" (Broker.handle b ~client Protocol.Ees)
+
+let journaled_broker ?(checkpoint_every = 1000) ?checkpoint_bytes dir =
+  let r = Journal.recover ~dir () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~checkpoint_every ?checkpoint_bytes
+      ~acquire_timeout:0.05 ~metrics:(Metrics.create ())
+      r.Journal.manager
+  in
+  (b, r.Journal.journal)
+
+let scripts =
+  [
+    zoo_frame;
+    "add attribute name : string to Animal@Zoo;";
+    "add type Keeper to Zoo;";
+    "add attribute badge : int to Keeper@Zoo;";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Global sequence numbers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_global_seq_across_checkpoints () =
+  let dir = fresh_dir () in
+  let b, j = journaled_broker ~checkpoint_every:1 dir in
+  List.iteri (fun i s -> commit b (i + 1) s) scripts;
+  (* every commit checkpointed: seq keeps counting, base tracks it *)
+  check_int "seq is global" 4 (Journal.seq j);
+  check_int "base caught up" 4 (Journal.base j);
+  Journal.close j;
+  let r = Journal.recover ~dir () in
+  check_int "seq survives recovery" 4 (Journal.seq r.Journal.journal);
+  check_int "base survives recovery" 4 (Journal.base r.Journal.journal);
+  check_bool "snapshot used" true r.Journal.from_snapshot;
+  check_int "nothing replayed" 0 r.Journal.replayed;
+  (* the next commit continues the global numbering *)
+  let b2 =
+    Broker.create ~journal:r.Journal.journal ~acquire_timeout:0.05
+      ~metrics:(Metrics.create ()) r.Journal.manager
+  in
+  commit b2 9 "add attribute wing : int to Animal@Zoo;";
+  check_int "numbering continues" 5 (Journal.seq r.Journal.journal);
+  Journal.close r.Journal.journal
+
+let test_records_from_exact_bytes () =
+  let dir = fresh_dir () in
+  let b, j = journaled_broker dir in
+  commit b 1 zoo_frame;
+  commit b 1 "add attribute name : string to Animal@Zoo;";
+  let rs = Journal.records_from j ~from:0 in
+  check_int "two records" 2 (List.length rs);
+  Alcotest.(check (list int)) "sequence numbers" [ 1; 2 ] (List.map fst rs);
+  (* the records concatenated are the journal file minus its header line *)
+  let text = read_file (Journal.journal_path ~dir) in
+  let header_end = String.index text '\n' + 1 in
+  check_string "verbatim bytes"
+    (String.sub text header_end (String.length text - header_end))
+    (String.concat "" (List.map snd rs));
+  check_int "caught-up subscriber" 0 (List.length (Journal.records_from j ~from:2));
+  check_int "partial" 1 (List.length (Journal.records_from j ~from:1));
+  Journal.close j
+
+let test_parse_and_apply_record () =
+  let dir = fresh_dir () in
+  let b, j = journaled_broker dir in
+  List.iteri (fun i s -> commit b (i + 1) s) scripts;
+  let m = Manager.create ~check_mode:Manager.Maintained () in
+  List.iter
+    (fun (seq, text) ->
+      let r = Journal.parse_record text in
+      check_int "header seq matches" seq r.Journal.r_seq;
+      check_bool "applies cleanly" true (Journal.apply_record m r))
+    (Journal.records_from j ~from:0);
+  check_string "replayed state matches primary" (dump_of (Broker.manager b))
+    (dump_of m);
+  Journal.close j
+
+let test_append_raw_resume () =
+  let dir1 = fresh_dir () and dir2 = fresh_dir () in
+  let b, j1 = journaled_broker dir1 in
+  commit b 1 zoo_frame;
+  commit b 1 "add attribute name : string to Animal@Zoo;";
+  let r2 = Journal.recover ~check_mode:Manager.Maintained ~dir:dir2 () in
+  let j2 = r2.Journal.journal in
+  List.iter
+    (fun (seq, text) ->
+      let r = Journal.parse_record text in
+      check_bool "applies" true (Journal.apply_record r2.Journal.manager r);
+      Journal.append_raw j2 ~seq ~text)
+    (Journal.records_from j1 ~from:0);
+  check_int "replica seq" 2 (Journal.seq j2);
+  check_string "byte-identical journals"
+    (read_file (Journal.journal_path ~dir:dir1))
+    (read_file (Journal.journal_path ~dir:dir2));
+  (* gaps and duplicates are refused *)
+  (match Journal.append_raw j2 ~seq:5 ~text:"begin 5\ncommit 5\n" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "sequence gap accepted");
+  Journal.close j1;
+  Journal.close j2;
+  (* a replica restart resumes from its own journal *)
+  let r3 = Journal.recover ~check_mode:Manager.Maintained ~dir:dir2 () in
+  check_int "resumes at 2" 2 (Journal.seq r3.Journal.journal);
+  check_string "replayed replica state" (dump_of (Broker.manager b))
+    (dump_of r3.Journal.manager);
+  Journal.close r3.Journal.journal
+
+let test_install_snapshot () =
+  let dir1 = fresh_dir () and dir2 = fresh_dir () in
+  let b, j1 = journaled_broker ~checkpoint_every:1 dir1 in
+  commit b 1 zoo_frame;
+  commit b 1 "add attribute name : string to Animal@Zoo;";
+  let snapshot =
+    match Journal.read_snapshot j1 with
+    | Some s -> s
+    | None -> Alcotest.fail "checkpointed journal has no snapshot"
+  in
+  let r2 = Journal.recover ~check_mode:Manager.Maintained ~dir:dir2 () in
+  Journal.install_snapshot r2.Journal.journal ~seq:(Journal.seq j1)
+    ~text:snapshot;
+  check_int "seq adopted" 2 (Journal.seq r2.Journal.journal);
+  check_int "base adopted" 2 (Journal.base r2.Journal.journal);
+  Journal.close r2.Journal.journal;
+  let r3 = Journal.recover ~check_mode:Manager.Maintained ~dir:dir2 () in
+  check_bool "recovers from installed snapshot" true r3.Journal.from_snapshot;
+  check_int "position kept" 2 (Journal.seq r3.Journal.journal);
+  check_string "state matches primary" (dump_of (Broker.manager b))
+    (dump_of r3.Journal.manager);
+  Journal.close j1;
+  Journal.close r3.Journal.journal
+
+(* ------------------------------------------------------------------ *)
+(* Broker: bytes-cap checkpointing, read-only mode, rollback metrics   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bytes_cap_checkpoints () =
+  let dir = fresh_dir () in
+  (* the count trigger can never fire; the one-byte size cap always does *)
+  let b, j = journaled_broker ~checkpoint_every:1000 ~checkpoint_bytes:1 dir in
+  commit b 1 zoo_frame;
+  check_int "checkpointed by size" 1
+    (Metrics.counter (Broker.metrics b) "checkpoints");
+  check_bool "snapshot written" true
+    (Sys.file_exists (Journal.snapshot_path ~dir));
+  check_int "journal reset" 0 (Journal.since_checkpoint j);
+  Journal.close j
+
+let test_read_only_refuses_writers () =
+  let b =
+    Broker.create ~read_only:"10.0.0.1:7643" ~acquire_timeout:0.05
+      ~metrics:(Metrics.create ())
+      (Manager.create ~check_mode:Manager.Maintained ())
+  in
+  List.iter
+    (fun (what, req) ->
+      let reason = expect_err what (Broker.handle b ~client:1 req) in
+      check_bool (what ^ " redirects") true (contains reason "10.0.0.1:7643"))
+    [
+      ("bes", Protocol.Bes);
+      ("ees", Protocol.Ees);
+      ("rollback", Protocol.Rollback);
+      ("script-line", Protocol.Script_line zoo_frame);
+    ];
+  check_int "refusals counted" 4
+    (Metrics.counter (Broker.metrics b) "read_only_refusals");
+  (* reads still work *)
+  expect_ok "check" (Broker.handle b ~client:1 Protocol.Check);
+  expect_ok "dump" (Broker.handle b ~client:1 Protocol.Dump);
+  expect_ok "stats" (Broker.handle b ~client:1 Protocol.Stats)
+
+let test_disconnect_rollback_metric () =
+  let b =
+    Broker.create ~acquire_timeout:0.05 ~metrics:(Metrics.create ())
+      (Manager.create ())
+  in
+  expect_ok "bes" (Broker.handle b ~client:1 Protocol.Bes);
+  expect_ok "script" (Broker.handle b ~client:1 (Protocol.Script_line zoo_frame));
+  Broker.disconnect b ~client:1;
+  check_int "disconnect rollback counted" 1
+    (Metrics.counter (Broker.metrics b) "disconnect_rollbacks");
+  Broker.disconnect b ~client:2;
+  check_int "idle disconnect not counted" 1
+    (Metrics.counter (Broker.metrics b) "disconnect_rollbacks")
+
+(* ------------------------------------------------------------------ *)
+(* A live primary + replica pair                                       *)
+(* ------------------------------------------------------------------ *)
+
+let start_primary dir =
+  let port = ref 0 in
+  let ready = Mutex.create () and cond = Condition.create () in
+  ignore
+    (Thread.create
+       (fun () ->
+         Daemon.serve
+           ~on_listen:(fun p ->
+             Mutex.lock ready;
+             port := p;
+             Condition.signal cond;
+             Mutex.unlock ready)
+           {
+             Daemon.default_config with
+             Daemon.port = 0;
+             data_dir = Some dir;
+             acquire_timeout = 0.5;
+           })
+       ());
+  Mutex.lock ready;
+  while !port = 0 do
+    Condition.wait cond ready
+  done;
+  Mutex.unlock ready;
+  !port
+
+let open_conn port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock, sock)
+
+let rpc conn line =
+  let _, oc, _ = conn in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let ic, _, _ = conn in
+  Protocol.read_response ic
+
+let commit_over port script =
+  let c = open_conn port in
+  expect_ok "bes" (rpc c "bes");
+  expect_ok "script" (rpc c ("script-line " ^ script));
+  expect_ok "ees" (rpc c "ees");
+  expect_ok "quit" (rpc c "quit");
+  Unix.close (let _, _, s = c in s)
+
+let wait_until ?(timeout = 10.0) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let test_live_replication () =
+  let pdir = fresh_dir () in
+  let port = start_primary pdir in
+  (* two commits before the replica exists: it must catch up from the log *)
+  commit_over port zoo_frame;
+  commit_over port "add attribute name : string to Animal@Zoo;";
+  let r =
+    Replica.start
+      {
+        Replica.default_config with
+        Replica.primary_port = port;
+        port = 0;
+        data_dir = None;
+      }
+  in
+  let a = Replica.applier r in
+  wait_until "catch-up" (fun () -> Applier.position a = 2);
+  (* a commit while the replica is attached streams straight through *)
+  commit_over port "add type Keeper to Zoo;";
+  wait_until "live tail" (fun () -> Applier.position a = 3);
+  check_int "no lag" 0 (Applier.lag a);
+  let rb = Replica.broker r in
+  let primary_dump =
+    let c = open_conn port in
+    let d = rpc c "dump" in
+    expect_ok "primary dump" d;
+    expect_ok "quit" (rpc c "quit");
+    Unix.close (let _, _, s = c in s);
+    String.concat "\n" d.Protocol.body
+  in
+  let replica_dump =
+    let d = Broker.handle rb ~client:99 Protocol.Dump in
+    expect_ok "replica dump" d;
+    String.concat "\n" d.Protocol.body
+  in
+  check_string "replica dump matches primary" primary_dump replica_dump;
+  (* the replica's stats expose the replication position *)
+  let stats = Broker.handle rb ~client:99 Protocol.Stats in
+  expect_ok "replica stats" stats;
+  check_bool "lag gauge exported" true
+    (List.exists
+       (fun l -> contains l "gauge replica_lag_records 0")
+       stats.Protocol.body);
+  (* writer verbs are refused with a redirect to the primary *)
+  let reason = expect_err "bes" (Broker.handle rb ~client:99 Protocol.Bes) in
+  check_bool "redirect names primary" true
+    (contains reason (Printf.sprintf "127.0.0.1:%d" port))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation-strategy equivalence (the replica's correctness bedrock) *)
+(* ------------------------------------------------------------------ *)
+
+(* The replica maintains its materialization with Incremental.apply; the
+   primary's checker settles the same state semi-naively.  All three
+   strategies — semi-naive, naive, and DRed maintenance over a replayed
+   delta sequence — must agree fact-for-fact. *)
+
+let v = Datalog.Term.var
+let atom = Datalog.Atom.make
+let fact p args =
+  Datalog.Fact.make p (List.map (fun s -> Datalog.Term.Sym s) args)
+
+let tc_rules =
+  [
+    Datalog.Rule.make (atom "t" [ v "X"; v "Y" ])
+      [ Datalog.Rule.Pos (atom "e" [ v "X"; v "Y" ]) ];
+    Datalog.Rule.make
+      (atom "t" [ v "X"; v "Z" ])
+      [
+        Datalog.Rule.Pos (atom "e" [ v "X"; v "Y" ]);
+        Datalog.Rule.Pos (atom "t" [ v "Y"; v "Z" ]);
+      ];
+    Datalog.Rule.make (atom "looped" [ v "X" ])
+      [ Datalog.Rule.Pos (atom "t" [ v "X"; v "X" ]) ];
+    Datalog.Rule.make (atom "leaf" [ v "X" ])
+      [
+        Datalog.Rule.Pos (atom "e" [ v "Y"; v "X" ]);
+        Datalog.Rule.Neg (atom "src" [ v "X" ]);
+      ];
+    Datalog.Rule.make (atom "src" [ v "X" ])
+      [ Datalog.Rule.Pos (atom "e" [ v "X"; v "Y" ]) ];
+  ]
+
+let eval_theory () =
+  let t = Datalog.Theory.create () in
+  Datalog.Theory.declare_predicate t ~name:"e" ~columns:[ "x"; "y" ];
+  Datalog.Theory.add_rules t tc_rules;
+  t
+
+let derived = [ "t"; "looped"; "leaf"; "src" ]
+
+let sorted_facts db pred =
+  List.sort compare
+    (List.map Datalog.Fact.to_string (Datalog.Database.facts db pred))
+
+let same_materialization a b =
+  List.for_all (fun p -> sorted_facts a p = sorted_facts b p) derived
+
+let edge (x, y) = fact "e" [ string_of_int x; string_of_int y ]
+
+let db_with edges =
+  let db = Datalog.Database.create () in
+  List.iter (fun e -> ignore (Datalog.Database.add db (edge e))) edges;
+  db
+
+(* Interpret a step list as the session deltas a replica would replay. *)
+let prop_three_strategies_agree =
+  QCheck.Test.make ~count:60
+    ~name:"semi-naive = naive = incremental replay"
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 5) (int_bound 5)))
+        (small_list (small_list (pair (pair bool (int_bound 5)) (int_bound 5)))))
+    (fun (initial, sessions) ->
+      (* replica path: init on the initial edges, then apply each session's
+         delta through DRed maintenance *)
+      let t = eval_theory () in
+      let inc_db = db_with initial in
+      let state = Datalog.Incremental.init t inc_db in
+      let final_edges =
+        List.fold_left
+          (fun edges session ->
+            let adds =
+              List.filter_map
+                (fun ((add, x), y) -> if add then Some (x, y) else None)
+                session
+            and dels =
+              List.filter_map
+                (fun ((add, x), y) -> if add then None else Some (x, y))
+                session
+            in
+            let delta =
+              Datalog.Delta.of_lists
+                ~additions:(List.map edge adds)
+                ~deletions:(List.map edge dels)
+            in
+            ignore (Datalog.Incremental.apply state delta);
+            (* deletions land before additions, as in Delta.apply *)
+            let kept = List.filter (fun e -> not (List.mem e dels)) edges in
+            kept @ List.filter (fun e -> not (List.mem e kept)) adds)
+          initial sessions
+      in
+      let maintained = Datalog.Incremental.materialized state in
+      (* from-scratch paths over the same final extensional state *)
+      let prepared = Datalog.Eval.prepare tc_rules in
+      let semi = db_with final_edges in
+      Datalog.Eval.run prepared semi;
+      let naive = db_with final_edges in
+      Datalog.Eval.run_naive prepared naive;
+      same_materialization semi naive
+      && same_materialization semi maintained)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "replica.journal",
+      [
+        Alcotest.test_case "global seq across checkpoints" `Quick
+          test_global_seq_across_checkpoints;
+        Alcotest.test_case "records_from ships exact bytes" `Quick
+          test_records_from_exact_bytes;
+        Alcotest.test_case "parse+apply replays a record stream" `Quick
+          test_parse_and_apply_record;
+        Alcotest.test_case "append_raw mirrors and resumes" `Quick
+          test_append_raw_resume;
+        Alcotest.test_case "install_snapshot bootstraps" `Quick
+          test_install_snapshot;
+      ] );
+    ( "replica.broker",
+      [
+        Alcotest.test_case "bytes cap forces checkpoint" `Quick
+          test_bytes_cap_checkpoints;
+        Alcotest.test_case "read-only broker refuses writers" `Quick
+          test_read_only_refuses_writers;
+        Alcotest.test_case "disconnect rollback counted" `Quick
+          test_disconnect_rollback_metric;
+      ] );
+    ( "replica.live",
+      [ Alcotest.test_case "primary feeds a replica" `Quick test_live_replication ] );
+    ( "replica.eval",
+      [ QCheck_alcotest.to_alcotest prop_three_strategies_agree ] );
+  ]
+
+let () = Alcotest.run "replica" suite
