@@ -24,6 +24,7 @@ let user_facts_only (db : Database.t) : Database.t =
   let is_builtin (c : Term.const) =
     match c with
     | Term.Sym s ->
+        let s = s.Term.name in
         s = Builtin.builtin_schema_sid
         || Builtin.is_builtin_tid s
         || List.mem s builtin_clids
@@ -36,14 +37,15 @@ let user_facts_only (db : Database.t) : Database.t =
         | "Schema", [| sid; _ |] -> is_builtin sid
         | "Type", [| tid; _; _ |] -> is_builtin tid
         | "SubTypRel", [| sub; _ |] -> is_builtin sub
-        | "PhRep", [| Term.Sym clid; _ |] -> List.mem clid builtin_clids
+        | "PhRep", [| Term.Sym clid; _ |] ->
+            List.mem clid.Term.name builtin_clids
         | _ -> false
       in
       let f =
         (* the paper prints "..." for the code text column *)
         match f.Fact.pred, f.Fact.args with
         | "Code", [| cid; _; did |] ->
-            { f with Fact.args = [| cid; Term.Sym "..."; did |] }
+            { f with Fact.args = [| cid; Term.symc "..."; did |] }
         | _ -> f
       in
       if not drop then ignore (Database.add out f))

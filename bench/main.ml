@@ -29,6 +29,12 @@ let ns_per_run results name =
 let recorded : (string * float) list ref = ref []
 let record name ns = recorded := (name, ns) :: !recorded
 
+(* --smoke: one tiny iteration of everything, no JSON — a CI liveness check
+   for the harness itself, not a measurement. *)
+let smoke = ref false
+let sizes full tiny = if !smoke then tiny else full
+let duration d = if !smoke then 0.05 else d
+
 let emit_json path =
   let entries = List.sort compare !recorded in
   let oc = open_out path in
@@ -58,8 +64,12 @@ let run_group ~name tests : string -> float =
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None
-      ~stabilize:false ()
+    if !smoke then
+      Benchmark.cfg ~limit:1 ~quota:(Time.second 0.02) ~kde:None
+        ~stabilize:false ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None
+        ~stabilize:false ()
   in
   let grouped = Test.make_grouped ~name tests in
   let raw = Benchmark.all cfg instances grouped in
@@ -82,7 +92,7 @@ let bench_incremental () =
   banner "B1"
     "Efficient consistency checking (refs [18, 20]): full re-check vs \
      affected-constraint cone vs maintained DRed state";
-  let sizes = [ 40; 80; 160 ] in
+  let sizes = sizes [ 40; 80; 160 ] [ 10 ] in
   let rows = ref [] in
   List.iter
     (fun size ->
@@ -171,13 +181,83 @@ let bench_seminaive () =
           Printf.sprintf "%.1fx" (u /. s);
         ]
         :: !rows)
-    [ 40; 80 ];
+    (sizes [ 40; 80 ] [ 10 ]);
   table
     [
       "types"; "semi-naive+idx"; "naive"; "naive/s"; "unindexed";
       "unindexed/s";
     ]
     (List.rev !rows)
+
+(* B8: the two evaluator fast paths, ablated independently.
+
+   Symbol interning changes the hash function of every relation, so a
+   database populated under one [Term.use_interning] setting must never be
+   probed under the other: each configuration rebuilds its workload from
+   scratch inside the flag scope. *)
+let bench_planner () =
+  banner "B8"
+    "Ablations: symbol interning and cost-based join planning, separately \
+     and together";
+  let with_flags ~planner ~interning f =
+    let old_p = !Plan.use_planner and old_i = !Term.use_interning in
+    Plan.use_planner := planner;
+    Term.use_interning := interning;
+    Fun.protect
+      ~finally:(fun () ->
+        Plan.use_planner := old_p;
+        Term.use_interning := old_i)
+      f
+  in
+  let configs =
+    [
+      ("baseline", false, false);
+      ("planned", true, false);
+      ("interned", false, true);
+      ("planned+interned", true, true);
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun size ->
+      let measured =
+        List.map
+          (fun (label, planner, interning) ->
+            with_flags ~planner ~interning (fun () ->
+                let theory = Workload.full_theory () in
+                let db, _, _ = Workload.database theory ~types:size in
+                let lookup =
+                  run_group
+                    ~name:(Printf.sprintf "eval-%d" size)
+                    [
+                      Test.make ~name:label
+                        (Staged.stage (fun () -> Checker.check theory db));
+                    ]
+                in
+                (label, lookup label)))
+          configs
+      in
+      let ns_of label = List.assoc label measured in
+      let base = ns_of "baseline" in
+      rows :=
+        (string_of_int size
+        :: List.concat_map
+             (fun (label, ns) ->
+               if label = "baseline" then [ pretty_ns ns ]
+               else [ pretty_ns ns; Printf.sprintf "%.1fx" (base /. ns) ])
+             measured)
+        :: !rows)
+    (sizes [ 40; 80 ] [ 10 ]);
+  table
+    [
+      "types"; "baseline"; "planned"; "speedup"; "interned"; "speedup";
+      "both"; "speedup";
+    ]
+    (List.rev !rows);
+  print_endline
+    "expected shape: interning cheapens every unification and hash; the\n\
+     planner cuts the number of tuples considered per join.  The axes are\n\
+     orthogonal, so the combined row should compound."
 
 (* ------------------------------------------------------------------ *)
 (* B2: conversion (O2) vs masking (ENCORE)                             *)
@@ -250,7 +330,7 @@ let bench_cures () =
            else "-");
         ]
         :: !rows)
-    [ 100; 1000; 10000 ];
+    (sizes [ 100; 1000; 10000 ] [ 50 ]);
   table
     [
       "objects"; "masking change"; "conversion change"; "masked read";
@@ -303,7 +383,7 @@ let bench_repairs () =
           pretty_ns (lookup "materialize");
         ]
         :: !rows)
-    [ 40; 80 ];
+    (sizes [ 40; 80 ] [ 10 ]);
   table
     [
       "types"; "violations"; "repairs for first"; "generate (one violation)";
@@ -396,7 +476,7 @@ let bench_sessions () =
           Printf.sprintf "%.1fx" (e /. d);
         ]
         :: !rows)
-    [ 2; 8; 32 ];
+    (sizes [ 2; 8; 32 ] [ 2 ]);
   table
     [
       "ops per batch"; "one session (2 checks)"; "eager (2k checks)";
@@ -447,7 +527,7 @@ let bench_analyzer () =
           Printf.sprintf "%.0f" (float_of_int types /. (t /. 1e9));
         ]
         :: !rows)
-    [ 20; 80 ];
+    (sizes [ 20; 80 ] [ 10 ]);
   table
     [ "types"; "bytes"; "parse"; "parse+translate"; "types/second" ]
     (List.rev !rows)
@@ -521,7 +601,7 @@ let bench_server () =
       let cells =
         List.map
           (fun clients ->
-            let rps = throughput ~clients ~request ~duration:0.4 in
+            let rps = throughput ~clients ~request ~duration:(duration 0.4) in
             record
               (Printf.sprintf "server/%s-%dclients" label clients)
               (1e9 /. rps);
@@ -649,7 +729,7 @@ let bench_replication () =
   let rows = ref [] in
   List.iter
     (fun (label, endpoints) ->
-      let rps = throughput ~endpoints ~clients:8 ~request ~duration:0.4 in
+      let rps = throughput ~endpoints ~clients:8 ~request ~duration:(duration 0.4) in
       record (Printf.sprintf "server/read-scaling-%s" label) (1e9 /. rps);
       rows := [ label; Printf.sprintf "%.0f query/s" rps ] :: !rows)
     [
@@ -667,9 +747,9 @@ let bench_replication () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let skip_benches =
-    Array.length Sys.argv > 1 && Sys.argv.(1) = "--artifacts-only"
-  in
+  let args = Array.to_list Sys.argv in
+  let skip_benches = List.mem "--artifacts-only" args in
+  smoke := List.mem "--smoke" args;
   print_endline
     "Reproduction harness for \"Towards More Flexible Schema Management in\n\
      Object Bases\" (Moerkotte/Zachmann, ICDE 1993).";
@@ -677,12 +757,13 @@ let () =
   if not skip_benches then begin
     bench_incremental ();
     bench_seminaive ();
+    bench_planner ();
     bench_cures ();
     bench_repairs ();
     bench_sessions ();
     bench_analyzer ();
     bench_server ();
     bench_replication ();
-    emit_json "BENCH_results.json"
+    if not !smoke then emit_json "BENCH_results.json"
   end;
   Printf.printf "\n%s\nAll artifacts regenerated.\n" (String.make 72 '=')

@@ -1,0 +1,22 @@
+(* A minimal driver for profiling the evaluator hot path under perf/valgrind:
+   repeatedly runs the consistency check on the standard workload, nothing
+   else.  Usage:  dune exec bench/profile.exe [types] [iterations] *)
+
+open Datalog
+
+let () =
+  let types =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 80
+  in
+  let iters =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 50
+  in
+  let theory = Workload.full_theory () in
+  let db, _, _ = Workload.database theory ~types in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Checker.check theory db)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%d checks of %d types in %.3f s (%.2f ms/check)\n" iters
+    types dt (dt /. float_of_int iters *. 1e3)

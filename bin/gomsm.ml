@@ -396,8 +396,11 @@ let paper_cmd =
         if name <> Gom.Builtin.builtin_schema_name then
           Printf.printf "schema %s: %s\n" name
             (String.concat ", "
-               (List.map snd (Gom.Schema_base.types_of_schema db ~sid))))
-      (Gom.Schema_base.schemas db);
+               (List.sort String.compare
+                  (List.map snd (Gom.Schema_base.types_of_schema db ~sid)))))
+      (List.sort
+         (fun (_, a) (_, b) -> String.compare a b)
+         (Gom.Schema_base.schemas db));
     0
   in
   Cmd.v

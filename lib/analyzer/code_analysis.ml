@@ -75,7 +75,7 @@ let rec infer ctx st (e : Ast.expr) : string option =
                           (Schema_base.collect ctx.db Preds.schemavar (fun t ->
                                if
                                  Datalog.Term.equal_const t.(0)
-                                   (Datalog.Term.Sym sid)
+                                   (Datalog.Term.symc sid)
                                then
                                  Some
                                    ( Schema_base.sym_of t.(1),

@@ -670,12 +670,12 @@ let delete_code_of_decl env did =
         (fun f -> remove env f)
         (Database.facts env.work Preds.codereqdecl
         |> List.filter (fun (f : Fact.t) ->
-               Term.equal_const f.args.(0) (Term.Sym cid)));
+               Term.equal_const f.args.(0) (Term.symc cid)));
       List.iter
         (fun f -> remove env f)
         (Database.facts env.work Preds.codereqattr
         |> List.filter (fun (f : Fact.t) ->
-               Term.equal_const f.args.(0) (Term.Sym cid)))
+               Term.equal_const f.args.(0) (Term.symc cid)))
 
 let delete_decl env (d : Schema_base.decl_info) =
   delete_code_of_decl env d.Schema_base.did;

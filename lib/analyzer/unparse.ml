@@ -92,7 +92,7 @@ let unparse_type ctx buf ~sid tid name =
     Datalog.Database.facts ctx.db Preds.declrefinement
     |> List.exists (fun (f : Datalog.Fact.t) ->
            Datalog.Term.equal_const f.args.(0)
-             (Datalog.Term.Sym d.Schema_base.did))
+             (Datalog.Term.symc d.Schema_base.did))
   in
   let refines, operations = List.partition is_refinement decls in
   if operations <> [] then begin
@@ -177,7 +177,7 @@ let unparse_schema ctx ~sid : string =
     (Schema_base.imports_of ctx.db ~sid);
   (* variables *)
   Schema_base.collect ctx.db Preds.schemavar (fun t ->
-      if Datalog.Term.equal_const t.(0) (Datalog.Term.Sym sid) then
+      if Datalog.Term.equal_const t.(0) (Datalog.Term.symc sid) then
         Some (Schema_base.sym_of t.(1), Schema_base.sym_of t.(2))
       else None)
   |> List.iter (fun (v, tid) ->

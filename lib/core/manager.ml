@@ -320,7 +320,7 @@ let instantiate_fresh t (repair : Repair.t) : Repair.t =
                 Ids.fresh t.ids Ids.Phrep
               else Ids.fresh t.ids Ids.Type
             in
-            let c = Term.Sym fresh in
+            let c = Term.symc fresh in
             Hashtbl.replace assigned name c;
             c)
     | Term.Sym _ | Term.Int _ -> c

@@ -27,7 +27,7 @@ let quote s = Printf.sprintf "%S" s
 
 let encode_const (c : Term.const) =
   match c with
-  | Term.Sym s -> quote s
+  | Term.Sym s -> quote s.Term.name
   | Term.Int i -> string_of_int i
   | Term.Fresh s -> "?" ^ quote s
 
@@ -97,7 +97,7 @@ let read_const c : Term.const =
   skip_ws c;
   if c.pos >= String.length c.line then fail_at c "expected constant";
   match c.line.[c.pos] with
-  | '"' -> Term.Sym (read_quoted c)
+  | '"' -> Term.symc (read_quoted c)  (* decode interns *)
   | '?' ->
       c.pos <- c.pos + 1;
       Term.Fresh (read_quoted c)
@@ -217,21 +217,18 @@ let save_to_buffer (m : Manager.t) : Buffer.t =
     List.filter_map
       (fun (f : Fact.t) ->
         match f.Fact.pred, f.Fact.args with
-        | "Code", [| Term.Sym cid; _; _ |] -> Some cid
-        | "FashionDecl", [| _; _; Term.Sym cid |] -> Some cid
-        | "FashionAttr", [| _; _; _; Term.Sym r; Term.Sym w |] ->
-            ignore r;
-            ignore w;
-            None
+        | "Code", [| Term.Sym cid; _; _ |] -> Some cid.Term.name
+        | "FashionDecl", [| _; _; Term.Sym cid |] -> Some cid.Term.name
         | _ -> None)
       facts
     @ List.concat_map
         (fun (f : Fact.t) ->
           match f.Fact.pred, f.Fact.args with
-          | "FashionAttr", [| _; _; _; Term.Sym r; Term.Sym w |] -> [ r; w ]
+          | "FashionAttr", [| _; _; _; Term.Sym r; Term.Sym w |] ->
+              [ r.Term.name; w.Term.name ]
           | _ -> [])
         facts
-    |> List.sort_uniq compare
+    |> List.sort_uniq String.compare
   in
   List.iter
     (fun cid ->

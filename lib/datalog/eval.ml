@@ -4,93 +4,188 @@
    database; positive literals scan relations (optionally overridden, which is
    how semi-naive deltas are injected), negated literals and comparisons are
    tested once their variables are bound (guaranteed by [Rule.normalize]).
+   A [Plan.t] permutes the body into a cheaper join order; within a positive
+   literal, the most selective bound column (smallest index bucket) is chosen
+   at runtime instead of the first bound one.
 
    [run] materializes the intensional predicates into the database with a
    semi-naive fixpoint per stratum; [run_naive] is the naive fixpoint kept for
-   the ablation bench. *)
+   the ablation bench.
 
-type prepared = { rules : Rule.t list; strat : Stratify.t }
+   Plans are cached on the prepared program per (rule, bound pattern,
+   database size class): the bound pattern is the semi-naive delta position
+   (or none), and the size class — the bit length of the database's total
+   cardinality — retires a plan once the database has roughly doubled, so a
+   plan computed against an empty bootstrap database is not reused against a
+   populated one.  Cache traffic is counted in [Plan] and surfaced by the
+   server's [stats] verb. *)
+
+type planned_rule = {
+  rule : Rule.t;
+  mutable plans : ((int * int) * Plan.t) list;
+      (* (delta position | -1, size class) -> plan; a handful of entries *)
+}
+
+type prepared = {
+  rules : Rule.t list;
+  strat : Stratify.t;
+  planned : planned_rule list array;  (* per stratum, aligned with strata *)
+}
 
 let prepare rules =
   let rules = List.map Rule.normalize rules in
-  { rules; strat = Stratify.compute rules }
+  let strat = Stratify.compute rules in
+  let planned =
+    Array.map
+      (List.map (fun r -> { rule = r; plans = [] }))
+      (Stratify.strata strat)
+  in
+  { rules; strat; planned }
 
 let rules t = t.rules
 let stratification t = t.strat
 let is_idb t pred = Stratify.is_idb t.strat pred
 
+let size_class n =
+  let rec go b n = if n = 0 then b else go (b + 1) (n lsr 1) in
+  go 0 n
+
+(* The cached plan for [pr] with the given delta position (bound pattern),
+   computed against [db]'s current statistics on first use. *)
+let plan_for db (pr : planned_rule) ~(delta : int option) : Plan.t option =
+  if not !Plan.use_planner then None
+  else begin
+    let dp = match delta with Some i -> i | None -> -1 in
+    let key = (dp, size_class (Database.total db)) in
+    match List.assoc_opt key pr.plans with
+    | Some p ->
+        Plan.record_hit ();
+        Some p
+    | None ->
+        let p = Plan.make ?first:delta db pr.rule.Rule.body in
+        pr.plans <- (key, p) :: pr.plans;
+        Plan.record_miss ();
+        Some p
+  end
+
 (* Enumerate substitutions satisfying [lits] against [db], extending [s].
    [scan i] may override the relation scanned by the [i]-th literal (used to
-   restrict one literal to a delta). *)
-let eval_lits db ?(scan = fun _ -> None) lits s k =
-  let rec go i lits s =
-    match lits with
-    | [] -> k s
-    | Rule.Pos a :: rest ->
-        let rel =
-          match scan i with
-          | Some r -> Some r
-          | None -> Database.relation_opt db a.Atom.pred
-        in
-        (match rel with
-        | None -> ()
-        | Some rel ->
-            let consider tuple =
-              match Subst.unify_args a.Atom.args tuple s with
-              | None -> ()
-              | Some s -> go (i + 1) rest s
-            in
-            (* an argument bound under the current substitution selects the
-               column index instead of a full scan *)
-            let rec first_bound j =
-              if j >= Array.length a.Atom.args then None
-              else
-                match Subst.apply_term s a.Atom.args.(j) with
-                | Term.Const c -> Some (j, c)
-                | Term.Var _ -> first_bound (j + 1)
-            in
-            (match first_bound 0 with
-            | Some (col, key) -> (
-                match Relation.lookup rel ~col ~key with
-                | Some tuples -> List.iter consider tuples
-                | None -> Relation.iter consider rel)
-            | None -> Relation.iter consider rel))
-    | Rule.Neg a :: rest ->
-        let f = Subst.ground_atom s a in
-        if not (Fact.is_ground f) then
-          invalid_arg
-            (Fmt.str "eval: negated literal not ground: %a" Fact.pp f);
-        if not (Database.mem db f) then go (i + 1) rest s
-    | Rule.Cmp (op, x, y) :: rest -> (
-        match Subst.apply_term s x, Subst.apply_term s y with
-        | Term.Const a, Term.Const b ->
-            if Rule.eval_cmp op a b then go (i + 1) rest s
-        | Term.Var v, Term.Const c when op = Rule.Eq ->
-            go (i + 1) rest (Subst.bind v c s)
-        | Term.Const c, Term.Var v when op = Rule.Eq ->
-            go (i + 1) rest (Subst.bind v c s)
-        | _ ->
-            invalid_arg
-              (Fmt.str "eval: comparison with unbound variable: %a"
-                 Rule.pp_literal (Rule.Cmp (op, x, y))))
+   restrict one literal to a delta); [plan] permutes the evaluation order —
+   [scan] indices always refer to the original body positions. *)
+let eval_lits db ?(scan = fun _ -> None) ?plan lits s k =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  let order =
+    match plan with
+    | Some p when Array.length p.Plan.order = n -> p.Plan.order
+    | Some _ | None -> [||]
   in
-  go 0 lits s
+  let rec go pos s =
+    if pos >= n then k s
+    else
+      let i = if order == [||] then pos else order.(pos) in
+      match lits.(i) with
+      | Rule.Pos a -> (
+          let rel =
+            match scan i with
+            | Some r -> Some r
+            | None -> Database.relation_opt db a.Atom.pred
+          in
+          match rel with
+          | None -> ()
+          | Some rel ->
+              let consider tuple =
+                match Subst.unify_args a.Atom.args tuple s with
+                | None -> ()
+                | Some s -> go (pos + 1) s
+              in
+              if !Plan.use_planner then begin
+                (* the most selective bound column: the smallest index
+                   bucket among the arguments bound under [s]; an empty
+                   bucket proves there is no match at all *)
+                let best = ref None in
+                let empty = ref false in
+                (try
+                   Array.iteri
+                     (fun j arg ->
+                       match Subst.apply_term s arg with
+                       | Term.Const key -> (
+                           match Relation.lookup rel ~col:j ~key with
+                           | Some [] ->
+                               empty := true;
+                               raise Exit
+                           | Some bucket -> (
+                               match !best with
+                               | Some b when List.compare_lengths b bucket <= 0
+                                 ->
+                                   ()
+                               | Some _ | None -> best := Some bucket)
+                           | None -> ())
+                       | Term.Var _ -> ())
+                     a.Atom.args
+                 with Exit -> ());
+                if not !empty then
+                  match !best with
+                  | Some bucket -> List.iter consider bucket
+                  | None -> Relation.iter consider rel
+              end
+              else begin
+                (* planner off: the historical first-bound-column heuristic *)
+                let rec first_bound j =
+                  if j >= Array.length a.Atom.args then None
+                  else
+                    match Subst.apply_term s a.Atom.args.(j) with
+                    | Term.Const c -> Some (j, c)
+                    | Term.Var _ -> first_bound (j + 1)
+                in
+                match first_bound 0 with
+                | Some (col, key) -> (
+                    match Relation.lookup rel ~col ~key with
+                    | Some tuples -> List.iter consider tuples
+                    | None -> Relation.iter consider rel)
+                | None -> Relation.iter consider rel
+              end)
+      | Rule.Neg a ->
+          let f = Subst.ground_atom s a in
+          if not (Fact.is_ground f) then
+            invalid_arg
+              (Fmt.str "eval: negated literal not ground: %a" Fact.pp f);
+          if not (Database.mem db f) then go (pos + 1) s
+      | Rule.Cmp (op, x, y) -> (
+          match Subst.apply_term s x, Subst.apply_term s y with
+          | Term.Const a, Term.Const b ->
+              if Rule.eval_cmp op a b then go (pos + 1) s
+          | Term.Var v, Term.Const c when op = Rule.Eq ->
+              go (pos + 1) (Subst.bind v c s)
+          | Term.Const c, Term.Var v when op = Rule.Eq ->
+              go (pos + 1) (Subst.bind v c s)
+          | _ ->
+              invalid_arg
+                (Fmt.str "eval: comparison with unbound variable: %a"
+                   Rule.pp_literal (Rule.Cmp (op, x, y))))
+  in
+  go 0 s
 
 (* Evaluate one rule, collecting head facts not yet in [db] into [acc]. *)
-let derive_rule db ?scan (r : Rule.t) acc =
-  eval_lits db ?scan r.body Subst.empty (fun s ->
+let derive_rule db ?scan ?plan (r : Rule.t) acc =
+  eval_lits db ?scan ?plan r.body Subst.empty (fun s ->
       let f = Subst.ground_atom s r.head in
       if not (Database.mem db f) then acc := f :: !acc)
 
 (* One stratum, semi-naive.  [recursive p] holds for predicates defined in
    this stratum; rules mentioning them positively participate in delta
    rounds. *)
-let run_stratum db rules =
-  let heads = List.map (fun r -> r.Rule.head.Atom.pred) rules in
-  let recursive p = List.mem p heads in
+let run_stratum db (prs : planned_rule list) =
+  let heads = Hashtbl.create 16 in
+  List.iter
+    (fun pr -> Hashtbl.replace heads pr.rule.Rule.head.Atom.pred ())
+    prs;
+  let recursive p = Hashtbl.mem heads p in
   (* Round 0: every rule against the full database. *)
   let fresh = ref [] in
-  List.iter (fun r -> derive_rule db r fresh) rules;
+  List.iter
+    (fun pr -> derive_rule db ?plan:(plan_for db pr ~delta:None) pr.rule fresh)
+    prs;
   let delta = Database.create () in
   List.iter
     (fun f -> if Database.add db f then ignore (Database.add delta f))
@@ -98,27 +193,28 @@ let run_stratum db rules =
   (* Delta rounds: rule variants with one recursive literal over the delta. *)
   let variants =
     List.concat_map
-      (fun r ->
-        List.mapi (fun i lit -> i, lit) r.Rule.body
+      (fun pr ->
+        List.mapi (fun i lit -> i, lit) pr.rule.Rule.body
         |> List.filter_map (fun (i, lit) ->
                match lit with
                | Rule.Pos a when recursive a.Atom.pred ->
-                   Some (r, i, a.Atom.pred)
+                   Some (pr, i, a.Atom.pred)
                | Rule.Pos _ | Rule.Neg _ | Rule.Cmp _ -> None))
-      rules
+      prs
   in
   let rec loop delta =
     if Database.total delta > 0 then begin
       let fresh = ref [] in
       List.iter
-        (fun (r, i, pred) ->
+        (fun (pr, i, pred) ->
           match Database.relation_opt delta pred with
           | None -> ()
           | Some drel ->
               if not (Relation.is_empty drel) then
                 derive_rule db
                   ~scan:(fun j -> if j = i then Some drel else None)
-                  r fresh)
+                  ?plan:(plan_for db pr ~delta:(Some i))
+                  pr.rule fresh)
         variants;
       let next = Database.create () in
       List.iter
@@ -129,20 +225,23 @@ let run_stratum db rules =
   in
   loop delta
 
-let run t db = Array.iter (fun rules -> run_stratum db rules) (Stratify.strata t.strat)
+let run t db = Array.iter (fun prs -> run_stratum db prs) t.planned
 
 (* Naive fixpoint per stratum: re-evaluate every rule until nothing new. *)
 let run_naive t db =
   Array.iter
-    (fun rules ->
+    (fun prs ->
       let changed = ref true in
       while !changed do
         changed := false;
         let fresh = ref [] in
-        List.iter (fun r -> derive_rule db r fresh) rules;
+        List.iter
+          (fun pr ->
+            derive_rule db ?plan:(plan_for db pr ~delta:None) pr.rule fresh)
+          prs;
         List.iter (fun f -> if Database.add db f then changed := true) !fresh
       done)
-    (Stratify.strata t.strat)
+    t.planned
 
 (* Continue a materialized database after EDB additions: [added] must already
    be inserted into [db].  Sound for programs where the added predicates do
@@ -152,14 +251,14 @@ let continue_with_additions t db (added : Fact.t list) =
   let d = Database.create () in
   List.iter (fun f -> ignore (Database.add d f)) added;
   Array.iter
-    (fun rules ->
+    (fun prs ->
       (* Variants: any rule literal whose predicate has delta facts; the
          accumulated delta is rescanned each round (already-present heads are
          filtered out), which is simple and correct. *)
       let rec loop () =
         let fresh = ref [] in
         List.iter
-          (fun (r : Rule.t) ->
+          (fun pr ->
             List.iteri
               (fun i lit ->
                 match lit with
@@ -170,10 +269,11 @@ let continue_with_additions t db (added : Fact.t list) =
                         if not (Relation.is_empty drel) then
                           derive_rule db
                             ~scan:(fun j -> if j = i then Some drel else None)
-                            r fresh)
+                            ?plan:(plan_for db pr ~delta:(Some i))
+                            pr.rule fresh)
                 | Rule.Neg _ | Rule.Cmp _ -> ())
-              r.body)
-          rules;
+              pr.rule.Rule.body)
+          prs;
         let new_facts = List.filter (fun f -> Database.add db f) !fresh in
         if new_facts <> [] then begin
           List.iter (fun f -> ignore (Database.add d f)) new_facts;
@@ -181,15 +281,17 @@ let continue_with_additions t db (added : Fact.t list) =
         end
       in
       loop ())
-    (Stratify.strata t.strat)
+    t.planned
 
 (* Answer a query (a body) against a materialized database. *)
 let query db lits k =
-  let lits = List.map (fun l -> l) lits in
-  (* Order literals for evaluability via a throwaway rule. *)
+  (* Order literals for evaluability via a throwaway rule, then plan. *)
   let dummy_head = Atom.make "$query" [] in
   let r = Rule.normalize (Rule.make dummy_head lits) in
-  eval_lits db r.body Subst.empty k
+  let plan =
+    if !Plan.use_planner then Some (Plan.make db r.body) else None
+  in
+  eval_lits db ?plan r.body Subst.empty k
 
 let query_once db lits =
   let result = ref None in

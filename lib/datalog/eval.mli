@@ -14,13 +14,16 @@ val is_idb : prepared -> string -> bool
 val eval_lits :
   Database.t ->
   ?scan:(int -> Relation.t option) ->
+  ?plan:Plan.t ->
   Rule.literal list ->
   Subst.t ->
   (Subst.t -> unit) ->
   unit
 (** Enumerate substitutions satisfying a literal list (assumed already in an
     evaluable order).  [scan i] overrides the relation scanned by the [i]-th
-    literal, which is how semi-naive deltas are injected. *)
+    literal, which is how semi-naive deltas are injected.  [plan] permutes
+    the evaluation order; [scan] indices always refer to the original body
+    positions.  A plan whose length does not match the body is ignored. *)
 
 val run : prepared -> Database.t -> unit
 (** Materialize all intensional predicates into the database, semi-naive

@@ -98,6 +98,9 @@ let nonempty_rel db pred =
    positive literals over [dplus_or_dminus], negated literals (flipped to
    positive) over the opposite delta.  Heads are passed to [emit]. *)
 let fire_variants ~db ~pos_delta ~neg_delta rules emit =
+  let plan_of body i =
+    if !Plan.use_planner then Some (Plan.make ~first:i db body) else None
+  in
   List.iter
     (fun (r : Rule.t) ->
       List.iteri
@@ -109,7 +112,7 @@ let fire_variants ~db ~pos_delta ~neg_delta rules emit =
               | Some drel ->
                   Eval.eval_lits db
                     ~scan:(fun j -> if j = i then Some drel else None)
-                    r.body Subst.empty
+                    ?plan:(plan_of r.body i) r.body Subst.empty
                     (fun s -> emit (Subst.ground_atom s r.head)))
           | Rule.Neg a -> (
               match nonempty_rel neg_delta a.Atom.pred with
@@ -123,7 +126,7 @@ let fire_variants ~db ~pos_delta ~neg_delta rules emit =
                   in
                   Eval.eval_lits db
                     ~scan:(fun j -> if j = i then Some drel else None)
-                    body' Subst.empty
+                    ?plan:(plan_of body' i) body' Subst.empty
                     (fun s -> emit (Subst.ground_atom s r.head)))
           | Rule.Cmp _ -> ())
         r.body)
@@ -160,10 +163,10 @@ let apply (state : state) (delta : Delta.t) : Delta.t =
   let db = state.materialized in
   Array.iter
     (fun stratum_rules ->
-      let heads =
-        List.map (fun r -> r.Rule.head.Atom.pred) stratum_rules
-        |> List.sort_uniq String.compare
-      in
+      let heads = Hashtbl.create 16 in
+      List.iter
+        (fun (r : Rule.t) -> Hashtbl.replace heads r.Rule.head.Atom.pred ())
+        stratum_rules;
       (* Phase 1: overestimate deletions against the pre-update state.  The
          candidate set is itself closed under the stratum's recursive rules:
          a candidate-deleted fact may have supported further facts. *)
@@ -228,12 +231,16 @@ let apply (state : state) (delta : Delta.t) : Delta.t =
               List.iteri
                 (fun i lit ->
                   match lit with
-                  | Rule.Pos a when List.mem a.Atom.pred heads -> (
+                  | Rule.Pos a when Hashtbl.mem heads a.Atom.pred -> (
                       match nonempty_rel local a.Atom.pred with
                       | None -> ()
                       | Some drel ->
                           Eval.eval_lits db
                             ~scan:(fun j -> if j = i then Some drel else None)
+                            ?plan:
+                              (if !Plan.use_planner then
+                                 Some (Plan.make ~first:i db r.body)
+                               else None)
                             r.body Subst.empty
                             (fun s ->
                               let f = Subst.ground_atom s r.head in

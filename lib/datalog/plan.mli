@@ -1,0 +1,34 @@
+(** Cost-based join planning: greedy selectivity ordering of rule bodies
+    with sideways information passing.  A plan is a permutation of the body
+    literals; it never affects which facts are derived, only the order in
+    which the join is explored, so reusing a stale plan is always sound. *)
+
+type t = { order : int array }
+(** [order.(k)] is the original body index of the literal evaluated at
+    position [k]. *)
+
+val use_planner : bool ref
+(** Global switch (default [true]).  Off, bodies evaluate in their
+    [Rule.normalize] order with the first-bound-column index heuristic —
+    the pre-planner engine, kept for the ablation bench. *)
+
+val identity : int -> t
+(** The trivial plan: evaluate in the given order. *)
+
+val make :
+  ?first:int -> ?bound:string list -> Database.t -> Rule.literal list -> t
+(** Order [body] (which must already be normalized/safe) against the
+    statistics of [db].  [first] pins one literal to the front — the
+    semi-naive delta literal; [bound] seeds the bound-variable set (e.g.
+    head variables of a point query). *)
+
+val hits : unit -> int
+val misses : unit -> int
+(** Cumulative plan-cache hit/miss counters (all evaluations in the
+    process), surfaced by the server's [stats] verb. *)
+
+val record_hit : unit -> unit
+val record_miss : unit -> unit
+(** Bumped by {!Eval}'s plan cache. *)
+
+val pp : t Fmt.t

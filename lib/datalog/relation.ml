@@ -3,22 +3,24 @@
    Per-column hash indexes are built lazily on first use and maintained
    incrementally afterwards, so joins can look up matching tuples by a bound
    column instead of scanning the extension.  [use_indexes] switches the
-   feature off globally for the evaluation-strategy ablation bench. *)
+   feature off globally for the evaluation-strategy ablation bench.
+
+   Tuples hash and compare through the interned-symbol operations of [Term]:
+   a tuple hash mixes small ints, and tuple equality is a run of int
+   comparisons — no string traversal on the hot path. *)
 
 module Tuple_tbl = Hashtbl.Make (struct
   type t = Term.const array
 
-  let equal (a : t) (b : t) =
-    Array.length a = Array.length b && Array.for_all2 Term.equal_const a b
-
-  let hash (a : t) = Hashtbl.hash a
+  let equal = Term.equal_tuple
+  let hash = Term.hash_tuple
 end)
 
 module Const_tbl = Hashtbl.Make (struct
   type t = Term.const
 
   let equal = Term.equal_const
-  let hash (c : t) = Hashtbl.hash c
+  let hash = Term.hash_const
 end)
 
 let use_indexes = ref true
@@ -44,15 +46,13 @@ let index_add (idx : index) col tuple =
 
 let index_remove (idx : index) col tuple =
   if col < Array.length tuple then
-    match Const_tbl.find_opt idx tuple.(col) with
+    let key = tuple.(col) in
+    match Const_tbl.find_opt idx key with
     | Some bucket ->
-        bucket :=
-          List.filter
-            (fun t ->
-              not
-                (Array.length t = Array.length tuple
-                && Array.for_all2 Term.equal_const t tuple))
-            !bucket
+        bucket := List.filter (fun t -> not (Term.equal_tuple t tuple)) !bucket;
+        (* drop emptied buckets so long-lived relations under churn do not
+           accumulate dead keys in the index table *)
+        if !bucket = [] then Const_tbl.remove idx key
     | None -> ()
 
 let add r tuple =
@@ -83,22 +83,24 @@ let clear r =
 
 let copy r = { tuples = Tuple_tbl.copy r.tuples; indexes = [] }
 
+let index_for r col : index =
+  match List.assoc_opt col r.indexes with
+  | Some idx -> idx
+  | None ->
+      let idx : index = Const_tbl.create (max 16 (cardinal r)) in
+      iter (fun tuple -> index_add idx col tuple) r;
+      r.indexes <- (col, idx) :: r.indexes;
+      idx
+
 (* Tuples whose [col]-th component equals [key]; builds the column index on
    first use.  Falls back to [None] (meaning: caller should scan) when
    indexing is disabled. *)
 let lookup r ~col ~key : Term.const array list option =
   if not !use_indexes then None
-  else begin
-    let idx =
-      match List.assoc_opt col r.indexes with
-      | Some idx -> idx
-      | None ->
-          let idx : index = Const_tbl.create (max 16 (cardinal r)) in
-          iter (fun tuple -> index_add idx col tuple) r;
-          r.indexes <- (col, idx) :: r.indexes;
-          idx
-    in
-    match Const_tbl.find_opt idx key with
+  else
+    match Const_tbl.find_opt (index_for r col) key with
     | Some bucket -> Some !bucket
     | None -> Some []
-  end
+
+let distinct_keys r ~col : int option =
+  if not !use_indexes then None else Some (Const_tbl.length (index_for r col))

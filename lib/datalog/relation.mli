@@ -11,6 +11,11 @@ val lookup : t -> col:int -> key:Term.const -> Term.const array list option
 (** Tuples whose [col]-th component equals [key], via the (lazily built)
     column index.  [None] when indexing is disabled — the caller scans. *)
 
+val distinct_keys : t -> col:int -> int option
+(** Number of distinct values in column [col] (builds the index on first
+    use); the planner's selectivity denominator.  [None] when indexing is
+    disabled. *)
+
 val create : ?size:int -> unit -> t
 val mem : t -> Term.const array -> bool
 

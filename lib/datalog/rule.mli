@@ -18,6 +18,15 @@ val literal_vars : literal -> string list
 val eval_cmp : cmp -> Term.const -> Term.const -> bool
 val negate_cmp : cmp -> cmp
 
+val evaluable : string list -> literal -> bool
+(** Is the literal evaluable with the given variables bound?  Positive atoms
+    always are; negations and comparisons need their variables bound, except
+    that [X = t] with [t] bound acts as a binding assignment.  Shared with
+    {!Plan} so a reordering can never break the safety invariant. *)
+
+val binds : string list -> literal -> string list
+(** The bound-variable set after evaluating the literal. *)
+
 val normalize : t -> t
 (** Reorder the body so that every literal is evaluable at its position.
     Positive atoms bind variables; negated atoms and comparisons wait until

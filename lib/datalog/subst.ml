@@ -1,22 +1,38 @@
-(* Substitutions binding variables to constants during evaluation. *)
+(* Substitutions binding variables to constants during evaluation.
 
-module M = Map.Make (String)
+   Represented as an immutable association list: rule bodies bind at most a
+   handful of variables, so a cons per binding beats the O(log n) node churn
+   of a balanced map in the innermost join loop — extending a substitution
+   is the single most frequent allocation in the evaluator.  Lookups compare
+   physically first ([==]); repeated occurrences of a variable often share
+   their string, and the fallback [String.equal] is cheap on the short
+   distinct names. *)
 
-type t = Term.const M.t
+type t = (string * Term.const) list
 
-let empty = M.empty
-let find v (s : t) = M.find_opt v s
-let bind v c (s : t) = M.add v c s
-let mem v (s : t) = M.mem v s
-let bindings (s : t) = M.bindings s
+let empty : t = []
+
+let rec find v (s : t) =
+  match s with
+  | [] -> None
+  | (v', c) :: rest ->
+      if v' == v || String.equal v' v then Some c else find v rest
+
+let bind v c (s : t) : t = (v, c) :: s
+let mem v (s : t) = find v s <> None
+
+let bindings (s : t) =
+  (* first binding wins, as in a map; a variable is never rebound to a
+     different constant, so dropping shadowed duplicates is enough *)
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) s
 
 (* Unify a single term against a constant. *)
 let unify_term (t : Term.t) (c : Term.const) (s : t) =
   match t with
   | Const c' -> if Term.equal_const c' c then Some s else None
   | Var v -> (
-      match M.find_opt v s with
-      | None -> Some (M.add v c s)
+      match find v s with
+      | None -> Some (bind v c s)
       | Some c' -> if Term.equal_const c' c then Some s else None)
 
 (* Unify an atom's argument vector against a ground tuple. *)
@@ -36,7 +52,7 @@ let unify_args (args : Term.t array) (tuple : Term.const array) (s : t) =
 let apply_term (s : t) (t : Term.t) : Term.t =
   match t with
   | Const _ -> t
-  | Var v -> ( match M.find_opt v s with None -> t | Some c -> Const c)
+  | Var v -> ( match find v s with None -> t | Some c -> Const c)
 
 let apply_atom (s : t) (a : Atom.t) : Atom.t =
   { a with args = Array.map (apply_term s) a.args }
@@ -45,11 +61,10 @@ let apply_atom (s : t) (a : Atom.t) : Atom.t =
 let ground_atom (s : t) (a : Atom.t) : Fact.t =
   let conv = function
     | Term.Const c -> c
-    | Term.Var v -> (
-        match M.find_opt v s with None -> Term.Fresh v | Some c -> c)
+    | Term.Var v -> ( match find v s with None -> Term.Fresh v | Some c -> c)
   in
   { Fact.pred = a.pred; args = Array.map conv a.args }
 
 let pp ppf (s : t) =
   let pp_binding ppf (v, c) = Fmt.pf ppf "%s=%a" v Term.pp_const c in
-  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_binding) (M.bindings s)
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_binding) (bindings s)

@@ -4,10 +4,19 @@
    such as ["Car"]), machine integers (argument positions), and [Fresh]
    placeholders.  A [Fresh] constant never lives in a database extension: it
    only appears inside generated repairs, standing for a value the repair
-   executor must invent (a Skolem constant such as a new slot identifier). *)
+   executor must invent (a Skolem constant such as a new slot identifier).
+
+   Symbols are hash-consed: [intern] maps every distinct spelling to one
+   shared {!symbol} record carrying a unique integer id.  Equality on the
+   evaluator's hot path is therefore an int comparison and tuple hashing
+   mixes small ints instead of walking strings.  The intern table is global
+   and append-only, guarded by a mutex (the server evaluates under multiple
+   systhreads). *)
+
+type symbol = { id : int; name : string }
 
 type const =
-  | Sym of string
+  | Sym of symbol
   | Int of int
   | Fresh of string
 
@@ -15,13 +24,53 @@ type t =
   | Var of string
   | Const of const
 
-let sym s = Const (Sym s)
+(* ------------------------------------------------------------------ *)
+(* The intern table                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let intern_mu = Mutex.create ()
+let intern_tbl : (string, symbol) Hashtbl.t = Hashtbl.create 1024
+let next_id = ref 0
+
+let intern (name : string) : symbol =
+  Mutex.lock intern_mu;
+  let s =
+    match Hashtbl.find_opt intern_tbl name with
+    | Some s -> s
+    | None ->
+        let s = { id = !next_id; name } in
+        incr next_id;
+        Hashtbl.add intern_tbl name s;
+        s
+  in
+  Mutex.unlock intern_mu;
+  s
+
+let interned_count () =
+  Mutex.lock intern_mu;
+  let n = Hashtbl.length intern_tbl in
+  Mutex.unlock intern_mu;
+  n
+
+let symc s = Sym (intern s)
+let sym s = Const (symc s)
 let int i = Const (Int i)
 let var v = Var v
 
+(* Ablation switch for the bench: with interning off, symbol equality and
+   hashing fall back to the string operations the pre-interning engine paid
+   for.  Results are identical either way (interning is canonical), only the
+   cost changes.  Because hash tables remember where entries hashed to, the
+   switch must not move while any [Relation] holds tuples — populate and
+   probe under the same setting (the bench rebuilds its workload per
+   configuration). *)
+let use_interning = ref true
+
 let compare_const (a : const) (b : const) =
   match a, b with
-  | Sym x, Sym y -> String.compare x y
+  | Sym x, Sym y ->
+      (* names order the dump format; ids only short-circuit equality *)
+      if x.id = y.id then 0 else String.compare x.name y.name
   | Sym _, (Int _ | Fresh _) -> -1
   | Int _, Sym _ -> 1
   | Int x, Int y -> Int.compare x y
@@ -29,7 +78,35 @@ let compare_const (a : const) (b : const) =
   | Fresh x, Fresh y -> String.compare x y
   | Fresh _, (Sym _ | Int _) -> 1
 
-let equal_const a b = compare_const a b = 0
+let equal_const a b =
+  match a, b with
+  | Sym x, Sym y ->
+      if !use_interning then x.id = y.id else String.equal x.name y.name
+  | Int x, Int y -> x = y
+  | Fresh x, Fresh y -> String.equal x y
+  | (Sym _ | Int _ | Fresh _), _ -> false
+
+let hash_const (c : const) =
+  match c with
+  | Sym s ->
+      if !use_interning then s.id * 0x9e3779b1 land max_int
+      else Hashtbl.hash s.name
+  | Int i -> Hashtbl.hash i
+  | Fresh s -> Hashtbl.hash s lxor 0x55555555
+
+let equal_tuple (a : const array) (b : const array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (equal_const a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let hash_tuple (a : const array) =
+  let h = ref (Array.length a) in
+  for i = 0 to Array.length a - 1 do
+    h := ((!h * 31) + hash_const a.(i)) land max_int
+  done;
+  !h
 
 let compare (a : t) (b : t) =
   match a, b with
@@ -43,7 +120,7 @@ let equal a b = compare a b = 0
 let is_var = function Var _ -> true | Const _ -> false
 
 let pp_const ppf = function
-  | Sym s -> Fmt.string ppf s
+  | Sym s -> Fmt.string ppf s.name
   | Int i -> Fmt.int ppf i
   | Fresh s -> Fmt.pf ppf "?%s" s
 

@@ -1,7 +1,17 @@
-(** Terms of the deductive database: variables and constants. *)
+(** Terms of the deductive database: variables and constants.
+
+    Symbols are hash-consed: every distinct spelling maps to one shared
+    {!symbol} record with a unique integer [id], so constant equality on the
+    evaluation hot path is an int comparison and tuple hashing mixes small
+    ints instead of strings. *)
+
+type symbol = private { id : int; name : string }
+(** An interned symbol.  Obtain one only through {!intern} (or the [symc] /
+    [sym] constructors); the record is private so every symbol in existence
+    is canonical and [id] equality coincides with [name] equality. *)
 
 type const =
-  | Sym of string  (** interned symbol: identifiers, user names *)
+  | Sym of symbol  (** interned symbol: identifiers, user names *)
   | Int of int  (** machine integer: argument positions, counters *)
   | Fresh of string
       (** Skolem placeholder; appears only in generated repairs, standing for
@@ -11,8 +21,17 @@ type t =
   | Var of string
   | Const of const
 
+val intern : string -> symbol
+(** The canonical symbol for a spelling; thread-safe, append-only. *)
+
+val interned_count : unit -> int
+(** Number of distinct symbols interned so far (surfaced in server stats). *)
+
+val symc : string -> const
+(** [symc s] is the constant [Sym (intern s)]. *)
+
 val sym : string -> t
-(** [sym s] is the constant term [Const (Sym s)]. *)
+(** [sym s] is the constant term [Const (symc s)]. *)
 
 val int : int -> t
 (** [int i] is the constant term [Const (Int i)]. *)
@@ -20,8 +39,25 @@ val int : int -> t
 val var : string -> t
 (** [var v] is the variable term [Var v]. *)
 
+val use_interning : bool ref
+(** Ablation switch (default [true]).  Off, symbol equality/hashing fall back
+    to string operations — same results, pre-interning cost — to isolate the
+    interning contribution in the bench.  Hash tables remember where entries
+    hashed to, so never toggle this while relations hold tuples; the bench
+    rebuilds its workload under each setting. *)
+
 val compare_const : const -> const -> int
+(** Total order; symbols order by name (stable dump/journal byte format). *)
+
 val equal_const : const -> const -> bool
+
+val hash_const : const -> int
+
+val equal_tuple : const array -> const array -> bool
+(** Component-wise {!equal_const}, length included. *)
+
+val hash_tuple : const array -> int
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 

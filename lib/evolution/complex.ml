@@ -14,7 +14,7 @@ module Ast = Analyzer.Ast
 let scan_facts db pred f =
   Database.facts db pred |> List.filter_map f
 
-let sym s = Term.Sym s
+let sym s = Term.symc s
 
 (* ------------------------------------------------------------------ *)
 (* Adding an argument to an existing, used operation (section 2.1)     *)

@@ -30,7 +30,7 @@ let name = function
   | Defer -> "defer"
   | Version -> "version"
 
-let sym s = Term.Sym s
+let sym s = Term.symc s
 
 (* Facts referencing a type id from outside its own definition. *)
 let references db ~tid : Fact.t list =

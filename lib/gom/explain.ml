@@ -6,7 +6,7 @@
 open Datalog
 
 let sym_of = function
-  | Term.Sym s -> s
+  | Term.Sym s -> s.Term.name
   | Term.Int i -> string_of_int i
   | Term.Fresh s -> "a new " ^ s
 
@@ -34,7 +34,7 @@ let op_name db did =
 let describe db (f : Fact.t) : string =
   let a i = sym_of f.args.(i) in
   let at i =
-    match f.args.(i) with Term.Sym tid -> tname db tid | c -> sym_of c
+    match f.args.(i) with Term.Sym tid -> tname db tid.Term.name | c -> sym_of c
   in
   match f.pred with
   | "Schema" -> Printf.sprintf "schema %s" (a 1)
@@ -91,7 +91,7 @@ let explain_action db (action : Repair.action) : string =
       match f.pred with
       | "PhRep" ->
           Printf.sprintf "delete ALL instances of type %s"
-            (match f.args.(1) with Term.Sym tid -> tname db tid | c -> sym_of c)
+            (match f.args.(1) with Term.Sym tid -> tname db tid.Term.name | c -> sym_of c)
       | "Slot" ->
           Printf.sprintf
             "run a conversion removing slot %s from every object with the %s \
@@ -110,7 +110,7 @@ let explain_action db (action : Repair.action) : string =
             (phrep_type db (sym_of f.args.(0)))
       | "PhRep" ->
           Printf.sprintf "introduce a physical representation for type %s"
-            (match f.args.(1) with Term.Sym tid -> tname db tid | c -> sym_of c)
+            (match f.args.(1) with Term.Sym tid -> tname db tid.Term.name | c -> sym_of c)
       | _ -> "add " ^ describe db f)
 
 let explain_repair db (repair : Repair.t) : string list =

@@ -2,7 +2,7 @@
    constructors.  Names follow the paper exactly so that the regenerated
    extension tables read like Figure 2. *)
 
-let sym s = Datalog.Term.Sym s
+let sym s = Datalog.Term.symc s
 
 (* --- Base predicates: schema part (section 3.2) --- *)
 

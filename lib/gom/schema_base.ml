@@ -17,7 +17,7 @@ let collect db pred f =
   List.rev !acc
 
 let sym_of = function
-  | Term.Sym s -> s
+  | Term.Sym s -> s.Term.name
   | Term.Int i -> string_of_int i
   | Term.Fresh s -> "?" ^ s
 
@@ -26,13 +26,13 @@ let sym_of = function
 let find_schema db ~name =
   let result = ref None in
   scan db Preds.schema_ (fun t ->
-      if Term.equal_const t.(1) (Sym name) then result := Some (sym_of t.(0)));
+      if Term.equal_const t.(1) (Term.symc name) then result := Some (sym_of t.(0)));
   !result
 
 let schema_name db ~sid =
   let result = ref None in
   scan db Preds.schema_ (fun t ->
-      if Term.equal_const t.(0) (Sym sid) then result := Some (sym_of t.(1)));
+      if Term.equal_const t.(0) (Term.symc sid) then result := Some (sym_of t.(1)));
   !result
 
 let schemas db = collect db Preds.schema_ (fun t -> Some (sym_of t.(0), sym_of t.(1)))
@@ -42,7 +42,7 @@ let schemas db = collect db Preds.schema_ (fun t -> Some (sym_of t.(0), sym_of t
 let find_type db ~sid ~name =
   let result = ref None in
   scan db Preds.type_ (fun t ->
-      if Term.equal_const t.(1) (Sym name) && Term.equal_const t.(2) (Sym sid)
+      if Term.equal_const t.(1) (Term.symc name) && Term.equal_const t.(2) (Term.symc sid)
       then result := Some (sym_of t.(0)));
   !result
 
@@ -55,7 +55,7 @@ let find_type_at db ~type_name ~schema_name =
 let type_info db ~tid =
   let result = ref None in
   scan db Preds.type_ (fun t ->
-      if Term.equal_const t.(0) (Sym tid) then
+      if Term.equal_const t.(0) (Term.symc tid) then
         result := Some (sym_of t.(1), sym_of t.(2)));
   !result
 
@@ -64,18 +64,18 @@ let schema_of_type db ~tid = Option.map snd (type_info db ~tid)
 
 let types_of_schema db ~sid =
   collect db Preds.type_ (fun t ->
-      if Term.equal_const t.(2) (Sym sid) then Some (sym_of t.(0), sym_of t.(1))
+      if Term.equal_const t.(2) (Term.symc sid) then Some (sym_of t.(0), sym_of t.(1))
       else None)
 
 (* --- Subtyping --- *)
 
 let direct_supertypes db ~tid =
   collect db Preds.subtyprel (fun t ->
-      if Term.equal_const t.(0) (Sym tid) then Some (sym_of t.(1)) else None)
+      if Term.equal_const t.(0) (Term.symc tid) then Some (sym_of t.(1)) else None)
 
 let direct_subtypes db ~tid =
   collect db Preds.subtyprel (fun t ->
-      if Term.equal_const t.(1) (Sym tid) then Some (sym_of t.(0)) else None)
+      if Term.equal_const t.(1) (Term.symc tid) then Some (sym_of t.(0)) else None)
 
 (* Supertypes in breadth-first order (nearest first), excluding [tid];
    cycle-safe even on inconsistent schemas. *)
@@ -101,7 +101,7 @@ let is_subtype db ~sub ~super =
 
 let direct_attrs db ~tid =
   collect db Preds.attr (fun t ->
-      if Term.equal_const t.(0) (Sym tid) then Some (sym_of t.(1), sym_of t.(2))
+      if Term.equal_const t.(0) (Term.symc tid) then Some (sym_of t.(1), sym_of t.(2))
       else None)
 
 (* All attributes including inherited ones (the extension of Attr_i for this
@@ -133,7 +133,7 @@ type decl_info = {
 let decl_by_id db ~did =
   let result = ref None in
   scan db Preds.decl (fun t ->
-      if Term.equal_const t.(0) (Sym did) then
+      if Term.equal_const t.(0) (Term.symc did) then
         result :=
           Some
             {
@@ -146,7 +146,7 @@ let decl_by_id db ~did =
 
 let direct_decls db ~tid =
   collect db Preds.decl (fun t ->
-      if Term.equal_const t.(1) (Sym tid) then
+      if Term.equal_const t.(1) (Term.symc tid) then
         Some
           {
             did = sym_of t.(0);
@@ -166,7 +166,7 @@ let resolve_decl db ~tid ~name =
 
 let args_of_decl db ~did =
   collect db Preds.argdecl (fun t ->
-      if Term.equal_const t.(0) (Sym did) then
+      if Term.equal_const t.(0) (Term.symc did) then
         match t.(1) with
         | Term.Int n -> Some (n, sym_of t.(2))
         | Term.Sym _ | Term.Fresh _ -> None
@@ -176,68 +176,68 @@ let args_of_decl db ~did =
 let code_of_decl db ~did =
   let result = ref None in
   scan db Preds.code (fun t ->
-      if Term.equal_const t.(2) (Sym did) then
+      if Term.equal_const t.(2) (Term.symc did) then
         result := Some (sym_of t.(0), sym_of t.(1)));
   !result
 
 let refinements_of db ~did =
   collect db Preds.declrefinement (fun t ->
-      if Term.equal_const t.(1) (Sym did) then Some (sym_of t.(0)) else None)
+      if Term.equal_const t.(1) (Term.symc did) then Some (sym_of t.(0)) else None)
 
 (* --- Physical representations --- *)
 
 let phrep_of_type db ~tid =
   let result = ref None in
   scan db Preds.phrep (fun t ->
-      if Term.equal_const t.(1) (Sym tid) then result := Some (sym_of t.(0)));
+      if Term.equal_const t.(1) (Term.symc tid) then result := Some (sym_of t.(0)));
   !result
 
 let type_of_phrep db ~clid =
   let result = ref None in
   scan db Preds.phrep (fun t ->
-      if Term.equal_const t.(0) (Sym clid) then result := Some (sym_of t.(1)));
+      if Term.equal_const t.(0) (Term.symc clid) then result := Some (sym_of t.(1)));
   !result
 
 let slots_of_phrep db ~clid =
   collect db Preds.slot (fun t ->
-      if Term.equal_const t.(0) (Sym clid) then Some (sym_of t.(1), sym_of t.(2))
+      if Term.equal_const t.(0) (Term.symc clid) then Some (sym_of t.(1), sym_of t.(2))
       else None)
 
 (* --- Versioning --- *)
 
 let evolutions_of_type db ~tid =
   collect db Preds.evolves_to_t (fun t ->
-      if Term.equal_const t.(0) (Sym tid) then Some (sym_of t.(1)) else None)
+      if Term.equal_const t.(0) (Term.symc tid) then Some (sym_of t.(1)) else None)
 
 let predecessors_of_type db ~tid =
   collect db Preds.evolves_to_t (fun t ->
-      if Term.equal_const t.(1) (Sym tid) then Some (sym_of t.(0)) else None)
+      if Term.equal_const t.(1) (Term.symc tid) then Some (sym_of t.(0)) else None)
 
 (* --- Fashion --- *)
 
 (* FashionType(X, Y): instances of X are substitutable for instances of Y. *)
 let fashion_targets db ~tid =
   collect db Preds.fashiontype (fun t ->
-      if Term.equal_const t.(0) (Sym tid) then Some (sym_of t.(1)) else None)
+      if Term.equal_const t.(0) (Term.symc tid) then Some (sym_of t.(1)) else None)
 
 let fashion_sources db ~tid =
   collect db Preds.fashiontype (fun t ->
-      if Term.equal_const t.(1) (Sym tid) then Some (sym_of t.(0)) else None)
+      if Term.equal_const t.(1) (Term.symc tid) then Some (sym_of t.(0)) else None)
 
 let fashion_attr db ~owner_tid ~attr_name ~masked_tid =
   let result = ref None in
   scan db Preds.fashionattr (fun t ->
       if
-        Term.equal_const t.(0) (Sym owner_tid)
-        && Term.equal_const t.(1) (Sym attr_name)
-        && Term.equal_const t.(2) (Sym masked_tid)
+        Term.equal_const t.(0) (Term.symc owner_tid)
+        && Term.equal_const t.(1) (Term.symc attr_name)
+        && Term.equal_const t.(2) (Term.symc masked_tid)
       then result := Some (sym_of t.(3), sym_of t.(4)));
   !result
 
 let fashion_decl db ~did ~masked_tid =
   let result = ref None in
   scan db Preds.fashiondecl (fun t ->
-      if Term.equal_const t.(0) (Sym did) && Term.equal_const t.(1) (Sym masked_tid)
+      if Term.equal_const t.(0) (Term.symc did) && Term.equal_const t.(1) (Term.symc masked_tid)
       then result := Some (sym_of t.(2)));
   !result
 
@@ -246,21 +246,21 @@ let fashion_decl db ~did ~masked_tid =
 let parent_schema db ~sid =
   let result = ref None in
   scan db Preds.subschemarel (fun t ->
-      if Term.equal_const t.(0) (Sym sid) then result := Some (sym_of t.(1)));
+      if Term.equal_const t.(0) (Term.symc sid) then result := Some (sym_of t.(1)));
   !result
 
 let child_schemas db ~sid =
   collect db Preds.subschemarel (fun t ->
-      if Term.equal_const t.(1) (Sym sid) then Some (sym_of t.(0)) else None)
+      if Term.equal_const t.(1) (Term.symc sid) then Some (sym_of t.(0)) else None)
 
 let imports_of db ~sid =
   collect db Preds.imports (fun t ->
-      if Term.equal_const t.(0) (Sym sid) then Some (sym_of t.(1)) else None)
+      if Term.equal_const t.(0) (Term.symc sid) then Some (sym_of t.(1)) else None)
 
 (* Renamings in force within a schema: (kind, new name, source sid, old name). *)
 let renames_in db ~sid =
   collect db Preds.renamed (fun t ->
-      if Term.equal_const t.(0) (Sym sid) then
+      if Term.equal_const t.(0) (Term.symc sid) then
         Some (sym_of t.(1), sym_of t.(2), sym_of t.(3), sym_of t.(4))
       else None)
 
@@ -272,5 +272,5 @@ let renamed_away db ~sid ~kind ~source_sid ~old_name =
 
 let public_comps db ~sid =
   collect db Preds.public_comp (fun t ->
-      if Term.equal_const t.(0) (Sym sid) then Some (sym_of t.(1), sym_of t.(2))
+      if Term.equal_const t.(0) (Term.symc sid) then Some (sym_of t.(1), sym_of t.(2))
       else None)

@@ -9,7 +9,7 @@ open Datalog
 let enumval = "EnumVal"
 
 let enumval_fact ~tid ~value =
-  Fact.make enumval [ Term.Sym tid; Term.Sym value ]
+  Fact.make enumval [ Term.symc tid; Term.symc value ]
 
 let predicates = [ enumval, [ "TypeId"; "ValueName" ] ]
 
@@ -27,14 +27,14 @@ let install (t : Theory.t) =
 
 let values db ~tid =
   Schema_base.collect db enumval (fun tu ->
-      if Term.equal_const tu.(0) (Sym tid) then Some (Schema_base.sym_of tu.(1))
+      if Term.equal_const tu.(0) (Term.symc tid) then Some (Schema_base.sym_of tu.(1))
       else None)
 
 (* Resolve an enum literal to its sort; [None] if unknown or ambiguous. *)
 let sort_of_value db ~value =
   let hits = ref [] in
   Schema_base.scan db enumval (fun tu ->
-      if Term.equal_const tu.(1) (Sym value) then
+      if Term.equal_const tu.(1) (Term.symc value) then
         hits := Schema_base.sym_of tu.(0) :: !hits);
   match !hits with [ tid ] -> Some tid | [] | _ :: _ :: _ -> None
 

@@ -227,6 +227,10 @@ let do_stats t =
       in
       Metrics.set t.metrics "feed_subscribers" subs;
       Metrics.set t.metrics "replication_lag_records" max_lag);
+  (* evaluator gauges: plan-cache traffic and intern-table size *)
+  Metrics.set t.metrics "plan_cache_hits" (Datalog.Plan.hits ());
+  Metrics.set t.metrics "plan_cache_misses" (Datalog.Plan.misses ());
+  Metrics.set t.metrics "interned_symbols" (Datalog.Term.interned_count ());
   let journal_lines =
     match t.journal with
     | None -> []

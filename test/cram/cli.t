@@ -50,5 +50,5 @@ The paper's running example replays end to end:
   $ ../../bin/gomsm.exe paper
   CarSchema loaded.
   section 4.2 evolution applied.
-  schema CarSchema: Person, Car, Location, City
-  schema NewCarSchema: Location, PolluterCar, Car, Fuel, City, Person, CatalystCar
+  schema CarSchema: Car, City, Location, Person
+  schema NewCarSchema: Car, CatalystCar, City, Fuel, Location, Person, PolluterCar

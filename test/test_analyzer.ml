@@ -197,7 +197,7 @@ let test_translate_code_dependencies () =
   let attrs_of_cid cid =
     Database.facts db Preds.codereqattr
     |> List.filter_map (fun (f : Fact.t) ->
-           if Term.equal_const f.args.(0) (Sym cid) then
+           if Term.equal_const f.args.(0) (Term.symc cid) then
              Some (Schema_base.sym_of f.args.(1), Schema_base.sym_of f.args.(2))
            else None)
     |> List.sort compare
@@ -214,7 +214,7 @@ let test_translate_code_dependencies () =
   let decls_used =
     Database.facts db Preds.codereqdecl
     |> List.filter_map (fun (f : Fact.t) ->
-           if Term.equal_const f.args.(0) (Sym cid) then
+           if Term.equal_const f.args.(0) (Term.symc cid) then
              Some (Schema_base.sym_of f.args.(1))
            else None)
   in
@@ -508,7 +508,7 @@ let test_command_delete_operation_cascades_code () =
   check_bool "codereqattr cleaned" true
     (Database.facts db Preds.codereqattr
     |> List.for_all (fun (f : Fact.t) ->
-           not (Term.equal_const f.args.(0) (Sym "cid_3"))))
+           not (Term.equal_const f.args.(0) (Term.symc "cid_3"))))
 
 let test_scenario_42_consistent () =
   let t = full_theory () in

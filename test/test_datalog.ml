@@ -5,7 +5,7 @@ open Datalog
 let sym = Term.sym
 let v = Term.var
 
-let fact p args = Fact.make p (List.map (fun s -> Term.Sym s) args)
+let fact p args = Fact.make p (List.map Term.symc args)
 let atom = Atom.make
 
 let check_int = Alcotest.(check int)
@@ -17,10 +17,10 @@ let check_string = Alcotest.(check string)
 (* ------------------------------------------------------------------ *)
 
 let test_const_order () =
-  check_bool "sym < int" true (Term.compare_const (Sym "z") (Int 0) < 0);
+  check_bool "sym < int" true (Term.compare_const (Term.symc "z") (Int 0) < 0);
   check_bool "int < fresh" true (Term.compare_const (Int 99) (Fresh "a") < 0);
-  check_bool "sym eq" true (Term.equal_const (Sym "a") (Sym "a"));
-  check_bool "sym ne" false (Term.equal_const (Sym "a") (Sym "b"))
+  check_bool "sym eq" true (Term.equal_const (Term.symc "a") (Term.symc "a"));
+  check_bool "sym ne" false (Term.equal_const (Term.symc "a") (Term.symc "b"))
 
 let test_fact_equal () =
   check_bool "equal" true (Fact.equal (fact "p" [ "a"; "b" ]) (fact "p" [ "a"; "b" ]));
@@ -37,6 +37,30 @@ let test_atom_to_fact () =
   let a = atom "p" [ sym "a"; v "X" ] in
   Alcotest.check_raises "unbound var" (Invalid_argument "Atom.to_fact: unbound variable X")
     (fun () -> ignore (Atom.to_fact a))
+
+let test_interning () =
+  (* the intern table is canonical: equal names yield the same symbol *)
+  (match Term.symc "intern_probe", Term.symc "intern_probe" with
+  | Term.Sym a, Term.Sym b ->
+      check_bool "physically equal" true (a == b);
+      check_int "same id" a.Term.id b.Term.id
+  | _ -> Alcotest.fail "symc must build Sym");
+  (* equality and hashing agree with names *)
+  check_bool "hash stable" true
+    (Term.hash_const (Term.symc "intern_probe")
+    = Term.hash_const (Term.symc "intern_probe"));
+  (* ordering is by name, independent of intern order: intern "zz" first,
+     then "aa" (fresh names so the ids are newly assigned in that order) *)
+  let z = Term.symc "zz_intern_order" in
+  let a = Term.symc "aa_intern_order" in
+  check_bool "name order" true (Term.compare_const a z < 0);
+  check_bool "name order rev" true (Term.compare_const z a > 0);
+  (* the table only grows on genuinely new names *)
+  let n0 = Term.interned_count () in
+  ignore (Term.symc "intern_probe");
+  check_int "no growth on reuse" n0 (Term.interned_count ());
+  ignore (Term.symc "intern_probe_fresh_name");
+  check_int "growth on fresh" (n0 + 1) (Term.interned_count ())
 
 (* ------------------------------------------------------------------ *)
 (* Database                                                             *)
@@ -166,7 +190,7 @@ let chain_db n =
   for i = 1 to n - 1 do
     ignore
       (Database.add db
-         (Fact.make "e" [ Term.Sym (string_of_int i); Term.Sym (string_of_int (i + 1)) ]))
+         (Fact.make "e" [ Term.symc (string_of_int i); Term.symc (string_of_int (i + 1)) ]))
   done;
   db
 
@@ -249,6 +273,143 @@ let test_continue_with_additions () =
   let db2 = chain_db 11 in
   Eval.run prepared db2;
   check_int "same as scratch" (Database.count db2 "t") (Database.count db "t")
+
+(* ------------------------------------------------------------------ *)
+(* Join planning and indexes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let is_permutation (p : Plan.t) n =
+  let sorted = Array.copy p.Plan.order in
+  Array.sort Int.compare sorted;
+  sorted = Array.init n (fun i -> i)
+
+(* The greedy planner starts with the most selective literal. *)
+let test_plan_small_relation_first () =
+  let db = Database.create () in
+  for i = 1 to 100 do
+    ignore (Database.add db (fact "big" [ string_of_int i; "x" ]))
+  done;
+  ignore (Database.add db (fact "small" [ "a"; "b" ]));
+  let body =
+    [
+      Rule.Pos (atom "big" [ v "X"; v "Y" ]);
+      Rule.Pos (atom "small" [ v "X"; v "Z" ]);
+    ]
+  in
+  let p = Plan.make db body in
+  check_bool "permutation" true (is_permutation p 2);
+  check_int "small first" 1 p.Plan.order.(0);
+  check_int "big second" 0 p.Plan.order.(1)
+
+(* Negations cost nothing once ground, so they run at their earliest ground
+   position — here between the two joins, not at their input position. *)
+let test_plan_negation_floats_early () =
+  let db = Database.create () in
+  for i = 1 to 10 do
+    ignore (Database.add db (fact "e" [ string_of_int i; "m" ]))
+  done;
+  for i = 1 to 100 do
+    ignore (Database.add db (fact "big" [ "m"; string_of_int i ]))
+  done;
+  let body =
+    [
+      Rule.Pos (atom "e" [ v "X"; v "Y" ]);
+      Rule.Pos (atom "big" [ v "Y"; v "Z" ]);
+      Rule.Neg (atom "blocked" [ v "X" ]);
+    ]
+  in
+  let p = Plan.make db body in
+  check_bool "permutation" true (is_permutation p 3);
+  check_int "e first" 0 p.Plan.order.(0);
+  check_int "negation before the expensive join" 2 p.Plan.order.(1);
+  check_int "big last" 1 p.Plan.order.(2)
+
+(* Comparisons are pure filters and likewise float to the earliest position
+   where their variables are bound. *)
+let test_plan_comparison_floats_early () =
+  let db = Database.create () in
+  for i = 1 to 10 do
+    ignore (Database.add db (fact "e" [ string_of_int i; "m" ]))
+  done;
+  for i = 1 to 100 do
+    ignore (Database.add db (fact "big" [ "m"; string_of_int i ]))
+  done;
+  let body =
+    [
+      Rule.Pos (atom "e" [ v "X"; v "Y" ]);
+      Rule.Pos (atom "big" [ v "Y"; v "Z" ]);
+      Rule.Cmp (Rule.Ne, v "X", v "Y");
+    ]
+  in
+  let p = Plan.make db body in
+  check_bool "permutation" true (is_permutation p 3);
+  check_int "filter right after binding" 2 p.Plan.order.(1)
+
+(* The semi-naive delta literal is pinned to the front regardless of cost. *)
+let test_plan_delta_pinned_first () =
+  let db = Database.create () in
+  ignore (Database.add db (fact "small" [ "a"; "b" ]));
+  for i = 1 to 100 do
+    ignore (Database.add db (fact "big" [ string_of_int i; "x" ]))
+  done;
+  let body =
+    [
+      Rule.Pos (atom "big" [ v "X"; v "Y" ]);
+      Rule.Pos (atom "small" [ v "X"; v "Z" ]);
+    ]
+  in
+  let p = Plan.make ~first:0 db body in
+  check_int "delta first" 0 p.Plan.order.(0)
+
+(* A body whose literals never share a column still yields a valid plan
+   (cross product, smaller side first). *)
+let test_plan_no_bound_column () =
+  let db = Database.create () in
+  ignore (Database.add db (fact "p" [ "a" ]));
+  for i = 1 to 20 do
+    ignore (Database.add db (fact "q" [ string_of_int i ]))
+  done;
+  let body =
+    [ Rule.Pos (atom "q" [ v "Y" ]); Rule.Pos (atom "p" [ v "X" ]) ]
+  in
+  let p = Plan.make db body in
+  check_bool "permutation" true (is_permutation p 2);
+  check_int "smaller side first" 1 p.Plan.order.(0)
+
+(* Planner on and off derive the same facts. *)
+let test_planner_equivalence () =
+  let db_on = chain_db 12 and db_off = chain_db 12 in
+  Eval.run (Eval.prepare tc_rules) db_on;
+  Plan.use_planner := false;
+  Fun.protect
+    ~finally:(fun () -> Plan.use_planner := true)
+    (fun () -> Eval.run (Eval.prepare tc_rules) db_off);
+  check_int "same closure" (Database.count db_off "t") (Database.count db_on "t");
+  List.iter
+    (fun f -> check_bool "fact agrees" true (Database.mem db_off f))
+    (Database.facts db_on "t")
+
+(* Emptied index buckets are dropped, not leaked. *)
+let test_index_remove_drops_empty_buckets () =
+  let r = Relation.create () in
+  let t1 = [| Term.symc "k"; Term.symc "1" |] in
+  let t2 = [| Term.symc "k"; Term.symc "2" |] in
+  let t3 = [| Term.symc "j"; Term.symc "3" |] in
+  List.iter (fun t -> ignore (Relation.add r t)) [ t1; t2; t3 ];
+  check_int "two keys" 2 (Option.get (Relation.distinct_keys r ~col:0));
+  (match Relation.lookup r ~col:0 ~key:(Term.symc "k") with
+  | Some b -> check_int "bucket size" 2 (List.length b)
+  | None -> Alcotest.fail "index expected");
+  ignore (Relation.remove r t1);
+  ignore (Relation.remove r t2);
+  check_int "emptied key dropped" 1
+    (Option.get (Relation.distinct_keys r ~col:0));
+  check_bool "lookup sees the empty bucket" true
+    (Relation.lookup r ~col:0 ~key:(Term.symc "k") = Some []);
+  check_int "survivor intact" 1
+    (match Relation.lookup r ~col:0 ~key:(Term.symc "j") with
+    | Some b -> List.length b
+    | None -> -1)
 
 (* ------------------------------------------------------------------ *)
 (* Formulas and constraint compilation                                  *)
@@ -669,7 +830,7 @@ let test_repair_existence_add () =
          match r with
          | [ Repair.Add f ] ->
              f.Fact.pred = "r"
-             && Term.equal_const f.args.(0) (Sym "a")
+             && Term.equal_const f.args.(0) (Term.symc "a")
              && (match f.args.(1) with Term.Fresh _ -> true | _ -> false)
          | _ -> false)
        repairs)
@@ -812,14 +973,14 @@ let prop_compiler_matches_reference =
             (fun (pred, cs) ->
               let args =
                 List.init (String.length cs) (fun i ->
-                    Term.Sym (String.make 1 cs.[i]))
+                    Term.symc (String.make 1 cs.[i]))
               in
               let args = if pred = "q" then [ List.hd args ] else args in
               ignore (Database.add db (Fact.make pred args)))
             fact_spec;
           let violated = Checker.check t db <> [] in
           let materialized = Checker.materialize t db in
-          let domain = [ Term.Sym "a"; Term.Sym "b"; Term.Sym "c" ] in
+          let domain = [ Term.symc "a"; Term.symc "b"; Term.symc "c" ] in
           let holds = eval_formula materialized domain [] formula in
           violated = not holds)
 
@@ -928,6 +1089,7 @@ let suite =
         Alcotest.test_case "fact equality" `Quick test_fact_equal;
         Alcotest.test_case "fact groundness" `Quick test_fact_ground;
         Alcotest.test_case "atom to fact" `Quick test_atom_to_fact;
+        Alcotest.test_case "symbol interning" `Quick test_interning;
       ] );
     ( "datalog.database",
       [
@@ -958,6 +1120,22 @@ let suite =
         Alcotest.test_case "continue with additions" `Quick
           test_continue_with_additions;
         qcheck prop_indexing_agrees;
+      ] );
+    ( "datalog.plan",
+      [
+        Alcotest.test_case "small relation first" `Quick
+          test_plan_small_relation_first;
+        Alcotest.test_case "negation floats early" `Quick
+          test_plan_negation_floats_early;
+        Alcotest.test_case "comparison floats early" `Quick
+          test_plan_comparison_floats_early;
+        Alcotest.test_case "delta pinned first" `Quick
+          test_plan_delta_pinned_first;
+        Alcotest.test_case "no bound column" `Quick test_plan_no_bound_column;
+        Alcotest.test_case "planner on = planner off" `Quick
+          test_planner_equivalence;
+        Alcotest.test_case "index bucket reclamation" `Quick
+          test_index_remove_drops_empty_buckets;
       ] );
     ( "datalog.constraints",
       [
