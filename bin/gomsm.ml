@@ -419,6 +419,18 @@ let host_arg =
 let port_file_arg doc =
   Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"PATH" ~doc)
 
+(* Arm fault-injection sites from GOMSM_FAILPOINTS before the daemon
+   starts; a malformed spec is a usage error, not something to ignore. *)
+let load_failpoints who =
+  match Fault.Failpoint.load_env () with
+  | [] -> ()
+  | armed ->
+      Printf.eprintf "%s: failpoints armed: %s\n%!" who
+        (String.concat ", " armed)
+  | exception Fault.Failpoint.Bad_spec e ->
+      Printf.eprintf "%s: bad %s: %s\n" who Fault.Failpoint.env_var e;
+      exit 2
+
 let serve_cmd =
   let port =
     Arg.(
@@ -463,6 +475,7 @@ let serve_cmd =
   in
   let run host port data checkpoint_every checkpoint_bytes acquire_timeout
       port_file =
+    load_failpoints "gomsm-server";
     Server.Daemon.serve
       {
         Server.Daemon.host;
@@ -527,6 +540,7 @@ let replica_cmd =
        --port 0."
   in
   let run host primary port data checkpoint_every checkpoint_bytes port_file =
+    load_failpoints "gomsm-replica";
     let primary_host, primary_port =
       match String.rindex_opt primary ':' with
       | Some i -> (
@@ -580,10 +594,21 @@ let client_cmd =
       & info [] ~docv:"REQUEST"
           ~doc:
             "Requests to send, one per argument (e.g. bes, ees, check, dump, \
-             stats, quit, 'query ...', 'script-line ...').  With none, \
-             request lines are read from stdin.")
+             stats, health, quit, 'query ...', 'script-line ...').  With \
+             none, request lines are read from stdin.")
   in
-  let run host port port_file requests =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry failed connects, dropped connections and transient \
+             (timeout) errors up to N times per request, with capped \
+             jittered backoff.  Only requests that are safe to repeat are \
+             re-sent after a dropped connection; ees/script-line/rollback \
+             never are.  0 (the default) fails fast.")
+  in
+  let run host port port_file retries requests =
     let port =
       match port_file with
       | None -> port
@@ -594,7 +619,7 @@ let client_cmd =
               Printf.eprintf "bad port file %s\n" path;
               exit 2)
     in
-    match Server.Client.run ~host ~port ~requests () with
+    match Server.Client.run ~retries ~host ~port ~requests () with
     | code -> code
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot connect to %s:%d: %s\n" host port
@@ -604,8 +629,8 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Send requests to a running gomsm serve")
     Term.(
-      const (fun h p pf rs -> Stdlib.exit (run h p pf rs))
-      $ host_arg $ port $ port_file $ requests)
+      const (fun h p pf r rs -> Stdlib.exit (run h p pf r rs))
+      $ host_arg $ port $ port_file $ retries $ requests)
 
 let () =
   let doc = "flexible schema management in object bases (ICDE 1993)" in

@@ -1,0 +1,46 @@
+(* CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.  Used for
+   per-record journal checksums and for state digests — any single-bit flip
+   inside a checked span is guaranteed to be detected. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+type t = int32
+
+let init : t = 0xFFFFFFFFl
+
+let update_string (crc : t) (s : string) : t =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(i) (Int32.shift_right_logical !crc 8))
+    s;
+  !crc
+
+let finish (crc : t) : int32 = Int32.logxor crc 0xFFFFFFFFl
+
+let string (s : string) : int32 = finish (update_string init s)
+
+let to_hex (c : int32) : string = Printf.sprintf "%08lx" c
+
+(* Decimal form of the unsigned value — what journal [crc] lines carry. *)
+let to_decimal (c : int32) : string =
+  Printf.sprintf "%Lu" (Int64.logand (Int64.of_int32 c) 0xFFFFFFFFL)
+
+let of_decimal (s : string) : int32 option =
+  match Int64.of_string_opt (String.trim s) with
+  | Some v when v >= 0L && v <= 0xFFFFFFFFL -> Some (Int64.to_int32 v)
+  | Some _ | None -> None

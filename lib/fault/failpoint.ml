@@ -1,0 +1,226 @@
+(* Deterministic failpoint fault injection.
+
+   Code under test declares named sites ([define], at module toplevel) and
+   consults them on its hot path ([hit] for control points, [hit_io] for
+   write paths that can be cut short).  Nothing fires unless a site has
+   been activated — programmatically ([activate]) or through the
+   GOMSM_FAILPOINTS environment variable ([load_env]) — with a trigger
+   saying *when* (always, on exactly the Nth hit, from the Nth hit on, or
+   with a seeded probability) and an action saying *what* (raise EIO or
+   ENOSPC, cut a write short, sleep, drop the connection).
+
+   Everything is deterministic: triggers are driven by per-site hit
+   counters and a seeded xorshift PRNG, never by wall-clock or global
+   randomness, so a failing torture run replays exactly from its seed. *)
+
+type action =
+  | Eio
+  | Enospc
+  | Partial of int
+  | Delay of float
+  | Drop
+
+type trigger =
+  | Always
+  | Nth of int
+  | From of int
+  | Prob of float * int
+
+exception Dropped of string
+
+(* Seeded xorshift32: cheap, deterministic, good enough for fault
+   scheduling (we need reproducibility, not statistical quality). *)
+type prng = { mutable state : int }
+
+let make_prng seed = { state = (if seed land 0xFFFFFFFF = 0 then 1 else seed land 0xFFFFFFFF) }
+
+let prng_float p =
+  let x = p.state in
+  let x = x lxor ((x lsl 13) land 0xFFFFFFFF) in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor ((x lsl 5) land 0xFFFFFFFF) in
+  p.state <- x;
+  float_of_int (x land 0xFFFFFF) /. 16777216.0
+
+type site = {
+  name : string;
+  mutable hits : int;
+  mutable fired : int;
+  mutable active : (trigger * action * prng) option;
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let mu = Mutex.create ()
+
+let with_mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let define name =
+  with_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s
+      | None ->
+          let s = { name; hits = 0; fired = 0; active = None } in
+          Hashtbl.replace registry name s;
+          s)
+
+let name s = s.name
+let hits s = s.hits
+let fired s = s.fired
+
+let sites () =
+  with_mu (fun () -> Hashtbl.fold (fun n _ acc -> n :: acc) registry [])
+  |> List.sort String.compare
+
+let active () =
+  with_mu (fun () ->
+      Hashtbl.fold
+        (fun n s acc -> if s.active = None then acc else n :: acc)
+        registry [])
+  |> List.sort String.compare
+
+let activate name_ ~trigger action =
+  let s = define name_ in
+  let seed = match trigger with Prob (_, seed) -> seed | _ -> 1 in
+  with_mu (fun () -> s.active <- Some (trigger, action, make_prng seed))
+
+let deactivate name_ =
+  match with_mu (fun () -> Hashtbl.find_opt registry name_) with
+  | Some s -> s.active <- None
+  | None -> ()
+
+let clear () =
+  with_mu (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          s.active <- None;
+          s.hits <- 0;
+          s.fired <- 0)
+        registry)
+
+(* The hot path: one load and a compare when the site is inactive.  The
+   unsynchronized counter bump is deliberate — sites are consulted from
+   request threads and a mutex here would serialize the very paths the
+   framework exists to stress. *)
+let firing s =
+  s.hits <- s.hits + 1;
+  match s.active with
+  | None -> None
+  | Some (trigger, action, prng) ->
+      let fire =
+        match trigger with
+        | Always -> true
+        | Nth n -> s.hits = n
+        | From n -> s.hits >= n
+        | Prob (p, _) -> prng_float prng < p
+      in
+      if fire then begin
+        s.fired <- s.fired + 1;
+        Some action
+      end
+      else None
+
+let io_error e s = raise (Unix.Unix_error (e, "failpoint", s.name))
+
+let hit s =
+  match firing s with
+  | None -> ()
+  | Some Eio -> io_error Unix.EIO s
+  | Some Enospc -> io_error Unix.ENOSPC s
+  | Some (Partial _) -> io_error Unix.EIO s
+  | Some (Delay d) -> Thread.delay d
+  | Some Drop -> raise (Dropped s.name)
+
+let hit_io s len =
+  match firing s with
+  | None -> len
+  | Some Eio -> io_error Unix.EIO s
+  | Some Enospc -> io_error Unix.ENOSPC s
+  | Some (Partial k) -> min (max k 0) len
+  | Some (Delay d) ->
+      Thread.delay d;
+      len
+  | Some Drop -> raise (Dropped s.name)
+
+(* ------------------------------------------------------------------ *)
+(* Textual configuration                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* site=action[@trigger], separated by ';' or ','.
+     action  := eio | enospc | drop | delay:SECONDS | partial:BYTES
+     trigger := always | nth:N | from:N | prob:P:SEED        (default always) *)
+
+exception Bad_spec of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_spec s)) fmt
+
+let parse_action s =
+  match String.split_on_char ':' s with
+  | [ "eio" ] -> Eio
+  | [ "enospc" ] -> Enospc
+  | [ "drop" ] -> Drop
+  | [ "delay"; d ] -> (
+      match float_of_string_opt d with
+      | Some f when f >= 0. -> Delay f
+      | _ -> bad "bad delay %S" d)
+  | [ "partial"; k ] -> (
+      match int_of_string_opt k with
+      | Some n when n >= 0 -> Partial n
+      | _ -> bad "bad partial byte count %S" k)
+  | _ -> bad "unknown action %S" s
+
+let parse_trigger s =
+  match String.split_on_char ':' s with
+  | [ "always" ] -> Always
+  | [ "nth"; n ] -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 -> Nth k
+      | _ -> bad "bad nth %S" n)
+  | [ "from"; n ] -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 -> From k
+      | _ -> bad "bad from %S" n)
+  | [ "prob"; p; seed ] -> (
+      match (float_of_string_opt p, int_of_string_opt seed) with
+      | Some p, Some seed when p >= 0. && p <= 1. -> Prob (p, seed)
+      | _ -> bad "bad prob %S:%S" p seed)
+  | _ -> bad "unknown trigger %S" s
+
+let parse_one item =
+  match String.index_opt item '=' with
+  | None -> bad "missing '=' in %S (want site=action[@trigger])" item
+  | Some i ->
+      let site = String.trim (String.sub item 0 i) in
+      let rest = String.sub item (i + 1) (String.length item - i - 1) in
+      if site = "" then bad "empty site name in %S" item;
+      let action_s, trigger_s =
+        match String.index_opt rest '@' with
+        | None -> (rest, "always")
+        | Some j ->
+            ( String.sub rest 0 j,
+              String.sub rest (j + 1) (String.length rest - j - 1) )
+      in
+      (site, parse_trigger (String.trim trigger_s),
+       parse_action (String.trim action_s))
+
+let parse_config text =
+  String.split_on_char ';' text
+  |> List.concat_map (String.split_on_char ',')
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map parse_one
+
+let configure text =
+  List.iter
+    (fun (site, trigger, action) -> activate site ~trigger action)
+    (parse_config text)
+
+let env_var = "GOMSM_FAILPOINTS"
+
+let load_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> []
+  | Some text ->
+      configure text;
+      List.map (fun (s, _, _) -> s) (parse_config text)

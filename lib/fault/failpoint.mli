@@ -1,0 +1,90 @@
+(** Deterministic failpoint fault injection.
+
+    Durability-critical code declares named {e sites} with {!define} and
+    consults them with {!hit} (control points) or {!hit_io} (write paths
+    that can be cut short).  An inactive site costs one counter bump and a
+    compare.  Activating a site — programmatically or via the
+    [GOMSM_FAILPOINTS] environment variable — arms it with a {!trigger}
+    (when to fire) and an {!action} (what failure to inject).  All firing
+    decisions derive from per-site hit counters and a seeded PRNG, so a
+    run replays exactly from its configuration. *)
+
+type action =
+  | Eio  (** raise [Unix.Unix_error (EIO, "failpoint", site)] *)
+  | Enospc  (** raise [Unix.Unix_error (ENOSPC, "failpoint", site)] *)
+  | Partial of int
+      (** at an io site: allow only this many bytes, caller then fails the
+          write; at a control site: behaves as [Eio] *)
+  | Delay of float  (** sleep this many seconds, then proceed *)
+  | Drop  (** raise {!Dropped}: the connection-teardown injection *)
+
+type trigger =
+  | Always
+  | Nth of int  (** fire on exactly the Nth hit (1-based) of the site *)
+  | From of int  (** fire on every hit from the Nth on *)
+  | Prob of float * int  (** fire with this probability, from this seed *)
+
+exception Dropped of string
+(** Raised by the [Drop] action, carrying the site name; the daemon and
+    replica catch it and tear the connection down. *)
+
+type site
+
+val define : string -> site
+(** Declare (or look up) a site.  Idempotent; call at module toplevel so
+    {!sites} can enumerate every site linked into the program. *)
+
+val name : site -> string
+
+val hit : site -> unit
+(** Consult a control site: no-op unless armed and firing. *)
+
+val hit_io : site -> int -> int
+(** [hit_io site len] consults a write site about a [len]-byte write.
+    Returns the byte budget: [len] normally, fewer under a [Partial]
+    action — the caller must write that prefix and then raise.  Raising
+    actions raise here, before anything is written. *)
+
+val hits : site -> int
+(** Hits since the last {!clear}. *)
+
+val fired : site -> int
+(** Injected failures since the last {!clear}. *)
+
+val activate : string -> trigger:trigger -> action -> unit
+(** Arm a site (defining it if needed); replaces any previous arming and
+    re-seeds the trigger's PRNG. *)
+
+val deactivate : string -> unit
+val clear : unit -> unit
+(** Disarm every site and zero all counters. *)
+
+val sites : unit -> string list
+(** Every defined site, sorted — the torture suite's enumeration. *)
+
+val active : unit -> string list
+(** The currently armed sites, sorted. *)
+
+(** {2 Textual configuration}
+
+    [site=action[@trigger]] items separated by [;] or [,]:
+    {v
+    action  := eio | enospc | drop | delay:SECONDS | partial:BYTES
+    trigger := always | nth:N | from:N | prob:P:SEED   (default always)
+    v}
+    e.g. [journal.append.fsync=eio@nth:3;daemon.handler=drop@prob:0.1:42]. *)
+
+exception Bad_spec of string
+
+val parse_config : string -> (string * trigger * action) list
+(** @raise Bad_spec on malformed input. *)
+
+val configure : string -> unit
+(** Parse and {!activate} each item. @raise Bad_spec on malformed input. *)
+
+val env_var : string
+(** ["GOMSM_FAILPOINTS"]. *)
+
+val load_env : unit -> string list
+(** {!configure} from [GOMSM_FAILPOINTS] if set; returns the armed site
+    names. @raise Bad_spec on malformed input. *)

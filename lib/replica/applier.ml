@@ -13,6 +13,11 @@ module Persist = Core.Persist
 module Broker = Server.Broker
 module Journal = Server.Journal
 module Metrics = Server.Metrics
+module Failpoint = Fault.Failpoint
+
+(* Fires before a record is applied; the raised error forces a reconnect
+   and the record is re-shipped (apply is idempotent by position). *)
+let fp_apply = Failpoint.define "replica.apply"
 
 type t = {
   broker : Broker.t;
@@ -79,6 +84,7 @@ let install_snapshot t ~seq ~text =
 
 let apply_record t ~seq ~text =
   if seq > t.last_applied then begin
+    Failpoint.hit fp_apply;
     if seq <> t.last_applied + 1 then
       failwith
         (Printf.sprintf "sequence gap: record %d after %d" seq t.last_applied);
@@ -121,11 +127,34 @@ let reset t =
   Metrics.incr t.metrics "replica_resyncs";
   gauges t
 
+(* A ping carrying the primary's state digest, received while caught up
+   (same position), must match our own digest: both sides fingerprint the
+   same committed prefix.  A mismatch means silent divergence — the exact
+   failure replication is supposed to rule out — so count it, drop
+   everything, and resync from scratch rather than keep serving wrong
+   answers. *)
+let check_digest t ~seq ~primary_digest =
+  if seq = t.last_applied then
+    match Broker.state_digest t.broker with
+    | Some mine when mine <> primary_digest ->
+        Metrics.incr t.metrics "replica_divergences";
+        reset t;
+        failwith
+          (Printf.sprintf
+             "state digest mismatch at seq %d (primary %s, replica %s); \
+              resyncing"
+             seq primary_digest mine)
+    | Some _ | None -> ()
+
 let handle t (ev : Stream.event) : unit =
   match ev with
   | Stream.Snapshot (seq, text) -> install_snapshot t ~seq ~text
   | Stream.Record (seq, text) -> apply_record t ~seq ~text
-  | Stream.Ping seq -> note_primary t seq
+  | Stream.Ping (seq, digest) -> (
+      note_primary t seq;
+      match digest with
+      | Some primary_digest -> check_digest t ~seq ~primary_digest
+      | None -> ())
   | Stream.Feed_error reason ->
       reset t;
       failwith ("feed error from primary: " ^ reason)

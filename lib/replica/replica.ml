@@ -82,6 +82,7 @@ let make config : t =
            ~position:(fun () -> Applier.position applier)
            ~handle:(Applier.handle applier)
            ~on_status:(fun s -> logf "%s" s)
+           ~on_retry:(fun () -> Metrics.incr metrics "replica_reconnects")
            ())
        ());
   { broker; applier }

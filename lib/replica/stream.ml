@@ -3,11 +3,15 @@
    reconnect with exponential backoff when the primary goes away. *)
 
 module Protocol = Server.Protocol
+module Failpoint = Fault.Failpoint
+
+(* Fires just before each frame read: the injected feed interruption. *)
+let fp_stream_read = Failpoint.define "replica.stream.read"
 
 type event =
   | Snapshot of int * string  (* whole-state bootstrap covering seq *)
   | Record of int * string  (* one raw journal record *)
-  | Ping of int  (* primary's position while idle *)
+  | Ping of int * string option  (* primary's position (and state digest) *)
   | Feed_error of string  (* the feed cannot continue *)
 
 (* Frame bodies are journal/snapshot text shipped line-by-line; the
@@ -33,9 +37,17 @@ let parse_frame (header, body) : event option =
       | Some n -> Some (Snapshot (n, text_of_body body))
       | None -> None)
   | "ping" -> (
-      match int_of_string_opt rest with
-      | Some n -> Some (Ping n)
-      | None -> None)
+      (* "ping <seq>" or "ping <seq> <digest>" *)
+      match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+      | [ n ] -> (
+          match int_of_string_opt n with
+          | Some n -> Some (Ping (n, None))
+          | None -> None)
+      | [ n; digest ] -> (
+          match int_of_string_opt n with
+          | Some n -> Some (Ping (n, Some digest))
+          | None -> None)
+      | _ -> None)
   | "error" -> Some (Feed_error rest)
   | _ -> None (* unknown frame kinds are skipped, for forward compatibility *)
 
@@ -57,6 +69,9 @@ let pump ~host ~port ~position ~on_connected ~handle =
         try f () with
         | End_of_file -> raise (Retry "primary closed the feed")
         | Sys_error e -> raise (Retry ("connection error: " ^ e))
+        | Unix.Unix_error (e, _, _) ->
+            raise (Retry ("connection error: " ^ Unix.error_message e))
+        | Failpoint.Dropped site -> raise (Retry ("failpoint " ^ site))
       in
       wrap (fun () ->
           output_string oc
@@ -68,7 +83,11 @@ let pump ~host ~port ~position ~on_connected ~handle =
       | { Protocol.status = Protocol.Err reason; _ } ->
           raise (Retry ("subscribe refused: " ^ reason)));
       let rec loop () =
-        let frame = wrap (fun () -> Protocol.read_frame ic) in
+        let frame =
+          wrap (fun () ->
+              Failpoint.hit fp_stream_read;
+              Protocol.read_frame ic)
+        in
         (match parse_frame frame with
         | Some ev -> handle ev
         | None -> ());
@@ -76,27 +95,47 @@ let pump ~host ~port ~position ~on_connected ~handle =
       in
       loop ())
 
+(* Delay before reconnect attempt [attempt] (0-based): exponential from
+   [min_backoff], capped at [max_backoff], scaled by a jitter factor in
+   [0.75, 1.25) ([rand] is uniform in [0, 1)).  The jitter keeps a fleet
+   of replicas orphaned by the same primary crash from reconnecting in
+   lockstep; the cap keeps the worst-case outage detection bounded. *)
+let jittered_delay ~min_backoff ~max_backoff ~attempt rand =
+  let d =
+    Float.min max_backoff (min_backoff *. (2. ** float_of_int attempt))
+  in
+  d *. (0.75 +. (0.5 *. rand))
+
 (* Run the feed forever.  [position] is consulted at every (re)connect, so
    records applied on the previous connection are not re-shipped; [handle]
-   may raise to force a reconnect (e.g. on a sequence gap).  Backoff grows
-   exponentially from [min_backoff] to [max_backoff] and resets after a
-   connection that managed to subscribe. *)
-let run ?(min_backoff = 0.1) ?(max_backoff = 5.0) ?(on_status = fun _ -> ())
-    ~host ~port ~position ~handle () : unit =
-  let backoff = ref min_backoff in
+   may raise to force a reconnect (e.g. on a sequence gap).  Reconnect
+   delays follow {!jittered_delay} (deterministic from [seed]) and the
+   attempt counter resets after a connection that managed to subscribe;
+   [on_retry] is called once per reconnect attempt — the replica's
+   [reconnects] counter. *)
+let run ?(min_backoff = 0.1) ?(max_backoff = 5.0) ?(seed = 1)
+    ?(on_status = fun _ -> ()) ?(on_retry = fun () -> ()) ~host ~port
+    ~position ~handle () : unit =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let attempt = ref 0 in
   while true do
-    (try
-       pump ~host ~port ~position
-         ~on_connected:(fun () -> backoff := min_backoff)
-         ~handle
-     with
-    | Retry reason ->
-        on_status
-          (Printf.sprintf "feed lost (%s); retrying in %.1fs" reason !backoff)
-    | e ->
-        on_status
-          (Printf.sprintf "applier failed (%s); retrying in %.1fs"
-             (Printexc.to_string e) !backoff));
-    Thread.delay !backoff;
-    backoff := Float.min max_backoff (!backoff *. 2.)
+    let reason =
+      (* [pump] only ever returns by raising *)
+      try
+        pump ~host ~port ~position
+          ~on_connected:(fun () -> attempt := 0)
+          ~handle
+      with
+      | Retry reason -> Printf.sprintf "feed lost (%s)" reason
+      | e -> Printf.sprintf "applier failed (%s)" (Printexc.to_string e)
+    in
+    let d =
+      jittered_delay ~min_backoff ~max_backoff ~attempt:!attempt
+        (Random.State.float rng 1.0)
+    in
+    on_status (Printf.sprintf "%s; retrying in %.2fs" reason d);
+    on_retry ();
+    Thread.delay d;
+    (* 2^16 is far past any realistic cap: stop growing the exponent *)
+    attempt := min (!attempt + 1) 16
   done

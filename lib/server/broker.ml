@@ -2,6 +2,13 @@
    journaling on commit, rollback on disconnect, replication feeds. *)
 
 module Manager = Core.Manager
+module Persist = Core.Persist
+module Failpoint = Fault.Failpoint
+module Crc32 = Fault.Crc32
+
+(* Fires between the in-memory commit and the journal append: the window
+   the degraded-mode machinery exists for. *)
+let fp_broker_commit = Failpoint.define "broker.commit"
 
 type t = {
   mutable manager : Manager.t;  (* swapped only by a replica's bootstrap *)
@@ -13,6 +20,8 @@ type t = {
   checkpoint_bytes : int;
   acquire_timeout : float;
   read_only : string option;  (* primary address to redirect writers to *)
+  mutable degraded : string option;  (* read-only after a storage failure *)
+  mutable digest_cache : (int * string) option;  (* seq -> state digest *)
   subscribers : (int, int ref) Hashtbl.t;  (* feed client -> last sent seq *)
 }
 
@@ -29,6 +38,8 @@ let create ?journal ?(checkpoint_every = 64)
     checkpoint_bytes;
     acquire_timeout;
     read_only;
+    degraded = None;
+    digest_cache = None;
     subscribers = Hashtbl.create 4;
   }
 
@@ -43,6 +54,57 @@ let with_lock t f =
 let exclusively = with_lock
 let replace_manager t m = t.manager <- m
 let writer t = with_lock t (fun () -> t.writer)
+let degraded t = t.degraded
+
+(* ------------------------------------------------------------------ *)
+(* State digest and degraded mode                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* CRC-32 over the sorted encoded base facts: order-independent, and
+   deliberately blind to identifier counters (a primary's allocations can
+   be rolled back, so its counters legitimately drift ahead of a replica
+   that only ever sees committed records). *)
+let digest_of_manager m =
+  let lines =
+    Datalog.Database.all_facts (Manager.database m)
+    |> List.map Persist.encode_fact
+    |> List.sort String.compare
+  in
+  let acc =
+    List.fold_left (fun a l -> Crc32.update_string a (l ^ "\n")) Crc32.init
+      lines
+  in
+  Crc32.to_hex (Crc32.finish acc)
+
+(* Call with the lock held.  [None] while a session is open, or once
+   degraded: either way the in-memory state no longer matches the journal
+   and the digest would trip false divergence alarms on replicas. *)
+let state_digest_locked t =
+  if t.writer <> None || Manager.in_session t.manager || t.degraded <> None
+  then None
+  else
+    match t.journal with
+    | None -> Some (digest_of_manager t.manager)
+    | Some j -> (
+        let seq = Journal.seq j in
+        match t.digest_cache with
+        | Some (s, d) when s = seq -> Some d
+        | _ ->
+            let d = digest_of_manager t.manager in
+            t.digest_cache <- Some (seq, d);
+            Some d)
+
+let state_digest t = with_lock t (fun () -> state_digest_locked t)
+
+(* Call with the lock held.  One-way: once the store has failed under us,
+   only a restart (which re-runs recovery) clears the flag. *)
+let enter_degraded t reason =
+  if t.degraded = None then begin
+    t.degraded <- Some reason;
+    t.digest_cache <- None;
+    Metrics.set t.metrics "degraded" 1;
+    Metrics.incr t.metrics "degraded_entries"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Request handlers                                                    *)
@@ -102,6 +164,7 @@ let do_ees t ~client =
             | Some j -> (
                 (* fsync the record before acknowledging the commit *)
                 match
+                  Failpoint.hit fp_broker_commit;
                   ignore
                     (Journal.append j ~ids:(Manager.ids t.manager) ~code delta);
                   Metrics.incr t.metrics "journal_records";
@@ -117,6 +180,22 @@ let do_ees t ~client =
                   end
                 with
                 | () -> ok [ "consistent; session ended." ]
+                | exception
+                    (Unix.Unix_error ((Unix.EIO | Unix.ENOSPC) as ec, _, _) as e)
+                  ->
+                    (* the disk is failing under us: the in-memory commit can
+                       no longer be made durable, so stop accepting writes —
+                       readers keep working, a restart re-runs recovery *)
+                    Metrics.incr t.metrics "journal_errors";
+                    enter_degraded t
+                      (Printf.sprintf "journal append failed: %s"
+                         (Unix.error_message ec));
+                    err
+                      ("journal write failed ("
+                      ^ Unix.error_message ec
+                      ^ "); entering degraded read-only mode — the commit was \
+                         not made durable: "
+                      ^ Printexc.to_string e)
                 | exception e ->
                     Metrics.incr t.metrics "journal_errors";
                     err
@@ -213,7 +292,26 @@ let do_dump t =
       in
       ok lines)
 
+let do_health t =
+  let role = match t.read_only with Some _ -> "replica" | None -> "primary" in
+  let degraded, seq, digest =
+    with_lock t (fun () ->
+        ( t.degraded,
+          (match t.journal with Some j -> Journal.seq j | None -> 0),
+          state_digest_locked t ))
+  in
+  let status_lines =
+    match degraded with
+    | None -> [ "status ok" ]
+    | Some reason -> [ "status degraded"; "reason " ^ reason ]
+  in
+  ok
+    (("role " ^ role) :: status_lines
+    @ [ Printf.sprintf "seq %d" seq ]
+    @ (match digest with None -> [] | Some d -> [ "digest " ^ d ]))
+
 let do_stats t =
+  Metrics.set t.metrics "degraded" (if t.degraded = None then 0 else 1);
   (* refresh the replication gauges so lag is visible exactly when asked *)
   (match t.journal with
   | None -> ()
@@ -291,7 +389,7 @@ let feed t ~client ~from oc =
                 | Some text -> `Snapshot (base, text)
                 | None -> `Diverged (!sent, seq)
               else if !sent < seq then `Records (Journal.records_from j ~from:!sent)
-              else `Idle seq)
+              else `Idle (seq, state_digest_locked t))
         in
         match action with
         | `Snapshot (bseq, text) ->
@@ -314,9 +412,13 @@ let feed t ~client ~from oc =
                   %d); resubscribe from 0"
                  have seq)
               []
-        | `Idle seq ->
+        | `Idle (seq, digest) ->
             if Unix.gettimeofday () -. !last_ping >= ping_interval then
-              frame (Printf.sprintf "ping %d" seq) []
+              frame
+                (match digest with
+                | Some d -> Printf.sprintf "ping %d %s" seq d
+                | None -> Printf.sprintf "ping %d" seq)
+                []
             else Thread.delay 0.02;
             loop ()
       in
@@ -330,6 +432,15 @@ let read_only_verbs = function
 let handle t ~client (req : Protocol.request) : Protocol.response =
   Metrics.incr t.metrics "requests_total";
   try
+    match t.degraded with
+    | Some reason when read_only_verbs req ->
+        Metrics.incr t.metrics "degraded_refusals";
+        err
+          (Printf.sprintf
+             "degraded read-only mode after a storage failure (%s); reads \
+              still served, restart the server to recover"
+             reason)
+    | _ -> (
     match t.read_only with
     | Some primary when read_only_verbs req ->
         Metrics.incr t.metrics "read_only_refusals";
@@ -347,11 +458,12 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
         | Protocol.Script_line c -> do_script_line t ~client c
         | Protocol.Dump -> do_dump t
         | Protocol.Stats -> do_stats t
+        | Protocol.Health -> do_health t
         | Protocol.Subscribe _ ->
             (* the daemon turns the connection into a feed before it gets
                here; anything else cannot stream *)
             err "subscribe is only available on a feed connection"
-        | Protocol.Quit -> ok [ "bye." ])
+        | Protocol.Quit -> ok [ "bye." ]))
   with e ->
     Metrics.incr t.metrics "internal_errors";
     err ("internal error: " ^ Printexc.to_string e)

@@ -10,7 +10,13 @@
     back automatically — the paper's "undo session" repair.
 
     Committed sessions are appended to the write-ahead journal (fsync
-    before the acknowledgment) and periodically checkpointed. *)
+    before the acknowledgment) and periodically checkpointed.
+
+    When a journal append or checkpoint fails with [EIO]/[ENOSPC] the
+    broker enters {e degraded read-only mode}: every writer verb is
+    refused (reads keep working), the [degraded] metrics gauge goes to 1,
+    and the [health] verb reports the reason.  The mode is one-way —
+    restarting the server re-runs recovery and clears it. *)
 
 type t
 
@@ -59,3 +65,16 @@ val manager : t -> Core.Manager.t
 val journal : t -> Journal.t option
 val metrics : t -> Metrics.t
 val writer : t -> int option
+
+val degraded : t -> string option
+(** The reason the broker is in degraded read-only mode, if it is. *)
+
+val state_digest : t -> string option
+(** CRC-32 (eight hex digits) over the sorted encoded base facts: the
+    content fingerprint replicas compare against the primary's on idle
+    pings.  [None] while an evolution session is open or the broker is
+    degraded — in both cases the in-memory state does not describe a
+    committed, durable position. *)
+
+val digest_of_manager : Core.Manager.t -> string
+(** The digest function itself, for peers that host their own manager. *)

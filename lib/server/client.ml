@@ -1,43 +1,114 @@
 (* The [gomsm client] front end: connect to a running daemon, send request
-   lines (from argv or stdin), print response bodies. *)
+   lines (from argv or stdin), print response bodies.
+
+   Retry policy ([~retries], default 0 = the historical fail-fast
+   behaviour): connection establishment and lost connections are retried
+   with capped, jittered exponential backoff — but a request is only
+   re-sent after a dropped connection when repeating it is safe.  The
+   read-only verbs and [bes] qualify (a bes whose reply was lost leaves at
+   worst a half-open session that the server rolls back on disconnect);
+   [ees]/[script-line]/[rollback] never do — a lost reply leaves their
+   outcome unknown, and re-running them could double-apply.  An [err]
+   reply whose reason starts with "timeout" (the bes acquire timeout) is
+   transient by construction and is also retried. *)
 
 let connect ~host ~port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
   (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock, sock)
 
-(* Send one raw request line; print the response body, then an error line
-   (on stderr, so piped stdout stays clean data) for err responses.
-   Returns whether the request succeeded. *)
-let round_trip ic oc line =
-  output_string oc line;
-  output_char oc '\n';
-  flush oc;
-  let resp = Protocol.read_response ic in
-  List.iter print_endline resp.Protocol.body;
-  match resp.Protocol.status with
-  | Protocol.Ok -> true
-  | Protocol.Err reason ->
-      (* flush accumulated body lines first so the streams interleave in
-         request order even when stdout is a pipe *)
-      flush stdout;
-      Printf.eprintf "error: %s\n%!" reason;
+let initial_backoff = 0.05
+let max_backoff = 1.0
+
+let jittered_backoff rng attempt =
+  let d = min max_backoff (initial_backoff *. (2. ** float_of_int attempt)) in
+  d *. (0.75 +. Random.State.float rng 0.5)
+
+let safe_to_retry line =
+  match Protocol.parse_request line with
+  | Ok
+      ( Protocol.Bes | Protocol.Check | Protocol.Query _ | Protocol.Dump
+      | Protocol.Stats | Protocol.Health | Protocol.Quit ) ->
+      true
+  | Ok
+      ( Protocol.Ees | Protocol.Rollback | Protocol.Script_line _
+      | Protocol.Subscribe _ ) ->
       false
+  | Error _ -> false
+
+let transient_err reason =
+  String.length reason >= 7 && String.sub reason 0 7 = "timeout"
 
 (* Run requests (argv mode) or pump stdin line by line (interactive/pipe
    mode).  Exit code 0 iff every request succeeded — an [err] reply, a
    dropped connection, or a malformed response all make the exit code
    non-zero so scripts and cram tests can detect failure. *)
-let run ~host ~port ~(requests : string list) () : int =
-  let ic, oc, sock = connect ~host ~port in
+let run ?(retries = 0) ~host ~port ~(requests : string list) () : int =
+  let rng = Random.State.make [| Unix.getpid (); 0x90b5 |] in
   let failed = ref false in
-  let send line =
-    if String.trim line <> "" then
-      if not (round_trip ic oc line) then failed := true
+  let conn = ref None in
+  let drop_conn () =
+    match !conn with
+    | Some (_, _, sock) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        conn := None
+    | None -> ()
   in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-    (fun () ->
+  let rec get_conn attempt =
+    match !conn with
+    | Some c -> c
+    | None -> (
+        match connect ~host ~port with
+        | c ->
+            conn := Some c;
+            c
+        | exception (Unix.Unix_error _ as e) ->
+            if attempt >= retries then raise e
+            else begin
+              Thread.delay (jittered_backoff rng attempt);
+              get_conn (attempt + 1)
+            end)
+  in
+  let send line =
+    if String.trim line <> "" then begin
+      let rec attempt n =
+        let retriable = n < retries && safe_to_retry line in
+        match
+          let ic, oc, _ = get_conn n in
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          Protocol.read_response ic
+        with
+        | resp -> (
+            match resp.Protocol.status with
+            | Protocol.Err reason when transient_err reason && n < retries ->
+                flush stdout;
+                Printf.eprintf "error: %s (retrying)\n%!" reason;
+                Thread.delay (jittered_backoff rng n);
+                attempt (n + 1)
+            | Protocol.Ok ->
+                List.iter print_endline resp.Protocol.body
+            | Protocol.Err reason ->
+                List.iter print_endline resp.Protocol.body;
+                flush stdout;
+                Printf.eprintf "error: %s\n%!" reason;
+                failed := true)
+        | exception ((End_of_file | Sys_error _) as e) ->
+            drop_conn ();
+            if retriable then begin
+              Thread.delay (jittered_backoff rng n);
+              attempt (n + 1)
+            end
+            else raise e
+      in
+      attempt 0
+    end
+  in
+  Fun.protect ~finally:drop_conn (fun () ->
       try
         if requests <> [] then List.iter send requests
         else

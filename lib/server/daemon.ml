@@ -28,6 +28,14 @@ let logf fmt =
       Printf.eprintf "gomsm-server: %s\n%!" s)
     fmt
 
+module Failpoint = Fault.Failpoint
+
+(* Connection-level fault injection: accepted sockets dropped before any
+   request is read, and established connections cut mid-request — the
+   failures client retry logic exists for. *)
+let fp_accept = Failpoint.define "daemon.accept"
+let fp_handler = Failpoint.define "daemon.handler"
+
 let request_kind : Protocol.request -> string = function
   | Protocol.Bes -> "bes"
   | Protocol.Ees -> "ees"
@@ -37,6 +45,7 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Script_line _ -> "script-line"
   | Protocol.Dump -> "dump"
   | Protocol.Stats -> "stats"
+  | Protocol.Health -> "health"
   | Protocol.Subscribe _ -> "subscribe"
   | Protocol.Quit -> "quit"
 
@@ -63,14 +72,21 @@ let client_loop (broker : Broker.t) (metrics : Metrics.t) ~client fd =
                    the feed ends, so does the connection *)
                 Broker.feed broker ~client ~from oc;
                 true
-            | Ok req ->
-                let t0 = Unix.gettimeofday () in
-                let resp = Broker.handle broker ~client req in
-                Metrics.observe metrics
-                  ("latency." ^ request_kind req)
-                  (Unix.gettimeofday () -. t0);
-                Protocol.write_response oc resp;
-                req = Protocol.Quit
+            | Ok req -> (
+                match Failpoint.hit fp_handler with
+                | exception (Failpoint.Dropped _ | Unix.Unix_error _) ->
+                    (* injected connection cut: no response, just hang up —
+                       the client sees EOF mid-request *)
+                    Metrics.incr metrics "failpoint_drops";
+                    true
+                | () ->
+                    let t0 = Unix.gettimeofday () in
+                    let resp = Broker.handle broker ~client req in
+                    Metrics.observe metrics
+                      ("latency." ^ request_kind req)
+                      (Unix.gettimeofday () -. t0);
+                    Protocol.write_response oc resp;
+                    req = Protocol.Quit)
           in
           if not stop then loop ()
         end
@@ -133,13 +149,19 @@ let serve ?on_listen ?broker (config : config) : unit =
   let next_client = ref 0 in
   while true do
     let fd, _addr = Unix.accept sock in
-    Metrics.incr metrics "connections";
-    next_client := !next_client + 1;
-    let client = !next_client in
-    ignore
-      (Thread.create
-         (fun () ->
-           try client_loop broker metrics ~client fd
-           with e -> logf "client %d: %s" client (Printexc.to_string e))
-         ())
+    match Failpoint.hit fp_accept with
+    | exception (Failpoint.Dropped _ | Unix.Unix_error _) ->
+        (* injected accept failure: the connection is closed unserved *)
+        Metrics.incr metrics "failpoint_drops";
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | () ->
+        Metrics.incr metrics "connections";
+        next_client := !next_client + 1;
+        let client = !next_client in
+        ignore
+          (Thread.create
+             (fun () ->
+               try client_loop broker metrics ~client fd
+               with e -> logf "client %d: %s" client (Printexc.to_string e))
+             ())
   done

@@ -8,6 +8,18 @@ open Datalog
 
 exception Corrupt of string
 
+module Failpoint = Fault.Failpoint
+module Crc32 = Fault.Crc32
+
+(* Fault-injection sites on the durability path; inert unless armed. *)
+let fp_append_write = Failpoint.define "journal.append.write"
+let fp_append_fsync = Failpoint.define "journal.append.fsync"
+let fp_checkpoint = Failpoint.define "journal.checkpoint.snapshot"
+
+(* Ablation flag for the B9 bench: records are written without their [crc]
+   line when false.  The read side always accepts both forms. *)
+let crc_records = ref true
+
 let header = "# gomsm journal v1\n"
 
 (* The header records the global sequence number the snapshot covers, so
@@ -22,8 +34,16 @@ let base_of_header text =
   | None -> 0
   | Some i -> (
       match String.split_on_char ' ' (String.trim (String.sub text 0 i)) with
-      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n ] ->
-          Option.value (int_of_string_opt n) ~default:0
+      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n ] -> (
+          (* the header is fsynced before the first record: a base that no
+             longer parses is bit-rot, and defaulting it to 0 would silently
+             renumber the whole log — refuse instead *)
+          match int_of_string_opt n with
+          | Some b -> b
+          | None ->
+              raise
+                (Corrupt
+                   (Printf.sprintf "journal header has a non-integer base %S" n)))
       | _ -> 0)
 
 let journal_path ~dir = Filename.concat dir "journal.log"
@@ -67,6 +87,28 @@ let read_file path =
 (* Append                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Write one record's bytes and fsync, with the failpoint sites armed-in
+   and — the hardening they forced — rollback on failure: whatever the
+   failed write left behind is truncated back to the last good offset, so
+   a half-appended record can never poison the file for later appends or
+   the next recovery. *)
+let append_protected t s =
+  try
+    let budget = Failpoint.hit_io fp_append_write (String.length s) in
+    if budget < String.length s then begin
+      write_all t.fd (String.sub s 0 budget);
+      raise (Unix.Unix_error (Unix.EIO, "write", "failpoint: partial append"))
+    end
+    else write_all t.fd s;
+    Failpoint.hit fp_append_fsync;
+    Unix.fsync t.fd
+  with e ->
+    (try
+       Unix.ftruncate t.fd t.bytes;
+       ignore (Unix.lseek t.fd 0 Unix.SEEK_END)
+     with Unix.Unix_error _ -> ());
+    raise e
+
 let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
   if Delta.is_empty delta && code = [] then t.seq
   else begin
@@ -86,10 +128,13 @@ let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
       (fun (cid, (params, body)) ->
         Printf.bprintf buf "code %s\n" (Persist.encode_code ~cid ~params ~body))
       code;
+    (* the crc covers every record byte before its own line (begin through
+       the last payload line, newlines included) *)
+    if !crc_records then
+      Printf.bprintf buf "crc %s\n" (Crc32.to_decimal (Crc32.string (Buffer.contents buf)));
     Printf.bprintf buf "commit %d\n" n;
     let s = Buffer.contents buf in
-    write_all t.fd s;
-    Unix.fsync t.fd;
+    append_protected t s;
     t.seq <- n;
     t.since <- t.since + 1;
     t.bytes <- t.bytes + String.length s;
@@ -104,8 +149,7 @@ let append_raw t ~seq ~text =
   if seq <> t.seq + 1 then
     invalid_arg
       (Printf.sprintf "Journal.append_raw: seq %d after %d" seq t.seq);
-  write_all t.fd text;
-  Unix.fsync t.fd;
+  append_protected t text;
   t.seq <- seq;
   t.since <- t.since + 1;
   t.bytes <- t.bytes + String.length text
@@ -123,6 +167,7 @@ let fsync_dir dir =
       Unix.close dfd
 
 let write_snapshot_file t text =
+  Failpoint.hit fp_checkpoint;
   let tmp = Filename.concat t.dir "snapshot.tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   write_all fd text;
@@ -196,6 +241,7 @@ type line =
   | L_add of Fact.t
   | L_del of Fact.t
   | L_code of string * (string list * Analyzer.Ast.stmt)
+  | L_crc of int32
   | L_commit of int
 
 let parse_line (s : string) : line =
@@ -214,17 +260,27 @@ let parse_line (s : string) : line =
     match verb with
     | "begin" -> L_begin (int_of rest)
     | "commit" -> L_commit (int_of rest)
+    | "crc" -> (
+        match Crc32.of_decimal rest with
+        | Some c -> L_crc c
+        | None -> raise (Corrupt ("bad crc in journal line: " ^ s)))
     | "ids" ->
         let parts =
           String.split_on_char ' ' rest |> List.filter (fun p -> p <> "")
         in
         if List.length parts <> 6 then raise (Corrupt ("bad ids line: " ^ s));
         L_ids (Array.of_list (List.map int_of parts))
-    | "add" -> (
-        try L_add (Persist.decode_fact rest)
-        with Persist.Corrupt e -> raise (Corrupt e))
-    | "del" -> (
-        try L_del (Persist.decode_fact rest)
+    | "add" | "del" -> (
+        (* journal fact lines are emitted by [encode_fact], so a strict
+           round-trip must reproduce the input exactly; [decode_fact]
+           alone would silently ignore trailing bytes, and a corrupted
+           newline could fuse a payload line with the crc line and smuggle
+           the record through the legacy crc-less path *)
+        try
+          let f = Persist.decode_fact rest in
+          if Persist.encode_fact f <> rest then
+            raise (Corrupt ("trailing bytes in fact line: " ^ s));
+          if verb = "add" then L_add f else L_del f
         with Persist.Corrupt e -> raise (Corrupt e))
     | "code" -> (
         try
@@ -248,20 +304,32 @@ let parse_record text : parsed_record =
   and ids = ref None
   and delta = ref Delta.empty
   and code = ref []
-  and commit = ref None in
+  and commit = ref None
+  and acc = ref Crc32.init in
   List.iter
     (fun l ->
       match parse_line l with
-      | L_comment -> ()
-      | L_begin n -> (
-          match !seq with
-          | None -> seq := Some n
-          | Some _ -> raise (Corrupt "record: nested begin"))
-      | L_ids a -> ids := Some a
-      | L_add f -> delta := Delta.add f !delta
-      | L_del f -> delta := Delta.del f !delta
-      | L_code (cid, c) -> code := (cid, c) :: !code
-      | L_commit n -> commit := Some n)
+      | L_crc c ->
+          (* the crc covers every record byte before its own line *)
+          if Crc32.finish !acc <> c then raise (Corrupt "record: crc mismatch")
+      | parsed ->
+          (match parsed with
+          | L_comment ->
+              (* only the empty tail of the final newline is tolerated:
+                 the appender writes no comments inside records, and a
+                 damaged "crc" line can masquerade as one *)
+              if l <> "" then raise (Corrupt "record: comment inside record")
+          | L_begin n -> (
+              match !seq with
+              | None -> seq := Some n
+              | Some _ -> raise (Corrupt "record: nested begin"))
+          | L_ids a -> ids := Some a
+          | L_add f -> delta := Delta.add f !delta
+          | L_del f -> delta := Delta.del f !delta
+          | L_code (cid, c) -> code := (cid, c) :: !code
+          | L_crc _ -> ()
+          | L_commit n -> commit := Some n);
+          if !commit = None then acc := Crc32.update_string !acc (l ^ "\n"))
     (String.split_on_char '\n' text);
   match (!seq, !commit) with
   | Some n, Some n' when n = n' ->
@@ -359,29 +427,48 @@ let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
         | L_comment ->
             good := off;
             between ()
-        | L_begin n when n = !last_seq + 1 -> in_record n None Delta.empty []
+        | L_begin n when n = !last_seq + 1 ->
+            in_record n None Delta.empty []
+              (Crc32.update_string Crc32.init (line ^ "\n"))
         | _ -> (* out-of-sequence or stray line: torn tail *) ())
-  and in_record n ids delta code =
+  and in_record n ids delta code acc =
+    (* [acc] checksums the raw bytes of the record so far; a [crc] line
+       must match it or the whole record is bit-rot (treated as torn). *)
+    let finish off =
+      let r = { r_seq = n; r_ids = ids; r_delta = delta; r_code = List.rev code } in
+      if replay_record m r then begin
+        good := off;
+        replayed := !replayed + 1;
+        last_seq := n;
+        between ()
+      end
+    in
     match next () with
     | None -> () (* EOF mid-record: torn *)
     | Some (line, off) -> (
+        let acc' () = Crc32.update_string acc (line ^ "\n") in
         match parse_line line with
-        | L_ids a -> in_record n (Some a) delta code
-        | L_add f -> in_record n ids (Delta.add f delta) code
-        | L_del f -> in_record n ids (Delta.del f delta) code
-        | L_code (cid, c) -> in_record n ids delta ((cid, c) :: code)
-        | L_commit n' when n' = n ->
-            let r =
-              { r_seq = n; r_ids = ids; r_delta = delta; r_code = List.rev code }
-            in
-            if replay_record m r then begin
-              good := off;
-              replayed := !replayed + 1;
-              last_seq := n;
-              between ()
-            end
-        | L_comment -> in_record n ids delta code
-        | L_begin _ | L_commit _ -> () (* malformed: torn *))
+        | L_ids a -> in_record n (Some a) delta code (acc' ())
+        | L_add f -> in_record n ids (Delta.add f delta) code (acc' ())
+        | L_del f -> in_record n ids (Delta.del f delta) code (acc' ())
+        | L_code (cid, c) -> in_record n ids delta ((cid, c) :: code) (acc' ())
+        | L_crc c ->
+            if Crc32.finish acc <> c then () (* corrupt record: torn *)
+            else (
+              (* after a verified crc the only acceptable next line is the
+                 matching commit — anything else is uncovered by the
+                 checksum and must not be replayed *)
+              match next () with
+              | None -> ()
+              | Some (line2, off2) -> (
+                  match parse_line line2 with
+                  | L_commit n' when n' = n -> finish off2
+                  | _ -> ()))
+        | L_commit n' when n' = n -> finish off (* legacy crc-less record *)
+        (* the appender never writes comments inside a record, so one here
+           is damage — e.g. a single-bit flip turning "crc" into "#rc",
+           which would otherwise demote the record to the crc-less path *)
+        | L_comment | L_begin _ | L_commit _ -> () (* malformed: torn *))
   in
   (try between () with Corrupt _ -> ());
   (!good, !replayed, !last_seq)

@@ -20,8 +20,16 @@
     add <fact>
     del <fact>
     code <cid> <params,>|<body>
+    crc <unsigned decimal>
     commit <seq>
     v}
+
+    The [crc] line is a CRC-32 (IEEE) over every record byte before it —
+    [begin] through the last payload line, newlines included — so any
+    single-bit flip inside a record is caught on replay and the record
+    (and everything after it) is treated as the torn tail.  Records
+    written before the checksum existed carry no [crc] line and still
+    replay; {!crc_records} disables emission for benchmarking.
 
     Sequence numbers are {e global}: they keep increasing across
     checkpoints (the journal header records the sequence number the
@@ -55,8 +63,15 @@ val recover :
 (** Open (creating if needed) the data directory and rebuild the manager:
     snapshot, then journal replay, then tail truncation.  The returned
     journal is positioned for appending.
-    @raise Corrupt only if the {e snapshot} is unreadable (journal damage
-    is repaired by truncation, never fatal). *)
+    @raise Corrupt if the {e snapshot} is unreadable, or if the journal
+    header's base sequence number no longer parses (defaulting it would
+    silently renumber the log); other journal damage is repaired by
+    truncation, never fatal. *)
+
+val crc_records : bool ref
+(** Whether {!append} emits [crc] lines (default [true]).  Read-side
+    verification always accepts both checksummed and legacy records;
+    this exists for the B9 overhead benchmark. *)
 
 val append :
   t ->
@@ -66,7 +81,9 @@ val append :
   int
 (** Append one committed-session record and fsync; returns the record's
     sequence number.  Empty records (no facts, no code) are skipped and
-    return the current sequence number. *)
+    return the current sequence number.  If the write or fsync fails, the
+    file is truncated back to its pre-append size before the exception
+    propagates, so a half-appended record never survives. *)
 
 val checkpoint : t -> Core.Manager.t -> unit
 (** Snapshot the manager ([snapshot.gomdb], written atomically via a

@@ -10,6 +10,7 @@ type request =
   | Script_line of string
   | Dump
   | Stats
+  | Health
   | Subscribe of int
   | Quit
 
@@ -38,6 +39,7 @@ let parse_request line =
   | "check", "" -> Result.Ok Check
   | "dump", "" -> Result.Ok Dump
   | "stats", "" -> Result.Ok Stats
+  | "health", "" -> Result.Ok Health
   | "quit", "" -> Result.Ok Quit
   | "query", "" -> Result.Error "query needs a literal list, e.g. query Attr_i(T, A, D)"
   | "query", q -> Result.Ok (Query q)
@@ -50,7 +52,7 @@ let parse_request line =
           Result.Error
             "subscribe needs the last applied sequence number, e.g. \
              subscribe 0")
-  | ("bes" | "ees" | "rollback" | "check" | "dump" | "stats" | "quit"), _ ->
+  | ("bes" | "ees" | "rollback" | "check" | "dump" | "stats" | "health" | "quit"), _ ->
       Result.Error (Printf.sprintf "%s takes no argument" verb)
   | "", _ -> Result.Error "empty request"
   | v, _ -> Result.Error (Printf.sprintf "unknown request %S" v)
@@ -64,6 +66,7 @@ let request_line = function
   | Script_line c -> "script-line " ^ c
   | Dump -> "dump"
   | Stats -> "stats"
+  | Health -> "health"
   | Subscribe n -> Printf.sprintf "subscribe %d" n
   | Quit -> "quit"
 

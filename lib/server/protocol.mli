@@ -15,6 +15,9 @@ type request =
   | Script_line of string  (** one evolution command (script grammar) *)
   | Dump  (** the whole state as an evolution script *)
   | Stats  (** the server's metrics registry *)
+  | Health
+      (** liveness/role/degradation probe: role, status, sequence number
+          and state digest as [key value] body lines *)
   | Subscribe of int
       (** become a replication feed, starting after this sequence number *)
   | Quit  (** close the connection *)
@@ -49,7 +52,9 @@ val read_response : in_channel -> response
     frames, each a header line plus a dot-stuffed, dot-terminated body (the
     same framing as responses).  Headers in use: [record <seq>] (one raw
     journal record), [snapshot <seq>] (whole-state bootstrap),
-    [ping <seq>] (idle keep-alive carrying the primary's position) and
+    [ping <seq> [digest]] (idle keep-alive carrying the primary's position
+    and, when one is available, its state digest — eight hex digits the
+    replica compares against its own when caught up) and
     [error <reason>] (feed cannot continue). *)
 
 val write_frame : out_channel -> header:string -> body:string list -> unit

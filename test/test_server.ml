@@ -273,6 +273,86 @@ let test_recovery_survives_garbage_tail () =
   check_bool "garbage dropped" true (r.Journal.truncated_bytes > 0);
   check_string "state intact" dump2 (dump_of r.Journal.manager)
 
+(* Flip every bit of every byte of the journal body in turn.  The
+   per-record CRC covers begin + payload lines, and after a verified crc
+   line only the matching commit line may follow, so any single-bit flip
+   must stop recovery at the last record before the damage — never
+   replay a corrupted record, never lose an intact earlier one. *)
+let test_bit_flip_detected_at_every_byte () =
+  let dir = fresh_dir () in
+  let _, dump1, dump2 = run_scenario dir in
+  check_bool "second session differs" true (dump1 <> dump2);
+  let text = read_file (Journal.journal_path ~dir) in
+  let len = String.length text in
+  let header_end = String.index text '\n' + 1 in
+  let end1 =
+    let rec find i =
+      if i + 9 > len then Alcotest.fail "commit 1 not found"
+      else if String.sub text i 9 = "commit 1\n" then i + 9
+      else find (i + 1)
+    in
+    find 0
+  in
+  let fresh_dump =
+    let d = fresh_dir () in
+    let r = Journal.recover ~dir:d () in
+    let s = dump_of r.Journal.manager in
+    Journal.close r.Journal.journal;
+    s
+  in
+  for off = header_end to len - 1 do
+    for bit = 0 to 7 do
+      let flipped = Bytes.of_string text in
+      Bytes.set flipped off (Char.chr (Char.code text.[off] lxor (1 lsl bit)));
+      let dir' = fresh_dir () in
+      let r0 = Journal.recover ~dir:dir' () in
+      Journal.close r0.Journal.journal;
+      write_file (Journal.journal_path ~dir:dir') (Bytes.to_string flipped);
+      let r = Journal.recover ~dir:dir' () in
+      let where = Printf.sprintf "byte %d bit %d" off bit in
+      let expected_replayed, expected_dump =
+        if off < end1 then (0, fresh_dump) else (1, dump1)
+      in
+      check_int ("replayed after flip at " ^ where) expected_replayed
+        r.Journal.replayed;
+      check_string ("state after flip at " ^ where) expected_dump
+        (dump_of r.Journal.manager);
+      check_bool ("flip detected at " ^ where) true
+        (r.Journal.truncated_bytes > 0);
+      Journal.close r.Journal.journal
+    done
+  done
+
+(* A header whose base is not an integer must refuse recovery loudly:
+   silently restarting the global sequence at 0 would let a replica
+   resume from the wrong offset. *)
+let test_corrupt_header_base_raises () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  write_file (Journal.journal_path ~dir) "# gomsm journal v1 base xyz\n";
+  match Journal.recover ~dir () with
+  | exception Journal.Corrupt reason ->
+      check_bool "names the bad base" true (contains reason "xyz")
+  | _ -> Alcotest.fail "recover accepted a non-integer header base"
+
+(* Journals written before per-record CRCs (no [crc] lines) must still
+   replay in full. *)
+let test_legacy_crc_less_journal_replays () =
+  let dir = fresh_dir () in
+  let _, _, dump2 = run_scenario dir in
+  let path = Journal.journal_path ~dir in
+  let stripped =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l ->
+           String.length l < 4 || String.sub l 0 4 <> "crc ")
+    |> String.concat "\n"
+  in
+  write_file path stripped;
+  let r = Journal.recover ~dir () in
+  check_int "both records replayed" 2 r.Journal.replayed;
+  check_int "nothing truncated" 0 r.Journal.truncated_bytes;
+  check_string "exact pre-kill state" dump2 (dump_of r.Journal.manager)
+
 let test_checkpoint_snapshots_and_resets () =
   let dir = fresh_dir () in
   (* checkpoint_every = 1: every commit snapshots *)
@@ -452,6 +532,12 @@ let suite =
           test_recovery_replays_acknowledged_sessions;
         Alcotest.test_case "torn tail truncated at every byte" `Slow
           test_recovery_truncates_torn_tail_every_byte;
+        Alcotest.test_case "every single-bit flip detected" `Slow
+          test_bit_flip_detected_at_every_byte;
+        Alcotest.test_case "corrupt header base raises" `Quick
+          test_corrupt_header_base_raises;
+        Alcotest.test_case "legacy crc-less journal replays" `Quick
+          test_legacy_crc_less_journal_replays;
         Alcotest.test_case "garbage tail dropped" `Quick
           test_recovery_survives_garbage_tail;
         Alcotest.test_case "checkpoint snapshots and resets" `Quick

@@ -1,0 +1,424 @@
+(* The crash/corruption torture suite.
+
+   Runs a write workload against the schema service while failpoints
+   inject storage failures, connection drops and replica faults, then
+   crash-recovers and checks the three recovery invariants:
+
+     1. no acknowledged commit is ever lost,
+     2. no unacknowledged commit becomes visible after recovery
+        (oracle: a commit must be visible iff the journal sequence number
+        advanced while it ran — an [err] reply with an advanced sequence
+        number is the unavoidable "outcome unknown, but durable" case),
+     3. a replica converges to the primary's state digest.
+
+   Deterministic by construction: probabilistic failpoints derive from
+   [--seed], everything else is hit-count triggered.  Exits non-zero on
+   the first violated invariant. *)
+
+module Manager = Core.Manager
+module Protocol = Server.Protocol
+module Broker = Server.Broker
+module Journal = Server.Journal
+module Metrics = Server.Metrics
+module Daemon = Server.Daemon
+module Client = Server.Client
+module Failpoint = Fault.Failpoint
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "torture: FAIL: %s\n%!" s;
+      exit 1)
+    fmt
+
+let check cond fmt =
+  Printf.ksprintf (fun s -> if not cond then fail "%s" s) fmt
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "torture: %s\n%!" s) fmt
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gomsm-torture-%d-%d" (Unix.getpid ()) !n)
+
+let dump_of m =
+  Analyzer.Unparse.unparse_script
+    (Analyzer.Unparse.make ~db:(Manager.database m)
+       ~lookup_code:(Manager.lookup_code m))
+
+let wait_until ?(timeout = 20.0) what f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      fail "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let zoo_frame =
+  "schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema \
+   Zoo;"
+
+(* One full BES/script/EES exchange against a broker. *)
+let commit b ~client lines =
+  match (Broker.handle b ~client Protocol.Bes).Protocol.status with
+  | Protocol.Err reason -> `Refused reason
+  | Protocol.Ok -> (
+      List.iter
+        (fun l ->
+          match
+            (Broker.handle b ~client (Protocol.Script_line l)).Protocol.status
+          with
+          | Protocol.Ok -> ()
+          | Protocol.Err reason -> fail "script-line refused: %s" reason)
+        lines;
+      match (Broker.handle b ~client Protocol.Ees).Protocol.status with
+      | Protocol.Ok -> `Acked
+      | Protocol.Err reason -> `Failed reason)
+
+let fired_of site = Failpoint.fired (Failpoint.define site)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario A: storage failpoints x workload x crash-and-recover       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each spec is armed, the workload runs until it either completes or the
+   broker goes degraded, and then the data directory is recovered from
+   scratch.  The durability oracle is the journal sequence number. *)
+let scenario_a () =
+  let specs =
+    [
+      "journal.append.write=eio@nth:2";
+      "journal.append.write=partial:5@nth:3";
+      "journal.append.fsync=eio@nth:4";
+      "journal.append.fsync=enospc@nth:2";
+      "broker.commit=eio@nth:3";
+      "journal.checkpoint.snapshot=eio@nth:1";
+    ]
+  in
+  List.iter
+    (fun spec ->
+      Failpoint.clear ();
+      Failpoint.configure spec;
+      let site = match Failpoint.parse_config spec with
+        | [ (s, _, _) ] -> s
+        | _ -> fail "spec %S is not a single item" spec
+      in
+      let dir = fresh_dir () in
+      let r = Journal.recover ~dir () in
+      let j = r.Journal.journal in
+      let metrics = Metrics.create () in
+      let b =
+        Broker.create ~journal:j ~checkpoint_every:3 ~acquire_timeout:0.1
+          ~metrics r.Journal.manager
+      in
+      let expected = ref [] in
+      for i = 0 to 7 do
+        let line, needle =
+          if i = 0 then (zoo_frame, "type Animal")
+          else
+            ( Printf.sprintf "add attribute fld%d : int to Animal@Zoo;" i,
+              Printf.sprintf "fld%d" i )
+        in
+        let before = Journal.seq j in
+        let outcome = commit b ~client:(i + 1) [ line ] in
+        let durable = Journal.seq j > before in
+        (match outcome with
+        | `Acked ->
+            check durable "[%s] commit %d acked without a journal record" spec
+              i
+        | `Failed _ | `Refused _ -> ());
+        expected := (i, needle, durable, outcome) :: !expected
+      done;
+      check (fired_of site > 0) "[%s] the failpoint never fired" spec;
+      (* the injected storage failure must have tripped degraded mode *)
+      (match Broker.degraded b with
+      | None -> fail "[%s] broker not degraded after a storage failure" spec
+      | Some _ ->
+          let h = Broker.handle b ~client:99 Protocol.Health in
+          check
+            (h.Protocol.status = Protocol.Ok
+            && List.mem "status degraded" h.Protocol.body)
+            "[%s] health does not report degraded" spec;
+          let s = Broker.handle b ~client:99 Protocol.Stats in
+          check
+            (List.mem "gauge degraded 1" s.Protocol.body)
+            "[%s] stats missing the degraded gauge" spec;
+          (match Broker.handle b ~client:99 Protocol.Bes with
+          | { Protocol.status = Protocol.Err reason; _ } ->
+              check
+                (contains reason "degraded")
+                "[%s] bes refusal does not mention degraded mode" spec
+          | _ -> fail "[%s] bes accepted while degraded" spec);
+          (match
+             (Broker.handle b ~client:99 Protocol.Check).Protocol.status
+           with
+          | Protocol.Ok -> ()
+          | Protocol.Err reason ->
+              fail "[%s] reads refused while degraded: %s" spec reason));
+      Failpoint.clear ();
+      (* crash: recover the directory into a fresh manager *)
+      let r2 = Journal.recover ~dir () in
+      let d = dump_of r2.Journal.manager in
+      List.iter
+        (fun (i, needle, durable, outcome) ->
+          let visible = contains d needle in
+          let describe = function
+            | `Acked -> "acked"
+            | `Failed reason -> "failed: " ^ reason
+            | `Refused reason -> "refused: " ^ reason
+          in
+          if durable && not visible then
+            fail "[%s] commit %d (%s) lost after recovery" spec i
+              (describe outcome)
+          else if (not durable) && visible then
+            fail "[%s] commit %d (%s) visible after recovery without a \
+                  journal record"
+              spec i (describe outcome))
+        !expected;
+      Journal.close r2.Journal.journal;
+      note "A [%s]: %d/8 durable, invariants held" spec
+        (List.length (List.filter (fun (_, _, d, _) -> d) !expected)))
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* Scenario B: connection drops vs. a retrying client                  *)
+(* ------------------------------------------------------------------ *)
+
+let start_daemon ?data () =
+  let metrics = Metrics.create () in
+  let broker =
+    match data with
+    | None ->
+        Broker.create ~acquire_timeout:0.5 ~metrics (Manager.create ())
+    | Some dir ->
+        let r = Journal.recover ~dir () in
+        Broker.create ~journal:r.Journal.journal ~checkpoint_every:4
+          ~acquire_timeout:0.5 ~metrics r.Journal.manager
+  in
+  let port = ref 0 in
+  let mu = Mutex.create () and cond = Condition.create () in
+  ignore
+    (Thread.create
+       (fun () ->
+         Daemon.serve
+           ~on_listen:(fun p ->
+             Mutex.lock mu;
+             port := p;
+             Condition.signal cond;
+             Mutex.unlock mu)
+           ~broker
+           { Daemon.default_config with Daemon.port = 0 })
+       ());
+  Mutex.lock mu;
+  while !port = 0 do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu;
+  (!port, broker)
+
+(* The client prints response bodies on stdout; keep the torture log
+   readable by sending them to /dev/null. *)
+let quiet f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let scenario_b ~seed () =
+  Failpoint.clear ();
+  let port, _broker = start_daemon () in
+  (* the second accepted connection is closed unserved, and ~1/3 of
+     requests get the connection cut before a response is written *)
+  Failpoint.configure
+    (Printf.sprintf "daemon.accept=drop@nth:2;daemon.handler=drop@prob:0.35:%d"
+       seed);
+  let requests =
+    List.concat (List.init 6 (fun _ -> [ "health"; "check"; "stats" ]))
+    @ [ "quit" ]
+  in
+  let code =
+    quiet (fun () ->
+        Client.run ~retries:12 ~host:"127.0.0.1" ~port ~requests ())
+  in
+  let dropped = fired_of "daemon.accept" + fired_of "daemon.handler" in
+  Failpoint.clear ();
+  check (code = 0) "retrying client failed (exit %d) under connection drops"
+    code;
+  check (dropped > 0) "no connection drops were injected (seed %d)" seed;
+  note "B: client survived %d injected connection drop(s)" dropped
+
+(* ------------------------------------------------------------------ *)
+(* Scenario C: replica faults and digest convergence                   *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_c () =
+  Failpoint.clear ();
+  let pdir = fresh_dir () and rdir = fresh_dir () in
+  let pport, pbroker = start_daemon ~data:pdir () in
+  let pj = Option.get (Broker.journal pbroker) in
+  (* six commits before the replica exists: with checkpoint_every = 4 the
+     replica must bootstrap from a snapshot, then stream the tail *)
+  check (commit pbroker ~client:1 [ zoo_frame ] = `Acked) "C: commit 0";
+  for i = 1 to 5 do
+    check
+      (commit pbroker ~client:1
+         [ Printf.sprintf "add attribute fld%d : int to Animal@Zoo;" i ]
+      = `Acked)
+      "C: commit %d" i
+  done;
+  (* replica-side faults: the feed is cut after 5 frames, and the second
+     record application fails once *)
+  Failpoint.configure "replica.stream.read=drop@nth:5;replica.apply=eio@nth:2";
+  let rep =
+    Replica.start
+      {
+        Replica.default_config with
+        Replica.primary_host = "127.0.0.1";
+        primary_port = pport;
+        port = 0;
+        data_dir = Some rdir;
+        checkpoint_every = 4;
+      }
+  in
+  let applier = Replica.applier rep in
+  let rbroker = Replica.broker rep in
+  let rmetrics = Broker.metrics rbroker in
+  wait_until "replica catch-up (bootstrap)" (fun () ->
+      Replica.Applier.position applier = Journal.seq pj);
+  (* more commits while the replica is live and still faulty *)
+  for i = 6 to 9 do
+    check
+      (commit pbroker ~client:1
+         [ Printf.sprintf "add attribute fld%d : int to Animal@Zoo;" i ]
+      = `Acked)
+      "C: commit %d" i
+  done;
+  wait_until "replica catch-up (live)" (fun () ->
+      Replica.Applier.position applier = Journal.seq pj);
+  check
+    (fired_of "replica.stream.read" > 0 && fired_of "replica.apply" > 0)
+    "C: replica failpoints never fired";
+  Failpoint.clear ();
+  (* invariant 3: both sides fingerprint the same state *)
+  let pd = Broker.state_digest pbroker in
+  let rd = Broker.state_digest rbroker in
+  check (pd <> None) "C: primary has no digest";
+  check (pd = rd) "C: digests diverge (primary %s, replica %s)"
+    (Option.value pd ~default:"-")
+    (Option.value rd ~default:"-");
+  (* let an idle ping carry the digest across; it must not trip a false
+     divergence alarm *)
+  Thread.delay 2.5;
+  check
+    (Metrics.counter rmetrics "replica_divergences" = 0)
+    "C: false divergence alarm";
+  check
+    (Replica.Applier.position applier = Journal.seq pj)
+    "C: replica moved without new records";
+  check
+    (Metrics.counter rmetrics "replica_reconnects" >= 1)
+    "C: reconnects not counted";
+  note "C: replica converged (digest %s) after %d reconnect(s)"
+    (Option.value pd ~default:"-")
+    (Metrics.counter rmetrics "replica_reconnects")
+
+(* ------------------------------------------------------------------ *)
+(* Scenario D: ENOSPC over a live socket                               *)
+(* ------------------------------------------------------------------ *)
+
+let open_conn port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock, sock)
+
+let rpc (ic, oc, _) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  Protocol.read_response ic
+
+let expect_ok what (resp : Protocol.response) =
+  match resp.Protocol.status with
+  | Protocol.Ok -> resp.Protocol.body
+  | Protocol.Err reason -> fail "D: %s failed: %s" what reason
+
+let scenario_d () =
+  Failpoint.clear ();
+  let dir = fresh_dir () in
+  let port, _broker = start_daemon ~data:dir () in
+  Failpoint.configure "journal.append.fsync=enospc@nth:2";
+  let c = open_conn port in
+  ignore (expect_ok "bes" (rpc c "bes"));
+  ignore (expect_ok "script" (rpc c ("script-line " ^ zoo_frame)));
+  ignore (expect_ok "ees" (rpc c "ees"));
+  ignore (expect_ok "bes 2" (rpc c "bes"));
+  ignore
+    (expect_ok "script 2"
+       (rpc c "script-line add attribute name : string to Animal@Zoo;"));
+  (match rpc c "ees" with
+  | { Protocol.status = Protocol.Err reason; _ } ->
+      check (contains reason "degraded")
+        "D: ees error does not announce degraded mode: %s" reason
+  | _ -> fail "D: ees succeeded despite injected ENOSPC");
+  let h = expect_ok "health" (rpc c "health") in
+  check (List.mem "status degraded" h) "D: health not degraded";
+  check
+    (List.exists (fun l -> contains l "reason ") h)
+    "D: health has no reason line";
+  let s = expect_ok "stats" (rpc c "stats") in
+  check (List.mem "gauge degraded 1" s) "D: stats gauge not set";
+  (match rpc c "bes" with
+  | { Protocol.status = Protocol.Err reason; _ } ->
+      check (contains reason "degraded") "D: bes refusal wrong: %s" reason
+  | _ -> fail "D: bes accepted while degraded");
+  ignore (expect_ok "check" (rpc c "check"));
+  ignore (expect_ok "quit" (rpc c "quit"));
+  (let _, _, s = c in
+   try Unix.close s with Unix.Unix_error _ -> ());
+  Failpoint.clear ();
+  (* restart: only the acked commit survives *)
+  let r = Journal.recover ~dir () in
+  let d = dump_of r.Journal.manager in
+  check (contains d "type Animal") "D: acked commit lost";
+  check (not (contains d "name")) "D: failed commit visible";
+  note "D: ENOSPC over a socket: degraded, reported, recovered clean"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let seed = ref 1234 in
+  Arg.parse
+    [ ("--seed", Arg.Set_int seed, "N  seed for probabilistic failpoints") ]
+    (fun a -> fail "unexpected argument %S" a)
+    "torture [--seed N]";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  note "seed %d" !seed;
+  scenario_a ();
+  scenario_b ~seed:!seed ();
+  scenario_c ();
+  scenario_d ();
+  note "all invariants held";
+  exit 0
