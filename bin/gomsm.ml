@@ -473,10 +473,48 @@ let serve_cmd =
       "Write the bound port here (atomically) once listening; handy with \
        --port 0."
   in
+  let backlog =
+    Arg.(
+      value
+      & opt int Server.Daemon.default_config.Server.Daemon.backlog
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Pending-connection queue length passed to listen(2).")
+  in
+  let max_open_dbs =
+    Arg.(
+      value & opt int 64
+      & info [ "max-open-dbs" ] ~docv:"N"
+          ~doc:
+            "How many databases are held open (journal fd + in-memory \
+             state) at once; beyond it the least-recently-used idle \
+             database is evicted and reopened from disk on its next use.")
+  in
   let run host port data checkpoint_every checkpoint_bytes acquire_timeout
-      port_file =
+      port_file backlog max_open_dbs =
     load_failpoints "gomsm-server";
+    (* every serve is registry-backed: [default] is the data root itself,
+       so single-database setups see exactly the old layout, and db
+       create/use/drop are available from the start *)
+    let registry =
+      Tenant.Registry.create
+        {
+          Tenant.Registry.data_dir = data;
+          max_open = max_open_dbs;
+          checkpoint_every;
+          checkpoint_bytes;
+          acquire_timeout;
+          log = (fun s -> Printf.eprintf "gomsm-server: %s\n%!" s);
+        }
+    in
+    (* open [default] before listening: recovery errors abort the boot
+       instead of surfacing on the first request *)
+    (match Tenant.Registry.use registry Tenant.Registry.default_db with
+    | Ok _ -> ()
+    | Error reason ->
+        Printf.eprintf "gomsm-server: %s\n%!" reason;
+        Stdlib.exit 2);
     Server.Daemon.serve
+      ~router:(Tenant.Registry.router registry)
       {
         Server.Daemon.host;
         port;
@@ -485,6 +523,7 @@ let serve_cmd =
         checkpoint_bytes;
         acquire_timeout;
         port_file;
+        backlog;
       };
     0
   in
@@ -492,11 +531,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the schema manager as a durable multi-client daemon (line \
-          protocol over TCP)")
+          protocol over TCP), hosting one or many named databases")
     Term.(
-      const (fun h p d c cb a pf -> Stdlib.exit (run h p d c cb a pf))
+      const (fun h p d c cb a pf bl mo -> Stdlib.exit (run h p d c cb a pf bl mo))
       $ host_arg $ port $ data $ checkpoint_every $ checkpoint_bytes
-      $ acquire_timeout $ port_file)
+      $ acquire_timeout $ port_file $ backlog $ max_open_dbs)
 
 let replica_cmd =
   let primary =
@@ -539,7 +578,14 @@ let replica_cmd =
       "Write the bound port here (atomically) once listening; handy with \
        --port 0."
   in
-  let run host primary port data checkpoint_every checkpoint_bytes port_file =
+  let db =
+    Arg.(
+      value & opt string "default"
+      & info [ "db" ] ~docv:"NAME"
+          ~doc:"Which of the primary's databases to mirror.")
+  in
+  let run host primary port data checkpoint_every checkpoint_bytes port_file
+      db =
     load_failpoints "gomsm-replica";
     let primary_host, primary_port =
       match String.rindex_opt primary ':' with
@@ -565,19 +611,20 @@ let replica_cmd =
         checkpoint_every;
         checkpoint_bytes;
         port_file;
+        db;
       };
     0
   in
   Cmd.v
     (Cmd.info "replica"
        ~doc:
-         "Run a read-only replica of a gomsm serve primary: subscribe to \
-          its journal stream, apply records incrementally, and serve \
-          check/query/dump/stats locally")
+         "Run a read-only replica of one database of a gomsm serve primary: \
+          subscribe to its journal stream, apply records incrementally, and \
+          serve check/query/dump/stats locally")
     Term.(
-      const (fun h pr p d c cb pf -> Stdlib.exit (run h pr p d c cb pf))
+      const (fun h pr p d c cb pf db -> Stdlib.exit (run h pr p d c cb pf db))
       $ host_arg $ primary $ port $ data $ checkpoint_every $ checkpoint_bytes
-      $ port_file)
+      $ port_file $ db)
 
 let client_cmd =
   let port =
@@ -608,7 +655,15 @@ let client_cmd =
              re-sent after a dropped connection; ees/script-line/rollback \
              never are.  0 (the default) fails fast.")
   in
-  let run host port port_file retries requests =
+  let db =
+    Arg.(
+      value & opt (some string) None
+      & info [ "db" ] ~docv:"NAME"
+          ~doc:
+            "Scope every request to this database: a 'use NAME' is sent on \
+             each (re)connection before anything else.")
+  in
+  let run host port port_file retries db requests =
     let port =
       match port_file with
       | None -> port
@@ -619,7 +674,7 @@ let client_cmd =
               Printf.eprintf "bad port file %s\n" path;
               exit 2)
     in
-    match Server.Client.run ~retries ~host ~port ~requests () with
+    match Server.Client.run ~retries ?db ~host ~port ~requests () with
     | code -> code
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot connect to %s:%d: %s\n" host port
@@ -627,10 +682,15 @@ let client_cmd =
         2
   in
   Cmd.v
-    (Cmd.info "client" ~doc:"Send requests to a running gomsm serve")
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running gomsm serve.  Exit status: 0 on \
+          success, 1 on a refused request or lost connection, 2 when the \
+          server is unreachable, 3 when the server refused a verb because \
+          it is in degraded read-only mode.")
     Term.(
-      const (fun h p pf r rs -> Stdlib.exit (run h p pf r rs))
-      $ host_arg $ port $ port_file $ retries $ requests)
+      const (fun h p pf r db rs -> Stdlib.exit (run h p pf r db rs))
+      $ host_arg $ port $ port_file $ retries $ db $ requests)
 
 let () =
   let doc = "flexible schema management in object bases (ICDE 1993)" in

@@ -25,6 +25,7 @@ type config = {
   checkpoint_every : int;
   checkpoint_bytes : int;
   port_file : string option;
+  db : string;  (* which of the primary's databases to mirror *)
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     checkpoint_every = 64;
     checkpoint_bytes = 4 * 1024 * 1024;
     port_file = None;
+    db = "default";
   }
 
 type t = { broker : Broker.t; applier : Applier.t }
@@ -79,6 +81,7 @@ let make config : t =
     (Thread.create
        (fun () ->
          Stream.run ~host:config.primary_host ~port:config.primary_port
+           ~db:config.db
            ~position:(fun () -> Applier.position applier)
            ~handle:(Applier.handle applier)
            ~on_status:(fun s -> logf "%s" s)
@@ -95,13 +98,20 @@ let daemon_config config =
     port_file = config.port_file;
   }
 
+(* The replica's own listener hosts exactly the mirrored database, under
+   the same name the primary serves it as. *)
+let daemon_router config t = Daemon.broker_router ~name:config.db t.broker
+
 (* Non-blocking: spawn the feed and the listener, return the handles (for
    tests and benches). *)
 let start ?on_listen config : t =
   let t = make config in
   ignore
     (Thread.create
-       (fun () -> Daemon.serve ?on_listen ~broker:t.broker (daemon_config config))
+       (fun () ->
+         Daemon.serve ?on_listen
+           ~router:(daemon_router config t)
+           (daemon_config config))
        ());
   t
 
@@ -109,4 +119,4 @@ let start ?on_listen config : t =
 let run ?on_listen config : unit =
   let t = make config in
   logf "replicating from %s" (primary_address config);
-  Daemon.serve ?on_listen ~broker:t.broker (daemon_config config)
+  Daemon.serve ?on_listen ~router:(daemon_router config t) (daemon_config config)

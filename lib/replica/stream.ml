@@ -55,7 +55,7 @@ exception Retry of string
 
 (* One connection's lifetime: subscribe, then pump frames until the socket
    dies or a handler rejects a frame.  Raises [Retry] with the reason. *)
-let pump ~host ~port ~position ~on_connected ~handle =
+let pump ~host ~port ~db ~position ~on_connected ~handle =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -75,7 +75,7 @@ let pump ~host ~port ~position ~on_connected ~handle =
       in
       wrap (fun () ->
           output_string oc
-            (Protocol.request_line (Protocol.Subscribe (position ())));
+            (Protocol.request_line (Protocol.Subscribe (position (), db)));
           output_char oc '\n';
           flush oc);
       (match wrap (fun () -> Protocol.read_response ic) with
@@ -114,7 +114,7 @@ let jittered_delay ~min_backoff ~max_backoff ~attempt rand =
    [on_retry] is called once per reconnect attempt — the replica's
    [reconnects] counter. *)
 let run ?(min_backoff = 0.1) ?(max_backoff = 5.0) ?(seed = 1)
-    ?(on_status = fun _ -> ()) ?(on_retry = fun () -> ()) ~host ~port
+    ?(on_status = fun _ -> ()) ?(on_retry = fun () -> ()) ?db ~host ~port
     ~position ~handle () : unit =
   let rng = Random.State.make [| seed; 0x5eed |] in
   let attempt = ref 0 in
@@ -122,7 +122,7 @@ let run ?(min_backoff = 0.1) ?(max_backoff = 5.0) ?(seed = 1)
     let reason =
       (* [pump] only ever returns by raising *)
       try
-        pump ~host ~port ~position
+        pump ~host ~port ~db ~position
           ~on_connected:(fun () -> attempt := 0)
           ~handle
       with

@@ -7,7 +7,9 @@ module Failpoint = Fault.Failpoint
 module Crc32 = Fault.Crc32
 
 (* Fires between the in-memory commit and the journal append: the window
-   the degraded-mode machinery exists for. *)
+   the degraded-mode machinery exists for.  Brokers created with [~label]
+   (one tenant among many) additionally hit a [broker.commit#<label>]
+   variant, so faults can be aimed at a single tenant. *)
 let fp_broker_commit = Failpoint.define "broker.commit"
 
 type t = {
@@ -23,11 +25,12 @@ type t = {
   mutable degraded : string option;  (* read-only after a storage failure *)
   mutable digest_cache : (int * string) option;  (* seq -> state digest *)
   subscribers : (int, int ref) Hashtbl.t;  (* feed client -> last sent seq *)
+  fp_commit : Failpoint.site option;  (* tenant-labeled broker.commit *)
 }
 
 let create ?journal ?(checkpoint_every = 64)
     ?(checkpoint_bytes = 4 * 1024 * 1024) ?(acquire_timeout = 5.0) ?read_only
-    ~metrics manager =
+    ?label ~metrics manager =
   {
     manager;
     journal;
@@ -41,6 +44,8 @@ let create ?journal ?(checkpoint_every = 64)
     degraded = None;
     digest_cache = None;
     subscribers = Hashtbl.create 4;
+    fp_commit =
+      Option.map (fun l -> Failpoint.define ("broker.commit#" ^ l)) label;
   }
 
 let manager t = t.manager
@@ -165,6 +170,9 @@ let do_ees t ~client =
                 (* fsync the record before acknowledging the commit *)
                 match
                   Failpoint.hit fp_broker_commit;
+                  (match t.fp_commit with
+                  | Some fp -> Failpoint.hit fp
+                  | None -> ());
                   ignore
                     (Journal.append j ~ids:(Manager.ids t.manager) ~code delta);
                   Metrics.incr t.metrics "journal_records";
@@ -463,10 +471,26 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
             (* the daemon turns the connection into a feed before it gets
                here; anything else cannot stream *)
             err "subscribe is only available on a feed connection"
+        | Protocol.Use _ | Protocol.Db_create _ | Protocol.Db_drop _
+        | Protocol.Db_list | Protocol.Db_stat _ ->
+            (* the daemon routes these to its registry before they get
+               here; a bare broker hosts exactly one database *)
+            err "database management needs a multi-database daemon"
         | Protocol.Quit -> ok [ "bye." ]))
   with e ->
     Metrics.incr t.metrics "internal_errors";
     err ("internal error: " ^ Printexc.to_string e)
+
+(* Release the broker's on-disk resources: the registry's eviction/shutdown
+   path.  No checkpoint is forced — every record is already fsynced, so an
+   evict/reopen cycle leaves the journal bytes untouched and reopening
+   replays them exactly like a restart (the crash-tested path).  Never
+   called with a writer active (the registry refuses to evict then). *)
+let close t =
+  with_lock t (fun () ->
+      match t.journal with
+      | None -> ()
+      | Some j -> ( try Journal.close j with Unix.Unix_error _ -> ()))
 
 let disconnect t ~client =
   with_lock t (fun () ->

@@ -26,6 +26,7 @@ val create :
   ?checkpoint_bytes:int ->
   ?acquire_timeout:float ->
   ?read_only:string ->
+  ?label:string ->
   metrics:Metrics.t ->
   Core.Manager.t ->
   t
@@ -35,7 +36,9 @@ val create :
     [acquire_timeout] seconds a [bes] waits for the writer slot
     (default 5.0).  With [read_only] (the primary's address, for the
     redirect message) every writer verb — bes/ees/rollback/script-line —
-    is refused: the broker serves a replica. *)
+    is refused: the broker serves a replica.  With [label] (a tenant name)
+    the commit failpoint is additionally consulted as
+    [broker.commit#<label>]. *)
 
 val handle : t -> client:int -> Protocol.request -> Protocol.response
 (** Serve one request on behalf of client [client].  Never raises: internal
@@ -52,6 +55,13 @@ val feed : t -> client:int -> from:int -> out_channel -> unit
 
 val disconnect : t -> client:int -> unit
 (** The client went away: roll back its open session, if any. *)
+
+val close : t -> unit
+(** Close the broker's journal file descriptor (no-op without a journal):
+    the tenant registry's eviction/shutdown path.  No checkpoint is forced
+    — every record is already fsynced, so reopening the data directory
+    replays the journal exactly like a restart.  The broker must not be
+    used afterwards; callers guarantee no writer or feed is active. *)
 
 val exclusively : t -> (unit -> 'a) -> 'a
 (** Run [f] under the broker's lock, excluding every request handler: the

@@ -31,24 +31,43 @@ let safe_to_retry line =
   match Protocol.parse_request line with
   | Ok
       ( Protocol.Bes | Protocol.Check | Protocol.Query _ | Protocol.Dump
-      | Protocol.Stats | Protocol.Health | Protocol.Quit ) ->
+      | Protocol.Stats | Protocol.Health | Protocol.Use _ | Protocol.Db_list
+      | Protocol.Db_stat _ | Protocol.Quit ) ->
       true
   | Ok
       ( Protocol.Ees | Protocol.Rollback | Protocol.Script_line _
-      | Protocol.Subscribe _ ) ->
+      | Protocol.Db_create _ | Protocol.Db_drop _ | Protocol.Subscribe _ ) ->
+      (* create/drop are not idempotent: a lost reply followed by a re-send
+         would report "already exists"/"unknown" for a request that in fact
+         took effect *)
       false
   | Error _ -> false
 
 let transient_err reason =
   String.length reason >= 7 && String.sub reason 0 7 = "timeout"
 
+(* A degraded-mode refusal (the broker stopped accepting writes after a
+   storage failure) deserves a distinct exit code: the request was fine,
+   the server needs operator attention.  The refusal reason always starts
+   with "degraded read-only mode". *)
+let degraded_refusal reason =
+  let p = "degraded read-only mode" in
+  String.length reason >= String.length p
+  && String.sub reason 0 (String.length p) = p
+
+exception Use_failed of string
+
 (* Run requests (argv mode) or pump stdin line by line (interactive/pipe
-   mode).  Exit code 0 iff every request succeeded — an [err] reply, a
-   dropped connection, or a malformed response all make the exit code
-   non-zero so scripts and cram tests can detect failure. *)
-let run ?(retries = 0) ~host ~port ~(requests : string list) () : int =
+   mode).  Exit code 0 iff every request succeeded; 3 when the server
+   refused a verb because it is in degraded read-only mode — an [err]
+   reply, a dropped connection, or a malformed response all make the exit
+   code non-zero so scripts and cram tests can detect failure.  With [db],
+   a [use <db>] is sent on every (re)connection before anything else, so
+   all requests are scoped to that database. *)
+let run ?(retries = 0) ?db ~host ~port ~(requests : string list) () : int =
   let rng = Random.State.make [| Unix.getpid (); 0x90b5 |] in
   let failed = ref false in
+  let degraded = ref false in
   let conn = ref None in
   let drop_conn () =
     match !conn with
@@ -57,11 +76,30 @@ let run ?(retries = 0) ~host ~port ~(requests : string list) () : int =
         conn := None
     | None -> ()
   in
+  let select_db (ic, oc, _) =
+    match db with
+    | None -> ()
+    | Some name -> (
+        output_string oc ("use " ^ name ^ "\n");
+        flush oc;
+        match Protocol.read_response ic with
+        | { Protocol.status = Protocol.Ok; _ } -> ()
+        | { Protocol.status = Protocol.Err reason; _ } ->
+            raise (Use_failed reason))
+  in
   let rec get_conn attempt =
     match !conn with
     | Some c -> c
     | None -> (
-        match connect ~host ~port with
+        match
+          let c = connect ~host ~port in
+          (try select_db c
+           with e ->
+             (let _, _, sock = c in
+              try Unix.close sock with Unix.Unix_error _ -> ());
+             raise e);
+          c
+        with
         | c ->
             conn := Some c;
             c
@@ -92,6 +130,15 @@ let run ?(retries = 0) ~host ~port ~(requests : string list) () : int =
                 attempt (n + 1)
             | Protocol.Ok ->
                 List.iter print_endline resp.Protocol.body
+            | Protocol.Err reason when degraded_refusal reason ->
+                List.iter print_endline resp.Protocol.body;
+                flush stdout;
+                Printf.eprintf
+                  "error: server is in degraded read-only mode; writes are \
+                   refused until it is restarted (%s)\n%!"
+                  reason;
+                degraded := true;
+                failed := true
             | Protocol.Err reason ->
                 List.iter print_endline resp.Protocol.body;
                 flush stdout;
@@ -132,5 +179,9 @@ let run ?(retries = 0) ~host ~port ~(requests : string list) () : int =
       | Protocol.Protocol_error e ->
           flush stdout;
           Printf.eprintf "malformed response: %s\n" e;
+          failed := true
+      | Use_failed reason ->
+          flush stdout;
+          Printf.eprintf "error: cannot select database: %s\n" reason;
           failed := true);
-  if !failed then 1 else 0
+  if !degraded then 3 else if !failed then 1 else 0

@@ -9,6 +9,7 @@ type config = {
   checkpoint_bytes : int;  (* journal size cap between checkpoints *)
   acquire_timeout : float;  (* seconds a bes waits for the writer slot *)
   port_file : string option;  (* written (atomically) with the bound port *)
+  backlog : int;  (* pending-connection queue passed to listen(2) *)
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     checkpoint_bytes = 4 * 1024 * 1024;
     acquire_timeout = 5.0;
     port_file = None;
+    backlog = 64;
   }
 
 let logf fmt =
@@ -46,14 +48,82 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Dump -> "dump"
   | Protocol.Stats -> "stats"
   | Protocol.Health -> "health"
+  | Protocol.Use _ -> "use"
+  | Protocol.Db_create _ | Protocol.Db_drop _ | Protocol.Db_list
+  | Protocol.Db_stat _ ->
+      "db"
   | Protocol.Subscribe _ -> "subscribe"
   | Protocol.Quit -> "quit"
 
-(* Serve one connection until quit/EOF; the broker rolls back any session
-   the client still holds when it goes away. *)
-let client_loop (broker : Broker.t) (metrics : Metrics.t) ~client fd =
+(* How the daemon reaches the database(s) it serves.  A single-broker
+   router (below) wraps one Broker.t — the historical shape, still used by
+   replicas and by tests that hand [serve] a broker; the tenant registry
+   builds a many-database router.  [use_db] validates/opens a database and
+   returns its canonical name; [with_db] serves one request against a
+   named database; [admin] intercepts the db-management verbs. *)
+type router = {
+  default_db : string;  (* every connection starts scoped to this one *)
+  use_db : current:string -> client:int -> string -> (string, string) result;
+  with_db : string -> client:int -> Protocol.request -> Protocol.response;
+  feed_db : string -> client:int -> from:int -> out_channel -> unit;
+  admin : Protocol.request -> Protocol.response option;
+  disconnect_db : string -> client:int -> unit;
+  stats_extra : unit -> string list;  (* appended to a tenant's stats body *)
+  server_metrics : Metrics.t;  (* connection-level counters live here *)
+}
+
+let broker_router ?(name = "default") (broker : Broker.t) : router =
+  let unknown n =
+    Protocol.err
+      (Printf.sprintf "unknown database %S: this server hosts only %S" n name)
+  in
+  {
+    default_db = name;
+    use_db =
+      (fun ~current:_ ~client:_ n ->
+        if n = name then Ok name
+        else
+          Error
+            (Printf.sprintf "unknown database %S: this server hosts only %S" n
+               name));
+    with_db = (fun _ ~client req -> Broker.handle broker ~client req);
+    feed_db =
+      (fun db ~client ~from oc ->
+        if db = name then Broker.feed broker ~client ~from oc
+        else Protocol.write_response oc (unknown db));
+    admin =
+      (function
+      | Protocol.Db_list -> Some (Protocol.ok [ name ^ " open" ])
+      | Protocol.Db_stat n ->
+          if n = name then
+            Some
+              (Protocol.ok
+                 ([ "name " ^ name; "state open" ]
+                 @
+                 match Broker.journal broker with
+                 | Some j -> [ Printf.sprintf "seq %d" (Journal.seq j) ]
+                 | None -> []))
+          else Some (unknown n)
+      | Protocol.Db_create _ | Protocol.Db_drop _ ->
+          Some
+            (Protocol.err
+               "single-database server: create/drop need a multi-database \
+                daemon (gomsm serve)")
+      | _ -> None);
+    disconnect_db = (fun _ ~client -> Broker.disconnect broker ~client);
+    stats_extra = (fun () -> []);
+    server_metrics = Broker.metrics broker;
+  }
+
+(* Serve one connection until quit/EOF; the current database's broker rolls
+   back any session the client still holds when it goes away.  [use]
+   re-scopes the connection; the db-management verbs go to the router's
+   admin hook; everything else is served by the current database. *)
+let client_loop (router : router) ~client fd =
+  let metrics = router.server_metrics in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  let current = ref router.default_db in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
@@ -67,32 +137,65 @@ let client_loop (broker : Broker.t) (metrics : Metrics.t) ~client fd =
                 Metrics.incr metrics "bad_requests";
                 Protocol.write_response oc (Protocol.err reason);
                 false
-            | Ok (Protocol.Subscribe from) ->
+            | Ok (Protocol.Use name) ->
+                (match router.use_db ~current:!current ~client name with
+                | Ok canonical ->
+                    current := canonical;
+                    Protocol.write_response oc
+                      (Protocol.ok [ Printf.sprintf "using %s." canonical ])
+                | Error reason ->
+                    Protocol.write_response oc (Protocol.err reason));
+                false
+            | Ok Protocol.Quit ->
+                (* connection-level, not database-level: answering through
+                   the current database would pointlessly reopen it when it
+                   has been evicted since the last request *)
+                Protocol.write_response oc (Protocol.ok [ "bye." ]);
+                true
+            | Ok (Protocol.Subscribe (from, db)) ->
                 (* the connection becomes a one-way replication feed; when
                    the feed ends, so does the connection *)
-                Broker.feed broker ~client ~from oc;
+                let db = Option.value db ~default:!current in
+                router.feed_db db ~client ~from oc;
                 true
             | Ok req -> (
-                match Failpoint.hit fp_handler with
-                | exception (Failpoint.Dropped _ | Unix.Unix_error _) ->
-                    (* injected connection cut: no response, just hang up —
-                       the client sees EOF mid-request *)
-                    Metrics.incr metrics "failpoint_drops";
-                    true
-                | () ->
-                    let t0 = Unix.gettimeofday () in
-                    let resp = Broker.handle broker ~client req in
-                    Metrics.observe metrics
-                      ("latency." ^ request_kind req)
-                      (Unix.gettimeofday () -. t0);
+                match router.admin req with
+                | Some resp ->
                     Protocol.write_response oc resp;
-                    req = Protocol.Quit)
+                    false
+                | None -> (
+                    match Failpoint.hit fp_handler with
+                    | exception (Failpoint.Dropped _ | Unix.Unix_error _) ->
+                        (* injected connection cut: no response, just hang up
+                           — the client sees EOF mid-request *)
+                        Metrics.incr metrics "failpoint_drops";
+                        true
+                    | () ->
+                        let t0 = Unix.gettimeofday () in
+                        let resp = router.with_db !current ~client req in
+                        let resp =
+                          (* daemon-wide lines ride along on stats, so one
+                             request shows both the tenant and the server *)
+                          match (req, resp.Protocol.status) with
+                          | Protocol.Stats, Protocol.Ok ->
+                              {
+                                resp with
+                                Protocol.body =
+                                  resp.Protocol.body @ router.stats_extra ();
+                              }
+                          | _ -> resp
+                        in
+                        Metrics.observe metrics
+                          ("latency." ^ request_kind req)
+                          (Unix.gettimeofday () -. t0);
+                        Protocol.write_response oc resp;
+                        false))
           in
           if not stop then loop ()
         end
   in
   (try loop () with Sys_error _ -> ());
-  Broker.disconnect broker ~client;
+  router.disconnect_db !current ~client;
   (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let write_port_file path port =
@@ -121,21 +224,27 @@ let prepare config metrics =
         ~checkpoint_bytes:config.checkpoint_bytes
         ~acquire_timeout:config.acquire_timeout ~metrics r.Journal.manager
 
-let serve ?on_listen ?broker (config : config) : unit =
+let serve ?on_listen ?broker ?router (config : config) : unit =
   (* a client closing mid-response must not kill the server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let broker =
-    match broker with
-    | Some b -> b
-    | None -> prepare config (Metrics.create ())
+  let router =
+    match router with
+    | Some r -> r
+    | None ->
+        let broker =
+          match broker with
+          | Some b -> b
+          | None -> prepare config (Metrics.create ())
+        in
+        broker_router broker
   in
-  let metrics = Broker.metrics broker in
+  let metrics = router.server_metrics in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock
     (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
-  Unix.listen sock 64;
+  Unix.listen sock config.backlog;
   let port =
     match Unix.getsockname sock with
     | Unix.ADDR_INET (_, p) -> p
@@ -156,12 +265,18 @@ let serve ?on_listen ?broker (config : config) : unit =
         (try Unix.close fd with Unix.Unix_error _ -> ())
     | () ->
         Metrics.incr metrics "connections";
+        Metrics.add_gauge metrics "active_connections";
         next_client := !next_client + 1;
         let client = !next_client in
         ignore
           (Thread.create
              (fun () ->
-               try client_loop broker metrics ~client fd
-               with e -> logf "client %d: %s" client (Printexc.to_string e))
+               Fun.protect
+                 ~finally:(fun () ->
+                   Metrics.add_gauge ~by:(-1) metrics "active_connections")
+                 (fun () ->
+                   try client_loop router ~client fd
+                   with e ->
+                     logf "client %d: %s" client (Printexc.to_string e)))
              ())
   done

@@ -11,10 +11,18 @@ exception Corrupt of string
 module Failpoint = Fault.Failpoint
 module Crc32 = Fault.Crc32
 
-(* Fault-injection sites on the durability path; inert unless armed. *)
+(* Fault-injection sites on the durability path; inert unless armed.  A
+   journal opened with [~label] (one tenant among many) additionally hits
+   [<site>#<label>] variants, so faults can be aimed at a single tenant. *)
 let fp_append_write = Failpoint.define "journal.append.write"
 let fp_append_fsync = Failpoint.define "journal.append.fsync"
 let fp_checkpoint = Failpoint.define "journal.checkpoint.snapshot"
+
+let labeled_site site label =
+  Option.map (fun l -> Failpoint.define (site ^ "#" ^ l)) label
+
+let hit_opt = function None -> () | Some fp -> Failpoint.hit fp
+let hit_io_opt fp n = match fp with None -> n | Some fp -> Failpoint.hit_io fp n
 
 (* Ablation flag for the B9 bench: records are written without their [crc]
    line when false.  The read side always accepts both forms. *)
@@ -56,6 +64,10 @@ type t = {
   mutable seq : int;  (* global seq of the last committed record *)
   mutable since : int;  (* records appended since the last checkpoint *)
   mutable bytes : int;
+  (* tenant-labeled failpoint variants; None on single-tenant journals *)
+  fp_write : Failpoint.site option;
+  fp_fsync : Failpoint.site option;
+  fp_ckpt : Failpoint.site option;
 }
 
 let base t = t.base
@@ -95,12 +107,14 @@ let read_file path =
 let append_protected t s =
   try
     let budget = Failpoint.hit_io fp_append_write (String.length s) in
+    let budget = min budget (hit_io_opt t.fp_write budget) in
     if budget < String.length s then begin
       write_all t.fd (String.sub s 0 budget);
       raise (Unix.Unix_error (Unix.EIO, "write", "failpoint: partial append"))
     end
     else write_all t.fd s;
     Failpoint.hit fp_append_fsync;
+    hit_opt t.fp_fsync;
     Unix.fsync t.fd
   with e ->
     (try
@@ -168,6 +182,7 @@ let fsync_dir dir =
 
 let write_snapshot_file t text =
   Failpoint.hit fp_checkpoint;
+  hit_opt t.fp_ckpt;
   let tmp = Filename.concat t.dir "snapshot.tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   write_all fd text;
@@ -473,8 +488,8 @@ let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
   (try between () with Corrupt _ -> ());
   (!good, !replayed, !last_seq)
 
-let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ~dir () :
-    recovery =
+let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ?label ~dir ()
+    : recovery =
   mkdir_p dir;
   let snap = snapshot_path ~dir in
   let from_snapshot = Sys.file_exists snap in
@@ -504,6 +519,16 @@ let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ~dir () :
   in
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   let journal =
-    { dir; fd; base; seq = last_seq; since = replayed; bytes = size }
+    {
+      dir;
+      fd;
+      base;
+      seq = last_seq;
+      since = replayed;
+      bytes = size;
+      fp_write = labeled_site "journal.append.write" label;
+      fp_fsync = labeled_site "journal.append.fsync" label;
+      fp_ckpt = labeled_site "journal.checkpoint.snapshot" label;
+    }
   in
   { manager; journal; from_snapshot; replayed; truncated_bytes = truncated }

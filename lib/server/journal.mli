@@ -57,12 +57,15 @@ val recover :
   ?subschemas:bool ->
   ?sorts:bool ->
   ?check_mode:Core.Manager.check_mode ->
+  ?label:string ->
   dir:string ->
   unit ->
   recovery
 (** Open (creating if needed) the data directory and rebuild the manager:
     snapshot, then journal replay, then tail truncation.  The returned
-    journal is positioned for appending.
+    journal is positioned for appending.  With [label] (a tenant name) the
+    durability failpoint sites are additionally consulted under
+    [<site>#<label>] names, so fault injection can target one tenant.
     @raise Corrupt if the {e snapshot} is unreadable, or if the journal
     header's base sequence number no longer parses (defaulting it would
     silently renumber the log); other journal damage is repaired by

@@ -43,6 +43,11 @@ let counter t name =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
+let counters t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+      |> List.sort compare)
+
 let set t name v =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.gauges name with
@@ -52,6 +57,12 @@ let set t name v =
 let gauge t name =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0)
+
+let add_gauge ?(by = 1) t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.gauges name (ref by))
 
 let observe t name seconds =
   with_lock t (fun () ->

@@ -13,12 +13,20 @@ val incr : ?by:int -> t -> string -> unit
 val counter : t -> string -> int
 (** Current value (0 if never bumped). *)
 
+val counters : t -> (string * int) list
+(** Every counter with its value, sorted by name — the registry's way of
+    aggregating per-tenant totals into the daemon-wide [stats]. *)
+
 val set : t -> string -> int -> unit
 (** Set a gauge — a value that can move both ways (replication lag, feed
     subscribers, last applied sequence number). *)
 
 val gauge : t -> string -> int
 (** Current gauge value (0 if never set). *)
+
+val add_gauge : ?by:int -> t -> string -> unit
+(** Move a gauge by a delta (default +1) — connection counts and other
+    up/down values maintained from several threads. *)
 
 val observe : t -> string -> float -> unit
 (** Record one observation, in seconds, into a latency histogram. *)

@@ -11,7 +11,12 @@ type request =
   | Dump
   | Stats
   | Health
-  | Subscribe of int
+  | Use of string
+  | Db_create of string
+  | Db_drop of string
+  | Db_list
+  | Db_stat of string
+  | Subscribe of int * string option
   | Quit
 
 (* Drop a trailing CR (telnet-style clients); body lines keep their
@@ -45,9 +50,25 @@ let parse_request line =
   | "query", q -> Result.Ok (Query q)
   | "script-line", "" -> Result.Error "script-line needs an evolution command"
   | "script-line", cmd -> Result.Ok (Script_line cmd)
-  | "subscribe", seq -> (
+  | "use", "" -> Result.Error "use needs a database name, e.g. use default"
+  | "use", name -> Result.Ok (Use name)
+  | "db", rest -> (
+      match split_verb rest with
+      | "create", name when name <> "" -> Result.Ok (Db_create name)
+      | "drop", name when name <> "" -> Result.Ok (Db_drop name)
+      | "stat", name when name <> "" -> Result.Ok (Db_stat name)
+      | "list", "" -> Result.Ok Db_list
+      | _ ->
+          Result.Error
+            "db takes create <name>, drop <name>, stat <name> or list")
+  | "subscribe", rest -> (
+      let seq, db =
+        match split_verb rest with
+        | seq, "" -> (seq, None)
+        | seq, db -> (seq, Some db)
+      in
       match int_of_string_opt seq with
-      | Some n when n >= 0 -> Result.Ok (Subscribe n)
+      | Some n when n >= 0 -> Result.Ok (Subscribe (n, db))
       | Some _ | None ->
           Result.Error
             "subscribe needs the last applied sequence number, e.g. \
@@ -67,7 +88,13 @@ let request_line = function
   | Dump -> "dump"
   | Stats -> "stats"
   | Health -> "health"
-  | Subscribe n -> Printf.sprintf "subscribe %d" n
+  | Use name -> "use " ^ name
+  | Db_create name -> "db create " ^ name
+  | Db_drop name -> "db drop " ^ name
+  | Db_list -> "db list"
+  | Db_stat name -> "db stat " ^ name
+  | Subscribe (n, None) -> Printf.sprintf "subscribe %d" n
+  | Subscribe (n, Some db) -> Printf.sprintf "subscribe %d %s" n db
   | Quit -> "quit"
 
 (* ------------------------------------------------------------------ *)

@@ -18,8 +18,17 @@ type request =
   | Health
       (** liveness/role/degradation probe: role, status, sequence number
           and state digest as [key value] body lines *)
-  | Subscribe of int
-      (** become a replication feed, starting after this sequence number *)
+  | Use of string
+      (** scope this connection to a named database (multi-tenant daemons;
+          every connection starts on ["default"]) *)
+  | Db_create of string  (** create a named database *)
+  | Db_drop of string  (** drop a named database (refused while in use) *)
+  | Db_list  (** list databases, one [<name> open|closed] line each *)
+  | Db_stat of string  (** per-database status as [key value] body lines *)
+  | Subscribe of int * string option
+      (** become a replication feed, starting after this sequence number;
+          the optional name picks the database to stream (else the
+          connection's current one) *)
   | Quit  (** close the connection *)
 
 val parse_request : string -> (request, string) result

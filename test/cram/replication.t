@@ -81,3 +81,57 @@ re-bootstrapping:
   $ kill -9 $REPLICA $PRIMARY
   $ wait $REPLICA 2>/dev/null || true
   $ wait $PRIMARY 2>/dev/null || true
+
+Tenant-scoped replication: a replica mirrors one named database of a
+multi-database primary and is unaffected by its neighbours — including
+their recovery traffic after a primary kill -9.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data mdata --port-file mport 2>multi1.log &
+  $ PRIMARY=$!
+  $ i=0; while [ ! -s mport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ MPORT=$(cat mport)
+  $ ../../bin/gomsm.exe client --port-file mport 'db create a' 'db create b' quit
+  created a.
+  created b.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file mport --db a bes 'script-line schema Ay is type T is [ x : int; ] end type T; end schema Ay;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+
+  $ ../../bin/gomsm.exe replica --primary 127.0.0.1:$MPORT --db a --port 0 --data madata --port-file maport 2>mreplica.log &
+  $ REPLICA=$!
+  $ i=0; while [ ! -s maport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ waitseqa() { i=0; while ! ../../bin/gomsm.exe client --port-file maport stats quit 2>/dev/null | grep -q "gauge replica_last_applied_seq $1$"; do sleep 0.2; i=$((i+1)); [ $i -ge 150 ] && break; done; :; }
+  $ waitseqa 1
+
+kill -9 the primary and bring it back on the same port: recovery
+replays db b's journal too, and a commit lands on b before a's next
+record — none of which may reach the a replica.
+
+  $ kill -9 $PRIMARY
+  $ wait $PRIMARY 2>/dev/null || true
+  $ ../../bin/gomsm.exe serve --port $MPORT --data mdata --port-file mport 2>multi2.log &
+  $ PRIMARY=$!
+  $ i=0; while ! ../../bin/gomsm.exe client --port-file mport stats quit >/dev/null 2>&1 && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/gomsm.exe client --port-file mport --db b bes 'script-line schema Be is type U is [ y : int; ] end type U; end schema Be;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file mport --db a bes 'script-line add attribute w : int to T@Ay;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ waitseqa 2
+
+The a replica reconnected, converged on a's two records, and never saw
+b's schema:
+
+  $ ../../bin/gomsm.exe client --port-file mport --db a dump quit > ma.dump
+  $ ../../bin/gomsm.exe client --port-file maport dump quit > mr.dump
+  $ diff ma.dump mr.dump
+  $ grep 'schema Be' mr.dump
+  [1]
+  $ kill -9 $REPLICA $PRIMARY
+  $ wait $REPLICA 2>/dev/null || true
+  $ wait $PRIMARY 2>/dev/null || true

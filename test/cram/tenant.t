@@ -1,0 +1,119 @@
+Multiple databases: one daemon hosts many named databases behind a
+bounded LRU cache of open managers (--max-open-dbs).  `db create/list/
+stat/drop` manage them, `use` scopes a connection, and the client's
+--db flag selects one per invocation.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data data --max-open-dbs 2 --port-file port 2>serve.log &
+  $ SERVER=$!
+  $ i=0; while [ ! -s port ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+
+A fresh data directory holds only the default database, eagerly opened
+at boot:
+
+  $ ../../bin/gomsm.exe client --port-file port 'db list' quit
+  default open
+  bye.
+
+  $ ../../bin/gomsm.exe client --port-file port 'db create a' 'db create b' quit
+  created a.
+  created b.
+  bye.
+
+Names are validated before anything touches the disk:
+
+  $ ../../bin/gomsm.exe client --port-file port 'db create bad.name' quit 2>create.err || echo "exit $?"
+  bye.
+  exit 1
+  $ cat create.err
+  error: invalid database name "bad.name": use letters, digits, _ and -
+
+Evolution sessions are scoped to the selected database; commits to a
+and b do not see each other:
+
+  $ ../../bin/gomsm.exe client --port-file port --db a bes 'script-line schema Ay is type T is [ x : int; ] end type T; end schema Ay;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file port --db b bes 'script-line schema Be is type U is [ y : int; ] end type U; end schema Be;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file port --db a dump quit | grep -m1 -o 'schema Ay'
+  schema Ay
+  $ ../../bin/gomsm.exe client --port-file port --db a dump quit | grep 'schema Be'
+  [1]
+
+The `use` verb switches a live connection:
+
+  $ ../../bin/gomsm.exe client --port-file port 'use b' dump quit | grep -m2 -oE 'using b\.|schema Be'
+  using b.
+  schema Be
+
+Opening b with the cap at 2 evicted the least-recently-used database
+(default); its journal was closed, nothing lost:
+
+  $ ../../bin/gomsm.exe client --port-file port 'db list' quit
+  a open
+  b open
+  default closed
+  bye.
+  $ grep -o 'db default: evicted (journal closed, 1 still open)' serve.log
+  db default: evicted (journal closed, 1 still open)
+
+  $ ../../bin/gomsm.exe client --port-file port 'db stat a' quit | grep -E '^(name|state|seq|writer)'
+  name a
+  state open
+  seq 1
+  writer none
+
+The stats roll-up spans every database, plus registry-level gauges —
+asked through b so the probe itself does not reopen the evicted
+default.  The total includes a's commit even though a's journal was
+closed along the way: tenant metrics outlive eviction.
+
+  $ ../../bin/gomsm.exe client --port-file port --db b stats quit | grep -o 'gauge open_dbs 2'
+  gauge open_dbs 2
+  $ ../../bin/gomsm.exe client --port-file port --db b stats quit | grep -o 'counter evictions 1'
+  counter evictions 1
+  $ ../../bin/gomsm.exe client --port-file port --db b stats quit | grep -o 'counter total.sessions_committed 2'
+  counter total.sessions_committed 2
+
+Dropping a database removes its directory; selecting it afterwards is
+an error with a non-zero exit:
+
+  $ ../../bin/gomsm.exe client --port-file port 'db drop b' 'db list' quit
+  dropped b.
+  a open
+  default closed
+  bye.
+  $ test -d data/b || echo gone
+  gone
+  $ ../../bin/gomsm.exe client --port-file port --db b check quit 2>use.err || echo "exit $?"
+  exit 1
+  $ cat use.err
+  error: cannot select database: unknown database "b" (db create b first)
+
+  $ kill -9 $SERVER
+  $ wait $SERVER 2>/dev/null || true
+
+Degraded read-only mode has its own client exit code.  A server whose
+first fsync fails degrades; the failing commit exits 1, and a later
+write attempt is refused with exit 3 and a distinct message:
+
+  $ GOMSM_FAILPOINTS='journal.append.fsync=eio@nth:1' ../../bin/gomsm.exe serve --port 0 --data ddata --port-file dport 2>dserve.log &
+  $ DSERVER=$!
+  $ i=0; while [ ! -s dport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/gomsm.exe client --port-file dport bes 'script-line schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema Zoo;' ees quit 2>ees.err || echo "exit $?"
+  session open.
+  bye.
+  exit 1
+  $ grep -c 'not made durable' ees.err
+  1
+  $ ../../bin/gomsm.exe client --port-file dport bes quit 2>degraded.err || echo "exit $?"
+  bye.
+  exit 3
+  $ cat degraded.err
+  error: server is in degraded read-only mode; writes are refused until it is restarted (degraded read-only mode after a storage failure (journal append failed: Input/output error); reads still served, restart the server to recover)
+
+  $ kill -9 $DSERVER
+  $ wait $DSERVER 2>/dev/null || true
