@@ -73,19 +73,15 @@ type router = {
 }
 
 let broker_router ?(name = "default") (broker : Broker.t) : router =
-  let unknown n =
-    Protocol.err
-      (Printf.sprintf "unknown database %S: this server hosts only %S" n name)
+  let unknown_msg n =
+    Printf.sprintf "unknown database %S: this server hosts only %S" n name
   in
+  let unknown n = Protocol.err (unknown_msg n) in
   {
     default_db = name;
     use_db =
       (fun ~current:_ ~client:_ n ->
-        if n = name then Ok name
-        else
-          Error
-            (Printf.sprintf "unknown database %S: this server hosts only %S" n
-               name));
+        if n = name then Ok name else Error (unknown_msg n));
     with_db = (fun _ ~client req -> Broker.handle broker ~client req);
     feed_db =
       (fun db ~client ~from oc ->

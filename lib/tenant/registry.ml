@@ -251,20 +251,27 @@ let use t name =
           Result.map (fun e -> e.e_name) (find_or_open_locked t name))
 
 let with_db t name f =
-  let pinned =
-    with_lock t (fun () ->
-        Result.map
-          (fun e ->
-            e.e_pins <- e.e_pins + 1;
-            e)
-          (find_or_open_locked t name))
-  in
-  match pinned with
+  (* validate here, not only in [use]: subscribe feeds (and any future
+     caller) reach the registry with a client-supplied name, and an
+     unvalidated "." or ".." would alias the data root or escape it *)
+  match validate name with
   | Error _ as e -> e
-  | Ok e ->
-      Fun.protect
-        ~finally:(fun () -> with_lock t (fun () -> e.e_pins <- e.e_pins - 1))
-        (fun () -> Ok (f e.e_broker))
+  | Ok name -> (
+      let pinned =
+        with_lock t (fun () ->
+            Result.map
+              (fun e ->
+                e.e_pins <- e.e_pins + 1;
+                e)
+              (find_or_open_locked t name))
+      in
+      match pinned with
+      | Error _ as e -> e
+      | Ok e ->
+          Fun.protect
+            ~finally:(fun () ->
+              with_lock t (fun () -> e.e_pins <- e.e_pins - 1))
+            (fun () -> Ok (f e.e_broker)))
 
 let create_db t name =
   match validate name with
@@ -274,15 +281,25 @@ let create_db t name =
           if exists_locked t name then
             Error (Printf.sprintf "database %S already exists" name)
           else begin
-            (match dir_of t name with
-            | Some dir -> Unix.mkdir dir 0o755
-            | None ->
-                (* in-memory registries have no directory to stand for the
-                   database: materialize the broker immediately *)
-                ignore (open_entry_locked t name));
-            Metrics.incr t.server_metrics "db_creates";
-            t.cfg.log (Printf.sprintf "db %s: created" name);
-            Ok ()
+            match
+              match dir_of t name with
+              | Some dir -> Unix.mkdir dir 0o755
+              | None ->
+                  (* in-memory registries have no directory to stand for the
+                     database: materialize the broker immediately *)
+                  ignore (open_entry_locked t name)
+            with
+            | () ->
+                Metrics.incr t.server_metrics "db_creates";
+                t.cfg.log (Printf.sprintf "db %s: created" name);
+                Ok ()
+            | exception Unix.Unix_error (ec, _, _) ->
+                (* e.g. a plain file squatting on the name (EEXIST — it is
+                   not a directory, so exists_locked said no), EACCES,
+                   ENOSPC: an err reply, not a dead connection thread *)
+                Error
+                  (Printf.sprintf "cannot create database %S: %s" name
+                     (Unix.error_message ec))
           end)
 
 let drop_db t name =
@@ -343,7 +360,10 @@ let list t =
   with_lock t (fun () ->
       let names =
         match t.cfg.data_dir with
-        | None -> Hashtbl.fold (fun n _ acc -> n :: acc) t.open_tbl []
+        | None ->
+            (* default always exists (exists_locked says so) even before its
+               first [use] materializes a broker for it *)
+            default_db :: Hashtbl.fold (fun n _ acc -> n :: acc) t.open_tbl []
         | Some root ->
             default_db
             :: (Array.to_list

@@ -116,6 +116,22 @@ let test_name_validation () =
   bad "a b";
   bad "caf\xc3\xa9"
 
+(* with_db is reached with client-supplied names (subscribe <seq> <name>),
+   so it must validate too: "." aliases the data root (a second broker over
+   the live default journal) and ".." escapes it. *)
+let test_with_db_rejects_traversal () =
+  let dir = fresh_dir () in
+  let reg = Registry.create (config dir) in
+  List.iter
+    (fun n ->
+      ignore
+        (reg_err
+           (Printf.sprintf "with_db %S" n)
+           (Registry.with_db reg n (fun _ -> ()))))
+    [ "."; ".."; "a/../../x"; "" ];
+  check_int "nothing was opened" 0 (Registry.open_count reg);
+  Registry.shutdown reg
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -152,6 +168,21 @@ let test_lifecycle () =
   (* a fresh database under the dropped name starts empty *)
   reg_ok "recreate a" (Registry.create_db reg "a");
   check_bool "recreated a is empty" false (contains (dump_db reg "a") "Zoo");
+  Registry.shutdown reg
+
+(* A plain file squatting on the name is invisible to exists_locked (it
+   checks is_directory), so mkdir hits EEXIST — which must come back as an
+   err reply, not an exception killing the connection thread. *)
+let test_create_over_squatting_file () =
+  let dir = fresh_dir () in
+  let reg = Registry.create (config dir) in
+  let squatter = Filename.concat dir "taken" in
+  let oc = open_out squatter in
+  output_string oc "not a database\n";
+  close_out oc;
+  let r = reg_err "create over file" (Registry.create_db reg "taken") in
+  check_bool "failure explained" true (contains r "cannot create database");
+  check_bool "squatter untouched" true (Sys.file_exists squatter);
   Registry.shutdown reg
 
 (* A tombstone left by a crashed drop is swept at the next registry open. *)
@@ -422,6 +453,11 @@ let test_in_memory_registry_never_evicts () =
     Registry.create
       { (config "") with Registry.data_dir = None; max_open = 2 }
   in
+  (* default exists before its broker is ever materialized, and list must
+     agree with use — both on disk and in memory *)
+  Alcotest.(check (list string))
+    "fresh in-memory registry lists default" [ "default closed" ]
+    (Registry.list reg);
   List.iter
     (fun n -> reg_ok ("create " ^ n) (Registry.create_db reg n))
     [ "a"; "b"; "c"; "d" ];
@@ -443,10 +479,16 @@ let test_in_memory_registry_never_evicts () =
 let suite =
   [
     ( "tenant.names",
-      [ Alcotest.test_case "validation" `Quick test_name_validation ] );
+      [
+        Alcotest.test_case "validation" `Quick test_name_validation;
+        Alcotest.test_case "with_db rejects traversal" `Quick
+          test_with_db_rejects_traversal;
+      ] );
     ( "tenant.lifecycle",
       [
         Alcotest.test_case "create/use/drop" `Quick test_lifecycle;
+        Alcotest.test_case "create over squatting file" `Quick
+          test_create_over_squatting_file;
         Alcotest.test_case "tombstone swept at open" `Quick
           test_tombstone_sweep;
       ] );
