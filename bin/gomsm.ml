@@ -419,6 +419,55 @@ let host_arg =
 let port_file_arg doc =
   Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"PATH" ~doc)
 
+(* --- observability flags shared by serve/replica/client --------------- *)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"SPEC"
+        ~doc:
+          "Log verbosity: a level (debug|info|warn|error) or comma-separated \
+           per-component overrides, e.g. $(i,trace=debug,default=warn).  \
+           Overrides the $(b,GOMSM_LOG) environment variable.")
+
+let slow_ms_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Log any traced operation (span) that runs at least MS \
+           milliseconds at warn level, with its full ancestry.  0 disables \
+           the slow-op log.")
+
+let trace_all_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record spans for every request, not only those arriving with a \
+           client-supplied trace id (spans are logged at debug level under \
+           the $(i,trace) component).")
+
+(* GOMSM_LOG first, then --log-level on top, then arm tracing.  A bad spec
+   is a usage error. *)
+let setup_obs ?(slow_ms = 0.) ?(trace = false) log_level =
+  (match Obs.Log.load_env () with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "gomsm: bad %s: %s\n" Obs.Log.env_var e;
+      exit 2);
+  (match log_level with
+  | None -> ()
+  | Some spec -> (
+      match Obs.Log.configure spec with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "gomsm: bad --log-level: %s\n" e;
+          exit 2));
+  Obs.Trace.set_slow_ms slow_ms;
+  if trace then Obs.Trace.set_enabled true
+
 (* Arm fault-injection sites from GOMSM_FAILPOINTS before the daemon
    starts; a malformed spec is a usage error, not something to ignore. *)
 let load_failpoints who =
@@ -489,8 +538,26 @@ let serve_cmd =
              state) at once; beyond it the least-recently-used idle \
              database is evicted and reopened from disk on its next use.")
   in
+  let admin_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve GET /metrics (Prometheus text format) and GET /healthz \
+             on a second socket at this port; 0 picks an ephemeral one.")
+  in
+  let admin_port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin-port-file" ] ~docv:"PATH"
+          ~doc:"Write the bound admin port here, like --port-file.")
+  in
   let run host port data checkpoint_every checkpoint_bytes acquire_timeout
-      port_file backlog max_open_dbs =
+      port_file backlog max_open_dbs admin_port admin_port_file log_level
+      slow_ms trace =
+    setup_obs ~slow_ms ~trace log_level;
     load_failpoints "gomsm-server";
     (* every serve is registry-backed: [default] is the data root itself,
        so single-database setups see exactly the old layout, and db
@@ -503,7 +570,7 @@ let serve_cmd =
           checkpoint_every;
           checkpoint_bytes;
           acquire_timeout;
-          log = (fun s -> Printf.eprintf "gomsm-server: %s\n%!" s);
+          log = (fun s -> Obs.Log.infof ~comp:"tenant" "%s" s);
         }
     in
     (* open [default] before listening: recovery errors abort the boot
@@ -511,7 +578,7 @@ let serve_cmd =
     (match Tenant.Registry.use registry Tenant.Registry.default_db with
     | Ok _ -> ()
     | Error reason ->
-        Printf.eprintf "gomsm-server: %s\n%!" reason;
+        Obs.Log.errorf ~comp:"daemon" "%s" reason;
         Stdlib.exit 2);
     Server.Daemon.serve
       ~router:(Tenant.Registry.router registry)
@@ -524,6 +591,8 @@ let serve_cmd =
         acquire_timeout;
         port_file;
         backlog;
+        admin_port;
+        admin_port_file;
       };
     0
   in
@@ -533,9 +602,11 @@ let serve_cmd =
          "Run the schema manager as a durable multi-client daemon (line \
           protocol over TCP), hosting one or many named databases")
     Term.(
-      const (fun h p d c cb a pf bl mo -> Stdlib.exit (run h p d c cb a pf bl mo))
+      const (fun h p d c cb a pf bl mo ap apf ll sm tr ->
+          Stdlib.exit (run h p d c cb a pf bl mo ap apf ll sm tr))
       $ host_arg $ port $ data $ checkpoint_every $ checkpoint_bytes
-      $ acquire_timeout $ port_file $ backlog $ max_open_dbs)
+      $ acquire_timeout $ port_file $ backlog $ max_open_dbs $ admin_port
+      $ admin_port_file $ log_level_arg $ slow_ms_arg $ trace_all_arg)
 
 let replica_cmd =
   let primary =
@@ -584,8 +655,25 @@ let replica_cmd =
       & info [ "db" ] ~docv:"NAME"
           ~doc:"Which of the primary's databases to mirror.")
   in
+  let admin_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve GET /metrics and GET /healthz on a second socket at this \
+             port; 0 picks an ephemeral one.")
+  in
+  let admin_port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin-port-file" ] ~docv:"PATH"
+          ~doc:"Write the bound admin port here, like --port-file.")
+  in
   let run host primary port data checkpoint_every checkpoint_bytes port_file
-      db =
+      db admin_port admin_port_file log_level slow_ms trace =
+    setup_obs ~slow_ms ~trace log_level;
     load_failpoints "gomsm-replica";
     let primary_host, primary_port =
       match String.rindex_opt primary ':' with
@@ -612,6 +700,8 @@ let replica_cmd =
         checkpoint_bytes;
         port_file;
         db;
+        admin_port;
+        admin_port_file;
       };
     0
   in
@@ -622,9 +712,11 @@ let replica_cmd =
           subscribe to its journal stream, apply records incrementally, and \
           serve check/query/dump/stats locally")
     Term.(
-      const (fun h pr p d c cb pf db -> Stdlib.exit (run h pr p d c cb pf db))
+      const (fun h pr p d c cb pf db ap apf ll sm tr ->
+          Stdlib.exit (run h pr p d c cb pf db ap apf ll sm tr))
       $ host_arg $ primary $ port $ data $ checkpoint_every $ checkpoint_bytes
-      $ port_file $ db)
+      $ port_file $ db $ admin_port $ admin_port_file $ log_level_arg
+      $ slow_ms_arg $ trace_all_arg)
 
 let client_cmd =
   let port =
@@ -663,7 +755,17 @@ let client_cmd =
             "Scope every request to this database: a 'use NAME' is sent on \
              each (re)connection before anything else.")
   in
-  let run host port port_file retries db requests =
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Mint a trace id, send it with every request (a 'trace <id>' \
+             prefix on the wire), and log it to stderr — the server's span \
+             log lines for these requests carry the same id.")
+  in
+  let run host port port_file retries db trace log_level requests =
+    setup_obs log_level;
     let port =
       match port_file with
       | None -> port
@@ -674,7 +776,8 @@ let client_cmd =
               Printf.eprintf "bad port file %s\n" path;
               exit 2)
     in
-    match Server.Client.run ~retries ?db ~host ~port ~requests () with
+    let trace = if trace then Some (Obs.Trace.new_id ()) else None in
+    match Server.Client.run ~retries ?db ?trace ~host ~port ~requests () with
     | code -> code
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot connect to %s:%d: %s\n" host port
@@ -689,8 +792,9 @@ let client_cmd =
           server is unreachable, 3 when the server refused a verb because \
           it is in degraded read-only mode.")
     Term.(
-      const (fun h p pf r db rs -> Stdlib.exit (run h p pf r db rs))
-      $ host_arg $ port $ port_file $ retries $ db $ requests)
+      const (fun h p pf r db tr ll rs -> Stdlib.exit (run h p pf r db tr ll rs))
+      $ host_arg $ port $ port_file $ retries $ db $ trace_flag $ log_level_arg
+      $ requests)
 
 let () =
   let doc = "flexible schema management in object bases (ICDE 1993)" in

@@ -145,6 +145,14 @@ let database t = t.edb
 let theory t = t.theory
 let ids t = t.ids
 let lookup_code t cid = Hashtbl.find_opt t.code cid
+let check_mode t = t.check_mode
+
+let check_mode_name t =
+  match t.check_mode with
+  | Full -> "full"
+  | Affected -> "cone"
+  | Maintained -> "dred"
+
 let set_check_mode t mode =
   t.check_mode <- mode;
   match mode with Maintained -> () | Full | Affected -> t.maintained <- None

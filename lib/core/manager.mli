@@ -64,6 +64,11 @@ val runtime : t -> Runtime.t
 
 val ids : t -> Gom.Ids.gen
 val lookup_code : t -> string -> (string list * Ast.stmt) option
+val check_mode : t -> check_mode
+val check_mode_name : t -> string
+(** The active mode as the short name used in trace spans and stats:
+    ["full"], ["cone"] or ["dred"]. *)
+
 val set_check_mode : t -> check_mode -> unit
 val in_session : t -> bool
 

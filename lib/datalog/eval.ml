@@ -225,7 +225,23 @@ let run_stratum db (prs : planned_rule list) =
   in
   loop delta
 
-let run t db = Array.iter (fun prs -> run_stratum db prs) t.planned
+(* Observation hook around each stratum's fixpoint: the default runs the
+   thunk untouched; the server installs a tracing wrapper here so
+   per-stratum evaluation time shows up as spans without this library
+   depending on the observability code.  [rules] is the stratum's rule
+   count — enough context to tell strata apart in a trace. *)
+let stratum_observer :
+    (stratum:int -> rules:int -> (unit -> unit) -> unit) ref =
+  ref (fun ~stratum:_ ~rules:_ f -> f ())
+
+let observe_stratum ~stratum ~rules f = !stratum_observer ~stratum ~rules f
+
+let run t db =
+  Array.iteri
+    (fun i prs ->
+      observe_stratum ~stratum:i ~rules:(List.length prs) (fun () ->
+          run_stratum db prs))
+    t.planned
 
 (* Naive fixpoint per stratum: re-evaluate every rule until nothing new. *)
 let run_naive t db =

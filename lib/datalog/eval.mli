@@ -25,6 +25,16 @@ val eval_lits :
     the evaluation order; [scan] indices always refer to the original body
     positions.  A plan whose length does not match the body is ignored. *)
 
+val stratum_observer :
+  (stratum:int -> rules:int -> (unit -> unit) -> unit) ref
+(** Wrapper invoked around each stratum's fixpoint by {!run} (and by
+    {!Incremental.apply}).  Defaults to just running the thunk; the server
+    installs a tracing span here, keeping this library free of any
+    observability dependency. *)
+
+val observe_stratum : stratum:int -> rules:int -> (unit -> unit) -> unit
+(** Apply the current {!stratum_observer}. *)
+
 val run : prepared -> Database.t -> unit
 (** Materialize all intensional predicates into the database, semi-naive
     fixpoint per stratum. *)

@@ -161,8 +161,10 @@ let apply (state : state) (delta : Delta.t) : Delta.t =
   List.iter (fun f -> ignore (Database.add dplus f)) effective.Delta.additions;
   List.iter (fun f -> ignore (Database.add dminus f)) effective.Delta.deletions;
   let db = state.materialized in
-  Array.iter
-    (fun stratum_rules ->
+  Array.iteri
+    (fun stratum_index stratum_rules ->
+      Eval.observe_stratum ~stratum:stratum_index
+        ~rules:(List.length stratum_rules) @@ fun () ->
       let heads = Hashtbl.create 16 in
       List.iter
         (fun (r : Rule.t) -> Hashtbl.replace heads r.Rule.head.Atom.pred ())

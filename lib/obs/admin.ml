@@ -1,0 +1,114 @@
+(* The admin endpoint: a second, deliberately tiny HTTP/1.1 listener
+   answering GET /metrics and GET /healthz.  One thread per connection,
+   one request per connection (Connection: close) — scrape traffic, not
+   serving traffic, so simplicity beats keep-alive. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let status_text = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let write_response oc (r : response) =
+  Printf.fprintf oc "HTTP/1.1 %d %s\r\n" r.status (status_text r.status);
+  Printf.fprintf oc "Content-Type: %s\r\n" r.content_type;
+  Printf.fprintf oc "Content-Length: %d\r\n" (String.length r.body);
+  output_string oc "Connection: close\r\n\r\n";
+  output_string oc r.body;
+  flush oc
+
+let text status body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let handle handler fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     match input_line ic with
+     | exception (End_of_file | Sys_error _) -> ()
+     | request_line -> (
+         (* drain headers up to the blank line; we never need them *)
+         (try
+            while String.trim (input_line ic) <> "" do () done
+          with End_of_file | Sys_error _ -> ());
+         match String.split_on_char ' ' (String.trim request_line) with
+         | "GET" :: path :: _ -> (
+             let path =
+               match String.index_opt path '?' with
+               | Some i -> String.sub path 0 i
+               | None -> path
+             in
+             match handler path with
+             | Some r -> write_response oc r
+             | None -> write_response oc (text 404 "not found\n"))
+         | _ :: _ :: _ ->
+             write_response oc (text 405 "only GET is served here\n")
+         | _ -> ())
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Bind, listen, and serve in a daemon thread; returns the bound port (so
+   port 0 works for tests).  The handler maps a path to a response, or
+   None for 404. *)
+let start ?(host = "127.0.0.1") ~port handler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 16;
+  let bound =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  ignore
+    (Thread.create
+       (fun () ->
+         while true do
+           match Unix.accept sock with
+           | exception Unix.Unix_error _ -> Thread.yield ()
+           | fd, _ ->
+               ignore
+                 (Thread.create
+                    (fun () ->
+                      try handle handler fd
+                      with e ->
+                        Log.errorf ~comp:"admin" "handler: %s"
+                          (Printexc.to_string e))
+                    ())
+         done)
+       ());
+  bound
+
+(* A scrape client just big enough for the lint tool and tests. *)
+let get ~host ~port ~path =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      let oc = Unix.out_channel_of_descr sock in
+      let ic = Unix.in_channel_of_descr sock in
+      Printf.fprintf oc "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+        path host;
+      flush oc;
+      let status_line = input_line ic in
+      let status =
+        match String.split_on_char ' ' (String.trim status_line) with
+        | _ :: code :: _ -> (
+            match int_of_string_opt code with Some c -> c | None -> 0)
+        | _ -> 0
+      in
+      (try
+         while String.trim (input_line ic) <> "" do () done
+       with End_of_file -> ());
+      let b = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel b ic 1
+         done
+       with End_of_file -> ());
+      (status, Buffer.contents b))

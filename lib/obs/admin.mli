@@ -1,0 +1,16 @@
+(** The admin endpoint: a minimal HTTP/1.1 GET server for /metrics and
+    /healthz scrapes, plus a client just big enough to scrape it. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : int -> string -> response
+(** A text/plain response with the given status. *)
+
+val start : ?host:string -> port:int -> (string -> response option) -> int
+(** Bind and serve in a daemon thread; returns the bound port (pass port 0
+    for an ephemeral one).  The handler maps a request path (query string
+    already stripped) to a response; [None] answers 404.  Non-GET methods
+    get 405. *)
+
+val get : host:string -> port:int -> path:string -> int * string
+(** One blocking GET; returns (status code, body). *)

@@ -1,0 +1,274 @@
+(* Prometheus text-format exposition (version 0.0.4) for the admin
+   endpoint's GET /metrics, plus a lint pass over a scraped body used by
+   the CI metrics check.
+
+   The in-process histograms keep per-bin counts; Prometheus buckets are
+   cumulative, so [render] does the running sum here.  A bin's upper bound
+   is inclusive ([Metrics.observe] advances past a bound only when the
+   value is strictly greater), which matches the [le] (less-or-equal)
+   semantics of the exposition format exactly. *)
+
+type metric =
+  | Counter of string * (string * string) list * float
+  | Gauge of string * (string * string) list * float
+  | Histogram of {
+      name : string;
+      labels : (string * string) list;
+      bounds : float array;  (* finite upper bounds; +Inf bin is implicit *)
+      buckets : int array;  (* per-bin counts, length = bounds + 1 *)
+      sum : float;
+      count : int;
+    }
+
+let metric_name = function
+  | Counter (n, _, _) | Gauge (n, _, _) -> n
+  | Histogram h -> h.name
+
+(* Label values escape backslash, double quote and newline (the exposition
+   format's only escapes). *)
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             labels)
+      ^ "}"
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let bound_str bound =
+  if Float.is_integer bound then Printf.sprintf "%.1f" bound
+  else Printf.sprintf "%g" bound
+
+let render metrics =
+  let b = Buffer.create 4096 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let add_type name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  (* group by family name so each # TYPE line precedes all its series *)
+  let order = ref [] in
+  let families : (string, metric list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      let n = metric_name m in
+      match Hashtbl.find_opt families n with
+      | Some l -> l := m :: !l
+      | None ->
+          Hashtbl.replace families n (ref [ m ]);
+          order := n :: !order)
+    metrics;
+  List.iter
+    (fun name ->
+      let ms = List.rev !(Hashtbl.find families name) in
+      List.iter
+        (fun m ->
+          match m with
+          | Counter (n, labels, v) ->
+              add_type n "counter";
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" n (render_labels labels)
+                   (float_str v))
+          | Gauge (n, labels, v) ->
+              add_type n "gauge";
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" n (render_labels labels)
+                   (float_str v))
+          | Histogram h ->
+              add_type h.name "histogram";
+              let cum = ref 0 in
+              Array.iteri
+                (fun i bound ->
+                  cum := !cum + h.buckets.(i);
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" h.name
+                       (render_labels (h.labels @ [ ("le", bound_str bound) ]))
+                       !cum))
+                h.bounds;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" h.name
+                   (render_labels (h.labels @ [ ("le", "+Inf") ]))
+                   h.count);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" h.name (render_labels h.labels)
+                   (float_str h.sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" h.name
+                   (render_labels h.labels) h.count))
+        ms)
+    (List.rev !order);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Lint: sanity-check a scraped body                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Parses each line just enough to catch the failure modes a broken
+   exporter produces: malformed lines, the same series emitted twice,
+   cumulative buckets that go down, and a +Inf bucket disagreeing with
+   _count.  Returns the number of distinct series on success. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let parse_series line =
+  (* "<name>{<labels>} <value>" or "<name> <value>"; returns
+     (series-key, name, le-label-if-any, value). *)
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then Error "does not start with a metric name"
+  else
+    let name = String.sub line 0 !i in
+    let labels_end, labels =
+      if !i < n && line.[!i] = '{' then begin
+        match String.index_from_opt line !i '}' with
+        | None -> (-1, "")
+        | Some j -> (j + 1, String.sub line (!i + 1) (j - !i - 1))
+      end
+      else (!i, "")
+    in
+    if labels_end < 0 then Error "unterminated label set"
+    else
+      let rest = String.sub line labels_end (n - labels_end) in
+      let rest = String.trim rest in
+      match float_of_string_opt (String.trim rest) with
+      | None -> Error (Printf.sprintf "value %S is not a number" rest)
+      | Some v ->
+          let le =
+            (* labels are exporter-generated: key="value" pairs, comma
+               separated, no commas inside values we emit *)
+            String.split_on_char ',' labels
+            |> List.filter_map (fun pair ->
+                   match String.index_opt pair '=' with
+                   | Some k when String.sub pair 0 k = "le" ->
+                       let v =
+                         String.sub pair (k + 1) (String.length pair - k - 1)
+                       in
+                       let v =
+                         if String.length v >= 2 && v.[0] = '"' then
+                           String.sub v 1 (String.length v - 2)
+                         else v
+                       in
+                       Some v
+                   | _ -> None)
+            |> function
+            | [ l ] -> Some l
+            | _ -> None
+          in
+          let key = name ^ "{" ^ labels ^ "}" in
+          Ok (key, name, labels, le, v)
+
+let lint body =
+  let errors = ref [] in
+  let err lineno fmt =
+    Printf.ksprintf
+      (fun s -> errors := Printf.sprintf "line %d: %s" lineno s :: !errors)
+      fmt
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  (* per (bucket-family ^ labels-minus-le): last cumulative value, and the
+     +Inf value, to check monotonicity and +Inf = _count *)
+  let last_bucket : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let inf_bucket : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let counts : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let strip_le labels =
+    String.split_on_char ',' labels
+    |> List.filter (fun p -> not (String.length p >= 3 && String.sub p 0 3 = "le="))
+    |> String.concat ","
+  in
+  let chomp s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+  in
+  let lines = String.split_on_char '\n' body in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = chomp line in
+      if line = "" then ()
+      else if String.length line >= 1 && line.[0] = '#' then begin
+        (* only # TYPE and # HELP are meaningful; check TYPE duplication *)
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: name :: kind :: [] ->
+            if Hashtbl.mem types name then
+              err lineno "duplicate # TYPE for %s" name
+            else Hashtbl.replace types name kind
+        | "#" :: "TYPE" :: _ -> err lineno "malformed # TYPE line"
+        | _ -> ()
+      end
+      else
+        match parse_series line with
+        | Error reason -> err lineno "malformed series: %s" reason
+        | Ok (key, name, labels, le, v) -> (
+            if Hashtbl.mem seen key then err lineno "duplicate series %s" key
+            else Hashtbl.replace seen key ();
+            let is_bucket =
+              String.length name > 7
+              && String.sub name (String.length name - 7) 7 = "_bucket"
+            in
+            if is_bucket then begin
+              let fam =
+                String.sub name 0 (String.length name - 7)
+                ^ "{" ^ strip_le labels ^ "}"
+              in
+              (match Hashtbl.find_opt last_bucket fam with
+              | Some prev when v < prev ->
+                  err lineno "non-monotone bucket %s (%g after %g)" key v prev
+              | _ -> ());
+              Hashtbl.replace last_bucket fam v;
+              if le = Some "+Inf" then Hashtbl.replace inf_bucket fam v
+            end;
+            let is_count =
+              String.length name > 6
+              && String.sub name (String.length name - 6) 6 = "_count"
+            in
+            if is_count then
+              Hashtbl.replace counts
+                (String.sub name 0 (String.length name - 6)
+                ^ "{" ^ labels ^ "}")
+                v)
+    )
+    lines;
+  Hashtbl.iter
+    (fun fam inf ->
+      match Hashtbl.find_opt counts fam with
+      | Some c when c <> inf ->
+          errors :=
+            Printf.sprintf "histogram %s: +Inf bucket %g <> _count %g" fam inf
+              c
+            :: !errors
+      | Some _ -> ()
+      | None ->
+          errors :=
+            Printf.sprintf "histogram %s: buckets without a _count" fam
+            :: !errors)
+    inf_bucket;
+  match !errors with
+  | [] -> Ok (Hashtbl.length seen)
+  | es -> Error (List.rev es)

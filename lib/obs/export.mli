@@ -1,0 +1,35 @@
+(** Prometheus text-format (0.0.4) rendering for the admin endpoint, and a
+    lint pass over a scraped body for CI. *)
+
+type metric =
+  | Counter of string * (string * string) list * float
+  | Gauge of string * (string * string) list * float
+  | Histogram of {
+      name : string;
+      labels : (string * string) list;
+      bounds : float array;
+          (** finite upper bounds, ascending; the +Inf bin is implicit *)
+      buckets : int array;
+          (** per-bin counts, length [Array.length bounds + 1]; bin [i]
+              holds values in [(bounds.(i-1), bounds.(i)]] — an upper bound
+              is inclusive, matching Prometheus [le] semantics.  [render]
+              computes the cumulative sums the exposition format wants. *)
+      sum : float;
+      count : int;
+    }
+
+val escape_label : string -> string
+(** Escape a label value: backslash, double quote and newline. *)
+
+val render : metric list -> string
+(** The exposition body: one [# TYPE] line per family (families are
+    grouped even when their series arrive interleaved), then each series
+    as [name{labels} value].  Histograms expand to cumulative
+    [_bucket{le="..."}] series (ending with [le="+Inf"] = count), [_sum]
+    and [_count]. *)
+
+val lint : string -> (int, string list) result
+(** Sanity-check a scraped body: malformed lines, duplicate series,
+    duplicate [# TYPE], non-monotone cumulative buckets, and a [+Inf]
+    bucket disagreeing with [_count].  [Ok n] gives the number of distinct
+    series. *)

@@ -1,0 +1,175 @@
+(* Structured, leveled logging: one line per event, key=value pairs, an
+   ISO-8601 UTC timestamp, a level and a component.  Every daemon-side
+   stderr line in gomsm goes through here so output has one grep-able
+   shape:
+
+     ts=2026-08-08T12:00:00.123Z level=info comp=daemon msg="listening" port=7643
+
+   Levels are settable per component ([configure "daemon=debug,default=warn"])
+   via --log-level or the GOMSM_LOG environment variable. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_value = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* Configuration and the sink share one mutex; logging is far off the hot
+   path compared to the broker lock (and the [enabled] check below runs
+   without it). *)
+let mu = Mutex.create ()
+let default_level = ref Info
+let overrides : (string, level) Hashtbl.t = Hashtbl.create 8
+(* Flush per line: daemons are observed via kill -9 in tests and ops, and
+   a buffered last line defeats the whole point of a log. *)
+let stderr_sink line =
+  output_string stderr line;
+  flush stderr
+
+let sink : (string -> unit) ref = ref stderr_sink
+
+(* Cheapest possible level check: a single int load covering the most
+   verbose level any component enables.  Only when it passes do we take
+   the mutex and consult the per-component table. *)
+let floor_value = ref (level_value Info)
+
+let with_lock f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let recompute_floor_locked () =
+  let v = ref (level_value !default_level) in
+  Hashtbl.iter (fun _ l -> if level_value l < !v then v := level_value l)
+    overrides;
+  floor_value := !v
+
+let set_sink f = with_lock (fun () -> sink := f)
+
+let configure spec =
+  let parts =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse part =
+    match String.index_opt part '=' with
+    | None -> (
+        match level_of_string part with
+        | Some l -> Ok (`Default l)
+        | None -> Error (Printf.sprintf "unknown level %S" part))
+    | Some i -> (
+        let comp = String.sub part 0 i in
+        let lvl = String.sub part (i + 1) (String.length part - i - 1) in
+        match level_of_string lvl with
+        | None -> Error (Printf.sprintf "unknown level %S for %S" lvl comp)
+        | Some l -> if comp = "default" then Ok (`Default l) else Ok (`Set (comp, l)))
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | p :: rest -> (
+        match parse p with
+        | Error _ as e -> e
+        | Ok action ->
+            with_lock (fun () ->
+                (match action with
+                | `Default l -> default_level := l
+                | `Set (comp, l) -> Hashtbl.replace overrides comp l);
+                recompute_floor_locked ());
+            go rest)
+  in
+  go parts
+
+let env_var = "GOMSM_LOG"
+
+let load_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Ok ()
+  | Some spec -> configure spec
+
+let enabled ~comp level =
+  level_value level >= !floor_value
+  &&
+  let threshold =
+    with_lock (fun () ->
+        match Hashtbl.find_opt overrides comp with
+        | Some l -> l
+        | None -> !default_level)
+  in
+  level_value level >= level_value threshold
+
+(* A value needs quoting when it contains blanks, quotes, '=' or control
+   characters; inside quotes, backslash, quote and newline are escaped. *)
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '"' || c = '=' || c = '\\' || c < ' ')
+       s
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let kv_value s = if needs_quoting s then quote s else s
+
+let timestamp () =
+  let now = Unix.gettimeofday () in
+  let tm = Unix.gmtime now in
+  let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec ms
+
+(* Hook used by Trace to stamp every line emitted inside a traced request
+   with its trace id, without a dependency cycle between the modules. *)
+let context_provider : (unit -> (string * string) list) ref = ref (fun () -> [])
+let set_context_provider f = context_provider := f
+
+let log ?(kvs = []) level ~comp msg =
+  if enabled ~comp level then begin
+    let b = Buffer.create 128 in
+    Buffer.add_string b "ts=";
+    Buffer.add_string b (timestamp ());
+    Buffer.add_string b " level=";
+    Buffer.add_string b (level_name level);
+    Buffer.add_string b " comp=";
+    Buffer.add_string b (kv_value comp);
+    Buffer.add_string b " msg=";
+    Buffer.add_string b (quote msg);
+    let add (k, v) =
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b (kv_value v)
+    in
+    List.iter add kvs;
+    List.iter
+      (fun (k, v) -> if not (List.mem_assoc k kvs) then add (k, v))
+      (!context_provider ());
+    Buffer.add_char b '\n';
+    let line = Buffer.contents b in
+    with_lock (fun () -> !sink line)
+  end
+
+let debugf ?kvs ~comp fmt = Printf.ksprintf (log ?kvs Debug ~comp) fmt
+let infof ?kvs ~comp fmt = Printf.ksprintf (log ?kvs Info ~comp) fmt
+let warnf ?kvs ~comp fmt = Printf.ksprintf (log ?kvs Warn ~comp) fmt
+let errorf ?kvs ~comp fmt = Printf.ksprintf (log ?kvs Error ~comp) fmt

@@ -1,0 +1,63 @@
+(** Structured, leveled logging.  Lines look like
+
+    [ts=2026-08-08T12:00:00.123Z level=info comp=daemon msg="listening" port=7643]
+
+    — an ISO-8601 UTC timestamp, a level, a component, the message, then
+    any extra key=value pairs.  Values containing blanks, quotes, '=' or
+    control characters are double-quoted with backslash escapes. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+val configure : string -> (unit, string) result
+(** Apply a verbosity spec: either a bare level ([debug]) setting the
+    default, or comma-separated [component=level] overrides where the
+    pseudo-component [default] sets the fallback, e.g.
+    ["daemon=debug,default=warn"]. *)
+
+val env_var : string
+(** ["GOMSM_LOG"] — read by {!load_env}. *)
+
+val load_env : unit -> (unit, string) result
+(** Apply the spec in [$GOMSM_LOG], if set. *)
+
+val enabled : comp:string -> level -> bool
+(** Would a line from [comp] at [level] be emitted?  Cheap when the answer
+    is no: a single int comparison on the most verbose configured level. *)
+
+val set_sink : (string -> unit) -> unit
+(** Redirect output (default: stderr).  The sink receives whole lines,
+    newline included, under the logger's lock. *)
+
+val set_context_provider : (unit -> (string * string) list) -> unit
+(** Install a hook whose pairs are appended to every emitted line (unless
+    the caller already supplied the same key) — Trace uses it to stamp
+    lines with the active trace id. *)
+
+val log : ?kvs:(string * string) list -> level -> comp:string -> string -> unit
+
+val debugf :
+  ?kvs:(string * string) list ->
+  comp:string ->
+  ('a, unit, string, unit) format4 ->
+  'a
+
+val infof :
+  ?kvs:(string * string) list ->
+  comp:string ->
+  ('a, unit, string, unit) format4 ->
+  'a
+
+val warnf :
+  ?kvs:(string * string) list ->
+  comp:string ->
+  ('a, unit, string, unit) format4 ->
+  'a
+
+val errorf :
+  ?kvs:(string * string) list ->
+  comp:string ->
+  ('a, unit, string, unit) format4 ->
+  'a

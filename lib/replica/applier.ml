@@ -69,6 +69,9 @@ let maybe_checkpoint t j m =
   end
 
 let install_snapshot t ~seq ~text =
+  Obs.Trace.with_span "replica.snapshot"
+    ~kvs:[ ("seq", string_of_int seq) ]
+  @@ fun () ->
   (* parse outside the lock (the expensive part), swap inside it *)
   let m =
     Persist.load_from_string ~check_mode:Manager.Maintained text
@@ -94,16 +97,18 @@ let apply_record t ~seq ~text =
         (Printf.sprintf "record header says %d, frame says %d"
            r.Journal.r_seq seq);
     let t0 = Unix.gettimeofday () in
-    Broker.exclusively t.broker (fun () ->
-        let m = Broker.manager t.broker in
-        if not (Journal.apply_record m r) then
-          failwith (Printf.sprintf "record %d did not apply cleanly" seq);
-        (match Broker.journal t.broker with
-        | Some j ->
-            Journal.append_raw j ~seq ~text;
-            maybe_checkpoint t j m
-        | None -> ());
-        t.last_applied <- seq);
+    Obs.Trace.with_span "replica.apply" ~kvs:[ ("seq", string_of_int seq) ]
+      (fun () ->
+        Broker.exclusively t.broker (fun () ->
+            let m = Broker.manager t.broker in
+            if not (Journal.apply_record m r) then
+              failwith (Printf.sprintf "record %d did not apply cleanly" seq);
+            (match Broker.journal t.broker with
+            | Some j ->
+                Journal.append_raw j ~seq ~text;
+                maybe_checkpoint t j m
+            | None -> ());
+            t.last_applied <- seq));
     Metrics.observe t.metrics "latency.replica_apply"
       (Unix.gettimeofday () -. t0);
     Metrics.incr t.metrics "replica_records_applied"

@@ -26,6 +26,8 @@ type config = {
   checkpoint_bytes : int;
   port_file : string option;
   db : string;  (* which of the primary's databases to mirror *)
+  admin_port : int option;  (* /metrics + /healthz, like the primary's *)
+  admin_port_file : string option;
 }
 
 let default_config =
@@ -39,6 +41,8 @@ let default_config =
     checkpoint_bytes = 4 * 1024 * 1024;
     port_file = None;
     db = "default";
+    admin_port = None;
+    admin_port_file = None;
   }
 
 type t = { broker : Broker.t; applier : Applier.t }
@@ -46,8 +50,7 @@ type t = { broker : Broker.t; applier : Applier.t }
 let broker t = t.broker
 let applier t = t.applier
 
-let logf fmt =
-  Printf.ksprintf (fun s -> Printf.eprintf "gomsm-replica: %s\n%!" s) fmt
+let logf fmt = Obs.Log.infof ~comp:"replica" fmt
 
 let primary_address config =
   Printf.sprintf "%s:%d" config.primary_host config.primary_port
@@ -77,16 +80,23 @@ let make config : t =
     Applier.create ~checkpoint_every:config.checkpoint_every
       ~checkpoint_bytes:config.checkpoint_bytes broker
   in
+  (* the whole feed runs under one trace id: the subscribe line carries it
+     to the primary, and every apply span and feed log line here wears it *)
+  let feed_trace = Obs.Trace.new_id () in
+  Obs.Log.infof ~comp:"replica"
+    ~kvs:[ ("trace", feed_trace); ("db", config.db) ]
+    "replication feed starting";
   ignore
     (Thread.create
        (fun () ->
-         Stream.run ~host:config.primary_host ~port:config.primary_port
-           ~db:config.db
-           ~position:(fun () -> Applier.position applier)
-           ~handle:(Applier.handle applier)
-           ~on_status:(fun s -> logf "%s" s)
-           ~on_retry:(fun () -> Metrics.incr metrics "replica_reconnects")
-           ())
+         Obs.Trace.with_context feed_trace (fun () ->
+             Stream.run ~host:config.primary_host ~port:config.primary_port
+               ~db:config.db
+               ~position:(fun () -> Applier.position applier)
+               ~handle:(Applier.handle applier)
+               ~on_status:(fun s -> Obs.Log.warnf ~comp:"replica" "%s" s)
+               ~on_retry:(fun () -> Metrics.incr metrics "replica_reconnects")
+               ()))
        ());
   { broker; applier }
 
@@ -96,6 +106,8 @@ let daemon_config config =
     Daemon.host = config.host;
     port = config.port;
     port_file = config.port_file;
+    admin_port = config.admin_port;
+    admin_port_file = config.admin_port_file;
   }
 
 (* The replica's own listener hosts exactly the mirrored database, under

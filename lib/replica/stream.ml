@@ -74,8 +74,17 @@ let pump ~host ~port ~db ~position ~on_connected ~handle =
         | Failpoint.Dropped site -> raise (Retry ("failpoint " ^ site))
       in
       wrap (fun () ->
-          output_string oc
-            (Protocol.request_line (Protocol.Subscribe (position (), db)));
+          let line =
+            Protocol.request_line (Protocol.Subscribe (position (), db))
+          in
+          (* carry the replica's trace id to the primary, so the feed's
+             server-side log lines correlate with this replica's *)
+          let line =
+            match Obs.Trace.current_trace () with
+            | Some id -> Protocol.add_trace id line
+            | None -> line
+          in
+          output_string oc line;
           output_char oc '\n';
           flush oc);
       (match wrap (fun () -> Protocol.read_response ic) with

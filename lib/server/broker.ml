@@ -12,6 +12,19 @@ module Crc32 = Fault.Crc32
    variant, so faults can be aimed at a single tenant. *)
 let fp_broker_commit = Failpoint.define "broker.commit"
 
+(* Per-stratum evaluation spans: the datalog library exposes an observer
+   hook precisely so it never has to depend on the observability code; the
+   server installs the tracing wrapper once, here (broker.ml is linked
+   into every server path).  With tracing off this adds two atomic loads
+   per stratum. *)
+let () =
+  Datalog.Eval.stratum_observer :=
+    fun ~stratum ~rules f ->
+      Obs.Trace.with_span "datalog.stratum"
+        ~kvs:
+          [ ("stratum", string_of_int stratum); ("rules", string_of_int rules) ]
+        f
+
 type t = {
   mutable manager : Manager.t;  (* swapped only by a replica's bootstrap *)
   journal : Journal.t option;
@@ -121,6 +134,9 @@ let err = Protocol.err
 (* bes: take the writer slot, waiting (politely polling: the stdlib
    Condition has no timed wait) up to the acquire timeout. *)
 let do_bes t ~client =
+  Obs.Trace.with_span "broker.acquire"
+    ~kvs:[ ("client", string_of_int client) ]
+  @@ fun () ->
   let deadline = Unix.gettimeofday () +. t.acquire_timeout in
   let rec attempt () =
     let r =
@@ -160,7 +176,11 @@ let do_ees t ~client =
         (* capture what the session changed before EES closes it *)
         let delta = Manager.session_delta t.manager in
         let code = Manager.session_code_changes t.manager in
-        match Manager.end_session t.manager with
+        match
+          Obs.Trace.with_span "session.check"
+            ~kvs:[ ("mode", Manager.check_mode_name t.manager) ]
+            (fun () -> Manager.end_session t.manager)
+        with
         | Manager.Consistent -> (
             t.writer <- None;
             Metrics.incr t.metrics "sessions_committed";
@@ -228,7 +248,11 @@ let do_rollback t ~client =
 
 let do_check t =
   with_lock t (fun () ->
-      match Manager.check_now t.manager with
+      match
+        Obs.Trace.with_span "session.check"
+          ~kvs:[ ("mode", Manager.check_mode_name t.manager) ]
+          (fun () -> Manager.check_now t.manager)
+      with
       | [] -> ok [ "consistent." ]
       | reports ->
           Metrics.incr ~by:(List.length reports) t.metrics "violations_found";
@@ -348,6 +372,37 @@ let do_stats t =
         ]
   in
   ok (Metrics.render t.metrics @ journal_lines)
+
+(* The journal position/size lines do_stats appends as pseudo-counters,
+   as proper exporter gauges (position and size move down on checkpoint),
+   plus the degraded flag — refreshed here, like do_stats does, so a
+   scrape is as current as a stats request. *)
+let journal_metrics ?(labels = []) t : Obs.Export.metric list =
+  Obs.Export.Gauge
+    ("gomsm_degraded", labels, if degraded t = None then 0. else 1.)
+  ::
+  (match t.journal with
+  | None -> []
+  | Some j ->
+      [
+        Obs.Export.Gauge
+          ("gomsm_journal_seq", labels, float_of_int (Journal.seq j));
+        Obs.Export.Gauge
+          ("gomsm_journal_base", labels, float_of_int (Journal.base j));
+        Obs.Export.Gauge
+          ("gomsm_journal_bytes", labels, float_of_int (Journal.bytes j));
+      ])
+
+(* The stats verb snapshots a "degraded" gauge into the metrics registry;
+   journal_metrics reports the same fact live.  Drop the snapshot so the
+   scrape never carries the series twice. *)
+let drop_degraded ms =
+  List.filter
+    (function Obs.Export.Gauge ("gomsm_degraded", _, _) -> false | _ -> true)
+    ms
+
+let export ?labels t =
+  drop_degraded (Metrics.export ?labels t.metrics) @ journal_metrics ?labels t
 
 (* ------------------------------------------------------------------ *)
 (* Replication feed (the primary's side of [subscribe])                *)

@@ -74,6 +74,21 @@ val replace_manager : t -> Core.Manager.t -> unit
 val manager : t -> Core.Manager.t
 val journal : t -> Journal.t option
 val metrics : t -> Metrics.t
+
+val journal_metrics :
+  ?labels:(string * string) list -> t -> Obs.Export.metric list
+(** Journal position/size and the degraded flag as exporter gauges. *)
+
+val drop_degraded : Obs.Export.metric list -> Obs.Export.metric list
+(** Remove the [gomsm_degraded] gauge a {!Metrics.export} snapshot may
+    carry (the stats verb records one): callers pairing a registry export
+    with {!journal_metrics} — which reports the flag live — use this to
+    keep the series out of the scrape twice. *)
+
+val export : ?labels:(string * string) list -> t -> Obs.Export.metric list
+(** Everything the admin endpoint scrapes for this broker:
+    {!Metrics.export} of its registry plus {!journal_metrics}. *)
+
 val writer : t -> int option
 
 val degraded : t -> string option

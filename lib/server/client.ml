@@ -64,7 +64,15 @@ exception Use_failed of string
    code non-zero so scripts and cram tests can detect failure.  With [db],
    a [use <db>] is sent on every (re)connection before anything else, so
    all requests are scoped to that database. *)
-let run ?(retries = 0) ?db ~host ~port ~(requests : string list) () : int =
+let errorf fmt = Obs.Log.errorf ~comp:"client" fmt
+let warnf fmt = Obs.Log.warnf ~comp:"client" fmt
+
+let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
+    int =
+  (match trace with
+  | Some id ->
+      Obs.Log.infof ~comp:"client" ~kvs:[ ("trace", id) ] "tracing requests"
+  | None -> ());
   let rng = Random.State.make [| Unix.getpid (); 0x90b5 |] in
   let failed = ref false in
   let degraded = ref false in
@@ -114,9 +122,16 @@ let run ?(retries = 0) ?db ~host ~port ~(requests : string list) () : int =
     if String.trim line <> "" then begin
       let rec attempt n =
         let retriable = n < retries && safe_to_retry line in
+        (* the tracing prefix goes on at send time, after the retry policy
+           has classified the bare request *)
+        let wire =
+          match trace with
+          | Some id -> Protocol.add_trace id line
+          | None -> line
+        in
         match
           let ic, oc, _ = get_conn n in
-          output_string oc line;
+          output_string oc wire;
           output_char oc '\n';
           flush oc;
           Protocol.read_response ic
@@ -125,7 +140,7 @@ let run ?(retries = 0) ?db ~host ~port ~(requests : string list) () : int =
             match resp.Protocol.status with
             | Protocol.Err reason when transient_err reason && n < retries ->
                 flush stdout;
-                Printf.eprintf "error: %s (retrying)\n%!" reason;
+                warnf "error: %s (retrying)" reason;
                 Thread.delay (jittered_backoff rng n);
                 attempt (n + 1)
             | Protocol.Ok ->
@@ -133,16 +148,16 @@ let run ?(retries = 0) ?db ~host ~port ~(requests : string list) () : int =
             | Protocol.Err reason when degraded_refusal reason ->
                 List.iter print_endline resp.Protocol.body;
                 flush stdout;
-                Printf.eprintf
+                errorf
                   "error: server is in degraded read-only mode; writes are \
-                   refused until it is restarted (%s)\n%!"
+                   refused until it is restarted (%s)"
                   reason;
                 degraded := true;
                 failed := true
             | Protocol.Err reason ->
                 List.iter print_endline resp.Protocol.body;
                 flush stdout;
-                Printf.eprintf "error: %s\n%!" reason;
+                errorf "error: %s" reason;
                 failed := true)
         | exception ((End_of_file | Sys_error _) as e) ->
             drop_conn ();
@@ -170,18 +185,18 @@ let run ?(retries = 0) ?db ~host ~port ~(requests : string list) () : int =
       with
       | End_of_file ->
           flush stdout;
-          Printf.eprintf "connection closed by server\n";
+          errorf "connection closed by server";
           failed := true
       | Sys_error e ->
           flush stdout;
-          Printf.eprintf "connection error: %s\n" e;
+          errorf "connection error: %s" e;
           failed := true
       | Protocol.Protocol_error e ->
           flush stdout;
-          Printf.eprintf "malformed response: %s\n" e;
+          errorf "malformed response: %s" e;
           failed := true
       | Use_failed reason ->
           flush stdout;
-          Printf.eprintf "error: cannot select database: %s\n" reason;
+          errorf "error: cannot select database: %s" reason;
           failed := true);
   if !degraded then 3 else if !failed then 1 else 0

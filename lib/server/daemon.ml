@@ -10,6 +10,8 @@ type config = {
   acquire_timeout : float;  (* seconds a bes waits for the writer slot *)
   port_file : string option;  (* written (atomically) with the bound port *)
   backlog : int;  (* pending-connection queue passed to listen(2) *)
+  admin_port : int option;  (* /metrics + /healthz listener; None = off *)
+  admin_port_file : string option;  (* bound admin port, written like port_file *)
 }
 
 let default_config =
@@ -22,13 +24,12 @@ let default_config =
     acquire_timeout = 5.0;
     port_file = None;
     backlog = 64;
+    admin_port = None;
+    admin_port_file = None;
   }
 
-let logf fmt =
-  Printf.ksprintf
-    (fun s ->
-      Printf.eprintf "gomsm-server: %s\n%!" s)
-    fmt
+let log ?kvs level = Obs.Log.log ?kvs level ~comp:"daemon"
+let logf fmt = Printf.ksprintf (log Obs.Log.Info) fmt
 
 module Failpoint = Fault.Failpoint
 
@@ -70,6 +71,8 @@ type router = {
   disconnect_db : string -> client:int -> unit;
   stats_extra : unit -> string list;  (* appended to a tenant's stats body *)
   server_metrics : Metrics.t;  (* connection-level counters live here *)
+  export_metrics : unit -> Obs.Export.metric list;
+      (* everything GET /metrics renders — per-tenant series carry db= *)
 }
 
 let broker_router ?(name = "default") (broker : Broker.t) : router =
@@ -109,6 +112,7 @@ let broker_router ?(name = "default") (broker : Broker.t) : router =
     disconnect_db = (fun _ ~client -> Broker.disconnect broker ~client);
     stats_extra = (fun () -> []);
     server_metrics = Broker.metrics broker;
+    export_metrics = (fun () -> Broker.export ~labels:[ ("db", name) ] broker);
   }
 
 (* Serve one connection until quit/EOF; the current database's broker rolls
@@ -120,6 +124,9 @@ let client_loop (router : router) ~client fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let current = ref router.default_db in
+  (* one trace id for the whole connection; requests carrying their own
+     [trace <id>] prefix run under that id instead *)
+  let conn_trace = lazy (Obs.Trace.new_id ()) in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
@@ -127,7 +134,8 @@ let client_loop (router : router) ~client fd =
     | line ->
         if String.trim line = "" then loop ()
         else begin
-          let stop =
+          let trace_id, line = Protocol.split_trace line in
+          let serve () =
             match Protocol.parse_request line with
             | Error reason ->
                 Metrics.incr metrics "bad_requests";
@@ -150,8 +158,18 @@ let client_loop (router : router) ~client fd =
                 true
             | Ok (Protocol.Subscribe (from, db)) ->
                 (* the connection becomes a one-way replication feed; when
-                   the feed ends, so does the connection *)
+                   the feed ends, so does the connection.  No span — the
+                   feed only ends with the subscriber — but the log line
+                   carries the replica's trace id for correlation *)
                 let db = Option.value db ~default:!current in
+                log Obs.Log.Info
+                  ~kvs:
+                    [
+                      ("db", db);
+                      ("client", string_of_int client);
+                      ("from", string_of_int from);
+                    ]
+                  "replication feed subscribed";
                 router.feed_db db ~client ~from oc;
                 true
             | Ok req -> (
@@ -168,7 +186,16 @@ let client_loop (router : router) ~client fd =
                         true
                     | () ->
                         let t0 = Unix.gettimeofday () in
-                        let resp = router.with_db !current ~client req in
+                        let resp =
+                          Obs.Trace.with_span
+                            ("verb." ^ request_kind req)
+                            ~kvs:
+                              [
+                                ("db", !current);
+                                ("client", string_of_int client);
+                              ]
+                            (fun () -> router.with_db !current ~client req)
+                        in
                         let resp =
                           (* daemon-wide lines ride along on stats, so one
                              request shows both the tenant and the server *)
@@ -186,6 +213,14 @@ let client_loop (router : router) ~client fd =
                           (Unix.gettimeofday () -. t0);
                         Protocol.write_response oc resp;
                         false))
+          in
+          let stop =
+            match trace_id with
+            | Some id -> Obs.Trace.with_context id serve
+            | None ->
+                if Obs.Trace.armed () then
+                  Obs.Trace.with_context (Lazy.force conn_trace) serve
+                else serve ()
           in
           if not stop then loop ()
         end
@@ -246,10 +281,50 @@ let serve ?on_listen ?broker ?router (config : config) : unit =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
-  logf "listening on %s:%d" config.host port;
+  log Obs.Log.Info
+    ~kvs:[ ("host", config.host); ("port", string_of_int port) ]
+    "listening";
   (match config.port_file with
   | Some path -> write_port_file path port
   | None -> ());
+  (* the admin endpoint: GET /metrics (Prometheus text format) and
+     GET /healthz (the health verb's body; 503 once degraded) on a second
+     socket, so scrapes never compete with the line protocol *)
+  (match config.admin_port with
+  | None -> ()
+  | Some admin_port ->
+      let handler path =
+        match path with
+        | "/metrics" ->
+            Some
+              {
+                Obs.Admin.status = 200;
+                content_type = "text/plain; version=0.0.4; charset=utf-8";
+                body = Obs.Export.render (router.export_metrics ());
+              }
+        | "/healthz" ->
+            let resp =
+              router.with_db router.default_db ~client:0 Protocol.Health
+            in
+            let healthy =
+              (match resp.Protocol.status with
+              | Protocol.Ok -> true
+              | Protocol.Err _ -> false)
+              && List.mem "status ok" resp.Protocol.body
+            in
+            Some
+              (Obs.Admin.text
+                 (if healthy then 200 else 503)
+                 (String.concat "\n" resp.Protocol.body ^ "\n"))
+        | _ -> None
+      in
+      let bound = Obs.Admin.start ~host:config.host ~port:admin_port handler in
+      log Obs.Log.Info
+        ~kvs:[ ("host", config.host); ("port", string_of_int bound) ]
+        "admin endpoint listening";
+      (match config.admin_port_file with
+      | Some path -> write_port_file path bound
+      | None -> ()));
   (match on_listen with Some f -> f port | None -> ());
   let next_client = ref 0 in
   while true do
@@ -273,6 +348,9 @@ let serve ?on_listen ?broker ?router (config : config) : unit =
                  (fun () ->
                    try client_loop router ~client fd
                    with e ->
-                     logf "client %d: %s" client (Printexc.to_string e)))
+                     Obs.Log.errorf
+                       ~kvs:[ ("client", string_of_int client) ]
+                       ~comp:"daemon" "client handler died: %s"
+                       (Printexc.to_string e)))
              ())
   done

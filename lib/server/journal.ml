@@ -106,6 +106,9 @@ let read_file path =
    the next recovery. *)
 let append_protected t s =
   try
+    Obs.Trace.with_span "journal.append"
+      ~kvs:[ ("bytes", string_of_int (String.length s)) ]
+    @@ fun () ->
     let budget = Failpoint.hit_io fp_append_write (String.length s) in
     let budget = min budget (hit_io_opt t.fp_write budget) in
     if budget < String.length s then begin
@@ -115,7 +118,7 @@ let append_protected t s =
     else write_all t.fd s;
     Failpoint.hit fp_append_fsync;
     hit_opt t.fp_fsync;
-    Unix.fsync t.fd
+    Obs.Trace.with_span "journal.fsync" (fun () -> Unix.fsync t.fd)
   with e ->
     (try
        Unix.ftruncate t.fd t.bytes;

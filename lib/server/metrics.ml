@@ -6,7 +6,13 @@ type hist = {
   mutable count : int;
   mutable sum : float;  (* seconds *)
   mutable max : float;
-  buckets : int array;  (* cumulative-style counts per upper bound *)
+  buckets : int array;
+  (* per-bin counts, NOT cumulative: bucket [i] holds values in
+     (bounds.(i-1), bounds.(i)] — [observe] advances past a bound only
+     when the value is strictly greater, so a value exactly equal to a
+     bound lands in that bound's bin.  That makes each upper bound
+     inclusive, which is exactly Prometheus [le] semantics; the exporter
+     ([export] below + Obs.Export.render) does the cumulative sum. *)
 }
 
 (* Upper bounds in seconds; the last bucket is +inf. *)
@@ -83,6 +89,60 @@ let observe t name seconds =
       let i = ref 0 in
       while !i < Array.length bounds && seconds > bounds.(!i) do i := !i + 1 done;
       h.buckets.(!i) <- h.buckets.(!i) + 1)
+
+(* Map the registry onto neutral exporter metrics.  Internal names use
+   dots ("latency.bes", "total.requests_total"); Prometheus names cannot,
+   so dots become underscores and everything gains a gomsm_ prefix.
+   Latency histograms collapse into one gomsm_latency_seconds family with
+   the verb as an [op] label. *)
+let prom_name s =
+  "gomsm_" ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) s
+
+let export ?(labels = []) t : Obs.Export.metric list =
+  with_lock t (fun () ->
+      let sorted tbl =
+        Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+        |> List.sort compare
+      in
+      let counters =
+        List.map
+          (fun (name, r) ->
+            Obs.Export.Counter (prom_name name, labels, float_of_int !r))
+          (sorted t.counters)
+      in
+      let gauges =
+        List.map
+          (fun (name, r) ->
+            Obs.Export.Gauge (prom_name name, labels, float_of_int !r))
+          (sorted t.gauges)
+      in
+      let hists =
+        List.map
+          (fun (name, h) ->
+            let name, labels =
+              match String.length name > 8 && String.sub name 0 8 = "latency."
+              with
+              | true ->
+                  ( "gomsm_latency_seconds",
+                    labels
+                    @ [
+                        ( "op",
+                          String.sub name 8 (String.length name - 8) );
+                      ] )
+              | false -> (prom_name name ^ "_seconds", labels)
+            in
+            Obs.Export.Histogram
+              {
+                name;
+                labels;
+                bounds;
+                buckets = Array.copy h.buckets;
+                sum = h.sum;
+                count = h.count;
+              })
+          (sorted t.hists)
+      in
+      counters @ gauges @ hists)
 
 let render t =
   with_lock t (fun () ->

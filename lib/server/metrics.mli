@@ -31,6 +31,15 @@ val add_gauge : ?by:int -> t -> string -> unit
 val observe : t -> string -> float -> unit
 (** Record one observation, in seconds, into a latency histogram. *)
 
+val export : ?labels:(string * string) list -> t -> Obs.Export.metric list
+(** The registry as exporter metrics for the admin endpoint's /metrics:
+    names are prefixed [gomsm_] with dots mapped to underscores, the
+    given labels (e.g. [("db", tenant)]) are attached to every series,
+    and the [latency.<op>] histograms collapse into one
+    [gomsm_latency_seconds] family with an [op] label.  Buckets stay
+    per-bin here; {!Obs.Export.render} computes the cumulative [le]
+    sums. *)
+
 val render : t -> string list
 (** The whole registry, one record per line — counters, then gauges, then
     histograms, each group sorted:

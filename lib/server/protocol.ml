@@ -34,6 +34,22 @@ let split_verb s =
   | Some i ->
       (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
 
+(* Any request line may carry a tracing prefix: [trace <id> <request>].
+   The id is one blank-free token minted by the client (or by a primary
+   forwarding its own trace to a replica feed); servers strip it here and
+   run the request inside that trace context.  A bare "trace" with nothing
+   after the id is left alone so parse_request can reject it as unknown. *)
+let split_trace line =
+  let stripped = strip line in
+  match split_verb stripped with
+  | "trace", rest -> (
+      match split_verb rest with
+      | id, req when id <> "" && req <> "" -> (Some id, req)
+      | _ -> (None, line))
+  | _ -> (None, line)
+
+let add_trace id line = "trace " ^ id ^ " " ^ line
+
 let parse_request line =
   let line = strip line in
   let verb, rest = split_verb line in

@@ -31,6 +31,13 @@ type request =
           connection's current one) *)
   | Quit  (** close the connection *)
 
+val split_trace : string -> string option * string
+(** Strip the optional [trace <id> ] tracing prefix from a request line,
+    returning the id (if any) and the remaining request text. *)
+
+val add_trace : string -> string -> string
+(** [add_trace id line] prepends the tracing prefix to a request line. *)
+
 val parse_request : string -> (request, string) result
 (** Parse one request line (leading/trailing blanks and a trailing [\r]
     are tolerated). *)

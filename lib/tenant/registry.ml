@@ -448,6 +448,32 @@ let stats_lines t =
       in
       Metrics.render t.server_metrics @ total_lines)
 
+(* The /metrics scrape body: the daemon-wide registry unlabeled, every
+   tenant's registry (evicted ones included — their metrics outlive the
+   broker) under a db= label, and the open brokers' journal gauges.  The
+   registry lock is the outer lock here and the metrics mutexes are
+   leaves, the same order every other path uses. *)
+let export_metrics t =
+  with_lock t (fun () ->
+      set_open_gauge_locked t;
+      let tenants =
+        Hashtbl.fold (fun n m acc -> (n, m) :: acc) t.tenant_metrics []
+        |> List.sort compare
+      in
+      Metrics.export t.server_metrics
+      @ List.concat_map
+          (fun (name, m) ->
+            let ms = Metrics.export ~labels:[ ("db", name) ] m in
+            (* open brokers re-report the degraded flag live below; evicted
+               tenants keep their last snapshot since nothing else will *)
+            if Hashtbl.mem t.open_tbl name then Broker.drop_degraded ms
+            else ms)
+          tenants
+      @ (Hashtbl.fold (fun n e acc -> (n, e) :: acc) t.open_tbl []
+        |> List.sort compare
+        |> List.concat_map (fun (name, e) ->
+               Broker.journal_metrics ~labels:[ ("db", name) ] e.e_broker)))
+
 let shutdown t =
   with_lock t (fun () ->
       Hashtbl.iter (fun _ e -> Broker.close e.e_broker) t.open_tbl;
@@ -526,4 +552,5 @@ let router t : Daemon.router =
               (fun () -> Broker.disconnect e.e_broker ~client));
     stats_extra = (fun () -> stats_lines t);
     server_metrics = t.server_metrics;
+    export_metrics = (fun () -> export_metrics t);
   }

@@ -83,6 +83,11 @@ val server_metrics : t -> Server.Metrics.t
 (** The registry-level registry: [open_dbs]/[evictions] gauges, connection
     counters (maintained by the daemon), [db_creates]/[db_drops]. *)
 
+val export_metrics : t -> Obs.Export.metric list
+(** The admin endpoint's /metrics body: daemon-wide series unlabeled, each
+    tenant's series (evicted ones included) under a [db=] label, plus the
+    open brokers' journal gauges. *)
+
 val stats_lines : t -> string list
 (** Daemon-wide lines appended to a tenant's [stats] body: the server
     metrics plus [counter total.<name> <sum>] aggregates over every

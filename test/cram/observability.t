@@ -1,0 +1,86 @@
+The observability surface: gomsm serve --admin-port exposes Prometheus
+metrics and a health check, a traced client produces correlated spans in
+the server log, the slow-op log fires under --slow-ms, and a replica
+feed correlates across processes under one trace id.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data data --port-file port \
+  >   --admin-port 0 --admin-port-file aport \
+  >   --log-level debug --slow-ms 0.0001 2>serve.log &
+  $ SERVER=$!
+  $ i=0; while { [ ! -s port ] || [ ! -s aport ]; } && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+
+A traced evolution session: the client mints a trace id, prefixes every
+request line with it, and reports it on stderr.
+
+  $ ../../bin/gomsm.exe client --port-file port --trace \
+  >   bes \
+  >   'script-line schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema Zoo;' \
+  >   ees \
+  >   quit 2>client.err
+  session open.
+  consistent; session ended.
+  bye.
+  $ TRACE=$(grep -o 'trace=[0-9a-f]*' client.err | head -1 | cut -d= -f2)
+  $ [ -n "$TRACE" ] && echo "client reported a trace id"
+  client reported a trace id
+
+Every span of that request wears the client's trace id in the server
+log: the verb spans, the broker acquire, the consistency check with its
+per-stratum datalog evaluation, and the journal append/fsync pair.
+
+  $ spans() { grep 'comp=trace' serve.log | grep "trace=$TRACE" | grep -c "msg=\"$1\""; }
+  $ spans verb.ees
+  1
+  $ spans broker.acquire
+  1
+  $ spans session.check
+  1
+  $ spans journal.append
+  1
+  $ spans journal.fsync
+  1
+  $ [ "$(spans datalog.stratum)" -gt 0 ] && echo "stratum spans present"
+  stratum spans present
+
+With a 0.0001 ms threshold everything is slow, so the slow-op log fires
+with span ancestry:
+
+  $ [ "$(grep -c 'comp=slow' serve.log)" -gt 0 ] && echo "slow-op log fired"
+  slow-op log fired
+  $ [ "$(grep -c 'ancestry=' serve.log)" -gt 0 ] && echo "ancestry recorded"
+  ancestry recorded
+
+The admin endpoint serves well-formed Prometheus text — the lint checks
+for malformed lines, duplicate series and non-monotone buckets:
+
+  $ APORT=$(cat aport)
+  $ ../metrics_lint.exe --url "http://127.0.0.1:$APORT/metrics" | sed 's/[0-9][0-9]*/N/'
+  ok: N series
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/metrics" | grep -c '^# TYPE gomsm_latency_seconds histogram$'
+  1
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/metrics" | grep -c 'gomsm_latency_seconds_bucket{op="ees",le="+Inf"}'
+  1
+
+/healthz mirrors the health verb:
+
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/healthz" | head -1
+  HTTP 200
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/healthz" | grep -c '^status ok$'
+  1
+
+A replica's feed runs under its own trace id, which travels over the
+subscribe line so the primary's log correlates with the replica's:
+
+  $ ../../bin/gomsm.exe replica --primary 127.0.0.1:$(cat port) --port 0 \
+  >   --port-file rport --log-level debug 2>replica.log &
+  $ REPLICA=$!
+  $ i=0; while [ ! -s rport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ i=0; while ! grep -q 'replication feed subscribed' serve.log && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ FEED=$(grep -o 'msg="replication feed starting".*trace=[0-9a-f]*' replica.log | grep -o 'trace=[0-9a-f]*' | head -1 | cut -d= -f2)
+  $ [ -n "$FEED" ] && echo "replica minted a feed trace"
+  replica minted a feed trace
+  $ grep 'msg="replication feed subscribed"' serve.log | grep -c "trace=$FEED"
+  1
+
+  $ kill -9 $REPLICA $SERVER
+  $ wait $REPLICA $SERVER 2>/dev/null || true

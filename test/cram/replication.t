@@ -39,7 +39,7 @@ and a non-zero exit:
   $ ../../bin/gomsm.exe client --port-file rport bes quit 2>bes.err || echo "exit $?"
   bye.
   exit 1
-  $ sed 's/127.0.0.1:[0-9]*/PRIMARY/' bes.err
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g; s/127.0.0.1:[0-9]*/PRIMARY/' bes.err
   error: read-only replica: evolution sessions go to the primary at PRIMARY
 
 kill -9 the primary: the replica reconnects with backoff and converges

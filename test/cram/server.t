@@ -33,10 +33,11 @@ client sits inside bes..ees, a competitor's bes times out.
   $ { { printf 'bes\n'; sleep 2; } | ../../bin/gomsm.exe client --port-file port > holder.out; } &
   $ HOLDER=$!
   $ sleep 0.5
-  $ ../../bin/gomsm.exe client --port-file port bes quit
-  error: timeout: evolution session held by client 4
+  $ ../../bin/gomsm.exe client --port-file port bes quit 2>timeout.err
   bye.
   [1]
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g' timeout.err
+  error: timeout: evolution session held by client 4
   $ wait $HOLDER || true
   $ cat holder.out
   session open.

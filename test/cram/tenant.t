@@ -24,7 +24,7 @@ Names are validated before anything touches the disk:
   $ ../../bin/gomsm.exe client --port-file port 'db create bad.name' quit 2>create.err || echo "exit $?"
   bye.
   exit 1
-  $ cat create.err
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g' create.err
   error: invalid database name "bad.name": use letters, digits, _ and -
 
 Evolution sessions are scoped to the selected database; commits to a
@@ -90,7 +90,7 @@ an error with a non-zero exit:
   gone
   $ ../../bin/gomsm.exe client --port-file port --db b check quit 2>use.err || echo "exit $?"
   exit 1
-  $ cat use.err
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g' use.err
   error: cannot select database: unknown database "b" (db create b first)
 
   $ kill -9 $SERVER
@@ -112,7 +112,7 @@ write attempt is refused with exit 3 and a distinct message:
   $ ../../bin/gomsm.exe client --port-file dport bes quit 2>degraded.err || echo "exit $?"
   bye.
   exit 3
-  $ cat degraded.err
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g' degraded.err
   error: server is in degraded read-only mode; writes are refused until it is restarted (degraded read-only mode after a storage failure (journal append failed: Input/output error); reads still served, restart the server to recover)
 
   $ kill -9 $DSERVER

@@ -1,0 +1,96 @@
+(* CI's metrics checker: scrape a /metrics endpoint (or read a file /
+   stdin) and run Obs.Export.lint over the body.  Exit 0 and print the
+   series count when the exposition is well formed; print every problem to
+   stderr and exit 1 otherwise.
+
+     metrics_lint --url http://127.0.0.1:9644/metrics
+     metrics_lint scrape.txt
+     some-scraper | metrics_lint -            *)
+
+let usage () =
+  prerr_endline
+    "usage: metrics_lint (--url http://HOST:PORT/PATH | --get URL | FILE | -)";
+  exit 2
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let parse_url url =
+  (* just enough for http://host:port/path *)
+  let prefix = "http://" in
+  let plen = String.length prefix in
+  if String.length url <= plen || String.sub url 0 plen <> prefix then None
+  else
+    let rest = String.sub url plen (String.length url - plen) in
+    let hostport, path =
+      match String.index_opt rest '/' with
+      | None -> (rest, "/metrics")
+      | Some i ->
+          (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+    in
+    match String.index_opt hostport ':' with
+    | None -> Some (hostport, 80, path)
+    | Some i -> (
+        let host = String.sub hostport 0 i in
+        let port =
+          String.sub hostport (i + 1) (String.length hostport - i - 1)
+        in
+        match int_of_string_opt port with
+        | Some p -> Some (host, p, path)
+        | None -> None)
+
+let fetch url =
+  match parse_url url with
+  | None ->
+      Printf.eprintf "metrics_lint: cannot parse url %S\n" url;
+      exit 2
+  | Some (host, port, path) -> (
+      match Obs.Admin.get ~host ~port ~path with
+      | 200, body -> body
+      | status, _ ->
+          Printf.eprintf "metrics_lint: GET %s returned %d\n" url status;
+          exit 1
+      | exception e ->
+          Printf.eprintf "metrics_lint: GET %s failed: %s\n" url
+            (Printexc.to_string e);
+          exit 1)
+
+(* --get: a raw scrape with no lint — "HTTP <status>" then the body, for
+   checking /healthz from shell tests without depending on curl. *)
+let raw_get url =
+  match parse_url url with
+  | None ->
+      Printf.eprintf "metrics_lint: cannot parse url %S\n" url;
+      exit 2
+  | Some (host, port, path) -> (
+      match Obs.Admin.get ~host ~port ~path with
+      | status, body ->
+          Printf.printf "HTTP %d\n%s" status body;
+          exit (if status >= 200 && status < 300 then 0 else 1)
+      | exception e ->
+          Printf.eprintf "metrics_lint: GET %s failed: %s\n" url
+            (Printexc.to_string e);
+          exit 1)
+
+let () =
+  let body =
+    match Array.to_list Sys.argv with
+    | [ _; "--url"; url ] -> fetch url
+    | [ _; "--get"; url ] -> raw_get url
+    | [ _; "-" ] -> read_all stdin
+    | [ _; file ] when file <> "" && file.[0] <> '-' ->
+        let ic = open_in_bin file in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+    | _ -> usage ()
+  in
+  match Obs.Export.lint body with
+  | Ok series -> Printf.printf "ok: %d series\n" series
+  | Error problems ->
+      List.iter (fun p -> Printf.eprintf "metrics_lint: %s\n" p) problems;
+      exit 1

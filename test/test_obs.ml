@@ -1,0 +1,453 @@
+(* The observability subsystem: structured log lines, span nesting and
+   trace propagation, histogram bucket boundaries, Prometheus rendering,
+   and the metrics lint the CI scrape check uses. *)
+
+module Log = Obs.Log
+module Trace = Obs.Trace
+module Export = Obs.Export
+module Metrics = Server.Metrics
+module Protocol = Server.Protocol
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* Capture log output for one test, restoring the stderr sink and the
+   info default after. *)
+let with_captured_log ?(spec = "debug") f =
+  let buf = Buffer.create 256 in
+  Log.set_sink (Buffer.add_string buf);
+  (match Log.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bad log spec %S: %s" spec e);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink (fun s ->
+          output_string stderr s;
+          flush stderr);
+      ignore (Log.configure "default=info"))
+    (fun () -> f buf)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_format () =
+  with_captured_log (fun buf ->
+      Log.infof ~comp:"daemon" ~kvs:[ ("port", "7643") ] "listening";
+      let line = Buffer.contents buf in
+      checkb "has ts=" true (contains line "ts=");
+      checkb "has level" true (contains line " level=info ");
+      checkb "has comp" true (contains line " comp=daemon ");
+      checkb "has msg" true (contains line " msg=\"listening\" ");
+      checkb "has kv" true (contains line " port=7643");
+      checkb "ends with newline" true (String.length line > 0 && line.[String.length line - 1] = '\n'))
+
+let test_log_quoting () =
+  with_captured_log (fun buf ->
+      Log.infof ~comp:"t"
+        ~kvs:[ ("a", "plain"); ("b", "has space"); ("c", "q\"uote") ]
+        "two words";
+      let line = Buffer.contents buf in
+      checkb "msg quoted" true (contains line "msg=\"two words\"");
+      checkb "plain unquoted" true (contains line " a=plain");
+      checkb "space quoted" true (contains line " b=\"has space\"");
+      checkb "quote escaped" true (contains line " c=\"q\\\"uote\""))
+
+let test_log_levels () =
+  with_captured_log ~spec:"default=warn" (fun buf ->
+      Log.infof ~comp:"x" "dropped";
+      check Alcotest.string "info below warn is dropped" "" (Buffer.contents buf);
+      Log.warnf ~comp:"x" "kept";
+      checkb "warn passes" true
+        (contains (Buffer.contents buf) "msg=\"kept\"");
+      checkb "enabled says no" false (Log.enabled ~comp:"x" Log.Info);
+      checkb "enabled says yes" true (Log.enabled ~comp:"x" Log.Error))
+
+let test_log_component_override () =
+  with_captured_log ~spec:"default=warn,chatty=debug" (fun buf ->
+      Log.debugf ~comp:"quiet" "dropped";
+      check Alcotest.string "other components stay at warn" ""
+        (Buffer.contents buf);
+      Log.debugf ~comp:"chatty" "kept";
+      checkb "override lets debug through" true
+        (contains (Buffer.contents buf) "comp=chatty"))
+
+let test_log_bad_spec () =
+  (match Log.configure "bogus" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bare unknown level accepted");
+  match Log.configure "daemon=loud" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown level accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_span_hook f =
+  let spans = ref [] in
+  Trace.set_hook (Some (fun sp -> spans := sp :: !spans));
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_hook None;
+      Trace.set_slow_ms 0.;
+      Trace.set_enabled false)
+    (fun () -> f spans)
+
+let test_span_nesting () =
+  with_span_hook (fun spans ->
+      with_captured_log (fun _buf ->
+          Trace.with_context "t-abc" (fun () ->
+              Trace.with_span "outer" (fun () ->
+                  Trace.with_span "inner" ~kvs:[ ("k", "v") ] (fun () -> ())));
+          (* inner finishes first *)
+          match List.rev !spans with
+          | [ inner; outer ] ->
+              check Alcotest.string "inner name" "inner" inner.Trace.name;
+              check Alcotest.string "outer name" "outer" outer.Trace.name;
+              check Alcotest.string "same trace" "t-abc" inner.Trace.trace;
+              check Alcotest.string "same trace" "t-abc" outer.Trace.trace;
+              check
+                Alcotest.(option string)
+                "inner's parent is outer" (Some outer.Trace.span_id)
+                inner.Trace.parent;
+              check Alcotest.(option string) "outer has no parent" None
+                outer.Trace.parent;
+              check
+                Alcotest.(list string)
+                "inner ancestry" [ "outer" ] inner.Trace.ancestry;
+              check
+                Alcotest.(list (pair string string))
+                "kvs carried" [ ("k", "v") ] inner.Trace.kvs
+          | other ->
+              Alcotest.failf "expected 2 spans, got %d" (List.length other)))
+
+let test_span_disabled_is_noop () =
+  (* no hook, not enabled, no slow threshold, no context: nothing recorded,
+     and the thunk still runs *)
+  Trace.set_enabled false;
+  Trace.set_slow_ms 0.;
+  Trace.set_hook None;
+  checkb "not armed" false (Trace.armed ());
+  let ran = ref false in
+  Trace.with_span "invisible" (fun () -> ran := true);
+  checkb "thunk ran" true !ran;
+  check Alcotest.(option string) "no context" None (Trace.current_trace ())
+
+let test_trace_context_restored () =
+  with_span_hook (fun _spans ->
+      Trace.with_context "outer-trace" (fun () ->
+          check Alcotest.(option string) "outer" (Some "outer-trace")
+            (Trace.current_trace ());
+          Trace.with_context "inner-trace" (fun () ->
+              check Alcotest.(option string) "inner" (Some "inner-trace")
+                (Trace.current_trace ()));
+          check Alcotest.(option string) "restored" (Some "outer-trace")
+            (Trace.current_trace ()));
+      check Alcotest.(option string) "cleared" None (Trace.current_trace ()))
+
+let test_slow_log () =
+  with_span_hook (fun _spans ->
+      with_captured_log (fun buf ->
+          Trace.set_slow_ms 0.001;
+          Trace.with_context "t-slow" (fun () ->
+              Trace.with_span "a" (fun () ->
+                  Trace.with_span "b" (fun () -> Thread.delay 0.005)));
+          let out = Buffer.contents buf in
+          checkb "slow line emitted" true (contains out "comp=slow");
+          checkb "ancestry joined" true (contains out "ancestry=a>b");
+          checkb "trace stamped" true (contains out "trace=t-slow")))
+
+let test_log_carries_trace () =
+  with_captured_log (fun buf ->
+      Trace.with_context "t-log" (fun () -> Log.infof ~comp:"x" "inside");
+      checkb "trace kv auto-appended" true
+        (contains (Buffer.contents buf) "trace=t-log"))
+
+let test_new_id_shape () =
+  let a = Trace.new_id () and b = Trace.new_id () in
+  check Alcotest.int "16 hex chars" 16 (String.length a);
+  String.iter
+    (fun c ->
+      checkb "hex digit" true ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    a;
+  checkb "ids differ" true (a <> b)
+
+let test_split_trace () =
+  check
+    Alcotest.(pair (option string) string)
+    "prefix stripped"
+    (Some "abc123", "bes")
+    (Protocol.split_trace "trace abc123 bes");
+  check
+    Alcotest.(pair (option string) string)
+    "no prefix" (None, "bes") (Protocol.split_trace "bes");
+  check
+    Alcotest.(pair (option string) string)
+    "query keeps its argument"
+    (Some "id", "query Attr_i(T, A, D)")
+    (Protocol.split_trace "trace id query Attr_i(T, A, D)");
+  (match Protocol.split_trace "trace onlyid" with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "bare trace id should not parse");
+  check
+    Alcotest.(pair (option string) string)
+    "add_trace round-trips"
+    (Some "deadbeef", "stats")
+    (Protocol.split_trace (Protocol.add_trace "deadbeef" "stats"))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram boundaries and Prometheus rendering                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_hist metrics =
+  List.find_map
+    (function
+      | Export.Histogram { name; labels; buckets; count; _ } ->
+          Some (name, labels, buckets, count)
+      | _ -> None)
+    metrics
+
+let test_bucket_boundaries () =
+  let m = Metrics.create () in
+  (* bounds are [| 1e-4; 1e-3; 1e-2; 1e-1; 1.0 |]; a value exactly equal
+     to a bound must land in that bound's bin (upper bounds inclusive) *)
+  Metrics.observe m "latency.check" 1e-4;
+  Metrics.observe m "latency.check" 1e-3;
+  Metrics.observe m "latency.check" 2e-3;
+  Metrics.observe m "latency.check" 5.0;
+  let name, labels, buckets, count =
+    match find_hist (Metrics.export m) with
+    | Some h -> h
+    | None -> Alcotest.fail "no histogram exported"
+  in
+  check Alcotest.string "latency family" "gomsm_latency_seconds" name;
+  check
+    Alcotest.(list (pair string string))
+    "op label" [ ("op", "check") ] labels;
+  check
+    Alcotest.(list int)
+    "per-bin counts (exact bounds inclusive)"
+    [ 1; 1; 1; 0; 0; 1 ]
+    (Array.to_list buckets);
+  check Alcotest.int "count" 4 count
+
+let test_render_cumulative () =
+  let m = Metrics.create () in
+  Metrics.observe m "latency.check" 1e-4;
+  Metrics.observe m "latency.check" 1e-3;
+  Metrics.observe m "latency.check" 5.0;
+  Metrics.incr m "requests_total" ~by:7;
+  Metrics.set m "degraded" 0;
+  let body = Export.render (Metrics.export ~labels:[ ("db", "zoo") ] m) in
+  checkb "counter line" true
+    (contains body "gomsm_requests_total{db=\"zoo\"} 7");
+  checkb "counter TYPE" true
+    (contains body "# TYPE gomsm_requests_total counter");
+  checkb "gauge line" true (contains body "gomsm_degraded{db=\"zoo\"} 0");
+  checkb "first bucket cumulative" true
+    (contains body
+       "gomsm_latency_seconds_bucket{db=\"zoo\",op=\"check\",le=\"0.0001\"} 1");
+  checkb "second bucket cumulative" true
+    (contains body
+       "gomsm_latency_seconds_bucket{db=\"zoo\",op=\"check\",le=\"0.001\"} 2");
+  checkb "one-second bucket holds first two" true
+    (contains body
+       "gomsm_latency_seconds_bucket{db=\"zoo\",op=\"check\",le=\"1.0\"} 2");
+  checkb "+Inf equals count" true
+    (contains body
+       "gomsm_latency_seconds_bucket{db=\"zoo\",op=\"check\",le=\"+Inf\"} 3");
+  checkb "count line" true
+    (contains body "gomsm_latency_seconds_count{db=\"zoo\",op=\"check\"} 3");
+  (* cumulative le values never decrease *)
+  (match Export.lint body with
+  | Ok n -> checkb "some series" true (n > 0)
+  | Error es -> Alcotest.failf "lint rejected: %s" (String.concat "; " es))
+
+let test_label_escaping () =
+  check Alcotest.string "backslash" "a\\\\b" (Export.escape_label "a\\b");
+  check Alcotest.string "quote" "a\\\"b" (Export.escape_label "a\"b");
+  check Alcotest.string "newline" "a\\nb" (Export.escape_label "a\nb");
+  let body =
+    Export.render [ Export.Counter ("x_total", [ ("db", "we\"ird\\db") ], 1.) ]
+  in
+  checkb "escaped in output" true
+    (contains body "x_total{db=\"we\\\"ird\\\\db\"} 1")
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_accepts_good () =
+  let body =
+    "# TYPE a_total counter\n\
+     a_total 3\n\
+     a_total{db=\"x\"} 1\n\
+     # TYPE h histogram\n\
+     h_bucket{le=\"0.1\"} 1\n\
+     h_bucket{le=\"+Inf\"} 2\n\
+     h_sum 0.5\n\
+     h_count 2\n"
+  in
+  match Export.lint body with
+  | Ok n -> check Alcotest.int "series" 6 n
+  | Error es -> Alcotest.failf "rejected: %s" (String.concat "; " es)
+
+let expect_lint_error body needle =
+  match Export.lint body with
+  | Ok _ -> Alcotest.failf "lint accepted a body that should fail: %s" needle
+  | Error es ->
+      checkb
+        (Printf.sprintf "error mentions %S" needle)
+        true
+        (List.exists (fun e -> contains e needle) es)
+
+let test_lint_rejects () =
+  expect_lint_error "a_total 1\na_total 2\n" "duplicate series";
+  expect_lint_error "a_total{db=\"x\"} 1\na_total{db=\"x\"} 2\n"
+    "duplicate series";
+  expect_lint_error "h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n"
+    "non-monotone";
+  expect_lint_error "a_total notanumber\n" "not a number";
+  expect_lint_error "{oops} 1\n" "metric name";
+  expect_lint_error "h_bucket{le=\"+Inf\"} 3\nh_count 4\n" "<> _count";
+  expect_lint_error "# TYPE x counter\n# TYPE x counter\nx 1\n"
+    "duplicate # TYPE";
+  (* different label sets are different series, not duplicates *)
+  match Export.lint "a_total{db=\"x\"} 1\na_total{db=\"y\"} 1\n" with
+  | Ok _ -> ()
+  | Error es -> Alcotest.failf "rejected: %s" (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* Admin endpoint                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_admin_roundtrip () =
+  let handler = function
+    | "/metrics" -> Some (Obs.Admin.text 200 "a_total 1\n")
+    | "/healthz" -> Some (Obs.Admin.text 503 "status degraded\n")
+    | _ -> None
+  in
+  let port = Obs.Admin.start ~port:0 handler in
+  let status, body = Obs.Admin.get ~host:"127.0.0.1" ~port ~path:"/metrics" in
+  check Alcotest.int "200" 200 status;
+  check Alcotest.string "body" "a_total 1\n" body;
+  let status, _ = Obs.Admin.get ~host:"127.0.0.1" ~port ~path:"/healthz" in
+  check Alcotest.int "503" 503 status;
+  let status, _ = Obs.Admin.get ~host:"127.0.0.1" ~port ~path:"/nope" in
+  check Alcotest.int "404" 404 status
+
+(* The stats verb snapshots a "degraded" gauge into the broker's metrics
+   registry while journal_metrics reports the flag live — the scrape must
+   still carry the series exactly once. *)
+let test_no_duplicate_degraded () =
+  let m = Core.Manager.create () in
+  let broker = Server.Broker.create ~metrics:(Metrics.create ()) m in
+  (match Server.Broker.handle broker ~client:1 Protocol.Stats with
+  | { Protocol.status = Protocol.Ok; _ } -> ()
+  | _ -> Alcotest.fail "stats failed");
+  let body = Export.render (Server.Broker.export ~labels:[ ("db", "d") ] broker) in
+  match Export.lint body with
+  | Ok _ -> ()
+  | Error es ->
+      Alcotest.failf "scrape after stats is not clean: %s"
+        (String.concat "; " es)
+
+(* The acceptance wiring end to end in-process: a traced ees through a
+   journaled broker produces the span chain the ISSUE promises —
+   verb.ees > session.check (with per-stratum datalog spans) and
+   journal.append > journal.fsync — all under the client's trace id. *)
+let test_traced_commit_spans () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gomsm-obs-%d" (Unix.getpid ()))
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  Unix.mkdir dir 0o755;
+  with_span_hook (fun spans ->
+      with_captured_log (fun _buf ->
+          let r = Server.Journal.recover ~dir () in
+          let broker =
+            Server.Broker.create ~journal:r.Server.Journal.journal
+              ~metrics:(Metrics.create ()) r.Server.Journal.manager
+          in
+          Trace.with_context "t-commit" (fun () ->
+              Trace.with_span "verb.ees" (fun () ->
+                  ignore (Server.Broker.handle broker ~client:1 Protocol.Bes);
+                  ignore
+                    (Server.Broker.handle broker ~client:1
+                       (Protocol.Script_line
+                          "schema Zoo is type Animal is [ legs : int; ] end \
+                           type Animal; end schema Zoo;"));
+                  ignore (Server.Broker.handle broker ~client:1 Protocol.Ees)));
+          let names = List.map (fun s -> s.Trace.name) !spans in
+          let has n = List.mem n names in
+          checkb "session.check span" true (has "session.check");
+          checkb "journal.append span" true (has "journal.append");
+          checkb "journal.fsync span" true (has "journal.fsync");
+          checkb "datalog.stratum spans" true (has "datalog.stratum");
+          checkb "broker.acquire span" true (has "broker.acquire");
+          List.iter
+            (fun s ->
+              check Alcotest.string
+                ("span " ^ s.Trace.name ^ " carries the trace")
+                "t-commit" s.Trace.trace)
+            !spans;
+          (* the fsync span nests under the append span *)
+          let find n = List.find (fun s -> s.Trace.name = n) !spans in
+          check
+            Alcotest.(option string)
+            "fsync's parent is append"
+            (Some (find "journal.append").Trace.span_id)
+            (find "journal.fsync").Trace.parent;
+          Server.Journal.close r.Server.Journal.journal));
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "line format" `Quick test_log_format;
+          Alcotest.test_case "quoting" `Quick test_log_quoting;
+          Alcotest.test_case "level filtering" `Quick test_log_levels;
+          Alcotest.test_case "component override" `Quick
+            test_log_component_override;
+          Alcotest.test_case "bad specs rejected" `Quick test_log_bad_spec;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting + parents" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_span_disabled_is_noop;
+          Alcotest.test_case "context save/restore" `Quick
+            test_trace_context_restored;
+          Alcotest.test_case "slow-op log with ancestry" `Quick test_slow_log;
+          Alcotest.test_case "log lines carry trace id" `Quick
+            test_log_carries_trace;
+          Alcotest.test_case "id shape" `Quick test_new_id_shape;
+          Alcotest.test_case "wire prefix split" `Quick test_split_trace;
+          Alcotest.test_case "traced commit span chain" `Quick
+            test_traced_commit_spans;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "cumulative rendering" `Quick
+            test_render_cumulative;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "lint accepts a good body" `Quick
+            test_lint_accepts_good;
+          Alcotest.test_case "lint rejects broken bodies" `Quick
+            test_lint_rejects;
+          Alcotest.test_case "no duplicate degraded gauge after stats" `Quick
+            test_no_duplicate_degraded;
+        ] );
+      ( "admin",
+        [ Alcotest.test_case "GET round-trip" `Quick test_admin_roundtrip ] );
+    ]
