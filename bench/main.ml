@@ -611,14 +611,14 @@ let bench_server () =
       rows := (label :: cells) :: !rows)
     [
       ("stats", "stats");  (* protocol + dispatch floor *)
-      ("query", "query Attr_i(T, A, D)");  (* deductive read *)
       ("check", "check");  (* full consistency check *)
     ];
   table [ "request"; "1 client"; "8 clients" ] (List.rev !rows);
   print_endline
-    "expected shape: stats bounds the wire protocol overhead; query and\n\
-     check pay for materialization under the broker's serialization, so\n\
-     concurrency adds connection fairness, not extra schema throughput."
+    "expected shape: stats bounds the wire protocol overhead; check is\n\
+     answered out of the per-version response cache under the shared\n\
+     read lock, so it sits near that floor.  (Query scaling with client\n\
+     count moved to B12, where the clients are real processes.)"
 
 (* ------------------------------------------------------------------ *)
 (* B7: read scaling with replicas                                      *)
@@ -856,6 +856,7 @@ let bench_tenants () =
           checkpoint_every = 100000;
           checkpoint_bytes = max_int;
           acquire_timeout = 60.0;
+          group_commit_ms = 0;
           log = ignore;
         }
     in
@@ -1057,6 +1058,188 @@ let bench_obs () =
      while debug is filtered, a single-digit percentage at worst."
 
 (* ------------------------------------------------------------------ *)
+(* B12: scaling with client count                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The two halves of the concurrency PR, each measured end to end.
+
+   Reads: a closed-loop client model — every client sends a query, reads
+   the response, then spends a fixed think time (200 us) off the server
+   before the next request, the classic TPC-style closed loop.  One such
+   client leaves the daemon idle most of its cycle, so its throughput is
+   think-time-bound; N clients multiply offered load until the server's
+   per-read service time saturates it.  The scaling ceiling is therefore
+   (think + service) / service — direct leverage on the read path's
+   service time, which this PR cut from a per-read serialized evaluation
+   to a shared-lock probe of the per-version response cache.  (An open
+   loop — clients hammering back-to-back — measures nothing here: on
+   this container's single core, client and server work always add up to
+   one saturated CPU and every client count yields the same number.)
+
+   Commits: the group-commit ablation.  W writer threads commit small
+   attribute-add sessions through one journaled broker, fsync-per-commit
+   versus a 1 ms group window.  Per-commit serializes every commit
+   behind its own fsync; grouped releases the writer slot before the
+   fsync wait, so the next session overlaps it and one fsync covers the
+   whole pile-up. *)
+let bench_scaling () =
+  banner "B12"
+    "Scaling with client count: queries/sec for N closed-loop clients \
+     (200 us think time); commits/sec for N writers, fsync-per-commit vs \
+     group commit";
+  (* --- reads: an in-process daemon, closed-loop socket clients --- *)
+  let m = Manager.create () in
+  Manager.begin_session m;
+  Manager.load_definitions m Analyzer.Sources.car_schema;
+  (match Manager.end_session m with
+  | Manager.Consistent -> ()
+  | Manager.Inconsistent _ -> failwith "car schema inconsistent");
+  let broker = Server.Broker.create ~metrics:(Server.Metrics.create ()) m in
+  let port = ref 0 in
+  let mu = Mutex.create () and cond = Condition.create () in
+  ignore
+    (Thread.create
+       (fun () ->
+         Server.Daemon.serve
+           ~on_listen:(fun p ->
+             Mutex.lock mu;
+             port := p;
+             Condition.signal cond;
+             Mutex.unlock mu)
+           ~broker
+           { Server.Daemon.default_config with Server.Daemon.port = 0 })
+       ());
+  Mutex.lock mu;
+  while !port = 0 do Condition.wait cond mu done;
+  Mutex.unlock mu;
+  let port = !port in
+  let think = 2e-4 in
+  let run_clients n =
+    let stop = Atomic.make false in
+    let counts = Array.make n 0 in
+    let worker i () =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      while not (Atomic.get stop) do
+        output_string oc "query Attr_i(T, A, D)\n";
+        flush oc;
+        ignore (Server.Protocol.read_response ic);
+        counts.(i) <- counts.(i) + 1;
+        Thread.delay think
+      done;
+      (try Unix.close sock with Unix.Unix_error _ -> ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init n (fun i -> Thread.create (worker i) ()) in
+    Thread.delay (duration 0.4);
+    Atomic.set stop true;
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (Array.fold_left ( + ) 0 counts) /. dt
+  in
+  let read_rows =
+    List.map
+      (fun n ->
+        let rps = run_clients n in
+        record (Printf.sprintf "server/query-%dclients" n) (1e9 /. rps);
+        [ Printf.sprintf "%d" n; Printf.sprintf "%.0f query/s" rps ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  table [ "closed-loop clients"; "throughput" ] read_rows;
+  (* --- commits: the group-commit ablation on a journaled broker --- *)
+  let ok what (resp : Server.Protocol.response) =
+    match resp.Server.Protocol.status with
+    | Server.Protocol.Ok -> ()
+    | Server.Protocol.Err e -> failwith (what ^ ": " ^ e)
+  in
+  let per_writer = sizes 40 2 in
+  let leg = ref 0 in
+  let commits_per_sec ~writers ~grouped =
+    incr leg;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gomsm-bench-b12-%d-%d" (Unix.getpid ()) !leg)
+    in
+    let r = Server.Journal.recover ~dir () in
+    (* Maintained checking keeps the in-memory session cost small, so the
+       measurement isolates the journal discipline under test *)
+    Manager.set_check_mode r.Server.Journal.manager Manager.Maintained;
+    let b =
+      Server.Broker.create ~journal:r.Server.Journal.journal
+        ~checkpoint_every:max_int ~checkpoint_bytes:max_int
+        ~acquire_timeout:60.0
+        ~group_commit_ms:(if grouped then 1 else 0)
+        ~metrics:(Server.Metrics.create ()) r.Server.Journal.manager
+    in
+    (* per-writer base schema, committed before the clock starts: the
+       timed sessions are then one attribute-add each, small enough that
+       the fsync discipline — not the session work — dominates *)
+    for w = 1 to writers do
+      ok "bes" (Server.Broker.handle b ~client:w Server.Protocol.Bes);
+      ok "script"
+        (Server.Broker.handle b ~client:w
+           (Server.Protocol.Script_line
+              (Printf.sprintf
+                 "schema W%d is type T%d is [ x : int; ] end type T%d; end \
+                  schema W%d;"
+                 w w w w)));
+      ok "ees" (Server.Broker.handle b ~client:w Server.Protocol.Ees)
+    done;
+    let worker w () =
+      for k = 1 to per_writer do
+        let client = w in
+        ok "bes" (Server.Broker.handle b ~client Server.Protocol.Bes);
+        ok "script"
+          (Server.Broker.handle b ~client
+             (Server.Protocol.Script_line
+                (Printf.sprintf "add attribute f%d : int to T%d@W%d;" k w w)));
+        ok "ees" (Server.Broker.handle b ~client Server.Protocol.Ees)
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init writers (fun w -> Thread.create (worker (w + 1)) ())
+    in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    Server.Broker.close b;
+    float_of_int (writers * per_writer) /. dt
+  in
+  let commit_rows =
+    List.map
+      (fun writers ->
+        let per_commit = commits_per_sec ~writers ~grouped:false in
+        let grouped = commits_per_sec ~writers ~grouped:true in
+        record
+          (Printf.sprintf "server/commit-%dwriters/percommit" writers)
+          (1e9 /. per_commit);
+        record
+          (Printf.sprintf "server/commit-%dwriters/grouped" writers)
+          (1e9 /. grouped);
+        [
+          Printf.sprintf "%d" writers;
+          Printf.sprintf "%.0f commit/s" per_commit;
+          Printf.sprintf "%.0f commit/s" grouped;
+          Printf.sprintf "%.2fx" (grouped /. per_commit);
+        ])
+      [ 1; 4; 16 ]
+  in
+  table
+    [ "writers"; "fsync per commit"; "group commit (1ms)"; "speedup" ]
+    commit_rows;
+  print_endline
+    "expected shape: one closed-loop client is think-time-bound, so read\n\
+     throughput climbs nearly linearly with client count and flattens\n\
+     when the cached-read service time saturates the daemon — the\n\
+     pre-PR serialized read path saturated an order of magnitude\n\
+     earlier; grouped commits lose at 1 writer (the linger window buys\n\
+     nothing and delays the ack) and win increasingly with writer count\n\
+     as one fsync covers the pile-up."
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1079,6 +1262,7 @@ let () =
     bench_hardening ();
     bench_tenants ();
     bench_obs ();
+    bench_scaling ();
     if not !smoke then emit_json "BENCH_results.json"
   end;
   Printf.printf "\n%s\nAll artifacts regenerated.\n" (String.make 72 '=')

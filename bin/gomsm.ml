@@ -517,6 +517,19 @@ let serve_cmd =
           ~doc:
             "How long a bes waits for the single writer slot before failing.")
   in
+  let group_commit_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "group-commit-ms" ] ~docv:"MS"
+          ~doc:
+            "Batch concurrent commits into one fsync: a commit leader \
+             lingers this many milliseconds so other committers can join \
+             its batch, then a single write+fsync covers them all (each \
+             client is still only acknowledged after the fsync covering \
+             its record).  0 disables batching — every commit fsyncs \
+             itself, the best latency for a single connection.  Honored \
+             per-tenant and shown in db stat.")
+  in
   let port_file =
     port_file_arg
       "Write the bound port here (atomically) once listening; handy with \
@@ -555,8 +568,8 @@ let serve_cmd =
           ~doc:"Write the bound admin port here, like --port-file.")
   in
   let run host port data checkpoint_every checkpoint_bytes acquire_timeout
-      port_file backlog max_open_dbs admin_port admin_port_file log_level
-      slow_ms trace =
+      group_commit_ms port_file backlog max_open_dbs admin_port admin_port_file
+      log_level slow_ms trace =
     setup_obs ~slow_ms ~trace log_level;
     load_failpoints "gomsm-server";
     (* every serve is registry-backed: [default] is the data root itself,
@@ -570,6 +583,7 @@ let serve_cmd =
           checkpoint_every;
           checkpoint_bytes;
           acquire_timeout;
+          group_commit_ms;
           log = (fun s -> Obs.Log.infof ~comp:"tenant" "%s" s);
         }
     in
@@ -589,6 +603,7 @@ let serve_cmd =
         checkpoint_every;
         checkpoint_bytes;
         acquire_timeout;
+        group_commit_ms;
         port_file;
         backlog;
         admin_port;
@@ -602,11 +617,12 @@ let serve_cmd =
          "Run the schema manager as a durable multi-client daemon (line \
           protocol over TCP), hosting one or many named databases")
     Term.(
-      const (fun h p d c cb a pf bl mo ap apf ll sm tr ->
-          Stdlib.exit (run h p d c cb a pf bl mo ap apf ll sm tr))
+      const (fun h p d c cb a gc pf bl mo ap apf ll sm tr ->
+          Stdlib.exit (run h p d c cb a gc pf bl mo ap apf ll sm tr))
       $ host_arg $ port $ data $ checkpoint_every $ checkpoint_bytes
-      $ acquire_timeout $ port_file $ backlog $ max_open_dbs $ admin_port
-      $ admin_port_file $ log_level_arg $ slow_ms_arg $ trace_all_arg)
+      $ acquire_timeout $ group_commit_ms $ port_file $ backlog $ max_open_dbs
+      $ admin_port $ admin_port_file $ log_level_arg $ slow_ms_arg
+      $ trace_all_arg)
 
 let replica_cmd =
   let primary =

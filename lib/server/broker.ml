@@ -1,5 +1,6 @@
-(* Session broker: single-writer BES/EES across clients, serialized reads,
-   journaling on commit, rollback on disconnect, replication feeds. *)
+(* Session broker: single-writer BES/EES across clients, concurrent reads
+   under a reader-writer lock, journaling (optionally group-committed) on
+   commit, rollback on disconnect, replication feeds. *)
 
 module Manager = Core.Manager
 module Persist = Core.Persist
@@ -25,15 +26,42 @@ let () =
           [ ("stratum", string_of_int stratum); ("rules", string_of_int rules) ]
         f
 
+(* Locking, outermost first (never acquire a lock left of one you hold):
+
+     Registry.mu  >  rw (read or write)  >  eval_mu  >  mu  >  metrics/journal
+
+   [rw] — sessions/commits and every other manager mutation hold it
+   exclusively; check/query/dump/health/feed hold it shared, so the
+   daemon's per-connection threads overlap on reads (and, with group
+   commit, overlap with the fsync wait, which holds no lock at all).
+   [eval_mu] — serializes datalog evaluation among concurrent readers:
+   the evaluator's caches (lazily built relation indexes, per-program
+   plans) are mutable per-manager state, so two evals on the same manager
+   must not interleave.  Readers that hit the response cache skip it.
+   [mu] — a leaf protecting the quick mutable fields: the writer slot,
+   the response/digest caches, the degraded flag, the subscriber table. *)
 type t = {
   mutable manager : Manager.t;  (* swapped only by a replica's bootstrap *)
   journal : Journal.t option;
   metrics : Metrics.t;
+  rw : Rwlock.t;
+  eval_mu : Mutex.t;
   mu : Mutex.t;
   mutable writer : int option;  (* client holding the BES..EES section *)
+  (* a self-pipe: releasing the writer slot writes a byte, blocked [bes]
+     acquirers select on it with their remaining deadline — a timed wait
+     the stdlib Condition cannot express *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable version : int;  (* bumped by every exclusive section *)
+  (* responses to read-only verbs, valid for exactly one version of the
+     manager state: the "published snapshot" concurrent readers serve
+     from without evaluating (or locking) anything *)
+  mutable read_cache : (int * (string, Protocol.response) Hashtbl.t) option;
   checkpoint_every : int;
   checkpoint_bytes : int;
   acquire_timeout : float;
+  group_commit_ms : int;
   read_only : string option;  (* primary address to redirect writers to *)
   mutable degraded : string option;  (* read-only after a storage failure *)
   mutable digest_cache : (int * string) option;  (* seq -> state digest *)
@@ -42,17 +70,42 @@ type t = {
 }
 
 let create ?journal ?(checkpoint_every = 64)
-    ?(checkpoint_bytes = 4 * 1024 * 1024) ?(acquire_timeout = 5.0) ?read_only
-    ?label ~metrics manager =
+    ?(checkpoint_bytes = 4 * 1024 * 1024) ?(acquire_timeout = 5.0)
+    ?(group_commit_ms = 0) ?read_only ?label ~metrics manager =
+  let rw =
+    Rwlock.create
+      ~on_read_wait:(fun () -> Metrics.incr metrics "read_lock_waits")
+      ~on_write_wait:(fun () -> Metrics.incr metrics "write_lock_waits")
+      ()
+  in
+  (match journal with
+  | Some j when group_commit_ms > 0 ->
+      Journal.set_group_commit j
+        ~linger:(float_of_int group_commit_ms /. 1000.)
+        ~on_flush:(fun n ->
+          Metrics.incr metrics "group_commits";
+          Metrics.observe_count metrics "fsync_batch_size" n)
+        ()
+  | _ -> ());
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   {
     manager;
     journal;
     metrics;
+    rw;
+    eval_mu = Mutex.create ();
     mu = Mutex.create ();
     writer = None;
+    wake_r;
+    wake_w;
+    version = 0;
+    read_cache = None;
     checkpoint_every;
     checkpoint_bytes;
     acquire_timeout;
+    group_commit_ms;
     read_only;
     degraded = None;
     digest_cache = None;
@@ -64,15 +117,51 @@ let create ?journal ?(checkpoint_every = 64)
 let manager t = t.manager
 let metrics t = t.metrics
 let journal t = t.journal
+let group_commit_ms t = t.group_commit_ms
 
 let with_lock t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let exclusively = with_lock
+let with_read t f = Rwlock.read t.rw f
+
+let with_write t f =
+  Rwlock.write t.rw (fun () ->
+      t.version <- t.version + 1;
+      f ())
+
+let with_eval t f =
+  Mutex.lock t.eval_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.eval_mu) f
+
+let exclusively = with_write
 let replace_manager t m = t.manager <- m
 let writer t = with_lock t (fun () -> t.writer)
 let degraded t = t.degraded
+
+(* ------------------------------------------------------------------ *)
+(* Writer slot (the BES..EES exclusivity)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Call with [mu] held.  The byte is a wakeup edge, not a token: every
+   blocked acquirer wakes, one wins the slot, the rest go back to their
+   select.  A full pipe means wakeups are already pending — dropping the
+   write is fine. *)
+let release_slot_locked t =
+  t.writer <- None;
+  try ignore (Unix.write t.wake_w (Bytes.make 1 'w') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+    ()
+
+let drain_wakeups fd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
 
 (* ------------------------------------------------------------------ *)
 (* State digest and degraded mode                                      *)
@@ -94,35 +183,89 @@ let digest_of_manager m =
   in
   Crc32.to_hex (Crc32.finish acc)
 
-(* Call with the lock held.  [None] while a session is open, or once
-   degraded: either way the in-memory state no longer matches the journal
-   and the digest would trip false divergence alarms on replicas. *)
-let state_digest_locked t =
-  if t.writer <> None || Manager.in_session t.manager || t.degraded <> None
-  then None
+(* Call with the read lock held.  [None] while a session is open, while
+   group-committed records await their fsync, or once degraded: in every
+   case the in-memory state does not describe a committed, durable
+   position and the digest would trip false divergence alarms. *)
+let state_digest_rd t =
+  let blocked =
+    with_lock t (fun () -> t.writer <> None || t.degraded <> None)
+    || Manager.in_session t.manager
+    || (match t.journal with Some j -> Journal.in_flight j | None -> false)
+  in
+  if blocked then None
   else
     match t.journal with
-    | None -> Some (digest_of_manager t.manager)
+    | None -> Some (with_eval t (fun () -> digest_of_manager t.manager))
     | Some j -> (
         let seq = Journal.seq j in
-        match t.digest_cache with
+        match with_lock t (fun () -> t.digest_cache) with
         | Some (s, d) when s = seq -> Some d
         | _ ->
-            let d = digest_of_manager t.manager in
-            t.digest_cache <- Some (seq, d);
+            let d = with_eval t (fun () -> digest_of_manager t.manager) in
+            with_lock t (fun () -> t.digest_cache <- Some (seq, d));
             Some d)
 
-let state_digest t = with_lock t (fun () -> state_digest_locked t)
+let state_digest t = with_read t (fun () -> state_digest_rd t)
 
-(* Call with the lock held.  One-way: once the store has failed under us,
-   only a restart (which re-runs recovery) clears the flag. *)
+(* One-way: once the store has failed under us, only a restart (which
+   re-runs recovery) clears the flag. *)
 let enter_degraded t reason =
-  if t.degraded = None then begin
-    t.degraded <- Some reason;
-    t.digest_cache <- None;
-    Metrics.set t.metrics "degraded" 1;
-    Metrics.incr t.metrics "degraded_entries"
-  end
+  with_lock t (fun () ->
+      if t.degraded = None then begin
+        t.degraded <- Some reason;
+        t.digest_cache <- None;
+        Metrics.set t.metrics "degraded" 1;
+        Metrics.incr t.metrics "degraded_entries"
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* The read-side response cache                                        *)
+(* ------------------------------------------------------------------ *)
+
+let max_cache_entries = 256
+
+let cache_probe t key =
+  with_lock t (fun () ->
+      match t.read_cache with
+      | Some (v, tbl) when v = t.version -> Hashtbl.find_opt tbl key
+      | _ -> None)
+
+let cache_store t v key resp =
+  with_lock t (fun () ->
+      let tbl =
+        match t.read_cache with
+        | Some (v', tbl) when v' = v -> tbl
+        | _ ->
+            let tbl = Hashtbl.create 32 in
+            t.read_cache <- Some (v, tbl);
+            tbl
+      in
+      if Hashtbl.length tbl >= max_cache_entries then Hashtbl.reset tbl;
+      Hashtbl.replace tbl key resp)
+
+(* Serve a read-only verb: from the response cache when the state hasn't
+   moved since the answer was computed, else evaluate under the shared
+   lock (evaluations themselves serialized by [eval_mu]) and publish the
+   answer for every later reader at this version. *)
+let cached t key compute =
+  match cache_probe t key with
+  | Some r ->
+      Metrics.incr t.metrics "read_cache_hits";
+      r
+  | None ->
+      with_read t (fun () ->
+          (* the version is frozen while we hold the read lock, so an
+             answer computed here is valid for exactly this version *)
+          match cache_probe t key with
+          | Some r ->
+              Metrics.incr t.metrics "read_cache_hits";
+              r
+          | None ->
+              let v = t.version in
+              let r = with_eval t compute in
+              cache_store t v key r;
+              r)
 
 (* ------------------------------------------------------------------ *)
 (* Request handlers                                                    *)
@@ -131,36 +274,51 @@ let enter_degraded t reason =
 let ok = Protocol.ok
 let err = Protocol.err
 
-(* bes: take the writer slot, waiting (politely polling: the stdlib
-   Condition has no timed wait) up to the acquire timeout. *)
+(* bes: take the writer slot, waiting up to the acquire timeout.  Blocked
+   acquirers select on the wake pipe (a slot release writes a byte), so a
+   release wakes them immediately and the deadline still holds; the 250 ms
+   cap on each select is only a safety net. *)
 let do_bes t ~client =
   Obs.Trace.with_span "broker.acquire"
     ~kvs:[ ("client", string_of_int client) ]
   @@ fun () ->
   let deadline = Unix.gettimeofday () +. t.acquire_timeout in
+  let waited = ref false in
   let rec attempt () =
     let r =
       with_lock t (fun () ->
           match t.writer with
           | None ->
               t.writer <- Some client;
-              Manager.begin_session t.manager;
               `Acquired
           | Some c when c = client -> `Own
           | Some c -> `Busy c)
     in
     match r with
-    | `Acquired ->
-        Metrics.incr t.metrics "sessions_opened";
-        ok [ "session open." ]
+    | `Acquired -> (
+        match with_write t (fun () -> Manager.begin_session t.manager) with
+        | () ->
+            Metrics.incr t.metrics "sessions_opened";
+            ok [ "session open." ]
+        | exception e ->
+            with_lock t (fun () -> release_slot_locked t);
+            raise e)
     | `Own -> err "session already open"
     | `Busy c ->
-        if Unix.gettimeofday () >= deadline then begin
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then begin
           Metrics.incr t.metrics "sessions_timed_out";
           err (Printf.sprintf "timeout: evolution session held by client %d" c)
         end
         else begin
-          Thread.delay 0.02;
+          if not !waited then begin
+            waited := true;
+            Metrics.incr t.metrics "acquire_waits"
+          end;
+          (match Unix.select [ t.wake_r ] [] [] (Float.min remaining 0.25) with
+          | [], _, _ -> ()
+          | _ -> with_lock t (fun () -> drain_wakeups t.wake_r)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
           attempt ()
         end
   in
@@ -169,85 +327,113 @@ let do_bes t ~client =
 let violation_lines reports =
   List.map (fun r -> "violation: " ^ r.Manager.description) reports
 
+(* A journal append (or the fsync covering it, or the checkpoint after
+   it) failed after the in-memory commit: the shared error path for the
+   synchronous and the group-committed cases. *)
+let journal_failure t e =
+  Metrics.incr t.metrics "journal_errors";
+  match e with
+  | Unix.Unix_error ((Unix.EIO | Unix.ENOSPC) as ec, _, _) ->
+      (* the disk is failing under us: the in-memory commit can no longer
+         be made durable, so stop accepting writes — readers keep
+         working, a restart re-runs recovery *)
+      enter_degraded t
+        (Printf.sprintf "journal append failed: %s" (Unix.error_message ec));
+      err
+        ("journal write failed ("
+        ^ Unix.error_message ec
+        ^ "); entering degraded read-only mode — the commit was not made \
+           durable: "
+        ^ Printexc.to_string e)
+  | e ->
+      err
+        ("committed in memory but the journal write failed: "
+        ^ Printexc.to_string e)
+
 let do_ees t ~client =
-  with_lock t (fun () ->
-      if t.writer <> Some client then err "no session open; send bes first"
-      else begin
-        (* capture what the session changed before EES closes it *)
-        let delta = Manager.session_delta t.manager in
-        let code = Manager.session_code_changes t.manager in
-        match
-          Obs.Trace.with_span "session.check"
-            ~kvs:[ ("mode", Manager.check_mode_name t.manager) ]
-            (fun () -> Manager.end_session t.manager)
-        with
-        | Manager.Consistent -> (
-            t.writer <- None;
-            Metrics.incr t.metrics "sessions_committed";
-            match t.journal with
-            | None -> ok [ "consistent; session ended." ]
-            | Some j -> (
-                (* fsync the record before acknowledging the commit *)
-                match
-                  Failpoint.hit fp_broker_commit;
-                  (match t.fp_commit with
-                  | Some fp -> Failpoint.hit fp
-                  | None -> ());
-                  ignore
-                    (Journal.append j ~ids:(Manager.ids t.manager) ~code delta);
-                  Metrics.incr t.metrics "journal_records";
-                  (* snapshot on either cap: a count of sessions, or the
-                     journal growing past the byte budget (a burst of large
-                     sessions must not grow the file unboundedly) *)
-                  if
-                    Journal.since_checkpoint j >= t.checkpoint_every
-                    || Journal.bytes j >= t.checkpoint_bytes
-                  then begin
-                    Journal.checkpoint j t.manager;
-                    Metrics.incr t.metrics "checkpoints"
-                  end
-                with
-                | () -> ok [ "consistent; session ended." ]
-                | exception
-                    (Unix.Unix_error ((Unix.EIO | Unix.ENOSPC) as ec, _, _) as e)
-                  ->
-                    (* the disk is failing under us: the in-memory commit can
-                       no longer be made durable, so stop accepting writes —
-                       readers keep working, a restart re-runs recovery *)
-                    Metrics.incr t.metrics "journal_errors";
-                    enter_degraded t
-                      (Printf.sprintf "journal append failed: %s"
-                         (Unix.error_message ec));
-                    err
-                      ("journal write failed ("
-                      ^ Unix.error_message ec
-                      ^ "); entering degraded read-only mode — the commit was \
-                         not made durable: "
-                      ^ Printexc.to_string e)
-                | exception e ->
-                    Metrics.incr t.metrics "journal_errors";
-                    err
-                      ("committed in memory but the journal write failed: "
-                      ^ Printexc.to_string e)))
-        | Manager.Inconsistent reports ->
-            (* the session stays open: fix it, or rollback *)
-            Metrics.incr ~by:(List.length reports) t.metrics "violations_found";
-            err "inconsistent; session stays open (rollback to undo)"
-              ~body:(violation_lines reports)
-      end)
+  let step =
+    with_write t (fun () ->
+        if with_lock t (fun () -> t.writer) <> Some client then
+          `Resp (err "no session open; send bes first")
+        else begin
+          (* capture what the session changed before EES closes it *)
+          let delta = Manager.session_delta t.manager in
+          let code = Manager.session_code_changes t.manager in
+          match
+            Obs.Trace.with_span "session.check"
+              ~kvs:[ ("mode", Manager.check_mode_name t.manager) ]
+              (fun () -> Manager.end_session t.manager)
+          with
+          | Manager.Consistent -> (
+              with_lock t (fun () -> release_slot_locked t);
+              Metrics.incr t.metrics "sessions_committed";
+              match t.journal with
+              | None -> `Resp (ok [ "consistent; session ended." ])
+              | Some j -> (
+                  match
+                    Failpoint.hit fp_broker_commit;
+                    (match t.fp_commit with
+                    | Some fp -> Failpoint.hit fp
+                    | None -> ());
+                    let seq =
+                      Journal.append j ~ids:(Manager.ids t.manager) ~code delta
+                    in
+                    Metrics.incr t.metrics "journal_records";
+                    (* snapshot on either cap: a count of sessions, or the
+                       journal growing past the byte budget (a burst of
+                       large sessions must not grow the file unboundedly) *)
+                    if
+                      Journal.since_checkpoint j >= t.checkpoint_every
+                      || Journal.bytes j >= t.checkpoint_bytes
+                    then begin
+                      (* the checkpoint drains any pending group-commit
+                         batch, so our record is durable under it *)
+                      Journal.checkpoint j t.manager;
+                      Metrics.incr t.metrics "checkpoints";
+                      `Durable
+                    end
+                    else if Journal.grouped j then `Enqueued (j, seq)
+                    else `Durable
+                  with
+                  | step -> step
+                  | exception e -> `Failed e))
+          | Manager.Inconsistent reports ->
+              (* the session stays open: fix it, or rollback *)
+              Metrics.incr ~by:(List.length reports) t.metrics
+                "violations_found";
+              `Resp
+                (err "inconsistent; session stays open (rollback to undo)"
+                   ~body:(violation_lines reports))
+        end)
+  in
+  match step with
+  | `Resp r -> r
+  | `Durable -> ok [ "consistent; session ended." ]
+  | `Failed e -> journal_failure t e
+  | `Enqueued (j, seq) -> (
+      (* group commit: the record is enqueued but not yet durable.  The
+         writer slot and the exclusive lock are already released, so the
+         fsync wait below overlaps the next client's session work and
+         every concurrent read — that overlap is the whole point.  The
+         acknowledgment still only goes out after the fsync covering the
+         record (or reports its loss). *)
+      match Journal.await j ~seq with
+      | () -> ok [ "consistent; session ended." ]
+      | exception e -> journal_failure t e)
 
 let do_rollback t ~client =
-  with_lock t (fun () ->
-      if t.writer <> Some client then err "no session open"
+  with_write t (fun () ->
+      if with_lock t (fun () -> t.writer) <> Some client then
+        err "no session open"
       else begin
         Manager.rollback t.manager;
-        t.writer <- None;
+        with_lock t (fun () -> release_slot_locked t);
         Metrics.incr t.metrics "sessions_rolled_back";
         ok [ "rolled back." ]
       end)
 
 let do_check t =
-  with_lock t (fun () ->
+  cached t "check" (fun () ->
       match
         Obs.Trace.with_span "session.check"
           ~kvs:[ ("mode", Manager.check_mode_name t.manager) ]
@@ -259,7 +445,7 @@ let do_check t =
           ok (violation_lines reports))
 
 let do_query t text =
-  with_lock t (fun () ->
+  cached t ("query:" ^ text) (fun () ->
       match Manager.query_text t.manager text with
       | answers ->
           let lines =
@@ -279,8 +465,9 @@ let do_query t text =
       | exception Datalog.Rule.Unsafe e -> err ("unsafe query: " ^ e))
 
 let do_script_line t ~client text =
-  with_lock t (fun () ->
-      if t.writer <> Some client then err "no session open; send bes first"
+  with_write t (fun () ->
+      if with_lock t (fun () -> t.writer) <> Some client then
+        err "no session open; send bes first"
       else
         match Analyzer.parse_commands text with
         | exception Analyzer.Syntax_error e -> err ("syntax error: " ^ e)
@@ -310,7 +497,7 @@ let do_script_line t ~client text =
             end)
 
 let do_dump t =
-  with_lock t (fun () ->
+  cached t "dump" (fun () ->
       let text =
         Analyzer.Unparse.unparse_script
           (Analyzer.Unparse.make
@@ -327,10 +514,10 @@ let do_dump t =
 let do_health t =
   let role = match t.read_only with Some _ -> "replica" | None -> "primary" in
   let degraded, seq, digest =
-    with_lock t (fun () ->
+    with_read t (fun () ->
         ( t.degraded,
           (match t.journal with Some j -> Journal.seq j | None -> 0),
-          state_digest_locked t ))
+          state_digest_rd t ))
   in
   let status_lines =
     match degraded with
@@ -344,6 +531,7 @@ let do_health t =
 
 let do_stats t =
   Metrics.set t.metrics "degraded" (if t.degraded = None then 0 else 1);
+  Metrics.set t.metrics "group_commit_ms" t.group_commit_ms;
   (* refresh the replication gauges so lag is visible exactly when asked *)
   (match t.journal with
   | None -> ()
@@ -412,10 +600,13 @@ let ping_interval = 2.0
 
 (* Stream the journal to one subscriber forever: snapshot bootstrap when its
    position predates the last checkpoint, then batches of raw records, then
-   pings while idle.  Journal reads happen under the broker lock (appends
-   and checkpoints do too), but the socket writes never do — a slow replica
-   must not stall the writer.  Returns when the subscriber goes away or the
-   feed cannot continue. *)
+   pings while idle.  Journal reads happen under the shared lock — many
+   feeds (and queries) overlap, while checkpoints still exclude them — and
+   the socket writes happen under no lock at all: a slow replica must not
+   stall the writer.  Group-commit batches being flushed are invisible here
+   until their fsync completes ([Journal.seq] only advances then), so a
+   feed can never ship an unacknowledged record.  Returns when the
+   subscriber goes away or the feed cannot continue. *)
 let feed t ~client ~from oc =
   match t.journal with
   | None ->
@@ -444,15 +635,16 @@ let feed t ~client ~from oc =
       in
       let rec loop () =
         let action =
-          with_lock t (fun () ->
+          with_read t (fun () ->
               let base = Journal.base j and seq = Journal.seq j in
               if !sent > seq then `Diverged (!sent, seq)
               else if !sent < base then
                 match Journal.read_snapshot j with
                 | Some text -> `Snapshot (base, text)
                 | None -> `Diverged (!sent, seq)
-              else if !sent < seq then `Records (Journal.records_from j ~from:!sent)
-              else `Idle (seq, state_digest_locked t))
+              else if !sent < seq then
+                `Records (Journal.records_from j ~from:!sent)
+              else `Idle (seq, state_digest_rd t))
         in
         match action with
         | `Snapshot (bseq, text) ->
@@ -537,24 +729,32 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
     err ("internal error: " ^ Printexc.to_string e)
 
 (* Release the broker's on-disk resources: the registry's eviction/shutdown
-   path.  No checkpoint is forced — every record is already fsynced, so an
-   evict/reopen cycle leaves the journal bytes untouched and reopening
-   replays them exactly like a restart (the crash-tested path).  Never
-   called with a writer active (the registry refuses to evict then). *)
+   path.  No checkpoint is forced — every acknowledged record is already
+   fsynced ({!Journal.close} drains any pending group-commit batch first),
+   so an evict/reopen cycle leaves the journal bytes untouched and
+   reopening replays them exactly like a restart (the crash-tested path).
+   Never called with a writer active or records in flight (the registry
+   refuses to evict then). *)
 let close t =
   with_lock t (fun () ->
-      match t.journal with
+      (match t.journal with
       | None -> ()
-      | Some j -> ( try Journal.close j with Unix.Unix_error _ -> ()))
+      | Some j -> ( try Journal.close j with Unix.Unix_error _ -> ()));
+      try
+        Unix.close t.wake_r;
+        Unix.close t.wake_w
+      with Unix.Unix_error _ -> ())
 
 let disconnect t ~client =
-  with_lock t (fun () ->
-      match t.writer with
-      | Some c when c = client ->
+  (* cheap pre-check: most disconnects never held the slot, so don't take
+     the exclusive lock for them *)
+  if with_lock t (fun () -> t.writer = Some client) then
+    with_write t (fun () ->
+        if with_lock t (fun () -> t.writer = Some client) then begin
           if Manager.in_session t.manager then Manager.rollback t.manager;
-          t.writer <- None;
+          with_lock t (fun () -> release_slot_locked t);
           (* distinct from an explicit rollback request: these are the
              client-vanished undos that replication debugging cares about *)
           Metrics.incr t.metrics "disconnect_rollbacks";
           Metrics.incr t.metrics "sessions_rolled_back"
-      | Some _ | None -> ())
+        end)

@@ -2,15 +2,23 @@
     clients sharing one {!Core.Manager.t}.
 
     At most one client — the {e writer} — holds the BES…EES critical
-    section; a competing [bes] waits up to the acquire timeout and then
-    fails.  Readers ([check]/[query]/[dump]) are serialized against the
-    writer request-by-request, so each sees an internally consistent state
-    (including, as in the paper's single shared schema, the open session's
-    intermediate state).  A client that disconnects mid-session is rolled
-    back automatically — the paper's "undo session" repair.
+    section; a competing [bes] waits up to the acquire timeout (woken
+    promptly when the slot frees) and then fails.  Readers
+    ([check]/[query]/[dump]/[health] and replication feeds) run
+    {e concurrently} under a shared lock — or straight out of a response
+    cache published per state version — and are only excluded by the
+    writer's exclusive sections, so each sees an internally consistent
+    state (including, as in the paper's single shared schema, the open
+    session's intermediate state).  A client that disconnects mid-session
+    is rolled back automatically — the paper's "undo session" repair.
 
     Committed sessions are appended to the write-ahead journal (fsync
-    before the acknowledgment) and periodically checkpointed.
+    before the acknowledgment) and periodically checkpointed.  With
+    [group_commit_ms > 0] concurrent commits are batched: each committer
+    enqueues its record and one leader fsyncs the whole batch, the
+    acknowledgment still following the fsync that covers the record —
+    and the fsync wait holds no lock, so reads and the next session
+    overlap it.
 
     When a journal append or checkpoint fails with [EIO]/[ENOSPC] the
     broker enters {e degraded read-only mode}: every writer verb is
@@ -25,6 +33,7 @@ val create :
   ?checkpoint_every:int ->
   ?checkpoint_bytes:int ->
   ?acquire_timeout:float ->
+  ?group_commit_ms:int ->
   ?read_only:string ->
   ?label:string ->
   metrics:Metrics.t ->
@@ -34,11 +43,17 @@ val create :
     [checkpoint_bytes] caps the journal file size between snapshots
     (default 4 MiB) so bursts of large sessions cannot grow it unboundedly;
     [acquire_timeout] seconds a [bes] waits for the writer slot
-    (default 5.0).  With [read_only] (the primary's address, for the
+    (default 5.0); [group_commit_ms] (default 0 = off) batches concurrent
+    commits into one fsync, the leader lingering that many milliseconds
+    for committers to pile on ({!Journal.set_group_commit} is called on
+    the journal).  With [read_only] (the primary's address, for the
     redirect message) every writer verb — bes/ees/rollback/script-line —
     is refused: the broker serves a replica.  With [label] (a tenant name)
     the commit failpoint is additionally consulted as
     [broker.commit#<label>]. *)
+
+val group_commit_ms : t -> int
+(** The configured group-commit window (0 = per-commit fsync). *)
 
 val handle : t -> client:int -> Protocol.request -> Protocol.response
 (** Serve one request on behalf of client [client].  Never raises: internal
@@ -64,8 +79,9 @@ val close : t -> unit
     used afterwards; callers guarantee no writer or feed is active. *)
 
 val exclusively : t -> (unit -> 'a) -> 'a
-(** Run [f] under the broker's lock, excluding every request handler: the
-    replica applier's way to mutate the shared manager safely. *)
+(** Run [f] holding the broker's lock exclusively — every reader and
+    writer excluded: the replica applier's way to mutate the shared
+    manager safely. *)
 
 val replace_manager : t -> Core.Manager.t -> unit
 (** Swap the hosted manager (a replica bootstrapping from a snapshot).

@@ -8,6 +8,7 @@ type config = {
   checkpoint_every : int;
   checkpoint_bytes : int;  (* journal size cap between checkpoints *)
   acquire_timeout : float;  (* seconds a bes waits for the writer slot *)
+  group_commit_ms : int;  (* fsync batching window; 0 = per-commit fsync *)
   port_file : string option;  (* written (atomically) with the bound port *)
   backlog : int;  (* pending-connection queue passed to listen(2) *)
   admin_port : int option;  (* /metrics + /healthz listener; None = off *)
@@ -22,6 +23,7 @@ let default_config =
     checkpoint_every = 64;
     checkpoint_bytes = 4 * 1024 * 1024;
     acquire_timeout = 5.0;
+    group_commit_ms = 0;
     port_file = None;
     backlog = 64;
     admin_port = None;
@@ -253,7 +255,8 @@ let prepare config metrics =
       Broker.create ~journal:r.Journal.journal
         ~checkpoint_every:config.checkpoint_every
         ~checkpoint_bytes:config.checkpoint_bytes
-        ~acquire_timeout:config.acquire_timeout ~metrics r.Journal.manager
+        ~acquire_timeout:config.acquire_timeout
+        ~group_commit_ms:config.group_commit_ms ~metrics r.Journal.manager
 
 let serve ?on_listen ?broker ?router (config : config) : unit =
   (* a client closing mid-response must not kill the server *)

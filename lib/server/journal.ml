@@ -57,13 +57,35 @@ let base_of_header text =
 let journal_path ~dir = Filename.concat dir "journal.log"
 let snapshot_path ~dir = Filename.concat dir "snapshot.gomdb"
 
+(* Group-commit state: concurrent committers enqueue their record bytes
+   here and one leader performs a single write+fsync for the whole batch.
+   [g_assigned] is the last sequence number handed out at enqueue time;
+   [t.seq] stays the last DURABLE sequence number — the durability oracle,
+   the replication positions and the stats all keep reading it.  A failed
+   batch flush poisons the group ([g_error] is sticky): every waiter whose
+   record the failed fsync was meant to cover gets the error, and so does
+   every later enqueue — the broker turns that into degraded mode. *)
+type group = {
+  linger : float;  (* leader waits this long for committers to pile on *)
+  byte_cap : int;  (* pending bytes that force an immediate flush *)
+  g_mu : Mutex.t;
+  g_cond : Condition.t;
+  g_buf : Buffer.t;  (* pending record bytes, in sequence order *)
+  mutable g_records : int;  (* pending record count *)
+  mutable g_assigned : int;  (* last enqueued (not necessarily durable) seq *)
+  mutable g_flushing : bool;  (* a leader owns the current batch window *)
+  mutable g_error : exn option;  (* sticky: the group died mid-flush *)
+  on_flush : int -> unit;  (* batch-size observer (metrics) *)
+}
+
 type t = {
   dir : string;
   fd : Unix.file_descr;
   mutable base : int;  (* global seq the snapshot (journal start) covers *)
-  mutable seq : int;  (* global seq of the last committed record *)
+  mutable seq : int;  (* global seq of the last durable record *)
   mutable since : int;  (* records appended since the last checkpoint *)
-  mutable bytes : int;
+  mutable bytes : int;  (* durable journal size *)
+  mutable group : group option;  (* group-commit mode, when enabled *)
   (* tenant-labeled failpoint variants; None on single-tenant journals *)
   fp_write : Failpoint.site option;
   fp_fsync : Failpoint.site option;
@@ -74,7 +96,29 @@ let base t = t.base
 let seq t = t.seq
 let since_checkpoint t = t.since
 let bytes t = t.bytes
-let close t = Unix.close t.fd
+
+let set_group_commit t ~linger ?(byte_cap = 1024 * 1024) ~on_flush () =
+  t.group <-
+    Some
+      {
+        linger;
+        byte_cap;
+        g_mu = Mutex.create ();
+        g_cond = Condition.create ();
+        g_buf = Buffer.create 4096;
+        g_records = 0;
+        g_assigned = t.seq;
+        g_flushing = false;
+        g_error = None;
+        on_flush;
+      }
+
+let grouped t = t.group <> None
+
+let in_flight t =
+  match t.group with
+  | None -> false
+  | Some g -> g.g_records > 0 || g.g_flushing || g.g_assigned > t.seq
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -99,15 +143,21 @@ let read_file path =
 (* Append                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Write one record's bytes and fsync, with the failpoint sites armed-in
+(* Write some record bytes and fsync, with the failpoint sites armed-in
    and — the hardening they forced — rollback on failure: whatever the
-   failed write left behind is truncated back to the last good offset, so
-   a half-appended record can never poison the file for later appends or
-   the next recovery. *)
-let append_protected t s =
+   failed write left behind is truncated back to the last good (durable)
+   offset, so a half-appended record can never poison the file for later
+   appends or the next recovery.  In group-commit mode [s] is a whole
+   batch and the same failpoints fire once per batch (an injected partial
+   write or fsync error takes down every record in it). *)
+let append_protected ?(records = 1) t s =
   try
     Obs.Trace.with_span "journal.append"
-      ~kvs:[ ("bytes", string_of_int (String.length s)) ]
+      ~kvs:
+        [
+          ("bytes", string_of_int (String.length s));
+          ("records", string_of_int records);
+        ]
     @@ fun () ->
     let budget = Failpoint.hit_io fp_append_write (String.length s) in
     let budget = min budget (hit_io_opt t.fp_write budget) in
@@ -126,37 +176,155 @@ let append_protected t s =
      with Unix.Unix_error _ -> ());
     raise e
 
+(* One record's bytes carrying sequence number [seq]. *)
+let record_bytes ~seq ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : string =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "begin %d\n" seq;
+  Printf.bprintf buf "ids %d %d %d %d %d %d\n" ids.Gom.Ids.schemas
+    ids.Gom.Ids.types ids.Gom.Ids.decls ids.Gom.Ids.codes ids.Gom.Ids.phreps
+    ids.Gom.Ids.objects;
+  List.iter
+    (fun f -> Printf.bprintf buf "del %s\n" (Persist.encode_fact f))
+    delta.Delta.deletions;
+  List.iter
+    (fun f -> Printf.bprintf buf "add %s\n" (Persist.encode_fact f))
+    delta.Delta.additions;
+  List.iter
+    (fun (cid, (params, body)) ->
+      Printf.bprintf buf "code %s\n" (Persist.encode_code ~cid ~params ~body))
+    code;
+  (* the crc covers every record byte before its own line (begin through
+     the last payload line, newlines included) *)
+  if !crc_records then
+    Printf.bprintf buf "crc %s\n"
+      (Crc32.to_decimal (Crc32.string (Buffer.contents buf)));
+  Printf.bprintf buf "commit %d\n" seq;
+  Buffer.contents buf
+
+(* Flush the pending batch.  Called with [g_mu] held and [g_flushing]
+   already claimed by the caller; returns with [g_mu] held, [g_flushing]
+   cleared and every waiter woken.  The I/O itself runs unlocked so
+   committers keep enqueuing (and readers keep reading) during the fsync;
+   [g_flushing] guarantees a single flusher, so [t.seq]/[t.bytes] are
+   only ever advanced here (or by the sync path, never concurrently). *)
+let run_flush t g =
+  let s = Buffer.contents g.g_buf in
+  Buffer.clear g.g_buf;
+  let n = g.g_records in
+  g.g_records <- 0;
+  let last = g.g_assigned in
+  Mutex.unlock g.g_mu;
+  let result =
+    if s = "" then Ok ()
+    else match append_protected ~records:n t s with
+      | () -> Ok ()
+      | exception e -> Error e
+  in
+  Mutex.lock g.g_mu;
+  (match result with
+  | Ok () ->
+      t.seq <- last;
+      t.bytes <- t.bytes + String.length s;
+      if n > 0 then g.on_flush n
+  | Error e -> g.g_error <- Some e);
+  g.g_flushing <- false;
+  Condition.broadcast g.g_cond
+
+let with_g g f =
+  Mutex.lock g.g_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock g.g_mu) f
+
 let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
   if Delta.is_empty delta && code = [] then t.seq
-  else begin
-    let n = t.seq + 1 in
-    let buf = Buffer.create 256 in
-    Printf.bprintf buf "begin %d\n" n;
-    Printf.bprintf buf "ids %d %d %d %d %d %d\n" ids.Gom.Ids.schemas
-      ids.Gom.Ids.types ids.Gom.Ids.decls ids.Gom.Ids.codes ids.Gom.Ids.phreps
-      ids.Gom.Ids.objects;
-    List.iter
-      (fun f -> Printf.bprintf buf "del %s\n" (Persist.encode_fact f))
-      delta.Delta.deletions;
-    List.iter
-      (fun f -> Printf.bprintf buf "add %s\n" (Persist.encode_fact f))
-      delta.Delta.additions;
-    List.iter
-      (fun (cid, (params, body)) ->
-        Printf.bprintf buf "code %s\n" (Persist.encode_code ~cid ~params ~body))
-      code;
-    (* the crc covers every record byte before its own line (begin through
-       the last payload line, newlines included) *)
-    if !crc_records then
-      Printf.bprintf buf "crc %s\n" (Crc32.to_decimal (Crc32.string (Buffer.contents buf)));
-    Printf.bprintf buf "commit %d\n" n;
-    let s = Buffer.contents buf in
-    append_protected t s;
-    t.seq <- n;
-    t.since <- t.since + 1;
-    t.bytes <- t.bytes + String.length s;
-    n
-  end
+  else
+    match t.group with
+    | None ->
+        let n = t.seq + 1 in
+        let s = record_bytes ~seq:n ~ids ~code delta in
+        append_protected t s;
+        t.seq <- n;
+        t.since <- t.since + 1;
+        t.bytes <- t.bytes + String.length s;
+        n
+    | Some g ->
+        (* enqueue only: the record is durable once a flush covering its
+           seq completes — callers must [await] before acknowledging *)
+        with_g g (fun () ->
+            (match g.g_error with Some e -> raise e | None -> ());
+            let n = g.g_assigned + 1 in
+            Buffer.add_string g.g_buf (record_bytes ~seq:n ~ids ~code delta);
+            g.g_records <- g.g_records + 1;
+            g.g_assigned <- n;
+            t.since <- t.since + 1;
+            (* safety valve: a burst of large sessions must not grow the
+               pending batch unboundedly while the leader lingers *)
+            if Buffer.length g.g_buf >= g.byte_cap && not g.g_flushing then begin
+              g.g_flushing <- true;
+              run_flush t g
+            end;
+            n)
+
+(* Block until the record at [seq] is durable (or its flush failed).  The
+   first waiter to find an unclaimed batch becomes the leader: it lingers
+   for the configured window so concurrent committers can pile on, then
+   writes and fsyncs the whole batch at once. *)
+let await t ~seq =
+  match t.group with
+  | None -> ()
+  | Some g ->
+      with_g g (fun () ->
+          let rec wait () =
+            if t.seq >= seq then ()
+            else
+              match g.g_error with
+              | Some e -> raise e
+              | None ->
+                  if g.g_flushing || g.g_records = 0 then begin
+                    Condition.wait g.g_cond g.g_mu;
+                    wait ()
+                  end
+                  else begin
+                    g.g_flushing <- true;
+                    if g.linger > 0. then begin
+                      Mutex.unlock g.g_mu;
+                      Thread.delay g.linger;
+                      Mutex.lock g.g_mu
+                    end;
+                    run_flush t g;
+                    wait ()
+                  end
+          in
+          wait ())
+
+(* Flush everything pending, without a linger, and wait for any in-flight
+   batch: the checkpoint/close path — a snapshot must cover a quiescent,
+   fully durable journal.  Raises the sticky group error if records were
+   lost to a failed flush. *)
+let drain t =
+  match t.group with
+  | None -> ()
+  | Some g ->
+      with_g g (fun () ->
+          let rec go () =
+            if g.g_flushing then begin
+              Condition.wait g.g_cond g.g_mu;
+              go ()
+            end
+            else if g.g_records > 0 then begin
+              g.g_flushing <- true;
+              run_flush t g;
+              go ()
+            end
+            else
+              match g.g_error with
+              | Some e when t.seq < g.g_assigned -> raise e
+              | _ -> ()
+          in
+          go ())
+
+let close t =
+  (try drain t with _ -> ());
+  Unix.close t.fd
 
 (* Raw record append: the replica's write path.  [text] must be one
    complete record (begin..commit, newline-terminated) carrying exactly
@@ -204,9 +372,15 @@ let reset_journal t ~new_base =
   t.base <- new_base;
   t.seq <- new_base;
   t.since <- 0;
-  t.bytes <- String.length h
+  t.bytes <- String.length h;
+  (* callers drain the group before resetting, so assigned = durable here;
+     re-anchor it in case the numbering base just moved *)
+  match t.group with Some g -> g.g_assigned <- new_base | None -> ()
 
 let checkpoint t (m : Manager.t) : unit =
+  (* a snapshot must cover a quiescent, fully durable journal: flush any
+     pending group-commit batch first (raises if records were lost) *)
+  drain t;
   let buf = Persist.save_to_buffer m in
   write_snapshot_file t (Buffer.contents buf);
   reset_journal t ~new_base:t.seq
@@ -529,6 +703,7 @@ let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ?label ~dir ()
       seq = last_seq;
       since = replayed;
       bytes = size;
+      group = None;
       fp_write = labeled_site "journal.append.write" label;
       fp_fsync = labeled_site "journal.append.fsync" label;
       fp_ckpt = labeled_site "journal.checkpoint.snapshot" label;

@@ -82,11 +82,56 @@ val append :
   code:(string * (string list * Analyzer.Ast.stmt)) list ->
   Datalog.Delta.t ->
   int
-(** Append one committed-session record and fsync; returns the record's
-    sequence number.  Empty records (no facts, no code) are skipped and
-    return the current sequence number.  If the write or fsync fails, the
-    file is truncated back to its pre-append size before the exception
-    propagates, so a half-appended record never survives. *)
+(** Append one committed-session record; returns the record's sequence
+    number.  Empty records (no facts, no code) are skipped and return the
+    current sequence number.
+
+    Without group commit the record is written and fsynced before [append]
+    returns; if the write or fsync fails, the file is truncated back to
+    its pre-append size before the exception propagates, so a half-appended
+    record never survives.
+
+    With group commit ({!set_group_commit}) the record is only {e enqueued}
+    — [append] returns its assigned sequence number immediately and the
+    caller must {!await} it before acknowledging the commit.  Concurrent
+    enqueues are safe; on this path {!seq} keeps reporting the last
+    {e durable} record, which the assigned number may run ahead of. *)
+
+(** {2 Group commit} *)
+
+val set_group_commit :
+  t -> linger:float -> ?byte_cap:int -> on_flush:(int -> unit) -> unit -> unit
+(** Switch {!append} into batched mode: committers enqueue record bytes
+    and the first {!await}er becomes the batch leader — it lingers for
+    [linger] seconds so concurrent committers can pile on, then performs
+    one write+fsync for the whole batch.  [byte_cap] (default 1 MiB)
+    bounds the pending batch: an enqueue that crosses it flushes
+    immediately.  [on_flush] observes each batch's record count (under
+    the group lock — keep it cheap).  A failed batch flush truncates the
+    file back to the last durable byte and poisons the group: every
+    affected {!await} and every later {!append} raises the original
+    exception.  Call once, before the journal is shared across threads. *)
+
+val grouped : t -> bool
+(** Whether group-commit mode is enabled. *)
+
+val in_flight : t -> bool
+(** Records enqueued (or mid-flush) but not yet durable.  The in-memory
+    manager state is ahead of the durable journal exactly while this is
+    true — state digests and eviction must wait it out. *)
+
+val await : t -> seq:int -> unit
+(** Block until the record at [seq] is durable.  Raises the flush's
+    exception if the batch covering [seq] failed (the record was lost and
+    the file truncated).  No-op without group commit, or when [seq] is
+    already durable. *)
+
+val drain : t -> unit
+(** Flush everything pending without lingering and wait out any in-flight
+    batch; raises the sticky group error if records were lost.  No-op
+    without group commit.  {!checkpoint} and {!close} drain implicitly. *)
+
+(** {2 Checkpoints and positions} *)
 
 val checkpoint : t -> Core.Manager.t -> unit
 (** Snapshot the manager ([snapshot.gomdb], written atomically via a

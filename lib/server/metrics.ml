@@ -2,9 +2,18 @@
    a few loads and stores, and the registry is consulted far less often than
    the broker's own lock. *)
 
+(* Histograms come in two kinds: [Seconds] (latencies — the exporter adds
+   a _seconds suffix and [render] prints microseconds) and [Count] (plain
+   magnitudes like a group-commit batch size — exported and rendered
+   as-is). *)
+type hkind = Seconds | Count
+
 type hist = {
+  kind : hkind;
+  h_bounds : float array;  (* upper bounds; the last bucket is +inf *)
+  h_labels : string array;  (* one per bucket, for [render] *)
   mutable count : int;
-  mutable sum : float;  (* seconds *)
+  mutable sum : float;
   mutable max : float;
   buckets : int array;
   (* per-bin counts, NOT cumulative: bucket [i] holds values in
@@ -19,6 +28,11 @@ type hist = {
 let bounds = [| 1e-4; 1e-3; 1e-2; 1e-1; 1.0 |]
 
 let bound_label = [| "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s"; "inf" |]
+
+(* Upper bounds for [Count] histograms (batch sizes). *)
+let count_bounds = [| 1.; 2.; 4.; 8.; 16.; 32. |]
+
+let count_label = [| "le_1"; "le_2"; "le_4"; "le_8"; "le_16"; "le_32"; "inf" |]
 
 type t = {
   mu : Mutex.t;
@@ -70,25 +84,35 @@ let add_gauge ?(by = 1) t name =
       | Some r -> r := !r + by
       | None -> Hashtbl.replace t.gauges name (ref by))
 
-let observe t name seconds =
+let observe_kind t name kind v =
   with_lock t (fun () ->
       let h =
         match Hashtbl.find_opt t.hists name with
         | Some h -> h
         | None ->
+            let h_bounds, h_labels =
+              match kind with
+              | Seconds -> (bounds, bound_label)
+              | Count -> (count_bounds, count_label)
+            in
             let h =
-              { count = 0; sum = 0.; max = 0.;
-                buckets = Array.make (Array.length bounds + 1) 0 }
+              { kind; h_bounds; h_labels; count = 0; sum = 0.; max = 0.;
+                buckets = Array.make (Array.length h_bounds + 1) 0 }
             in
             Hashtbl.replace t.hists name h;
             h
       in
       h.count <- h.count + 1;
-      h.sum <- h.sum +. seconds;
-      if seconds > h.max then h.max <- seconds;
+      h.sum <- h.sum +. v;
+      if v > h.max then h.max <- v;
       let i = ref 0 in
-      while !i < Array.length bounds && seconds > bounds.(!i) do i := !i + 1 done;
+      while !i < Array.length h.h_bounds && v > h.h_bounds.(!i) do
+        i := !i + 1
+      done;
       h.buckets.(!i) <- h.buckets.(!i) + 1)
+
+let observe t name seconds = observe_kind t name Seconds seconds
+let observe_count t name n = observe_kind t name Count (float_of_int n)
 
 (* Map the registry onto neutral exporter metrics.  Internal names use
    dots ("latency.bes", "total.requests_total"); Prometheus names cannot,
@@ -120,22 +144,26 @@ let export ?(labels = []) t : Obs.Export.metric list =
         List.map
           (fun (name, h) ->
             let name, labels =
-              match String.length name > 8 && String.sub name 0 8 = "latency."
-              with
-              | true ->
-                  ( "gomsm_latency_seconds",
-                    labels
-                    @ [
-                        ( "op",
-                          String.sub name 8 (String.length name - 8) );
-                      ] )
-              | false -> (prom_name name ^ "_seconds", labels)
+              match h.kind with
+              | Count -> (prom_name name, labels)
+              | Seconds -> (
+                  match
+                    String.length name > 8 && String.sub name 0 8 = "latency."
+                  with
+                  | true ->
+                      ( "gomsm_latency_seconds",
+                        labels
+                        @ [
+                            ( "op",
+                              String.sub name 8 (String.length name - 8) );
+                          ] )
+                  | false -> (prom_name name ^ "_seconds", labels))
             in
             Obs.Export.Histogram
               {
                 name;
                 labels;
-                bounds;
+                bounds = h.h_bounds;
                 buckets = Array.copy h.buckets;
                 sum = h.sum;
                 count = h.count;
@@ -161,18 +189,22 @@ let render t =
       let hists =
         Hashtbl.fold
           (fun name h acc ->
-            let mean_us =
-              if h.count = 0 then 0. else h.sum /. float_of_int h.count *. 1e6
-            in
+            let mean = if h.count = 0 then 0. else h.sum /. float_of_int h.count in
             let buckets =
               Array.to_list
                 (Array.mapi
-                   (fun i c -> Printf.sprintf "%s %d" bound_label.(i) c)
+                   (fun i c -> Printf.sprintf "%s %d" h.h_labels.(i) c)
                    h.buckets)
             in
-            Printf.sprintf "hist %s count %d mean_us %.1f max_us %.1f %s" name
-              h.count mean_us (h.max *. 1e6)
-              (String.concat " " buckets)
+            (match h.kind with
+            | Seconds ->
+                Printf.sprintf "hist %s count %d mean_us %.1f max_us %.1f %s"
+                  name h.count (mean *. 1e6) (h.max *. 1e6)
+                  (String.concat " " buckets)
+            | Count ->
+                Printf.sprintf "hist %s count %d mean %.1f max %.0f %s" name
+                  h.count mean h.max
+                  (String.concat " " buckets))
             :: acc)
           t.hists []
         |> List.sort compare

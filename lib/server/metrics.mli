@@ -31,6 +31,12 @@ val add_gauge : ?by:int -> t -> string -> unit
 val observe : t -> string -> float -> unit
 (** Record one observation, in seconds, into a latency histogram. *)
 
+val observe_count : t -> string -> int -> unit
+(** Record one observation into a plain-magnitude histogram (bounds
+    1/2/4/8/16/32) — group-commit batch sizes.  The exporter leaves the
+    name unsuffixed and [render] prints raw values, not microseconds.
+    A name is one kind forever: don't mix [observe] and [observe_count]. *)
+
 val export : ?labels:(string * string) list -> t -> Obs.Export.metric list
 (** The registry as exporter metrics for the admin endpoint's /metrics:
     names are prefixed [gomsm_] with dots mapped to underscores, the

@@ -1,0 +1,65 @@
+(* A reader–writer lock for the broker's concurrent read path: any number
+   of readers share the lock, writers are exclusive, and a queued writer
+   blocks new readers (modest writer preference) so a stream of queries
+   cannot starve commits.  Built on one mutex + one broadcast condition —
+   the stdlib has nothing richer, and the hold times here are short enough
+   that a broadcast-and-recheck herd is cheap.
+
+   The [on_read_wait]/[on_write_wait] hooks fire once per acquisition that
+   actually had to block: the broker feeds them into the read_lock_waits /
+   write_lock_waits contention counters. *)
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable readers : int;  (* active shared holders *)
+  mutable writer : bool;  (* an exclusive holder is active *)
+  mutable write_waiters : int;  (* queued writers readers must yield to *)
+  on_read_wait : unit -> unit;
+  on_write_wait : unit -> unit;
+}
+
+let create ?(on_read_wait = fun () -> ()) ?(on_write_wait = fun () -> ()) () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    readers = 0;
+    writer = false;
+    write_waiters = 0;
+    on_read_wait;
+    on_write_wait;
+  }
+
+let read t f =
+  Mutex.lock t.mu;
+  if t.writer || t.write_waiters > 0 then begin
+    t.on_read_wait ();
+    while t.writer || t.write_waiters > 0 do
+      Condition.wait t.cond t.mu
+    done
+  end;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mu;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.broadcast t.cond;
+      Mutex.unlock t.mu)
+
+let write t f =
+  Mutex.lock t.mu;
+  if t.writer || t.readers > 0 then begin
+    t.on_write_wait ();
+    t.write_waiters <- t.write_waiters + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.cond t.mu
+    done;
+    t.write_waiters <- t.write_waiters - 1
+  end;
+  t.writer <- true;
+  Mutex.unlock t.mu;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.writer <- false;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu)

@@ -1,0 +1,15 @@
+(** A reader–writer lock: many shared readers, exclusive writers, queued
+    writers block new readers (so queries cannot starve commits).  The
+    optional hooks fire once per acquisition that had to block — the
+    broker's contention counters. *)
+
+type t
+
+val create :
+  ?on_read_wait:(unit -> unit) -> ?on_write_wait:(unit -> unit) -> unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the lock in shared mode.  Not reentrant. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the lock exclusively.  Not reentrant. *)

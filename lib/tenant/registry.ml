@@ -19,6 +19,7 @@ type config = {
   checkpoint_every : int;
   checkpoint_bytes : int;
   acquire_timeout : float;
+  group_commit_ms : int;  (* fsync batching window, honored per-tenant *)
   log : string -> unit;
 }
 
@@ -29,6 +30,7 @@ let default_config =
     checkpoint_every = 64;
     checkpoint_bytes = 4 * 1024 * 1024;
     acquire_timeout = 5.0;
+    group_commit_ms = 0;
     log = ignore;
   }
 
@@ -164,10 +166,19 @@ let evict_for_room_locked t =
   if t.cfg.data_dir <> None then begin
     let continue_ = ref true in
     while !continue_ && Hashtbl.length t.open_tbl >= t.cfg.max_open do
+      let in_flight e =
+        (* a group-commit batch awaiting its fsync: the committer already
+           released the writer slot, but closing the journal under the
+           flush would lose acknowledgment-pending records *)
+        match Broker.journal e.e_broker with
+        | Some j -> Journal.in_flight j
+        | None -> false
+      in
       let victim =
         Hashtbl.fold
           (fun _ e best ->
-            if e.e_pins > 0 || Broker.writer e.e_broker <> None then best
+            if e.e_pins > 0 || Broker.writer e.e_broker <> None || in_flight e
+            then best
             else
               match best with
               | Some b when b.e_stamp <= e.e_stamp -> best
@@ -212,7 +223,8 @@ let open_entry_locked t name =
         Broker.create ~label:name ~journal:r.Journal.journal
           ~checkpoint_every:t.cfg.checkpoint_every
           ~checkpoint_bytes:t.cfg.checkpoint_bytes
-          ~acquire_timeout:t.cfg.acquire_timeout ~metrics r.Journal.manager
+          ~acquire_timeout:t.cfg.acquire_timeout
+          ~group_commit_ms:t.cfg.group_commit_ms ~metrics r.Journal.manager
   in
   let e =
     { e_name = name; e_broker = broker; e_pins = 0; e_stamp = next_tick t }
@@ -403,6 +415,8 @@ let stat t name =
                       (match Broker.writer b with
                       | Some c -> Printf.sprintf "writer client %d" c
                       | None -> "writer none");
+                      Printf.sprintf "group_commit_ms %d"
+                        (Broker.group_commit_ms b);
                     ]
                   @
                   match dir_of t name with

@@ -31,6 +31,10 @@ type config = {
   checkpoint_every : int;
   checkpoint_bytes : int;
   acquire_timeout : float;
+  group_commit_ms : int;
+      (** fsync batching window in milliseconds, honored per-tenant
+          (each database's journal batches its own commits); 0 = every
+          commit fsyncs itself *)
   log : string -> unit;  (** open/evict/drop notices *)
 }
 

@@ -494,6 +494,152 @@ let test_daemon_excludes_second_writer () =
   expect_ok "quit b" (rpc b "quit");
   Unix.close (let _, _, s = b in s)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrency: bes wakeup, shared readers, group commit               *)
+(* ------------------------------------------------------------------ *)
+
+(* A bes that found the slot taken must be woken promptly when the holder
+   releases it — not rediscover the free slot at the end of a poll
+   interval — and the wait must be counted. *)
+let test_bes_wakeup_and_acquire_waits () =
+  let m = Metrics.create () in
+  let b = Broker.create ~acquire_timeout:5.0 ~metrics:m (Manager.create ()) in
+  expect_ok "bes 1" (Broker.handle b ~client:1 Protocol.Bes);
+  let woken = ref None in
+  let t0 = Unix.gettimeofday () in
+  let waiter =
+    Thread.create
+      (fun () -> woken := Some (Broker.handle b ~client:2 Protocol.Bes))
+      ()
+  in
+  Thread.delay 0.05;
+  expect_ok "rollback 1" (Broker.handle b ~client:1 Protocol.Rollback);
+  Thread.join waiter;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match !woken with
+  | Some r -> expect_ok "bes 2 woken" r
+  | None -> Alcotest.fail "waiter never ran");
+  check_bool "woken well before the timeout" true (elapsed < 2.0);
+  check_bool "wait counted" true (Metrics.counter m "acquire_waits" >= 1);
+  check_bool "writer is 2" true (Broker.writer b = Some 2);
+  expect_ok "rollback 2" (Broker.handle b ~client:2 Protocol.Rollback)
+
+(* N readers race one writer through a stream of commits; every digest a
+   reader observes must be one the writer committed (never a torn or
+   in-flight state).  The tiny group-commit window keeps the in-flight
+   [None] path exercised too. *)
+let test_readers_observe_only_committed_states () =
+  let dir = fresh_dir () in
+  let r = Journal.recover ~dir () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~group_commit_ms:2
+      ~acquire_timeout:5.0 ~metrics:(Metrics.create ()) r.Journal.manager
+  in
+  let mu = Mutex.create () in
+  let committed = Hashtbl.create 16 in
+  let record d =
+    Mutex.lock mu;
+    Hashtbl.replace committed d ();
+    Mutex.unlock mu
+  in
+  (match Broker.state_digest b with
+  | Some d -> record d
+  | None -> Alcotest.fail "no initial digest");
+  let stop = Atomic.make false in
+  let observed = ref [] in
+  let note d =
+    Mutex.lock mu;
+    observed := d :: !observed;
+    Mutex.unlock mu
+  in
+  let reader i =
+    while not (Atomic.get stop) do
+      (match Broker.state_digest b with Some d -> note d | None -> ());
+      expect_ok "reader check" (Broker.handle b ~client:(100 + i) Protocol.Check);
+      ignore (Broker.handle b ~client:(100 + i) Protocol.Dump)
+    done
+  in
+  let readers = List.init 6 (fun i -> Thread.create reader i) in
+  let commit i frame =
+    expect_ok (Printf.sprintf "bes %d" i) (Broker.handle b ~client:1 Protocol.Bes);
+    expect_ok
+      (Printf.sprintf "script %d" i)
+      (Broker.handle b ~client:1 (Protocol.Script_line frame));
+    expect_ok (Printf.sprintf "ees %d" i) (Broker.handle b ~client:1 Protocol.Ees);
+    match Broker.state_digest b with
+    | Some d -> record d
+    | None ->
+        (* another in-flight commit can hide the digest; here there is a
+           single writer, so after the ack it must be published *)
+        Alcotest.failf "no digest after commit %d" i
+  in
+  commit 0 zoo_frame;
+  for i = 1 to 7 do
+    commit i (Printf.sprintf "add attribute a%d : int to Animal@Zoo;" i)
+  done;
+  Atomic.set stop true;
+  List.iter Thread.join readers;
+  check_bool "readers saw some states" true (!observed <> []);
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem committed d) then
+        Alcotest.failf "reader observed uncommitted state %s" d)
+    !observed;
+  check_bool "writer advanced the state" true (Hashtbl.length committed >= 8);
+  Broker.close b
+
+(* Four committers under a generous linger window must share fsyncs — and
+   every record must still be durable: a fresh recovery replays all of
+   them. *)
+let test_group_commit_batches_and_recovers () =
+  let dir = fresh_dir () in
+  let r = Journal.recover ~dir () in
+  let m = Metrics.create () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~group_commit_ms:150
+      ~acquire_timeout:10.0 ~metrics:m r.Journal.manager
+  in
+  let frame i =
+    Printf.sprintf
+      "schema S%d is type T%d is [ x : int; ] end type T%d; end schema S%d;" i
+      i i i
+  in
+  let n = 4 in
+  let results = Array.make n None in
+  let worker i =
+    let c = 10 + i in
+    let r1 = Broker.handle b ~client:c Protocol.Bes in
+    let r2 = Broker.handle b ~client:c (Protocol.Script_line (frame i)) in
+    let r3 = Broker.handle b ~client:c Protocol.Ees in
+    results.(i) <- Some (r1, r2, r3)
+  in
+  let workers = List.init n (fun i -> Thread.create worker i) in
+  List.iter Thread.join workers;
+  Array.iteri
+    (fun i -> function
+      | None -> Alcotest.failf "worker %d died" i
+      | Some (r1, r2, r3) ->
+          expect_ok (Printf.sprintf "bes %d" i) r1;
+          expect_ok (Printf.sprintf "script %d" i) r2;
+          expect_ok (Printf.sprintf "ees %d" i) r3)
+    results;
+  check_int "every commit journaled" n (Metrics.counter m "journal_records");
+  let batches = Metrics.counter m "group_commits" in
+  check_bool
+    (Printf.sprintf "fsyncs batched (%d batches for %d commits)" batches n)
+    true
+    (batches >= 1 && batches < n);
+  Broker.close b;
+  let r2 = Journal.recover ~dir () in
+  check_int "all records durable" n r2.Journal.replayed;
+  let dump = dump_of r2.Journal.manager in
+  for i = 0 to n - 1 do
+    check_bool
+      (Printf.sprintf "schema S%d recovered" i)
+      true
+      (contains dump (Printf.sprintf "schema S%d" i))
+  done
+
 let test_daemon_rejects_garbage () =
   let port = ensure_daemon () in
   let c = open_conn port in
@@ -546,6 +692,15 @@ let suite =
           test_recovered_ids_do_not_collide;
         Alcotest.test_case "session delta nets out" `Quick
           test_session_delta_nets_out;
+      ] );
+    ( "server.concurrency",
+      [
+        Alcotest.test_case "bes woken on release" `Quick
+          test_bes_wakeup_and_acquire_waits;
+        Alcotest.test_case "readers see only committed states" `Quick
+          test_readers_observe_only_committed_states;
+        Alcotest.test_case "group commit batches and recovers" `Quick
+          test_group_commit_batches_and_recovers;
       ] );
     ( "server.daemon",
       [

@@ -58,6 +58,7 @@ let config ?(max_open = 8) dir =
     checkpoint_every = 1000;
     checkpoint_bytes = max_int;
     acquire_timeout = 0.05;
+    group_commit_ms = 0;
     log = ignore;
   }
 

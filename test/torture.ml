@@ -453,6 +453,7 @@ let e_registry root ~max_open =
         checkpoint_every = 1000;
         checkpoint_bytes = max_int;
         acquire_timeout = 0.1;
+        group_commit_ms = 0;
         log = ignore;
       }
   in
@@ -605,6 +606,203 @@ let scenario_e () =
   note "E: labeled fault degraded only db b; a and c unaffected"
 
 (* ------------------------------------------------------------------ *)
+(* Scenario F: the storage matrix and concurrent committers with       *)
+(* group commit on                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One self-contained commit: its own schema, so no commit depends on an
+   earlier one having survived. *)
+let f_frame i =
+  let s = Printf.sprintf "F%d" i in
+  ( Printf.sprintf
+      "schema %s is type T%s is [ x : int; ] end type %s; end schema %s;" s s
+      s s,
+    Printf.sprintf "schema %s" s )
+
+let scenario_f () =
+  (* Leg 1: the scenario-A storage matrix with the journal in grouped
+     mode.  Commits are sequential, so every batch carries one record and
+     the per-commit durability oracle (did the sequence number advance
+     while the commit ran?) stays exact; what changes is the code path —
+     enqueue, linger, leader flush, truncate-on-failure — and that the
+     append failpoints now fire once per batch. *)
+  let specs =
+    [
+      "journal.append.write=eio@nth:2";
+      "journal.append.write=partial:5@nth:3";
+      "journal.append.fsync=eio@nth:4";
+      "journal.append.fsync=enospc@nth:2";
+      "broker.commit=eio@nth:3";
+      "journal.checkpoint.snapshot=eio@nth:1";
+    ]
+  in
+  List.iter
+    (fun spec ->
+      Failpoint.clear ();
+      Failpoint.configure spec;
+      let site =
+        match Failpoint.parse_config spec with
+        | [ (s, _, _) ] -> s
+        | _ -> fail "F: spec %S is not a single item" spec
+      in
+      let dir = fresh_dir () in
+      let r = Journal.recover ~dir () in
+      let j = r.Journal.journal in
+      let metrics = Metrics.create () in
+      let b =
+        Broker.create ~journal:j ~checkpoint_every:3 ~group_commit_ms:5
+          ~acquire_timeout:0.1 ~metrics r.Journal.manager
+      in
+      let expected = ref [] in
+      for i = 0 to 7 do
+        let line, needle = f_frame i in
+        let before = Journal.seq j in
+        let outcome = try_commit b ~client:(i + 1) [ line ] in
+        let durable = Journal.seq j > before in
+        (match outcome with
+        | `Acked ->
+            check durable "F: [%s] commit %d acked without a durable record"
+              spec i
+        | `Failed _ | `Refused _ -> ());
+        expected := (i, needle, durable, outcome) :: !expected
+      done;
+      check (fired_of site > 0) "F: [%s] the failpoint never fired" spec;
+      check
+        (Broker.degraded b <> None)
+        "F: [%s] broker not degraded after a storage failure" spec;
+      Failpoint.clear ();
+      (* crash: recover the directory into a fresh manager *)
+      let r2 = Journal.recover ~dir () in
+      let d = dump_of r2.Journal.manager in
+      List.iter
+        (fun (i, needle, durable, outcome) ->
+          let visible = contains d needle in
+          let describe = function
+            | `Acked -> "acked"
+            | `Failed reason -> "failed: " ^ reason
+            | `Refused reason -> "refused: " ^ reason
+          in
+          if durable && not visible then
+            fail "F: [%s] commit %d (%s) lost after recovery" spec i
+              (describe outcome)
+          else if (not durable) && visible then
+            fail
+              "F: [%s] commit %d (%s) visible after recovery without a \
+               journal record"
+              spec i (describe outcome))
+        !expected;
+      Journal.close r2.Journal.journal;
+      note "F [%s]: %d/8 durable under group commit, invariants held" spec
+        (List.length (List.filter (fun (_, _, d, _) -> d) !expected)))
+    specs;
+  (* Leg 2: concurrent committers, no fault.  All must be acked, the
+     fsyncs must actually batch, and a kill -9 (the broker and its open
+     journal fd are simply abandoned) followed by recovery must replay
+     every record. *)
+  Failpoint.clear ();
+  let dir = fresh_dir () in
+  let r = Journal.recover ~dir () in
+  let metrics = Metrics.create () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~group_commit_ms:50
+      ~acquire_timeout:10.0 ~metrics r.Journal.manager
+  in
+  let n = 8 in
+  let outcomes = Array.make n (`Refused "never ran") in
+  let workers =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let line, _ = f_frame (10 + i) in
+            outcomes.(i) <- try_commit b ~client:(i + 1) [ line ])
+          ())
+  in
+  List.iter Thread.join workers;
+  Array.iteri
+    (fun i -> function
+      | `Acked -> ()
+      | `Failed reason | `Refused reason ->
+          fail "F: fault-free concurrent commit %d not acked: %s" i reason)
+    outcomes;
+  check
+    (Metrics.counter metrics "journal_records" = n)
+    "F: %d commits, %d journal records" n
+    (Metrics.counter metrics "journal_records");
+  let batches = Metrics.counter metrics "group_commits" in
+  check
+    (batches >= 1 && batches < n)
+    "F: fsyncs not batched (%d batches for %d commits)" batches n;
+  let r2 = Journal.recover ~dir () in
+  check
+    (r2.Journal.replayed = n)
+    "F: %d/%d records survive the kill" r2.Journal.replayed n;
+  let d = dump_of r2.Journal.manager in
+  for i = 0 to n - 1 do
+    let _, needle = f_frame (10 + i) in
+    check (contains d needle) "F: acked concurrent commit %d lost" i
+  done;
+  Journal.close r2.Journal.journal;
+  note "F: %d concurrent commits in %d fsync batches, all durable" n batches;
+  (* Leg 3: concurrent committers racing a mid-run batch fsync failure.
+     A failed batch is truncated back out of the file and every waiter it
+     covered gets the error, so after recovery: acked => visible,
+     anything else => invisible — with no per-commit oracle needed even
+     under concurrency, because the frames are self-contained. *)
+  Failpoint.clear ();
+  Failpoint.configure "journal.append.fsync=eio@nth:2";
+  let dir = fresh_dir () in
+  let r = Journal.recover ~dir () in
+  let metrics = Metrics.create () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~group_commit_ms:10
+      ~acquire_timeout:5.0 ~metrics r.Journal.manager
+  in
+  (* warm-up: a lone sequential commit consumes fsync #1, so the armed
+     nth:2 deterministically hits the concurrent batch below even if all
+     its records share one fsync *)
+  let warm_line, warm_needle = f_frame 99 in
+  (match try_commit b ~client:99 [ warm_line ] with
+  | `Acked -> ()
+  | `Failed reason | `Refused reason -> fail "F: warm-up commit: %s" reason);
+  let n = 6 in
+  let outcomes = Array.make n (`Refused "never ran") in
+  let workers =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let line, _ = f_frame (100 + i) in
+            outcomes.(i) <- try_commit b ~client:(i + 1) [ line ])
+          ())
+  in
+  List.iter Thread.join workers;
+  check (fired_of "journal.append.fsync" > 0) "F: fsync failpoint never fired";
+  check
+    (Broker.degraded b <> None)
+    "F: broker not degraded after a batch fsync failure";
+  Failpoint.clear ();
+  let r2 = Journal.recover ~dir () in
+  let d = dump_of r2.Journal.manager in
+  check (contains d warm_needle) "F: warm-up commit lost";
+  Array.iteri
+    (fun i outcome ->
+      let _, needle = f_frame (100 + i) in
+      let visible = contains d needle in
+      match outcome with
+      | `Acked ->
+          check visible "F: acked commit %d lost after the batch failure" i
+      | `Failed _ | `Refused _ ->
+          check (not visible)
+            "F: unacked commit %d visible after the batch failure" i)
+    outcomes;
+  Journal.close r2.Journal.journal;
+  let acked =
+    Array.fold_left (fun a o -> if o = `Acked then a + 1 else a) 0 outcomes
+  in
+  note "F: batch fsync fault: %d/%d acked, no acked loss, no unacked \
+        visibility"
+    acked n
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let seed = ref 1234 in
@@ -614,20 +812,21 @@ let () =
       ("--seed", Arg.Set_int seed, "N  seed for probabilistic failpoints");
       ( "--scenario",
         Arg.Set_string scenario,
-        "S  run one scenario (a|b|c|d|e) instead of all" );
+        "S  run one scenario (a|b|c|d|e|f) instead of all" );
     ]
     (fun a -> fail "unexpected argument %S" a)
-    "torture [--seed N] [--scenario a|b|c|d|e]";
+    "torture [--seed N] [--scenario a|b|c|d|e|f]";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   note "seed %d" !seed;
   let want s = !scenario = "all" || !scenario = s in
-  if not (List.mem !scenario [ "all"; "a"; "b"; "c"; "d"; "e" ]) then
+  if not (List.mem !scenario [ "all"; "a"; "b"; "c"; "d"; "e"; "f" ]) then
     fail "unknown scenario %S" !scenario;
   if want "a" then scenario_a ();
   if want "b" then scenario_b ~seed:!seed ();
   if want "c" then scenario_c ();
   if want "d" then scenario_d ();
   if want "e" then scenario_e ();
+  if want "f" then scenario_f ();
   note "all invariants held";
   exit 0
