@@ -763,6 +763,18 @@ let client_cmd =
              re-sent after a dropped connection; ees/script-line/rollback \
              never are.  0 (the default) fails fast.")
   in
+  let failover =
+    Arg.(
+      value
+      & opt (list ~sep:',' string) []
+      & info [ "failover" ] ~docv:"HOST:PORT,HOST:PORT"
+          ~doc:
+            "Additional endpoints to fail over to.  A connection failure, a \
+             lost connection, or a fenced/degraded/read-only refusal of a \
+             safely retriable request rotates to the next endpoint; when \
+             every endpoint has been exhausted the client prints one \
+             distinct error line and exits 3.")
+  in
   let db =
     Arg.(
       value & opt (some string) None
@@ -780,7 +792,7 @@ let client_cmd =
              prefix on the wire), and log it to stderr — the server's span \
              log lines for these requests carry the same id.")
   in
-  let run host port port_file retries db trace log_level requests =
+  let run host port port_file retries failover db trace log_level requests =
     setup_obs log_level;
     let port =
       match port_file with
@@ -792,8 +804,27 @@ let client_cmd =
               Printf.eprintf "bad port file %s\n" path;
               exit 2)
     in
+    let failover =
+      List.map
+        (fun ep ->
+          match String.rindex_opt ep ':' with
+          | Some i -> (
+              let h = String.sub ep 0 i in
+              let p = String.sub ep (i + 1) (String.length ep - i - 1) in
+              match int_of_string_opt p with
+              | Some p -> (h, p)
+              | None ->
+                  Printf.eprintf "bad failover endpoint %s\n" ep;
+                  exit 2)
+          | None ->
+              Printf.eprintf "bad failover endpoint %s (want HOST:PORT)\n" ep;
+              exit 2)
+        failover
+    in
     let trace = if trace then Some (Obs.Trace.new_id ()) else None in
-    match Server.Client.run ~retries ?db ?trace ~host ~port ~requests () with
+    match
+      Server.Client.run ~retries ~failover ?db ?trace ~host ~port ~requests ()
+    with
     | code -> code
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot connect to %s:%d: %s\n" host port
@@ -806,11 +837,13 @@ let client_cmd =
          "Send requests to a running gomsm serve.  Exit status: 0 on \
           success, 1 on a refused request or lost connection, 2 when the \
           server is unreachable, 3 when the server refused a verb because \
-          it is in degraded read-only mode.")
+          it is fenced or in degraded read-only mode, or when every \
+          failover endpoint was exhausted.")
     Term.(
-      const (fun h p pf r db tr ll rs -> Stdlib.exit (run h p pf r db tr ll rs))
-      $ host_arg $ port $ port_file $ retries $ db $ trace_flag $ log_level_arg
-      $ requests)
+      const (fun h p pf r fo db tr ll rs ->
+          Stdlib.exit (run h p pf r fo db tr ll rs))
+      $ host_arg $ port $ port_file $ retries $ failover $ db $ trace_flag
+      $ log_level_arg $ requests)
 
 let () =
   let doc = "flexible schema management in object bases (ICDE 1993)" in

@@ -105,10 +105,12 @@ let apply_record t ~seq ~text =
               failwith (Printf.sprintf "record %d did not apply cleanly" seq);
             (match Broker.journal t.broker with
             | Some j ->
-                Journal.append_raw j ~seq ~text;
+                Journal.append_raw j ~epoch:r.Journal.r_epoch ~seq ~text ();
                 maybe_checkpoint t j m
             | None -> ());
             t.last_applied <- seq));
+    if r.Journal.r_epoch > Broker.epoch t.broker then
+      Broker.note_feed_epoch t.broker ~epoch:r.Journal.r_epoch;
     Metrics.observe t.metrics "latency.replica_apply"
       (Unix.gettimeofday () -. t0);
     Metrics.incr t.metrics "replica_records_applied"
@@ -151,11 +153,80 @@ let check_digest t ~seq ~primary_digest =
              seq primary_digest mine)
     | Some _ | None -> ()
 
+(* The primary acked our subscription from a position *below* ours: we
+   hold records it never acknowledged — the divergent tail of a demoted
+   primary resyncing against the promoted node.  Seal at the primary's
+   position: move the divergent suffix into journal.orphaned (never
+   silently drop it), rebuild the manager from what is left on disk, and
+   let the caller resubscribe from the seal. *)
+let resync_to_seal t ~seal =
+  Obs.Trace.with_span "replica.resync" ~kvs:[ ("seal", string_of_int seal) ]
+  @@ fun () ->
+  let sealed =
+    Broker.exclusively t.broker (fun () ->
+        match Broker.journal t.broker with
+        | None -> None
+        | Some j ->
+            (* never seal below the snapshot base: records before it are
+               gone already, so orphan everything we still hold past it *)
+            let cut = max seal (Journal.base j) in
+            let n = Journal.orphan_suffix j ~seal:cut in
+            if n > 0 then Metrics.incr ~by:n t.metrics "orphaned_records";
+            if cut = seal then begin
+              let m = Journal.reload ~check_mode:Manager.Maintained j in
+              Broker.replace_manager t.broker m;
+              t.last_applied <- Journal.seq j;
+              Some n
+            end
+            else
+              (* even our snapshot base is past the primary: what could be
+                 orphaned is orphaned, the rest starts from scratch *)
+              None)
+  in
+  match sealed with
+  | Some n ->
+      Obs.Log.warnf ~comp:"replica"
+        "diverged from primary: %d record(s) past seq %d moved to the \
+         orphan file"
+        n seal;
+      Metrics.incr t.metrics "replica_resyncs";
+      t.primary_seq <- seal;
+      gauges t
+  | None -> reset t
+
+(* The subscribe ack's body: "feed from <from> at <seq>", then — from an
+   epoch-aware primary — "epoch <e>". *)
+let on_connected t body =
+  let at = ref None and ep = ref 0 in
+  List.iter
+    (fun line ->
+      match
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      with
+      | [ "feed"; "from"; _; "at"; a ] -> at := int_of_string_opt a
+      | [ "epoch"; e ] -> (
+          match int_of_string_opt e with Some e -> ep := e | None -> ())
+      | _ -> ())
+    body;
+  if !ep > Broker.epoch t.broker then Broker.note_feed_epoch t.broker ~epoch:!ep;
+  match !at with
+  | Some at when at < t.last_applied ->
+      resync_to_seal t ~seal:at;
+      failwith
+        (Printf.sprintf
+           "position was past the primary's seq %d; sealed, resubscribing \
+            from %d"
+           at t.last_applied)
+  | Some at -> note_primary t at
+  | None -> ()
+
 let handle t (ev : Stream.event) : unit =
   match ev with
   | Stream.Snapshot (seq, text) -> install_snapshot t ~seq ~text
   | Stream.Record (seq, text) -> apply_record t ~seq ~text
-  | Stream.Ping (seq, digest) -> (
+  | Stream.Ping (seq, epoch, digest) -> (
+      if epoch > Broker.epoch t.broker then
+        Broker.note_feed_epoch t.broker ~epoch;
       note_primary t seq;
       match digest with
       | Some primary_digest -> check_digest t ~seq ~primary_digest

@@ -45,7 +45,12 @@ let default_config =
     admin_port_file = None;
   }
 
-type t = { broker : Broker.t; applier : Applier.t }
+type t = {
+  broker : Broker.t;
+  applier : Applier.t;
+  ctl : Stream.control;  (* stops the feed thread (promotion, shutdown) *)
+  feed : Thread.t;
+}
 
 let broker t = t.broker
 let applier t = t.applier
@@ -86,19 +91,32 @@ let make config : t =
   Obs.Log.infof ~comp:"replica"
     ~kvs:[ ("trace", feed_trace); ("db", config.db) ]
     "replication feed starting";
-  ignore
-    (Thread.create
-       (fun () ->
-         Obs.Trace.with_context feed_trace (fun () ->
-             Stream.run ~host:config.primary_host ~port:config.primary_port
-               ~db:config.db
-               ~position:(fun () -> Applier.position applier)
-               ~handle:(Applier.handle applier)
-               ~on_status:(fun s -> Obs.Log.warnf ~comp:"replica" "%s" s)
-               ~on_retry:(fun () -> Metrics.incr metrics "replica_reconnects")
-               ()))
-       ());
-  { broker; applier }
+  let ctl = Stream.control () in
+  let feed =
+    Thread.create
+      (fun () ->
+        Obs.Trace.with_context feed_trace (fun () ->
+            Stream.run ~ctl ~host:config.primary_host
+              ~port:config.primary_port ~db:config.db
+              ~position:(fun () -> Applier.position applier)
+              ~epoch:(fun () -> Broker.epoch broker)
+              ~on_connected:(Applier.on_connected applier)
+              ~handle:(Applier.handle applier)
+              ~on_status:(fun s -> Obs.Log.warnf ~comp:"replica" "%s" s)
+              ~on_retry:(fun () -> Metrics.incr metrics "replica_reconnects")
+              ()))
+      ()
+  in
+  { broker; applier; ctl; feed }
+
+(* Promotion: drain the subscription (stop the feed thread and join it, so
+   no record is mid-apply), then flip the broker into the writer at
+   [epoch + 1].  The returned pair is [(new epoch, seal seq)]. *)
+let promote t : (int * int, string) result =
+  Obs.Trace.with_span "replica.promote" @@ fun () ->
+  Stream.stop t.ctl;
+  Thread.join t.feed;
+  Broker.promote t.broker
 
 let daemon_config config =
   {
@@ -111,8 +129,27 @@ let daemon_config config =
   }
 
 (* The replica's own listener hosts exactly the mirrored database, under
-   the same name the primary serves it as. *)
-let daemon_router config t = Daemon.broker_router ~name:config.db t.broker
+   the same name the primary serves it as.  The [promote] verb is
+   intercepted here — the broker alone cannot drain the feed thread. *)
+let daemon_router config t =
+  let r = Daemon.broker_router ~name:config.db t.broker in
+  {
+    r with
+    Daemon.with_db =
+      (fun name ~client req ->
+        match req with
+        | Server.Protocol.Promote -> (
+            match promote t with
+            | Ok (epoch, seq) ->
+                Server.Protocol.ok
+                  [
+                    Printf.sprintf
+                      "promoted to epoch %d at seq %d; now accepting writes."
+                      epoch seq;
+                  ]
+            | Error reason -> Server.Protocol.err reason)
+        | _ -> r.Daemon.with_db name ~client req);
+  }
 
 (* Non-blocking: spawn the feed and the listener, return the handles (for
    tests and benches). *)

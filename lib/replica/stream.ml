@@ -11,7 +11,9 @@ let fp_stream_read = Failpoint.define "replica.stream.read"
 type event =
   | Snapshot of int * string  (* whole-state bootstrap covering seq *)
   | Record of int * string  (* one raw journal record *)
-  | Ping of int * string option  (* primary's position (and state digest) *)
+  | Ping of int * int * string option
+      (* primary's position, promotion epoch (0 from a pre-epoch primary)
+         and state digest *)
   | Feed_error of string  (* the feed cannot continue *)
 
 (* Frame bodies are journal/snapshot text shipped line-by-line; the
@@ -37,28 +39,74 @@ let parse_frame (header, body) : event option =
       | Some n -> Some (Snapshot (n, text_of_body body))
       | None -> None)
   | "ping" -> (
-      (* "ping <seq>" or "ping <seq> <digest>" *)
+      (* "ping <seq> epoch <e> [digest]", or the pre-epoch forms
+         "ping <seq> [digest]" *)
+      let ping n e digest =
+        match (int_of_string_opt n, int_of_string_opt e) with
+        | Some n, Some e -> Some (Ping (n, e, digest))
+        | _ -> None
+      in
       match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
-      | [ n ] -> (
-          match int_of_string_opt n with
-          | Some n -> Some (Ping (n, None))
-          | None -> None)
-      | [ n; digest ] -> (
-          match int_of_string_opt n with
-          | Some n -> Some (Ping (n, Some digest))
-          | None -> None)
+      | [ n ] -> ping n "0" None
+      | [ n; "epoch"; e ] -> ping n e None
+      | [ n; "epoch"; e; digest ] -> ping n e (Some digest)
+      | [ n; digest ] -> ping n "0" (Some digest)
       | _ -> None)
   | "error" -> Some (Feed_error rest)
   | _ -> None (* unknown frame kinds are skipped, for forward compatibility *)
 
 exception Retry of string
 
+exception Stopped
+
+(* A handle the owning daemon uses to stop the feed thread: [stop] flips
+   the flag and shuts down whatever socket the pump currently blocks on,
+   so the thread notices within one frame read.  Promotion needs this —
+   the feed must be fully drained before the broker flips to writer. *)
+type control = {
+  mu : Mutex.t;
+  mutable stopped : bool;
+  mutable live : Unix.file_descr option;
+}
+
+let control () = { mu = Mutex.create (); stopped = false; live = None }
+
+let is_stopped c =
+  Mutex.lock c.mu;
+  let s = c.stopped in
+  Mutex.unlock c.mu;
+  s
+
+let stop c =
+  Mutex.lock c.mu;
+  c.stopped <- true;
+  (match c.live with
+  | Some sock -> (
+      try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ());
+  Mutex.unlock c.mu
+
 (* One connection's lifetime: subscribe, then pump frames until the socket
-   dies or a handler rejects a frame.  Raises [Retry] with the reason. *)
-let pump ~host ~port ~db ~position ~on_connected ~handle =
+   dies or a handler rejects a frame.  Raises [Retry] with the reason,
+   [Stopped] when the control handle was fired.  [on_connected] receives
+   the subscribe ack's body (the primary's position and epoch). *)
+let pump ?(ctl = control ()) ~host ~port ~db ~position ~epoch ~on_connected
+    ~handle () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Mutex.lock ctl.mu;
+  let stopped = ctl.stopped in
+  if not stopped then ctl.live <- Some sock;
+  Mutex.unlock ctl.mu;
+  if stopped then begin
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise Stopped
+  end;
   Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      Mutex.lock ctl.mu;
+      ctl.live <- None;
+      Mutex.unlock ctl.mu;
+      try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
        with Unix.Unix_error (e, _, _) ->
@@ -67,6 +115,7 @@ let pump ~host ~port ~db ~position ~on_connected ~handle =
       let oc = Unix.out_channel_of_descr sock in
       let wrap f =
         try f () with
+        | _ when is_stopped ctl -> raise Stopped
         | End_of_file -> raise (Retry "primary closed the feed")
         | Sys_error e -> raise (Retry ("connection error: " ^ e))
         | Unix.Unix_error (e, _, _) ->
@@ -75,7 +124,8 @@ let pump ~host ~port ~db ~position ~on_connected ~handle =
       in
       wrap (fun () ->
           let line =
-            Protocol.request_line (Protocol.Subscribe (position (), db))
+            Protocol.request_line
+              (Protocol.Subscribe (position (), db, epoch ()))
           in
           (* carry the replica's trace id to the primary, so the feed's
              server-side log lines correlate with this replica's *)
@@ -88,7 +138,7 @@ let pump ~host ~port ~db ~position ~on_connected ~handle =
           output_char oc '\n';
           flush oc);
       (match wrap (fun () -> Protocol.read_response ic) with
-      | { Protocol.status = Protocol.Ok; _ } -> on_connected ()
+      | { Protocol.status = Protocol.Ok; body } -> on_connected body
       | { Protocol.status = Protocol.Err reason; _ } ->
           raise (Retry ("subscribe refused: " ^ reason)));
       let rec loop () =
@@ -100,6 +150,7 @@ let pump ~host ~port ~db ~position ~on_connected ~handle =
         (match parse_frame frame with
         | Some ev -> handle ev
         | None -> ());
+        if is_stopped ctl then raise Stopped;
         loop ()
       in
       loop ())
@@ -115,36 +166,57 @@ let jittered_delay ~min_backoff ~max_backoff ~attempt rand =
   in
   d *. (0.75 +. (0.5 *. rand))
 
-(* Run the feed forever.  [position] is consulted at every (re)connect, so
-   records applied on the previous connection are not re-shipped; [handle]
-   may raise to force a reconnect (e.g. on a sequence gap).  Reconnect
-   delays follow {!jittered_delay} (deterministic from [seed]) and the
-   attempt counter resets after a connection that managed to subscribe;
-   [on_retry] is called once per reconnect attempt — the replica's
-   [reconnects] counter. *)
+(* Run the feed until the control handle (if any) is stopped.  [position]
+   and [epoch] are consulted at every (re)connect, so records applied on
+   the previous connection are not re-shipped and the subscribe line
+   carries the replica's current promotion epoch; [handle] may raise to
+   force a reconnect (e.g. on a sequence gap); [on_connected] receives
+   each subscribe ack's body.  Reconnect delays follow {!jittered_delay}
+   (deterministic from [seed]) and the attempt counter resets on the first
+   successfully {e applied} record of a connection — not on the connect
+   itself, so a primary that accepts subscriptions but whose every record
+   fails to apply still backs off exponentially; [on_retry] is called once
+   per reconnect attempt — the replica's [reconnects] counter. *)
 let run ?(min_backoff = 0.1) ?(max_backoff = 5.0) ?(seed = 1)
-    ?(on_status = fun _ -> ()) ?(on_retry = fun () -> ()) ?db ~host ~port
-    ~position ~handle () : unit =
+    ?(on_status = fun _ -> ()) ?(on_retry = fun () -> ())
+    ?(on_connected = fun _ -> ()) ?(epoch = fun () -> 0) ?(ctl = control ())
+    ?db ~host ~port ~position ~handle () : unit =
   let rng = Random.State.make [| seed; 0x5eed |] in
   let attempt = ref 0 in
-  while true do
+  let handle ev =
+    handle ev;
+    (* only reached when the handler accepted the event *)
+    match ev with Record _ | Snapshot _ -> attempt := 0 | _ -> ()
+  in
+  (* sleep in small slices so a [stop] during backoff is noticed fast *)
+  let rec interruptible_sleep d =
+    if d > 0. && not (is_stopped ctl) then begin
+      let step = Float.min d 0.05 in
+      Thread.delay step;
+      interruptible_sleep (d -. step)
+    end
+  in
+  let running = ref true in
+  while !running && not (is_stopped ctl) do
     let reason =
       (* [pump] only ever returns by raising *)
-      try
-        pump ~host ~port ~db ~position
-          ~on_connected:(fun () -> attempt := 0)
-          ~handle
+      try pump ~ctl ~host ~port ~db ~position ~epoch ~on_connected ~handle ()
       with
+      | Stopped ->
+          running := false;
+          "stopped"
       | Retry reason -> Printf.sprintf "feed lost (%s)" reason
       | e -> Printf.sprintf "applier failed (%s)" (Printexc.to_string e)
     in
-    let d =
-      jittered_delay ~min_backoff ~max_backoff ~attempt:!attempt
-        (Random.State.float rng 1.0)
-    in
-    on_status (Printf.sprintf "%s; retrying in %.2fs" reason d);
-    on_retry ();
-    Thread.delay d;
-    (* 2^16 is far past any realistic cap: stop growing the exponent *)
-    attempt := min (!attempt + 1) 16
+    if !running && not (is_stopped ctl) then begin
+      let d =
+        jittered_delay ~min_backoff ~max_backoff ~attempt:!attempt
+          (Random.State.float rng 1.0)
+      in
+      on_status (Printf.sprintf "%s; retrying in %.2fs" reason d);
+      on_retry ();
+      interruptible_sleep d;
+      (* 2^16 is far past any realistic cap: stop growing the exponent *)
+      attempt := min (!attempt + 1) 16
+    end
   done

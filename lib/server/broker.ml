@@ -62,8 +62,12 @@ type t = {
   checkpoint_bytes : int;
   acquire_timeout : float;
   group_commit_ms : int;
-  read_only : string option;  (* primary address to redirect writers to *)
+  (* primary address to redirect writers to; cleared by a promotion *)
+  mutable read_only : string option;
   mutable degraded : string option;  (* read-only after a storage failure *)
+  mutable epoch : int;  (* promotion epoch (mirrors the journal's) *)
+  (* a peer with a higher epoch exists: permanently refuse mutators *)
+  mutable fenced : string option;
   mutable digest_cache : (int * string) option;  (* seq -> state digest *)
   subscribers : (int, int ref) Hashtbl.t;  (* feed client -> last sent seq *)
   fp_commit : Failpoint.site option;  (* tenant-labeled broker.commit *)
@@ -108,6 +112,18 @@ let create ?journal ?(checkpoint_every = 64)
     group_commit_ms;
     read_only;
     degraded = None;
+    epoch = (match journal with Some j -> Journal.epoch j | None -> 0);
+    fenced =
+      (match journal with
+      | Some j when Journal.fenced j && read_only = None ->
+          (* the journal remembers the fence across restarts: a stale
+             ex-primary must not boot back into accepting writes.  A node
+             restarted explicitly as a replica has taken its demotion —
+             the plain replica role covers it. *)
+          Some
+            (Printf.sprintf "superseded by a primary at epoch %d"
+               (Journal.epoch j))
+      | _ -> None);
     digest_cache = None;
     subscribers = Hashtbl.create 4;
     fp_commit =
@@ -138,6 +154,12 @@ let exclusively = with_write
 let replace_manager t m = t.manager <- m
 let writer t = with_lock t (fun () -> t.writer)
 let degraded t = t.degraded
+let epoch t = t.epoch
+let fenced t = t.fenced
+
+let role t =
+  if t.fenced <> None then "fenced"
+  else match t.read_only with Some _ -> "replica" | None -> "primary"
 
 (* ------------------------------------------------------------------ *)
 (* Writer slot (the BES..EES exclusivity)                              *)
@@ -189,7 +211,8 @@ let digest_of_manager m =
    position and the digest would trip false divergence alarms. *)
 let state_digest_rd t =
   let blocked =
-    with_lock t (fun () -> t.writer <> None || t.degraded <> None)
+    with_lock t (fun () ->
+        t.writer <> None || t.degraded <> None || t.fenced <> None)
     || Manager.in_session t.manager
     || (match t.journal with Some j -> Journal.in_flight j | None -> false)
   in
@@ -218,6 +241,90 @@ let enter_degraded t reason =
         Metrics.set t.metrics "degraded" 1;
         Metrics.incr t.metrics "degraded_entries"
       end)
+
+(* ------------------------------------------------------------------ *)
+(* Epochs: fencing and promotion                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A peer with epoch [epoch] (above ours) exists — observed on a
+   subscriber's higher epoch, or delivered by the [fence] admin verb.
+   Permanently stop accepting mutators; the fence is journaled (marker +
+   header), so it survives a restart.  One-way like degraded mode: the
+   only way forward for this node is a restart as a replica of the new
+   primary. *)
+let fence t ~epoch ~source =
+  Obs.Trace.with_span "broker.fence"
+    ~kvs:[ ("epoch", string_of_int epoch); ("source", source) ]
+  @@ fun () ->
+  with_write t (fun () ->
+      if epoch <= t.epoch then
+        Error
+          (Printf.sprintf "stale epoch %d: this node is already at epoch %d"
+             epoch t.epoch)
+      else begin
+        (match t.journal with
+        | Some j -> Journal.advance_epoch j ~epoch ~fenced:true
+        | None -> ());
+        t.epoch <- epoch;
+        let reason =
+          Printf.sprintf "superseded by a primary at epoch %d (%s)" epoch
+            source
+        in
+        with_lock t (fun () ->
+            t.fenced <- Some reason;
+            t.digest_cache <- None);
+        Metrics.incr t.metrics "fencings";
+        Metrics.set t.metrics "epoch" t.epoch;
+        Obs.Log.warnf ~comp:"broker"
+          ~kvs:[ ("epoch", string_of_int epoch); ("source", source) ]
+          "fenced: refusing all further writes";
+        Ok ()
+      end)
+
+(* Flip a read-only replica broker into the writer for its data dir: the
+   replica daemon calls this once its subscription is drained.  The epoch
+   bump is journaled first (marker + record stamps from here on), so a
+   crash right after promotion still recovers as a primary at the new
+   epoch. *)
+let promote t =
+  with_write t (fun () ->
+      match t.read_only with
+      | None -> Error "already a primary; promote is for replicas"
+      | Some _ ->
+          if t.fenced <> None then Error "this node is fenced; cannot promote"
+          else begin
+            let epoch = t.epoch + 1 in
+            (match t.journal with
+            | Some j -> Journal.advance_epoch j ~epoch ~fenced:false
+            | None -> ());
+            t.epoch <- epoch;
+            t.read_only <- None;
+            Metrics.incr t.metrics "promotions";
+            Metrics.set t.metrics "epoch" t.epoch;
+            let seq =
+              match t.journal with Some j -> Journal.seq j | None -> 0
+            in
+            Obs.Log.infof ~comp:"broker"
+              ~kvs:
+                [ ("epoch", string_of_int epoch); ("seq", string_of_int seq) ]
+              "promoted: accepting writes";
+            Ok (epoch, seq)
+          end)
+
+(* Adopt a higher epoch observed on the feed this broker is replicating
+   from (ack, ping or record stamp): not a fence — the primary we follow
+   is legitimately ahead after a promotion.  Only the replica's single
+   feed thread calls this (no locking: the epoch is a monotonic int and
+   nothing else writes it on a replica). *)
+let note_feed_epoch t ~epoch =
+  if epoch > t.epoch then begin
+    (match t.journal with
+    | Some j when Journal.epoch j < epoch ->
+        Journal.advance_epoch j ~epoch ~fenced:false
+    | _ -> ());
+    t.epoch <- epoch;
+    Metrics.set t.metrics "epoch" t.epoch
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The read-side response cache                                        *)
@@ -333,6 +440,23 @@ let violation_lines reports =
 let journal_failure t e =
   Metrics.incr t.metrics "journal_errors";
   match e with
+  | Journal.Fenced { record_epoch; journal_epoch } ->
+      (* the append-side gate caught a commit racing a fence: nothing was
+         written — report the refusal in the same shape as the protocol-
+         side fence so clients fail over identically *)
+      with_lock t (fun () ->
+          if t.fenced = None then
+            t.fenced <-
+              Some
+                (Printf.sprintf "superseded by a primary at epoch %d"
+                   journal_epoch));
+      Metrics.incr t.metrics "fenced_refusals";
+      err
+        (Printf.sprintf
+           "fenced: this node (epoch %d) was superseded by a primary at \
+            epoch %d; the commit was not written — retry against the \
+            promoted node"
+           record_epoch journal_epoch)
   | Unix.Unix_error ((Unix.EIO | Unix.ENOSPC) as ec, _, _) ->
       (* the disk is failing under us: the in-memory commit can no longer
          be made durable, so stop accepting writes — readers keep
@@ -376,7 +500,8 @@ let do_ees t ~client =
                     | Some fp -> Failpoint.hit fp
                     | None -> ());
                     let seq =
-                      Journal.append j ~ids:(Manager.ids t.manager) ~code delta
+                      Journal.append j ~epoch:t.epoch
+                        ~ids:(Manager.ids t.manager) ~code delta
                     in
                     Metrics.incr t.metrics "journal_records";
                     (* snapshot on either cap: a count of sessions, or the
@@ -512,25 +637,28 @@ let do_dump t =
       ok lines)
 
 let do_health t =
-  let role = match t.read_only with Some _ -> "replica" | None -> "primary" in
-  let degraded, seq, digest =
+  let role = role t in
+  let degraded, fenced, seq, digest =
     with_read t (fun () ->
         ( t.degraded,
+          t.fenced,
           (match t.journal with Some j -> Journal.seq j | None -> 0),
           state_digest_rd t ))
   in
   let status_lines =
-    match degraded with
-    | None -> [ "status ok" ]
-    | Some reason -> [ "status degraded"; "reason " ^ reason ]
+    match (fenced, degraded) with
+    | Some reason, _ -> [ "status fenced"; "reason " ^ reason ]
+    | None, Some reason -> [ "status degraded"; "reason " ^ reason ]
+    | None, None -> [ "status ok" ]
   in
   ok
     (("role " ^ role) :: status_lines
-    @ [ Printf.sprintf "seq %d" seq ]
+    @ [ Printf.sprintf "epoch %d" t.epoch; Printf.sprintf "seq %d" seq ]
     @ (match digest with None -> [] | Some d -> [ "digest " ^ d ]))
 
 let do_stats t =
   Metrics.set t.metrics "degraded" (if t.degraded = None then 0 else 1);
+  Metrics.set t.metrics "epoch" t.epoch;
   Metrics.set t.metrics "group_commit_ms" t.group_commit_ms;
   (* refresh the replication gauges so lag is visible exactly when asked *)
   (match t.journal with
@@ -568,6 +696,9 @@ let do_stats t =
 let journal_metrics ?(labels = []) t : Obs.Export.metric list =
   Obs.Export.Gauge
     ("gomsm_degraded", labels, if degraded t = None then 0. else 1.)
+  :: Obs.Export.Gauge ("gomsm_epoch", labels, float_of_int t.epoch)
+  :: Obs.Export.Gauge
+       ("gomsm_fenced", labels, if t.fenced = None then 0. else 1.)
   ::
   (match t.journal with
   | None -> []
@@ -581,12 +712,14 @@ let journal_metrics ?(labels = []) t : Obs.Export.metric list =
           ("gomsm_journal_bytes", labels, float_of_int (Journal.bytes j));
       ])
 
-(* The stats verb snapshots a "degraded" gauge into the metrics registry;
-   journal_metrics reports the same fact live.  Drop the snapshot so the
-   scrape never carries the series twice. *)
+(* The stats verb snapshots "degraded"/"epoch" gauges into the metrics
+   registry; journal_metrics reports the same facts live.  Drop the
+   snapshots so the scrape never carries a series twice. *)
 let drop_degraded ms =
   List.filter
-    (function Obs.Export.Gauge ("gomsm_degraded", _, _) -> false | _ -> true)
+    (function
+      | Obs.Export.Gauge (("gomsm_degraded" | "gomsm_epoch"), _, _) -> false
+      | _ -> true)
     ms
 
 let export ?labels t =
@@ -607,14 +740,32 @@ let ping_interval = 2.0
    until their fsync completes ([Journal.seq] only advances then), so a
    feed can never ship an unacknowledged record.  Returns when the
    subscriber goes away or the feed cannot continue. *)
-let feed t ~client ~from oc =
+let feed t ~client ~from ?(sub_epoch = 0) oc =
   match t.journal with
   | None ->
       Protocol.write_response oc
         (err "replication requires a journaled server (start with --data)")
+  | Some _ when sub_epoch > t.epoch ->
+      (* the subscriber has lived through a promotion we have not: we are
+         the stale side of a split brain.  Fence ourselves before
+         refusing, so no mutator sneaks in afterwards either. *)
+      (match
+         fence t ~epoch:sub_epoch
+           ~source:(Printf.sprintf "subscriber client %d" client)
+       with
+      | Ok () | Error _ -> ());
+      Protocol.write_response oc
+        (err
+           (Printf.sprintf
+              "fenced: subscriber epoch %d is above this node's epoch %d"
+              sub_epoch t.epoch))
   | Some j ->
       Protocol.write_response oc
-        (ok [ Printf.sprintf "feed from %d at %d" from (Journal.seq j) ]);
+        (ok
+           [
+             Printf.sprintf "feed from %d at %d" from (Journal.seq j);
+             Printf.sprintf "epoch %d" t.epoch;
+           ]);
       Metrics.incr t.metrics "feed_subscriptions";
       let sent = ref from in
       with_lock t (fun () -> Hashtbl.replace t.subscribers client sent);
@@ -671,8 +822,8 @@ let feed t ~client ~from oc =
             if Unix.gettimeofday () -. !last_ping >= ping_interval then
               frame
                 (match digest with
-                | Some d -> Printf.sprintf "ping %d %s" seq d
-                | None -> Printf.sprintf "ping %d" seq)
+                | Some d -> Printf.sprintf "ping %d epoch %d %s" seq t.epoch d
+                | None -> Printf.sprintf "ping %d epoch %d" seq t.epoch)
                 []
             else Thread.delay 0.02;
             loop ()
@@ -687,6 +838,17 @@ let read_only_verbs = function
 let handle t ~client (req : Protocol.request) : Protocol.response =
   Metrics.incr t.metrics "requests_total";
   try
+    match t.fenced with
+    | Some reason when read_only_verbs req ->
+        (* fenced outranks every other refusal: the reason line must start
+           with "fenced" so clients fail over to the promoted node *)
+        Metrics.incr t.metrics "fenced_refusals";
+        err
+          (Printf.sprintf
+             "fenced: %s; reads still served, writes go to the promoted \
+              primary"
+             reason)
+    | _ -> (
     match t.degraded with
     | Some reason when read_only_verbs req ->
         Metrics.incr t.metrics "degraded_refusals";
@@ -714,6 +876,16 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
         | Protocol.Dump -> do_dump t
         | Protocol.Stats -> do_stats t
         | Protocol.Health -> do_health t
+        | Protocol.Fence e -> (
+            match fence t ~epoch:e ~source:(Printf.sprintf "fence verb from client %d" client) with
+            | Ok () ->
+                ok [ Printf.sprintf "fenced at epoch %d; writes refused." e ]
+            | Error reason -> err reason)
+        | Protocol.Promote ->
+            (* the replica daemon intercepts promote (it must stop its
+               feed thread first); a bare primary broker has nothing to
+               promote *)
+            err "promote is only available on a replica daemon"
         | Protocol.Subscribe _ ->
             (* the daemon turns the connection into a feed before it gets
                here; anything else cannot stream *)
@@ -723,7 +895,7 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
             (* the daemon routes these to its registry before they get
                here; a bare broker hosts exactly one database *)
             err "database management needs a multi-database daemon"
-        | Protocol.Quit -> ok [ "bye." ]))
+        | Protocol.Quit -> ok [ "bye." ])))
   with e ->
     Metrics.incr t.metrics "internal_errors";
     err ("internal error: " ^ Printexc.to_string e)

@@ -24,7 +24,15 @@
     broker enters {e degraded read-only mode}: every writer verb is
     refused (reads keep working), the [degraded] metrics gauge goes to 1,
     and the [health] verb reports the reason.  The mode is one-way —
-    restarting the server re-runs recovery and clears it. *)
+    restarting the server re-runs recovery and clears it.
+
+    Each broker also carries a {e promotion epoch} (mirroring its
+    journal's).  {!promote} flips a replica broker into the writer at
+    [epoch + 1]; {!fence} permanently refuses mutators once a peer with a
+    higher epoch is known to exist (observed on a subscriber's epoch, or
+    delivered by the [fence] admin verb).  Fencing is enforced twice: at
+    the protocol layer here, and inside {!Journal.append} — so a commit
+    racing the fence still cannot write forked bytes. *)
 
 type t
 
@@ -61,12 +69,16 @@ val handle : t -> client:int -> Protocol.request -> Protocol.response
     connection itself is the caller's to close.  [Subscribe] is not served
     here — the daemon hands the connection to {!feed} instead. *)
 
-val feed : t -> client:int -> from:int -> out_channel -> unit
+val feed : t -> client:int -> from:int -> ?sub_epoch:int -> out_channel -> unit
 (** Turn the connection into a replication feed for a subscriber whose last
-    applied record is [from]: acknowledge, then stream frames forever — a
-    snapshot bootstrap if [from] predates the last checkpoint, raw journal
-    records as they commit, pings while idle.  Returns when the subscriber
-    disconnects (or on a journal-less broker, after refusing). *)
+    applied record is [from]: acknowledge (the ack body carries this node's
+    epoch), then stream frames forever — a snapshot bootstrap if [from]
+    predates the last checkpoint, raw journal records as they commit, pings
+    (carrying the epoch) while idle.  Returns when the subscriber
+    disconnects (or on a journal-less broker, after refusing).
+    [sub_epoch] is the subscriber's promotion epoch: one above this node's
+    means we are the stale side of a split brain — the broker fences
+    itself and refuses the subscription. *)
 
 val disconnect : t -> client:int -> unit
 (** The client went away: roll back its open session, if any. *)
@@ -109,6 +121,35 @@ val writer : t -> int option
 
 val degraded : t -> string option
 (** The reason the broker is in degraded read-only mode, if it is. *)
+
+(** {2 Epochs, fencing, promotion} *)
+
+val epoch : t -> int
+(** The promotion epoch this broker writes (or follows) at. *)
+
+val fenced : t -> string option
+(** The reason this broker is fenced, if it is. *)
+
+val role : t -> string
+(** ["primary"], ["replica"] or ["fenced"] — as reported by [health]. *)
+
+val fence : t -> epoch:int -> source:string -> (unit, string) result
+(** A peer with [epoch] exists: if it is above this broker's epoch,
+    durably record the fence (journal marker + header) and permanently
+    refuse mutators with reason starting ["fenced"]; [Error] with the
+    refusal text when [epoch] is not above the current one.  [source]
+    is recorded in the reason and the log line. *)
+
+val promote : t -> (int * int, string) result
+(** Flip a replica broker into the writer for its data directory at
+    [epoch + 1] (durably journaled first): returns [(new epoch, seal
+    seq)].  [Error] on a broker that is already a primary or is fenced.
+    Callers (the replica daemon) must have stopped the feed thread. *)
+
+val note_feed_epoch : t -> epoch:int -> unit
+(** Adopt a higher epoch observed on the feed this broker replicates from
+    (subscribe ack, ping, or record stamp); no-op otherwise.  Call only
+    from the replica's feed thread. *)
 
 val state_digest : t -> string option
 (** CRC-32 (eight hex digits) over the sorted encoded base facts: the

@@ -10,7 +10,16 @@
    [ees]/[script-line]/[rollback] never do — a lost reply leaves their
    outcome unknown, and re-running them could double-apply.  An [err]
    reply whose reason starts with "timeout" (the bes acquire timeout) is
-   transient by construction and is also retried. *)
+   transient by construction and is also retried.
+
+   Failover ([~failover], a list of further HOST:PORT endpoints): a
+   connection failure, a lost connection, or an [err fenced] / degraded /
+   read-only-replica refusal of a safely retriable verb rotates to the
+   next endpoint — the connection (and any [use] scoping) is
+   re-established there, and later requests follow it.  A fenced refusal
+   and a connect failure are treated the same way; when every endpoint
+   has been tried and refused, the client prints one distinct "all
+   endpoints exhausted" line on stderr and exits 3. *)
 
 let connect ~host ~port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -36,44 +45,72 @@ let safe_to_retry line =
       true
   | Ok
       ( Protocol.Ees | Protocol.Rollback | Protocol.Script_line _
-      | Protocol.Db_create _ | Protocol.Db_drop _ | Protocol.Subscribe _ ) ->
+      | Protocol.Db_create _ | Protocol.Db_drop _ | Protocol.Subscribe _
+      | Protocol.Promote | Protocol.Fence _ ) ->
       (* create/drop are not idempotent: a lost reply followed by a re-send
          would report "already exists"/"unknown" for a request that in fact
-         took effect *)
+         took effect; promote/fence change the cluster's shape and must be
+         aimed at exactly one node, once *)
       false
   | Error _ -> false
 
 let transient_err reason =
   String.length reason >= 7 && String.sub reason 0 7 = "timeout"
 
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
 (* A degraded-mode refusal (the broker stopped accepting writes after a
    storage failure) deserves a distinct exit code: the request was fine,
    the server needs operator attention.  The refusal reason always starts
    with "degraded read-only mode". *)
-let degraded_refusal reason =
-  let p = "degraded read-only mode" in
-  String.length reason >= String.length p
-  && String.sub reason 0 (String.length p) = p
+let degraded_refusal reason = starts_with "degraded read-only mode" reason
+
+(* A fenced refusal: this node was superseded by a promoted replica and
+   will never accept writes again.  Same exit code as degraded (3 — the
+   request was fine, this server just cannot take it), but with failover
+   endpoints configured it means "try the next node", exactly like a
+   connection refusal. *)
+let fenced_refusal reason = starts_with "fenced" reason
+
+(* A replica's redirect ("read-only replica; writes go to the primary…"):
+   also worth rotating past when failing over — the promoted node is a
+   later endpoint in the list. *)
+let replica_refusal reason = starts_with "read-only replica" reason
+
+let failover_refusal reason =
+  fenced_refusal reason || degraded_refusal reason || replica_refusal reason
 
 exception Use_failed of string
 
+exception Endpoints_exhausted of string
+
 (* Run requests (argv mode) or pump stdin line by line (interactive/pipe
    mode).  Exit code 0 iff every request succeeded; 3 when the server
-   refused a verb because it is in degraded read-only mode — an [err]
-   reply, a dropped connection, or a malformed response all make the exit
-   code non-zero so scripts and cram tests can detect failure.  With [db],
-   a [use <db>] is sent on every (re)connection before anything else, so
-   all requests are scoped to that database. *)
+   refused a verb because it is in degraded read-only mode or fenced, or
+   when every failover endpoint was exhausted — an [err] reply, a dropped
+   connection, or a malformed response all make the exit code non-zero so
+   scripts and cram tests can detect failure.  With [db], a [use <db>] is
+   sent on every (re)connection before anything else, so all requests are
+   scoped to that database. *)
 let errorf fmt = Obs.Log.errorf ~comp:"client" fmt
 let warnf fmt = Obs.Log.warnf ~comp:"client" fmt
 
-let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
-    int =
+let run ?(retries = 0) ?(failover = []) ?db ?trace ~host ~port
+    ~(requests : string list) () : int =
   (match trace with
   | Some id ->
       Obs.Log.infof ~comp:"client" ~kvs:[ ("trace", id) ] "tracing requests"
   | None -> ());
   let rng = Random.State.make [| Unix.getpid (); 0x90b5 |] in
+  let endpoints = Array.of_list ((host, port) :: failover) in
+  let n_eps = Array.length endpoints in
+  let ep = ref 0 in
+  let rotate () = if n_eps > 1 then ep := (!ep + 1) mod n_eps in
+  let ep_str () =
+    let h, p = endpoints.(!ep) in
+    Printf.sprintf "%s:%d" h p
+  in
   let failed = ref false in
   let degraded = ref false in
   let conn = ref None in
@@ -95,10 +132,16 @@ let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
         | { Protocol.status = Protocol.Err reason; _ } ->
             raise (Use_failed reason))
   in
+  (* Connect attempts beyond the first rotate to the next endpoint; the
+     budget covers [retries] failures, or — with failover endpoints and no
+     explicit --retries — at least one pass over the whole list, so
+     --failover is useful on its own. *)
+  let connect_budget = max retries (n_eps - 1) in
   let rec get_conn attempt =
     match !conn with
     | Some c -> c
     | None -> (
+        let host, port = endpoints.(!ep) in
         match
           let c = connect ~host ~port in
           (try select_db c
@@ -112,16 +155,32 @@ let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
             conn := Some c;
             c
         | exception (Unix.Unix_error _ as e) ->
-            if attempt >= retries then raise e
+            if attempt >= connect_budget then
+              if n_eps > 1 then
+                let code =
+                  match e with
+                  | Unix.Unix_error (c, _, _) -> Unix.error_message c
+                  | _ -> Printexc.to_string e
+                in
+                raise
+                  (Endpoints_exhausted
+                     (Printf.sprintf "cannot connect to %s: %s" (ep_str ())
+                        code))
+              else raise e
             else begin
-              Thread.delay (jittered_backoff rng attempt);
+              rotate ();
+              if n_eps = 1 then Thread.delay (jittered_backoff rng attempt);
               get_conn (attempt + 1)
             end)
   in
   let send line =
     if String.trim line <> "" then begin
-      let rec attempt n =
+      (* [n] counts transient retries against [retries]; [rot] counts
+         failover rotations for this request against the endpoint list —
+         each endpoint gets at most one look at a refused request. *)
+      let rec attempt n rot =
         let retriable = n < retries && safe_to_retry line in
+        let can_rotate = rot < n_eps - 1 && safe_to_retry line in
         (* the tracing prefix goes on at send time, after the retry policy
            has classified the bare request *)
         let wire =
@@ -142,9 +201,37 @@ let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
                 flush stdout;
                 warnf "error: %s (retrying)" reason;
                 Thread.delay (jittered_backoff rng n);
-                attempt (n + 1)
+                attempt (n + 1) rot
             | Protocol.Ok ->
                 List.iter print_endline resp.Protocol.body
+            | Protocol.Err reason
+              when failover_refusal reason && can_rotate ->
+                flush stdout;
+                warnf "error: %s (failing over past %s)" reason (ep_str ());
+                drop_conn ();
+                rotate ();
+                attempt n (rot + 1)
+            | Protocol.Err reason
+              when failover_refusal reason && n_eps > 1 ->
+                (* every endpoint refused (or the verb cannot be safely
+                   re-aimed): one distinct line, exit 3 *)
+                List.iter print_endline resp.Protocol.body;
+                flush stdout;
+                errorf
+                  "error: all %d endpoints exhausted; last refusal from %s: \
+                   %s"
+                  n_eps (ep_str ()) reason;
+                degraded := true;
+                failed := true
+            | Protocol.Err reason when fenced_refusal reason ->
+                List.iter print_endline resp.Protocol.body;
+                flush stdout;
+                errorf
+                  "error: server is fenced — superseded by a promoted \
+                   replica; writes go to the new primary (%s)"
+                  reason;
+                degraded := true;
+                failed := true
             | Protocol.Err reason when degraded_refusal reason ->
                 List.iter print_endline resp.Protocol.body;
                 flush stdout;
@@ -161,13 +248,14 @@ let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
                 failed := true)
         | exception ((End_of_file | Sys_error _) as e) ->
             drop_conn ();
-            if retriable then begin
-              Thread.delay (jittered_backoff rng n);
-              attempt (n + 1)
+            if retriable || can_rotate then begin
+              if n_eps > 1 then rotate ()
+              else Thread.delay (jittered_backoff rng n);
+              attempt (n + 1) (if n_eps > 1 then rot + 1 else rot)
             end
             else raise e
       in
-      attempt 0
+      attempt 0 0
     end
   in
   Fun.protect ~finally:drop_conn (fun () ->
@@ -198,5 +286,10 @@ let run ?(retries = 0) ?db ?trace ~host ~port ~(requests : string list) () :
       | Use_failed reason ->
           flush stdout;
           errorf "error: cannot select database: %s" reason;
+          failed := true
+      | Endpoints_exhausted last ->
+          flush stdout;
+          errorf "error: all %d endpoints exhausted; %s" n_eps last;
+          degraded := true;
           failed := true);
   if !degraded then 3 else if !failed then 1 else 0

@@ -56,6 +56,8 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Db_stat _ ->
       "db"
   | Protocol.Subscribe _ -> "subscribe"
+  | Protocol.Promote -> "promote"
+  | Protocol.Fence _ -> "fence"
   | Protocol.Quit -> "quit"
 
 (* How the daemon reaches the database(s) it serves.  A single-broker
@@ -68,7 +70,8 @@ type router = {
   default_db : string;  (* every connection starts scoped to this one *)
   use_db : current:string -> client:int -> string -> (string, string) result;
   with_db : string -> client:int -> Protocol.request -> Protocol.response;
-  feed_db : string -> client:int -> from:int -> out_channel -> unit;
+  feed_db :
+    string -> client:int -> from:int -> sub_epoch:int -> out_channel -> unit;
   admin : Protocol.request -> Protocol.response option;
   disconnect_db : string -> client:int -> unit;
   stats_extra : unit -> string list;  (* appended to a tenant's stats body *)
@@ -89,8 +92,8 @@ let broker_router ?(name = "default") (broker : Broker.t) : router =
         if n = name then Ok name else Error (unknown_msg n));
     with_db = (fun _ ~client req -> Broker.handle broker ~client req);
     feed_db =
-      (fun db ~client ~from oc ->
-        if db = name then Broker.feed broker ~client ~from oc
+      (fun db ~client ~from ~sub_epoch oc ->
+        if db = name then Broker.feed broker ~client ~from ~sub_epoch oc
         else Protocol.write_response oc (unknown db));
     admin =
       (function
@@ -99,7 +102,12 @@ let broker_router ?(name = "default") (broker : Broker.t) : router =
           if n = name then
             Some
               (Protocol.ok
-                 ([ "name " ^ name; "state open" ]
+                 ([
+                    "name " ^ name;
+                    "state open";
+                    Printf.sprintf "epoch %d" (Broker.epoch broker);
+                    "role " ^ Broker.role broker;
+                  ]
                  @
                  match Broker.journal broker with
                  | Some j -> [ Printf.sprintf "seq %d" (Journal.seq j) ]
@@ -158,7 +166,7 @@ let client_loop (router : router) ~client fd =
                    has been evicted since the last request *)
                 Protocol.write_response oc (Protocol.ok [ "bye." ]);
                 true
-            | Ok (Protocol.Subscribe (from, db)) ->
+            | Ok (Protocol.Subscribe (from, db, sub_epoch)) ->
                 (* the connection becomes a one-way replication feed; when
                    the feed ends, so does the connection.  No span — the
                    feed only ends with the subscriber — but the log line
@@ -170,9 +178,10 @@ let client_loop (router : router) ~client fd =
                       ("db", db);
                       ("client", string_of_int client);
                       ("from", string_of_int from);
+                      ("epoch", string_of_int sub_epoch);
                     ]
                   "replication feed subscribed";
-                router.feed_db db ~client ~from oc;
+                router.feed_db db ~client ~from ~sub_epoch oc;
                 true
             | Ok req -> (
                 match router.admin req with

@@ -7,6 +7,7 @@ module Persist = Core.Persist
 open Datalog
 
 exception Corrupt of string
+exception Fenced of { record_epoch : int; journal_epoch : int }
 
 module Failpoint = Fault.Failpoint
 module Crc32 = Fault.Crc32
@@ -32,27 +33,41 @@ let header = "# gomsm journal v1\n"
 
 (* The header records the global sequence number the snapshot covers, so
    sequence numbers stay monotonic across checkpoints — they double as the
-   replication stream positions. *)
-let header_for base =
-  if base = 0 then header
-  else Printf.sprintf "# gomsm journal v1 base %d\n" base
+   replication stream positions.  It also records the promotion epoch (and
+   whether the node was fenced) when either is non-trivial, so a checkpoint
+   cannot erase the fencing history the in-file markers carried.  Plain
+   epoch-0 journals keep the exact legacy header bytes. *)
+let header_for ?(epoch = 0) ?(fenced = false) base =
+  if base = 0 && epoch = 0 && not fenced then header
+  else if epoch = 0 && not fenced then
+    Printf.sprintf "# gomsm journal v1 base %d\n" base
+  else
+    Printf.sprintf "# gomsm journal v1 base %d epoch %d%s\n" base epoch
+      (if fenced then " fenced" else "")
 
+(* (base, epoch, fenced) from the header line. *)
 let base_of_header text =
+  let num what n =
+    (* the header is fsynced before the first record: a number that no
+       longer parses is bit-rot, and defaulting it to 0 would silently
+       renumber the whole log — refuse instead *)
+    match int_of_string_opt n with
+    | Some b -> b
+    | None ->
+        raise
+          (Corrupt
+             (Printf.sprintf "journal header has a non-integer %s %S" what n))
+  in
   match String.index_opt text '\n' with
-  | None -> 0
+  | None -> (0, 0, false)
   | Some i -> (
       match String.split_on_char ' ' (String.trim (String.sub text 0 i)) with
-      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n ] -> (
-          (* the header is fsynced before the first record: a base that no
-             longer parses is bit-rot, and defaulting it to 0 would silently
-             renumber the whole log — refuse instead *)
-          match int_of_string_opt n with
-          | Some b -> b
-          | None ->
-              raise
-                (Corrupt
-                   (Printf.sprintf "journal header has a non-integer base %S" n)))
-      | _ -> 0)
+      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n ] -> (num "base" n, 0, false)
+      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n; "epoch"; e ] ->
+          (num "base" n, num "epoch" e, false)
+      | [ "#"; "gomsm"; "journal"; "v1"; "base"; n; "epoch"; e; "fenced" ] ->
+          (num "base" n, num "epoch" e, true)
+      | _ -> (0, 0, false))
 
 let journal_path ~dir = Filename.concat dir "journal.log"
 let snapshot_path ~dir = Filename.concat dir "snapshot.gomdb"
@@ -85,6 +100,8 @@ type t = {
   mutable seq : int;  (* global seq of the last durable record *)
   mutable since : int;  (* records appended since the last checkpoint *)
   mutable bytes : int;  (* durable journal size *)
+  mutable epoch : int;  (* promotion epoch: highest stamp seen or adopted *)
+  mutable was_fenced : bool;  (* a fence marker is the latest epoch event *)
   mutable group : group option;  (* group-commit mode, when enabled *)
   (* tenant-labeled failpoint variants; None on single-tenant journals *)
   fp_write : Failpoint.site option;
@@ -96,6 +113,8 @@ let base t = t.base
 let seq t = t.seq
 let since_checkpoint t = t.since
 let bytes t = t.bytes
+let epoch t = t.epoch
+let fenced t = t.was_fenced
 
 let set_group_commit t ~linger ?(byte_cap = 1024 * 1024) ~on_flush () =
   t.group <-
@@ -176,10 +195,15 @@ let append_protected ?(records = 1) t s =
      with Unix.Unix_error _ -> ());
     raise e
 
-(* One record's bytes carrying sequence number [seq]. *)
-let record_bytes ~seq ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : string =
+(* One record's bytes carrying sequence number [seq].  Records stamped
+   with a non-zero promotion epoch carry it right after [begin]; epoch-0
+   records keep the exact pre-epoch byte format (replay treats a missing
+   stamp as epoch 0). *)
+let record_bytes ~seq ~epoch ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) :
+    string =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "begin %d\n" seq;
+  if epoch > 0 then Printf.bprintf buf "epoch %d\n" epoch;
   Printf.bprintf buf "ids %d %d %d %d %d %d\n" ids.Gom.Ids.schemas
     ids.Gom.Ids.types ids.Gom.Ids.decls ids.Gom.Ids.codes ids.Gom.Ids.phreps
     ids.Gom.Ids.objects;
@@ -234,13 +258,27 @@ let with_g g f =
   Mutex.lock g.g_mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock g.g_mu) f
 
-let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
-  if Delta.is_empty delta && code = [] then t.seq
+(* The writer's epoch gate: a committer stamped with an epoch below the
+   journal's current one has been superseded by a promotion it has not
+   observed yet — refusing it here (not just at the protocol layer) means
+   even a fence racing an in-flight commit cannot produce forked bytes. *)
+let check_epoch t e =
+  if e < t.epoch then
+    raise (Fenced { record_epoch = e; journal_epoch = t.epoch })
+  else if e > t.epoch then t.epoch <- e
+
+let append t ?epoch ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
+  let e = match epoch with Some e -> e | None -> t.epoch in
+  if Delta.is_empty delta && code = [] then begin
+    check_epoch t e;
+    t.seq
+  end
   else
     match t.group with
     | None ->
+        check_epoch t e;
         let n = t.seq + 1 in
-        let s = record_bytes ~seq:n ~ids ~code delta in
+        let s = record_bytes ~seq:n ~epoch:e ~ids ~code delta in
         append_protected t s;
         t.seq <- n;
         t.since <- t.since + 1;
@@ -251,8 +289,9 @@ let append t ~(ids : Gom.Ids.gen) ~code (delta : Delta.t) : int =
            seq completes — callers must [await] before acknowledging *)
         with_g g (fun () ->
             (match g.g_error with Some e -> raise e | None -> ());
+            check_epoch t e;
             let n = g.g_assigned + 1 in
-            Buffer.add_string g.g_buf (record_bytes ~seq:n ~ids ~code delta);
+            Buffer.add_string g.g_buf (record_bytes ~seq:n ~epoch:e ~ids ~code delta);
             g.g_records <- g.g_records + 1;
             g.g_assigned <- n;
             t.since <- t.since + 1;
@@ -330,14 +369,41 @@ let close t =
    complete record (begin..commit, newline-terminated) carrying exactly
    sequence number [seq]; it is written verbatim so the replica's journal
    stays byte-identical to the primary's record stream. *)
-let append_raw t ~seq ~text =
+let append_raw t ?(epoch = 0) ~seq ~text () =
   if seq <> t.seq + 1 then
     invalid_arg
       (Printf.sprintf "Journal.append_raw: seq %d after %d" seq t.seq);
   append_protected t text;
   t.seq <- seq;
   t.since <- t.since + 1;
-  t.bytes <- t.bytes + String.length text
+  t.bytes <- t.bytes + String.length text;
+  (* historical records may carry any epoch <= the feed's current one, so
+     unlike {!append} a low stamp is not an error here — the replica just
+     adopts the highest epoch it has applied (the stamp inside the record
+     bytes makes the adoption durable) *)
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    t.was_fenced <- false
+  end
+
+(* Durably raise the journal's epoch with a standalone marker line —
+   [epoch <e>] for a promotion/adoption, [fenced <e>] when this node was
+   fenced by a peer's higher epoch.  Markers live between records, are
+   fsynced like records, and are replayed on recovery so a restarted node
+   remembers both its epoch and whether it was fenced. *)
+let advance_epoch t ~epoch ~fenced =
+  if epoch < t.epoch || (epoch = t.epoch && t.was_fenced = fenced) then
+    invalid_arg
+      (Printf.sprintf "Journal.advance_epoch: epoch %d at %d" epoch t.epoch);
+  drain t;
+  let line =
+    Printf.sprintf "%s %d\n" (if fenced then "fenced" else "epoch") epoch
+  in
+  append_protected t line;
+  t.bytes <- t.bytes + String.length line;
+  t.epoch <- epoch;
+  t.was_fenced <- fenced;
+  match t.group with Some g -> g.g_assigned <- max g.g_assigned t.seq | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint                                                          *)
@@ -366,7 +432,7 @@ let write_snapshot_file t text =
 let reset_journal t ~new_base =
   Unix.ftruncate t.fd 0;
   ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
-  let h = header_for new_base in
+  let h = header_for ~epoch:t.epoch ~fenced:t.was_fenced new_base in
   write_all t.fd h;
   Unix.fsync t.fd;
   t.base <- new_base;
@@ -429,6 +495,8 @@ let complete_lines text =
 type line =
   | L_comment
   | L_begin of int
+  | L_epoch of int  (* record stamp, or a standalone adoption marker *)
+  | L_fenced of int  (* standalone marker only: this node was fenced *)
   | L_ids of int array
   | L_add of Fact.t
   | L_del of Fact.t
@@ -451,6 +519,8 @@ let parse_line (s : string) : line =
     in
     match verb with
     | "begin" -> L_begin (int_of rest)
+    | "epoch" -> L_epoch (int_of rest)
+    | "fenced" -> L_fenced (int_of rest)
     | "commit" -> L_commit (int_of rest)
     | "crc" -> (
         match Crc32.of_decimal rest with
@@ -484,6 +554,7 @@ let parse_line (s : string) : line =
 (* One parsed record, in file order. *)
 type parsed_record = {
   r_seq : int;
+  r_epoch : int;  (* promotion epoch stamp; 0 when the record predates epochs *)
   r_ids : int array option;
   r_delta : Delta.t;
   r_code : (string * (string list * Analyzer.Ast.stmt)) list;
@@ -493,6 +564,7 @@ type parsed_record = {
    feed) back into its delta/code/ids. *)
 let parse_record text : parsed_record =
   let seq = ref None
+  and repoch = ref 0
   and ids = ref None
   and delta = ref Delta.empty
   and code = ref []
@@ -515,6 +587,8 @@ let parse_record text : parsed_record =
               match !seq with
               | None -> seq := Some n
               | Some _ -> raise (Corrupt "record: nested begin"))
+          | L_epoch e -> repoch := e
+          | L_fenced _ -> raise (Corrupt "record: fence marker inside record")
           | L_ids a -> ids := Some a
           | L_add f -> delta := Delta.add f !delta
           | L_del f -> delta := Delta.del f !delta
@@ -525,7 +599,13 @@ let parse_record text : parsed_record =
     (String.split_on_char '\n' text);
   match (!seq, !commit) with
   | Some n, Some n' when n = n' ->
-      { r_seq = n; r_ids = !ids; r_delta = !delta; r_code = List.rev !code }
+      {
+        r_seq = n;
+        r_epoch = !repoch;
+        r_ids = !ids;
+        r_delta = !delta;
+        r_code = List.rev !code;
+      }
   | _ -> raise (Corrupt "record: missing or mismatched begin/commit")
 
 (* Replay one record through a session.  Any failure — exception or an
@@ -572,7 +652,8 @@ let verb_int prefix line =
     int_of_string_opt (String.trim (String.sub line pl (String.length line - pl)))
   else None
 
-let scan_raw text : (int * string) list =
+(* [(seq, start offset, record text)] for every complete record. *)
+let scan_raw_offsets text : (int * int * string) list =
   let out = ref [] in
   let line_start = ref 0 in
   let cur = ref None in
@@ -584,7 +665,7 @@ let scan_raw text : (int * string) list =
       | _, Some n -> (
           match !cur with
           | Some (n', start) when n = n' ->
-              out := (n, String.sub text start (end_off - start)) :: !out;
+              out := (n, start, String.sub text start (end_off - start)) :: !out;
               cur := None
           | _ -> cur := None)
       | None, None -> ());
@@ -592,17 +673,27 @@ let scan_raw text : (int * string) list =
     (complete_lines text);
   List.rev !out
 
+let scan_raw text : (int * string) list =
+  List.map (fun (n, _, s) -> (n, s)) (scan_raw_offsets text)
+
 let records_from t ~from : (int * string) list =
   let text = read_file (journal_path ~dir:t.dir) in
   List.filter (fun (s, _) -> s > from && s <= t.seq) (scan_raw text)
 
 (* Scan the journal text: replay every complete, in-sequence record and
-   return (last good offset, #replayed, last seq). *)
-let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
+   return (last good offset, #replayed, last seq, epoch, fenced).  [epoch]
+   starts at the header's value and is raised by record stamps and by
+   standalone [epoch]/[fenced] markers; [fenced] tracks whether the most
+   recent epoch event was a fence (a later record or promotion marker
+   clears it — the node has since acted in the newer epoch). *)
+let scan_and_replay (m : Manager.t) ~base ?(epoch0 = 0) ?(fenced0 = false)
+    (text : string) : int * int * int * int * bool =
   let lines = ref (complete_lines text) in
   let good = ref 0 in
   let replayed = ref 0 in
   let last_seq = ref base in
+  let epoch = ref epoch0 in
+  let fenced = ref fenced0 in
   let next () =
     match !lines with
     | [] -> None
@@ -611,7 +702,8 @@ let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
         Some l
   in
   let rec between () =
-    (* between records: blanks and comments advance the good offset *)
+    (* between records: blanks, comments and epoch markers advance the
+       good offset *)
     match next () with
     | None -> ()
     | Some (line, off) -> (
@@ -619,19 +711,41 @@ let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
         | L_comment ->
             good := off;
             between ()
+        | L_epoch e when e >= !epoch ->
+            epoch := e;
+            fenced := false;
+            good := off;
+            between ()
+        | L_fenced e when e >= !epoch ->
+            epoch := e;
+            fenced := true;
+            good := off;
+            between ()
         | L_begin n when n = !last_seq + 1 ->
-            in_record n None Delta.empty []
+            in_record n 0 None Delta.empty []
               (Crc32.update_string Crc32.init (line ^ "\n"))
         | _ -> (* out-of-sequence or stray line: torn tail *) ())
-  and in_record n ids delta code acc =
+  and in_record n repoch ids delta code acc =
     (* [acc] checksums the raw bytes of the record so far; a [crc] line
        must match it or the whole record is bit-rot (treated as torn). *)
     let finish off =
-      let r = { r_seq = n; r_ids = ids; r_delta = delta; r_code = List.rev code } in
+      let r =
+        {
+          r_seq = n;
+          r_epoch = repoch;
+          r_ids = ids;
+          r_delta = delta;
+          r_code = List.rev code;
+        }
+      in
       if replay_record m r then begin
         good := off;
         replayed := !replayed + 1;
         last_seq := n;
+        if repoch > !epoch then begin
+          epoch := repoch;
+          fenced := false
+        end;
         between ()
       end
     in
@@ -640,10 +754,12 @@ let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
     | Some (line, off) -> (
         let acc' () = Crc32.update_string acc (line ^ "\n") in
         match parse_line line with
-        | L_ids a -> in_record n (Some a) delta code (acc' ())
-        | L_add f -> in_record n ids (Delta.add f delta) code (acc' ())
-        | L_del f -> in_record n ids (Delta.del f delta) code (acc' ())
-        | L_code (cid, c) -> in_record n ids delta ((cid, c) :: code) (acc' ())
+        | L_epoch e -> in_record n e ids delta code (acc' ())
+        | L_ids a -> in_record n repoch (Some a) delta code (acc' ())
+        | L_add f -> in_record n repoch ids (Delta.add f delta) code (acc' ())
+        | L_del f -> in_record n repoch ids (Delta.del f delta) code (acc' ())
+        | L_code (cid, c) ->
+            in_record n repoch ids delta ((cid, c) :: code) (acc' ())
         | L_crc c ->
             if Crc32.finish acc <> c then () (* corrupt record: torn *)
             else (
@@ -660,10 +776,11 @@ let scan_and_replay (m : Manager.t) ~base (text : string) : int * int * int =
         (* the appender never writes comments inside a record, so one here
            is damage — e.g. a single-bit flip turning "crc" into "#rc",
            which would otherwise demote the record to the crc-less path *)
-        | L_comment | L_begin _ | L_commit _ -> () (* malformed: torn *))
+        | L_comment | L_begin _ | L_commit _ | L_fenced _ ->
+            () (* malformed: torn *))
   in
   (try between () with Corrupt _ -> ());
-  (!good, !replayed, !last_seq)
+  (!good, !replayed, !last_seq, !epoch, !fenced)
 
 let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ?label ~dir ()
     : recovery =
@@ -679,19 +796,21 @@ let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ?label ~dir ()
   let jpath = journal_path ~dir in
   let existed = Sys.file_exists jpath in
   let fd = Unix.openfile jpath [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let base, replayed, last_seq, truncated, size =
+  let base, replayed, last_seq, truncated, size, ep, fen =
     if existed then begin
       let text = read_file jpath in
-      let base = base_of_header text in
-      let good, replayed, last_seq = scan_and_replay manager ~base text in
+      let base, epoch0, fenced0 = base_of_header text in
+      let good, replayed, last_seq, ep, fen =
+        scan_and_replay manager ~base ~epoch0 ~fenced0 text
+      in
       let len = String.length text in
       if good < len then Unix.ftruncate fd good;
-      (base, replayed, last_seq, len - good, good)
+      (base, replayed, last_seq, len - good, good, ep, fen)
     end
     else begin
       write_all fd header;
       Unix.fsync fd;
-      (0, 0, 0, 0, String.length header)
+      (0, 0, 0, 0, String.length header, 0, false)
     end
   in
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
@@ -703,6 +822,8 @@ let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ?label ~dir ()
       seq = last_seq;
       since = replayed;
       bytes = size;
+      epoch = ep;
+      was_fenced = fen;
       group = None;
       fp_write = labeled_site "journal.append.write" label;
       fp_fsync = labeled_site "journal.append.fsync" label;
@@ -710,3 +831,73 @@ let recover ?versioning ?fashion ?subschemas ?sorts ?check_mode ?label ~dir ()
     }
   in
   { manager; journal; from_snapshot; replayed; truncated_bytes = truncated }
+
+(* ------------------------------------------------------------------ *)
+(* Failover resync                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let orphaned_path ~dir = Filename.concat dir "journal.orphaned"
+
+(* A demoted ex-primary resyncing from a promoted node may hold committed
+   records past the promoted node's seal — history the cluster has moved
+   beyond.  Those records are never silently dropped: their exact bytes
+   are appended to [journal.orphaned] (with a provenance comment) and only
+   then truncated out of the live journal.  Returns how many records were
+   orphaned.  Requires [seal >= base]; when the local snapshot already
+   covers past the seal the caller must orphan what the journal holds and
+   fall back to a full resync instead. *)
+let orphan_suffix t ~seal =
+  if seal < t.base then
+    invalid_arg
+      (Printf.sprintf "Journal.orphan_suffix: seal %d below base %d" seal
+         t.base);
+  drain t;
+  let text = read_file (journal_path ~dir:t.dir) in
+  let suffix =
+    List.filter (fun (n, _, _) -> n > seal) (scan_raw_offsets text)
+  in
+  match suffix with
+  | [] ->
+      if t.seq > seal then t.seq <- seal;
+      0
+  | (_, cut, _) :: _ ->
+      let buf = Buffer.create 1024 in
+      Printf.bprintf buf "# orphaned %d record(s) past seal %d at epoch %d\n"
+        (List.length suffix) seal t.epoch;
+      List.iter (fun (_, _, s) -> Buffer.add_string buf s) suffix;
+      let ofd =
+        Unix.openfile (orphaned_path ~dir:t.dir)
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> Unix.close ofd)
+        (fun () ->
+          write_all ofd (Buffer.contents buf);
+          Unix.fsync ofd);
+      Unix.ftruncate t.fd cut;
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+      Unix.fsync t.fd;
+      t.seq <- seal;
+      t.bytes <- cut;
+      t.since <- min t.since (seal - t.base);
+      List.length suffix
+
+(* Rebuild a fresh manager from the on-disk snapshot + (possibly just
+   truncated) journal, without disturbing the journal handle: the resync
+   path's way to roll its in-memory state back to what the file now
+   holds. *)
+let reload ?versioning ?fashion ?subschemas ?sorts ?check_mode t : Manager.t =
+  let snap = snapshot_path ~dir:t.dir in
+  let manager =
+    if Sys.file_exists snap then
+      try
+        Persist.load ?versioning ?fashion ?subschemas ?sorts ?check_mode
+          ~path:snap ()
+      with Persist.Corrupt e -> raise (Corrupt ("snapshot: " ^ e))
+    else Manager.create ?versioning ?fashion ?subschemas ?sorts ?check_mode ()
+  in
+  let text = read_file (journal_path ~dir:t.dir) in
+  let base, epoch0, fenced0 = base_of_header text in
+  ignore (scan_and_replay manager ~base ~epoch0 ~fenced0 text);
+  manager

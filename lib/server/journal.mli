@@ -16,6 +16,7 @@
     Record format (one record per committed session):
     {v
     begin <seq>
+    epoch <e>                    (only when the promotion epoch is > 0)
     ids <schemas> <types> <decls> <codes> <phreps> <objects>
     add <fact>
     del <fact>
@@ -23,6 +24,13 @@
     crc <unsigned decimal>
     commit <seq>
     v}
+
+    Between records the journal may carry standalone epoch markers —
+    [epoch <e>] (a promotion, or a replica adopting its feed's epoch) and
+    [fenced <e>] (this node was fenced by a peer's higher epoch) — fsynced
+    like records and replayed on recovery, so both the epoch and the
+    fenced verdict survive a restart.  Checkpoints fold the current epoch
+    (and the fenced flag) into the journal header.
 
     The [crc] line is a CRC-32 (IEEE) over every record byte before it —
     [begin] through the last payload line, newlines included — so any
@@ -40,6 +48,11 @@
     the replica's side of the same contract. *)
 
 exception Corrupt of string
+
+exception Fenced of { record_epoch : int; journal_epoch : int }
+(** Raised by {!append} when the committer's epoch stamp is below the
+    journal's current epoch: the writer has been superseded by a promotion
+    and must not produce any more bytes. *)
 
 type t
 
@@ -78,6 +91,7 @@ val crc_records : bool ref
 
 val append :
   t ->
+  ?epoch:int ->
   ids:Gom.Ids.gen ->
   code:(string * (string list * Analyzer.Ast.stmt)) list ->
   Datalog.Delta.t ->
@@ -85,6 +99,11 @@ val append :
 (** Append one committed-session record; returns the record's sequence
     number.  Empty records (no facts, no code) are skipped and return the
     current sequence number.
+
+    [epoch] (default: the journal's current epoch) is the committer's
+    promotion epoch: the record is stamped with it, and an [epoch] below
+    the journal's current one raises {!Fenced} {e before any byte is
+    written} — the append-side half of split-brain fencing.
 
     Without group commit the record is written and fsynced before [append]
     returns; if the write or fsync fails, the file is truncated back to
@@ -152,6 +171,24 @@ val base : t -> int
 val since_checkpoint : t -> int
 (** Records appended since the last checkpoint (or boot). *)
 
+(** {2 Epochs and fencing} *)
+
+val epoch : t -> int
+(** Current promotion epoch: the highest epoch stamped, marked or adopted
+    in this journal (0 on a fresh data directory). *)
+
+val fenced : t -> bool
+(** Whether the latest epoch event was a [fenced] marker — i.e. this node
+    was fenced by a peer's higher epoch and has not acted (appended or
+    been promoted) since. *)
+
+val advance_epoch : t -> epoch:int -> fenced:bool -> unit
+(** Durably raise the epoch with a standalone marker line ([epoch <e>]
+    for a promotion or adoption, [fenced <e>] when fenced by a peer) —
+    drains any pending batch first, then appends and fsyncs the marker.
+    @raise Invalid_argument unless the marker changes state ([epoch]
+    above the current one, or equal with a different fenced verdict). *)
+
 val bytes : t -> int
 (** Current size of the journal file in bytes. *)
 
@@ -161,6 +198,7 @@ val close : t -> unit
 
 type parsed_record = {
   r_seq : int;
+  r_epoch : int;  (** promotion epoch stamp; 0 when the record predates epochs *)
   r_ids : int array option;
   r_delta : Datalog.Delta.t;
   r_code : (string * (string list * Analyzer.Ast.stmt)) list;
@@ -181,9 +219,36 @@ val apply_record : Core.Manager.t -> parsed_record -> bool
     updates its materialization incrementally); [false] — with the session
     rolled back — if the record does not commit cleanly. *)
 
-val append_raw : t -> seq:int -> text:string -> unit
+val append_raw : t -> ?epoch:int -> seq:int -> text:string -> unit -> unit
 (** Append one record's exact bytes (the replica's write path) and fsync.
+    [epoch] is the record's stamp: unlike {!append} a low stamp is fine
+    (historical records predate promotions), but a stamp above the current
+    epoch is adopted — the record bytes make the adoption durable.
     @raise Invalid_argument unless [seq = seq t + 1]. *)
+
+val orphan_suffix : t -> seal:int -> int
+(** Failover resync: move every committed record with sequence number
+    above [seal] — history past the promoted node's seal, which the
+    cluster has moved beyond — into [journal.orphaned] (exact bytes, with
+    a provenance comment, appended and fsynced), then truncate them out of
+    the live journal and rewind {!seq} to [seal].  Returns the number of
+    records orphaned; never drops them silently.
+    @raise Invalid_argument if [seal < base t] (the snapshot already
+    covers past the seal; the caller must full-resync instead). *)
+
+val reload :
+  ?versioning:bool ->
+  ?fashion:bool ->
+  ?subschemas:bool ->
+  ?sorts:bool ->
+  ?check_mode:Core.Manager.check_mode ->
+  t ->
+  Core.Manager.t
+(** Rebuild a fresh manager from the on-disk snapshot + journal as they
+    stand now, leaving the journal handle untouched: how a resync rolls
+    its in-memory state back after {!orphan_suffix}. *)
+
+val orphaned_path : dir:string -> string
 
 val install_snapshot : t -> seq:int -> text:string -> unit
 (** Replace the snapshot with [text] (atomically, fsynced) and reset the

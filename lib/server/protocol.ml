@@ -16,7 +16,10 @@ type request =
   | Db_drop of string
   | Db_list
   | Db_stat of string
-  | Subscribe of int * string option
+  | Subscribe of int * string option * int
+      (* last applied seq, db, subscriber's promotion epoch *)
+  | Promote
+  | Fence of int
   | Quit
 
 (* Drop a trailing CR (telnet-style clients); body lines keep their
@@ -78,18 +81,31 @@ let parse_request line =
           Result.Error
             "db takes create <name>, drop <name>, stat <name> or list")
   | "subscribe", rest -> (
-      let seq, db =
-        match split_verb rest with
-        | seq, "" -> (seq, None)
-        | seq, db -> (seq, Some db)
+      (* subscribe <seq> [<db>] [epoch <e>]: the trailing epoch pair is
+         the subscriber's promotion epoch (absent on older replicas) *)
+      let seq, rest = split_verb rest in
+      let db, epoch =
+        match List.filter (fun s -> s <> "") (String.split_on_char ' ' rest) with
+        | [] -> (None, Some 0)
+        | [ "epoch"; e ] -> (None, int_of_string_opt e)
+        | [ db ] -> (Some db, Some 0)
+        | [ db; "epoch"; e ] -> (Some db, int_of_string_opt e)
+        | _ -> (None, None)
       in
-      match int_of_string_opt seq with
-      | Some n when n >= 0 -> Result.Ok (Subscribe (n, db))
-      | Some _ | None ->
+      match (int_of_string_opt seq, epoch) with
+      | Some n, Some e when n >= 0 && e >= 0 -> Result.Ok (Subscribe (n, db, e))
+      | _ ->
           Result.Error
             "subscribe needs the last applied sequence number, e.g. \
-             subscribe 0")
-  | ("bes" | "ees" | "rollback" | "check" | "dump" | "stats" | "health" | "quit"), _ ->
+             subscribe 0 [<db>] [epoch <e>]")
+  | "promote", "" -> Result.Ok Promote
+  | "fence", e -> (
+      match int_of_string_opt e with
+      | Some e when e > 0 -> Result.Ok (Fence e)
+      | Some _ | None ->
+          Result.Error "fence needs a positive epoch, e.g. fence 2")
+  | ("bes" | "ees" | "rollback" | "check" | "dump" | "stats" | "health"
+    | "quit" | "promote"), _ ->
       Result.Error (Printf.sprintf "%s takes no argument" verb)
   | "", _ -> Result.Error "empty request"
   | v, _ -> Result.Error (Printf.sprintf "unknown request %S" v)
@@ -109,8 +125,12 @@ let request_line = function
   | Db_drop name -> "db drop " ^ name
   | Db_list -> "db list"
   | Db_stat name -> "db stat " ^ name
-  | Subscribe (n, None) -> Printf.sprintf "subscribe %d" n
-  | Subscribe (n, Some db) -> Printf.sprintf "subscribe %d %s" n db
+  | Subscribe (n, db, epoch) ->
+      Printf.sprintf "subscribe %d%s%s" n
+        (match db with None -> "" | Some db -> " " ^ db)
+        (if epoch > 0 then Printf.sprintf " epoch %d" epoch else "")
+  | Promote -> "promote"
+  | Fence e -> Printf.sprintf "fence %d" e
   | Quit -> "quit"
 
 (* ------------------------------------------------------------------ *)

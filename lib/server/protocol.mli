@@ -25,10 +25,18 @@ type request =
   | Db_drop of string  (** drop a named database (refused while in use) *)
   | Db_list  (** list databases, one [<name> open|closed] line each *)
   | Db_stat of string  (** per-database status as [key value] body lines *)
-  | Subscribe of int * string option
+  | Subscribe of int * string option * int
       (** become a replication feed, starting after this sequence number;
           the optional name picks the database to stream (else the
-          connection's current one) *)
+          connection's current one), and the final int is the subscriber's
+          promotion epoch — a primary that sees one above its own has been
+          superseded and fences itself *)
+  | Promote
+      (** replica daemons only: stop following the primary, seal the local
+          journal, bump the epoch and start accepting writes *)
+  | Fence of int
+      (** tell this node a primary with the given epoch exists: if the
+          epoch is above its own, it permanently refuses mutators *)
   | Quit  (** close the connection *)
 
 val split_trace : string -> string option * string
@@ -68,10 +76,11 @@ val read_response : in_channel -> response
     frames, each a header line plus a dot-stuffed, dot-terminated body (the
     same framing as responses).  Headers in use: [record <seq>] (one raw
     journal record), [snapshot <seq>] (whole-state bootstrap),
-    [ping <seq> [digest]] (idle keep-alive carrying the primary's position
-    and, when one is available, its state digest — eight hex digits the
-    replica compares against its own when caught up) and
-    [error <reason>] (feed cannot continue). *)
+    [ping <seq> epoch <e> [digest]] (idle keep-alive carrying the
+    primary's position, its promotion epoch and, when one is available,
+    its state digest — eight hex digits the replica compares against its
+    own when caught up; pre-epoch primaries send [ping <seq> [digest]])
+    and [error <reason>] (feed cannot continue). *)
 
 val write_frame : out_channel -> header:string -> body:string list -> unit
 

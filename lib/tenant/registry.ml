@@ -403,7 +403,14 @@ let stat t name =
             | Some e ->
                 let b = e.e_broker in
                 Ok
-                  ([ "name " ^ name; "state open" ]
+                  ([
+                     "name " ^ name;
+                     "state open";
+                     (* promotion epochs are per tenant: each database's
+                        journal carries its own counter *)
+                     Printf.sprintf "epoch %d" (Broker.epoch b);
+                     "role " ^ Broker.role b;
+                   ]
                   @ (match Broker.journal b with
                     | Some j ->
                         [
@@ -523,8 +530,10 @@ let router t : Daemon.router =
         | Ok resp -> resp
         | Error reason -> Protocol.err reason);
     feed_db =
-      (fun name ~client ~from oc ->
-        match with_db t name (fun b -> Broker.feed b ~client ~from oc) with
+      (fun name ~client ~from ~sub_epoch oc ->
+        match
+          with_db t name (fun b -> Broker.feed b ~client ~from ~sub_epoch oc)
+        with
         | Ok () -> ()
         | Error reason -> Protocol.write_response oc (Protocol.err reason));
     admin =

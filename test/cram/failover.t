@@ -1,0 +1,107 @@
+Failover: promote a replica to a writer, fence the stale primary, and
+fail a client over to the promoted node.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data pdata --port-file pport 2>primary.log &
+  $ PRIMARY=$!
+  $ i=0; while [ ! -s pport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ PPORT=$(cat pport)
+  $ ../../bin/gomsm.exe client --port-file pport bes 'script-line schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema Zoo;' ees quit
+  session open.
+  consistent; session ended.
+  bye.
+
+  $ ../../bin/gomsm.exe replica --primary 127.0.0.1:$PPORT --port 0 --data rdata --port-file rport 2>replica.log &
+  $ REPLICA=$!
+  $ i=0; while [ ! -s rport ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ RPORT=$(cat rport)
+  $ waitseq() { i=0; while ! ../../bin/gomsm.exe client --port-file rport stats quit 2>/dev/null | grep -q "gauge replica_last_applied_seq $1$"; do sleep 0.2; i=$((i+1)); [ $i -ge 150 ] && break; done; :; }
+  $ waitseq 1
+
+Both nodes report their role and epoch in health:
+
+  $ ../../bin/gomsm.exe client --port-file pport health quit | grep -E '^(role|epoch)'
+  role primary
+  epoch 0
+  $ ../../bin/gomsm.exe client --port-file rport health quit | grep -E '^(role|epoch)'
+  role replica
+  epoch 0
+
+Promotion drains the feed, seals the replica's journal, bumps the epoch
+and flips it into a writer:
+
+  $ ../../bin/gomsm.exe client --port-file rport promote quit
+  promoted to epoch 1 at seq 1; now accepting writes.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file rport health quit | grep -E '^(role|epoch)'
+  role primary
+  epoch 1
+
+The stale primary learns of the promotion through the fence verb.  From
+then on it permanently refuses writer verbs — the client exits 3 with a
+distinct message:
+
+  $ ../../bin/gomsm.exe client --port-file pport 'fence 1' quit
+  fenced at epoch 1; writes refused.
+  bye.
+  $ ../../bin/gomsm.exe client --port-file pport health quit | grep -E '^(role|epoch)'
+  role fenced
+  epoch 1
+  $ ../../bin/gomsm.exe client --port-file pport bes quit 2>fenced.err || echo "exit $?"
+  bye.
+  exit 3
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g; s/client [0-9]*/client N/' fenced.err
+  error: server is fenced — superseded by a promoted replica; writes go to the new primary (fenced: superseded by a primary at epoch 1 (fence verb from client N); reads still served, writes go to the promoted primary)
+
+A client with failover endpoints rides the refusal to the promoted node
+and lands its write there:
+
+  $ ../../bin/gomsm.exe client --port $PPORT --failover 127.0.0.1:$RPORT bes 'script-line add type Keeper to Zoo;' ees quit 2>failover.err
+  session open.
+  consistent; session ended.
+  bye.
+  $ grep -c 'failing over past' failover.err
+  1
+  $ ../../bin/gomsm.exe client --port-file rport dump quit | grep -c 'type Keeper'
+  2
+
+A fenced reply and a refused connection are treated the same: when every
+endpoint is fenced or unreachable the client reports the exhaustion once
+and exits 3:
+
+  $ ../../bin/gomsm.exe client --port $PPORT --retries 1 --failover 127.0.0.1:1 bes quit 2>exhausted.err || echo "exit $?"
+  bye.
+  exit 3
+  $ sed 's/.*msg="//; s/"$//; s/\\"/"/g; s/127.0.0.1:[0-9]*/HOST/; s/client [0-9]*/client N/' exhausted.err | grep 'endpoints exhausted'
+  error: all 2 endpoints exhausted; last refusal from HOST: fenced: superseded by a primary at epoch 1 (fence verb from client N); reads still served, writes go to the promoted primary
+
+The fence outlives a restart of the stale primary:
+
+  $ kill -9 $PRIMARY
+  $ wait $PRIMARY 2>/dev/null || true
+  $ ../../bin/gomsm.exe serve --port $PPORT --data pdata --port-file pport 2>primary2.log &
+  $ PRIMARY=$!
+  $ i=0; while ! ../../bin/gomsm.exe client --port-file pport health quit >/dev/null 2>&1 && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ ../../bin/gomsm.exe client --port-file pport health quit | grep -E '^(role|epoch)'
+  role fenced
+  epoch 1
+
+Restarted explicitly as a replica of the promoted node, the demotion is
+accepted: the fenced role clears and the old primary converges on the
+new primary's history:
+
+  $ kill -9 $PRIMARY
+  $ wait $PRIMARY 2>/dev/null || true
+  $ ../../bin/gomsm.exe replica --primary 127.0.0.1:$RPORT --port 0 --data pdata --port-file p2port 2>demoted.log &
+  $ DEMOTED=$!
+  $ i=0; while [ ! -s p2port ] && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+  $ i=0; while ! ../../bin/gomsm.exe client --port-file p2port health quit 2>/dev/null | grep -q "^seq 2"; do sleep 0.2; i=$((i+1)); [ $i -ge 150 ] && break; done
+  $ ../../bin/gomsm.exe client --port-file p2port health quit | grep -E '^(role|epoch)'
+  role replica
+  epoch 1
+  $ ../../bin/gomsm.exe client --port-file rport dump quit > promoted.dump
+  $ ../../bin/gomsm.exe client --port-file p2port dump quit > demoted.dump
+  $ diff promoted.dump demoted.dump
+
+  $ kill -9 $REPLICA $DEMOTED
+  $ wait $REPLICA 2>/dev/null || true
+  $ wait $DEMOTED 2>/dev/null || true

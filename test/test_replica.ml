@@ -147,14 +147,14 @@ let test_append_raw_resume () =
     (fun (seq, text) ->
       let r = Journal.parse_record text in
       check_bool "applies" true (Journal.apply_record r2.Journal.manager r);
-      Journal.append_raw j2 ~seq ~text)
+      Journal.append_raw j2 ~seq ~text ())
     (Journal.records_from j1 ~from:0);
   check_int "replica seq" 2 (Journal.seq j2);
   check_string "byte-identical journals"
     (read_file (Journal.journal_path ~dir:dir1))
     (read_file (Journal.journal_path ~dir:dir2));
   (* gaps and duplicates are refused *)
-  (match Journal.append_raw j2 ~seq:5 ~text:"begin 5\ncommit 5\n" with
+  (match Journal.append_raw j2 ~seq:5 ~text:"begin 5\ncommit 5\n" () with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "sequence gap accepted");
   Journal.close j1;
@@ -242,6 +242,130 @@ let test_disconnect_rollback_metric () =
   Broker.disconnect b ~client:2;
   check_int "idle disconnect not counted" 1
     (Metrics.counter (Broker.metrics b) "disconnect_rollbacks")
+
+(* ------------------------------------------------------------------ *)
+(* Epochs, fencing, promotion, orphaned suffixes                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_epoch_persists () =
+  let dir = fresh_dir () in
+  let b, j = journaled_broker dir in
+  commit b 1 zoo_frame;
+  check_int "starts at epoch 0" 0 (Journal.epoch j);
+  (* adopt a higher epoch the way a replica's feed thread would *)
+  Broker.note_feed_epoch b ~epoch:3;
+  check_int "advanced" 3 (Journal.epoch j);
+  (* the next commit is stamped with the new epoch *)
+  commit b 1 "add attribute name : string to Animal@Zoo;";
+  let r2 = Journal.parse_record (List.assoc 2 (Journal.records_from j ~from:1)) in
+  check_int "record carries the epoch" 3 r2.Journal.r_epoch;
+  Journal.close j;
+  let r = Journal.recover ~dir () in
+  check_int "epoch survives restart" 3 (Journal.epoch r.Journal.journal);
+  check_bool "not fenced" false (Journal.fenced r.Journal.journal);
+  check_int "records survive too" 2 (Journal.seq r.Journal.journal);
+  (* a checkpoint folds the epoch into the fresh journal header *)
+  Journal.checkpoint r.Journal.journal r.Journal.manager;
+  Journal.close r.Journal.journal;
+  let r2 = Journal.recover ~dir () in
+  check_int "epoch survives checkpoint" 3 (Journal.epoch r2.Journal.journal);
+  check_int "seq survives checkpoint" 2 (Journal.seq r2.Journal.journal);
+  Journal.close r2.Journal.journal
+
+let test_append_side_fencing () =
+  let dir = fresh_dir () in
+  let b, j = journaled_broker dir in
+  commit b 1 zoo_frame;
+  (match Broker.fence b ~epoch:5 ~source:"test" with
+  | Ok () -> ()
+  | Error reason -> Alcotest.failf "fence refused: %s" reason);
+  check_string "role" "fenced" (Broker.role b);
+  let reason = expect_err "bes on fenced node" (Broker.handle b ~client:2 Protocol.Bes) in
+  check_bool "reason says fenced" true (contains reason "fenced");
+  (* a stale fence (same epoch again) is refused *)
+  (match Broker.fence b ~epoch:5 ~source:"test" with
+  | Ok () -> Alcotest.fail "stale fence accepted"
+  | Error _ -> ());
+  (* the append-side gate holds even below the broker: a commit stamped
+     with an older epoch must not produce bytes *)
+  (match
+     Journal.append j ~epoch:4 ~ids:(Gom.Ids.create ()) ~code:[]
+       Datalog.Delta.empty
+   with
+  | exception Journal.Fenced { record_epoch = 4; journal_epoch = 5 } -> ()
+  | exception e -> raise e
+  | _ -> Alcotest.fail "stale-epoch append accepted");
+  Journal.close j;
+  (* the fence survives a restart *)
+  let b2, j2 = journaled_broker dir in
+  check_string "role after restart" "fenced" (Broker.role b2);
+  check_int "epoch after restart" 5 (Broker.epoch b2);
+  let reason = expect_err "bes after restart" (Broker.handle b2 ~client:1 Protocol.Bes) in
+  check_bool "still fenced" true (contains reason "fenced");
+  Journal.close j2
+
+let test_promote_flips_writer () =
+  let dir = fresh_dir () in
+  (* build a primary, commit, reopen the same data dir as a replica *)
+  let b0, j0 = journaled_broker dir in
+  commit b0 1 zoo_frame;
+  Journal.close j0;
+  let r = Journal.recover ~check_mode:Manager.Maintained ~dir () in
+  let b =
+    Broker.create ~journal:r.Journal.journal ~read_only:"old:1" ~metrics:(Metrics.create ())
+      r.Journal.manager
+  in
+  let _ = expect_err "writers refused pre-promotion" (Broker.handle b ~client:1 Protocol.Bes) in
+  (match Broker.promote b with
+  | Ok (epoch, seq) ->
+      check_int "promoted epoch" 1 epoch;
+      check_int "seal seq" 1 seq
+  | Error reason -> Alcotest.failf "promote refused: %s" reason);
+  check_string "role" "primary" (Broker.role b);
+  (* writes flow, stamped with the new epoch *)
+  commit b 1 "add attribute name : string to Animal@Zoo;";
+  check_int "journal epoch" 1 (Journal.epoch r.Journal.journal);
+  (match Broker.promote b with
+  | Ok _ -> Alcotest.fail "second promote accepted"
+  | Error _ -> ());
+  Journal.close r.Journal.journal;
+  (* the promotion is durable *)
+  let r2 = Journal.recover ~dir () in
+  check_int "epoch survives restart" 1 (Journal.epoch r2.Journal.journal);
+  check_int "both records there" 2 (Journal.seq r2.Journal.journal);
+  Journal.close r2.Journal.journal
+
+(* recover the directory afresh and dump what replays: the reference
+   state an orphaned journal must still reproduce *)
+let fresh_manager_dump dir =
+  let r = Journal.recover ~check_mode:Manager.Maintained ~dir () in
+  let s = dump_of r.Journal.manager in
+  Journal.close r.Journal.journal;
+  s
+
+let test_orphan_suffix () =
+  let dir = fresh_dir () in
+  let b, j = journaled_broker dir in
+  List.iter (commit b 1) scripts;
+  check_int "4 records" 4 (Journal.seq j);
+  let cut = Journal.orphan_suffix j ~seal:2 in
+  check_int "2 records orphaned" 2 cut;
+  check_int "seq rewound" 2 (Journal.seq j);
+  let orphaned = read_file (Journal.orphaned_path ~dir) in
+  check_bool "orphan file holds record 3" true (contains orphaned "begin 3");
+  check_bool "orphan file holds record 4" true (contains orphaned "begin 4");
+  check_bool "orphan file says why" true (contains orphaned "# orphaned 2 record(s) past seal 2");
+  check_bool "journal no longer holds record 3" false
+    (contains (read_file (Journal.journal_path ~dir)) "begin 3");
+  (* the reloaded manager matches an independent replay to the seal *)
+  let m = Journal.reload ~check_mode:Manager.Maintained j in
+  let expect = fresh_manager_dump dir in
+  check_string "reloaded state = sealed state" expect (dump_of m);
+  (* appends continue from the seal *)
+  Broker.replace_manager b m;
+  commit b 1 "add type Keeper to Zoo;";
+  check_int "next seq after seal" 3 (Journal.seq j);
+  Journal.close j
 
 (* ------------------------------------------------------------------ *)
 (* A live primary + replica pair                                       *)
@@ -494,6 +618,17 @@ let suite =
           test_read_only_refuses_writers;
         Alcotest.test_case "disconnect rollback counted" `Quick
           test_disconnect_rollback_metric;
+      ] );
+    ( "replica.failover",
+      [
+        Alcotest.test_case "epoch persists across restarts" `Quick
+          test_epoch_persists;
+        Alcotest.test_case "fencing refuses appends and survives restart"
+          `Quick test_append_side_fencing;
+        Alcotest.test_case "promote flips a replica into the writer" `Quick
+          test_promote_flips_writer;
+        Alcotest.test_case "orphan_suffix preserves the divergent tail"
+          `Quick test_orphan_suffix;
       ] );
     ( "replica.live",
       [ Alcotest.test_case "primary feeds a replica" `Quick test_live_replication ] );

@@ -803,6 +803,240 @@ let scenario_f () =
     acked n
 
 (* ------------------------------------------------------------------ *)
+(* Scenario G: epoch-fenced failover.  kill -9 the primary mid-commit
+   while a failpoint stalls the journal write or fsync, promote the
+   replica, restart the old primary as a replica of the promoted node,
+   and check the failover invariants: no write acked by the surviving
+   lineage is lost, the unacked write never becomes visible, a durable-
+   but-unacked suffix lands in journal.orphaned (never silently dropped),
+   and both nodes converge to the same digest and epoch.
+
+   Runs against real gomsm subprocesses — kill -9 must take the whole
+   process, not a thread. *)
+(* ------------------------------------------------------------------ *)
+
+let g_binary () =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "gomsm.exe"))
+
+let g_read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let g_spawn ?(failpoints = "") ~log args =
+  let binary = g_binary () in
+  let logfd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let base =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun kv ->
+           not (String.length kv >= 16 && String.sub kv 0 16 = "GOMSM_FAILPOINTS"))
+  in
+  let env =
+    if failpoints = "" then base
+    else ("GOMSM_FAILPOINTS=" ^ failpoints) :: base
+  in
+  let pid =
+    Unix.create_process_env binary
+      (Array.of_list (binary :: args))
+      (Array.of_list env) Unix.stdin logfd logfd
+  in
+  Unix.close logfd;
+  pid
+
+let g_wait_port file =
+  wait_until (file ^ " written") (fun () ->
+      Sys.file_exists file
+      && String.trim (try g_read_file file with Sys_error _ -> "") <> "");
+  int_of_string (String.trim (g_read_file file))
+
+(* [health] as an assoc list: role, status, epoch, seq, digest *)
+let g_health port =
+  let c = open_conn port in
+  Fun.protect
+    ~finally:(fun () -> Unix.close (let _, _, s = c in s))
+    (fun () ->
+      let body =
+        match rpc c "health" with
+        | { Protocol.status = Protocol.Ok; body } -> body
+        | { Protocol.status = Protocol.Err reason; _ } ->
+            fail "G: health failed: %s" reason
+      in
+      ignore (rpc c "quit");
+      List.filter_map
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some i ->
+              Some
+                ( String.sub line 0 i,
+                  String.sub line (i + 1) (String.length line - i - 1) )
+          | None -> None)
+        body)
+
+let g_health_int port key =
+  match int_of_string_opt (try List.assoc key (g_health port) with Not_found -> "") with
+  | Some n -> n
+  | None -> -1
+
+let g_dump port =
+  let c = open_conn port in
+  Fun.protect
+    ~finally:(fun () -> Unix.close (let _, _, s = c in s))
+    (fun () ->
+      match rpc c "dump" with
+      | { Protocol.status = Protocol.Ok; body } ->
+          ignore (rpc c "quit");
+          String.concat "\n" body
+      | { Protocol.status = Protocol.Err reason; _ } ->
+          fail "G: dump failed: %s" reason)
+
+let g_commit port lines =
+  let c = open_conn port in
+  Fun.protect
+    ~finally:(fun () -> Unix.close (let _, _, s = c in s))
+    (fun () ->
+      ignore (expect_ok "bes" (rpc c "bes"));
+      List.iter
+        (fun l -> ignore (expect_ok l (rpc c ("script-line " ^ l))))
+        lines;
+      ignore (expect_ok "ees" (rpc c "ees")))
+
+(* One failover leg under one failpoint.  [durable] says whether the
+   injected stall leaves the doomed record's bytes on the old primary's
+   disk (fsync stall: written, not yet synced) or not (write stall:
+   nothing written when the kill lands). *)
+let g_leg ~variant ~failpoints ~durable () =
+  let root = fresh_dir () in
+  Unix.mkdir root 0o755;
+  let path f = Filename.concat root f in
+  let addr port = Printf.sprintf "127.0.0.1:%d" port in
+  note "G/%s: primary under %s" variant failpoints;
+  let ppid =
+    g_spawn ~failpoints ~log:(path "p1.log")
+      [
+        "serve"; "--port"; "0"; "--data"; path "pdata"; "--port-file";
+        path "pport"; "--group-commit-ms"; "20";
+      ]
+  in
+  let pport = g_wait_port (path "pport") in
+  g_commit pport
+    [ "schema Zoo is type Animal is [ legs : int; ] end type Animal; end \
+       schema Zoo;" ];
+  let rpid =
+    g_spawn ~log:(path "r1.log")
+      [
+        "replica"; "--primary"; addr pport; "--port"; "0"; "--data";
+        path "rdata"; "--port-file"; path "rport";
+      ]
+  in
+  let rport = g_wait_port (path "rport") in
+  wait_until "G: replica caught up" (fun () -> g_health_int rport "seq" = 1);
+  (* the doomed commit: stalled inside the journal by the failpoint,
+     killed before the acknowledgment can be written *)
+  let needle = "add type Orphan to Zoo;" in
+  let outcome = ref `Pending in
+  let doomed =
+    Thread.create
+      (fun () ->
+        try
+          g_commit pport [ needle ];
+          outcome := `Acked
+        with _ -> outcome := `Unknown)
+      ()
+  in
+  Thread.delay 1.0;
+  Unix.kill ppid Sys.sigkill;
+  ignore (Unix.waitpid [] ppid);
+  Thread.join doomed;
+  check (!outcome <> `Acked)
+    "G/%s: the stalled commit must not have been acknowledged" variant;
+  check (!outcome <> `Pending) "G/%s: the stalled commit must have returned"
+    variant;
+  (* promote the replica: epoch 1, sealed at the last applied seq *)
+  let c = open_conn rport in
+  (match rpc c "promote" with
+  | { Protocol.status = Protocol.Ok; body } ->
+      check
+        (List.exists (fun l -> contains l "epoch 1") body)
+        "G/%s: promotion must answer with epoch 1" variant
+  | { Protocol.status = Protocol.Err reason; _ } ->
+      fail "G/%s: promote refused: %s" variant reason);
+  ignore (rpc c "quit");
+  Unix.close (let _, _, s = c in s);
+  check (g_health_int rport "epoch" = 1) "G/%s: promoted node at epoch 1"
+    variant;
+  (* the old primary comes back as a replica of the promoted node and
+     must resync: its journal may hold a divergent suffix *)
+  let p2pid =
+    g_spawn ~log:(path "p2.log")
+      [
+        "replica"; "--primary"; addr rport; "--port"; "0"; "--data";
+        path "pdata"; "--port-file"; path "p2port";
+      ]
+  in
+  let p2port = g_wait_port (path "p2port") in
+  wait_until "G: demoted node resynced" (fun () ->
+      g_health_int p2port "seq" = 1 && g_health_int p2port "epoch" = 1);
+  (* a post-promotion write — the surviving lineage's acked history *)
+  g_commit rport [ "add type Keeper to Zoo;" ];
+  wait_until "G: demoted node converged" (fun () ->
+      g_health_int p2port "seq" = 2);
+  let d_promoted = g_dump rport and d_demoted = g_dump p2port in
+  check (d_promoted = d_demoted) "G/%s: dumps must converge" variant;
+  check
+    (contains d_promoted "Keeper")
+    "G/%s: the promoted lineage's acked write must survive" variant;
+  check
+    (not (contains d_promoted "Orphan"))
+    "G/%s: the unacked write must not be visible" variant;
+  let orphan_file = Filename.concat (path "pdata") "journal.orphaned" in
+  if durable then begin
+    (* written-but-unsynced bytes survived the kill on the old primary:
+       the resync must have moved them aside, not silently dropped them *)
+    check (Sys.file_exists orphan_file)
+      "G/%s: the divergent suffix must be preserved in journal.orphaned"
+      variant;
+    check
+      (contains (g_read_file orphan_file) "Orphan")
+      "G/%s: journal.orphaned must hold the unacked record" variant
+  end
+  else
+    check
+      (not (Sys.file_exists orphan_file))
+      "G/%s: nothing reached the disk, so nothing must be orphaned" variant;
+  (* same digest, same epoch, correct roles on both nodes *)
+  let hp = g_health rport and hd = g_health p2port in
+  check
+    (List.assoc "digest" hp = List.assoc "digest" hd)
+    "G/%s: state digests must agree" variant;
+  check
+    (List.assoc "epoch" hp = "1" && List.assoc "epoch" hd = "1")
+    "G/%s: both nodes must report epoch 1" variant;
+  check (List.assoc "role" hp = "primary") "G/%s: promoted node is primary"
+    variant;
+  check (List.assoc "role" hd = "replica") "G/%s: demoted node is a replica"
+    variant;
+  Unix.kill rpid Sys.sigkill;
+  Unix.kill p2pid Sys.sigkill;
+  ignore (Unix.waitpid [] rpid);
+  ignore (Unix.waitpid [] p2pid);
+  note "G/%s: promoted epoch 1, %s, converged at seq 2" variant
+    (if durable then "divergent suffix orphaned" else "no divergent bytes")
+
+let scenario_g () =
+  (* the matrix: stall the doomed commit's fsync (record bytes durable on
+     the old primary — the orphaning case) and its write (nothing on disk
+     — resync without divergence) *)
+  g_leg ~variant:"fsync" ~failpoints:"journal.append.fsync=delay:8@from:2"
+    ~durable:true ();
+  g_leg ~variant:"write" ~failpoints:"journal.append.write=delay:8@from:2"
+    ~durable:false ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let seed = ref 1234 in
@@ -812,15 +1046,15 @@ let () =
       ("--seed", Arg.Set_int seed, "N  seed for probabilistic failpoints");
       ( "--scenario",
         Arg.Set_string scenario,
-        "S  run one scenario (a|b|c|d|e|f) instead of all" );
+        "S  run one scenario (a|b|c|d|e|f|g) instead of all" );
     ]
     (fun a -> fail "unexpected argument %S" a)
-    "torture [--seed N] [--scenario a|b|c|d|e|f]";
+    "torture [--seed N] [--scenario a|b|c|d|e|f|g]";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   note "seed %d" !seed;
   let want s = !scenario = "all" || !scenario = s in
-  if not (List.mem !scenario [ "all"; "a"; "b"; "c"; "d"; "e"; "f" ]) then
+  if not (List.mem !scenario [ "all"; "a"; "b"; "c"; "d"; "e"; "f"; "g" ]) then
     fail "unknown scenario %S" !scenario;
   if want "a" then scenario_a ();
   if want "b" then scenario_b ~seed:!seed ();
@@ -828,5 +1062,6 @@ let () =
   if want "d" then scenario_d ();
   if want "e" then scenario_e ();
   if want "f" then scenario_f ();
+  if want "g" then scenario_g ();
   note "all invariants held";
   exit 0
