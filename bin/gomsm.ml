@@ -449,9 +449,19 @@ let trace_all_arg =
            client-supplied trace id (spans are logged at debug level under \
            the $(i,trace) component).")
 
+let slow_query_ms_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "slow-query-ms" ] ~docv:"MS"
+        ~doc:
+          "Log any query that runs at least MS milliseconds at warn level \
+           (component $(i,slowquery)), with its normalized fingerprint and \
+           a per-rule time breakdown.  Works with profiling off.  0 \
+           disables the slow-query log.")
+
 (* GOMSM_LOG first, then --log-level on top, then arm tracing.  A bad spec
    is a usage error. *)
-let setup_obs ?(slow_ms = 0.) ?(trace = false) log_level =
+let setup_obs ?(slow_ms = 0.) ?(slow_query_ms = 0.) ?(trace = false) log_level =
   (match Obs.Log.load_env () with
   | Ok () -> ()
   | Error e ->
@@ -466,6 +476,7 @@ let setup_obs ?(slow_ms = 0.) ?(trace = false) log_level =
           Printf.eprintf "gomsm: bad --log-level: %s\n" e;
           exit 2));
   Obs.Trace.set_slow_ms slow_ms;
+  Obs.Profile.set_slow_query_ms slow_query_ms;
   if trace then Obs.Trace.set_enabled true
 
 (* Arm fault-injection sites from GOMSM_FAILPOINTS before the daemon
@@ -569,8 +580,8 @@ let serve_cmd =
   in
   let run host port data checkpoint_every checkpoint_bytes acquire_timeout
       group_commit_ms port_file backlog max_open_dbs admin_port admin_port_file
-      log_level slow_ms trace =
-    setup_obs ~slow_ms ~trace log_level;
+      log_level slow_ms slow_query_ms trace =
+    setup_obs ~slow_ms ~slow_query_ms ~trace log_level;
     load_failpoints "gomsm-server";
     (* every serve is registry-backed: [default] is the data root itself,
        so single-database setups see exactly the old layout, and db
@@ -617,12 +628,12 @@ let serve_cmd =
          "Run the schema manager as a durable multi-client daemon (line \
           protocol over TCP), hosting one or many named databases")
     Term.(
-      const (fun h p d c cb a gc pf bl mo ap apf ll sm tr ->
-          Stdlib.exit (run h p d c cb a gc pf bl mo ap apf ll sm tr))
+      const (fun h p d c cb a gc pf bl mo ap apf ll sm sq tr ->
+          Stdlib.exit (run h p d c cb a gc pf bl mo ap apf ll sm sq tr))
       $ host_arg $ port $ data $ checkpoint_every $ checkpoint_bytes
       $ acquire_timeout $ group_commit_ms $ port_file $ backlog $ max_open_dbs
       $ admin_port $ admin_port_file $ log_level_arg $ slow_ms_arg
-      $ trace_all_arg)
+      $ slow_query_ms_arg $ trace_all_arg)
 
 let replica_cmd =
   let primary =
@@ -792,7 +803,19 @@ let client_cmd =
              prefix on the wire), and log it to stderr — the server's span \
              log lines for these requests carry the same id.")
   in
-  let run host port port_file retries failover db trace log_level requests =
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Send every 'query ...' request as 'explain ...' instead, \
+             printing the server's evaluation profile (stratification, \
+             chosen plans, per-rule timings) in place of the answers.  \
+             Other verbs pass through untouched, so an existing script can \
+             be profiled without editing it.")
+  in
+  let run host port port_file retries failover explain db trace log_level
+      requests =
     setup_obs log_level;
     let port =
       match port_file with
@@ -823,7 +846,8 @@ let client_cmd =
     in
     let trace = if trace then Some (Obs.Trace.new_id ()) else None in
     match
-      Server.Client.run ~retries ~failover ?db ?trace ~host ~port ~requests ()
+      Server.Client.run ~retries ~failover ~explain ?db ?trace ~host ~port
+        ~requests ()
     with
     | code -> code
     | exception Unix.Unix_error (e, _, _) ->
@@ -840,16 +864,16 @@ let client_cmd =
           it is fenced or in degraded read-only mode, or when every \
           failover endpoint was exhausted.")
     Term.(
-      const (fun h p pf r fo db tr ll rs ->
-          Stdlib.exit (run h p pf r fo db tr ll rs))
-      $ host_arg $ port $ port_file $ retries $ failover $ db $ trace_flag
-      $ log_level_arg $ requests)
+      const (fun h p pf r fo ex db tr ll rs ->
+          Stdlib.exit (run h p pf r fo ex db tr ll rs))
+      $ host_arg $ port $ port_file $ retries $ failover $ explain_flag $ db
+      $ trace_flag $ log_level_arg $ requests)
 
 let () =
   let doc = "flexible schema management in object bases (ICDE 1993)" in
   exit
     (Cmd.eval'
        (Cmd.group
-          (Cmd.info "gomsm" ~version:"1.0.0" ~doc)
+          (Cmd.info "gomsm" ~version:Server.Daemon.version ~doc)
           [ check_cmd; script_cmd; dump_cmd; repl_cmd; paper_cmd; serve_cmd;
             replica_cmd; client_cmd ]))

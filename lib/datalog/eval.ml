@@ -24,7 +24,54 @@ type planned_rule = {
   rule : Rule.t;
   mutable plans : ((int * int) * Plan.t) list;
       (* (delta position | -1, size class) -> plan; a handful of entries *)
+  mutable label : string option;
+      (* the printed rule, rendered once on first observation *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Rule observation seam                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [stratum_observer] below but per rule evaluation: the server's
+   profiler installs a wrapper that times each body evaluation and
+   records the chosen plan and plan-cache outcome, without this library
+   depending on the observability code.  The thunk returns the number of
+   facts the evaluation derived, which the wrapper passes through.
+
+   [observer_arms] is a refcount, not a flag: [profile on] holds the seam
+   armed for the daemon's lifetime while an [explain] arms it around a
+   single query — both can overlap.  When the count is zero the only cost
+   per rule evaluation is one atomic load. *)
+
+type rule_event = {
+  re_stratum : int;  (* -1 for ad-hoc query bodies *)
+  re_label : string;
+  re_plan : string;
+  re_cache : [ `Hit | `Miss | `Unplanned ];
+}
+
+let rule_observer : (rule_event -> (unit -> int) -> int) ref =
+  ref (fun _ f -> f ())
+
+let observer_arms = Atomic.make 0
+let arm_rule_observer () = Atomic.incr observer_arms
+
+let disarm_rule_observer () =
+  ignore (Atomic.fetch_and_add observer_arms (-1))
+
+let rule_observer_armed () = Atomic.get observer_arms > 0
+
+let plan_str = function
+  | Some p -> Fmt.str "%a" Plan.pp p
+  | None -> "-"
+
+let label_of pr =
+  match pr.label with
+  | Some l -> l
+  | None ->
+      let l = Rule.to_string pr.rule in
+      pr.label <- Some l;
+      l
 
 type prepared = {
   rules : Rule.t list;
@@ -37,7 +84,7 @@ let prepare rules =
   let strat = Stratify.compute rules in
   let planned =
     Array.map
-      (List.map (fun r -> { rule = r; plans = [] }))
+      (List.map (fun r -> { rule = r; plans = []; label = None }))
       (Stratify.strata strat)
   in
   { rules; strat; planned }
@@ -51,21 +98,23 @@ let size_class n =
   go 0 n
 
 (* The cached plan for [pr] with the given delta position (bound pattern),
-   computed against [db]'s current statistics on first use. *)
-let plan_for db (pr : planned_rule) ~(delta : int option) : Plan.t option =
-  if not !Plan.use_planner then None
+   computed against [db]'s current statistics on first use.  Also reports
+   the cache outcome so the profiler can count hits and misses per rule. *)
+let plan_for db (pr : planned_rule) ~(delta : int option) :
+    Plan.t option * [ `Hit | `Miss | `Unplanned ] =
+  if not !Plan.use_planner then (None, `Unplanned)
   else begin
     let dp = match delta with Some i -> i | None -> -1 in
     let key = (dp, size_class (Database.total db)) in
     match List.assoc_opt key pr.plans with
     | Some p ->
         Plan.record_hit ();
-        Some p
+        (Some p, `Hit)
     | None ->
         let p = Plan.make ?first:delta db pr.rule.Rule.body in
         pr.plans <- (key, p) :: pr.plans;
         Plan.record_miss ();
-        Some p
+        (Some p, `Miss)
   end
 
 (* Enumerate substitutions satisfying [lits] against [db], extending [s].
@@ -166,16 +215,40 @@ let eval_lits db ?(scan = fun _ -> None) ?plan lits s k =
   in
   go 0 s
 
-(* Evaluate one rule, collecting head facts not yet in [db] into [acc]. *)
+(* Evaluate one rule, collecting head facts not yet in [db] into [acc];
+   returns how many it appended (the observer seam's derived count). *)
 let derive_rule db ?scan ?plan (r : Rule.t) acc =
+  let n = ref 0 in
   eval_lits db ?scan ?plan r.body Subst.empty (fun s ->
       let f = Subst.ground_atom s r.head in
-      if not (Database.mem db f) then acc := f :: !acc)
+      if not (Database.mem db f) then begin
+        acc := f :: !acc;
+        incr n
+      end);
+  !n
+
+(* [derive_rule] for a prepared rule: resolve the plan, then evaluate
+   under the rule observer when armed.  [stratum] is the stratum index,
+   or -1 for contexts without one (naive eval, incremental deltas). *)
+let derive_planned db ?scan ~stratum ~delta (pr : planned_rule) acc =
+  let plan, cache = plan_for db pr ~delta in
+  if not (rule_observer_armed ()) then
+    ignore (derive_rule db ?scan ?plan pr.rule acc)
+  else
+    let ev =
+      {
+        re_stratum = stratum;
+        re_label = label_of pr;
+        re_plan = plan_str plan;
+        re_cache = cache;
+      }
+    in
+    ignore (!rule_observer ev (fun () -> derive_rule db ?scan ?plan pr.rule acc))
 
 (* One stratum, semi-naive.  [recursive p] holds for predicates defined in
    this stratum; rules mentioning them positively participate in delta
    rounds. *)
-let run_stratum db (prs : planned_rule list) =
+let run_stratum db ~stratum (prs : planned_rule list) =
   let heads = Hashtbl.create 16 in
   List.iter
     (fun pr -> Hashtbl.replace heads pr.rule.Rule.head.Atom.pred ())
@@ -183,9 +256,7 @@ let run_stratum db (prs : planned_rule list) =
   let recursive p = Hashtbl.mem heads p in
   (* Round 0: every rule against the full database. *)
   let fresh = ref [] in
-  List.iter
-    (fun pr -> derive_rule db ?plan:(plan_for db pr ~delta:None) pr.rule fresh)
-    prs;
+  List.iter (fun pr -> derive_planned db ~stratum ~delta:None pr fresh) prs;
   let delta = Database.create () in
   List.iter
     (fun f -> if Database.add db f then ignore (Database.add delta f))
@@ -211,10 +282,9 @@ let run_stratum db (prs : planned_rule list) =
           | None -> ()
           | Some drel ->
               if not (Relation.is_empty drel) then
-                derive_rule db
+                derive_planned db
                   ~scan:(fun j -> if j = i then Some drel else None)
-                  ?plan:(plan_for db pr ~delta:(Some i))
-                  pr.rule fresh)
+                  ~stratum ~delta:(Some i) pr fresh)
         variants;
       let next = Database.create () in
       List.iter
@@ -240,20 +310,19 @@ let run t db =
   Array.iteri
     (fun i prs ->
       observe_stratum ~stratum:i ~rules:(List.length prs) (fun () ->
-          run_stratum db prs))
+          run_stratum db ~stratum:i prs))
     t.planned
 
 (* Naive fixpoint per stratum: re-evaluate every rule until nothing new. *)
 let run_naive t db =
-  Array.iter
-    (fun prs ->
+  Array.iteri
+    (fun stratum prs ->
       let changed = ref true in
       while !changed do
         changed := false;
         let fresh = ref [] in
         List.iter
-          (fun pr ->
-            derive_rule db ?plan:(plan_for db pr ~delta:None) pr.rule fresh)
+          (fun pr -> derive_planned db ~stratum ~delta:None pr fresh)
           prs;
         List.iter (fun f -> if Database.add db f then changed := true) !fresh
       done)
@@ -266,8 +335,8 @@ let run_naive t db =
 let continue_with_additions t db (added : Fact.t list) =
   let d = Database.create () in
   List.iter (fun f -> ignore (Database.add d f)) added;
-  Array.iter
-    (fun prs ->
+  Array.iteri
+    (fun stratum prs ->
       (* Variants: any rule literal whose predicate has delta facts; the
          accumulated delta is rescanned each round (already-present heads are
          filtered out), which is simple and correct. *)
@@ -283,10 +352,9 @@ let continue_with_additions t db (added : Fact.t list) =
                     | None -> ()
                     | Some drel ->
                         if not (Relation.is_empty drel) then
-                          derive_rule db
+                          derive_planned db
                             ~scan:(fun j -> if j = i then Some drel else None)
-                            ?plan:(plan_for db pr ~delta:(Some i))
-                            pr.rule fresh)
+                            ~stratum ~delta:(Some i) pr fresh)
                 | Rule.Neg _ | Rule.Cmp _ -> ())
               pr.rule.Rule.body)
           prs;
@@ -307,7 +375,29 @@ let query db lits k =
   let plan =
     if !Plan.use_planner then Some (Plan.make db r.body) else None
   in
-  eval_lits db ?plan r.body Subst.empty k
+  if not (rule_observer_armed ()) then
+    eval_lits db ?plan r.body Subst.empty k
+  else
+    (* Surface the ad-hoc body itself as a pseudo-rule (stratum -1) so an
+       [explain] sees the query's own join order and time, not only the
+       rules that materialized its input. *)
+    let ev =
+      {
+        re_stratum = -1;
+        re_label =
+          "$query :- "
+          ^ String.concat ", " (List.map (Fmt.str "%a" Rule.pp_literal) r.body);
+        re_plan = plan_str plan;
+        re_cache = `Unplanned;
+      }
+    in
+    ignore
+      (!rule_observer ev (fun () ->
+           let n = ref 0 in
+           eval_lits db ?plan r.body Subst.empty (fun s ->
+               incr n;
+               k s);
+           !n))
 
 let query_once db lits =
   let result = ref None in

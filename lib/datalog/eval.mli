@@ -25,6 +25,29 @@ val eval_lits :
     the evaluation order; [scan] indices always refer to the original body
     positions.  A plan whose length does not match the body is ignored. *)
 
+type rule_event = {
+  re_stratum : int;  (** -1 for ad-hoc query bodies *)
+  re_label : string;  (** the printed rule *)
+  re_plan : string;  (** chosen join order, ["-"] when unplanned *)
+  re_cache : [ `Hit | `Miss | `Unplanned ];  (** plan-cache outcome *)
+}
+
+val rule_observer : (rule_event -> (unit -> int) -> int) ref
+(** Wrapper invoked around each rule-body evaluation when armed; the thunk
+    returns the number of facts the evaluation derived.  The server's
+    profiler installs its accumulator here — same seam pattern as
+    {!stratum_observer}, keeping this library free of observability
+    dependencies. *)
+
+val arm_rule_observer : unit -> unit
+(** Increment the observer refcount.  [profile on] holds one arm for the
+    daemon's lifetime while [explain] arms around a single query; when the
+    count is zero each rule evaluation pays one atomic load only. *)
+
+val disarm_rule_observer : unit -> unit
+
+val rule_observer_armed : unit -> bool
+
 val stratum_observer :
   (stratum:int -> rules:int -> (unit -> unit) -> unit) ref
 (** Wrapper invoked around each stratum's fixpoint by {!run} (and by

@@ -121,6 +121,23 @@ let render metrics =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Process-level series                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* gomsm_build_info is the Prometheus convention for exposing version
+   strings: a constant gauge of 1 whose labels carry the build metadata,
+   joinable against any other series.  Uptime counts from library init
+   (process start, for our binaries) on the monotonic clock. *)
+
+let start_ns = Mtime.now_ns ()
+
+let process_metrics ~version () =
+  [
+    Gauge ("gomsm_build_info", [ ("version", version) ], 1.0);
+    Counter ("gomsm_uptime_seconds", [], Mtime.ns_to_s (Mtime.elapsed_ns start_ns));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Lint: sanity-check a scraped body                                    *)
 (* ------------------------------------------------------------------ *)
 

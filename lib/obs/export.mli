@@ -28,6 +28,11 @@ val render : metric list -> string
     [_bucket{le="..."}] series (ending with [le="+Inf"] = count), [_sum]
     and [_count]. *)
 
+val process_metrics : version:string -> unit -> metric list
+(** [gomsm_build_info{version=...} 1] plus [gomsm_uptime_seconds] counted
+    from library initialization on the monotonic clock — prepended by the
+    daemon's /metrics handler. *)
+
 val lint : string -> (int, string list) result
 (** Sanity-check a scraped body: malformed lines, duplicate series,
     duplicate [# TYPE], non-monotone cumulative buckets, and a [+Inf]

@@ -1,0 +1,16 @@
+(* Monotonic time.  Durations (spans, profiles, slow-query timing) must
+   never go backwards, so they are measured against CLOCK_MONOTONIC via a
+   tiny C stub; wall-clock time remains the right choice only for log
+   timestamps.  Nanoseconds since an arbitrary epoch fit an OCaml int for
+   ~292 years on 64-bit platforms. *)
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "gomsm_monotonic_ns" "gomsm_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now_ns () = Int64.to_int (monotonic_ns ())
+
+let elapsed_ns since = now_ns () - since
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+let ns_to_s ns = float_of_int ns /. 1e9

@@ -1,0 +1,16 @@
+(** Monotonic time for duration measurement.
+
+    An NTP step moves [Unix.gettimeofday] (producing negative or garbage
+    durations); CLOCK_MONOTONIC cannot move backwards.  Use this for every
+    duration; wall-clock time is only for log timestamps. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock (arbitrary epoch; only differences
+    are meaningful). *)
+
+val elapsed_ns : int -> int
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+
+val ns_to_ms : int -> float
+
+val ns_to_s : int -> float

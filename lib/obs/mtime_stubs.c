@@ -1,0 +1,24 @@
+/* CLOCK_MONOTONIC for span/profile durations: the stdlib only exposes
+   wall-clock time (Unix.gettimeofday), which an NTP step can move
+   backwards — durations must come from a clock that cannot.
+
+   The native-code entry returns an unboxed int64 and is [@@noalloc]:
+   timing sits on the profiler's hot path (two reads per observed rule),
+   so it must not allocate or poll. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim int64_t gomsm_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value gomsm_monotonic_ns(value unit)
+{
+  return caml_copy_int64(gomsm_monotonic_ns_unboxed(unit));
+}

@@ -13,7 +13,7 @@
    carries a context, [with_span] costs two atomic loads and nothing else;
    the B11 bench series prices exactly that. *)
 
-type frame = { f_name : string; f_id : string; f_start : float }
+type frame = { f_name : string; f_id : string; f_start : int (* mono ns *) }
 type ctx = { trace : string; mutable stack : frame list }
 
 type span = {
@@ -139,13 +139,16 @@ let emit c fr ~ms ~kvs =
         :: kvs)
       Log.Warn ~comp:"slow" fr.f_name
 
+(* Durations come from the monotonic clock: a wall-clock (NTP) step under
+   an open span must not produce negative or inflated ms= values or false
+   slow-span logs.  Log timestamps stay wall-clock (Log stamps them). *)
 let record c name kvs f =
-  let fr = { f_name = name; f_id = new_id (); f_start = Unix.gettimeofday () } in
+  let fr = { f_name = name; f_id = new_id (); f_start = Mtime.now_ns () } in
   c.stack <- fr :: c.stack;
   Fun.protect
     ~finally:(fun () ->
       (match c.stack with _ :: rest -> c.stack <- rest | [] -> ());
-      let ms = (Unix.gettimeofday () -. fr.f_start) *. 1000. in
+      let ms = Mtime.ns_to_ms (Mtime.elapsed_ns fr.f_start) in
       emit c fr ~ms ~kvs)
     f
 

@@ -26,6 +26,38 @@ let () =
           [ ("stratum", string_of_int stratum); ("rules", string_of_int rules) ]
         f
 
+(* Same seam pattern, per rule evaluation: the profiler's accumulator.
+   The seam stays disarmed unless [profile on] (or a one-shot [explain])
+   holds an arm, so the common path through the evaluator pays one atomic
+   load here and nothing else. *)
+let () =
+  Datalog.Eval.rule_observer :=
+    fun ev f ->
+      Obs.Profile.observe_rule ~stratum:ev.Datalog.Eval.re_stratum
+        ~label:ev.Datalog.Eval.re_label ~plan:ev.Datalog.Eval.re_plan
+        ~cache:
+          (match ev.Datalog.Eval.re_cache with
+          | `Hit -> Obs.Profile.Hit
+          | `Miss -> Obs.Profile.Miss
+          | `Unplanned -> Obs.Profile.Unplanned)
+        f
+
+(* The daemon-wide [profile on|off] switch: flips the profiler's enabled
+   flag and holds (or releases) exactly one arm on the evaluator seam.
+   Guarded so racing [profile on] requests cannot double-arm. *)
+let profiling_mu = Mutex.create ()
+let profiling_held = ref false
+
+let set_profiling on =
+  Mutex.lock profiling_mu;
+  (if on <> !profiling_held then begin
+     profiling_held := on;
+     if on then Datalog.Eval.arm_rule_observer ()
+     else Datalog.Eval.disarm_rule_observer ()
+   end);
+  Obs.Profile.set_enabled on;
+  Mutex.unlock profiling_mu
+
 (* Locking, outermost first (never acquire a lock left of one you hold):
 
      Registry.mu  >  rw (read or write)  >  eval_mu  >  mu  >  metrics/journal
@@ -71,6 +103,7 @@ type t = {
   mutable digest_cache : (int * string) option;  (* seq -> state digest *)
   subscribers : (int, int ref) Hashtbl.t;  (* feed client -> last sent seq *)
   fp_commit : Failpoint.site option;  (* tenant-labeled broker.commit *)
+  profile : Obs.Profile.t;  (* this database's query-profile tables *)
 }
 
 let create ?journal ?(checkpoint_every = 64)
@@ -128,10 +161,12 @@ let create ?journal ?(checkpoint_every = 64)
     subscribers = Hashtbl.create 4;
     fp_commit =
       Option.map (fun l -> Failpoint.define ("broker.commit#" ^ l)) label;
+    profile = Obs.Profile.create ();
   }
 
 let manager t = t.manager
 let metrics t = t.metrics
+let profile t = t.profile
 let journal t = t.journal
 let group_commit_ms t = t.group_commit_ms
 
@@ -146,9 +181,26 @@ let with_write t f =
       t.version <- t.version + 1;
       f ())
 
+(* Per-tenant plan-cache traffic: the evaluator's hit/miss counters are
+   global, so each broker charges itself the delta it observes across its
+   own eval sections.  A concurrent eval on another broker can shift a few
+   counts between tenants; the daemon-wide totals stay exact — good enough
+   for the per-database [db stat] breakdown this feeds. *)
+let count_plan_traffic t f =
+  let h0 = Datalog.Plan.hits () and m0 = Datalog.Plan.misses () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dh = Datalog.Plan.hits () - h0
+      and dm = Datalog.Plan.misses () - m0 in
+      if dh > 0 then Metrics.incr ~by:dh t.metrics "plan.hits";
+      if dm > 0 then Metrics.incr ~by:dm t.metrics "plan.misses")
+    f
+
 let with_eval t f =
   Mutex.lock t.eval_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.eval_mu) f
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.eval_mu)
+    (fun () -> count_plan_traffic t f)
 
 let exclusively = with_write
 let replace_manager t m = t.manager <- m
@@ -486,7 +538,7 @@ let do_ees t ~client =
           match
             Obs.Trace.with_span "session.check"
               ~kvs:[ ("mode", Manager.check_mode_name t.manager) ]
-              (fun () -> Manager.end_session t.manager)
+              (fun () -> count_plan_traffic t (fun () -> Manager.end_session t.manager))
           with
           | Manager.Consistent -> (
               with_lock t (fun () -> release_slot_locked t);
@@ -569,7 +621,7 @@ let do_check t =
           Metrics.incr ~by:(List.length reports) t.metrics "violations_found";
           ok (violation_lines reports))
 
-let do_query t text =
+let do_query_uninstrumented t text =
   cached t ("query:" ^ text) (fun () ->
       match Manager.query_text t.manager text with
       | answers ->
@@ -588,6 +640,127 @@ let do_query t text =
           ok (lines @ [ Printf.sprintf "%d answer(s)." (List.length answers) ])
       | exception Datalog.Parse.Error e -> err ("syntax error: " ^ e)
       | exception Datalog.Rule.Unsafe e -> err ("unsafe query: " ^ e))
+
+(* [query] under the profiler: when profiling is on or a slow-query
+   threshold is set, time the whole request (response-cache hits included
+   — they are this query's real cost), collect the per-rule events, and
+   file the result under the query's fingerprint.  Parse failures are not
+   fingerprinted. *)
+let do_query t text =
+  if not (Obs.Profile.query_armed ()) then do_query_uninstrumented t text
+  else begin
+    let t0 = Obs.Mtime.now_ns () in
+    let note resp events =
+      (match resp.Protocol.status with
+      | Protocol.Ok ->
+          let ns = Obs.Mtime.elapsed_ns t0 in
+          (* the table accumulates only while profiling is on; with just a
+             slow-query threshold set, slow queries are logged but nothing
+             is recorded — [profile off] means off *)
+          if Obs.Profile.enabled () then
+            ignore (Obs.Profile.note_query t.profile ~text ~ns ~events)
+          else Obs.Profile.warn_slow ~text ~ns ~events
+      | Protocol.Err _ -> ());
+      resp
+    in
+    match cache_probe t ("query:" ^ text) with
+    | Some resp ->
+        (* a response-cache hit evaluates no rules, so there is no
+           observer to arm and no scope to install — the hit is still
+           this query's real cost, so it is timed and filed under its
+           fingerprint like any other run *)
+        Metrics.incr t.metrics "read_cache_hits";
+        note resp []
+    | None ->
+        let events = ref [] in
+        let sink = if Obs.Profile.enabled () then Some t.profile else None in
+        Datalog.Eval.arm_rule_observer ();
+        let resp =
+          Fun.protect ~finally:Datalog.Eval.disarm_rule_observer (fun () ->
+              Obs.Profile.with_scope ?sink ~collect:events (fun () ->
+                  do_query_uninstrumented t text))
+        in
+        note resp !events
+  end
+
+(* [explain]: run the query once, uncached, with a one-shot collector
+   scope, then report what actually happened — the program's strata, every
+   rule evaluation with its chosen plan, cache outcome and time, the ad-hoc
+   query body's own plan, and the answer count.  Bypassing the response
+   cache is the point: an explain that answered from a cached response
+   would have nothing to explain. *)
+let do_explain t text =
+  let tmp = Obs.Profile.create () in
+  let t0 = Obs.Mtime.now_ns () in
+  let result =
+    with_read t (fun () ->
+        with_eval t (fun () ->
+            Datalog.Eval.arm_rule_observer ();
+            Fun.protect ~finally:Datalog.Eval.disarm_rule_observer (fun () ->
+                Obs.Profile.with_scope ~sink:tmp (fun () ->
+                    match Manager.query_text t.manager text with
+                    | answers -> Ok (List.length answers)
+                    | exception Datalog.Parse.Error e ->
+                        Error ("syntax error: " ^ e)
+                    | exception Datalog.Rule.Unsafe e ->
+                        Error ("unsafe query: " ^ e)))))
+  in
+  let total_ns = Obs.Mtime.elapsed_ns t0 in
+  match result with
+  | Error e -> err e
+  | Ok answers ->
+      let strata =
+        Datalog.Eval.stratification
+          (Datalog.Theory.prepared (Manager.theory t.manager))
+        |> Datalog.Stratify.strata
+      in
+      let strata_lines =
+        Printf.sprintf "strata %d" (Array.length strata)
+        :: (Array.to_list strata
+           |> List.mapi (fun i rules ->
+                  Printf.sprintf "stratum %d: %d rule(s)" i
+                    (List.length rules)))
+      in
+      let rows = Obs.Profile.rules tmp in
+      let query_rows, rule_rows =
+        List.partition (fun r -> r.Obs.Profile.stratum < 0) rows
+      in
+      let rule_lines =
+        match rule_rows with
+        | [] -> [ "no rule evaluations (answered from maintained state)" ]
+        | rows -> Obs.Profile.render_rules rows
+      in
+      let query_plan_lines =
+        List.map
+          (fun r ->
+            Printf.sprintf "query plan %s (%.3f ms)" r.Obs.Profile.plan
+              (Obs.Mtime.ns_to_ms r.Obs.Profile.ns))
+          query_rows
+      in
+      ok
+        (("query " ^ text)
+         :: ("fingerprint " ^ Obs.Profile.fingerprint text)
+         :: strata_lines
+        @ rule_lines @ query_plan_lines
+        @ [
+            Printf.sprintf "answers %d" answers;
+            Printf.sprintf "total_ms %.3f" (Obs.Mtime.ns_to_ms total_ns);
+          ])
+
+let do_profile t (cmd : Protocol.profile_cmd) =
+  match cmd with
+  | Protocol.Pon ->
+      set_profiling true;
+      ok [ "profiling on." ]
+  | Protocol.Poff ->
+      set_profiling false;
+      ok [ "profiling off." ]
+  | Protocol.Preset ->
+      Obs.Profile.reset t.profile;
+      ok [ "profile reset." ]
+  | Protocol.Prules ->
+      ok (Obs.Profile.render_rules (Obs.Profile.rules t.profile))
+  | Protocol.Ptop k -> ok (Obs.Profile.render_top (Obs.Profile.top t.profile ~k))
 
 let do_script_line t ~client text =
   with_write t (fun () ->
@@ -723,7 +896,9 @@ let drop_degraded ms =
     ms
 
 let export ?labels t =
-  drop_degraded (Metrics.export ?labels t.metrics) @ journal_metrics ?labels t
+  drop_degraded (Metrics.export ?labels t.metrics)
+  @ journal_metrics ?labels t
+  @ Obs.Profile.export ?labels t.profile
 
 (* ------------------------------------------------------------------ *)
 (* Replication feed (the primary's side of [subscribe])                *)
@@ -837,6 +1012,7 @@ let read_only_verbs = function
 
 let handle t ~client (req : Protocol.request) : Protocol.response =
   Metrics.incr t.metrics "requests_total";
+  let dispatch () =
   try
     match t.fenced with
     | Some reason when read_only_verbs req ->
@@ -872,6 +1048,8 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
         | Protocol.Rollback -> do_rollback t ~client
         | Protocol.Check -> do_check t
         | Protocol.Query q -> do_query t q
+        | Protocol.Explain q -> do_explain t q
+        | Protocol.Profile cmd -> do_profile t cmd
         | Protocol.Script_line c -> do_script_line t ~client c
         | Protocol.Dump -> do_dump t
         | Protocol.Stats -> do_stats t
@@ -899,6 +1077,18 @@ let handle t ~client (req : Protocol.request) : Protocol.response =
   with e ->
     Metrics.incr t.metrics "internal_errors";
     err ("internal error: " ^ Printexc.to_string e)
+  in
+  (* with profiling on, every rule evaluation under this request — session
+     checks and script analysis included, not only queries — accumulates
+     into this database's profile; off, this is one atomic load.  [query]
+     and [explain] install their own scopes inside, so the hottest verb
+     pays exactly one scope, not two *)
+  match req with
+  | Protocol.Query _ | Protocol.Explain _ -> dispatch ()
+  | _ ->
+      if Obs.Profile.enabled () then
+        Obs.Profile.with_scope ~sink:t.profile dispatch
+      else dispatch ()
 
 (* Release the broker's on-disk resources: the registry's eviction/shutdown
    path.  No checkpoint is forced — every acknowledged record is already

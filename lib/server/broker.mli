@@ -103,6 +103,15 @@ val manager : t -> Core.Manager.t
 val journal : t -> Journal.t option
 val metrics : t -> Metrics.t
 
+val profile : t -> Obs.Profile.t
+(** This database's query-profile tables (rule counters and the bounded
+    fingerprint top-K), accumulated while profiling is on. *)
+
+val set_profiling : bool -> unit
+(** The daemon-wide [profile on|off] switch: flips
+    {!Obs.Profile.set_enabled} and holds/releases one arm on the
+    evaluator's rule-observer seam. *)
+
 val journal_metrics :
   ?labels:(string * string) list -> t -> Obs.Export.metric list
 (** Journal position/size and the degraded flag as exporter gauges. *)

@@ -39,9 +39,10 @@ let jittered_backoff rng attempt =
 let safe_to_retry line =
   match Protocol.parse_request line with
   | Ok
-      ( Protocol.Bes | Protocol.Check | Protocol.Query _ | Protocol.Dump
-      | Protocol.Stats | Protocol.Health | Protocol.Use _ | Protocol.Db_list
-      | Protocol.Db_stat _ | Protocol.Quit ) ->
+      ( Protocol.Bes | Protocol.Check | Protocol.Query _ | Protocol.Explain _
+      | Protocol.Profile _ | Protocol.Dump | Protocol.Stats | Protocol.Health
+      | Protocol.Use _ | Protocol.Db_list | Protocol.Db_stat _ | Protocol.Quit
+        ) ->
       true
   | Ok
       ( Protocol.Ees | Protocol.Rollback | Protocol.Script_line _
@@ -96,8 +97,16 @@ exception Endpoints_exhausted of string
 let errorf fmt = Obs.Log.errorf ~comp:"client" fmt
 let warnf fmt = Obs.Log.warnf ~comp:"client" fmt
 
-let run ?(retries = 0) ?(failover = []) ?db ?trace ~host ~port
-    ~(requests : string list) () : int =
+(* --explain mode: every [query] request is sent as [explain] instead, so
+   an existing script or pipe can be profiled without editing it.  Other
+   verbs pass through untouched. *)
+let explain_rewrite line =
+  match Protocol.parse_request line with
+  | Ok (Protocol.Query q) -> Protocol.request_line (Protocol.Explain q)
+  | Ok _ | Error _ -> line
+
+let run ?(retries = 0) ?(failover = []) ?(explain = false) ?db ?trace ~host
+    ~port ~(requests : string list) () : int =
   (match trace with
   | Some id ->
       Obs.Log.infof ~comp:"client" ~kvs:[ ("trace", id) ] "tracing requests"
@@ -174,6 +183,7 @@ let run ?(retries = 0) ?(failover = []) ?db ?trace ~host ~port
             end)
   in
   let send line =
+    let line = if explain then explain_rewrite line else line in
     if String.trim line <> "" then begin
       (* [n] counts transient retries against [retries]; [rot] counts
          failover rotations for this request against the endpoint list —

@@ -33,6 +33,10 @@ let default_config =
 let log ?kvs level = Obs.Log.log ?kvs level ~comp:"daemon"
 let logf fmt = Printf.ksprintf (log Obs.Log.Info) fmt
 
+(* The release string: the CLI's --version and the gomsm_build_info series
+   both read it from here so a scrape always matches the binary. *)
+let version = "1.0.0"
+
 module Failpoint = Fault.Failpoint
 
 (* Connection-level fault injection: accepted sockets dropped before any
@@ -47,6 +51,8 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Rollback -> "rollback"
   | Protocol.Check -> "check"
   | Protocol.Query _ -> "query"
+  | Protocol.Explain _ -> "explain"
+  | Protocol.Profile _ -> "profile"
   | Protocol.Script_line _ -> "script-line"
   | Protocol.Dump -> "dump"
   | Protocol.Stats -> "stats"
@@ -78,6 +84,9 @@ type router = {
   server_metrics : Metrics.t;  (* connection-level counters live here *)
   export_metrics : unit -> Obs.Export.metric list;
       (* everything GET /metrics renders — per-tenant series carry db= *)
+  profile_text : unit -> string;
+      (* the body GET /profile renders: the top-K fingerprint table (merged
+         across open tenants on a registry router) *)
 }
 
 let broker_router ?(name = "default") (broker : Broker.t) : router =
@@ -123,6 +132,14 @@ let broker_router ?(name = "default") (broker : Broker.t) : router =
     stats_extra = (fun () -> []);
     server_metrics = Broker.metrics broker;
     export_metrics = (fun () -> Broker.export ~labels:[ ("db", name) ] broker);
+    profile_text =
+      (fun () ->
+        let p = Broker.profile broker in
+        String.concat "\n"
+          (Printf.sprintf "profiling %s"
+             (if Obs.Profile.enabled () then "on" else "off")
+          :: Obs.Profile.render_top (Obs.Profile.top p ~k:20))
+        ^ "\n");
   }
 
 (* Serve one connection until quit/EOF; the current database's broker rolls
@@ -312,8 +329,12 @@ let serve ?on_listen ?broker ?router (config : config) : unit =
               {
                 Obs.Admin.status = 200;
                 content_type = "text/plain; version=0.0.4; charset=utf-8";
-                body = Obs.Export.render (router.export_metrics ());
+                body =
+                  Obs.Export.render
+                    (Obs.Export.process_metrics ~version ()
+                    @ router.export_metrics ());
               }
+        | "/profile" -> Some (Obs.Admin.text 200 (router.profile_text ()))
         | "/healthz" ->
             let resp =
               router.with_db router.default_db ~client:0 Protocol.Health

@@ -1,12 +1,16 @@
 (* The line-oriented wire protocol of [gomsm serve]: one line per request,
    [ok]/[err] + dot-stuffed body + lone-dot terminator per response. *)
 
+type profile_cmd = Pon | Poff | Preset | Prules | Ptop of int
+
 type request =
   | Bes
   | Ees
   | Rollback
   | Check
   | Query of string
+  | Explain of string
+  | Profile of profile_cmd
   | Script_line of string
   | Dump
   | Stats
@@ -67,6 +71,22 @@ let parse_request line =
   | "quit", "" -> Result.Ok Quit
   | "query", "" -> Result.Error "query needs a literal list, e.g. query Attr_i(T, A, D)"
   | "query", q -> Result.Ok (Query q)
+  | "explain", "" ->
+      Result.Error "explain needs a query, e.g. explain Attr_i(T, A, D)"
+  | "explain", q -> Result.Ok (Explain q)
+  | "profile", rest -> (
+      match split_verb rest with
+      | "on", "" -> Result.Ok (Profile Pon)
+      | "off", "" -> Result.Ok (Profile Poff)
+      | "reset", "" -> Result.Ok (Profile Preset)
+      | "rules", "" -> Result.Ok (Profile Prules)
+      | "top", "" -> Result.Ok (Profile (Ptop 10))
+      | "top", k -> (
+          match int_of_string_opt k with
+          | Some k when k > 0 -> Result.Ok (Profile (Ptop k))
+          | Some _ | None ->
+              Result.Error "profile top takes a positive count, e.g. profile top 10")
+      | _ -> Result.Error "profile takes on, off, reset, rules or top [K]")
   | "script-line", "" -> Result.Error "script-line needs an evolution command"
   | "script-line", cmd -> Result.Ok (Script_line cmd)
   | "use", "" -> Result.Error "use needs a database name, e.g. use default"
@@ -116,6 +136,12 @@ let request_line = function
   | Rollback -> "rollback"
   | Check -> "check"
   | Query q -> "query " ^ q
+  | Explain q -> "explain " ^ q
+  | Profile Pon -> "profile on"
+  | Profile Poff -> "profile off"
+  | Profile Preset -> "profile reset"
+  | Profile Prules -> "profile rules"
+  | Profile (Ptop k) -> Printf.sprintf "profile top %d" k
   | Script_line c -> "script-line " ^ c
   | Dump -> "dump"
   | Stats -> "stats"

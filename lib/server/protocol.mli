@@ -6,12 +6,23 @@
     terminator; body lines beginning with a dot are dot-stuffed (SMTP
     style), so arbitrary dump/script text travels unharmed. *)
 
+type profile_cmd =
+  | Pon  (** start accumulating (daemon-wide) *)
+  | Poff
+  | Preset  (** clear this database's accumulated tables *)
+  | Prules  (** per-rule evaluation counters *)
+  | Ptop of int  (** worst query fingerprints by total time *)
+
 type request =
   | Bes  (** begin an evolution session (acquire the single writer slot) *)
   | Ees  (** end the session: consistency check, journal, commit *)
   | Rollback  (** undo the open session *)
   | Check  (** consistency check without ending a session *)
   | Query of string  (** deductive query, Analyzer literal syntax *)
+  | Explain of string
+      (** run a query uncached under the profiler: stratification, chosen
+          plans, per-rule timings and the answer count as body lines *)
+  | Profile of profile_cmd  (** query-profiler control and reporting *)
   | Script_line of string  (** one evolution command (script grammar) *)
   | Dump  (** the whole state as an evolution script *)
   | Stats  (** the server's metrics registry *)

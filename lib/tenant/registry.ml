@@ -425,6 +425,19 @@ let stat t name =
                       Printf.sprintf "group_commit_ms %d"
                         (Broker.group_commit_ms b);
                     ]
+                  @ (* this tenant's own plan-cache traffic (the global
+                       roll-up lives in [stats]) and its profile tables *)
+                  (let m = Broker.metrics b in
+                   [
+                     Printf.sprintf "plan_cache_hits %d"
+                       (Metrics.counter m "plan.hits");
+                     Printf.sprintf "plan_cache_misses %d"
+                       (Metrics.counter m "plan.misses");
+                     Printf.sprintf "profile_fingerprints %d"
+                       (Obs.Profile.fingerprints (Broker.profile b));
+                     Printf.sprintf "profile_rules %d"
+                       (Obs.Profile.rule_count (Broker.profile b));
+                   ])
                   @
                   match dir_of t name with
                   | Some dir -> [ "path " ^ dir ]
@@ -439,12 +452,23 @@ let stat t name =
                   | exception Unix.Unix_error _ -> 0
                 in
                 Ok
-                  [
-                    "name " ^ name;
-                    "state closed";
-                    Printf.sprintf "journal_bytes %d" jbytes;
-                    "path " ^ dir;
-                  ])
+                  ([
+                     "name " ^ name;
+                     "state closed";
+                     Printf.sprintf "journal_bytes %d" jbytes;
+                   ]
+                  @ (* counters outlive the broker; the profile dies with
+                       it, so only the lifetime plan traffic survives *)
+                  (match Hashtbl.find_opt t.tenant_metrics name with
+                  | Some m ->
+                      [
+                        Printf.sprintf "plan_cache_hits %d"
+                          (Metrics.counter m "plan.hits");
+                        Printf.sprintf "plan_cache_misses %d"
+                          (Metrics.counter m "plan.misses");
+                      ]
+                  | None -> [])
+                  @ [ "path " ^ dir ]))
 
 let open_count t = with_lock t (fun () -> Hashtbl.length t.open_tbl)
 let server_metrics t = t.server_metrics
@@ -493,7 +517,9 @@ let export_metrics t =
       @ (Hashtbl.fold (fun n e acc -> (n, e) :: acc) t.open_tbl []
         |> List.sort compare
         |> List.concat_map (fun (name, e) ->
-               Broker.journal_metrics ~labels:[ ("db", name) ] e.e_broker)))
+               let labels = [ ("db", name) ] in
+               Broker.journal_metrics ~labels e.e_broker
+               @ Obs.Profile.export ~labels (Broker.profile e.e_broker))))
 
 let shutdown t =
   with_lock t (fun () ->
@@ -576,4 +602,23 @@ let router t : Daemon.router =
     stats_extra = (fun () -> stats_lines t);
     server_metrics = t.server_metrics;
     export_metrics = (fun () -> export_metrics t);
+    profile_text =
+      (fun () ->
+        (* merge the open tenants' fingerprint tables (summed per
+           fingerprint, re-ranked); an evicted tenant's profile died with
+           its broker — lifetime counters live in /metrics instead *)
+        let brokers =
+          with_lock t (fun () ->
+              Hashtbl.fold (fun _ e acc -> e.e_broker :: acc) t.open_tbl [])
+        in
+        let tables =
+          List.map
+            (fun b -> Obs.Profile.top (Broker.profile b) ~k:max_int)
+            brokers
+        in
+        String.concat "\n"
+          (Printf.sprintf "profiling %s"
+             (if Obs.Profile.enabled () then "on" else "off")
+          :: Obs.Profile.render_top (Obs.Profile.merge_top tables ~k:20))
+        ^ "\n");
   }

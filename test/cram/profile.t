@@ -1,0 +1,130 @@
+The query-profiling surface: profile on|off|reset|top|rules over the
+line protocol, explain over the wire (and client --explain), the
+slow-query log under --slow-query-ms, GET /profile on the admin
+listener, and the profiler series in /metrics.
+
+  $ ../../bin/gomsm.exe serve --port 0 --data data --port-file port \
+  >   --admin-port 0 --admin-port-file aport \
+  >   --slow-query-ms 0.000001 2>serve.log &
+  $ SERVER=$!
+  $ i=0; while { [ ! -s port ] || [ ! -s aport ]; } && [ $i -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+
+Profiling starts off; turn it on, put a schema in, and run the same
+query shape with two different constants.
+
+  $ ../../bin/gomsm.exe client --port-file port \
+  >   'profile on' \
+  >   bes \
+  >   'script-line schema Zoo is type Animal is [ legs : int; ] end type Animal; end schema Zoo;' \
+  >   ees \
+  >   'query Type(tid_1, N, S)' \
+  >   'query Type(tid_void, N, S)' \
+  >   quit
+  profiling on.
+  session open.
+  consistent; session ended.
+    N = Animal, S = sid_1
+  1 answer(s).
+    N = void, S = sid_builtins
+  1 answer(s).
+  bye.
+
+Both runs share one normalized fingerprint (constants become ?), so the
+top table has a single row with two calls:
+
+  $ ../../bin/gomsm.exe client --port-file port 'profile top' \
+  >   | grep -c 'Type(?, N, S)'
+  1
+  $ ../../bin/gomsm.exe client --port-file port 'profile top' \
+  >   | grep 'Type(?, N, S)' | awk '{print $2}'
+  2
+
+profile rules shows per-(stratum, rule) counters with the chosen plan:
+
+  $ ../../bin/gomsm.exe client --port-file port 'profile rules' | head -1
+  stratum  evals    derived   total_ms   plan_hit    plan_miss    rule
+  $ [ "$(../../bin/gomsm.exe client --port-file port 'profile rules' | grep -c ':-')" -gt 10 ] && echo "rule rows present"
+  rule rows present
+
+explain over the wire reports the stratification, the fingerprint, the
+chosen query plan and the answer count:
+
+  $ ../../bin/gomsm.exe client --port-file port 'explain Type(tid_1, N, S)' \
+  >   | grep -E '^(query Type|fingerprint|strata |answers|total_ms)' | sed 's/total_ms .*/total_ms N/'
+  query Type(tid_1, N, S)
+  fingerprint Type(?, N, S)
+  strata 2
+  answers 1
+  total_ms N
+  $ ../../bin/gomsm.exe client --port-file port 'explain Type(tid_1, N, S)' \
+  >   | grep -c '^query plan '
+  1
+
+client --explain rewrites query lines to explain on the wire, so an
+existing script can be profiled unchanged:
+
+  $ ../../bin/gomsm.exe client --port-file port --explain \
+  >   'query Type(tid_1, N, S)' | head -2
+  query Type(tid_1, N, S)
+  fingerprint Type(?, N, S)
+
+With a near-zero --slow-query-ms threshold every query is slow, and the
+warn line carries the fingerprint and a per-rule breakdown:
+
+  $ [ "$(grep -c 'comp=slowquery' serve.log)" -gt 0 ] && echo "slow-query log fired"
+  slow-query log fired
+  $ grep 'comp=slowquery' serve.log | grep -c 'fingerprint="Type(?, N, S)"' | sed 's/^[1-9][0-9]*$/yes/'
+  yes
+
+GET /profile serves the same top-K table as the verb (one shared
+renderer), headed by the profiling state:
+
+  $ APORT=$(cat aport)
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/profile" | head -3
+  HTTP 200
+  profiling on
+  total_ms   calls    max_ms     fingerprint
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/profile" | grep -c 'Type(?, N, S)'
+  1
+
+The profiler's series ride the /metrics scrape — per-rule cumulative
+seconds and the fingerprint-count gauge — and the build info and uptime
+series are always present; the whole exposition stays lint-clean:
+
+  $ ../metrics_lint.exe --url "http://127.0.0.1:$APORT/metrics" | sed 's/[0-9][0-9]*/N/'
+  ok: N series
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/metrics" | grep -c '^# TYPE gomsm_rule_eval_seconds counter$'
+  1
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/metrics" | grep -c 'gomsm_query_fingerprints{db="default"} 1'
+  1
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/metrics" | grep -c 'gomsm_build_info{version='
+  1
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/metrics" | grep -c '^gomsm_uptime_seconds '
+  1
+
+db stat surfaces the per-tenant plan-cache traffic and profile sizes:
+
+  $ ../../bin/gomsm.exe client --port-file port 'db stat default' \
+  >   | grep -E '^(plan_cache_hits|plan_cache_misses|profile_fingerprints|profile_rules)' \
+  >   | sed 's/ [0-9][0-9]*$/ N/'
+  plan_cache_hits N
+  plan_cache_misses N
+  profile_fingerprints N
+  profile_rules N
+
+profile reset empties the tables; profile off disarms — with only the
+slow-query threshold still set, further queries are logged when slow
+but nothing accumulates:
+
+  $ ../../bin/gomsm.exe client --port-file port 'profile reset' 'profile off'
+  profile reset.
+  profiling off.
+  $ ../../bin/gomsm.exe client --port-file port 'query Type(tid_1, N, S)' >/dev/null
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/profile" | head -2
+  HTTP 200
+  profiling off
+  $ ../metrics_lint.exe --get "http://127.0.0.1:$APORT/profile" | grep -c 'Type' || true
+  0
+
+  $ kill -9 $SERVER
+  $ wait $SERVER 2>/dev/null || true

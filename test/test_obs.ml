@@ -408,6 +408,236 @@ let test_traced_commit_spans () =
           Server.Journal.close r.Server.Journal.journal));
   ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
 
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = Obs.Profile
+
+(* Every profiler test restores the global arming state so the rest of
+   the suite (and the broker tests sharing the process) see it off. *)
+let with_profile_off f =
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.set_slow_query_ms 0.)
+    f
+
+let test_fingerprint () =
+  let fp = Profile.fingerprint in
+  check Alcotest.string "ints become ?" "Attr(T, ?, D)" (fp "Attr(T, 42, D)");
+  check Alcotest.string "quoted symbols become ?" "Type(?, N, S)"
+    (fp "Type(\"tid_1\", N, S)");
+  check Alcotest.string "lowercase constants become ?" "Slot(C, ?, V)"
+    (fp "Slot(C, legs, V)");
+  check Alcotest.string "variables and predicates survive"
+    "SubTypRel_t(X, Y)"
+    (fp "SubTypRel_t(X, Y)");
+  check Alcotest.string "whitespace collapses" "Attr(T, A, D)"
+    (fp "  Attr( T ,  A ,\tD )  ");
+  check Alcotest.string "not survives" "Person(X), not Dead(X)"
+    (fp "Person(X), not Dead(X)");
+  (* two queries differing only in constants share one fingerprint *)
+  check Alcotest.string "constants unify" (fp "Slot(c1, legs, 4)")
+    (fp "Slot(c2, tail, 7)")
+
+let test_topk_eviction () =
+  let p = Profile.create ~cap:2 () in
+  ignore (Profile.note_query p ~text:"A(X)" ~ns:5_000 ~events:[]);
+  ignore (Profile.note_query p ~text:"B(X)" ~ns:1_000 ~events:[]);
+  ignore (Profile.note_query p ~text:"C(X)" ~ns:3_000 ~events:[]);
+  (* cap 2: B (cheapest) was evicted to admit C *)
+  check Alcotest.int "bounded" 2 (Profile.fingerprints p);
+  let fps = List.map (fun r -> r.Profile.fp) (Profile.top p ~k:10) in
+  check Alcotest.(list string) "worst first, cheapest evicted" [ "A(X)"; "C(X)" ]
+    fps;
+  (* repeated queries aggregate instead of taking a second slot *)
+  ignore (Profile.note_query p ~text:"A(X)" ~ns:2_000 ~events:[]);
+  let a = List.hd (Profile.top p ~k:1) in
+  check Alcotest.int "calls summed" 2 a.Profile.calls;
+  check Alcotest.int "time summed" 7_000 a.Profile.total_ns;
+  check Alcotest.int "max kept" 5_000 a.Profile.max_ns;
+  Profile.reset p;
+  check Alcotest.int "reset empties" 0 (Profile.fingerprints p)
+
+let test_observe_rule_paths () =
+  with_profile_off (fun () ->
+      (* no scope installed: the thunk runs, nothing is recorded *)
+      let p = Profile.create () in
+      let n =
+        Profile.observe_rule ~stratum:0 ~label:"r" ~plan:"[0]"
+          ~cache:Profile.Hit (fun () -> 7)
+      in
+      check Alcotest.int "thunk result passes through" 7 n;
+      check Alcotest.int "nothing recorded without a scope" 0
+        (Profile.rule_count p);
+      (* sink scope: events accumulate per (rule, stratum) *)
+      Profile.with_scope ~sink:p (fun () ->
+          ignore
+            (Profile.observe_rule ~stratum:0 ~label:"r" ~plan:"[0]"
+               ~cache:Profile.Miss (fun () -> 3));
+          ignore
+            (Profile.observe_rule ~stratum:0 ~label:"r" ~plan:"[0]"
+               ~cache:Profile.Hit (fun () -> 2));
+          ignore
+            (Profile.observe_rule ~stratum:1 ~label:"r" ~plan:"[0 1]"
+               ~cache:Profile.Unplanned (fun () -> 0)));
+      check Alcotest.int "two (rule, stratum) rows" 2 (Profile.rule_count p);
+      (match Profile.rules p with
+      | [ r0; r1 ] ->
+          check Alcotest.int "stratum order" 0 r0.Profile.stratum;
+          check Alcotest.int "evals counted" 2 r0.Profile.evals;
+          check Alcotest.int "derived summed" 5 r0.Profile.derived;
+          check Alcotest.int "plan hits" 1 r0.Profile.plan_hits;
+          check Alcotest.int "plan misses" 1 r0.Profile.plan_misses;
+          check Alcotest.int "other stratum separate" 1 r1.Profile.stratum
+      | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+      (* collect scope: raw events in evaluation order, for explain *)
+      let events = ref [] in
+      Profile.with_scope ~collect:events (fun () ->
+          ignore
+            (Profile.observe_rule ~stratum:0 ~label:"a" ~plan:"-"
+               ~cache:Profile.Unplanned (fun () -> 1)));
+      match !events with
+      | [ ev ] ->
+          check Alcotest.string "label collected" "a" ev.Profile.ev_label;
+          check Alcotest.int "derived collected" 1 ev.Profile.ev_derived;
+          checkb "duration measured" true (ev.Profile.ev_ns >= 0)
+      | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let test_render_agreement () =
+  (* profile top and GET /profile share one renderer: merge_top over a
+     single table must render byte-identically to the broker's own top *)
+  let p = Profile.create () in
+  ignore (Profile.note_query p ~text:"A(X, 1)" ~ns:4_000 ~events:[]);
+  ignore (Profile.note_query p ~text:"B(Y)" ~ns:9_000 ~events:[]);
+  let direct = Profile.render_top (Profile.top p ~k:20) in
+  let merged =
+    Profile.render_top (Profile.merge_top [ Profile.top p ~k:max_int ] ~k:20)
+  in
+  check Alcotest.(list string) "verb and endpoint agree" direct merged;
+  (* merge across tenants sums fingerprint-wise *)
+  let q = Profile.create () in
+  ignore (Profile.note_query q ~text:"A(X, 2)" ~ns:6_000 ~events:[]);
+  match
+    Profile.merge_top [ Profile.top p ~k:max_int; Profile.top q ~k:max_int ]
+      ~k:10
+  with
+  | [ a; b ] ->
+      check Alcotest.string "summed row wins" "A(X, ?)" a.Profile.fp;
+      check Alcotest.int "totals summed across tables" 10_000 a.Profile.total_ns;
+      check Alcotest.int "calls summed across tables" 2 a.Profile.calls;
+      check Alcotest.string "other row intact" "B(Y)" b.Profile.fp
+  | rows -> Alcotest.failf "expected 2 merged rows, got %d" (List.length rows)
+
+let test_slow_query_log () =
+  with_profile_off (fun () ->
+      with_captured_log (fun buf ->
+          Profile.set_slow_query_ms 1.;
+          let p = Profile.create () in
+          let ev =
+            {
+              Profile.ev_stratum = 0;
+              ev_label = "R(X) :- S(X).";
+              ev_plan = "[0]";
+              ev_cache = Profile.Hit;
+              ev_derived = 2;
+              ev_ns = 2_000_000;
+            }
+          in
+          ignore
+            (Profile.note_query p ~text:"R(7)" ~ns:2_500_000 ~events:[ ev ]);
+          let out = Buffer.contents buf in
+          checkb "warn line emitted" true (contains out "comp=slowquery");
+          checkb "fingerprint carried" true (contains out "R(?)");
+          checkb "rule breakdown carried" true (contains out "R(X) :- S(X).");
+          (* under the threshold: silence *)
+          Buffer.clear buf;
+          ignore (Profile.note_query p ~text:"R(8)" ~ns:100 ~events:[]);
+          check Alcotest.string "fast query not logged" ""
+            (Buffer.contents buf)))
+
+let test_profile_export () =
+  let p = Profile.create () in
+  Profile.with_scope ~sink:p (fun () ->
+      ignore
+        (Profile.observe_rule ~stratum:0 ~label:"R(X) :- S(X)." ~plan:"[0]"
+           ~cache:Profile.Hit (fun () -> 1)));
+  ignore (Profile.note_query p ~text:"R(X)" ~ns:500 ~events:[]);
+  let body =
+    Export.render
+      (Export.process_metrics ~version:"1.0.0" ()
+      @ Profile.export ~labels:[ ("db", "zoo") ] p)
+  in
+  checkb "build info series" true
+    (contains body "gomsm_build_info{version=\"1.0.0\"} 1");
+  checkb "uptime series" true (contains body "gomsm_uptime_seconds");
+  checkb "per-rule counter" true
+    (contains body
+       "gomsm_rule_eval_seconds{db=\"zoo\",rule=\"R(X) :- S(X).\"}");
+  checkb "fingerprint gauge" true
+    (contains body "gomsm_query_fingerprints{db=\"zoo\"} 1");
+  match Export.lint body with
+  | Ok _ -> ()
+  | Error es ->
+      Alcotest.failf "profile scrape not lint-clean: %s" (String.concat "; " es)
+
+(* Explain end to end, in process: the broker answers [explain] with the
+   stratification, per-rule rows and the query pseudo-rule, and running it
+   twice yields the same rule set (stable plans). *)
+let test_explain_stability () =
+  with_profile_off (fun () ->
+      with_captured_log (fun _buf ->
+          let m = Core.Manager.create () in
+          let broker = Server.Broker.create ~metrics:(Metrics.create ()) m in
+          let explain () =
+            match
+              Server.Broker.handle broker ~client:1
+                (Protocol.Explain "SubTypRel_t(X, Y)")
+            with
+            | { Protocol.status = Protocol.Ok; body } -> body
+            | { Protocol.status = Protocol.Err e; _ } ->
+                Alcotest.failf "explain refused: %s" e
+          in
+          let body = explain () in
+          let has needle = List.exists (fun l -> contains l needle) body in
+          checkb "echoes the query" true (has "query SubTypRel_t(X, Y)");
+          checkb "fingerprint line" true (has "fingerprint SubTypRel_t(X, Y)");
+          checkb "strata summary" true (has "strata ");
+          checkb "rule rows" true (has "SubTypRel_t(X, Y) :- SubTypRel(X, Y).");
+          checkb "query plan line" true (has "query plan ");
+          checkb "answer count" true (has "answers ");
+          checkb "total line" true (has "total_ms ");
+          (* stable across runs: same rules, same plans — the timing and
+             cache-hit columns differ, so compare rule rows by their
+             trailing "label [plan]" part only *)
+          let strip_times body =
+            List.filter_map
+              (fun l ->
+                if contains l "total_ms" || contains l "query plan " then None
+                else if
+                  String.length l > 0 && (l.[0] = '-' || (l.[0] >= '0' && l.[0] <= '9'))
+                then
+                  (* a rule row: drop the 6 leading numeric columns *)
+                  String.split_on_char ' ' l
+                  |> List.filter (fun f -> f <> "")
+                  |> (fun fs ->
+                       if List.length fs > 6 then
+                         Some
+                           (String.concat " "
+                              (List.filteri (fun i _ -> i >= 6) fs))
+                       else Some l)
+                else Some l)
+              body
+          in
+          check
+            Alcotest.(list string)
+            "explain is stable" (strip_times body)
+            (strip_times (explain ()));
+          (* profiling stayed off: nothing leaked into the broker's table *)
+          check Alcotest.int "no fingerprints recorded" 0
+            (Profile.fingerprints (Server.Broker.profile broker))))
+
 let () =
   Alcotest.run "obs"
     [
@@ -450,4 +680,19 @@ let () =
         ] );
       ( "admin",
         [ Alcotest.test_case "GET round-trip" `Quick test_admin_roundtrip ] );
+      ( "profile",
+        [
+          Alcotest.test_case "fingerprint normalization" `Quick
+            test_fingerprint;
+          Alcotest.test_case "top-K eviction + aggregation" `Quick
+            test_topk_eviction;
+          Alcotest.test_case "observe_rule scopes" `Quick
+            test_observe_rule_paths;
+          Alcotest.test_case "verb and endpoint share a renderer" `Quick
+            test_render_agreement;
+          Alcotest.test_case "slow-query warn line" `Quick test_slow_query_log;
+          Alcotest.test_case "exporter series" `Quick test_profile_export;
+          Alcotest.test_case "explain is complete and stable" `Quick
+            test_explain_stability;
+        ] );
     ]
